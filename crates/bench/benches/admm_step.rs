@@ -1,0 +1,28 @@
+//! Criterion bench: one ADMM auxiliary update (Z-projection + dual update)
+//! over a realistic scaled-down model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tinyadc_nn::models;
+use tinyadc_prune::admm::{AdmmConfig, AdmmPruner};
+use tinyadc_prune::{CpConstraint, CrossbarShape};
+use tinyadc_tensor::rng::SeededRng;
+
+fn bench_admm(c: &mut Criterion) {
+    let mut rng = SeededRng::new(3);
+    let mut net = models::resnet_s("r", vec![3, 16, 16], 10, 8, &mut rng).expect("model builds");
+    let xbar = CrossbarShape::new(16, 8).expect("valid");
+    let cp = CpConstraint::new(xbar, 2).expect("valid l");
+    let mut pruner =
+        AdmmPruner::uniform_cp(&mut net, cp, &[], AdmmConfig::default()).expect("pruner builds");
+
+    c.bench_function("admm_auxiliary_update_resnet_s", |b| {
+        b.iter(|| pruner.update_auxiliary(&mut net).expect("update succeeds"))
+    });
+
+    c.bench_function("admm_finalize_resnet_s", |b| {
+        b.iter(|| pruner.finalize(&mut net).expect("finalize succeeds"))
+    });
+}
+
+criterion_group!(benches, bench_admm);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench: bit-serial crossbar MVM latency versus array size and
+//! weight sparsity (dense vs column-proportionally pruned tiles).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tinyadc_nn::ParamKind;
+use tinyadc_prune::{CpConstraint, CrossbarShape};
+use tinyadc_tensor::rng::SeededRng;
+use tinyadc_tensor::Tensor;
+use tinyadc_xbar::adc::Adc;
+use tinyadc_xbar::mapping::MappedLayer;
+use tinyadc_xbar::tile::XbarConfig;
+
+fn bench_mvm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crossbar_mvm");
+    let mut rng = SeededRng::new(2);
+    for &size in &[32usize, 64, 128] {
+        let config = XbarConfig {
+            shape: CrossbarShape::new(size, size).expect("valid"),
+            ..XbarConfig::paper_default()
+        };
+        let weights = Tensor::randn(&[size, size], 0.5, &mut rng);
+        let input: Vec<u64> = (0..size).map(|i| (i % 256) as u64).collect();
+
+        let dense = MappedLayer::from_param(&weights, ParamKind::LinearWeight, config)
+            .expect("mapping succeeds");
+        let dense_adc = Adc::new(dense.required_adc_bits()).expect("valid bits");
+        group.bench_with_input(BenchmarkId::new("dense", size), &size, |b, _| {
+            b.iter(|| dense.matvec_codes(&input, &dense_adc).expect("mvm"))
+        });
+
+        let cp = CpConstraint::new(config.shape, (size / 16).max(1)).expect("valid l");
+        let pruned_w = cp
+            .project_param(&weights, ParamKind::LinearWeight)
+            .expect("projection");
+        let pruned = MappedLayer::from_param(&pruned_w, ParamKind::LinearWeight, config)
+            .expect("mapping succeeds");
+        let pruned_adc = Adc::new(pruned.required_adc_bits()).expect("valid bits");
+        group.bench_with_input(BenchmarkId::new("cp_pruned_16x", size), &size, |b, _| {
+            b.iter(|| pruned.matvec_codes(&input, &pruned_adc).expect("mvm"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mvm);
+criterion_main!(benches);

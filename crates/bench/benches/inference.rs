@@ -1,0 +1,50 @@
+//! Criterion bench: the full crossbar inference path (im2col → bit-serial
+//! MVM → dequantise) for one conv layer, dense vs CP-pruned.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tinyadc_nn::ParamKind;
+use tinyadc_prune::{CpConstraint, CrossbarShape};
+use tinyadc_tensor::rng::SeededRng;
+use tinyadc_tensor::Tensor;
+use tinyadc_xbar::adc::Adc;
+use tinyadc_xbar::infer;
+use tinyadc_xbar::mapping::MappedLayer;
+use tinyadc_xbar::tile::XbarConfig;
+
+fn bench_inference(c: &mut Criterion) {
+    let config = XbarConfig {
+        shape: CrossbarShape::new(32, 16).expect("valid"),
+        ..XbarConfig::paper_default()
+    };
+    let mut rng = SeededRng::new(8);
+    let weights = Tensor::randn(&[16, 8, 3, 3], 0.4, &mut rng);
+    let input = Tensor::uniform(&[8, 8, 8], 0.0, 1.0, &mut rng);
+
+    let mut group = c.benchmark_group("crossbar_conv_inference");
+    group.sample_size(20);
+
+    let dense =
+        MappedLayer::from_param(&weights, ParamKind::ConvWeight, config).expect("maps");
+    let dense_adc = Adc::new(dense.required_adc_bits()).expect("bits");
+    group.bench_with_input(BenchmarkId::new("dense", "16x8x3x3"), &input, |b, x| {
+        b.iter(|| infer::conv2d(&dense, x, 1, 1, &dense_adc).expect("conv"))
+    });
+
+    let cp = CpConstraint::new(config.shape, 2).expect("constraint");
+    let pruned_w = cp
+        .project_param(&weights, ParamKind::ConvWeight)
+        .expect("projection");
+    let pruned =
+        MappedLayer::from_param(&pruned_w, ParamKind::ConvWeight, config).expect("maps");
+    let pruned_adc = Adc::new(pruned.required_adc_bits()).expect("bits");
+    group.bench_with_input(
+        BenchmarkId::new("cp_pruned_16x", "16x8x3x3"),
+        &input,
+        |b, x| b.iter(|| infer::conv2d(&pruned, x, 1, 1, &pruned_adc).expect("conv")),
+    );
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion bench: layer → crossbar mapping (quantise, slice, tile) and
+//! fault injection throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tinyadc_nn::ParamKind;
+use tinyadc_prune::CrossbarShape;
+use tinyadc_tensor::rng::SeededRng;
+use tinyadc_tensor::Tensor;
+use tinyadc_xbar::fault::{inject_faults, FaultModel};
+use tinyadc_xbar::mapping::MappedLayer;
+use tinyadc_xbar::tile::XbarConfig;
+
+fn bench_mapping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("layer_mapping");
+    let config = XbarConfig {
+        shape: CrossbarShape::new(128, 128).expect("valid"),
+        ..XbarConfig::paper_default()
+    };
+    let mut rng = SeededRng::new(4);
+    for &(f, ch) in &[(64usize, 32usize), (128, 64), (256, 128)] {
+        let weights = Tensor::randn(&[f, ch, 3, 3], 0.5, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("map_conv", format!("{f}x{ch}x3x3")),
+            &weights,
+            |b, w| {
+                b.iter(|| {
+                    MappedLayer::from_param(w, ParamKind::ConvWeight, config)
+                        .expect("mapping succeeds")
+                })
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fault_injection");
+    let weights = Tensor::randn(&[128, 64, 3, 3], 0.5, &mut rng);
+    let mapped = MappedLayer::from_param(&weights, ParamKind::ConvWeight, config)
+        .expect("mapping succeeds");
+    let model = FaultModel::from_overall_rate(0.10).expect("valid rate");
+    group.bench_function("inject_10pct_128x64_conv", |b| {
+        b.iter(|| {
+            let mut layer = mapped.clone();
+            let mut rng = SeededRng::new(5);
+            inject_faults(&mut layer, &model, &mut rng)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mapping);
+criterion_main!(benches);

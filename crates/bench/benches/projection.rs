@@ -1,0 +1,28 @@
+//! Criterion bench: column-proportional projection throughput versus
+//! matrix size and pruning rate (the inner loop of every ADMM epoch).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tinyadc_prune::{CpConstraint, CrossbarShape};
+use tinyadc_tensor::rng::SeededRng;
+use tinyadc_tensor::Tensor;
+
+fn bench_projection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cp_projection");
+    let xbar = CrossbarShape::new(128, 128).expect("valid shape");
+    let mut rng = SeededRng::new(1);
+    for &(rows, cols) in &[(128usize, 128usize), (512, 256), (1152, 512)] {
+        let matrix = Tensor::randn(&[rows, cols], 1.0, &mut rng);
+        for &rate in &[4usize, 32] {
+            let cp = CpConstraint::from_rate(xbar, rate).expect("rate divides 128");
+            group.bench_with_input(
+                BenchmarkId::new(format!("{rows}x{cols}"), format!("{rate}x")),
+                &matrix,
+                |b, m| b.iter(|| cp.project(m).expect("projection succeeds")),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_projection);
+criterion_main!(benches);

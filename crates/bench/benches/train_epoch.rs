@@ -1,0 +1,61 @@
+//! Criterion bench: one training epoch of the scaled-down models with and
+//! without the ADMM hook — the cost of the paper's dynamic
+//! regularisation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tinyadc_nn::data::{DatasetTier, SyntheticImageDataset};
+use tinyadc_nn::models;
+use tinyadc_nn::optim::LrSchedule;
+use tinyadc_nn::train::{TrainConfig, Trainer};
+use tinyadc_prune::admm::{AdmmConfig, AdmmPruner};
+use tinyadc_prune::{CpConstraint, CrossbarShape};
+use tinyadc_tensor::rng::SeededRng;
+
+fn one_epoch_config() -> TrainConfig {
+    TrainConfig {
+        epochs: 1,
+        batch_size: 32,
+        schedule: LrSchedule::Constant,
+        shuffle: false,
+        ..TrainConfig::default()
+    }
+}
+
+fn bench_train(c: &mut Criterion) {
+    let mut rng = SeededRng::new(6);
+    let data = SyntheticImageDataset::generate(DatasetTier::Tier1Cifar10Like, 128, 32, &mut rng)
+        .expect("dataset generates");
+    let trainer = Trainer::new(one_epoch_config());
+
+    let mut group = c.benchmark_group("train_epoch");
+    group.sample_size(10);
+
+    group.bench_function("resnet_s_plain", |b| {
+        let mut net = models::resnet_s("r", data.input_dims(), data.num_classes(), 4, &mut rng)
+            .expect("model builds");
+        b.iter(|| {
+            let mut rng = SeededRng::new(7);
+            trainer.fit(&mut net, &data, &mut rng).expect("fit succeeds")
+        })
+    });
+
+    group.bench_function("resnet_s_admm", |b| {
+        let mut net = models::resnet_s("r", data.input_dims(), data.num_classes(), 4, &mut rng)
+            .expect("model builds");
+        let cp = CpConstraint::new(CrossbarShape::new(16, 8).expect("valid"), 2)
+            .expect("valid l");
+        let mut pruner = AdmmPruner::uniform_cp(&mut net, cp, &[], AdmmConfig::default())
+            .expect("pruner builds");
+        b.iter(|| {
+            let mut rng = SeededRng::new(7);
+            trainer
+                .fit_with_hook(&mut net, &data, &mut pruner, &mut rng)
+                .expect("fit succeeds")
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_train);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Developer utility: dense-model accuracy per dataset tier, used to
+//! calibrate the synthetic datasets so they leave headroom for the
+//! paper's accuracy-vs-pruning-rate trends (not part of the paper's
+//! artifact set).
+//!
+//! ```text
+//! cargo run --release -p tinyadc-bench --bin calibrate
+//! ```
+
+use tinyadc::config::ModelKind;
+use tinyadc_bench::{pct, workload_grid, Harness, Profile};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut harness = Harness::new(Profile::from_env());
+    for (tier, models) in workload_grid() {
+        for model in models {
+            if model != ModelKind::ResNetS {
+                continue; // one representative model per tier is enough
+            }
+            let trained = harness.pretrained(tier, model)?;
+            println!(
+                "{:<16} {:<10} dense accuracy: {} %",
+                tier.paper_name(),
+                model.paper_name(),
+                pct(trained.accuracy)
+            );
+        }
+    }
+    Ok(())
+}

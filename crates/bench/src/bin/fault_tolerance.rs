@@ -1,0 +1,142 @@
+//! Regenerates the **§IV-E fault-tolerance analysis**: accuracy under
+//! ReRAM stuck-at faults for a TinyADC combined model versus a DCP-style
+//! channel-pruned baseline on the hardest (ImageNet-like) tier.
+//!
+//! The paper's claim: TinyADC's column proportional pruning intentionally
+//! stores many zeros, so SA0 faults land harmlessly and accuracy degrades
+//! more slowly than the baseline's (0.5 / 1.8 / 3.9 points less drop at
+//! 5 / 10 / 15 % fault rate).
+//!
+//! ```text
+//! cargo run --release -p tinyadc-bench --bin fault_tolerance
+//! ```
+
+use tinyadc::config::ModelKind;
+use tinyadc::report::TextTable;
+use tinyadc::Pipeline;
+use tinyadc_bench::{pct, run_rng, Harness, Profile};
+use tinyadc_nn::data::{DatasetTier, SyntheticImageDataset};
+use tinyadc_nn::train::evaluate_top_k;
+use tinyadc_tensor::Tensor;
+use tinyadc_xbar::engine::apply_crossbar_effects;
+use tinyadc_xbar::fault::FaultModel;
+
+const FAULT_RATES: [f64; 3] = [0.05, 0.10, 0.15];
+const SEEDS_PER_POINT: u64 = 3;
+
+/// Mean faulted accuracy over several fault seeds, for one pruned model
+/// given by its weight snapshot.
+fn faulted_accuracy(
+    pipeline: &Pipeline,
+    data: &SyntheticImageDataset,
+    snapshot: &[(String, Tensor)],
+    rate: f64,
+    salt: u64,
+) -> Result<(f64, f64), Box<dyn std::error::Error>> {
+    let tier = DatasetTier::Tier3ImageNetLike;
+    let xbar = pipeline.config().xbar;
+    let mut acc_sum = 0.0;
+    let mut harmless_sum = 0.0;
+    for s in 0..SEEDS_PER_POINT {
+        let mut build_rng = run_rng(tier, ModelKind::ResNetS, 900 + salt);
+        let mut net = pipeline.build_model(data, &mut build_rng)?;
+        net.restore(snapshot);
+        // The paper injects with "the ReRAM SA0 failure model" (§IV-E):
+        // stuck-at-0 faults only, at the stated overall rate.
+        let model = FaultModel::new(rate, 0.0)?;
+        let mut fault_rng = run_rng(tier, ModelKind::ResNetS, 1000 + salt * 10 + s);
+        let effects =
+            apply_crossbar_effects(&mut net, xbar, Some(&model), &[], &mut fault_rng)?;
+        if effects.faults.sa0 > 0 {
+            harmless_sum += effects.faults.sa0_harmless as f64 / effects.faults.sa0 as f64;
+        }
+        acc_sum += evaluate_top_k(&mut net, data, 1, 64)?.value();
+    }
+    let n = SEEDS_PER_POINT as f64;
+    Ok((acc_sum / n, harmless_sum / n))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let profile = Profile::from_env();
+    let mut harness = Harness::new(profile);
+    let tier = DatasetTier::Tier3ImageNetLike;
+    let model = ModelKind::ResNetS;
+    println!("TinyADC reproduction — §IV-E fault tolerance (profile: {profile:?})");
+    println!(
+        "Stuck-at faults on {} / {}\n",
+        model.paper_name(),
+        tier.paper_name()
+    );
+
+    let trained = harness.pretrained(tier, model)?;
+    let data = harness.dataset(tier).clone();
+    let pipeline = harness.pipeline(model);
+
+    // TinyADC combined model (CP 2x + 50% filters, the tier-3 config).
+    let mut rng = run_rng(tier, model, 300);
+    let (tiny_report, mut tiny_net) =
+        pipeline.run_combined_with_network(&data, &trained, 2, 0.5, 0.0, &mut rng)?;
+    // DCP-like baseline at 50% filters: at this reproduction's model
+    // scale the paper's 3.3x (70% channels) collapses outright, so the
+    // comparison is made at the closest matched fault-free accuracy.
+    let mut rng = run_rng(tier, model, 301);
+    let (dcp_report, mut dcp_net) =
+        pipeline.run_channel_with_network(&data, &trained, 0.5, &mut rng)?;
+
+    // Baseline accuracies re-evaluated after fault-free crossbar
+    // quantisation, so drops measure the faults alone.
+    let tiny_snapshot = tiny_net.snapshot();
+    let dcp_snapshot = dcp_net.snapshot();
+    let (tiny_base, _) = faulted_accuracy(&pipeline, &data, &tiny_snapshot, 0.0, 0)?;
+    let (dcp_base, _) = faulted_accuracy(&pipeline, &data, &dcp_snapshot, 0.0, 1)?;
+
+    println!("Fault-free (quantised) accuracies:");
+    println!(
+        "  TinyADC  : {} %  ({})",
+        pct(tiny_base),
+        tiny_report.scheme.label()
+    );
+    println!(
+        "  DCP-like : {} %  ({})\n",
+        pct(dcp_base),
+        dcp_report.scheme.label()
+    );
+
+    let mut table = TextTable::new(&[
+        "Fault rate",
+        "TinyADC acc (%)",
+        "TinyADC retained",
+        "TinyADC harmless SA0",
+        "DCP-like acc (%)",
+        "DCP-like retained",
+        "DCP-like harmless SA0",
+    ]);
+
+    // Retention is measured above chance so the two models' different
+    // fault-free accuracies compare fairly.
+    let chance = 1.0 / data.num_classes() as f64;
+    let retention = |acc: f64, base: f64| ((acc - chance) / (base - chance)).max(0.0) * 100.0;
+
+    for (i, &rate) in FAULT_RATES.iter().enumerate() {
+        let (tiny_acc, tiny_harmless) =
+            faulted_accuracy(&pipeline, &data, &tiny_snapshot, rate, 10 + i as u64)?;
+        let (dcp_acc, dcp_harmless) =
+            faulted_accuracy(&pipeline, &data, &dcp_snapshot, rate, 20 + i as u64)?;
+        table.row_owned(vec![
+            format!("{:.0}%", rate * 100.0),
+            pct(tiny_acc),
+            format!("{:.1}%", retention(tiny_acc, tiny_base)),
+            format!("{:.1}%", tiny_harmless * 100.0),
+            pct(dcp_acc),
+            format!("{:.1}%", retention(dcp_acc, dcp_base)),
+            format!("{:.1}%", dcp_harmless * 100.0),
+        ]);
+        eprintln!("  done: fault rate {:.0}%", rate * 100.0);
+    }
+    println!("{}", table.render());
+    println!(
+        "Paper reference: TinyADC's accuracy drop is 0.5 / 1.8 / 3.9 points smaller\n\
+         than DCP's at 5 / 10 / 15% overall stuck-at fault rate."
+    );
+    Ok(())
+}

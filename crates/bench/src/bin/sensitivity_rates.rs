@@ -1,0 +1,77 @@
+//! Ablation **E4**: uniform vs sensitivity-guided non-uniform CP rates.
+//!
+//! The paper applies one uniform rate to every layer; the per-layer `l_i`
+//! in its Eq. 2 admits non-uniform assignments. This regenerator compares
+//! the uniform policy against a one-shot-sensitivity-guided assignment at
+//! matched worst-case ADC resolution.
+//!
+//! ```text
+//! cargo run --release -p tinyadc-bench --bin sensitivity_rates
+//! ```
+
+use tinyadc::config::ModelKind;
+use tinyadc::report::TextTable;
+use tinyadc::PipelineReport;
+use tinyadc_bench::{pct, ratio, run_rng, Harness, Profile};
+use tinyadc_nn::data::DatasetTier;
+
+fn push(table: &mut TextTable, method: &str, r: &PipelineReport) {
+    table.row_owned(vec![
+        method.to_owned(),
+        format!("{:.2}x", r.overall_pruning_rate),
+        pct(r.final_accuracy),
+        format!("-{} bits (worst)", r.adc_bits_reduction),
+        ratio(r.normalized_power),
+        ratio(r.normalized_area),
+    ]);
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let profile = Profile::from_env();
+    let mut harness = Harness::new(profile);
+    let tier = DatasetTier::Tier2Cifar100Like;
+    let model = ModelKind::ResNetS;
+    println!("TinyADC reproduction — E4: uniform vs sensitivity-guided CP rates");
+    println!(
+        "({} / {}, profile: {profile:?})\n",
+        model.paper_name(),
+        tier.paper_name()
+    );
+
+    let trained = harness.pretrained(tier, model)?;
+    let data = harness.dataset(tier).clone();
+    let pipeline = harness.pipeline(model);
+
+    let mut table = TextTable::new(&[
+        "Policy",
+        "Overall rate",
+        "Final Acc (%)",
+        "ADC Red.",
+        "Norm. Power",
+        "Norm. Area",
+    ]);
+
+    // Uniform 4x everywhere (the paper's policy).
+    let mut rng = run_rng(tier, model, 600);
+    let uniform = pipeline.run_cp_from(&data, &trained, 4, &mut rng)?;
+    push(&mut table, "Uniform 4x", &uniform);
+
+    // Sensitivity-guided: candidates 2/4/8, distortion budget 0.55 — robust
+    // layers go deeper, fragile layers back off.
+    let mut rng = run_rng(tier, model, 601);
+    let guided =
+        pipeline.run_cp_sensitivity_from(&data, &trained, &[2, 4, 8], 0.55, &mut rng)?;
+    push(&mut table, "Sensitivity-guided {2,4,8}x", &guided);
+
+    println!("{}", table.render());
+    println!("Per-layer resolutions of the guided run:");
+    for layer in &guided.audit.layers {
+        if !layer.skipped {
+            println!(
+                "  {:<28} activated rows {:>2} -> {} bits",
+                layer.name, layer.activated_rows, layer.required_adc_bits
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! Regenerates **Table I**: accuracy under different column proportional
+//! pruning rates, across datasets and networks, with the resulting ADC
+//! bits reduction.
+//!
+//! ```text
+//! cargo run --release -p tinyadc-bench --bin table1
+//! ```
+
+use tinyadc::report::TextTable;
+use tinyadc_bench::{cp_rates_for, pct, run_rng, workload_grid, Harness, Profile};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let profile = Profile::from_env();
+    let mut harness = Harness::new(profile);
+    println!("TinyADC reproduction — Table I (profile: {profile:?})");
+    println!("Accuracy under different column proportional pruning rates\n");
+
+    let mut table = TextTable::new(&[
+        "Dataset",
+        "Network",
+        "Original Acc. (%)",
+        "CP pruning",
+        "Final Acc. (%)",
+        "Top-5 (%)",
+        "ADC Reduction",
+    ]);
+    for (tier, models) in workload_grid() {
+        for model in models {
+            let trained = harness.pretrained(tier, model)?;
+            let data = harness.dataset(tier).clone();
+            let pipeline = harness.pipeline(model);
+            for (vi, rate) in cp_rates_for(tier).into_iter().enumerate() {
+                let mut rng = run_rng(tier, model, 100 + vi as u64);
+                let report = pipeline.run_cp_from(&data, &trained, rate, &mut rng)?;
+                table.row_owned(vec![
+                    tier.paper_name().to_owned(),
+                    model.paper_name().to_owned(),
+                    pct(report.original_accuracy),
+                    format!("{rate}x"),
+                    pct(report.final_accuracy),
+                    pct(report.final_top5_accuracy),
+                    format!("-{} bits", report.adc_bits_reduction),
+                ]);
+                eprintln!(
+                    "  done: {} {} CP {rate}x -> {}",
+                    tier.paper_name(),
+                    model.paper_name(),
+                    pct(report.final_accuracy)
+                );
+            }
+        }
+    }
+    println!("{}", table.render());
+    println!(
+        "Crossbar: 16x8 (scaled with the models; paper uses 128x128), 1-bit DAC, \
+         2-bit MLC; baseline ADC = 6 bits by Eq. 1 (paper baseline: 9 bits at 128 rows)."
+    );
+    Ok(())
+}

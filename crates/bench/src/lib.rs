@@ -1,0 +1,258 @@
+//! Shared experiment harness for the table/figure regenerator binaries.
+//!
+//! Every binary in `src/bin/` regenerates one artifact of the paper's
+//! evaluation (Tables I–III, Figs. 4–5, the §IV-E fault-tolerance study,
+//! plus nine ablations). This library centralises the workload grid, the
+//! pipeline configurations, dataset generation and run caching so that
+//! every regenerator reports numbers from the *same* experimental setup.
+//!
+//! Set `TINYADC_PROFILE=full` for the larger (slower) configuration;
+//! the default `quick` profile runs each binary in minutes on a laptop.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use tinyadc::config::ModelKind;
+use tinyadc::{Pipeline, PipelineConfig, TrainedModel};
+use tinyadc_nn::data::{DatasetTier, SyntheticImageDataset};
+use tinyadc_nn::optim::LrSchedule;
+use tinyadc_nn::train::TrainConfig;
+use tinyadc_tensor::rng::SeededRng;
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Profile {
+    /// Small datasets, few epochs — minutes per binary.
+    Quick,
+    /// Larger datasets and budgets — closer to converged accuracies.
+    Full,
+}
+
+impl Profile {
+    /// Reads `TINYADC_PROFILE` (`quick`/`full`), defaulting to quick.
+    pub fn from_env() -> Self {
+        match std::env::var("TINYADC_PROFILE").as_deref() {
+            Ok("full") | Ok("FULL") => Self::Full,
+            _ => Self::Quick,
+        }
+    }
+
+    /// (train samples, test samples) per dataset.
+    pub fn split(self) -> (usize, usize) {
+        match self {
+            Self::Quick => (800, 300),
+            Self::Full => (2400, 600),
+        }
+    }
+
+    /// (pretrain, admm, retrain) epoch budgets. Pre-training gets the
+    /// lion's share so the dense "Original Acc." is near-converged and
+    /// pruning runs don't inherit free accuracy from extra epochs.
+    pub fn epochs(self) -> (usize, usize, usize) {
+        match self {
+            Self::Quick => (10, 4, 4),
+            Self::Full => (18, 8, 8),
+        }
+    }
+}
+
+/// The fixed seed all regenerators share.
+pub const SEED: u64 = 2021;
+
+/// The workload grid of the paper's evaluation: (dataset tier, models).
+pub fn workload_grid() -> Vec<(DatasetTier, Vec<ModelKind>)> {
+    vec![
+        (
+            DatasetTier::Tier1Cifar10Like,
+            vec![ModelKind::ResNetS, ModelKind::VggS],
+        ),
+        (
+            DatasetTier::Tier2Cifar100Like,
+            vec![ModelKind::ResNetS, ModelKind::ResNetM, ModelKind::VggS],
+        ),
+        (DatasetTier::Tier3ImageNetLike, vec![ModelKind::ResNetS]),
+    ]
+}
+
+/// CP rates swept per tier (descending difficulty tolerance: the easy
+/// tier sustains the most aggressive rates, mirroring Table I).
+pub fn cp_rates_for(tier: DatasetTier) -> Vec<usize> {
+    match tier {
+        DatasetTier::Tier1Cifar10Like => vec![4, 8, 16],
+        DatasetTier::Tier2Cifar100Like => vec![2, 4, 8],
+        DatasetTier::Tier3ImageNetLike => vec![2, 4],
+    }
+}
+
+/// Builds the pipeline configuration for one model at the given profile.
+pub fn pipeline_config(model: ModelKind, profile: Profile) -> PipelineConfig {
+    let (pre, admm, re) = profile.epochs();
+    let mut cfg = PipelineConfig::experiment_default();
+    cfg.model = model;
+    cfg.pretrain = TrainConfig {
+        epochs: pre,
+        schedule: LrSchedule::Cosine {
+            total_epochs: pre,
+            min_lr: 1e-3,
+        },
+        ..TrainConfig::default()
+    };
+    cfg.admm_train = TrainConfig {
+        epochs: admm,
+        lr: 0.02,
+        schedule: LrSchedule::Constant,
+        ..TrainConfig::default()
+    };
+    cfg.retrain = TrainConfig {
+        epochs: re,
+        lr: 0.01,
+        schedule: LrSchedule::Cosine {
+            total_epochs: re,
+            min_lr: 5e-4,
+        },
+        ..TrainConfig::default()
+    };
+    cfg
+}
+
+/// Caches datasets and dense pre-trainings across runs within one binary,
+/// so a CP-rate sweep shares one pre-trained model per (tier, model) the
+/// way the paper fine-tunes from one dense checkpoint.
+#[derive(Default)]
+pub struct Harness {
+    datasets: HashMap<DatasetTier, SyntheticImageDataset>,
+    pretrained: HashMap<(DatasetTier, ModelKind), TrainedModel>,
+    profile: Option<Profile>,
+}
+
+impl Harness {
+    /// Creates an empty harness for the given profile.
+    pub fn new(profile: Profile) -> Self {
+        Self {
+            datasets: HashMap::new(),
+            pretrained: HashMap::new(),
+            profile: Some(profile),
+        }
+    }
+
+    /// The harness profile.
+    pub fn profile(&self) -> Profile {
+        self.profile.unwrap_or(Profile::Quick)
+    }
+
+    /// Generates (or returns the cached) dataset for a tier. The dataset
+    /// RNG is derived from [`SEED`] and the tier so every binary sees the
+    /// same data.
+    pub fn dataset(&mut self, tier: DatasetTier) -> &SyntheticImageDataset {
+        let profile = self.profile();
+        self.datasets.entry(tier).or_insert_with(|| {
+            let (train, test) = profile.split();
+            let mut rng = SeededRng::new(SEED ^ tier_salt(tier));
+            SyntheticImageDataset::generate(tier, train, test, &mut rng)
+                .expect("non-empty splits")
+        })
+    }
+
+    /// Trains (or returns the cached) dense model for a workload.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline errors.
+    pub fn pretrained(
+        &mut self,
+        tier: DatasetTier,
+        model: ModelKind,
+    ) -> tinyadc::Result<TrainedModel> {
+        if let Some(t) = self.pretrained.get(&(tier, model)) {
+            return Ok(t.clone());
+        }
+        let profile = self.profile();
+        // Clone the dataset handle out to satisfy the borrow checker.
+        let data = self.dataset(tier).clone();
+        let pipeline = Pipeline::new(pipeline_config(model, profile));
+        let mut rng = run_rng(tier, model, 0);
+        let trained = pipeline.pretrain(&data, &mut rng)?;
+        self.pretrained.insert((tier, model), trained.clone());
+        Ok(trained)
+    }
+
+    /// The pipeline for a workload at this harness's profile.
+    pub fn pipeline(&self, model: ModelKind) -> Pipeline {
+        Pipeline::new(pipeline_config(model, self.profile()))
+    }
+}
+
+/// Deterministic RNG for one run, salted by workload and a variant index.
+pub fn run_rng(tier: DatasetTier, model: ModelKind, variant: u64) -> SeededRng {
+    SeededRng::new(
+        SEED ^ tier_salt(tier).rotate_left(8)
+            ^ model_salt(model).rotate_left(16)
+            ^ variant.wrapping_mul(0x9E37_79B9),
+    )
+}
+
+fn tier_salt(tier: DatasetTier) -> u64 {
+    match tier {
+        DatasetTier::Tier1Cifar10Like => 0x11,
+        DatasetTier::Tier2Cifar100Like => 0x22,
+        DatasetTier::Tier3ImageNetLike => 0x33,
+    }
+}
+
+fn model_salt(model: ModelKind) -> u64 {
+    match model {
+        ModelKind::ResNetS => 0x100,
+        ModelKind::ResNetM => 0x200,
+        ModelKind::VggS => 0x300,
+    }
+}
+
+/// Formats an accuracy in the paper's percent convention.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}", x * 100.0)
+}
+
+/// Formats a normalised cost ratio.
+pub fn ratio(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_matches_paper_workloads() {
+        let grid = workload_grid();
+        assert_eq!(grid.len(), 3);
+        let total: usize = grid.iter().map(|(_, m)| m.len()).sum();
+        assert_eq!(total, 6); // 2 + 3 + 1 rows of Table I
+    }
+
+    #[test]
+    fn rates_shrink_with_difficulty() {
+        let t1 = cp_rates_for(DatasetTier::Tier1Cifar10Like);
+        let t3 = cp_rates_for(DatasetTier::Tier3ImageNetLike);
+        assert!(t1.iter().max() > t3.iter().max());
+    }
+
+    #[test]
+    fn run_rng_is_deterministic_and_distinct() {
+        let mut a = run_rng(DatasetTier::Tier1Cifar10Like, ModelKind::ResNetS, 1);
+        let mut b = run_rng(DatasetTier::Tier1Cifar10Like, ModelKind::ResNetS, 1);
+        assert_eq!(a.sample_standard_normal(), b.sample_standard_normal());
+        let mut c = run_rng(DatasetTier::Tier1Cifar10Like, ModelKind::ResNetS, 2);
+        let mut d = run_rng(DatasetTier::Tier1Cifar10Like, ModelKind::ResNetS, 1);
+        assert_ne!(c.sample_standard_normal(), d.sample_standard_normal());
+    }
+
+    #[test]
+    fn harness_caches_datasets() {
+        let mut h = Harness::new(Profile::Quick);
+        let a = h.dataset(DatasetTier::Tier1Cifar10Like).train_len();
+        let b = h.dataset(DatasetTier::Tier1Cifar10Like).train_len();
+        assert_eq!(a, b);
+        assert_eq!(a, Profile::Quick.split().0);
+    }
+}

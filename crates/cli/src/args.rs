@@ -1,0 +1,159 @@
+//! A small `--key value` argument parser (no external dependencies).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Args {
+    /// The subcommand (first positional token).
+    pub command: String,
+    options: HashMap<String, String>,
+}
+
+/// Argument-parsing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseArgsError {
+    /// No subcommand was supplied.
+    MissingCommand,
+    /// A `--flag` had no value.
+    MissingValue(String),
+    /// A token was not a `--key`.
+    UnexpectedToken(String),
+}
+
+impl fmt::Display for ParseArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::MissingCommand => write!(f, "missing subcommand"),
+            Self::MissingValue(k) => write!(f, "option --{k} needs a value"),
+            Self::UnexpectedToken(t) => write!(f, "unexpected token `{t}`"),
+        }
+    }
+}
+
+impl std::error::Error for ParseArgsError {}
+
+impl Args {
+    /// Parses a token stream (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseArgsError`] for a missing subcommand, a flag
+    /// without a value, or a stray positional token.
+    pub fn parse<I: IntoIterator<Item = String>>(
+        tokens: I,
+    ) -> std::result::Result<Self, ParseArgsError> {
+        let mut iter = tokens.into_iter();
+        let command = iter.next().ok_or(ParseArgsError::MissingCommand)?;
+        if command.starts_with("--") {
+            return Err(ParseArgsError::MissingCommand);
+        }
+        let mut options = HashMap::new();
+        while let Some(token) = iter.next() {
+            let Some(key) = token.strip_prefix("--") else {
+                return Err(ParseArgsError::UnexpectedToken(token));
+            };
+            let value = iter
+                .next()
+                .ok_or_else(|| ParseArgsError::MissingValue(key.to_owned()))?;
+            options.insert(key.to_owned(), value);
+        }
+        Ok(Self { command, options })
+    }
+
+    /// The raw value of an option, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// A required string option.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing option.
+    pub fn required(&self, key: &str) -> crate::Result<&str> {
+        self.get(key)
+            .ok_or_else(|| format!("missing required option --{key}"))
+    }
+
+    /// An optional typed option with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the value does not parse as `T`.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> crate::Result<T> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("option --{key}: cannot parse `{v}`")),
+        }
+    }
+
+    /// Number of parsed options.
+    pub fn len(&self) -> usize {
+        self.options.len()
+    }
+
+    /// `true` when no options were given.
+    pub fn is_empty(&self) -> bool {
+        self.options.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn parses_command_and_options() {
+        let a = Args::parse(toks("train --tier cifar10 --epochs 8")).unwrap();
+        assert_eq!(a.command, "train");
+        assert_eq!(a.get("tier"), Some("cifar10"));
+        assert_eq!(a.get_or("epochs", 0usize).unwrap(), 8);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn missing_command_rejected() {
+        assert_eq!(
+            Args::parse(Vec::<String>::new()).unwrap_err(),
+            ParseArgsError::MissingCommand
+        );
+        assert_eq!(
+            Args::parse(toks("--tier cifar10")).unwrap_err(),
+            ParseArgsError::MissingCommand
+        );
+    }
+
+    #[test]
+    fn missing_value_rejected() {
+        assert_eq!(
+            Args::parse(toks("train --tier")).unwrap_err(),
+            ParseArgsError::MissingValue("tier".into())
+        );
+    }
+
+    #[test]
+    fn stray_positional_rejected() {
+        assert_eq!(
+            Args::parse(toks("train oops")).unwrap_err(),
+            ParseArgsError::UnexpectedToken("oops".into())
+        );
+    }
+
+    #[test]
+    fn typed_defaults_and_errors() {
+        let a = Args::parse(toks("x --n 4 --bad abc")).unwrap();
+        assert_eq!(a.get_or("n", 1usize).unwrap(), 4);
+        assert_eq!(a.get_or("missing", 7usize).unwrap(), 7);
+        assert!(a.get_or::<usize>("bad", 0).is_err());
+        assert!(a.required("n").is_ok());
+        assert!(a.required("absent").is_err());
+    }
+}

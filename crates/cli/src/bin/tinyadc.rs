@@ -1,0 +1,21 @@
+//! The `tinyadc` command-line tool; see `tinyadc help`.
+
+use tinyadc_cli::{commands, Args};
+
+fn main() {
+    let tokens: Vec<String> = std::env::args().skip(1).collect();
+    let args = match Args::parse(tokens) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", commands::usage());
+            std::process::exit(2);
+        }
+    };
+    match commands::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! Command implementations.
+//!
+//! Every command takes parsed [`Args`] and returns its human-readable
+//! output as a `String` (printed by `main`), which keeps the commands
+//! unit-testable.
+
+use crate::{Args, Result};
+use std::path::Path;
+use tinyadc::config::ModelKind;
+use tinyadc::report::TextTable;
+use tinyadc::{Pipeline, PipelineConfig, TrainedModel};
+use tinyadc_hw::adc::SarAdcModel;
+use tinyadc_nn::data::{DatasetTier, SyntheticImageDataset};
+use tinyadc_nn::serialize;
+use tinyadc_nn::train::evaluate_top_k;
+use tinyadc_prune::CrossbarShape;
+use tinyadc_tensor::rng::SeededRng;
+use tinyadc_xbar::engine::apply_crossbar_effects;
+use tinyadc_xbar::fault::FaultModel;
+
+/// Top-level dispatch; returns the command's printable output.
+///
+/// # Errors
+///
+/// Returns a user-facing message for unknown commands or failed options.
+pub fn run(args: &Args) -> Result<String> {
+    match args.command.as_str() {
+        "train" => cmd_train(args),
+        "prune" => cmd_prune(args),
+        "audit" => cmd_audit(args),
+        "cost" => cmd_cost(args),
+        "faults" => cmd_faults(args),
+        "adc" => cmd_adc(args),
+        "help" => Ok(usage()),
+        other => Err(format!("unknown command `{other}`\n\n{}", usage())),
+    }
+}
+
+/// The usage text.
+pub fn usage() -> String {
+    "tinyadc — peripheral-circuit-aware pruning for ReRAM accelerators\n\
+     \n\
+     USAGE: tinyadc <command> [--key value ...]\n\
+     \n\
+     COMMANDS\n\
+     train   --tier cifar10|cifar100|imagenet --model resnet18|resnet50|vgg16\n\
+     \x20       [--epochs N] [--width N] [--seed N] [--out FILE]\n\
+     prune   --tier .. --model .. --in FILE --rate N [--filters F] [--out FILE]\n\
+     audit   --tier .. --model .. --in FILE   per-layer crossbar/ADC audit\n\
+     cost    --tier .. --model .. --in FILE   accelerator power/area vs baseline\n\
+     faults  --tier .. --model .. --in FILE --rate R [--seeds N]\n\
+     adc     [--bits N]                       ADC cost table\n\
+     help                                     this text\n\
+     \n\
+     Common options: --rows/--cols (crossbar, default 16x8), --train/--test\n\
+     (split sizes, default 800/300), --seed (default 2021)."
+        .to_owned()
+}
+
+fn tier_of(args: &Args) -> Result<DatasetTier> {
+    match args.required("tier")? {
+        "cifar10" => Ok(DatasetTier::Tier1Cifar10Like),
+        "cifar100" => Ok(DatasetTier::Tier2Cifar100Like),
+        "imagenet" => Ok(DatasetTier::Tier3ImageNetLike),
+        other => Err(format!(
+            "unknown tier `{other}` (use cifar10|cifar100|imagenet)"
+        )),
+    }
+}
+
+fn model_of(args: &Args) -> Result<ModelKind> {
+    match args.required("model")? {
+        "resnet18" => Ok(ModelKind::ResNetS),
+        "resnet50" => Ok(ModelKind::ResNetM),
+        "vgg16" => Ok(ModelKind::VggS),
+        other => Err(format!(
+            "unknown model `{other}` (use resnet18|resnet50|vgg16)"
+        )),
+    }
+}
+
+fn pipeline_of(args: &Args) -> Result<(Pipeline, SyntheticImageDataset, SeededRng)> {
+    let tier = tier_of(args)?;
+    let model = model_of(args)?;
+    let seed: u64 = args.get_or("seed", 2021)?;
+    let train: usize = args.get_or("train", 800)?;
+    let test: usize = args.get_or("test", 300)?;
+    let rows: usize = args.get_or("rows", 16)?;
+    let cols: usize = args.get_or("cols", 8)?;
+    let width: usize = args.get_or("width", 8)?;
+    let epochs: usize = args.get_or("epochs", 8)?;
+
+    let mut cfg = PipelineConfig::experiment_default();
+    cfg.model = model;
+    cfg.model_width = width;
+    cfg.xbar.shape = CrossbarShape::new(rows, cols).map_err(|e| e.to_string())?;
+    cfg.pretrain.epochs = epochs;
+    cfg.admm_train.epochs = args.get_or("admm-epochs", 4)?;
+    cfg.retrain.epochs = args.get_or("retrain-epochs", 4)?;
+
+    let mut rng = SeededRng::new(seed);
+    let data =
+        SyntheticImageDataset::generate(tier, train, test, &mut rng).map_err(|e| e.to_string())?;
+    Ok((Pipeline::new(cfg), data, rng))
+}
+
+fn load_into(
+    pipeline: &Pipeline,
+    data: &SyntheticImageDataset,
+    path: &str,
+    rng: &mut SeededRng,
+) -> Result<tinyadc_nn::Network> {
+    let mut net = pipeline.build_model(data, rng).map_err(|e| e.to_string())?;
+    serialize::load_network(&mut net, Path::new(path)).map_err(|e| e.to_string())?;
+    Ok(net)
+}
+
+fn cmd_train(args: &Args) -> Result<String> {
+    let (pipeline, data, mut rng) = pipeline_of(args)?;
+    let trained = pipeline.pretrain(&data, &mut rng).map_err(|e| e.to_string())?;
+    let mut out = format!(
+        "trained {} on {}: accuracy {:.2} %\n",
+        pipeline.config().model,
+        data.tier(),
+        trained.accuracy * 100.0
+    );
+    if let Some(path) = args.get("out") {
+        let mut net = pipeline
+            .restore(&data, &trained, &mut rng)
+            .map_err(|e| e.to_string())?;
+        serialize::save_network(&mut net, Path::new(path)).map_err(|e| e.to_string())?;
+        out.push_str(&format!("saved to {path}\n"));
+    }
+    Ok(out)
+}
+
+fn cmd_prune(args: &Args) -> Result<String> {
+    let (pipeline, data, mut rng) = pipeline_of(args)?;
+    let input = args.required("in")?.to_owned();
+    let rate: usize = args.get_or("rate", 8)?;
+    let filters: f64 = args.get_or("filters", 0.0)?;
+
+    let mut dense = load_into(&pipeline, &data, &input, &mut rng)?;
+    let accuracy = evaluate_top_k(&mut dense, &data, 1, 64)
+        .map_err(|e| e.to_string())?
+        .value();
+    let trained = TrainedModel::from_network(&mut dense, accuracy);
+
+    let (report, mut net) = if filters > 0.0 {
+        pipeline
+            .run_combined_with_network(&data, &trained, rate, filters, 0.0, &mut rng)
+            .map_err(|e| e.to_string())?
+    } else {
+        pipeline
+            .run_cp_with_network(&data, &trained, rate, &mut rng)
+            .map_err(|e| e.to_string())?
+    };
+    let mut out = format!("{}\n", report.summary());
+    if let Some(path) = args.get("out") {
+        serialize::save_network(&mut net, Path::new(path)).map_err(|e| e.to_string())?;
+        out.push_str(&format!("saved pruned model to {path}\n"));
+    }
+    Ok(out)
+}
+
+fn cmd_audit(args: &Args) -> Result<String> {
+    let (pipeline, data, mut rng) = pipeline_of(args)?;
+    let input = args.required("in")?.to_owned();
+    let mut net = load_into(&pipeline, &data, &input, &mut rng)?;
+    let skip = pipeline.skip_list(&mut net);
+    let audit = tinyadc::NetworkAudit::of(&mut net, pipeline.config().xbar, &skip)
+        .map_err(|e| e.to_string())?;
+    Ok(format!(
+        "{}\nbaseline ADC: {} bits; worst-case reduction: -{} bits\n",
+        audit.to_text_table().render(),
+        audit.baseline_adc_bits,
+        audit.adc_bits_reduction()
+    ))
+}
+
+fn cmd_cost(args: &Args) -> Result<String> {
+    let (pipeline, data, mut rng) = pipeline_of(args)?;
+    let input = args.required("in")?.to_owned();
+    let mut net = load_into(&pipeline, &data, &input, &mut rng)?;
+    let skip = pipeline.skip_list(&mut net);
+    let audit = tinyadc::NetworkAudit::of(&mut net, pipeline.config().xbar, &skip)
+        .map_err(|e| e.to_string())?;
+    let model = tinyadc_hw::accelerator::AcceleratorModel::default();
+    let design = audit.to_design();
+    let baseline = audit.to_baseline_design();
+    let cost = model.cost(&design).map_err(|e| e.to_string())?;
+    let normalized = model
+        .normalized(&design, &baseline)
+        .map_err(|e| e.to_string())?;
+    Ok(format!(
+        "arrays: {}  tiles: {}\npower: {:.1} mW (x{:.3} of baseline)\narea: {:.4} mm^2 (x{:.3} of baseline)\nADC share: {:.0}% power, {:.0}% area\n",
+        cost.arrays,
+        cost.tiles,
+        cost.power_mw,
+        normalized.power,
+        cost.area_mm2,
+        normalized.area,
+        cost.adc_power_fraction() * 100.0,
+        cost.adc_area_fraction() * 100.0,
+    ))
+}
+
+fn cmd_faults(args: &Args) -> Result<String> {
+    let (pipeline, data, mut rng) = pipeline_of(args)?;
+    let input = args.required("in")?.to_owned();
+    let rate: f64 = args.get_or("rate", 0.10)?;
+    let seeds: u64 = args.get_or("seeds", 3)?;
+
+    let mut clean = load_into(&pipeline, &data, &input, &mut rng)?;
+    let base = evaluate_top_k(&mut clean, &data, 1, 64)
+        .map_err(|e| e.to_string())?
+        .value();
+    let snapshot = clean.snapshot();
+    let model = FaultModel::from_overall_rate(rate).map_err(|e| e.to_string())?;
+    let mut acc_sum = 0.0;
+    for s in 0..seeds {
+        let mut build_rng = SeededRng::new(1000 + s);
+        let mut net = pipeline
+            .build_model(&data, &mut build_rng)
+            .map_err(|e| e.to_string())?;
+        net.restore(&snapshot);
+        let mut fault_rng = SeededRng::new(2000 + s);
+        apply_crossbar_effects(&mut net, pipeline.config().xbar, Some(&model), &[], &mut fault_rng)
+            .map_err(|e| e.to_string())?;
+        acc_sum += evaluate_top_k(&mut net, &data, 1, 64)
+            .map_err(|e| e.to_string())?
+            .value();
+    }
+    let faulted = acc_sum / seeds as f64;
+    Ok(format!(
+        "fault-free accuracy: {:.2} %\nat {:.0}% stuck-at faults ({} seeds): {:.2} % (drop {:.2} points)\n",
+        base * 100.0,
+        rate * 100.0,
+        seeds,
+        faulted * 100.0,
+        (base - faulted) * 100.0
+    ))
+}
+
+fn cmd_adc(args: &Args) -> Result<String> {
+    let baseline: u32 = args.get_or("bits", 9)?;
+    let model = SarAdcModel::default();
+    let mut table = TextTable::new(&["Bits", "Power (mW)", "Area (mm^2)", "vs baseline power"]);
+    for bits in 1..=baseline.max(2) {
+        table.row_owned(vec![
+            bits.to_string(),
+            format!("{:.4}", model.power_mw(bits)),
+            format!("{:.6}", model.area_mm2(bits)),
+            format!("{:.3}", model.power_ratio(bits, baseline)),
+        ]);
+    }
+    Ok(table.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(str::to_owned)).unwrap()
+    }
+
+    #[test]
+    fn unknown_command_shows_usage() {
+        let err = run(&args("frobnicate")).unwrap_err();
+        assert!(err.contains("unknown command"));
+        assert!(err.contains("USAGE"));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run(&args("help")).unwrap();
+        assert!(out.contains("tinyadc"));
+        assert!(out.contains("prune"));
+    }
+
+    #[test]
+    fn adc_command_is_pure() {
+        let out = run(&args("adc --bits 9")).unwrap();
+        assert!(out.contains("Bits"));
+        assert!(out.lines().count() > 9);
+    }
+
+    #[test]
+    fn tier_and_model_validation() {
+        assert!(tier_of(&args("x --tier cifar10")).is_ok());
+        assert!(tier_of(&args("x --tier mnist")).is_err());
+        assert!(model_of(&args("x --model vgg16")).is_ok());
+        assert!(model_of(&args("x --model alexnet")).is_err());
+    }
+
+    #[test]
+    fn train_then_prune_then_audit_round_trip() {
+        let dir = std::env::temp_dir().join("tinyadc_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let dense = dir.join("dense.tadc");
+        let pruned = dir.join("pruned.tadc");
+        let common = "--tier cifar10 --model resnet18 --width 4 --train 60 --test 30 \
+                      --epochs 1 --admm-epochs 1 --retrain-epochs 1 --rows 8 --cols 8";
+        let out = run(&args(&format!(
+            "train {common} --out {}",
+            dense.display()
+        )))
+        .unwrap();
+        assert!(out.contains("accuracy"));
+        let out = run(&args(&format!(
+            "prune {common} --in {} --rate 4 --out {}",
+            dense.display(),
+            pruned.display()
+        )))
+        .unwrap();
+        assert!(out.contains("ADC -2 bits"), "{out}");
+        let out = run(&args(&format!(
+            "audit {common} --in {}",
+            pruned.display()
+        )))
+        .unwrap();
+        assert!(out.contains("baseline ADC: 5 bits"), "{out}");
+        assert!(out.contains("-2 bits"), "{out}");
+        let out = run(&args(&format!("cost {common} --in {}", pruned.display()))).unwrap();
+        assert!(out.contains("ADC share"), "{out}");
+        std::fs::remove_file(&dense).ok();
+        std::fs::remove_file(&pruned).ok();
+    }
+}

@@ -1,0 +1,27 @@
+//! # tinyadc-cli
+//!
+//! Command-line interface to the TinyADC framework: train, prune, audit,
+//! cost and fault-test models from the shell without writing Rust.
+//!
+//! ```text
+//! tinyadc train --tier cifar10 --model resnet18 --epochs 8 --out dense.tadc
+//! tinyadc prune --tier cifar10 --model resnet18 --in dense.tadc --rate 8 --out pruned.tadc
+//! tinyadc audit --tier cifar10 --model resnet18 --in pruned.tadc
+//! tinyadc cost  --tier cifar10 --model resnet18 --in pruned.tadc
+//! tinyadc faults --tier cifar10 --model resnet18 --in pruned.tadc --rate 0.10
+//! tinyadc adc   --bits 9
+//! ```
+//!
+//! The library half hosts the argument parser and command implementations
+//! so they are unit-testable; the `tinyadc` binary is a thin `main`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{Args, ParseArgsError};
+
+/// CLI result alias (errors are rendered to the user as plain strings).
+pub type Result<T> = std::result::Result<T, String>;

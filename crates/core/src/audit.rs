@@ -1,0 +1,264 @@
+//! Network-level crossbar audits: the bridge between a (pruned) network
+//! and the hardware cost model.
+
+use crate::Result;
+use tinyadc_hw::accelerator::LayerHw;
+use tinyadc_nn::{Network, Param};
+use tinyadc_xbar::mapping::MappedLayer;
+use tinyadc_xbar::tile::XbarConfig;
+
+/// Audit of one prunable layer as mapped onto crossbars.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerAudit {
+    /// Parameter name.
+    pub name: String,
+    /// 2-D matrix extents `[rows, cols]`.
+    pub matrix_rows: usize,
+    /// Matrix columns.
+    pub matrix_cols: usize,
+    /// Logical crossbar blocks (weight tiles).
+    pub blocks: usize,
+    /// Physical arrays (blocks × polarities × slices).
+    pub arrays: usize,
+    /// Worst-case activated rows per column (what sizes the ADC).
+    pub activated_rows: usize,
+    /// Required ADC resolution per the paper's Eq. 1.
+    pub required_adc_bits: u32,
+    /// Fraction of weights that are exactly zero.
+    pub sparsity: f64,
+    /// Whether this layer is skipped by pruning (first layer).
+    pub skipped: bool,
+}
+
+/// Whole-network audit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct NetworkAudit {
+    /// Per-layer audits, in visitation order.
+    pub layers: Vec<LayerAudit>,
+    /// The baseline ADC resolution (unpruned design on full crossbars).
+    pub baseline_adc_bits: u32,
+}
+
+impl NetworkAudit {
+    /// Audits every prunable layer of `net` under the given crossbar
+    /// configuration. Layers named in `skip` are marked skipped: they are
+    /// still mapped (and counted) but always use the baseline ADC.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping errors.
+    pub fn of(net: &mut Network, config: XbarConfig, skip: &[String]) -> Result<Self> {
+        let baseline_adc_bits = tinyadc_xbar::adc::required_adc_bits_paper(
+            config.dac_bits,
+            config.cell.bits_per_cell,
+            config.shape.rows(),
+        );
+        let mut layers = Vec::new();
+        let mut failure = None;
+        net.visit_params(&mut |p: &mut Param| {
+            if failure.is_some() || !p.kind.is_prunable() {
+                return;
+            }
+            match MappedLayer::from_param(&p.value, p.kind, config) {
+                Ok(mapped) => {
+                    let (rows, cols) = mapped.matrix_dims();
+                    let skipped = skip.iter().any(|s| s == &p.name);
+                    layers.push(LayerAudit {
+                        name: p.name.clone(),
+                        matrix_rows: rows,
+                        matrix_cols: cols,
+                        blocks: mapped.block_count(),
+                        arrays: mapped.array_count(),
+                        activated_rows: mapped.activated_rows(),
+                        required_adc_bits: if skipped {
+                            baseline_adc_bits
+                        } else {
+                            mapped.required_adc_bits()
+                        },
+                        sparsity: p.value.sparsity(),
+                        skipped,
+                    });
+                }
+                Err(e) => failure = Some(e),
+            }
+        });
+        match failure {
+            Some(e) => Err(e.into()),
+            None => Ok(Self {
+                layers,
+                baseline_adc_bits,
+            }),
+        }
+    }
+
+    /// The ADC bits reduction achieved by the non-skipped layers: the
+    /// paper's Table I column (uniform pruning ⇒ uniform reduction).
+    /// Returns the *minimum* reduction across pruned layers (worst case).
+    pub fn adc_bits_reduction(&self) -> u32 {
+        self.layers
+            .iter()
+            .filter(|l| !l.skipped)
+            .map(|l| self.baseline_adc_bits.saturating_sub(l.required_adc_bits))
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Total logical blocks.
+    pub fn total_blocks(&self) -> usize {
+        self.layers.iter().map(|l| l.blocks).sum()
+    }
+
+    /// Total physical arrays.
+    pub fn total_arrays(&self) -> usize {
+        self.layers.iter().map(|l| l.arrays).sum()
+    }
+
+    /// Builds the hardware-model design vector from this audit.
+    pub fn to_design(&self) -> Vec<LayerHw> {
+        self.layers
+            .iter()
+            .map(|l| LayerHw {
+                name: l.name.clone(),
+                arrays: l.arrays,
+                adc_bits: l.required_adc_bits.max(1),
+            })
+            .collect()
+    }
+
+    /// Renders the audit as a text table (one row per layer).
+    pub fn to_text_table(&self) -> crate::report::TextTable {
+        let mut table = crate::report::TextTable::new(&[
+            "Layer",
+            "Matrix",
+            "Blocks",
+            "Arrays",
+            "Active rows",
+            "ADC bits",
+            "Sparsity",
+        ]);
+        for l in &self.layers {
+            table.row_owned(vec![
+                l.name.clone(),
+                format!("{}x{}", l.matrix_rows, l.matrix_cols),
+                l.blocks.to_string(),
+                l.arrays.to_string(),
+                l.activated_rows.to_string(),
+                format!(
+                    "{}{}",
+                    l.required_adc_bits,
+                    if l.skipped { " (skipped)" } else { "" }
+                ),
+                format!("{:.1}%", l.sparsity * 100.0),
+            ]);
+        }
+        table
+    }
+
+    /// Builds the non-pruned baseline design: same array counts, baseline
+    /// ADC everywhere.
+    pub fn to_baseline_design(&self) -> Vec<LayerHw> {
+        self.layers
+            .iter()
+            .map(|l| LayerHw {
+                name: l.name.clone(),
+                arrays: l.arrays,
+                adc_bits: self.baseline_adc_bits,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinyadc_nn::layers::{Conv2d, GlobalAvgPool, Linear, Sequential};
+    use tinyadc_nn::ParamKind;
+    use tinyadc_prune::{CpConstraint, CrossbarShape};
+    use tinyadc_tensor::rng::SeededRng;
+
+    fn cfg() -> XbarConfig {
+        XbarConfig {
+            shape: CrossbarShape::new(8, 8).unwrap(),
+            ..XbarConfig::paper_default()
+        }
+    }
+
+    fn demo_net(rng: &mut SeededRng) -> Network {
+        let stack = Sequential::new("n")
+            .with(Conv2d::new("conv1", 3, 8, 3, 1, 1, false, rng))
+            .with(Conv2d::new("conv2", 8, 8, 3, 1, 1, false, rng))
+            .with(GlobalAvgPool::new("gap"))
+            .with(Linear::new("head", 8, 4, true, rng));
+        Network::new("n", stack, vec![3, 8, 8], 4)
+    }
+
+    #[test]
+    fn audit_covers_all_prunable_layers() {
+        let mut rng = SeededRng::new(1);
+        let mut net = demo_net(&mut rng);
+        let audit = NetworkAudit::of(&mut net, cfg(), &[]).unwrap();
+        assert_eq!(audit.layers.len(), 3);
+        // 8-row crossbar, 1-bit DAC, 2-bit MLC -> baseline 5 bits.
+        assert_eq!(audit.baseline_adc_bits, 5);
+        // Dense layers activate full blocks.
+        assert_eq!(audit.adc_bits_reduction(), 0);
+    }
+
+    #[test]
+    fn cp_pruned_network_audits_reduced_bits() {
+        let mut rng = SeededRng::new(2);
+        let mut net = demo_net(&mut rng);
+        let cp = CpConstraint::new(CrossbarShape::new(8, 8).unwrap(), 2).unwrap();
+        net.visit_params(&mut |p| {
+            if p.kind.is_prunable() && p.name != "conv1.weight" {
+                p.value = cp.project_param(&p.value, p.kind).unwrap();
+            }
+        });
+        let audit = NetworkAudit::of(&mut net, cfg(), &["conv1.weight".into()]).unwrap();
+        // l=2 active rows -> 1+2+1-1 = 3 bits; reduction = 5-3 = 2.
+        assert_eq!(audit.adc_bits_reduction(), 2);
+        let skipped = audit.layers.iter().find(|l| l.skipped).unwrap();
+        assert_eq!(skipped.required_adc_bits, 5);
+    }
+
+    #[test]
+    fn design_vectors_align() {
+        let mut rng = SeededRng::new(3);
+        let mut net = demo_net(&mut rng);
+        let audit = NetworkAudit::of(&mut net, cfg(), &[]).unwrap();
+        let design = audit.to_design();
+        let baseline = audit.to_baseline_design();
+        assert_eq!(design.len(), baseline.len());
+        for (d, b) in design.iter().zip(&baseline) {
+            assert_eq!(d.arrays, b.arrays);
+            assert_eq!(b.adc_bits, 5);
+        }
+        assert_eq!(
+            audit.total_arrays(),
+            design.iter().map(|l| l.arrays).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn text_table_has_one_row_per_layer() {
+        let mut rng = SeededRng::new(5);
+        let mut net = demo_net(&mut rng);
+        let audit = NetworkAudit::of(&mut net, cfg(), &["conv1.weight".into()]).unwrap();
+        let table = audit.to_text_table();
+        assert_eq!(table.len(), audit.layers.len());
+        let rendered = table.render();
+        assert!(rendered.contains("conv2.weight"));
+        assert!(rendered.contains("(skipped)"));
+    }
+
+    #[test]
+    fn audit_reports_param_kind_shapes() {
+        let mut rng = SeededRng::new(4);
+        let mut net = demo_net(&mut rng);
+        let audit = NetworkAudit::of(&mut net, cfg(), &[]).unwrap();
+        let conv2 = audit.layers.iter().find(|l| l.name == "conv2.weight").unwrap();
+        assert_eq!((conv2.matrix_rows, conv2.matrix_cols), (72, 8));
+        assert_eq!(conv2.blocks, 9);
+        let _ = ParamKind::ConvWeight; // layout convention documented there
+    }
+}

@@ -1,0 +1,173 @@
+//! Pipeline configuration.
+
+use crate::{Result, TinyAdcError};
+use tinyadc_nn::optim::LrSchedule;
+use tinyadc_nn::train::TrainConfig;
+use tinyadc_prune::admm::AdmmConfig;
+use tinyadc_prune::CrossbarShape;
+use tinyadc_xbar::tile::XbarConfig;
+
+/// Which model family the pipeline should build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// Scaled-down ResNet-18 (basic blocks), see `tinyadc_nn::models`.
+    ResNetS,
+    /// Scaled-down ResNet-50 (bottleneck blocks).
+    ResNetM,
+    /// Scaled-down VGG-16 (plain conv stacks).
+    VggS,
+}
+
+impl ModelKind {
+    /// The name the paper uses for the corresponding full-size network.
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            Self::ResNetS => "ResNet18",
+            Self::ResNetM => "ResNet50",
+            Self::VggS => "VGG16",
+        }
+    }
+}
+
+impl std::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.paper_name())
+    }
+}
+
+/// End-to-end pipeline configuration: model, crossbar substrate, training
+/// stage budgets, ADMM hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Which model to build.
+    pub model: ModelKind,
+    /// Channel width of the scaled-down model.
+    pub model_width: usize,
+    /// Crossbar substrate configuration.
+    pub xbar: XbarConfig,
+    /// Dense pre-training budget.
+    pub pretrain: TrainConfig,
+    /// ADMM training budget (Eq. 4 epochs).
+    pub admm_train: TrainConfig,
+    /// Masked-retraining budget.
+    pub retrain: TrainConfig,
+    /// ADMM hyper-parameters.
+    pub admm: AdmmConfig,
+    /// Skip the first conv layer, as the paper does.
+    pub skip_first_layer: bool,
+}
+
+impl PipelineConfig {
+    /// The experiment-scale configuration used by the benchmark harness.
+    ///
+    /// The crossbar is scaled down alongside the models: 16 rows (so CP
+    /// rates up to 16× are expressible, with a 6-bit baseline ADC per
+    /// Eq. 1) × 8 columns (so crossbar-size-aware structured pruning can
+    /// remove filter groups of 8 on the width-8 scaled models). The
+    /// mapping to the paper's 128×128 arrays is documented in
+    /// EXPERIMENTS.md.
+    pub fn experiment_default() -> Self {
+        let xbar = XbarConfig {
+            shape: CrossbarShape::new(16, 8).expect("static shape"),
+            ..XbarConfig::paper_default()
+        };
+        Self {
+            model: ModelKind::ResNetS,
+            model_width: 8,
+            xbar,
+            pretrain: TrainConfig {
+                epochs: 6,
+                schedule: LrSchedule::Cosine {
+                    total_epochs: 6,
+                    min_lr: 1e-3,
+                },
+                ..TrainConfig::default()
+            },
+            admm_train: TrainConfig {
+                epochs: 4,
+                lr: 0.02,
+                schedule: LrSchedule::Constant,
+                ..TrainConfig::default()
+            },
+            retrain: TrainConfig {
+                epochs: 4,
+                lr: 0.01,
+                schedule: LrSchedule::Cosine {
+                    total_epochs: 4,
+                    min_lr: 5e-4,
+                },
+                ..TrainConfig::default()
+            },
+            admm: AdmmConfig {
+                rho: 5e-3,
+                update_every_epochs: 1,
+            },
+            skip_first_layer: true,
+        }
+    }
+
+    /// A minimal configuration for fast tests (tiny model, one epoch per
+    /// stage, 8-row crossbars).
+    pub fn quick_test() -> Self {
+        let xbar = XbarConfig {
+            shape: CrossbarShape::new(8, 8).expect("static shape"),
+            ..XbarConfig::paper_default()
+        };
+        let one_epoch = TrainConfig {
+            epochs: 1,
+            batch_size: 32,
+            ..TrainConfig::default()
+        };
+        Self {
+            model: ModelKind::ResNetS,
+            model_width: 4,
+            xbar,
+            pretrain: one_epoch.clone(),
+            admm_train: one_epoch.clone(),
+            retrain: one_epoch,
+            admm: AdmmConfig::default(),
+            skip_first_layer: true,
+        }
+    }
+
+    /// Validates cross-field consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TinyAdcError::InvalidConfig`] for a zero model width or
+    /// an invalid crossbar configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.model_width == 0 {
+            return Err(TinyAdcError::InvalidConfig(
+                "model_width must be positive".into(),
+            ));
+        }
+        self.xbar.validate()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid() {
+        assert!(PipelineConfig::experiment_default().validate().is_ok());
+        assert!(PipelineConfig::quick_test().validate().is_ok());
+    }
+
+    #[test]
+    fn zero_width_rejected() {
+        let mut cfg = PipelineConfig::quick_test();
+        cfg.model_width = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn model_kind_names() {
+        assert_eq!(ModelKind::ResNetS.paper_name(), "ResNet18");
+        assert_eq!(ModelKind::ResNetM.to_string(), "ResNet50");
+        assert_eq!(ModelKind::VggS.paper_name(), "VGG16");
+    }
+}

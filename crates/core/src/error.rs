@@ -1,0 +1,95 @@
+use std::fmt;
+
+/// Error type for the TinyADC framework: wraps every substrate error.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TinyAdcError {
+    /// Tensor substrate failure.
+    Tensor(tinyadc_tensor::TensorError),
+    /// Network/training failure.
+    Nn(tinyadc_nn::NnError),
+    /// Pruning failure.
+    Prune(tinyadc_prune::PruneError),
+    /// Crossbar simulation failure.
+    Xbar(tinyadc_xbar::XbarError),
+    /// Hardware-model failure.
+    Hw(tinyadc_hw::HwError),
+    /// Framework-level configuration problem.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for TinyAdcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Tensor(e) => write!(f, "{e}"),
+            Self::Nn(e) => write!(f, "{e}"),
+            Self::Prune(e) => write!(f, "{e}"),
+            Self::Xbar(e) => write!(f, "{e}"),
+            Self::Hw(e) => write!(f, "{e}"),
+            Self::InvalidConfig(msg) => write!(f, "invalid pipeline configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TinyAdcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Tensor(e) => Some(e),
+            Self::Nn(e) => Some(e),
+            Self::Prune(e) => Some(e),
+            Self::Xbar(e) => Some(e),
+            Self::Hw(e) => Some(e),
+            Self::InvalidConfig(_) => None,
+        }
+    }
+}
+
+impl From<tinyadc_tensor::TensorError> for TinyAdcError {
+    fn from(e: tinyadc_tensor::TensorError) -> Self {
+        Self::Tensor(e)
+    }
+}
+
+impl From<tinyadc_nn::NnError> for TinyAdcError {
+    fn from(e: tinyadc_nn::NnError) -> Self {
+        Self::Nn(e)
+    }
+}
+
+impl From<tinyadc_prune::PruneError> for TinyAdcError {
+    fn from(e: tinyadc_prune::PruneError) -> Self {
+        Self::Prune(e)
+    }
+}
+
+impl From<tinyadc_xbar::XbarError> for TinyAdcError {
+    fn from(e: tinyadc_xbar::XbarError) -> Self {
+        Self::Xbar(e)
+    }
+}
+
+impl From<tinyadc_hw::HwError> for TinyAdcError {
+    fn from(e: tinyadc_hw::HwError) -> Self {
+        Self::Hw(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_substrate_errors_convert() {
+        let _: TinyAdcError = tinyadc_tensor::TensorError::InvalidArgument("a".into()).into();
+        let _: TinyAdcError = tinyadc_nn::NnError::InvalidConfig("b".into()).into();
+        let _: TinyAdcError = tinyadc_prune::PruneError::InvalidConfig("c".into()).into();
+        let _: TinyAdcError = tinyadc_xbar::XbarError::InvalidConfig("d".into()).into();
+        let _: TinyAdcError = tinyadc_hw::HwError::InvalidConfig("e".into()).into();
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TinyAdcError>();
+    }
+}

@@ -1,0 +1,56 @@
+//! # tinyadc
+//!
+//! The TinyADC framework (DATE 2021): peripheral-circuit-aware weight
+//! pruning for ReRAM-based mixed-signal DNN accelerators, reproduced in
+//! Rust end to end.
+//!
+//! This crate composes the workspace substrates into the paper's pipeline:
+//!
+//! 1. **Train** a dense model (`tinyadc-nn`).
+//! 2. **ADMM-prune** it under the column-proportional constraint — alone
+//!    or combined with crossbar-size-aware structured pruning
+//!    (`tinyadc-prune`).
+//! 3. **Retrain** with frozen masks to recover accuracy.
+//! 4. **Audit** the result on the crossbar substrate: activated rows per
+//!    column, required ADC resolution, crossbar array counts
+//!    (`tinyadc-xbar`).
+//! 5. **Cost** the resulting accelerator: area, power, normalised
+//!    reductions, throughput (`tinyadc-hw`).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use tinyadc::{PipelineConfig, Pipeline};
+//! use tinyadc_nn::data::{DatasetTier, SyntheticImageDataset};
+//! use tinyadc_tensor::rng::SeededRng;
+//!
+//! # fn main() -> Result<(), tinyadc::TinyAdcError> {
+//! let mut rng = SeededRng::new(7);
+//! let data = SyntheticImageDataset::generate(
+//!     DatasetTier::Tier1Cifar10Like, 640, 160, &mut rng)?;
+//! let config = PipelineConfig::quick_test();
+//! let report = Pipeline::new(config).run_cp(&data, 16, &mut rng)?;
+//! println!("{}", report.summary());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+
+pub mod audit;
+pub mod config;
+pub mod pipeline;
+pub mod report;
+pub mod sweep;
+
+pub use audit::{LayerAudit, NetworkAudit};
+pub use config::PipelineConfig;
+pub use error::TinyAdcError;
+pub use pipeline::{Pipeline, Scheme, TrainedModel};
+pub use report::PipelineReport;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, TinyAdcError>;

@@ -1,0 +1,742 @@
+//! The end-to-end TinyADC pipeline (paper §III): dense training → ADMM
+//! pruning (CP, structured, or combined) → masked retraining → crossbar
+//! audit → hardware cost.
+
+use crate::audit::NetworkAudit;
+use crate::config::{ModelKind, PipelineConfig};
+use crate::report::PipelineReport;
+use crate::Result;
+use std::collections::HashMap;
+use tinyadc_hw::accelerator::{AcceleratorModel, LayerHw};
+use tinyadc_nn::data::SyntheticImageDataset;
+use tinyadc_nn::train::Trainer;
+use tinyadc_nn::{models, Network, Param};
+use tinyadc_prune::admm::{AdmmPruner, LayerConstraint};
+use tinyadc_prune::baselines;
+use tinyadc_prune::masks::{MaskHook, MaskSet};
+use tinyadc_prune::structured::{apply_structured, StructuredConfig, StructuredOutcome};
+use tinyadc_prune::CpConstraint;
+use tinyadc_tensor::rng::SeededRng;
+use tinyadc_tensor::Tensor;
+
+/// A trained dense model: weight snapshot plus its test accuracy. Restored
+/// into fresh architecture instances so several pruning runs can share one
+/// pre-training (batch-norm running statistics re-converge during the
+/// pruning epochs).
+#[derive(Debug, Clone)]
+pub struct TrainedModel {
+    snapshot: Vec<(String, Tensor)>,
+    /// Dense test accuracy (the paper's "Original Acc.").
+    pub accuracy: f64,
+}
+
+impl TrainedModel {
+    /// Wraps an existing network (e.g. one loaded from disk) as a trained
+    /// model so the pruning entry points can start from it.
+    pub fn from_network(net: &mut Network, accuracy: f64) -> Self {
+        Self {
+            snapshot: net.snapshot(),
+            accuracy,
+        }
+    }
+
+    /// The wrapped parameter snapshot.
+    pub fn snapshot(&self) -> &[(String, Tensor)] {
+        &self.snapshot
+    }
+}
+
+/// The pruning scheme a pipeline run applied.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Scheme {
+    /// Column proportional pruning only ("TinyADC w/o SP").
+    Cp {
+        /// CP rate (e.g. 16 for 16×).
+        rate: usize,
+    },
+    /// Combined structured × column-proportional ("TinyADC").
+    Combined {
+        /// CP rate.
+        cp_rate: usize,
+        /// Filter fraction targeted by structured pruning.
+        filter_fraction: f64,
+        /// Filter-shape fraction targeted by structured pruning.
+        shape_fraction: f64,
+    },
+    /// Non-structured magnitude baseline (N2N-style).
+    Magnitude {
+        /// Overall pruning rate.
+        rate: f64,
+    },
+    /// Unaligned channel-pruning baseline (DCP/SSL-style).
+    Channel {
+        /// Fraction of filters removed per layer.
+        fraction: f64,
+    },
+    /// Crossbar-size-aware structured pruning only
+    /// (Ultra-Efficient / TinyButAcc-style).
+    Structured {
+        /// Filter fraction.
+        filter_fraction: f64,
+        /// Filter-shape fraction.
+        shape_fraction: f64,
+    },
+}
+
+impl Scheme {
+    /// Short label for tables.
+    pub fn label(&self) -> String {
+        match self {
+            Self::Cp { rate } => format!("TinyADC w/o SP (CP {rate}x)"),
+            Self::Combined {
+                cp_rate,
+                filter_fraction,
+                shape_fraction,
+            } => format!(
+                "TinyADC (SP {:.0}%/{:.0}% + CP {cp_rate}x)",
+                filter_fraction * 100.0,
+                shape_fraction * 100.0
+            ),
+            Self::Magnitude { rate } => format!("Non-structured {rate:.1}x"),
+            Self::Channel { fraction } => {
+                format!("Channel pruning {:.0}%", fraction * 100.0)
+            }
+            Self::Structured {
+                filter_fraction,
+                shape_fraction,
+            } => format!(
+                "Structured {:.0}%/{:.0}%",
+                filter_fraction * 100.0,
+                shape_fraction * 100.0
+            ),
+        }
+    }
+}
+
+/// The TinyADC pipeline driver.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    config: PipelineConfig,
+}
+
+impl Pipeline {
+    /// Creates a pipeline with the given configuration.
+    pub fn new(config: PipelineConfig) -> Self {
+        Self { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Builds the configured model for a dataset.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-construction errors.
+    pub fn build_model(
+        &self,
+        data: &SyntheticImageDataset,
+        rng: &mut SeededRng,
+    ) -> Result<Network> {
+        let (dims, classes, w) = (
+            data.input_dims(),
+            data.num_classes(),
+            self.config.model_width,
+        );
+        let net = match self.config.model {
+            ModelKind::ResNetS => models::resnet_s("resnet_s", dims, classes, w, rng)?,
+            ModelKind::ResNetM => models::resnet_m("resnet_m", dims, classes, w, rng)?,
+            ModelKind::VggS => models::vgg_s("vgg_s", dims, classes, w, rng)?,
+        };
+        Ok(net)
+    }
+
+    /// Names of parameters pruning must skip (the first conv layer, per
+    /// the paper, when `skip_first_layer` is set).
+    pub fn skip_list(&self, net: &mut Network) -> Vec<String> {
+        if !self.config.skip_first_layer {
+            return Vec::new();
+        }
+        let mut first = None;
+        net.visit_params(&mut |p: &mut Param| {
+            if first.is_none() && p.kind.is_prunable() {
+                first = Some(p.name.clone());
+            }
+        });
+        first.into_iter().collect()
+    }
+
+    /// Trains a dense model and snapshots it (the paper's starting point).
+    ///
+    /// # Errors
+    ///
+    /// Propagates training errors.
+    pub fn pretrain(
+        &self,
+        data: &SyntheticImageDataset,
+        rng: &mut SeededRng,
+    ) -> Result<TrainedModel> {
+        self.config.validate()?;
+        let mut net = self.build_model(data, rng)?;
+        let trainer = Trainer::new(self.config.pretrain.clone());
+        trainer.fit(&mut net, data, rng)?;
+        let accuracy = trainer.evaluate(&mut net, data)?.value();
+        Ok(TrainedModel {
+            snapshot: net.snapshot(),
+            accuracy,
+        })
+    }
+
+    /// Instantiates a network from a [`TrainedModel`] snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-construction errors.
+    pub fn restore(
+        &self,
+        data: &SyntheticImageDataset,
+        trained: &TrainedModel,
+        rng: &mut SeededRng,
+    ) -> Result<Network> {
+        let mut net = self.build_model(data, rng)?;
+        net.restore(&trained.snapshot);
+        Ok(net)
+    }
+
+    /// Full CP-only run: pretrain, ADMM, retrain, audit
+    /// ("TinyADC w/o SP" in Table II).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any stage error.
+    pub fn run_cp(
+        &self,
+        data: &SyntheticImageDataset,
+        cp_rate: usize,
+        rng: &mut SeededRng,
+    ) -> Result<PipelineReport> {
+        let trained = self.pretrain(data, rng)?;
+        self.run_cp_from(data, &trained, cp_rate, rng)
+    }
+
+    /// CP-only run starting from an existing dense model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any stage error.
+    pub fn run_cp_from(
+        &self,
+        data: &SyntheticImageDataset,
+        trained: &TrainedModel,
+        cp_rate: usize,
+        rng: &mut SeededRng,
+    ) -> Result<PipelineReport> {
+        self.run_cp_with_network(data, trained, cp_rate, rng)
+            .map(|(report, _)| report)
+    }
+
+    /// As [`Self::run_cp_from`], additionally returning the pruned,
+    /// retrained network.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any stage error.
+    pub fn run_cp_with_network(
+        &self,
+        data: &SyntheticImageDataset,
+        trained: &TrainedModel,
+        cp_rate: usize,
+        rng: &mut SeededRng,
+    ) -> Result<(PipelineReport, Network)> {
+        let mut net = self.restore(data, trained, rng)?;
+        let skip = self.skip_list(&mut net);
+        let cp = CpConstraint::from_rate(self.config.xbar.shape, cp_rate)?;
+        let mut pruner =
+            AdmmPruner::uniform_cp(&mut net, cp, &skip, self.config.admm)?;
+        Trainer::new(self.config.admm_train.clone())
+            .fit_with_hook(&mut net, data, &mut pruner, rng)?;
+        let masks = pruner.finalize(&mut net)?;
+        let final_accuracy = self.masked_retrain(&mut net, data, masks.clone(), rng)?;
+        let report = self.report(
+            &mut net,
+            data,
+            Scheme::Cp { rate: cp_rate },
+            trained.accuracy,
+            final_accuracy,
+            &masks,
+            None,
+            &skip,
+        )?;
+        Ok((report, net))
+    }
+
+    /// Combined run: crossbar-size-aware structured pruning, then CP under
+    /// the structural mask ("TinyADC" in Table II).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any stage error.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_combined_from(
+        &self,
+        data: &SyntheticImageDataset,
+        trained: &TrainedModel,
+        cp_rate: usize,
+        filter_fraction: f64,
+        shape_fraction: f64,
+        rng: &mut SeededRng,
+    ) -> Result<PipelineReport> {
+        self.run_combined_with_network(data, trained, cp_rate, filter_fraction, shape_fraction, rng)
+            .map(|(report, _)| report)
+    }
+
+    /// As [`Self::run_combined_from`], additionally returning the pruned,
+    /// retrained network (used by the fault-tolerance study, which injects
+    /// cell faults into the finished model).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any stage error.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_combined_with_network(
+        &self,
+        data: &SyntheticImageDataset,
+        trained: &TrainedModel,
+        cp_rate: usize,
+        filter_fraction: f64,
+        shape_fraction: f64,
+        rng: &mut SeededRng,
+    ) -> Result<(PipelineReport, Network)> {
+        let mut net = self.restore(data, trained, rng)?;
+        let skip = self.skip_list(&mut net);
+        let structured_cfg = StructuredConfig {
+            xbar: self.config.xbar.shape,
+            filter_fraction,
+            shape_fraction,
+            skip: skip.clone(),
+        };
+        let outcome = apply_structured(&mut net, &structured_cfg)?;
+        let cp = CpConstraint::from_rate(self.config.xbar.shape, cp_rate)?;
+        // Combined constraint: keep the structural zeros, CP-project the
+        // survivors (paper §III-D: shape pruning precedes CP).
+        let mut constraints = HashMap::new();
+        net.visit_params(&mut |p: &mut Param| {
+            if !p.kind.is_prunable() || skip.iter().any(|s| s == &p.name) {
+                return;
+            }
+            let mask = outcome
+                .masks
+                .get(&p.name)
+                .cloned()
+                .unwrap_or_else(|| Tensor::ones(p.value.dims()));
+            constraints.insert(
+                p.name.clone(),
+                (LayerConstraint::CpMasked { cp, mask }, p.kind),
+            );
+        });
+        let mut pruner = AdmmPruner::with_constraints(&mut net, constraints, self.config.admm)?;
+        Trainer::new(self.config.admm_train.clone())
+            .fit_with_hook(&mut net, data, &mut pruner, rng)?;
+        let masks = pruner.finalize(&mut net)?;
+        let final_accuracy = self.masked_retrain(&mut net, data, masks.clone(), rng)?;
+        let report = self.report(
+            &mut net,
+            data,
+            Scheme::Combined {
+                cp_rate,
+                filter_fraction,
+                shape_fraction,
+            },
+            trained.accuracy,
+            final_accuracy,
+            &masks,
+            Some(&outcome),
+            &skip,
+        )?;
+        Ok((report, net))
+    }
+
+    /// CP run with *non-uniform* per-layer rates chosen by one-shot
+    /// sensitivity analysis (the natural extension of the paper's uniform
+    /// `l_i`): each layer gets the most aggressive rate from `candidates`
+    /// whose one-shot projection distortion stays within `budget`.
+    ///
+    /// The reported ADC reduction is the worst case across layers (the
+    /// reconfigurable-design convention of §IV-D); per-layer resolutions
+    /// appear in the audit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any stage error.
+    pub fn run_cp_sensitivity_from(
+        &self,
+        data: &SyntheticImageDataset,
+        trained: &TrainedModel,
+        candidates: &[usize],
+        budget: f64,
+        rng: &mut SeededRng,
+    ) -> Result<PipelineReport> {
+        let mut net = self.restore(data, trained, rng)?;
+        let skip = self.skip_list(&mut net);
+        let profile = tinyadc_prune::sensitivity::SensitivityProfile::measure(
+            &mut net,
+            self.config.xbar.shape,
+            candidates,
+            &skip,
+        )?;
+        let rates = profile.assign_rates(budget);
+        let constraints = tinyadc_prune::sensitivity::constraints_from_rates(
+            &mut net,
+            self.config.xbar.shape,
+            &rates,
+        )?;
+        let mut pruner = AdmmPruner::with_constraints(&mut net, constraints, self.config.admm)?;
+        Trainer::new(self.config.admm_train.clone())
+            .fit_with_hook(&mut net, data, &mut pruner, rng)?;
+        let masks = pruner.finalize(&mut net)?;
+        let final_accuracy = self.masked_retrain(&mut net, data, masks.clone(), rng)?;
+        let min_rate = rates.values().copied().min().unwrap_or(1);
+        self.report(
+            &mut net,
+            data,
+            Scheme::Cp { rate: min_rate },
+            trained.accuracy,
+            final_accuracy,
+            &masks,
+            None,
+            &skip,
+        )
+    }
+
+    /// Non-structured magnitude baseline (prune + retrain; no crossbar or
+    /// ADC savings — the paper's §II-A1 point).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any stage error.
+    pub fn run_magnitude_from(
+        &self,
+        data: &SyntheticImageDataset,
+        trained: &TrainedModel,
+        rate: f64,
+        rng: &mut SeededRng,
+    ) -> Result<PipelineReport> {
+        let mut net = self.restore(data, trained, rng)?;
+        let skip = self.skip_list(&mut net);
+        let masks = baselines::magnitude_prune(&mut net, rate, &skip)?;
+        let final_accuracy = self.masked_retrain(&mut net, data, masks.clone(), rng)?;
+        self.report(
+            &mut net,
+            data,
+            Scheme::Magnitude { rate },
+            trained.accuracy,
+            final_accuracy,
+            &masks,
+            None,
+            &skip,
+        )
+    }
+
+    /// Unaligned channel-pruning baseline (DCP-style).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any stage error.
+    pub fn run_channel_from(
+        &self,
+        data: &SyntheticImageDataset,
+        trained: &TrainedModel,
+        fraction: f64,
+        rng: &mut SeededRng,
+    ) -> Result<PipelineReport> {
+        self.run_channel_with_network(data, trained, fraction, rng)
+            .map(|(report, _)| report)
+    }
+
+    /// As [`Self::run_channel_from`], additionally returning the pruned,
+    /// retrained network.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any stage error.
+    pub fn run_channel_with_network(
+        &self,
+        data: &SyntheticImageDataset,
+        trained: &TrainedModel,
+        fraction: f64,
+        rng: &mut SeededRng,
+    ) -> Result<(PipelineReport, Network)> {
+        let mut net = self.restore(data, trained, rng)?;
+        let skip = self.skip_list(&mut net);
+        let outcome = baselines::channel_prune(&mut net, fraction, &skip)?;
+        let masks = outcome.masks.clone();
+        let final_accuracy = self.masked_retrain(&mut net, data, masks.clone(), rng)?;
+        let report = self.report(
+            &mut net,
+            data,
+            Scheme::Channel { fraction },
+            trained.accuracy,
+            final_accuracy,
+            &masks,
+            Some(&outcome),
+            &skip,
+        )?;
+        Ok((report, net))
+    }
+
+    /// Crossbar-size-aware structured-only baseline
+    /// (Ultra-Efficient / TinyButAcc-style).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any stage error.
+    pub fn run_structured_from(
+        &self,
+        data: &SyntheticImageDataset,
+        trained: &TrainedModel,
+        filter_fraction: f64,
+        shape_fraction: f64,
+        rng: &mut SeededRng,
+    ) -> Result<PipelineReport> {
+        let mut net = self.restore(data, trained, rng)?;
+        let skip = self.skip_list(&mut net);
+        let cfg = StructuredConfig {
+            xbar: self.config.xbar.shape,
+            filter_fraction,
+            shape_fraction,
+            skip: skip.clone(),
+        };
+        let outcome = apply_structured(&mut net, &cfg)?;
+        let masks = outcome.masks.clone();
+        let final_accuracy = self.masked_retrain(&mut net, data, masks.clone(), rng)?;
+        self.report(
+            &mut net,
+            data,
+            Scheme::Structured {
+                filter_fraction,
+                shape_fraction,
+            },
+            trained.accuracy,
+            final_accuracy,
+            &masks,
+            Some(&outcome),
+            &skip,
+        )
+    }
+
+    fn masked_retrain(
+        &self,
+        net: &mut Network,
+        data: &SyntheticImageDataset,
+        masks: MaskSet,
+        rng: &mut SeededRng,
+    ) -> Result<f64> {
+        masks.apply(net);
+        let mut hook = MaskHook::new(masks);
+        let trainer = Trainer::new(self.config.retrain.clone());
+        trainer.fit_with_hook(net, data, &mut hook, rng)?;
+        hook.masks().apply(net);
+        Ok(trainer.evaluate(net, data)?.value())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn report(
+        &self,
+        net: &mut Network,
+        data: &SyntheticImageDataset,
+        scheme: Scheme,
+        original_accuracy: f64,
+        final_accuracy: f64,
+        masks: &MaskSet,
+        structured: Option<&StructuredOutcome>,
+        skip: &[String],
+    ) -> Result<PipelineReport> {
+        let final_top5_accuracy =
+            tinyadc_nn::train::evaluate_top_k(net, data, 5, self.config.retrain.batch_size)?
+                .value();
+        let audit = NetworkAudit::of(net, self.config.xbar, skip)?;
+        let arrays_per_block = self.config.xbar.arrays_per_block();
+
+        // Hardware design: arrays after structural repacking (when any),
+        // at the audited per-layer ADC resolution.
+        let design: Vec<LayerHw> = audit
+            .layers
+            .iter()
+            .map(|l| {
+                let blocks = structured
+                    .and_then(|o| o.layers.iter().find(|sl| sl.name == l.name))
+                    .map(|sl| sl.crossbars_after(self.config.xbar.shape))
+                    .unwrap_or(l.blocks)
+                    .max(1);
+                LayerHw {
+                    name: l.name.clone(),
+                    arrays: blocks * arrays_per_block,
+                    adc_bits: l.required_adc_bits.max(1),
+                }
+            })
+            .collect();
+        let baseline = audit.to_baseline_design();
+
+        let hw_model = AcceleratorModel::default();
+        let normalized = hw_model.normalized(&design, &baseline)?;
+
+        let crossbar_reduction =
+            structured.map(|o| o.crossbar_reduction(self.config.xbar.shape));
+        let structured_rate = structured.map(StructuredOutcome::overall_rate);
+
+        Ok(PipelineReport {
+            model: self.config.model.paper_name().to_owned(),
+            dataset: data.tier().paper_name().to_owned(),
+            scheme,
+            original_accuracy,
+            final_accuracy,
+            final_top5_accuracy,
+            overall_pruning_rate: masks.overall_pruning_rate(),
+            structured_rate,
+            adc_bits_reduction: audit.adc_bits_reduction(),
+            crossbar_reduction,
+            normalized_power: normalized.power,
+            normalized_area: normalized.area,
+            audit,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinyadc_nn::data::DatasetTier;
+
+    fn quick_data(rng: &mut SeededRng) -> SyntheticImageDataset {
+        SyntheticImageDataset::generate(DatasetTier::Tier1Cifar10Like, 80, 40, rng).unwrap()
+    }
+
+    #[test]
+    fn cp_pipeline_end_to_end() {
+        let mut rng = SeededRng::new(11);
+        let data = quick_data(&mut rng);
+        let pipeline = Pipeline::new(PipelineConfig::quick_test());
+        let report = pipeline.run_cp(&data, 4, &mut rng).unwrap();
+        // CP 4x on 8-row crossbars leaves 2 active rows -> 3-bit ADC,
+        // baseline 5 -> reduction 2.
+        assert_eq!(report.adc_bits_reduction, 2);
+        assert!(report.overall_pruning_rate > 2.0);
+        assert!(report.normalized_power < 1.0);
+        assert!(report.normalized_area < 1.0);
+        assert!(report.crossbar_reduction.is_none());
+        assert!(report.final_accuracy >= 0.0 && report.final_accuracy <= 1.0);
+    }
+
+    #[test]
+    fn combined_pipeline_reduces_crossbars_too() {
+        let mut rng = SeededRng::new(12);
+        let data = quick_data(&mut rng);
+        let pipeline = Pipeline::new(PipelineConfig::quick_test());
+        let trained = pipeline.pretrain(&data, &mut rng).unwrap();
+        let report = pipeline
+            .run_combined_from(&data, &trained, 2, 0.5, 0.0, &mut rng)
+            .unwrap();
+        let reduction = report.crossbar_reduction.unwrap();
+        assert!(reduction > 0.0, "crossbar reduction {reduction}");
+        assert!(report.adc_bits_reduction >= 1);
+        assert!(report.overall_pruning_rate > 2.0);
+    }
+
+    #[test]
+    fn magnitude_baseline_saves_nothing_in_hardware() {
+        let mut rng = SeededRng::new(13);
+        let data = quick_data(&mut rng);
+        let pipeline = Pipeline::new(PipelineConfig::quick_test());
+        let trained = pipeline.pretrain(&data, &mut rng).unwrap();
+        let report = pipeline
+            .run_magnitude_from(&data, &trained, 8.0, &mut rng)
+            .unwrap();
+        // Non-structured zeros land anywhere: worst-case activated rows
+        // stay near the crossbar height, so ADC reduction is ~0 and there
+        // is no crossbar reduction.
+        assert!(report.adc_bits_reduction <= 1);
+        assert!(report.crossbar_reduction.is_none());
+        assert!(report.overall_pruning_rate > 6.0);
+    }
+
+    #[test]
+    fn structured_baseline_reduces_crossbars_not_adc() {
+        let mut rng = SeededRng::new(14);
+        let data = quick_data(&mut rng);
+        let pipeline = Pipeline::new(PipelineConfig::quick_test());
+        let trained = pipeline.pretrain(&data, &mut rng).unwrap();
+        let report = pipeline
+            .run_structured_from(&data, &trained, 0.5, 0.0, &mut rng)
+            .unwrap();
+        assert!(report.crossbar_reduction.unwrap() > 0.0);
+        assert_eq!(report.adc_bits_reduction, 0);
+    }
+
+    #[test]
+    fn scheme_labels() {
+        assert!(Scheme::Cp { rate: 16 }.label().contains("16x"));
+        assert!(Scheme::Magnitude { rate: 4.0 }.label().contains("4.0x"));
+        assert!(Scheme::Channel { fraction: 0.5 }.label().contains("50%"));
+    }
+
+    #[test]
+    fn sensitivity_guided_pipeline_runs() {
+        let mut rng = SeededRng::new(15);
+        let data = quick_data(&mut rng);
+        let pipeline = Pipeline::new(PipelineConfig::quick_test());
+        let trained = pipeline.pretrain(&data, &mut rng).unwrap();
+        let report = pipeline
+            .run_cp_sensitivity_from(&data, &trained, &[2, 4], 0.9, &mut rng)
+            .unwrap();
+        // Every pruned layer got one of the candidate rates, so the
+        // worst-case reduction corresponds to at least rate 2.
+        assert!(report.adc_bits_reduction >= 1);
+        assert!(report.overall_pruning_rate > 1.5);
+        // Per-layer bits differ at most between the two candidate rates.
+        let bits: Vec<u32> = report
+            .audit
+            .layers
+            .iter()
+            .filter(|l| !l.skipped)
+            .map(|l| l.required_adc_bits)
+            .collect();
+        assert!(!bits.is_empty());
+        let (lo, hi) = (
+            *bits.iter().min().unwrap(),
+            *bits.iter().max().unwrap(),
+        );
+        assert!(hi - lo <= 1, "candidate rates 2x/4x differ by one bit");
+    }
+
+    #[test]
+    fn channel_baseline_runs_and_reports_structure() {
+        let mut rng = SeededRng::new(16);
+        let data = quick_data(&mut rng);
+        let pipeline = Pipeline::new(PipelineConfig::quick_test());
+        let trained = pipeline.pretrain(&data, &mut rng).unwrap();
+        let report = pipeline
+            .run_channel_from(&data, &trained, 0.5, &mut rng)
+            .unwrap();
+        assert!(report.crossbar_reduction.is_some());
+        assert!(report.structured_rate.unwrap() > 1.0);
+        assert_eq!(report.adc_bits_reduction, 0);
+    }
+
+    #[test]
+    fn skip_first_layer_toggle() {
+        let mut rng = SeededRng::new(17);
+        let data = quick_data(&mut rng);
+        let mut config = PipelineConfig::quick_test();
+        config.skip_first_layer = false;
+        let pipeline = Pipeline::new(config);
+        let mut net = pipeline.build_model(&data, &mut rng).unwrap();
+        assert!(pipeline.skip_list(&mut net).is_empty());
+
+        let pipeline2 = Pipeline::new(PipelineConfig::quick_test());
+        let mut net2 = pipeline2.build_model(&data, &mut rng).unwrap();
+        let skip = pipeline2.skip_list(&mut net2);
+        assert_eq!(skip, vec!["stem.conv.weight".to_string()]);
+    }
+}

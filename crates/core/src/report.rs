@@ -1,0 +1,232 @@
+//! Pipeline reports and plain-text table rendering for the experiment
+//! harness.
+
+use crate::audit::NetworkAudit;
+use crate::pipeline::Scheme;
+
+/// The outcome of one pipeline run: everything the paper's tables report.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// Model name (paper naming, e.g. "ResNet18").
+    pub model: String,
+    /// Dataset name (paper naming, e.g. "CIFAR10(sim)").
+    pub dataset: String,
+    /// The pruning scheme applied.
+    pub scheme: Scheme,
+    /// Dense ("original") test accuracy, in `[0, 1]`.
+    pub original_accuracy: f64,
+    /// Test accuracy after pruning and retraining (top-1).
+    pub final_accuracy: f64,
+    /// Top-5 test accuracy after pruning and retraining (the metric the
+    /// paper reports for ImageNet).
+    pub final_top5_accuracy: f64,
+    /// Overall pruning rate (total / kept weights over pruned params).
+    pub overall_pruning_rate: f64,
+    /// Structured pruning rate, when a structured stage ran.
+    pub structured_rate: Option<f64>,
+    /// Uniform ADC resolution reduction (bits) across pruned layers.
+    pub adc_bits_reduction: u32,
+    /// Crossbar array reduction fraction, when a structured stage ran.
+    pub crossbar_reduction: Option<f64>,
+    /// Accelerator power normalised to the non-pruned design.
+    pub normalized_power: f64,
+    /// Accelerator area normalised to the non-pruned design.
+    pub normalized_area: f64,
+    /// The full per-layer crossbar audit.
+    pub audit: NetworkAudit,
+}
+
+impl PipelineReport {
+    /// One-line summary in the paper's table vocabulary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} on {} | {} | acc {:.2}% -> {:.2}% | overall {:.1}x | ADC -{} bits | \
+             xbar {} | power x{:.3} | area x{:.3}",
+            self.model,
+            self.dataset,
+            self.scheme.label(),
+            self.original_accuracy * 100.0,
+            self.final_accuracy * 100.0,
+            self.overall_pruning_rate,
+            self.adc_bits_reduction,
+            self.crossbar_reduction
+                .map(|r| format!("-{:.1}%", r * 100.0))
+                .unwrap_or_else(|| "-".into()),
+            self.normalized_power,
+            self.normalized_area,
+        )
+    }
+
+    /// Accuracy delta in percentage points (positive = improved).
+    pub fn accuracy_delta_points(&self) -> f64 {
+        (self.final_accuracy - self.original_accuracy) * 100.0
+    }
+
+    /// CSV header matching [`Self::to_csv_row`].
+    pub fn csv_header() -> &'static str {
+        "model,dataset,scheme,original_acc,final_acc,final_top5,overall_rate,\
+         structured_rate,adc_bits_reduction,crossbar_reduction,norm_power,norm_area"
+    }
+
+    /// One CSV row for plotting/post-processing.
+    pub fn to_csv_row(&self) -> String {
+        format!(
+            "{},{},{},{:.4},{:.4},{:.4},{:.4},{},{},{},{:.6},{:.6}",
+            self.model,
+            self.dataset,
+            self.scheme.label().replace(',', ";"),
+            self.original_accuracy,
+            self.final_accuracy,
+            self.final_top5_accuracy,
+            self.overall_pruning_rate,
+            self.structured_rate
+                .map(|r| format!("{r:.4}"))
+                .unwrap_or_default(),
+            self.adc_bits_reduction,
+            self.crossbar_reduction
+                .map(|r| format!("{r:.6}"))
+                .unwrap_or_default(),
+            self.normalized_power,
+            self.normalized_area,
+        )
+    }
+}
+
+/// A minimal fixed-width text-table builder used by the table/figure
+/// regenerators in `tinyadc-bench`.
+///
+/// # Example
+///
+/// ```
+/// use tinyadc::report::TextTable;
+///
+/// let mut t = TextTable::new(&["Method", "Acc"]);
+/// t.row(&["TinyADC", "94.2"]);
+/// let s = t.render();
+/// assert!(s.contains("TinyADC"));
+/// assert!(s.contains("Method"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Self {
+            header: header.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row; short rows are padded with empty cells.
+    pub fn row(&mut self, cells: &[&str]) {
+        let mut row: Vec<String> = cells.iter().map(|s| (*s).to_owned()).collect();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Appends one row of owned strings.
+    pub fn row_owned(&mut self, cells: Vec<String>) {
+        let mut row = cells;
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns and a separator rule.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate().take(cols) {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{cell:<width$}", width = widths[i]));
+            }
+            line.trim_end().to_owned()
+        };
+        let mut out = fmt_row(&self.header);
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = TextTable::new(&["A", "Bee"]);
+        t.row(&["xxxx", "y"]);
+        t.row(&["z", "wwww"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("A"));
+        assert!(lines[2].starts_with("xxxx"));
+        // Column 2 starts at the same offset in every row.
+        let off = lines[2].find('y').unwrap();
+        assert_eq!(lines[3].find('w').unwrap(), off);
+    }
+
+    #[test]
+    fn csv_row_matches_header_arity() {
+        let report = PipelineReport {
+            model: "ResNet18".into(),
+            dataset: "CIFAR10(sim)".into(),
+            scheme: Scheme::Cp { rate: 8 },
+            original_accuracy: 0.95,
+            final_accuracy: 0.94,
+            final_top5_accuracy: 0.99,
+            overall_pruning_rate: 7.9,
+            structured_rate: None,
+            adc_bits_reduction: 3,
+            crossbar_reduction: None,
+            normalized_power: 0.72,
+            normalized_area: 0.85,
+            audit: NetworkAudit::default(),
+        };
+        let header_cols = PipelineReport::csv_header().split(',').count();
+        let row_cols = report.to_csv_row().split(',').count();
+        assert_eq!(header_cols, row_cols);
+        assert!(report.to_csv_row().contains("ResNet18"));
+        assert!(report.summary().contains("CP 8x"));
+        assert!((report.accuracy_delta_points() + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::new(&["A", "B", "C"]);
+        t.row(&["1"]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+        let s = t.render();
+        assert!(s.contains('1'));
+    }
+}

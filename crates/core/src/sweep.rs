@@ -1,0 +1,173 @@
+//! Experiment sweeps: run a grid of pruning configurations from one
+//! pre-trained model and collect the reports — the machinery behind
+//! rate-sweep tables (Table I) and scheme comparisons (Table II), exposed
+//! as a library so downstream users can script their own studies.
+
+use crate::pipeline::{Pipeline, TrainedModel};
+use crate::report::PipelineReport;
+use crate::{Result, TinyAdcError};
+use tinyadc_nn::data::SyntheticImageDataset;
+use tinyadc_tensor::rng::SeededRng;
+
+/// One point of a sweep: which scheme to run with which knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepPoint {
+    /// CP-only at the given rate.
+    Cp {
+        /// Column proportional rate.
+        rate: usize,
+    },
+    /// Combined structured × CP.
+    Combined {
+        /// CP rate.
+        cp_rate: usize,
+        /// Filter fraction for the structured stage.
+        filter_fraction: f64,
+    },
+    /// Non-structured magnitude baseline.
+    Magnitude {
+        /// Overall pruning rate.
+        rate: f64,
+    },
+    /// Channel-pruning baseline.
+    Channel {
+        /// Fraction of filters removed.
+        fraction: f64,
+    },
+}
+
+/// The outcome of one sweep point (the point plus its report, or the
+/// error that stopped it — sweeps keep going past individual failures).
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// The configuration that ran.
+    pub point: SweepPoint,
+    /// Its result.
+    pub result: std::result::Result<PipelineReport, TinyAdcError>,
+}
+
+/// Runs every sweep point from the same pre-trained model, deterministic
+/// per point (`seed + index` streams).
+///
+/// Individual point failures are captured in the outcomes rather than
+/// aborting the sweep.
+///
+/// # Errors
+///
+/// Returns an error only when the sweep is empty.
+pub fn run_sweep(
+    pipeline: &Pipeline,
+    data: &SyntheticImageDataset,
+    trained: &TrainedModel,
+    points: &[SweepPoint],
+    seed: u64,
+) -> Result<Vec<SweepOutcome>> {
+    if points.is_empty() {
+        return Err(TinyAdcError::InvalidConfig("empty sweep".into()));
+    }
+    let mut outcomes = Vec::with_capacity(points.len());
+    for (i, point) in points.iter().enumerate() {
+        let mut rng = SeededRng::new(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let result = match point {
+            SweepPoint::Cp { rate } => pipeline.run_cp_from(data, trained, *rate, &mut rng),
+            SweepPoint::Combined {
+                cp_rate,
+                filter_fraction,
+            } => pipeline.run_combined_from(
+                data,
+                trained,
+                *cp_rate,
+                *filter_fraction,
+                0.0,
+                &mut rng,
+            ),
+            SweepPoint::Magnitude { rate } => {
+                pipeline.run_magnitude_from(data, trained, *rate, &mut rng)
+            }
+            SweepPoint::Channel { fraction } => {
+                pipeline.run_channel_from(data, trained, *fraction, &mut rng)
+            }
+        };
+        outcomes.push(SweepOutcome {
+            point: point.clone(),
+            result,
+        });
+    }
+    Ok(outcomes)
+}
+
+/// Renders sweep outcomes as CSV (header + one row per successful point;
+/// failures become comment lines).
+pub fn to_csv(outcomes: &[SweepOutcome]) -> String {
+    let mut out = String::from(PipelineReport::csv_header());
+    out.push('\n');
+    for outcome in outcomes {
+        match &outcome.result {
+            Ok(report) => {
+                out.push_str(&report.to_csv_row());
+                out.push('\n');
+            }
+            Err(e) => {
+                out.push_str(&format!("# {:?} failed: {e}\n", outcome.point));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PipelineConfig;
+    use tinyadc_nn::data::DatasetTier;
+
+    fn setup() -> (Pipeline, SyntheticImageDataset, TrainedModel, SeededRng) {
+        let mut rng = SeededRng::new(55);
+        let data =
+            SyntheticImageDataset::generate(DatasetTier::Tier1Cifar10Like, 80, 40, &mut rng)
+                .expect("dataset");
+        let pipeline = Pipeline::new(PipelineConfig::quick_test());
+        let trained = pipeline.pretrain(&data, &mut rng).expect("pretrain");
+        (pipeline, data, trained, rng)
+    }
+
+    #[test]
+    fn sweep_runs_every_point_and_csv_matches() {
+        let (pipeline, data, trained, _) = setup();
+        let points = vec![
+            SweepPoint::Cp { rate: 2 },
+            SweepPoint::Cp { rate: 4 },
+            SweepPoint::Magnitude { rate: 4.0 },
+        ];
+        let outcomes = run_sweep(&pipeline, &data, &trained, &points, 7).expect("sweep");
+        assert_eq!(outcomes.len(), 3);
+        assert!(outcomes.iter().all(|o| o.result.is_ok()));
+        let csv = to_csv(&outcomes);
+        assert_eq!(csv.lines().count(), 4); // header + 3 rows
+        assert!(csv.starts_with("model,dataset"));
+        // Deeper rate -> deeper ADC reduction, visible in the reports.
+        let r2 = outcomes[0].result.as_ref().unwrap().adc_bits_reduction;
+        let r4 = outcomes[1].result.as_ref().unwrap().adc_bits_reduction;
+        assert!(r4 > r2);
+    }
+
+    #[test]
+    fn sweep_survives_individual_failures() {
+        let (pipeline, data, trained, _) = setup();
+        let points = vec![
+            SweepPoint::Cp { rate: 3 }, // 3 does not divide 8 -> fails
+            SweepPoint::Cp { rate: 2 },
+        ];
+        let outcomes = run_sweep(&pipeline, &data, &trained, &points, 7).expect("sweep");
+        assert!(outcomes[0].result.is_err());
+        assert!(outcomes[1].result.is_ok());
+        let csv = to_csv(&outcomes);
+        assert!(csv.contains("# Cp { rate: 3 } failed"));
+    }
+
+    #[test]
+    fn empty_sweep_rejected() {
+        let (pipeline, data, trained, _) = setup();
+        assert!(run_sweep(&pipeline, &data, &trained, &[], 7).is_err());
+    }
+}

@@ -1,0 +1,281 @@
+//! Whole-accelerator area/power composition (paper Figs. 4 and 5).
+//!
+//! A design is described by its per-layer hardware demand: how many
+//! physical crossbar arrays the layer occupies and what ADC resolution its
+//! columns require. The model sums ADCs (one per array, ISAAC-style),
+//! array-coupled periphery, and per-tile overheads, and normalises against
+//! a baseline design exactly the way the paper's figures do.
+
+use crate::adc::SarAdcModel;
+use crate::components::ComponentCosts;
+use crate::{HwError, Result};
+
+/// One layer's hardware demand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerHw {
+    /// Layer label (for reports).
+    pub name: String,
+    /// Physical crossbar arrays this layer occupies (after structured
+    /// pruning and repacking; includes differential pairs and bit slices).
+    pub arrays: usize,
+    /// ADC resolution its ADCs must have (after CP pruning).
+    pub adc_bits: u32,
+}
+
+/// A whole accelerator: per-layer demands plus the cost models.
+#[derive(Debug, Clone)]
+pub struct AcceleratorModel {
+    /// ADC cost model.
+    pub adc: SarAdcModel,
+    /// Non-ADC component constants.
+    pub components: ComponentCosts,
+    /// The resolution of the non-pruned baseline ADC (paper: 9 bits per
+    /// Eq. 1 at 128 rows; see `tinyadc_xbar::adc` for the 8-vs-9 note).
+    pub baseline_adc_bits: u32,
+}
+
+impl Default for AcceleratorModel {
+    fn default() -> Self {
+        Self {
+            adc: SarAdcModel::default(),
+            components: ComponentCosts::default(),
+            baseline_adc_bits: 9,
+        }
+    }
+}
+
+/// Area/power totals with a component breakdown.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CostReport {
+    /// Total power, mW.
+    pub power_mw: f64,
+    /// Total area, mm².
+    pub area_mm2: f64,
+    /// ADC share of the power, mW.
+    pub adc_power_mw: f64,
+    /// ADC share of the area, mm².
+    pub adc_area_mm2: f64,
+    /// Total physical arrays.
+    pub arrays: usize,
+    /// Tiles the arrays occupy.
+    pub tiles: usize,
+}
+
+impl CostReport {
+    /// ADC fraction of total power.
+    pub fn adc_power_fraction(&self) -> f64 {
+        if self.power_mw == 0.0 {
+            0.0
+        } else {
+            self.adc_power_mw / self.power_mw
+        }
+    }
+
+    /// ADC fraction of total area.
+    pub fn adc_area_fraction(&self) -> f64 {
+        if self.area_mm2 == 0.0 {
+            0.0
+        } else {
+            self.adc_area_mm2 / self.area_mm2
+        }
+    }
+}
+
+/// Power/area of one design normalised to a baseline (the paper's Figs. 4
+/// and 5 report these ratios).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NormalizedCost {
+    /// `power(design) / power(baseline)`.
+    pub power: f64,
+    /// `area(design) / area(baseline)`.
+    pub area: f64,
+}
+
+impl NormalizedCost {
+    /// Power reduction as a percentage (paper phrasing: "62% power
+    /// reduction" = ratio 0.38).
+    pub fn power_reduction_percent(&self) -> f64 {
+        (1.0 - self.power) * 100.0
+    }
+
+    /// Area reduction as a percentage.
+    pub fn area_reduction_percent(&self) -> f64 {
+        (1.0 - self.area) * 100.0
+    }
+
+    /// Reduction factor, paper phrasing "3.5× power reduction" = 1/ratio.
+    pub fn power_reduction_factor(&self) -> f64 {
+        1.0 / self.power
+    }
+
+    /// Area reduction factor.
+    pub fn area_reduction_factor(&self) -> f64 {
+        1.0 / self.area
+    }
+}
+
+impl AcceleratorModel {
+    /// Costs a design given its per-layer demands.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::InvalidConfig`] for an empty design, zero-array
+    /// layers, or zero ADC bits.
+    pub fn cost(&self, layers: &[LayerHw]) -> Result<CostReport> {
+        self.adc.validate()?;
+        if layers.is_empty() {
+            return Err(HwError::InvalidConfig("design has no layers".into()));
+        }
+        let mut report = CostReport::default();
+        for layer in layers {
+            if layer.arrays == 0 || layer.adc_bits == 0 {
+                return Err(HwError::InvalidConfig(format!(
+                    "layer `{}` must have arrays > 0 and adc_bits > 0",
+                    layer.name
+                )));
+            }
+            let n = layer.arrays as f64;
+            let adc_p = self.adc.power_mw(layer.adc_bits) * n;
+            let adc_a = self.adc.area_mm2(layer.adc_bits) * n;
+            report.adc_power_mw += adc_p;
+            report.adc_area_mm2 += adc_a;
+            report.power_mw += adc_p
+                + self
+                    .components
+                    .per_array_power_mw(layer.adc_bits, self.baseline_adc_bits)
+                    * n;
+            report.area_mm2 += adc_a
+                + self
+                    .components
+                    .per_array_area_mm2(layer.adc_bits, self.baseline_adc_bits)
+                    * n;
+            report.arrays += layer.arrays;
+        }
+        report.tiles = self.components.tiles_for(report.arrays);
+        report.power_mw += report.tiles as f64 * self.components.tile_overhead_power_mw;
+        report.area_mm2 += report.tiles as f64 * self.components.tile_overhead_area_mm2;
+        Ok(report)
+    }
+
+    /// Costs a design and normalises it to a baseline design.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Self::cost`].
+    pub fn normalized(
+        &self,
+        design: &[LayerHw],
+        baseline: &[LayerHw],
+    ) -> Result<NormalizedCost> {
+        let d = self.cost(design)?;
+        let b = self.cost(baseline)?;
+        Ok(NormalizedCost {
+            power: d.power_mw / b.power_mw,
+            area: d.area_mm2 / b.area_mm2,
+        })
+    }
+}
+
+/// Convenience: a uniform baseline design (all layers at the baseline ADC
+/// resolution, same array counts as `design`).
+pub fn baseline_of(design: &[LayerHw], baseline_bits: u32) -> Vec<LayerHw> {
+    design
+        .iter()
+        .map(|l| LayerHw {
+            name: l.name.clone(),
+            arrays: l.arrays,
+            adc_bits: baseline_bits,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer(arrays: usize, bits: u32) -> LayerHw {
+        LayerHw {
+            name: format!("l{arrays}b{bits}"),
+            arrays,
+            adc_bits: bits,
+        }
+    }
+
+    #[test]
+    fn adc_dominates_baseline_budget() {
+        // With 9-bit ADCs per array, ADC must dominate — the paper's
+        // motivating observation (51% area / 31%+ power in ISAAC).
+        let model = AcceleratorModel::default();
+        let report = model.cost(&[layer(960, 9)]).unwrap();
+        assert!(
+            report.adc_power_fraction() > 0.4,
+            "adc power fraction {}",
+            report.adc_power_fraction()
+        );
+        assert!(
+            report.adc_area_fraction() > 0.4,
+            "adc area fraction {}",
+            report.adc_area_fraction()
+        );
+    }
+
+    #[test]
+    fn cp_pruning_shrinks_cost_without_removing_arrays() {
+        let model = AcceleratorModel::default();
+        let design = vec![layer(960, 4)]; // -5 bits from CP 32x
+        let baseline = vec![layer(960, 9)];
+        let n = model.normalized(&design, &baseline).unwrap();
+        assert!(n.power < 0.75, "power ratio {}", n.power);
+        assert!(n.area < 0.75, "area ratio {}", n.area);
+        assert!(n.power_reduction_percent() > 25.0);
+    }
+
+    #[test]
+    fn structured_pruning_shrinks_via_array_count() {
+        let model = AcceleratorModel::default();
+        let design = vec![layer(480, 9)];
+        let baseline = vec![layer(960, 9)];
+        let n = model.normalized(&design, &baseline).unwrap();
+        assert!(n.power < 0.6);
+        assert!(n.area < 0.6);
+    }
+
+    #[test]
+    fn combined_beats_either_alone() {
+        let model = AcceleratorModel::default();
+        let baseline = vec![layer(960, 9)];
+        let cp_only = model.normalized(&[layer(960, 5)], &baseline).unwrap();
+        let sp_only = model.normalized(&[layer(480, 9)], &baseline).unwrap();
+        let combined = model.normalized(&[layer(480, 5)], &baseline).unwrap();
+        assert!(combined.power < cp_only.power);
+        assert!(combined.power < sp_only.power);
+        assert!(combined.area < cp_only.area.min(sp_only.area));
+    }
+
+    #[test]
+    fn reduction_factor_arithmetic() {
+        let n = NormalizedCost {
+            power: 0.25,
+            area: 0.5,
+        };
+        assert!((n.power_reduction_factor() - 4.0).abs() < 1e-12);
+        assert!((n.area_reduction_percent() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_designs_rejected() {
+        let model = AcceleratorModel::default();
+        assert!(model.cost(&[]).is_err());
+        assert!(model.cost(&[layer(0, 9)]).is_err());
+        assert!(model.cost(&[layer(8, 0)]).is_err());
+    }
+
+    #[test]
+    fn baseline_of_preserves_arrays() {
+        let design = vec![layer(100, 4), layer(50, 6)];
+        let base = baseline_of(&design, 9);
+        assert_eq!(base[0].arrays, 100);
+        assert_eq!(base[1].arrays, 50);
+        assert!(base.iter().all(|l| l.adc_bits == 9));
+    }
+}

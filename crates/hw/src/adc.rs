@@ -1,0 +1,249 @@
+//! SAR ADC cost model.
+//!
+//! The paper computes the power and area of the same SAR ADC (the 7-bit
+//! 2.4 GS/s design of Chan et al., ISSCC'17, paper ref. 19) at different resolutions
+//! by scaling "the memory, clock, and vref buffer linearly, and the
+//! capacitive DAC exponentially" (§IV-A). This module implements exactly
+//! that scaling law:
+//!
+//! ```text
+//! cost(b) = ref · [ linear_fraction · b / b_ref
+//!                 + (1 − linear_fraction) · 2^b / 2^b_ref ]
+//! ```
+//!
+//! which makes ADC cost grow almost exponentially with resolution — the
+//! property (Murmann's ADC survey, paper ref. 15) that makes ADCs the dominant
+//! overhead of mixed-signal accelerators and column-proportional pruning
+//! worthwhile.
+
+use crate::{HwError, Result};
+
+/// Parametric SAR ADC cost model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SarAdcModel {
+    /// Resolution of the reference design, bits.
+    pub ref_bits: u32,
+    /// Power of the reference design, mW.
+    pub ref_power_mw: f64,
+    /// Area of the reference design, mm².
+    pub ref_area_mm2: f64,
+    /// Fraction of the *power* budget that scales linearly with bits
+    /// (memory + clock + vref buffer); the remainder is the capacitive
+    /// DAC, scaling as `2^b`.
+    pub linear_fraction_power: f64,
+    /// Fraction of the *area* budget that scales linearly with bits.
+    pub linear_fraction_area: f64,
+}
+
+impl Default for SarAdcModel {
+    /// Reference point: ISAAC's deployed 8-bit 1.28 GS/s SAR ADC at 32 nm
+    /// (2 mW, 0.0012 mm² per ADC — the per-IMA budget of 16 mW /
+    /// 0.0096 mm² over 8 ADCs), the same anchor the TinyADC evaluation
+    /// scales from. Component splits follow the paper's method: the
+    /// memory/clock/vref-buffer share scales linearly, the capacitive DAC
+    /// exponentially; power is split roughly evenly while area is
+    /// dominated by the capacitive DAC.
+    fn default() -> Self {
+        Self {
+            ref_bits: 8,
+            ref_power_mw: 2.0,
+            ref_area_mm2: 0.0012,
+            linear_fraction_power: 0.45,
+            linear_fraction_area: 0.30,
+        }
+    }
+}
+
+impl SarAdcModel {
+    /// Validates the model parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::InvalidConfig`] for non-positive reference
+    /// values or fractions outside `[0, 1]`.
+    pub fn validate(&self) -> Result<()> {
+        if self.ref_bits == 0 || self.ref_power_mw <= 0.0 || self.ref_area_mm2 <= 0.0 {
+            return Err(HwError::InvalidConfig(
+                "reference bits/power/area must be positive".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.linear_fraction_power)
+            || !(0.0..=1.0).contains(&self.linear_fraction_area)
+        {
+            return Err(HwError::InvalidConfig(
+                "linear fractions must be in [0, 1]".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    fn scale(&self, bits: u32, linear_fraction: f64) -> f64 {
+        let linear = bits as f64 / self.ref_bits as f64;
+        let expo = (bits as f64 - self.ref_bits as f64).exp2();
+        linear_fraction * linear + (1.0 - linear_fraction) * expo
+    }
+
+    /// Power of one ADC at `bits` resolution, mW.
+    pub fn power_mw(&self, bits: u32) -> f64 {
+        self.ref_power_mw * self.scale(bits, self.linear_fraction_power)
+    }
+
+    /// Area of one ADC at `bits` resolution, mm².
+    pub fn area_mm2(&self, bits: u32) -> f64 {
+        self.ref_area_mm2 * self.scale(bits, self.linear_fraction_area)
+    }
+
+    /// Power ratio between two resolutions (`cost(b1) / cost(b0)`).
+    pub fn power_ratio(&self, bits: u32, baseline_bits: u32) -> f64 {
+        self.power_mw(bits) / self.power_mw(baseline_bits)
+    }
+
+    /// Area ratio between two resolutions.
+    pub fn area_ratio(&self, bits: u32, baseline_bits: u32) -> f64 {
+        self.area_mm2(bits) / self.area_mm2(baseline_bits)
+    }
+}
+
+/// Alternative ADC model derived from Murmann's ADC survey (paper ref. 15): power is
+/// `FoM · 2^bits · f_s` (Walden figure of merit), i.e. *purely*
+/// exponential in resolution. Useful as an upper-bound sanity check on
+/// the component-split [`SarAdcModel`] — the paper cites the survey for
+/// the "almost exponential" growth claim.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SurveyAdcModel {
+    /// Walden figure of merit, femtojoules per conversion step.
+    pub fom_fj_per_step: f64,
+    /// Sample rate, samples per second.
+    pub sample_rate_hz: f64,
+    /// Area of the reference design, mm² (scaled as `2^b / 2^b_ref`).
+    pub ref_area_mm2: f64,
+    /// Resolution of the area reference, bits.
+    pub ref_bits: u32,
+}
+
+impl Default for SurveyAdcModel {
+    /// Anchored to the same ISAAC operating point as [`SarAdcModel`]:
+    /// an 8-bit 1.28 GS/s converter at 2 mW implies a Walden FoM of
+    /// ~6.1 fJ/step.
+    fn default() -> Self {
+        Self {
+            fom_fj_per_step: 6.1,
+            sample_rate_hz: 1.28e9,
+            ref_area_mm2: 0.0012,
+            ref_bits: 8,
+        }
+    }
+}
+
+impl SurveyAdcModel {
+    /// Power at `bits` resolution, mW: `FoM · 2^bits · f_s`.
+    pub fn power_mw(&self, bits: u32) -> f64 {
+        self.fom_fj_per_step * 1e-15 * f64::from(bits).exp2() * self.sample_rate_hz * 1e3
+    }
+
+    /// Area at `bits` resolution, mm² (exponential extrapolation).
+    pub fn area_mm2(&self, bits: u32) -> f64 {
+        self.ref_area_mm2 * (f64::from(bits) - f64::from(self.ref_bits)).exp2()
+    }
+
+    /// Energy per conversion at `bits`, picojoules.
+    pub fn energy_per_conversion_pj(&self, bits: u32) -> f64 {
+        self.fom_fj_per_step * 1e-3 * f64::from(bits).exp2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn survey_model_matches_anchor() {
+        let m = SurveyAdcModel::default();
+        // 8 bits at 1.28 GS/s with 6.1 fJ/step ~ 2 mW.
+        assert!((m.power_mw(8) - 2.0).abs() < 0.01, "{}", m.power_mw(8));
+        assert_eq!(m.area_mm2(8), 0.0012);
+    }
+
+    #[test]
+    fn survey_model_is_strictly_exponential() {
+        let m = SurveyAdcModel::default();
+        for b in 1..12 {
+            let ratio = m.power_mw(b + 1) / m.power_mw(b);
+            assert!((ratio - 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn survey_upper_bounds_component_model_savings() {
+        // Pure-exponential scaling saves at least as much per removed bit
+        // as the component-split model (which has a linear floor).
+        let survey = SurveyAdcModel::default();
+        let split = SarAdcModel::default();
+        for b in 1..9u32 {
+            let survey_ratio = survey.power_mw(b) / survey.power_mw(9);
+            let split_ratio = split.power_ratio(b, 9);
+            assert!(
+                survey_ratio <= split_ratio + 1e-9,
+                "bits {b}: {survey_ratio} vs {split_ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn survey_energy_per_conversion() {
+        let m = SurveyAdcModel::default();
+        // 8 bits: 6.1 fJ/step * 256 steps = 1.56 pJ.
+        assert!((m.energy_per_conversion_pj(8) - 1.562).abs() < 0.01);
+    }
+
+    #[test]
+    fn reference_point_is_fixed() {
+        let m = SarAdcModel::default();
+        assert!((m.power_mw(8) - 2.0).abs() < 1e-12);
+        assert!((m.area_mm2(8) - 0.0012).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cost_is_monotone_in_bits() {
+        let m = SarAdcModel::default();
+        for b in 1..12 {
+            assert!(m.power_mw(b + 1) > m.power_mw(b));
+            assert!(m.area_mm2(b + 1) > m.area_mm2(b));
+        }
+    }
+
+    #[test]
+    fn growth_is_nearly_exponential_at_high_bits() {
+        // Adding one bit at high resolution should nearly double the cost
+        // (paper §II-B: "growing almost exponentially by adding each
+        // 1-bit precision").
+        let m = SarAdcModel::default();
+        let ratio = m.power_mw(12) / m.power_mw(11);
+        assert!(ratio > 1.7, "ratio {ratio}");
+        let ratio_area = m.area_mm2(12) / m.area_mm2(11);
+        assert!(ratio_area > 1.8, "area ratio {ratio_area}");
+    }
+
+    #[test]
+    fn one_bit_reduction_saves_substantially() {
+        let m = SarAdcModel::default();
+        // 9 -> 8 bits (the paper's ImageNet combined config).
+        assert!(m.power_ratio(8, 9) < 0.75);
+        assert!(m.area_ratio(8, 9) < 0.70);
+        // 9 -> 3 bits (64x CP on CIFAR-10).
+        assert!(m.power_ratio(3, 9) < 0.15);
+    }
+
+    #[test]
+    fn validation_catches_bad_params() {
+        let mut m = SarAdcModel::default();
+        assert!(m.validate().is_ok());
+        m.linear_fraction_power = 1.5;
+        assert!(m.validate().is_err());
+        m = SarAdcModel {
+            ref_power_mw: 0.0,
+            ..SarAdcModel::default()
+        };
+        assert!(m.validate().is_err());
+    }
+}

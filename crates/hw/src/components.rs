@@ -1,0 +1,132 @@
+//! Per-component cost constants for an ISAAC-style tile at 32 nm.
+//!
+//! Constants follow the ISAAC paper's published in-situ multiply
+//! accumulate (IMA) and tile budgets — the same baseline the TinyADC
+//! paper's NVCACTI evaluation is anchored to. One IMA holds 8 crossbar
+//! arrays (128×128) with 8 ADCs; one tile holds 12 IMAs plus eDRAM,
+//! output registers, shift-and-add, sigmoid and max-pool units, bus and
+//! router share.
+//!
+//! All powers are mW, all areas mm². Values are per *one* instance of the
+//! component unless stated otherwise.
+
+/// Cost constants for the non-ADC components of an ISAAC-style design.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComponentCosts {
+    /// One 128×128 ReRAM crossbar array: power, mW.
+    pub array_power_mw: f64,
+    /// One 128×128 ReRAM crossbar array: area, mm².
+    pub array_area_mm2: f64,
+    /// 128 one-bit DAC drivers (one array's worth): power, mW.
+    pub dac_power_mw: f64,
+    /// 128 one-bit DAC drivers: area, mm².
+    pub dac_area_mm2: f64,
+    /// One array's sample-and-hold bank: power, mW.
+    pub sh_power_mw: f64,
+    /// One array's sample-and-hold bank: area, mm².
+    pub sh_area_mm2: f64,
+    /// Shift-and-add unit per array at the *baseline* ADC width: power, mW.
+    pub sa_power_mw: f64,
+    /// Shift-and-add unit per array at the baseline ADC width: area, mm².
+    pub sa_area_mm2: f64,
+    /// Input/output registers per array at the baseline width: power, mW.
+    pub reg_power_mw: f64,
+    /// Input/output registers per array at the baseline width: area, mm².
+    pub reg_area_mm2: f64,
+    /// Fixed per-tile overhead (eDRAM, bus, router share, sigmoid,
+    /// max-pool): power, mW.
+    pub tile_overhead_power_mw: f64,
+    /// Fixed per-tile overhead: area, mm².
+    pub tile_overhead_area_mm2: f64,
+    /// Crossbar arrays per tile (ISAAC: 12 IMAs × 8 arrays).
+    pub arrays_per_tile: usize,
+}
+
+impl Default for ComponentCosts {
+    /// ISAAC 32 nm budget, expressed per array / per tile:
+    ///
+    /// * IMA (8 arrays): crossbars 2.4 mW / 0.0002 mm², DACs 4 mW /
+    ///   0.00017 mm², S&H 0.01 mW / 0.00004 mm², S+A 0.2 mW /
+    ///   0.00006 mm², IR+OR 1.47 mW / 0.0029 mm².
+    /// * Tile: eDRAM 20.7 mW / 0.083 mm², bus 7 mW / 0.090 mm², router
+    ///   share 10.5 mW / 0.038 mm², sigmoid+maxpool ~2.4 mW / 0.002 mm².
+    fn default() -> Self {
+        Self {
+            array_power_mw: 2.4 / 8.0,
+            array_area_mm2: 0.0002 / 8.0,
+            dac_power_mw: 4.0 / 8.0,
+            dac_area_mm2: 0.00017 / 8.0,
+            sh_power_mw: 0.01 / 8.0,
+            sh_area_mm2: 0.00004 / 8.0,
+            sa_power_mw: 0.2 / 8.0,
+            sa_area_mm2: 0.00006 / 8.0,
+            reg_power_mw: 1.47 / 8.0,
+            reg_area_mm2: 0.0029 / 8.0,
+            tile_overhead_power_mw: 20.7 + 7.0 + 10.5 + 2.4,
+            tile_overhead_area_mm2: 0.083 + 0.090 + 0.038 + 0.002,
+            arrays_per_tile: 96,
+        }
+    }
+}
+
+impl ComponentCosts {
+    /// Per-array power of everything except the ADC, at a given ADC output
+    /// width relative to the baseline width. Shift-and-add and registers
+    /// shrink linearly with the ADC width (smaller intermediate results —
+    /// paper §IV-D); arrays, DACs and S&H are width-independent.
+    pub fn per_array_power_mw(&self, adc_bits: u32, baseline_bits: u32) -> f64 {
+        let width_scale = f64::from(adc_bits) / f64::from(baseline_bits);
+        self.array_power_mw
+            + self.dac_power_mw
+            + self.sh_power_mw
+            + (self.sa_power_mw + self.reg_power_mw) * width_scale
+    }
+
+    /// Per-array area of everything except the ADC (see
+    /// [`Self::per_array_power_mw`] for the scaling convention).
+    pub fn per_array_area_mm2(&self, adc_bits: u32, baseline_bits: u32) -> f64 {
+        let width_scale = f64::from(adc_bits) / f64::from(baseline_bits);
+        self.array_area_mm2
+            + self.dac_area_mm2
+            + self.sh_area_mm2
+            + (self.sa_area_mm2 + self.reg_area_mm2) * width_scale
+    }
+
+    /// Number of tiles required to host `arrays` crossbar arrays.
+    pub fn tiles_for(&self, arrays: usize) -> usize {
+        arrays.div_ceil(self.arrays_per_tile.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_positive() {
+        let c = ComponentCosts::default();
+        assert!(c.array_power_mw > 0.0);
+        assert!(c.tile_overhead_area_mm2 > 0.0);
+        assert_eq!(c.arrays_per_tile, 96);
+    }
+
+    #[test]
+    fn narrower_adc_shrinks_periphery() {
+        let c = ComponentCosts::default();
+        let full = c.per_array_power_mw(9, 9);
+        let small = c.per_array_power_mw(4, 9);
+        assert!(small < full);
+        // Arrays/DAC/S&H are width-independent -> reduction is partial.
+        assert!(small > full * 0.5);
+        assert!(c.per_array_area_mm2(4, 9) < c.per_array_area_mm2(9, 9));
+    }
+
+    #[test]
+    fn tile_counting_rounds_up() {
+        let c = ComponentCosts::default();
+        assert_eq!(c.tiles_for(0), 0);
+        assert_eq!(c.tiles_for(1), 1);
+        assert_eq!(c.tiles_for(96), 1);
+        assert_eq!(c.tiles_for(97), 2);
+    }
+}

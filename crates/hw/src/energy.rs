@@ -1,0 +1,185 @@
+//! Dynamic-energy model: turns crossbar activity counts into energy per
+//! inference.
+//!
+//! Per-event energies follow the same ISAAC 32 nm anchoring as
+//! [`crate::components`]; the ADC conversion energy scales with resolution
+//! through [`crate::adc::SarAdcModel`] (energy/conversion = power /
+//! sample-rate at the reference design, then the model's resolution
+//! scaling). This powers the energy-per-inference ablation that
+//! complements the paper's peak-power figures.
+
+use crate::adc::SarAdcModel;
+use crate::{HwError, Result};
+
+/// Per-event energy constants (picojoules).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyCosts {
+    /// One ADC conversion at the reference resolution, pJ.
+    pub adc_conversion_ref_pj: f64,
+    /// One DAC bit-drive event, pJ.
+    pub dac_event_pj: f64,
+    /// One crossbar column read (per cycle), pJ.
+    pub column_read_pj: f64,
+    /// One shift-and-add at the baseline ADC width, pJ.
+    pub shift_add_pj: f64,
+}
+
+impl Default for EnergyCosts {
+    /// ISAAC-anchored defaults: the 8-bit 1.28 GS/s ADC at 2 mW spends
+    /// ~1.56 pJ per conversion; DAC/array/S+A events are derived from the
+    /// per-IMA budgets over their event rates.
+    fn default() -> Self {
+        Self {
+            adc_conversion_ref_pj: 1.56,
+            dac_event_pj: 0.004,
+            column_read_pj: 0.15,
+            shift_add_pj: 0.2,
+        }
+    }
+}
+
+/// Activity counts accepted by the energy model; mirrors
+/// `tinyadc_xbar::activity::ActivityReport` without creating a dependency
+/// between the hardware and simulator crates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ActivityCounts {
+    /// ADC conversions performed.
+    pub adc_conversions: u64,
+    /// DAC bit-drive events.
+    pub dac_events: u64,
+    /// Crossbar column read-outs.
+    pub column_reads: u64,
+    /// Shift-and-add operations.
+    pub shift_adds: u64,
+}
+
+/// Energy breakdown of a workload, nanojoules.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyReport {
+    /// ADC share, nJ.
+    pub adc_nj: f64,
+    /// DAC share, nJ.
+    pub dac_nj: f64,
+    /// Array-read share, nJ.
+    pub array_nj: f64,
+    /// Shift-and-add share, nJ.
+    pub shift_add_nj: f64,
+}
+
+impl EnergyReport {
+    /// Total energy, nJ.
+    pub fn total_nj(&self) -> f64 {
+        self.adc_nj + self.dac_nj + self.array_nj + self.shift_add_nj
+    }
+
+    /// ADC fraction of the total.
+    pub fn adc_fraction(&self) -> f64 {
+        let total = self.total_nj();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.adc_nj / total
+        }
+    }
+}
+
+/// The dynamic-energy model: per-event costs plus the resolution-dependent
+/// ADC scaling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Per-event constants.
+    pub costs: EnergyCosts,
+    /// ADC cost model for resolution scaling.
+    pub adc: SarAdcModel,
+    /// Baseline ADC width the shift-add constant refers to.
+    pub baseline_adc_bits: u32,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self {
+            costs: EnergyCosts::default(),
+            adc: SarAdcModel::default(),
+            baseline_adc_bits: 9,
+        }
+    }
+}
+
+impl EnergyModel {
+    /// Energy of a workload whose ADCs run at `adc_bits` resolution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::InvalidConfig`] for a zero ADC resolution.
+    pub fn energy(&self, activity: &ActivityCounts, adc_bits: u32) -> Result<EnergyReport> {
+        if adc_bits == 0 {
+            return Err(HwError::InvalidConfig("adc_bits must be positive".into()));
+        }
+        let adc_scale = self.adc.power_ratio(adc_bits, self.adc.ref_bits);
+        let width_scale = f64::from(adc_bits) / f64::from(self.baseline_adc_bits);
+        let pj_to_nj = 1e-3;
+        Ok(EnergyReport {
+            adc_nj: activity.adc_conversions as f64
+                * self.costs.adc_conversion_ref_pj
+                * adc_scale
+                * pj_to_nj,
+            dac_nj: activity.dac_events as f64 * self.costs.dac_event_pj * pj_to_nj,
+            array_nj: activity.column_reads as f64 * self.costs.column_read_pj * pj_to_nj,
+            shift_add_nj: activity.shift_adds as f64
+                * self.costs.shift_add_pj
+                * width_scale
+                * pj_to_nj,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_activity() -> ActivityCounts {
+        ActivityCounts {
+            adc_conversions: 1_000_000,
+            dac_events: 500_000,
+            column_reads: 1_000_000,
+            shift_adds: 1_000_000,
+        }
+    }
+
+    #[test]
+    fn smaller_adc_cuts_energy() {
+        let model = EnergyModel::default();
+        let full = model.energy(&demo_activity(), 9).unwrap();
+        let small = model.energy(&demo_activity(), 4).unwrap();
+        assert!(small.adc_nj < full.adc_nj * 0.35);
+        assert!(small.total_nj() < full.total_nj());
+        // Non-ADC, non-width components are unchanged.
+        assert_eq!(small.dac_nj, full.dac_nj);
+        assert_eq!(small.array_nj, full.array_nj);
+    }
+
+    #[test]
+    fn adc_dominates_at_baseline_resolution() {
+        let model = EnergyModel::default();
+        let report = model.energy(&demo_activity(), 9).unwrap();
+        assert!(
+            report.adc_fraction() > 0.5,
+            "adc fraction {}",
+            report.adc_fraction()
+        );
+    }
+
+    #[test]
+    fn zero_activity_zero_energy() {
+        let model = EnergyModel::default();
+        let report = model.energy(&ActivityCounts::default(), 9).unwrap();
+        assert_eq!(report.total_nj(), 0.0);
+        assert_eq!(report.adc_fraction(), 0.0);
+    }
+
+    #[test]
+    fn zero_bits_rejected() {
+        let model = EnergyModel::default();
+        assert!(model.energy(&demo_activity(), 0).is_err());
+    }
+}

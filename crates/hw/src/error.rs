@@ -1,0 +1,31 @@
+use std::fmt;
+
+/// Error type for hardware-model configuration.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum HwError {
+    /// A model parameter was invalid (zero, negative, out of range).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for HwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidConfig(msg) => write!(f, "invalid hardware model configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for HwError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_no_period() {
+        let msg = HwError::InvalidConfig("x".into()).to_string();
+        assert!(msg.starts_with("invalid"));
+        assert!(!msg.ends_with('.'));
+    }
+}

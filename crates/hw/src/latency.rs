@@ -1,0 +1,165 @@
+//! First-principles latency and peak-throughput model for the bit-serial
+//! crossbar datapath.
+//!
+//! Grounds the paper's §IV-D discussion: the MVM wave time is set by the
+//! ADC — one shared SAR ADC multiplexes across a crossbar's columns, and a
+//! SAR conversion takes one bit-cycle per bit of resolution. Reducing the
+//! resolution therefore speeds the ADC up *linearly* while shrinking it
+//! almost exponentially, which is why the paper notes designers can
+//! "select smaller ADCs with higher frequency or use more ADCs per
+//! crossbar".
+//!
+//! Anchor: ISAAC's 8-bit ADC at 1.28 GS/s serving 128 columns, 8-bit
+//! inputs streamed 1 bit/cycle → a 100 ns column sweep, 800 ns per MVM
+//! wave per array.
+
+use crate::{HwError, Result};
+
+/// Timing parameters of the crossbar datapath.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyModel {
+    /// Sample rate of the ADC at the reference resolution, samples/s.
+    pub ref_sample_rate_hz: f64,
+    /// Reference ADC resolution, bits.
+    pub ref_adc_bits: u32,
+    /// Columns sharing one ADC (ISAAC: all 128 of an array).
+    pub columns_per_adc: usize,
+    /// Input bits streamed per DAC cycle.
+    pub dac_bits: u32,
+    /// Total input (activation) resolution, bits.
+    pub input_bits: u32,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        Self {
+            ref_sample_rate_hz: 1.28e9,
+            ref_adc_bits: 8,
+            columns_per_adc: 128,
+            dac_bits: 1,
+            input_bits: 8,
+        }
+    }
+}
+
+impl LatencyModel {
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::InvalidConfig`] for zero fields.
+    pub fn validate(&self) -> Result<()> {
+        if self.ref_sample_rate_hz <= 0.0
+            || self.ref_adc_bits == 0
+            || self.columns_per_adc == 0
+            || self.dac_bits == 0
+            || self.input_bits == 0
+        {
+            return Err(HwError::InvalidConfig(
+                "latency model fields must be positive".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// ADC sample rate at a given resolution: SAR conversion latency is
+    /// one internal bit-cycle per bit, so rate scales as `ref_bits/bits`.
+    pub fn sample_rate_hz(&self, adc_bits: u32) -> f64 {
+        self.ref_sample_rate_hz * f64::from(self.ref_adc_bits) / f64::from(adc_bits.max(1))
+    }
+
+    /// Time for the shared ADC to sweep every column once, seconds.
+    pub fn column_sweep_s(&self, adc_bits: u32) -> f64 {
+        self.columns_per_adc as f64 / self.sample_rate_hz(adc_bits)
+    }
+
+    /// Input streaming cycles per MVM.
+    pub fn input_cycles(&self) -> u32 {
+        self.input_bits.div_ceil(self.dac_bits)
+    }
+
+    /// Latency of one full MVM wave through one array, seconds: every
+    /// input cycle ends with a full column sweep.
+    pub fn mvm_latency_s(&self, adc_bits: u32) -> f64 {
+        f64::from(self.input_cycles()) * self.column_sweep_s(adc_bits)
+    }
+
+    /// Peak throughput of one `rows × cols` array, GOPs (multiply+add
+    /// counted as 2 ops), at the given ADC resolution.
+    pub fn array_peak_gops(&self, rows: usize, cols: usize, adc_bits: u32) -> f64 {
+        let ops = 2.0 * rows as f64 * cols as f64;
+        ops / self.mvm_latency_s(adc_bits) / 1e9
+    }
+
+    /// Throughput speed-up of dropping from `baseline_bits` to `bits`
+    /// with the *same number* of ADCs (option A of §IV-D: faster ADCs).
+    pub fn speedup_same_adcs(&self, bits: u32, baseline_bits: u32) -> f64 {
+        self.mvm_latency_s(baseline_bits) / self.mvm_latency_s(bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isaac_anchor_numbers() {
+        let m = LatencyModel::default();
+        // 128 columns at 1.28 GS/s -> 100 ns sweep; 8 cycles -> 800 ns MVM.
+        assert!((m.column_sweep_s(8) - 100e-9).abs() < 1e-12);
+        assert!((m.mvm_latency_s(8) - 800e-9).abs() < 1e-12);
+        // 128x128 array: 32768 ops / 800 ns = 40.96 GOPs.
+        assert!((m.array_peak_gops(128, 128, 8) - 40.96).abs() < 0.01);
+    }
+
+    #[test]
+    fn fewer_bits_is_faster_linearly() {
+        let m = LatencyModel::default();
+        let s = m.speedup_same_adcs(4, 8);
+        assert!((s - 2.0).abs() < 1e-9, "4-bit SAR converts 2x faster");
+        assert!(m.sample_rate_hz(4) > m.sample_rate_hz(8));
+        assert!(m.mvm_latency_s(4) < m.mvm_latency_s(8));
+    }
+
+    #[test]
+    fn wider_dac_cuts_cycles() {
+        let m1 = LatencyModel::default();
+        let m2 = LatencyModel {
+            dac_bits: 2,
+            ..LatencyModel::default()
+        };
+        assert_eq!(m1.input_cycles(), 8);
+        assert_eq!(m2.input_cycles(), 4);
+        assert!(m2.mvm_latency_s(8) < m1.mvm_latency_s(8));
+    }
+
+    #[test]
+    fn more_adcs_per_array_shortens_the_sweep() {
+        let shared = LatencyModel::default(); // 128 columns per ADC
+        let split = LatencyModel {
+            columns_per_adc: 32, // 4 ADCs per array
+            ..LatencyModel::default()
+        };
+        assert!(split.column_sweep_s(8) < shared.column_sweep_s(8));
+        assert!((shared.column_sweep_s(8) / split.column_sweep_s(8) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_scales_with_array_area() {
+        let m = LatencyModel::default();
+        let small = m.array_peak_gops(64, 64, 8);
+        let big = m.array_peak_gops(128, 128, 8);
+        assert!((big / small - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(LatencyModel::default().validate().is_ok());
+        assert!(LatencyModel {
+            columns_per_adc: 0,
+            ..LatencyModel::default()
+        }
+        .validate()
+        .is_err());
+    }
+}

@@ -1,0 +1,48 @@
+//! # tinyadc-hw
+//!
+//! Analytical area / power / throughput models for ReRAM-based
+//! mixed-signal DNN accelerators — the reproduction's stand-in for the
+//! paper's NVCACTI tool and ISAAC-derived architecture numbers
+//! (DESIGN.md §2).
+//!
+//! The model hierarchy:
+//!
+//! * [`adc::SarAdcModel`] — SAR ADC cost vs resolution, scaled exactly the
+//!   way the paper describes: memory / clock / vref parts linearly, the
+//!   capacitive DAC exponentially (§IV-A).
+//! * [`components`] — per-component constants for an ISAAC-style tile
+//!   (crossbar arrays, DACs, sample-and-hold, shift-and-add, registers,
+//!   eDRAM, router), taken from the ISAAC paper's 32 nm budget.
+//! * [`accelerator`] — composes per-layer crossbar counts and per-layer
+//!   ADC resolutions into whole-accelerator area/power, the quantity the
+//!   paper's Figs. 4 and 5 normalise.
+//! * [`throughput`] — peak-throughput comparison (paper Table III).
+//!
+//! # Example
+//!
+//! ```
+//! use tinyadc_hw::adc::SarAdcModel;
+//!
+//! let adc = SarAdcModel::default();
+//! // Dropping from 9 to 4 bits shrinks the ADC by far more than 5/9:
+//! let full = adc.power_mw(9);
+//! let small = adc.power_mw(4);
+//! assert!(small < full * 0.35);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+
+pub mod accelerator;
+pub mod adc;
+pub mod components;
+pub mod energy;
+pub mod latency;
+pub mod throughput;
+
+pub use error::HwError;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, HwError>;

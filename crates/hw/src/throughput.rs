@@ -1,0 +1,121 @@
+//! Peak-throughput comparison across architectures (paper Table III).
+//!
+//! The first four rows of Table III are published numbers the paper cites
+//! (DaDianNao, TPU, PUMA, ISAAC); the fifth — TinyADC-optimised ISAAC — is
+//! computed: the compute fabric is unchanged (same peak GOPs), but
+//! TinyADC's smaller ADCs shrink the chip's area and power, lifting
+//! GOPs/(s·mm²) and GOPs/W (§IV-D).
+
+use crate::accelerator::{AcceleratorModel, LayerHw};
+use crate::Result;
+
+/// Peak throughput figures of one architecture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchitectureThroughput {
+    /// Architecture name.
+    pub name: String,
+    /// GOPs per second per mm².
+    pub gops_per_mm2: f64,
+    /// GOPs per watt.
+    pub gops_per_w: f64,
+}
+
+/// The published peak-throughput rows the paper cites (Table III).
+pub fn published_architectures() -> Vec<ArchitectureThroughput> {
+    [
+        ("DaDianNao", 63.46, 286.4),
+        ("TPU", 40.88, 301.91),
+        ("PUMA", 338.76, 497.25),
+        ("ISAAC", 478.95, 627.5),
+    ]
+    .into_iter()
+    .map(|(name, d, e)| ArchitectureThroughput {
+        name: name.to_owned(),
+        gops_per_mm2: d,
+        gops_per_w: e,
+    })
+    .collect()
+}
+
+/// Computes the TinyADC-optimised row from the ISAAC baseline row: the
+/// same peak GOPs over a chip whose per-array ADCs drop from
+/// `baseline_bits` to `optimized_bits` resolution (and whose
+/// width-coupled periphery shrinks accordingly).
+///
+/// The reconfigurable design of §IV-D must run *every* evaluated workload,
+/// so `optimized_bits` is the worst case across workloads — ImageNet with
+/// ResNet-18 in the paper.
+///
+/// # Errors
+///
+/// Propagates cost-model errors.
+pub fn tinyadc_isaac(
+    model: &AcceleratorModel,
+    isaac: &ArchitectureThroughput,
+    optimized_bits: u32,
+) -> Result<ArchitectureThroughput> {
+    // Cost a representative single-tile slice of the fabric at both
+    // resolutions; peak ratios are scale-invariant in the array count.
+    let arrays = model.components.arrays_per_tile;
+    let base = model.cost(&[LayerHw {
+        name: "fabric".into(),
+        arrays,
+        adc_bits: model.baseline_adc_bits,
+    }])?;
+    let opt = model.cost(&[LayerHw {
+        name: "fabric".into(),
+        arrays,
+        adc_bits: optimized_bits,
+    }])?;
+    Ok(ArchitectureThroughput {
+        name: format!("TinyADC(ISAAC) @{optimized_bits}b"),
+        gops_per_mm2: isaac.gops_per_mm2 * base.area_mm2 / opt.area_mm2,
+        gops_per_w: isaac.gops_per_w * base.power_mw / opt.power_mw,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn published_rows_match_paper() {
+        let rows = published_architectures();
+        assert_eq!(rows.len(), 4);
+        let isaac = rows.iter().find(|r| r.name == "ISAAC").unwrap();
+        assert!((isaac.gops_per_mm2 - 478.95).abs() < 1e-9);
+        assert!((isaac.gops_per_w - 627.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tinyadc_improves_isaac() {
+        let model = AcceleratorModel::default();
+        let isaac = published_architectures().pop().unwrap();
+        // Worst case across workloads: ImageNet/ResNet-18 combined = -1 bit.
+        let opt = tinyadc_isaac(&model, &isaac, 8).unwrap();
+        assert!(opt.gops_per_mm2 > isaac.gops_per_mm2);
+        assert!(opt.gops_per_w > isaac.gops_per_w);
+        // The paper reports +29% density / +40% efficiency; our model
+        // should land in the same regime (double-digit improvements).
+        let density_gain = opt.gops_per_mm2 / isaac.gops_per_mm2 - 1.0;
+        let efficiency_gain = opt.gops_per_w / isaac.gops_per_w - 1.0;
+        assert!(
+            density_gain > 0.10 && density_gain < 0.60,
+            "density gain {density_gain}"
+        );
+        assert!(
+            efficiency_gain > 0.10 && efficiency_gain < 0.70,
+            "efficiency gain {efficiency_gain}"
+        );
+    }
+
+    #[test]
+    fn deeper_reduction_helps_more() {
+        let model = AcceleratorModel::default();
+        let isaac = published_architectures().pop().unwrap();
+        let at8 = tinyadc_isaac(&model, &isaac, 8).unwrap();
+        let at4 = tinyadc_isaac(&model, &isaac, 4).unwrap();
+        assert!(at4.gops_per_mm2 > at8.gops_per_mm2);
+        assert!(at4.gops_per_w > at8.gops_per_w);
+    }
+}

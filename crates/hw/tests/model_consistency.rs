@@ -1,0 +1,139 @@
+//! Consistency tests across the hardware models: the SAR component-split
+//! model, the survey model, the accelerator composition and the energy
+//! model must tell one coherent story.
+
+use tinyadc_hw::accelerator::{baseline_of, AcceleratorModel, LayerHw};
+use tinyadc_hw::adc::{SarAdcModel, SurveyAdcModel};
+use tinyadc_hw::energy::{ActivityCounts, EnergyModel};
+use tinyadc_hw::throughput::{published_architectures, tinyadc_isaac};
+
+fn design(arrays: usize, bits: u32) -> Vec<LayerHw> {
+    vec![LayerHw {
+        name: "fabric".into(),
+        arrays,
+        adc_bits: bits,
+    }]
+}
+
+#[test]
+fn power_and_area_reductions_are_monotone_in_bits() {
+    let model = AcceleratorModel::default();
+    let baseline = design(960, 9);
+    let mut last_power = 1.0f64;
+    let mut last_area = 1.0f64;
+    for bits in (3..=8).rev() {
+        let n = model.normalized(&design(960, bits), &baseline).unwrap();
+        assert!(n.power < last_power, "bits {bits}");
+        assert!(n.area < last_area, "bits {bits}");
+        last_power = n.power;
+        last_area = n.area;
+    }
+}
+
+#[test]
+fn array_count_scaling_is_exactly_proportional_without_tile_quantisation() {
+    // When both designs use whole tiles, halving arrays halves the
+    // array-coupled budget; totals differ only by tile overhead rounding.
+    let model = AcceleratorModel::default();
+    let a = model.cost(&design(960, 9)).unwrap();
+    let b = model.cost(&design(480, 9)).unwrap();
+    assert!(b.power_mw < a.power_mw * 0.55);
+    assert!(b.area_mm2 < a.area_mm2 * 0.55);
+    assert_eq!(a.tiles, 10);
+    assert_eq!(b.tiles, 5);
+}
+
+#[test]
+fn normalized_cost_of_baseline_is_unity() {
+    let model = AcceleratorModel::default();
+    let d = design(960, 9);
+    let n = model.normalized(&d, &baseline_of(&d, 9)).unwrap();
+    assert!((n.power - 1.0).abs() < 1e-12);
+    assert!((n.area - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn survey_and_split_models_agree_at_the_anchor() {
+    let split = SarAdcModel::default();
+    let survey = SurveyAdcModel::default();
+    let p_split = split.power_mw(8);
+    let p_survey = survey.power_mw(8);
+    assert!(
+        (p_split - p_survey).abs() / p_split < 0.01,
+        "{p_split} vs {p_survey}"
+    );
+}
+
+#[test]
+fn energy_and_power_models_rank_designs_identically() {
+    // For a fixed activity profile, if design A uses fewer ADC bits than
+    // design B, both the (static) accelerator power and the (dynamic)
+    // energy must rank A below B.
+    let acc = AcceleratorModel::default();
+    let energy = EnergyModel::default();
+    let activity = ActivityCounts {
+        adc_conversions: 1_000_000,
+        dac_events: 100_000,
+        column_reads: 1_000_000,
+        shift_adds: 1_000_000,
+    };
+    let mut last_power = f64::INFINITY;
+    let mut last_energy = f64::INFINITY;
+    for bits in (4..=9).rev() {
+        let p = acc.cost(&design(960, bits)).unwrap().power_mw;
+        let e = energy.energy(&activity, bits).unwrap().total_nj();
+        assert!(p < last_power && e < last_energy, "bits {bits}");
+        last_power = p;
+        last_energy = e;
+    }
+}
+
+#[test]
+fn throughput_gains_are_bounded_by_component_shares() {
+    // The TinyADC(ISAAC) row can never gain more than the ADC+periphery
+    // share of the budget allows; with a 1-bit reduction the gain must be
+    // well under 2x and above 1x.
+    let model = AcceleratorModel::default();
+    let isaac = published_architectures().pop().unwrap();
+    let opt = tinyadc_isaac(&model, &isaac, 8).unwrap();
+    let density = opt.gops_per_mm2 / isaac.gops_per_mm2;
+    let efficiency = opt.gops_per_w / isaac.gops_per_w;
+    assert!(density > 1.0 && density < 2.0);
+    assert!(efficiency > 1.0 && efficiency < 2.0);
+    assert!(
+        efficiency > density,
+        "power saves more than area at -1 bit (ADC power share is larger)"
+    );
+}
+
+#[test]
+fn paper_fig4_regime_from_pure_model() {
+    // The paper's Fig. 4 headline numbers come from CP-only designs on
+    // 128-row arrays: 32x CP (9->4 bits) gives ~62% power / ~45% area
+    // reduction; ImageNet's 4x CP (9->7 bits) gives ~37% / ~22%. The
+    // model must land in those neighbourhoods.
+    let model = AcceleratorModel::default();
+    let baseline = design(960, 9);
+    let cifar = model.normalized(&design(960, 4), &baseline).unwrap();
+    assert!(
+        (0.50..0.75).contains(&(1.0 - cifar.power)),
+        "CIFAR power reduction {}",
+        1.0 - cifar.power
+    );
+    assert!(
+        (0.30..0.60).contains(&(1.0 - cifar.area)),
+        "CIFAR area reduction {}",
+        1.0 - cifar.area
+    );
+    let imagenet = model.normalized(&design(960, 7), &baseline).unwrap();
+    assert!(
+        (0.25..0.55).contains(&(1.0 - imagenet.power)),
+        "ImageNet power reduction {}",
+        1.0 - imagenet.power
+    );
+    assert!(
+        (0.15..0.45).contains(&(1.0 - imagenet.area)),
+        "ImageNet area reduction {}",
+        1.0 - imagenet.area
+    );
+}

@@ -1,0 +1,220 @@
+//! Training-time data augmentation.
+//!
+//! Standard CIFAR-style augmentations — horizontal flip, random shifted
+//! crop (zero padding), and cutout — applied to batches on the fly. The
+//! paper's training recipes (like all CIFAR/ImageNet recipes) rely on
+//! augmentation to reach their accuracies; the synthetic datasets here
+//! bake some jitter in at generation time, and these transforms add the
+//! standard train-time randomness on top.
+
+use crate::{NnError, Result};
+use tinyadc_tensor::rng::SeededRng;
+use tinyadc_tensor::Tensor;
+
+/// Augmentation configuration; every transform is optional.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AugmentConfig {
+    /// Probability of a horizontal flip per sample.
+    pub flip_probability: f64,
+    /// Maximum shift (pixels) of the random crop; 0 disables.
+    pub max_shift: usize,
+    /// Side length of the cutout square; 0 disables.
+    pub cutout: usize,
+}
+
+impl Default for AugmentConfig {
+    fn default() -> Self {
+        Self {
+            flip_probability: 0.5,
+            max_shift: 2,
+            cutout: 4,
+        }
+    }
+}
+
+impl AugmentConfig {
+    /// No-op configuration.
+    pub fn none() -> Self {
+        Self {
+            flip_probability: 0.0,
+            max_shift: 0,
+            cutout: 0,
+        }
+    }
+}
+
+/// Applies the configured augmentations to a batch `[b, c, h, w]`,
+/// returning a new tensor. Deterministic given the RNG.
+///
+/// # Errors
+///
+/// Returns [`NnError::BadInput`] for non-rank-4 input.
+pub fn augment_batch(
+    batch: &Tensor,
+    config: &AugmentConfig,
+    rng: &mut SeededRng,
+) -> Result<Tensor> {
+    let dims = batch.dims();
+    if dims.len() != 4 {
+        return Err(NnError::BadInput {
+            layer: "augment_batch".into(),
+            expected: "[b, c, h, w]".into(),
+            actual: dims.to_vec(),
+        });
+    }
+    let (b, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    let vol = c * h * w;
+    let mut out = batch.as_slice().to_vec();
+    for bi in 0..b {
+        let sample = &mut out[bi * vol..(bi + 1) * vol];
+        if config.flip_probability > 0.0 && rng.sample_bool(config.flip_probability) {
+            flip_horizontal(sample, c, h, w);
+        }
+        if config.max_shift > 0 {
+            let s = config.max_shift as isize;
+            let dy = rng.inner_mut_range(-s, s);
+            let dx = rng.inner_mut_range(-s, s);
+            shift(sample, c, h, w, dy, dx);
+        }
+        if config.cutout > 0 {
+            let cy = rng.sample_index(h);
+            let cx = rng.sample_index(w);
+            cutout(sample, c, h, w, cy, cx, config.cutout);
+        }
+    }
+    Ok(Tensor::from_vec(out, dims)?)
+}
+
+trait RangeExt {
+    fn inner_mut_range(&mut self, lo: isize, hi: isize) -> isize;
+}
+
+impl RangeExt for SeededRng {
+    fn inner_mut_range(&mut self, lo: isize, hi: isize) -> isize {
+        let span = (hi - lo + 1) as usize;
+        lo + self.sample_index(span) as isize
+    }
+}
+
+fn flip_horizontal(sample: &mut [f32], c: usize, h: usize, w: usize) {
+    for ci in 0..c {
+        for y in 0..h {
+            let row = (ci * h + y) * w;
+            sample[row..row + w].reverse();
+        }
+    }
+}
+
+fn shift(sample: &mut [f32], c: usize, h: usize, w: usize, dy: isize, dx: isize) {
+    if dy == 0 && dx == 0 {
+        return;
+    }
+    let src = sample.to_vec();
+    for ci in 0..c {
+        for y in 0..h {
+            for x in 0..w {
+                let sy = y as isize - dy;
+                let sx = x as isize - dx;
+                sample[(ci * h + y) * w + x] =
+                    if sy >= 0 && sy < h as isize && sx >= 0 && sx < w as isize {
+                        src[(ci * h + sy as usize) * w + sx as usize]
+                    } else {
+                        0.0
+                    };
+            }
+        }
+    }
+}
+
+fn cutout(sample: &mut [f32], c: usize, h: usize, w: usize, cy: usize, cx: usize, size: usize) {
+    let half = size / 2;
+    let y0 = cy.saturating_sub(half);
+    let y1 = (cy + half.max(1)).min(h);
+    let x0 = cx.saturating_sub(half);
+    let x1 = (cx + half.max(1)).min(w);
+    for ci in 0..c {
+        for y in y0..y1 {
+            for x in x0..x1 {
+                sample[(ci * h + y) * w + x] = 0.0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp_batch() -> Tensor {
+        let data: Vec<f32> = (0..32).map(|i| i as f32).collect();
+        Tensor::from_vec(data, &[2, 1, 4, 4]).unwrap()
+    }
+
+    #[test]
+    fn none_config_is_identity() {
+        let mut rng = SeededRng::new(1);
+        let batch = ramp_batch();
+        let out = augment_batch(&batch, &AugmentConfig::none(), &mut rng).unwrap();
+        assert_eq!(out, batch);
+    }
+
+    #[test]
+    fn flip_reverses_rows() {
+        let mut rng = SeededRng::new(1);
+        let batch = ramp_batch();
+        let cfg = AugmentConfig {
+            flip_probability: 1.0,
+            max_shift: 0,
+            cutout: 0,
+        };
+        let out = augment_batch(&batch, &cfg, &mut rng).unwrap();
+        // First row of first sample was [0,1,2,3] -> [3,2,1,0].
+        assert_eq!(&out.as_slice()[..4], &[3.0, 2.0, 1.0, 0.0]);
+        // Double flip restores.
+        let back = augment_batch(&out, &cfg, &mut rng).unwrap();
+        assert_eq!(back, batch);
+    }
+
+    #[test]
+    fn shift_pads_with_zeros() {
+        let mut data = vec![1.0f32; 16];
+        shift(&mut data, 1, 4, 4, 1, 0);
+        // Top row became zero padding.
+        assert_eq!(&data[..4], &[0.0; 4]);
+        assert_eq!(data[4], 1.0);
+    }
+
+    #[test]
+    fn cutout_zeroes_a_patch() {
+        let mut data = vec![1.0f32; 16];
+        cutout(&mut data, 1, 4, 4, 1, 1, 2);
+        let zeros = data.iter().filter(|&&v| v == 0.0).count();
+        assert!(zeros >= 4, "cutout must zero a patch, got {zeros}");
+    }
+
+    #[test]
+    fn augmentation_is_deterministic() {
+        let batch = ramp_batch();
+        let cfg = AugmentConfig::default();
+        let a = augment_batch(&batch, &cfg, &mut SeededRng::new(7)).unwrap();
+        let b = augment_batch(&batch, &cfg, &mut SeededRng::new(7)).unwrap();
+        assert_eq!(a, b);
+        let c = augment_batch(&batch, &cfg, &mut SeededRng::new(8)).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn rejects_non_batches() {
+        let mut rng = SeededRng::new(1);
+        let t = Tensor::zeros(&[3, 4, 4]);
+        assert!(augment_batch(&t, &AugmentConfig::default(), &mut rng).is_err());
+    }
+
+    #[test]
+    fn shape_preserved() {
+        let mut rng = SeededRng::new(2);
+        let batch = Tensor::randn(&[3, 3, 8, 8], 1.0, &mut rng);
+        let out = augment_batch(&batch, &AugmentConfig::default(), &mut rng).unwrap();
+        assert_eq!(out.dims(), batch.dims());
+    }
+}

@@ -1,0 +1,83 @@
+use std::fmt;
+use tinyadc_tensor::TensorError;
+
+/// Error type for network construction, training and evaluation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// An underlying tensor operation failed (shape/rank/index problems).
+    Tensor(TensorError),
+    /// A layer received input of an unexpected shape.
+    BadInput {
+        /// Name of the layer reporting the problem.
+        layer: String,
+        /// Human-readable description of the expectation.
+        expected: String,
+        /// The shape actually received.
+        actual: Vec<usize>,
+    },
+    /// `backward` was called before `forward` (no cached activations).
+    BackwardBeforeForward {
+        /// Name of the offending layer.
+        layer: String,
+    },
+    /// A configuration value was invalid.
+    InvalidConfig(String),
+    /// The dataset is unusable (empty, inconsistent labels, ...).
+    BadDataset(String),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Tensor(e) => write!(f, "tensor error: {e}"),
+            Self::BadInput {
+                layer,
+                expected,
+                actual,
+            } => write!(f, "layer `{layer}` expected {expected}, got shape {actual:?}"),
+            Self::BackwardBeforeForward { layer } => {
+                write!(f, "layer `{layer}`: backward called before forward")
+            }
+            Self::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Self::BadDataset(msg) => write!(f, "bad dataset: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        Self::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tensor_errors_convert() {
+        let te = TensorError::InvalidArgument("x".into());
+        let ne: NnError = te.clone().into();
+        assert_eq!(ne, NnError::Tensor(te));
+    }
+
+    #[test]
+    fn display_mentions_layer_name() {
+        let e = NnError::BadInput {
+            layer: "conv1".into(),
+            expected: "[b, 3, h, w]".into(),
+            actual: vec![1, 2],
+        };
+        assert!(e.to_string().contains("conv1"));
+    }
+}

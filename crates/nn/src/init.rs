@@ -1,0 +1,139 @@
+//! Weight-initialisation strategies.
+//!
+//! [`crate::layers`] default to Kaiming-He normal initialisation (the
+//! right choice for the ReLU networks the paper trains); this module makes
+//! the strategy explicit and selectable so experiments can control it —
+//! initialisation interacts with how quickly ADMM pulls weights onto the
+//! CP constraint set.
+
+use crate::Result;
+use tinyadc_tensor::rng::SeededRng;
+use tinyadc_tensor::Tensor;
+
+/// How to initialise a weight tensor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Init {
+    /// Kaiming-He normal: `N(0, 2/fan_in)` — for ReLU networks (default).
+    KaimingNormal,
+    /// Kaiming-He uniform: `U(±sqrt(6/fan_in))`.
+    KaimingUniform,
+    /// Xavier/Glorot normal: `N(0, 2/(fan_in+fan_out))` — for linear/tanh.
+    XavierNormal,
+    /// Xavier/Glorot uniform: `U(±sqrt(6/(fan_in+fan_out)))`.
+    XavierUniform,
+    /// All zeros (biases; also the degenerate case tests rely on).
+    Zeros,
+}
+
+/// Fan-in/fan-out of a weight tensor under the filters-first convention:
+/// `fan_out = dims[0]`, `fan_in = prod(dims[1..])`.
+pub fn fans(dims: &[usize]) -> (usize, usize) {
+    let fan_out = dims.first().copied().unwrap_or(1).max(1);
+    let fan_in = dims.iter().skip(1).product::<usize>().max(1);
+    (fan_in, fan_out)
+}
+
+impl Init {
+    /// Samples a tensor of the given dims under this strategy.
+    ///
+    /// # Errors
+    ///
+    /// Never fails today; `Result` is kept for future validated variants.
+    pub fn sample(&self, dims: &[usize], rng: &mut SeededRng) -> Result<Tensor> {
+        let (fan_in, fan_out) = fans(dims);
+        let tensor = match self {
+            Self::KaimingNormal => {
+                let std = (2.0 / fan_in as f32).sqrt();
+                Tensor::randn(dims, std, rng)
+            }
+            Self::KaimingUniform => {
+                let bound = (6.0 / fan_in as f32).sqrt();
+                Tensor::uniform(dims, -bound, bound, rng)
+            }
+            Self::XavierNormal => {
+                let std = (2.0 / (fan_in + fan_out) as f32).sqrt();
+                Tensor::randn(dims, std, rng)
+            }
+            Self::XavierUniform => {
+                let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+                Tensor::uniform(dims, -bound, bound, rng)
+            }
+            Self::Zeros => Tensor::zeros(dims),
+        };
+        Ok(tensor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn variance(t: &Tensor) -> f32 {
+        let mean = t.mean();
+        t.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / t.len() as f32
+    }
+
+    #[test]
+    fn fan_computation() {
+        assert_eq!(fans(&[64, 32, 3, 3]), (32 * 9, 64));
+        assert_eq!(fans(&[10, 20]), (20, 10));
+        assert_eq!(fans(&[5]), (1, 5));
+    }
+
+    #[test]
+    fn kaiming_normal_variance() {
+        let mut rng = SeededRng::new(1);
+        let t = Init::KaimingNormal.sample(&[64, 64, 3, 3], &mut rng).unwrap();
+        let expected = 2.0 / (64.0 * 9.0);
+        let v = variance(&t);
+        assert!((v - expected).abs() < expected * 0.15, "var {v} vs {expected}");
+    }
+
+    #[test]
+    fn kaiming_uniform_bounds_and_variance() {
+        let mut rng = SeededRng::new(2);
+        let t = Init::KaimingUniform.sample(&[32, 32, 3, 3], &mut rng).unwrap();
+        let bound = (6.0f32 / (32.0 * 9.0)).sqrt();
+        assert!(t.max() <= bound && t.min() >= -bound);
+        // Uniform(-b, b) variance = b^2/3 = 2/fan_in.
+        let v = variance(&t);
+        let expected = 2.0 / (32.0 * 9.0);
+        assert!((v - expected).abs() < expected * 0.2, "var {v}");
+    }
+
+    #[test]
+    fn xavier_normal_variance() {
+        let mut rng = SeededRng::new(3);
+        let t = Init::XavierNormal.sample(&[100, 80], &mut rng).unwrap();
+        let expected = 2.0 / (80.0 + 100.0);
+        let v = variance(&t);
+        assert!((v - expected).abs() < expected * 0.2, "var {v}");
+    }
+
+    #[test]
+    fn xavier_uniform_bounds() {
+        let mut rng = SeededRng::new(4);
+        let t = Init::XavierUniform.sample(&[50, 40], &mut rng).unwrap();
+        let bound = (6.0 / 90.0f32).sqrt();
+        assert!(t.abs_max() <= bound);
+        assert!(t.abs_max() > bound * 0.8, "should reach near the bound");
+    }
+
+    #[test]
+    fn zeros_is_zero() {
+        let mut rng = SeededRng::new(5);
+        let t = Init::Zeros.sample(&[4, 4], &mut rng).unwrap();
+        assert_eq!(t.count_nonzero(), 0);
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let a = Init::KaimingNormal
+            .sample(&[8, 8], &mut SeededRng::new(9))
+            .unwrap();
+        let b = Init::KaimingNormal
+            .sample(&[8, 8], &mut SeededRng::new(9))
+            .unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,139 @@
+use crate::Result;
+use tinyadc_tensor::Tensor;
+
+/// What role a parameter plays in its layer.
+///
+/// The pruning crate uses this to decide which parameters participate in
+/// column-proportional / structured pruning (convolution and linear
+/// *weights*) and which are left dense (biases, normalisation affine
+/// parameters — the paper prunes only weights).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ParamKind {
+    /// 4-D convolution weight `[filters, channels, kh, kw]`.
+    ConvWeight,
+    /// 2-D fully-connected weight `[out, in]`.
+    LinearWeight,
+    /// 1-D bias.
+    Bias,
+    /// Batch-norm scale (gamma).
+    NormScale,
+    /// Batch-norm shift (beta).
+    NormShift,
+    /// Batch-norm running mean (state, not trained by SGD).
+    NormRunningMean,
+    /// Batch-norm running variance (state, not trained by SGD).
+    NormRunningVar,
+}
+
+impl ParamKind {
+    /// Whether TinyADC's pruning schemes apply to this parameter.
+    pub fn is_prunable(self) -> bool {
+        matches!(self, Self::ConvWeight | Self::LinearWeight)
+    }
+
+    /// Whether the optimizer updates this parameter. Running statistics
+    /// are exposed as parameters so snapshots capture them, but they are
+    /// maintained by the layer itself, not by gradient descent.
+    pub fn is_trainable(self) -> bool {
+        !matches!(self, Self::NormRunningMean | Self::NormRunningVar)
+    }
+}
+
+/// A named, learnable parameter: value plus accumulated gradient.
+///
+/// Names are globally unique within a [`crate::Network`]
+/// (e.g. `"stage2.block0.conv1.weight"`), which is how pruning masks and
+/// ADMM state are keyed.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Globally unique dotted name.
+    pub name: String,
+    /// What the parameter is.
+    pub kind: ParamKind,
+    /// Current value.
+    pub value: Tensor,
+    /// Accumulated gradient (same shape as `value`).
+    pub grad: Tensor,
+}
+
+impl Param {
+    /// Creates a parameter with a zeroed gradient of matching shape.
+    pub fn new(name: impl Into<String>, kind: ParamKind, value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.dims());
+        Self {
+            name: name.into(),
+            kind,
+            value,
+            grad,
+        }
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad.map_inplace(|_| 0.0);
+    }
+}
+
+/// A differentiable network layer.
+///
+/// Layers cache whatever they need during [`Layer::forward`] and consume it
+/// in [`Layer::backward`]; calling `backward` first is an error. The trait
+/// is object-safe — networks store `Box<dyn Layer>`.
+pub trait Layer: Send {
+    /// Runs the layer on a batch. `train` toggles training-time behaviour
+    /// (batch-norm statistics, activation caching).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::NnError::BadInput`] for unexpected input shapes.
+    fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor>;
+
+    /// Backpropagates `grad_output`, accumulating parameter gradients and
+    /// returning the gradient with respect to the layer input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::NnError::BackwardBeforeForward`] when no forward
+    /// pass has been cached.
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor>;
+
+    /// Visits every learnable parameter, depth-first.
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param));
+
+    /// The layer's (unique, dotted) name.
+    fn name(&self) -> &str;
+
+    /// Clears all accumulated gradients.
+    fn zero_grads(&mut self) {
+        self.visit_params(&mut |p| p.zero_grad());
+    }
+
+    /// Number of learnable scalars in this layer.
+    fn param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.value.len());
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prunable_kinds() {
+        assert!(ParamKind::ConvWeight.is_prunable());
+        assert!(ParamKind::LinearWeight.is_prunable());
+        assert!(!ParamKind::Bias.is_prunable());
+        assert!(!ParamKind::NormScale.is_prunable());
+        assert!(!ParamKind::NormShift.is_prunable());
+    }
+
+    #[test]
+    fn param_zero_grad() {
+        let mut p = Param::new("w", ParamKind::LinearWeight, Tensor::ones(&[2, 2]));
+        p.grad = Tensor::ones(&[2, 2]);
+        p.zero_grad();
+        assert_eq!(p.grad.sum(), 0.0);
+    }
+}

@@ -1,0 +1,74 @@
+use crate::{Layer, NnError, Param, Result};
+use tinyadc_tensor::Tensor;
+
+/// Rectified linear unit, applied elementwise to any shape.
+#[derive(Debug, Default)]
+pub struct Relu {
+    mask: Option<Tensor>,
+    name: String,
+}
+
+impl Relu {
+    /// Creates a named ReLU.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            mask: None,
+            name: name.into(),
+        }
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
+        if train {
+            self.mask = Some(input.map(|x| if x > 0.0 { 1.0 } else { 0.0 }));
+        }
+        Ok(input.map(|x| x.max(0.0)))
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let mask = self
+            .mask
+            .take()
+            .ok_or_else(|| NnError::BackwardBeforeForward {
+                layer: self.name.clone(),
+            })?;
+        Ok(grad_output.mul(&mask)?)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_clamps_negatives() {
+        let mut relu = Relu::new("r");
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3]).unwrap();
+        let y = relu.forward(&x, false).unwrap();
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn backward_masks_gradient() {
+        let mut relu = Relu::new("r");
+        let x = Tensor::from_vec(vec![-1.0, 3.0], &[2]).unwrap();
+        relu.forward(&x, true).unwrap();
+        let g = relu
+            .backward(&Tensor::from_vec(vec![5.0, 5.0], &[2]).unwrap())
+            .unwrap();
+        assert_eq!(g.as_slice(), &[0.0, 5.0]);
+    }
+
+    #[test]
+    fn backward_without_forward_fails() {
+        let mut relu = Relu::new("r");
+        assert!(relu.backward(&Tensor::zeros(&[2])).is_err());
+    }
+}

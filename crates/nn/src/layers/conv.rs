@@ -1,0 +1,315 @@
+use crate::{Layer, NnError, Param, ParamKind, Result};
+use tinyadc_tensor::rng::SeededRng;
+use tinyadc_tensor::{col2im, im2col, Conv2dGeometry, Tensor};
+
+/// 2-D convolution lowered to matrix products via im2col.
+///
+/// Input `[batch, c, h, w]`, weight `[f, c, kh, kw]`, output
+/// `[batch, f, oh, ow]`. The im2col lowering makes the layer's effective
+/// 2-D weight matrix `[f, c*kh*kw]` — the transpose of the matrix the
+/// TinyADC paper maps to crossbars (where each *column* is a filter); the
+/// crossbar crate performs that transposition explicitly during mapping.
+#[derive(Debug)]
+pub struct Conv2d {
+    weight: Param,
+    bias: Option<Param>,
+    stride: usize,
+    padding: usize,
+    cached: Option<CachedForward>,
+    name: String,
+}
+
+#[derive(Debug)]
+struct CachedForward {
+    geometry: Conv2dGeometry,
+    /// One im2col matrix per batch element.
+    cols: Vec<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a Kaiming-initialised convolution.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        bias: bool,
+        rng: &mut SeededRng,
+    ) -> Self {
+        let name = name.into();
+        let weight = Param::new(
+            format!("{name}.weight"),
+            ParamKind::ConvWeight,
+            Tensor::kaiming(&[out_channels, in_channels, kernel, kernel], rng),
+        );
+        let bias = bias.then(|| {
+            Param::new(
+                format!("{name}.bias"),
+                ParamKind::Bias,
+                Tensor::zeros(&[out_channels]),
+            )
+        });
+        Self {
+            weight,
+            bias,
+            stride,
+            padding,
+            cached: None,
+            name,
+        }
+    }
+
+    /// Number of output channels (filters).
+    pub fn out_channels(&self) -> usize {
+        self.weight.value.dims()[0]
+    }
+
+    /// Number of input channels.
+    pub fn in_channels(&self) -> usize {
+        self.weight.value.dims()[1]
+    }
+
+    fn kernel(&self) -> usize {
+        self.weight.value.dims()[2]
+    }
+
+    fn geometry(&self, h: usize, w: usize) -> Result<Conv2dGeometry> {
+        Ok(Conv2dGeometry::new(
+            self.in_channels(),
+            h,
+            w,
+            self.kernel(),
+            self.kernel(),
+            self.stride,
+            self.padding,
+        )?)
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
+        let dims = input.dims();
+        if dims.len() != 4 || dims[1] != self.in_channels() {
+            return Err(NnError::BadInput {
+                layer: self.name.clone(),
+                expected: format!("[batch, {}, h, w]", self.in_channels()),
+                actual: dims.to_vec(),
+            });
+        }
+        let (batch, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let g = self.geometry(h, w)?;
+        let f = self.out_channels();
+        let w2d = self.weight.value.reshape(&[f, g.patch_len()])?;
+
+        let mut out = vec![0.0f32; batch * f * g.patch_count()];
+        let per_sample = f * g.patch_count();
+        let mut cols_cache = Vec::with_capacity(if train { batch } else { 0 });
+        for b in 0..batch {
+            let sample = Tensor::from_vec(
+                input.as_slice()[b * c * h * w..(b + 1) * c * h * w].to_vec(),
+                &[c, h, w],
+            )?;
+            let cols = im2col(&sample, &g)?;
+            let y = w2d.matmul(&cols)?; // [f, oh*ow]
+            out[b * per_sample..(b + 1) * per_sample].copy_from_slice(y.as_slice());
+            if train {
+                cols_cache.push(cols);
+            }
+        }
+        if let Some(bias) = &self.bias {
+            let pc = g.patch_count();
+            for b in 0..batch {
+                for (fi, &bv) in bias.value.as_slice().iter().enumerate() {
+                    let base = b * per_sample + fi * pc;
+                    for v in &mut out[base..base + pc] {
+                        *v += bv;
+                    }
+                }
+            }
+        }
+        if train {
+            self.cached = Some(CachedForward {
+                geometry: g,
+                cols: cols_cache,
+            });
+        }
+        Tensor::from_vec(out, &[batch, f, g.out_h, g.out_w]).map_err(Into::into)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let cached = self
+            .cached
+            .take()
+            .ok_or_else(|| NnError::BackwardBeforeForward {
+                layer: self.name.clone(),
+            })?;
+        let g = cached.geometry;
+        let f = self.out_channels();
+        let batch = cached.cols.len();
+        let per_sample = f * g.patch_count();
+        if grad_output.dims() != [batch, f, g.out_h, g.out_w] {
+            return Err(NnError::BadInput {
+                layer: self.name.clone(),
+                expected: format!("[{batch}, {f}, {}, {}]", g.out_h, g.out_w),
+                actual: grad_output.dims().to_vec(),
+            });
+        }
+        let w2d = self.weight.value.reshape(&[f, g.patch_len()])?;
+        let mut dw2d = Tensor::zeros(&[f, g.patch_len()]);
+        let in_vol = g.in_channels * g.in_h * g.in_w;
+        let mut dx = vec![0.0f32; batch * in_vol];
+        for (b, cols) in cached.cols.iter().enumerate() {
+            let dy = Tensor::from_vec(
+                grad_output.as_slice()[b * per_sample..(b + 1) * per_sample].to_vec(),
+                &[f, g.patch_count()],
+            )?;
+            // dW += dY cols^T  ([f, pc] x [pl, pc]^T)
+            dw2d.add_assign(&dy.matmul_t(cols)?)?;
+            // dcols = W^T dY  ([f, pl]^T x [f, pc])
+            let dcols = w2d.t_matmul(&dy)?;
+            let dxi = col2im(&dcols, &g)?;
+            dx[b * in_vol..(b + 1) * in_vol].copy_from_slice(dxi.as_slice());
+        }
+        self.weight
+            .grad
+            .add_assign(&dw2d.reshape(self.weight.value.dims())?)?;
+        if let Some(bias) = &mut self.bias {
+            let pc = g.patch_count();
+            let go = grad_output.as_slice();
+            let bg = bias.grad.as_mut_slice();
+            for b in 0..batch {
+                for (fi, bgf) in bg.iter_mut().enumerate().take(f) {
+                    let base = b * per_sample + fi * pc;
+                    *bgf += go[base..base + pc].iter().sum::<f32>();
+                }
+            }
+        }
+        Tensor::from_vec(dx, &[batch, g.in_channels, g.in_h, g.in_w]).map_err(Into::into)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        if let Some(b) = &mut self.bias {
+            f(b);
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::softmax_cross_entropy;
+    use crate::layers::Flatten;
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = SeededRng::new(3);
+        let mut conv = Conv2d::new("c", 3, 8, 3, 1, 1, true, &mut rng);
+        let x = Tensor::randn(&[2, 3, 8, 8], 1.0, &mut rng);
+        let y = conv.forward(&x, false).unwrap();
+        assert_eq!(y.dims(), &[2, 8, 8, 8]);
+
+        let mut strided = Conv2d::new("c2", 3, 4, 3, 2, 1, false, &mut rng);
+        let y2 = strided.forward(&x, false).unwrap();
+        assert_eq!(y2.dims(), &[2, 4, 4, 4]);
+    }
+
+    #[test]
+    fn rejects_wrong_channel_count() {
+        let mut rng = SeededRng::new(3);
+        let mut conv = Conv2d::new("c", 3, 8, 3, 1, 1, false, &mut rng);
+        assert!(matches!(
+            conv.forward(&Tensor::zeros(&[1, 2, 8, 8]), false),
+            Err(NnError::BadInput { .. })
+        ));
+    }
+
+    #[test]
+    fn gradcheck_conv_weight_and_input() {
+        let mut rng = SeededRng::new(29);
+        let mut conv = Conv2d::new("c", 2, 3, 3, 1, 1, true, &mut rng);
+        let mut flat = Flatten::new("flat");
+        let x = Tensor::randn(&[2, 2, 4, 4], 0.5, &mut rng);
+        let labels = vec![1usize, 0];
+
+        let loss_of = |conv: &mut Conv2d, flat: &mut Flatten, x: &Tensor| -> f32 {
+            let h = conv.forward(x, true).unwrap();
+            let h = flat.forward(&h, true).unwrap();
+            softmax_cross_entropy(&h, &labels).unwrap().0
+        };
+
+        let h = conv.forward(&x, true).unwrap();
+        let h2 = flat.forward(&h, true).unwrap();
+        let (_, dloss) = softmax_cross_entropy(&h2, &labels).unwrap();
+        conv.zero_grads();
+        let dh = flat.backward(&dloss).unwrap();
+        let dx = conv.backward(&dh).unwrap();
+
+        let mut analytic_w = Vec::new();
+        conv.visit_params(&mut |p| {
+            if p.kind == ParamKind::ConvWeight {
+                analytic_w = p.grad.as_slice().to_vec();
+            }
+        });
+
+        let eps = 1e-2f32;
+        // Sample a subset of weight coordinates.
+        for idx in (0..analytic_w.len()).step_by(7) {
+            let bump = |delta: f32, conv: &mut Conv2d| {
+                conv.visit_params(&mut |p| {
+                    if p.kind == ParamKind::ConvWeight {
+                        p.value.as_mut_slice()[idx] += delta;
+                    }
+                });
+            };
+            bump(eps, &mut conv);
+            let lp = loss_of(&mut conv, &mut flat, &x);
+            bump(-2.0 * eps, &mut conv);
+            let lm = loss_of(&mut conv, &mut flat, &x);
+            bump(eps, &mut conv);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - analytic_w[idx]).abs() < 3e-2,
+                "w[{idx}]: numeric {numeric} vs analytic {}",
+                analytic_w[idx]
+            );
+        }
+        for idx in (0..dx.len()).step_by(11) {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let lp = loss_of(&mut conv, &mut flat, &xp);
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let lm = loss_of(&mut conv, &mut flat, &xm);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - dx.as_slice()[idx]).abs() < 3e-2,
+                "x[{idx}]: numeric {numeric} vs analytic {}",
+                dx.as_slice()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn bias_adds_per_channel_constant() {
+        let mut rng = SeededRng::new(5);
+        let mut conv = Conv2d::new("c", 1, 2, 1, 1, 0, true, &mut rng);
+        conv.visit_params(&mut |p| {
+            if p.kind == ParamKind::Bias {
+                p.value = Tensor::from_vec(vec![1.0, -2.0], &[2]).unwrap();
+            } else {
+                p.value.map_inplace(|_| 0.0);
+            }
+        });
+        let y = conv.forward(&Tensor::zeros(&[1, 1, 2, 2]), false).unwrap();
+        assert_eq!(y.at(&[0, 0, 0, 0]).unwrap(), 1.0);
+        assert_eq!(y.at(&[0, 1, 1, 1]).unwrap(), -2.0);
+    }
+}

@@ -1,0 +1,149 @@
+use crate::{Layer, NnError, Param, Result};
+use tinyadc_tensor::rng::SeededRng;
+use tinyadc_tensor::Tensor;
+
+/// Inverted dropout: during training each activation is zeroed with
+/// probability `p` and the survivors are scaled by `1/(1−p)`, so
+/// evaluation is the identity. Standard regularisation for the VGG-style
+/// classifier heads the paper's models use.
+///
+/// The layer owns a seeded RNG (forked from the constructor's) so that
+/// training remains fully deterministic.
+#[derive(Debug)]
+pub struct Dropout {
+    p: f32,
+    rng: SeededRng,
+    mask: Option<Tensor>,
+    name: String,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] for `p` outside `[0, 1)`.
+    pub fn new(name: impl Into<String>, p: f32, rng: &mut SeededRng) -> Result<Self> {
+        if !(0.0..1.0).contains(&p) {
+            return Err(NnError::InvalidConfig(format!(
+                "dropout probability {p} must be in [0, 1)"
+            )));
+        }
+        Ok(Self {
+            p,
+            rng: rng.fork(0xD0),
+            mask: None,
+            name: name.into(),
+        })
+    }
+
+    /// The drop probability.
+    pub fn probability(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
+        if !train || self.p == 0.0 {
+            return Ok(input.clone());
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask_data: Vec<f32> = (0..input.len())
+            .map(|_| {
+                if self.rng.sample_bool(keep as f64) {
+                    scale
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let mask = Tensor::from_vec(mask_data, input.dims())?;
+        let out = input.mul(&mask)?;
+        self.mask = Some(mask);
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        match self.mask.take() {
+            Some(mask) => Ok(grad_output.mul(&mask)?),
+            // Forward ran in eval mode (identity) or p == 0.
+            None => Ok(grad_output.clone()),
+        }
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut rng = SeededRng::new(1);
+        let mut d = Dropout::new("d", 0.5, &mut rng).unwrap();
+        let x = Tensor::from_vec(vec![1.0, -2.0, 3.0], &[3]).unwrap();
+        assert_eq!(d.forward(&x, false).unwrap(), x);
+    }
+
+    #[test]
+    fn zero_probability_is_identity_even_in_training() {
+        let mut rng = SeededRng::new(1);
+        let mut d = Dropout::new("d", 0.0, &mut rng).unwrap();
+        let x = Tensor::ones(&[8]);
+        assert_eq!(d.forward(&x, true).unwrap(), x);
+    }
+
+    #[test]
+    fn training_zeroes_roughly_p_and_rescales() {
+        let mut rng = SeededRng::new(2);
+        let mut d = Dropout::new("d", 0.25, &mut rng).unwrap();
+        let x = Tensor::ones(&[10_000]);
+        let y = d.forward(&x, true).unwrap();
+        let zeros = y.as_slice().iter().filter(|&&v| v == 0.0).count();
+        let rate = zeros as f64 / 10_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "drop rate {rate}");
+        // Survivors carry the inverse-keep scale.
+        let survivor = y.as_slice().iter().find(|&&v| v != 0.0).unwrap();
+        assert!((survivor - 1.0 / 0.75).abs() < 1e-6);
+        // Expected value preserved.
+        assert!((y.mean() - 1.0).abs() < 0.02, "mean {}", y.mean());
+    }
+
+    #[test]
+    fn backward_routes_through_the_same_mask() {
+        let mut rng = SeededRng::new(3);
+        let mut d = Dropout::new("d", 0.5, &mut rng).unwrap();
+        let x = Tensor::ones(&[64]);
+        let y = d.forward(&x, true).unwrap();
+        let g = d.backward(&Tensor::ones(&[64])).unwrap();
+        // Gradient is zero exactly where the forward output was zero.
+        for (yo, go) in y.as_slice().iter().zip(g.as_slice()) {
+            assert_eq!(*yo == 0.0, *go == 0.0);
+        }
+    }
+
+    #[test]
+    fn invalid_probability_rejected() {
+        let mut rng = SeededRng::new(1);
+        assert!(Dropout::new("d", 1.0, &mut rng).is_err());
+        assert!(Dropout::new("d", -0.1, &mut rng).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_constructor_rng() {
+        let make = |seed: u64| {
+            let mut rng = SeededRng::new(seed);
+            let mut d = Dropout::new("d", 0.5, &mut rng).unwrap();
+            d.forward(&Tensor::ones(&[32]), true).unwrap()
+        };
+        assert_eq!(make(7), make(7));
+        assert_ne!(make(7), make(8));
+    }
+}

@@ -1,0 +1,69 @@
+use crate::{Layer, NnError, Param, Result};
+use tinyadc_tensor::Tensor;
+
+/// Flattens `[batch, ...]` to `[batch, prod(...)]`, remembering the original
+/// shape for the backward pass.
+#[derive(Debug, Default)]
+pub struct Flatten {
+    input_dims: Option<Vec<usize>>,
+    name: String,
+}
+
+impl Flatten {
+    /// Creates a named flatten layer.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            input_dims: None,
+            name: name.into(),
+        }
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
+        if input.rank() == 0 {
+            return Err(NnError::BadInput {
+                layer: self.name.clone(),
+                expected: "a batched tensor".into(),
+                actual: vec![],
+            });
+        }
+        let batch = input.dims()[0];
+        let rest: usize = input.dims()[1..].iter().product();
+        if train {
+            self.input_dims = Some(input.dims().to_vec());
+        }
+        Ok(input.reshape(&[batch, rest])?)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let dims = self
+            .input_dims
+            .take()
+            .ok_or_else(|| NnError::BackwardBeforeForward {
+                layer: self.name.clone(),
+            })?;
+        Ok(grad_output.reshape(&dims)?)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_shape() {
+        let mut flat = Flatten::new("f");
+        let x = Tensor::zeros(&[2, 3, 4, 4]);
+        let y = flat.forward(&x, true).unwrap();
+        assert_eq!(y.dims(), &[2, 48]);
+        let g = flat.backward(&y).unwrap();
+        assert_eq!(g.dims(), &[2, 3, 4, 4]);
+    }
+}

@@ -1,0 +1,229 @@
+use crate::{Layer, NnError, Param, ParamKind, Result};
+use tinyadc_tensor::rng::SeededRng;
+use tinyadc_tensor::Tensor;
+
+/// Fully-connected layer: `y = x W^T + b`, input `[batch, in]`,
+/// output `[batch, out]`. Weight layout is `[out, in]` — each *row* is one
+/// output neuron, matching the filters-first convention used when mapping
+/// onto crossbars (each crossbar column stores one output neuron's weights).
+#[derive(Debug)]
+pub struct Linear {
+    weight: Param,
+    bias: Option<Param>,
+    cached_input: Option<Tensor>,
+    name: String,
+}
+
+impl Linear {
+    /// Creates a Kaiming-initialised linear layer.
+    pub fn new(
+        name: impl Into<String>,
+        in_features: usize,
+        out_features: usize,
+        bias: bool,
+        rng: &mut SeededRng,
+    ) -> Self {
+        let name = name.into();
+        let weight = Param::new(
+            format!("{name}.weight"),
+            ParamKind::LinearWeight,
+            Tensor::kaiming(&[out_features, in_features], rng),
+        );
+        let bias = bias.then(|| {
+            Param::new(
+                format!("{name}.bias"),
+                ParamKind::Bias,
+                Tensor::zeros(&[out_features]),
+            )
+        });
+        Self {
+            weight,
+            bias,
+            cached_input: None,
+            name,
+        }
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.weight.value.dims()[0]
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.weight.value.dims()[1]
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
+        if input.rank() != 2 || input.dims()[1] != self.in_features() {
+            return Err(NnError::BadInput {
+                layer: self.name.clone(),
+                expected: format!("[batch, {}]", self.in_features()),
+                actual: input.dims().to_vec(),
+            });
+        }
+        let mut out = input.matmul_t(&self.weight.value)?;
+        if let Some(b) = &self.bias {
+            let (batch, of) = (out.dims()[0], self.out_features());
+            let data = out.as_mut_slice();
+            for i in 0..batch {
+                for (j, &bv) in b.value.as_slice().iter().enumerate().take(of) {
+                    data[i * of + j] += bv;
+                }
+            }
+        }
+        if train {
+            self.cached_input = Some(input.clone());
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let input = self
+            .cached_input
+            .take()
+            .ok_or_else(|| NnError::BackwardBeforeForward {
+                layer: self.name.clone(),
+            })?;
+        // dW = dY^T X  ([out, batch] x [batch, in])
+        let dw = grad_output.t_matmul(&input)?;
+        self.weight.grad.add_assign(&dw)?;
+        if let Some(b) = &mut self.bias {
+            let (batch, of) = (grad_output.dims()[0], b.value.len());
+            let g = grad_output.as_slice();
+            let bg = b.grad.as_mut_slice();
+            for i in 0..batch {
+                for (j, bgj) in bg.iter_mut().enumerate().take(of) {
+                    *bgj += g[i * of + j];
+                }
+            }
+        }
+        // dX = dY W  ([batch, out] x [out, in])
+        Ok(grad_output.matmul(&self.weight.value)?)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        if let Some(b) = &mut self.bias {
+            f(b);
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::softmax_cross_entropy;
+
+    /// Finite-difference gradient check on a tiny linear layer.
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn gradcheck_weight_and_input() {
+        let mut rng = SeededRng::new(17);
+        let mut layer = Linear::new("fc", 4, 3, true, &mut rng);
+        let x = Tensor::randn(&[2, 4], 1.0, &mut rng);
+        let labels = vec![0usize, 2];
+
+        let loss_fn = |layer: &mut Linear, x: &Tensor| -> f32 {
+            let out = layer.forward(x, true).unwrap();
+            softmax_cross_entropy(&out, &labels).unwrap().0
+        };
+
+        // Analytic gradients.
+        let out = layer.forward(&x, true).unwrap();
+        let (_, grad) = softmax_cross_entropy(&out, &labels).unwrap();
+        layer.zero_grads();
+        let dx = layer.backward(&grad).unwrap();
+
+        // Numeric: perturb each weight entry.
+        let eps = 1e-3f32;
+        let mut analytic_w = Vec::new();
+        layer.visit_params(&mut |p| {
+            if p.kind == ParamKind::LinearWeight {
+                analytic_w = p.grad.as_slice().to_vec();
+            }
+        });
+        for idx in 0..12 {
+            let get_set = |delta: f32, layer: &mut Linear| {
+                layer.visit_params(&mut |p| {
+                    if p.kind == ParamKind::LinearWeight {
+                        p.value.as_mut_slice()[idx] += delta;
+                    }
+                });
+            };
+            get_set(eps, &mut layer);
+            let lp = loss_fn(&mut layer, &x);
+            get_set(-2.0 * eps, &mut layer);
+            let lm = loss_fn(&mut layer, &x);
+            get_set(eps, &mut layer);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - analytic_w[idx]).abs() < 2e-2,
+                "w[{idx}]: numeric {numeric} vs analytic {}",
+                analytic_w[idx]
+            );
+        }
+
+        // Numeric: perturb each input entry.
+        for idx in 0..8 {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let lp = loss_fn(&mut layer, &xp);
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let lm = loss_fn(&mut layer, &xm);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - dx.as_slice()[idx]).abs() < 2e-2,
+                "x[{idx}]: numeric {numeric} vs analytic {}",
+                dx.as_slice()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut rng = SeededRng::new(1);
+        let mut layer = Linear::new("fc", 3, 5, true, &mut rng);
+        let x = Tensor::zeros(&[4, 3]);
+        let y = layer.forward(&x, false).unwrap();
+        assert_eq!(y.dims(), &[4, 5]);
+        // zero input + zero bias => zero output
+        assert_eq!(y.sum(), 0.0);
+    }
+
+    #[test]
+    fn rejects_wrong_input_width() {
+        let mut rng = SeededRng::new(1);
+        let mut layer = Linear::new("fc", 3, 5, false, &mut rng);
+        assert!(matches!(
+            layer.forward(&Tensor::zeros(&[4, 7]), false),
+            Err(NnError::BadInput { .. })
+        ));
+    }
+
+    #[test]
+    fn backward_before_forward_is_error() {
+        let mut rng = SeededRng::new(1);
+        let mut layer = Linear::new("fc", 3, 5, false, &mut rng);
+        assert!(matches!(
+            layer.backward(&Tensor::zeros(&[4, 5])),
+            Err(NnError::BackwardBeforeForward { .. })
+        ));
+    }
+
+    #[test]
+    fn param_names_are_prefixed() {
+        let mut rng = SeededRng::new(1);
+        let mut layer = Linear::new("head.fc", 3, 5, true, &mut rng);
+        let mut names = Vec::new();
+        layer.visit_params(&mut |p| names.push(p.name.clone()));
+        assert_eq!(names, vec!["head.fc.weight", "head.fc.bias"]);
+    }
+}

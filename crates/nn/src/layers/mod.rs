@@ -1,0 +1,25 @@
+//! Layer implementations.
+//!
+//! Every layer implements [`crate::Layer`] with manual forward/backward
+//! passes. Gradient correctness is checked against finite differences in
+//! each module's tests.
+
+mod activation;
+mod conv;
+mod dropout;
+mod flatten;
+mod linear;
+mod norm;
+mod pool;
+mod residual;
+mod sequential;
+
+pub use activation::Relu;
+pub use conv::Conv2d;
+pub use dropout::Dropout;
+pub use flatten::Flatten;
+pub use linear::Linear;
+pub use norm::BatchNorm2d;
+pub use pool::{GlobalAvgPool, MaxPool2d};
+pub use residual::{BasicBlock, Bottleneck};
+pub use sequential::Sequential;

@@ -1,0 +1,280 @@
+use crate::{Layer, NnError, Param, ParamKind, Result};
+use tinyadc_tensor::Tensor;
+
+/// Batch normalisation over the channel axis of `[b, c, h, w]` input.
+///
+/// Training mode normalises with batch statistics and updates running
+/// estimates; eval mode uses the running estimates. Affine parameters
+/// (gamma/beta) are always learned.
+#[derive(Debug)]
+pub struct BatchNorm2d {
+    gamma: Param,
+    beta: Param,
+    running_mean: Param,
+    running_var: Param,
+    momentum: f32,
+    eps: f32,
+    cached: Option<NormCache>,
+    name: String,
+}
+
+#[derive(Debug)]
+struct NormCache {
+    x_hat: Tensor,
+    inv_std: Vec<f32>,
+    input_dims: Vec<usize>,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer over `channels` feature maps.
+    pub fn new(name: impl Into<String>, channels: usize) -> Self {
+        let name = name.into();
+        Self {
+            gamma: Param::new(
+                format!("{name}.gamma"),
+                ParamKind::NormScale,
+                Tensor::ones(&[channels]),
+            ),
+            beta: Param::new(
+                format!("{name}.beta"),
+                ParamKind::NormShift,
+                Tensor::zeros(&[channels]),
+            ),
+            running_mean: Param::new(
+                format!("{name}.running_mean"),
+                ParamKind::NormRunningMean,
+                Tensor::zeros(&[channels]),
+            ),
+            running_var: Param::new(
+                format!("{name}.running_var"),
+                ParamKind::NormRunningVar,
+                Tensor::ones(&[channels]),
+            ),
+            momentum: 0.1,
+            eps: 1e-5,
+            cached: None,
+            name,
+        }
+    }
+
+    fn channels(&self) -> usize {
+        self.gamma.value.len()
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
+        let dims = input.dims();
+        if dims.len() != 4 || dims[1] != self.channels() {
+            return Err(NnError::BadInput {
+                layer: self.name.clone(),
+                expected: format!("[b, {}, h, w]", self.channels()),
+                actual: dims.to_vec(),
+            });
+        }
+        let (b, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let n = (b * h * w) as f32;
+        let x = input.as_slice();
+
+        let (mean, var) = if train {
+            let mut mean = vec![0.0f32; c];
+            let mut var = vec![0.0f32; c];
+            for ci in 0..c {
+                let mut acc = 0.0f32;
+                for bi in 0..b {
+                    let plane = (bi * c + ci) * h * w;
+                    acc += x[plane..plane + h * w].iter().sum::<f32>();
+                }
+                mean[ci] = acc / n;
+                let mut vacc = 0.0f32;
+                for bi in 0..b {
+                    let plane = (bi * c + ci) * h * w;
+                    vacc += x[plane..plane + h * w]
+                        .iter()
+                        .map(|&v| (v - mean[ci]) * (v - mean[ci]))
+                        .sum::<f32>();
+                }
+                var[ci] = vacc / n;
+            }
+            // Update running statistics.
+            for ci in 0..c {
+                let rm = self.running_mean.value.as_mut_slice();
+                rm[ci] = (1.0 - self.momentum) * rm[ci] + self.momentum * mean[ci];
+                let rv = self.running_var.value.as_mut_slice();
+                rv[ci] = (1.0 - self.momentum) * rv[ci] + self.momentum * var[ci];
+            }
+            (mean, var)
+        } else {
+            (
+                self.running_mean.value.as_slice().to_vec(),
+                self.running_var.value.as_slice().to_vec(),
+            )
+        };
+
+        let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
+        let gamma = self.gamma.value.as_slice();
+        let beta = self.beta.value.as_slice();
+        let mut out = vec![0.0f32; x.len()];
+        let mut x_hat = vec![0.0f32; if train { x.len() } else { 0 }];
+        for bi in 0..b {
+            for ci in 0..c {
+                let plane = (bi * c + ci) * h * w;
+                for off in plane..plane + h * w {
+                    let xh = (x[off] - mean[ci]) * inv_std[ci];
+                    out[off] = gamma[ci] * xh + beta[ci];
+                    if train {
+                        x_hat[off] = xh;
+                    }
+                }
+            }
+        }
+        if train {
+            self.cached = Some(NormCache {
+                x_hat: Tensor::from_vec(x_hat, dims)?,
+                inv_std,
+                input_dims: dims.to_vec(),
+            });
+        }
+        Tensor::from_vec(out, dims).map_err(Into::into)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let cache = self
+            .cached
+            .take()
+            .ok_or_else(|| NnError::BackwardBeforeForward {
+                layer: self.name.clone(),
+            })?;
+        let dims = cache.input_dims;
+        let (b, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let n = (b * h * w) as f32;
+        let g = grad_output.as_slice();
+        let xh = cache.x_hat.as_slice();
+        let gamma = self.gamma.value.as_slice();
+
+        // Per-channel reductions.
+        let mut sum_g = vec![0.0f32; c];
+        let mut sum_gx = vec![0.0f32; c];
+        for bi in 0..b {
+            for ci in 0..c {
+                let plane = (bi * c + ci) * h * w;
+                for off in plane..plane + h * w {
+                    sum_g[ci] += g[off];
+                    sum_gx[ci] += g[off] * xh[off];
+                }
+            }
+        }
+        // Parameter gradients.
+        for ci in 0..c {
+            self.gamma.grad.as_mut_slice()[ci] += sum_gx[ci];
+            self.beta.grad.as_mut_slice()[ci] += sum_g[ci];
+        }
+        // Input gradient:
+        // dx = gamma * inv_std / n * (n*g - sum_g - x_hat * sum_gx)
+        let mut dx = vec![0.0f32; g.len()];
+        for bi in 0..b {
+            for ci in 0..c {
+                let k = gamma[ci] * cache.inv_std[ci] / n;
+                let plane = (bi * c + ci) * h * w;
+                for off in plane..plane + h * w {
+                    dx[off] = k * (n * g[off] - sum_g[ci] - xh[off] * sum_gx[ci]);
+                }
+            }
+        }
+        Tensor::from_vec(dx, &dims).map_err(Into::into)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+        f(&mut self.running_mean);
+        f(&mut self.running_var);
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinyadc_tensor::rng::SeededRng;
+
+    #[test]
+    fn training_output_is_normalised() {
+        let mut rng = SeededRng::new(7);
+        let mut bn = BatchNorm2d::new("bn", 3);
+        let x = Tensor::randn(&[8, 3, 4, 4], 2.0, &mut rng).add_scalar(5.0);
+        let y = bn.forward(&x, true).unwrap();
+        // Per channel, output should have ~zero mean, ~unit variance.
+        for ci in 0..3 {
+            let mut vals = Vec::new();
+            for bi in 0..8 {
+                for i in 0..4 {
+                    for j in 0..4 {
+                        vals.push(y.at(&[bi, ci, i, j]).unwrap());
+                    }
+                }
+            }
+            let mean = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
+                / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "mean={mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var={var}");
+        }
+    }
+
+    #[test]
+    fn eval_uses_running_stats() {
+        let mut rng = SeededRng::new(9);
+        let mut bn = BatchNorm2d::new("bn", 2);
+        // Warm running stats with several training batches.
+        for _ in 0..50 {
+            let x = Tensor::randn(&[16, 2, 2, 2], 3.0, &mut rng).add_scalar(1.0);
+            bn.forward(&x, true).unwrap();
+        }
+        let x = Tensor::randn(&[16, 2, 2, 2], 3.0, &mut rng).add_scalar(1.0);
+        let y = bn.forward(&x, false).unwrap();
+        let mean = y.mean();
+        assert!(mean.abs() < 0.2, "eval mean={mean}");
+    }
+
+    #[test]
+    fn gradcheck_batchnorm() {
+        let mut rng = SeededRng::new(31);
+        let mut bn = BatchNorm2d::new("bn", 2);
+        let x = Tensor::randn(&[3, 2, 2, 2], 1.0, &mut rng);
+
+        // Scalar loss = sum of squares / 2, so dL/dy = y.
+        let y = bn.forward(&x, true).unwrap();
+        bn.zero_grads();
+        let dx = bn.backward(&y).unwrap();
+
+        let loss_of = |bn: &mut BatchNorm2d, x: &Tensor| -> f32 {
+            let y = bn.forward(x, true).unwrap();
+            0.5 * y.as_slice().iter().map(|v| v * v).sum::<f32>()
+        };
+        let eps = 1e-2f32;
+        for idx in (0..x.len()).step_by(3) {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let lp = loss_of(&mut bn, &xp);
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let lm = loss_of(&mut bn, &xm);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - dx.as_slice()[idx]).abs() < 5e-2,
+                "x[{idx}]: numeric {numeric} vs analytic {}",
+                dx.as_slice()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_channels() {
+        let mut bn = BatchNorm2d::new("bn", 4);
+        assert!(bn.forward(&Tensor::zeros(&[1, 3, 2, 2]), true).is_err());
+    }
+}

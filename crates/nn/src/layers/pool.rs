@@ -1,0 +1,237 @@
+use crate::{Layer, NnError, Param, Result};
+use tinyadc_tensor::Tensor;
+
+/// Max pooling with square window and stride equal to the window size
+/// (the configuration used by the VGG-style models).
+#[derive(Debug)]
+pub struct MaxPool2d {
+    window: usize,
+    cached: Option<PoolCache>,
+    name: String,
+}
+
+#[derive(Debug)]
+struct PoolCache {
+    input_dims: Vec<usize>,
+    /// For each output element, the flat input offset of the max.
+    argmax: Vec<usize>,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool layer with a `window x window` kernel and stride.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(name: impl Into<String>, window: usize) -> Self {
+        assert!(window > 0, "pool window must be positive");
+        Self {
+            window,
+            cached: None,
+            name: name.into(),
+        }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
+        let dims = input.dims();
+        if dims.len() != 4 || dims[2] < self.window || dims[3] < self.window {
+            return Err(NnError::BadInput {
+                layer: self.name.clone(),
+                expected: format!("[b, c, h>={0}, w>={0}]", self.window),
+                actual: dims.to_vec(),
+            });
+        }
+        let (b, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let k = self.window;
+        let (oh, ow) = (h / k, w / k);
+        let x = input.as_slice();
+        let mut out = vec![0.0f32; b * c * oh * ow];
+        let mut argmax = vec![0usize; out.len()];
+        for bi in 0..b {
+            for ci in 0..c {
+                let plane = (bi * c + ci) * h * w;
+                for i in 0..oh {
+                    for j in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_off = 0usize;
+                        for di in 0..k {
+                            for dj in 0..k {
+                                let off = plane + (i * k + di) * w + (j * k + dj);
+                                if x[off] > best {
+                                    best = x[off];
+                                    best_off = off;
+                                }
+                            }
+                        }
+                        let oidx = ((bi * c + ci) * oh + i) * ow + j;
+                        out[oidx] = best;
+                        argmax[oidx] = best_off;
+                    }
+                }
+            }
+        }
+        if train {
+            self.cached = Some(PoolCache {
+                input_dims: dims.to_vec(),
+                argmax,
+            });
+        }
+        Tensor::from_vec(out, &[b, c, oh, ow]).map_err(Into::into)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let cache = self
+            .cached
+            .take()
+            .ok_or_else(|| NnError::BackwardBeforeForward {
+                layer: self.name.clone(),
+            })?;
+        let mut dx = vec![0.0f32; cache.input_dims.iter().product()];
+        for (g, &off) in grad_output.as_slice().iter().zip(&cache.argmax) {
+            dx[off] += g;
+        }
+        Tensor::from_vec(dx, &cache.input_dims).map_err(Into::into)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Global average pooling: `[b, c, h, w] -> [b, c]`.
+#[derive(Debug, Default)]
+pub struct GlobalAvgPool {
+    input_dims: Option<Vec<usize>>,
+    name: String,
+}
+
+impl GlobalAvgPool {
+    /// Creates a named global-average-pool layer.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            input_dims: None,
+            name: name.into(),
+        }
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
+        let dims = input.dims();
+        if dims.len() != 4 {
+            return Err(NnError::BadInput {
+                layer: self.name.clone(),
+                expected: "[b, c, h, w]".into(),
+                actual: dims.to_vec(),
+            });
+        }
+        let (b, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let hw = (h * w) as f32;
+        let x = input.as_slice();
+        let mut out = vec![0.0f32; b * c];
+        for bi in 0..b {
+            for ci in 0..c {
+                let plane = (bi * c + ci) * h * w;
+                out[bi * c + ci] = x[plane..plane + h * w].iter().sum::<f32>() / hw;
+            }
+        }
+        if train {
+            self.input_dims = Some(dims.to_vec());
+        }
+        Tensor::from_vec(out, &[b, c]).map_err(Into::into)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let dims = self
+            .input_dims
+            .take()
+            .ok_or_else(|| NnError::BackwardBeforeForward {
+                layer: self.name.clone(),
+            })?;
+        let (b, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let hw = (h * w) as f32;
+        let g = grad_output.as_slice();
+        let mut dx = vec![0.0f32; b * c * h * w];
+        for bi in 0..b {
+            for ci in 0..c {
+                let gval = g[bi * c + ci] / hw;
+                let plane = (bi * c + ci) * h * w;
+                for v in &mut dx[plane..plane + h * w] {
+                    *v = gval;
+                }
+            }
+        }
+        Tensor::from_vec(dx, &dims).map_err(Into::into)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_picks_maxima() {
+        let mut pool = MaxPool2d::new("p", 2);
+        let x = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 3.0, 4.0, //
+                5.0, 6.0, 7.0, 8.0, //
+                9.0, 1.0, 1.0, 1.0, //
+                1.0, 1.0, 1.0, 2.0,
+            ],
+            &[1, 1, 4, 4],
+        )
+        .unwrap();
+        let y = pool.forward(&x, false).unwrap();
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.as_slice(), &[6.0, 8.0, 9.0, 2.0]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let mut pool = MaxPool2d::new("p", 2);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
+        pool.forward(&x, true).unwrap();
+        let dx = pool
+            .backward(&Tensor::from_vec(vec![10.0], &[1, 1, 1, 1]).unwrap())
+            .unwrap();
+        assert_eq!(dx.as_slice(), &[0.0, 0.0, 0.0, 10.0]);
+    }
+
+    #[test]
+    fn gap_averages_planes() {
+        let mut gap = GlobalAvgPool::new("g");
+        let x = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0, 2.0, 2.0, 2.0, 2.0], &[1, 2, 2, 2])
+            .unwrap();
+        let y = gap.forward(&x, false).unwrap();
+        assert_eq!(y.dims(), &[1, 2]);
+        assert_eq!(y.as_slice(), &[4.0, 2.0]);
+    }
+
+    #[test]
+    fn gap_backward_spreads_gradient() {
+        let mut gap = GlobalAvgPool::new("g");
+        let x = Tensor::zeros(&[1, 1, 2, 2]);
+        gap.forward(&x, true).unwrap();
+        let dx = gap
+            .backward(&Tensor::from_vec(vec![8.0], &[1, 1]).unwrap())
+            .unwrap();
+        assert_eq!(dx.as_slice(), &[2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn pool_rejects_small_input() {
+        let mut pool = MaxPool2d::new("p", 4);
+        assert!(pool.forward(&Tensor::zeros(&[1, 1, 2, 2]), false).is_err());
+    }
+}

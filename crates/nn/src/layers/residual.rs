@@ -1,0 +1,328 @@
+use crate::layers::{BatchNorm2d, Conv2d, Relu, Sequential};
+use crate::{Layer, NnError, Param, Result};
+use tinyadc_tensor::rng::SeededRng;
+use tinyadc_tensor::Tensor;
+
+/// ResNet basic block: `relu(bn2(conv2(relu(bn1(conv1(x))))) + short(x))`
+/// with an optional 1×1 conv + BN shortcut when the shape changes.
+///
+/// This is the block used by ResNet-18 in the paper; our scaled-down
+/// `resnet_s` keeps the identical topology at reduced width.
+pub struct BasicBlock {
+    main: Sequential,
+    shortcut: Option<Sequential>,
+    relu_mask: Option<Tensor>,
+    name: String,
+}
+
+impl std::fmt::Debug for BasicBlock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BasicBlock")
+            .field("name", &self.name)
+            .field("projected_shortcut", &self.shortcut.is_some())
+            .finish()
+    }
+}
+
+impl BasicBlock {
+    /// Creates a basic block mapping `in_channels → out_channels`, with
+    /// stride applied to the first conv (and the shortcut, when projected).
+    pub fn new(
+        name: impl Into<String>,
+        in_channels: usize,
+        out_channels: usize,
+        stride: usize,
+        rng: &mut SeededRng,
+    ) -> Self {
+        let name = name.into();
+        let main = Sequential::new(format!("{name}.main"))
+            .with(Conv2d::new(
+                format!("{name}.conv1"),
+                in_channels,
+                out_channels,
+                3,
+                stride,
+                1,
+                false,
+                rng,
+            ))
+            .with(BatchNorm2d::new(format!("{name}.bn1"), out_channels))
+            .with(Relu::new(format!("{name}.relu1")))
+            .with(Conv2d::new(
+                format!("{name}.conv2"),
+                out_channels,
+                out_channels,
+                3,
+                1,
+                1,
+                false,
+                rng,
+            ))
+            .with(BatchNorm2d::new(format!("{name}.bn2"), out_channels));
+        let shortcut = (stride != 1 || in_channels != out_channels).then(|| {
+            Sequential::new(format!("{name}.short"))
+                .with(Conv2d::new(
+                    format!("{name}.short_conv"),
+                    in_channels,
+                    out_channels,
+                    1,
+                    stride,
+                    0,
+                    false,
+                    rng,
+                ))
+                .with(BatchNorm2d::new(format!("{name}.short_bn"), out_channels))
+        });
+        Self {
+            main,
+            shortcut,
+            relu_mask: None,
+            name,
+        }
+    }
+}
+
+impl Layer for BasicBlock {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
+        let main_out = self.main.forward(input, train)?;
+        let short_out = match &mut self.shortcut {
+            Some(s) => s.forward(input, train)?,
+            None => input.clone(),
+        };
+        let pre = main_out.add(&short_out)?;
+        if train {
+            self.relu_mask = Some(pre.map(|x| if x > 0.0 { 1.0 } else { 0.0 }));
+        }
+        Ok(pre.map(|x| x.max(0.0)))
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let mask = self
+            .relu_mask
+            .take()
+            .ok_or_else(|| NnError::BackwardBeforeForward {
+                layer: self.name.clone(),
+            })?;
+        let d_pre = grad_output.mul(&mask)?;
+        let d_main = self.main.backward(&d_pre)?;
+        let d_short = match &mut self.shortcut {
+            Some(s) => s.backward(&d_pre)?,
+            None => d_pre,
+        };
+        Ok(d_main.add(&d_short)?)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.main.visit_params(f);
+        if let Some(s) = &mut self.shortcut {
+            s.visit_params(f);
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// ResNet bottleneck block (`1×1` reduce → `3×3` → `1×1` expand), the block
+/// ResNet-50 uses; our scaled-down `resnet_m` keeps the same topology.
+pub struct Bottleneck {
+    main: Sequential,
+    shortcut: Option<Sequential>,
+    relu_mask: Option<Tensor>,
+    name: String,
+}
+
+impl std::fmt::Debug for Bottleneck {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Bottleneck")
+            .field("name", &self.name)
+            .field("projected_shortcut", &self.shortcut.is_some())
+            .finish()
+    }
+}
+
+impl Bottleneck {
+    /// Expansion factor from mid to output channels (ResNet uses 4).
+    pub const EXPANSION: usize = 4;
+
+    /// Creates a bottleneck block `in_channels → mid_channels*EXPANSION`.
+    pub fn new(
+        name: impl Into<String>,
+        in_channels: usize,
+        mid_channels: usize,
+        stride: usize,
+        rng: &mut SeededRng,
+    ) -> Self {
+        let name = name.into();
+        let out_channels = mid_channels * Self::EXPANSION;
+        let main = Sequential::new(format!("{name}.main"))
+            .with(Conv2d::new(
+                format!("{name}.conv1"),
+                in_channels,
+                mid_channels,
+                1,
+                1,
+                0,
+                false,
+                rng,
+            ))
+            .with(BatchNorm2d::new(format!("{name}.bn1"), mid_channels))
+            .with(Relu::new(format!("{name}.relu1")))
+            .with(Conv2d::new(
+                format!("{name}.conv2"),
+                mid_channels,
+                mid_channels,
+                3,
+                stride,
+                1,
+                false,
+                rng,
+            ))
+            .with(BatchNorm2d::new(format!("{name}.bn2"), mid_channels))
+            .with(Relu::new(format!("{name}.relu2")))
+            .with(Conv2d::new(
+                format!("{name}.conv3"),
+                mid_channels,
+                out_channels,
+                1,
+                1,
+                0,
+                false,
+                rng,
+            ))
+            .with(BatchNorm2d::new(format!("{name}.bn3"), out_channels));
+        let shortcut = (stride != 1 || in_channels != out_channels).then(|| {
+            Sequential::new(format!("{name}.short"))
+                .with(Conv2d::new(
+                    format!("{name}.short_conv"),
+                    in_channels,
+                    out_channels,
+                    1,
+                    stride,
+                    0,
+                    false,
+                    rng,
+                ))
+                .with(BatchNorm2d::new(format!("{name}.short_bn"), out_channels))
+        });
+        Self {
+            main,
+            shortcut,
+            relu_mask: None,
+            name,
+        }
+    }
+}
+
+impl Layer for Bottleneck {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
+        let main_out = self.main.forward(input, train)?;
+        let short_out = match &mut self.shortcut {
+            Some(s) => s.forward(input, train)?,
+            None => input.clone(),
+        };
+        let pre = main_out.add(&short_out)?;
+        if train {
+            self.relu_mask = Some(pre.map(|x| if x > 0.0 { 1.0 } else { 0.0 }));
+        }
+        Ok(pre.map(|x| x.max(0.0)))
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let mask = self
+            .relu_mask
+            .take()
+            .ok_or_else(|| NnError::BackwardBeforeForward {
+                layer: self.name.clone(),
+            })?;
+        let d_pre = grad_output.mul(&mask)?;
+        let d_main = self.main.backward(&d_pre)?;
+        let d_short = match &mut self.shortcut {
+            Some(s) => s.backward(&d_pre)?,
+            None => d_pre,
+        };
+        Ok(d_main.add(&d_short)?)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.main.visit_params(f);
+        if let Some(s) = &mut self.shortcut {
+            s.visit_params(f);
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_block_preserves_shape() {
+        let mut rng = SeededRng::new(4);
+        let mut block = BasicBlock::new("b", 8, 8, 1, &mut rng);
+        let x = Tensor::randn(&[2, 8, 4, 4], 1.0, &mut rng);
+        let y = block.forward(&x, true).unwrap();
+        assert_eq!(y.dims(), x.dims());
+        let dx = block.backward(&Tensor::ones(&[2, 8, 4, 4])).unwrap();
+        assert_eq!(dx.dims(), x.dims());
+    }
+
+    #[test]
+    fn projected_block_changes_shape() {
+        let mut rng = SeededRng::new(4);
+        let mut block = BasicBlock::new("b", 8, 16, 2, &mut rng);
+        let x = Tensor::randn(&[2, 8, 8, 8], 1.0, &mut rng);
+        let y = block.forward(&x, true).unwrap();
+        assert_eq!(y.dims(), &[2, 16, 4, 4]);
+        let dx = block.backward(&y).unwrap();
+        assert_eq!(dx.dims(), x.dims());
+    }
+
+    #[test]
+    fn bottleneck_expands_channels() {
+        let mut rng = SeededRng::new(4);
+        let mut block = Bottleneck::new("b", 16, 4, 1, &mut rng);
+        let x = Tensor::randn(&[1, 16, 4, 4], 1.0, &mut rng);
+        let y = block.forward(&x, false).unwrap();
+        assert_eq!(y.dims(), &[1, 16, 4, 4]); // 4 * EXPANSION = 16
+    }
+
+    #[test]
+    fn skip_gradient_flows_through_identity() {
+        // Zero all main-branch weights: the block becomes relu(identity),
+        // so for positive inputs, backward must be the identity.
+        let mut rng = SeededRng::new(4);
+        let mut block = BasicBlock::new("b", 4, 4, 1, &mut rng);
+        block.visit_params(&mut |p| {
+            if p.kind.is_prunable() {
+                p.value.map_inplace(|_| 0.0);
+            }
+        });
+        let x = Tensor::full(&[1, 4, 2, 2], 2.0);
+        let y = block.forward(&x, true).unwrap();
+        for (a, b) in y.as_slice().iter().zip(x.as_slice()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+        let g = Tensor::full(&[1, 4, 2, 2], 3.0);
+        let dx = block.backward(&g).unwrap();
+        for v in dx.as_slice() {
+            assert!((v - 3.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn param_names_unique() {
+        let mut rng = SeededRng::new(4);
+        let mut block = Bottleneck::new("stage1.block0", 8, 4, 2, &mut rng);
+        let mut names = std::collections::HashSet::new();
+        block.visit_params(&mut |p| {
+            assert!(names.insert(p.name.clone()), "duplicate {}", p.name);
+        });
+        assert!(names.len() >= 8);
+    }
+}

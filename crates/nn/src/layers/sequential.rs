@@ -1,0 +1,114 @@
+use crate::{Layer, Param, Result};
+use tinyadc_tensor::Tensor;
+
+/// A chain of layers applied in order; the workhorse container for both
+/// whole networks and residual-block branches.
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+    name: String,
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sequential")
+            .field("name", &self.name)
+            .field(
+                "layers",
+                &self.layers.iter().map(|l| l.name().to_owned()).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+impl Sequential {
+    /// Creates an empty chain.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            layers: Vec::new(),
+            name: name.into(),
+        }
+    }
+
+    /// Appends a layer (builder style).
+    #[must_use]
+    pub fn with(mut self, layer: impl Layer + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends a boxed layer.
+    pub fn push(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers in the chain.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// `true` when the chain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, train)?;
+        }
+        Ok(x)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let mut g = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g)?;
+        }
+        Ok(g)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Linear, Relu};
+    use tinyadc_tensor::rng::SeededRng;
+
+    #[test]
+    fn chains_forward_and_backward() {
+        let mut rng = SeededRng::new(2);
+        let mut seq = Sequential::new("mlp")
+            .with(Linear::new("fc1", 4, 8, true, &mut rng))
+            .with(Relu::new("r1"))
+            .with(Linear::new("fc2", 8, 2, true, &mut rng));
+        assert_eq!(seq.len(), 3);
+        let x = Tensor::randn(&[3, 4], 1.0, &mut rng);
+        let y = seq.forward(&x, true).unwrap();
+        assert_eq!(y.dims(), &[3, 2]);
+        let dx = seq.backward(&Tensor::ones(&[3, 2])).unwrap();
+        assert_eq!(dx.dims(), &[3, 4]);
+    }
+
+    #[test]
+    fn visits_all_params() {
+        let mut rng = SeededRng::new(2);
+        let mut seq = Sequential::new("mlp")
+            .with(Linear::new("fc1", 4, 8, true, &mut rng))
+            .with(Linear::new("fc2", 8, 2, false, &mut rng));
+        let mut names = Vec::new();
+        seq.visit_params(&mut |p| names.push(p.name.clone()));
+        assert_eq!(names, vec!["fc1.weight", "fc1.bias", "fc2.weight"]);
+    }
+}

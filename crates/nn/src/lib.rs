@@ -1,0 +1,57 @@
+//! # tinyadc-nn
+//!
+//! Neural-network training substrate for the TinyADC reproduction.
+//!
+//! The TinyADC paper trains ResNet-18/50 and VGG-16 with PyTorch on GPUs;
+//! this crate is the from-scratch Rust replacement: layers with manual
+//! backpropagation, an SGD(+momentum) optimizer, seeded synthetic
+//! image-classification datasets at three difficulty tiers (standing in for
+//! CIFAR-10 / CIFAR-100 / ImageNet — see `DESIGN.md` §2), and faithful
+//! scaled-down ResNet / VGG model builders.
+//!
+//! The crate exposes exactly the hooks the ADMM pruning machinery in
+//! `tinyadc-prune` needs: named parameters ([`Param`]) visitable through
+//! [`Layer::visit_params`], and a trainer with per-step callbacks.
+//!
+//! # Example
+//!
+//! ```
+//! use tinyadc_nn::{models, data::{DatasetTier, SyntheticImageDataset}};
+//! use tinyadc_nn::train::{Trainer, TrainConfig};
+//! use tinyadc_tensor::rng::SeededRng;
+//!
+//! # fn main() -> Result<(), tinyadc_nn::NnError> {
+//! let mut rng = SeededRng::new(0);
+//! let data = SyntheticImageDataset::generate(DatasetTier::Tier1Cifar10Like, 64, 32, &mut rng)?;
+//! let mut net = models::mlp("mlp", data.input_dims(), data.num_classes(), &[32], &mut rng)?;
+//! let report = Trainer::new(TrainConfig { epochs: 1, ..TrainConfig::default() })
+//!     .fit(&mut net, &data, &mut rng)?;
+//! assert!(report.final_train_loss.is_finite());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod layer;
+
+pub mod augment;
+pub mod data;
+pub mod init;
+pub mod layers;
+pub mod loss;
+pub mod metrics;
+pub mod models;
+pub mod network;
+pub mod optim;
+pub mod serialize;
+pub mod train;
+
+pub use error::NnError;
+pub use layer::{Layer, Param, ParamKind};
+pub use network::Network;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, NnError>;

@@ -1,0 +1,149 @@
+//! Loss functions.
+
+use crate::{NnError, Result};
+use tinyadc_tensor::Tensor;
+
+/// Softmax cross-entropy over logits `[batch, classes]` with integer
+/// labels; returns the mean loss and the gradient w.r.t. the logits.
+///
+/// The softmax is computed with the usual max-subtraction for numerical
+/// stability, and the returned gradient is already divided by the batch
+/// size, so it feeds straight into `backward`.
+///
+/// # Errors
+///
+/// Returns [`NnError::BadInput`] when `logits` is not rank-2 or
+/// `labels.len()` differs from the batch size, and
+/// [`NnError::BadDataset`] when a label is out of range.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<(f32, Tensor)> {
+    let dims = logits.dims();
+    if dims.len() != 2 {
+        return Err(NnError::BadInput {
+            layer: "softmax_cross_entropy".into(),
+            expected: "[batch, classes]".into(),
+            actual: dims.to_vec(),
+        });
+    }
+    let (batch, classes) = (dims[0], dims[1]);
+    if labels.len() != batch {
+        return Err(NnError::BadInput {
+            layer: "softmax_cross_entropy".into(),
+            expected: format!("{batch} labels"),
+            actual: vec![labels.len()],
+        });
+    }
+    let x = logits.as_slice();
+    let mut grad = vec![0.0f32; x.len()];
+    let mut loss = 0.0f32;
+    for b in 0..batch {
+        let label = labels[b];
+        if label >= classes {
+            return Err(NnError::BadDataset(format!(
+                "label {label} out of range for {classes} classes"
+            )));
+        }
+        let row = &x[b * classes..(b + 1) * classes];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
+        let z: f32 = exps.iter().sum();
+        let log_z = z.ln();
+        loss += log_z - (row[label] - max);
+        let grow = &mut grad[b * classes..(b + 1) * classes];
+        for (j, g) in grow.iter_mut().enumerate() {
+            let p = exps[j] / z;
+            *g = (p - if j == label { 1.0 } else { 0.0 }) / batch as f32;
+        }
+    }
+    Ok((loss / batch as f32, Tensor::from_vec(grad, dims)?))
+}
+
+/// Top-k correctness of logits `[batch, classes]` against labels: returns
+/// the number of samples whose true label is among the k largest logits.
+///
+/// # Errors
+///
+/// Same conditions as [`softmax_cross_entropy`].
+pub fn top_k_correct(logits: &Tensor, labels: &[usize], k: usize) -> Result<usize> {
+    let dims = logits.dims();
+    if dims.len() != 2 || labels.len() != dims[0] {
+        return Err(NnError::BadInput {
+            layer: "top_k_correct".into(),
+            expected: "[batch, classes] plus matching labels".into(),
+            actual: dims.to_vec(),
+        });
+    }
+    let (batch, classes) = (dims[0], dims[1]);
+    let x = logits.as_slice();
+    let mut correct = 0;
+    for b in 0..batch {
+        let row = &x[b * classes..(b + 1) * classes];
+        let target = row[labels[b]];
+        // Rank = number of logits strictly greater than the target's.
+        let rank = row.iter().filter(|&&v| v > target).count();
+        if rank < k {
+            correct += 1;
+        }
+    }
+    Ok(correct)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_of_perfect_prediction_is_small() {
+        let logits = Tensor::from_vec(vec![10.0, 0.0, 0.0, 0.0, 10.0, 0.0], &[2, 3]).unwrap();
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 1]).unwrap();
+        assert!(loss < 1e-3, "loss={loss}");
+    }
+
+    #[test]
+    fn uniform_logits_give_log_classes() {
+        let logits = Tensor::zeros(&[1, 4]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[2]).unwrap();
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_sums_to_zero_per_row() {
+        let logits = Tensor::from_vec(vec![1.0, -2.0, 0.5], &[1, 3]).unwrap();
+        let (_, grad) = softmax_cross_entropy(&logits, &[1]).unwrap();
+        assert!(grad.sum().abs() < 1e-6);
+        // Gradient at the true label is negative.
+        assert!(grad.at(&[0, 1]).unwrap() < 0.0);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let logits = Tensor::from_vec(vec![0.3, -0.7, 1.1, 0.0], &[2, 2]).unwrap();
+        let labels = [0usize, 1];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels).unwrap();
+        let eps = 1e-3f32;
+        for idx in 0..4 {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[idx] += eps;
+            let (l1, _) = softmax_cross_entropy(&lp, &labels).unwrap();
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[idx] -= eps;
+            let (l2, _) = softmax_cross_entropy(&lm, &labels).unwrap();
+            let numeric = (l1 - l2) / (2.0 * eps);
+            assert!((numeric - grad.as_slice()[idx]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn bad_label_is_rejected() {
+        let logits = Tensor::zeros(&[1, 3]);
+        assert!(softmax_cross_entropy(&logits, &[3]).is_err());
+    }
+
+    #[test]
+    fn top_k_counts() {
+        let logits =
+            Tensor::from_vec(vec![3.0, 2.0, 1.0, 1.0, 2.0, 3.0], &[2, 3]).unwrap();
+        assert_eq!(top_k_correct(&logits, &[0, 0], 1).unwrap(), 1);
+        assert_eq!(top_k_correct(&logits, &[0, 0], 3).unwrap(), 2);
+        assert_eq!(top_k_correct(&logits, &[1, 1], 2).unwrap(), 2);
+    }
+}

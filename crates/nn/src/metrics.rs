@@ -1,0 +1,116 @@
+//! Evaluation metrics.
+
+use crate::loss::top_k_correct;
+use crate::Result;
+use tinyadc_tensor::Tensor;
+
+/// Running accuracy accumulator over batches.
+///
+/// # Example
+///
+/// ```
+/// use tinyadc_nn::metrics::Accuracy;
+/// use tinyadc_tensor::Tensor;
+///
+/// # fn main() -> Result<(), tinyadc_nn::NnError> {
+/// let mut acc = Accuracy::top1();
+/// let logits = Tensor::from_vec(vec![2.0, 1.0, 0.0, 3.0], &[2, 2])?;
+/// acc.update(&logits, &[0, 1])?;
+/// assert_eq!(acc.value(), 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Accuracy {
+    correct: usize,
+    total: usize,
+    k: usize,
+}
+
+impl Accuracy {
+    /// Top-1 accuracy.
+    pub fn top1() -> Self {
+        Self::top_k(1)
+    }
+
+    /// Top-5 accuracy (the paper reports top-5 for ImageNet).
+    pub fn top5() -> Self {
+        Self::top_k(5)
+    }
+
+    /// Top-k accuracy for arbitrary k ≥ 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn top_k(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        Self {
+            correct: 0,
+            total: 0,
+            k,
+        }
+    }
+
+    /// Folds one batch of logits/labels into the accumulator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the logits check.
+    pub fn update(&mut self, logits: &Tensor, labels: &[usize]) -> Result<()> {
+        self.correct += top_k_correct(logits, labels, self.k)?;
+        self.total += labels.len();
+        Ok(())
+    }
+
+    /// Accuracy in `[0, 1]`; 0 when nothing has been accumulated.
+    pub fn value(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.total as f64
+        }
+    }
+
+    /// Accuracy as a percentage (paper convention).
+    pub fn percent(&self) -> f64 {
+        self.value() * 100.0
+    }
+
+    /// Number of samples folded in so far.
+    pub fn count(&self) -> usize {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_across_batches() {
+        let mut acc = Accuracy::top1();
+        let l1 = Tensor::from_vec(vec![1.0, 0.0], &[1, 2]).unwrap();
+        acc.update(&l1, &[0]).unwrap(); // correct
+        acc.update(&l1, &[1]).unwrap(); // wrong
+        assert_eq!(acc.value(), 0.5);
+        assert_eq!(acc.percent(), 50.0);
+        assert_eq!(acc.count(), 2);
+    }
+
+    #[test]
+    fn top5_is_more_permissive() {
+        let logits = Tensor::from_vec(vec![5.0, 4.0, 3.0, 2.0, 1.0, 0.0], &[1, 6]).unwrap();
+        let mut t1 = Accuracy::top1();
+        let mut t5 = Accuracy::top5();
+        t1.update(&logits, &[4]).unwrap();
+        t5.update(&logits, &[4]).unwrap();
+        assert_eq!(t1.value(), 0.0);
+        assert_eq!(t5.value(), 1.0);
+    }
+
+    #[test]
+    fn empty_accumulator_is_zero() {
+        assert_eq!(Accuracy::top1().value(), 0.0);
+    }
+}

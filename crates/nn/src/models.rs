@@ -1,0 +1,376 @@
+//! Model zoo: faithful scaled-down counterparts of the networks the paper
+//! evaluates (ResNet-18, ResNet-50, VGG-16) plus an MLP for tests.
+//!
+//! Topology is preserved — stage counts, block types (basic vs bottleneck
+//! vs plain VGG stacks), stride placement — while channel widths are scaled
+//! down so the networks train in seconds on a CPU. Column-proportional
+//! pruning interacts with architecture only through per-layer 2-D weight
+//! shapes, so the co-design behaviour carries over (DESIGN.md §2).
+
+use crate::layers::{
+    BasicBlock, BatchNorm2d, Bottleneck, Conv2d, Dropout, Flatten, GlobalAvgPool, Linear,
+    MaxPool2d, Relu, Sequential,
+};
+use crate::{Network, NnError, Result};
+use tinyadc_tensor::rng::SeededRng;
+
+/// Multi-layer perceptron over flattened input; used by fast tests and the
+/// quickstart example.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidConfig`] for empty input dims or zero classes.
+pub fn mlp(
+    name: &str,
+    input_dims: Vec<usize>,
+    num_classes: usize,
+    hidden: &[usize],
+    rng: &mut SeededRng,
+) -> Result<Network> {
+    if input_dims.is_empty() || num_classes == 0 {
+        return Err(NnError::InvalidConfig(
+            "mlp needs non-empty input dims and at least one class".into(),
+        ));
+    }
+    let mut stack = Sequential::new(name.to_owned()).with(Flatten::new("flatten"));
+    let mut in_features: usize = input_dims.iter().product();
+    for (i, &h) in hidden.iter().enumerate() {
+        stack.push(Box::new(Linear::new(
+            format!("fc{i}"),
+            in_features,
+            h,
+            true,
+            rng,
+        )));
+        stack.push(Box::new(Relu::new(format!("relu{i}"))));
+        in_features = h;
+    }
+    stack.push(Box::new(Linear::new(
+        "head",
+        in_features,
+        num_classes,
+        true,
+        rng,
+    )));
+    Ok(Network::new(name.to_owned(), stack, input_dims, num_classes))
+}
+
+/// Scaled-down ResNet-18: 3×3 stem, four stages of [`BasicBlock`]s with
+/// block counts `[2, 2, 2, 2]` and widths `[w, 2w, 4w, 8w]`, global average
+/// pool, linear head. `width` defaults to 8 in the experiment harness.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidConfig`] for `width == 0`, zero classes, or
+/// non-image input dims.
+pub fn resnet_s(
+    name: &str,
+    input_dims: Vec<usize>,
+    num_classes: usize,
+    width: usize,
+    rng: &mut SeededRng,
+) -> Result<Network> {
+    resnet_basic(name, input_dims, num_classes, width, &[2, 2, 2, 2], rng)
+}
+
+/// ResNet with [`BasicBlock`]s and arbitrary per-stage block counts —
+/// `resnet_s` is `blocks = [2,2,2,2]`.
+///
+/// # Errors
+///
+/// As for [`resnet_s`].
+pub fn resnet_basic(
+    name: &str,
+    input_dims: Vec<usize>,
+    num_classes: usize,
+    width: usize,
+    blocks: &[usize],
+    rng: &mut SeededRng,
+) -> Result<Network> {
+    let in_channels = check_image_input(&input_dims, num_classes, width)?;
+    let mut stack = Sequential::new(name.to_owned())
+        .with(Conv2d::new("stem.conv", in_channels, width, 3, 1, 1, false, rng))
+        .with(BatchNorm2d::new("stem.bn", width))
+        .with(Relu::new("stem.relu"));
+    let mut channels = width;
+    for (s, &count) in blocks.iter().enumerate() {
+        let out = width << s;
+        for b in 0..count {
+            let stride = if s > 0 && b == 0 { 2 } else { 1 };
+            stack.push(Box::new(BasicBlock::new(
+                format!("stage{s}.block{b}"),
+                channels,
+                out,
+                stride,
+                rng,
+            )));
+            channels = out;
+        }
+    }
+    let stack = stack
+        .with(GlobalAvgPool::new("gap"))
+        .with(Linear::new("head", channels, num_classes, true, rng));
+    Ok(Network::new(name.to_owned(), stack, input_dims, num_classes))
+}
+
+/// Scaled-down ResNet-50: four stages of [`Bottleneck`]s with block counts
+/// `[3, 4, 6, 3]` compressed to `[1, 2, 2, 1]` and mid-widths
+/// `[w, 2w, 4w, 8w]` (output widths ×4 via the bottleneck expansion).
+///
+/// # Errors
+///
+/// As for [`resnet_s`].
+pub fn resnet_m(
+    name: &str,
+    input_dims: Vec<usize>,
+    num_classes: usize,
+    width: usize,
+    rng: &mut SeededRng,
+) -> Result<Network> {
+    let in_channels = check_image_input(&input_dims, num_classes, width)?;
+    let blocks = [1usize, 2, 2, 1];
+    let mut stack = Sequential::new(name.to_owned())
+        .with(Conv2d::new("stem.conv", in_channels, width, 3, 1, 1, false, rng))
+        .with(BatchNorm2d::new("stem.bn", width))
+        .with(Relu::new("stem.relu"));
+    let mut channels = width;
+    for (s, &count) in blocks.iter().enumerate() {
+        let mid = width << s;
+        for b in 0..count {
+            let stride = if s > 0 && b == 0 { 2 } else { 1 };
+            stack.push(Box::new(Bottleneck::new(
+                format!("stage{s}.block{b}"),
+                channels,
+                mid,
+                stride,
+                rng,
+            )));
+            channels = mid * Bottleneck::EXPANSION;
+        }
+    }
+    let stack = stack
+        .with(GlobalAvgPool::new("gap"))
+        .with(Linear::new("head", channels, num_classes, true, rng));
+    Ok(Network::new(name.to_owned(), stack, input_dims, num_classes))
+}
+
+/// Scaled-down VGG-16: three plain conv blocks (`2 + 2 + 3` convs, widths
+/// `[w, 2w, 4w]`) each followed by 2×2 max-pool, then a linear classifier —
+/// the 13-conv ImageNet VGG compressed for 16×16 inputs while keeping the
+/// plain (non-residual) topology the paper contrasts with ResNet.
+///
+/// # Errors
+///
+/// As for [`resnet_s`].
+pub fn vgg_s(
+    name: &str,
+    input_dims: Vec<usize>,
+    num_classes: usize,
+    width: usize,
+    rng: &mut SeededRng,
+) -> Result<Network> {
+    let in_channels = check_image_input(&input_dims, num_classes, width)?;
+    let (h, w_px) = (input_dims[1], input_dims[2]);
+    let mut stack = Sequential::new(name.to_owned());
+    let specs: [(usize, usize); 3] = [(2, width), (2, width * 2), (3, width * 4)];
+    let mut channels = in_channels;
+    for (blk, &(convs, out)) in specs.iter().enumerate() {
+        for ci in 0..convs {
+            stack.push(Box::new(Conv2d::new(
+                format!("block{blk}.conv{ci}"),
+                channels,
+                out,
+                3,
+                1,
+                1,
+                false,
+                rng,
+            )));
+            stack.push(Box::new(BatchNorm2d::new(
+                format!("block{blk}.bn{ci}"),
+                out,
+            )));
+            stack.push(Box::new(Relu::new(format!("block{blk}.relu{ci}"))));
+            channels = out;
+        }
+        stack.push(Box::new(MaxPool2d::new(format!("block{blk}.pool"), 2)));
+    }
+    let spatial = (h >> specs.len()) * (w_px >> specs.len());
+    let stack = stack
+        .with(Flatten::new("flatten"))
+        .with(Linear::new("head", channels * spatial, num_classes, true, rng));
+    Ok(Network::new(name.to_owned(), stack, input_dims, num_classes))
+}
+
+/// [`vgg_s`] with a dropout-regularised classifier head (the full-size
+/// VGG-16's two dropout layers, compressed to one for the scaled model).
+///
+/// # Errors
+///
+/// As for [`vgg_s`], plus invalid dropout probabilities.
+pub fn vgg_s_dropout(
+    name: &str,
+    input_dims: Vec<usize>,
+    num_classes: usize,
+    width: usize,
+    dropout: f32,
+    rng: &mut SeededRng,
+) -> Result<Network> {
+    let in_channels = check_image_input(&input_dims, num_classes, width)?;
+    let (h, w_px) = (input_dims[1], input_dims[2]);
+    let mut stack = Sequential::new(name.to_owned());
+    let specs: [(usize, usize); 3] = [(2, width), (2, width * 2), (3, width * 4)];
+    let mut channels = in_channels;
+    for (blk, &(convs, out)) in specs.iter().enumerate() {
+        for ci in 0..convs {
+            stack.push(Box::new(Conv2d::new(
+                format!("block{blk}.conv{ci}"),
+                channels,
+                out,
+                3,
+                1,
+                1,
+                false,
+                rng,
+            )));
+            stack.push(Box::new(BatchNorm2d::new(format!("block{blk}.bn{ci}"), out)));
+            stack.push(Box::new(Relu::new(format!("block{blk}.relu{ci}"))));
+            channels = out;
+        }
+        stack.push(Box::new(MaxPool2d::new(format!("block{blk}.pool"), 2)));
+    }
+    let spatial = (h >> specs.len()) * (w_px >> specs.len());
+    stack.push(Box::new(Flatten::new("flatten")));
+    stack.push(Box::new(Dropout::new("head_dropout", dropout, rng)?));
+    stack.push(Box::new(Linear::new(
+        "head",
+        channels * spatial,
+        num_classes,
+        true,
+        rng,
+    )));
+    Ok(Network::new(name.to_owned(), stack, input_dims, num_classes))
+}
+
+fn check_image_input(input_dims: &[usize], num_classes: usize, width: usize) -> Result<usize> {
+    if input_dims.len() != 3 {
+        return Err(NnError::InvalidConfig(format!(
+            "image models need [c, h, w] input dims, got {input_dims:?}"
+        )));
+    }
+    if num_classes == 0 || width == 0 {
+        return Err(NnError::InvalidConfig(
+            "num_classes and width must be positive".into(),
+        ));
+    }
+    Ok(input_dims[0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinyadc_tensor::Tensor;
+
+    #[test]
+    fn resnet_s_forward_shape() {
+        let mut rng = SeededRng::new(1);
+        let mut net = resnet_s("r18", vec![3, 16, 16], 10, 4, &mut rng).unwrap();
+        let x = Tensor::randn(&[2, 3, 16, 16], 1.0, &mut rng);
+        let y = net.forward(&x, false).unwrap();
+        assert_eq!(y.dims(), &[2, 10]);
+    }
+
+    #[test]
+    fn resnet_m_forward_shape() {
+        let mut rng = SeededRng::new(1);
+        let mut net = resnet_m("r50", vec![3, 16, 16], 20, 4, &mut rng).unwrap();
+        let x = Tensor::randn(&[1, 3, 16, 16], 1.0, &mut rng);
+        let y = net.forward(&x, false).unwrap();
+        assert_eq!(y.dims(), &[1, 20]);
+    }
+
+    #[test]
+    fn vgg_s_forward_shape() {
+        let mut rng = SeededRng::new(1);
+        let mut net = vgg_s("vgg", vec![3, 16, 16], 10, 4, &mut rng).unwrap();
+        let x = Tensor::randn(&[2, 3, 16, 16], 1.0, &mut rng);
+        let y = net.forward(&x, false).unwrap();
+        assert_eq!(y.dims(), &[2, 10]);
+    }
+
+    #[test]
+    fn vgg_dropout_variant_trains_and_evals() {
+        let mut rng = SeededRng::new(1);
+        let mut net = vgg_s_dropout("vggd", vec![3, 16, 16], 10, 4, 0.5, &mut rng).unwrap();
+        let x = Tensor::randn(&[2, 3, 16, 16], 1.0, &mut rng);
+        // Train mode runs the dropout path and backprop works end to end.
+        let y = net.forward(&x, true).unwrap();
+        assert_eq!(y.dims(), &[2, 10]);
+        net.backward(&Tensor::ones(&[2, 10])).unwrap();
+        // Eval mode is deterministic (dropout is identity).
+        let e1 = net.forward(&x, false).unwrap();
+        let e2 = net.forward(&x, false).unwrap();
+        assert_eq!(e1, e2);
+        // Invalid probability propagates.
+        assert!(vgg_s_dropout("x", vec![3, 16, 16], 10, 4, 1.5, &mut rng).is_err());
+    }
+
+    #[test]
+    fn mlp_forward_shape() {
+        let mut rng = SeededRng::new(1);
+        let mut net = mlp("m", vec![3, 4, 4], 5, &[16, 8], &mut rng).unwrap();
+        let x = Tensor::randn(&[3, 3, 4, 4], 1.0, &mut rng);
+        let y = net.forward(&x, false).unwrap();
+        assert_eq!(y.dims(), &[3, 5]);
+    }
+
+    #[test]
+    fn training_mode_backward_works_end_to_end() {
+        let mut rng = SeededRng::new(1);
+        let mut net = resnet_s("r18", vec![3, 8, 8], 4, 2, &mut rng).unwrap();
+        let x = Tensor::randn(&[2, 3, 8, 8], 1.0, &mut rng);
+        let y = net.forward(&x, true).unwrap();
+        let dx = net.backward(&Tensor::ones(y.dims())).unwrap();
+        assert_eq!(dx.dims(), x.dims());
+    }
+
+    #[test]
+    fn parameter_names_are_unique_across_model() {
+        let mut rng = SeededRng::new(1);
+        for net in [
+            resnet_s("a", vec![3, 16, 16], 10, 4, &mut rng).unwrap(),
+            resnet_m("b", vec![3, 16, 16], 10, 4, &mut rng).unwrap(),
+            vgg_s("c", vec![3, 16, 16], 10, 4, &mut rng).unwrap(),
+        ] {
+            let mut net = net;
+            let mut names = std::collections::HashSet::new();
+            net.visit_params(&mut |p| {
+                assert!(names.insert(p.name.clone()), "duplicate {}", p.name);
+            });
+        }
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut rng = SeededRng::new(1);
+        assert!(resnet_s("x", vec![3, 16], 10, 4, &mut rng).is_err());
+        assert!(resnet_s("x", vec![3, 16, 16], 0, 4, &mut rng).is_err());
+        assert!(vgg_s("x", vec![3, 16, 16], 10, 0, &mut rng).is_err());
+        assert!(mlp("x", vec![], 10, &[4], &mut rng).is_err());
+    }
+
+    #[test]
+    fn resnet_s_has_expected_depth() {
+        // 4 stages x 2 blocks x 2 convs + stem + head-linear + shortcuts.
+        let mut rng = SeededRng::new(1);
+        let mut net = resnet_s("r18", vec![3, 16, 16], 10, 4, &mut rng).unwrap();
+        let mut conv_weights = 0;
+        net.visit_params(&mut |p| {
+            if p.kind == crate::ParamKind::ConvWeight {
+                conv_weights += 1;
+            }
+        });
+        // stem + 16 block convs + 3 projection shortcuts = 20
+        assert_eq!(conv_weights, 20);
+    }
+}

@@ -1,0 +1,215 @@
+//! The [`Network`] container: a named stack of layers with whole-model
+//! parameter access.
+
+use crate::layers::Sequential;
+use crate::{Layer, Param, Result};
+use tinyadc_tensor::Tensor;
+
+/// A complete model: a [`Sequential`] stack plus model-level conveniences
+/// (parameter snapshots/restore, sparsity audits). This is the type the
+/// trainer, the pruning framework, and the crossbar mapper all consume.
+pub struct Network {
+    stack: Sequential,
+    name: String,
+    input_dims: Vec<usize>,
+    num_classes: usize,
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("name", &self.name)
+            .field("input_dims", &self.input_dims)
+            .field("num_classes", &self.num_classes)
+            .finish()
+    }
+}
+
+impl Network {
+    /// Wraps a layer stack into a model.
+    pub fn new(
+        name: impl Into<String>,
+        stack: Sequential,
+        input_dims: Vec<usize>,
+        num_classes: usize,
+    ) -> Self {
+        Self {
+            stack,
+            name: name.into(),
+            input_dims,
+            num_classes,
+        }
+    }
+
+    /// The model's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Expected per-sample input shape (no batch axis), e.g. `[3, 16, 16]`.
+    pub fn input_dims(&self) -> &[usize] {
+        &self.input_dims
+    }
+
+    /// Number of output classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Forward pass on a batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer errors (shape mismatches and the like).
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
+        self.stack.forward(input, train)
+    }
+
+    /// Backward pass; returns the input gradient.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer errors.
+    pub fn backward(&mut self, grad: &Tensor) -> Result<Tensor> {
+        self.stack.backward(grad)
+    }
+
+    /// Visits every learnable parameter.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.stack.visit_params(f);
+    }
+
+    /// Clears all gradients.
+    pub fn zero_grads(&mut self) {
+        self.stack.zero_grads();
+    }
+
+    /// Total learnable scalar count.
+    pub fn param_count(&mut self) -> usize {
+        self.stack.param_count()
+    }
+
+    /// Count of scalars in *prunable* (conv/linear weight) parameters.
+    pub fn prunable_param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| {
+            if p.kind.is_prunable() {
+                n += p.value.len();
+            }
+        });
+        n
+    }
+
+    /// Fraction of prunable weights that are exactly zero.
+    pub fn prunable_sparsity(&mut self) -> f64 {
+        let (mut zeros, mut total) = (0usize, 0usize);
+        self.visit_params(&mut |p| {
+            if p.kind.is_prunable() {
+                total += p.value.len();
+                zeros += p.value.len() - p.value.count_nonzero();
+            }
+        });
+        if total == 0 {
+            0.0
+        } else {
+            zeros as f64 / total as f64
+        }
+    }
+
+    /// Snapshots every parameter value, keyed by name.
+    pub fn snapshot(&mut self) -> Vec<(String, Tensor)> {
+        let mut out = Vec::new();
+        self.visit_params(&mut |p| out.push((p.name.clone(), p.value.clone())));
+        out
+    }
+
+    /// Restores parameter values from a snapshot; parameters missing from
+    /// the snapshot are left untouched.
+    pub fn restore(&mut self, snapshot: &[(String, Tensor)]) {
+        self.visit_params(&mut |p| {
+            if let Some((_, v)) = snapshot.iter().find(|(n, _)| n == &p.name) {
+                p.value = v.clone();
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Flatten, Linear, Relu};
+    use tinyadc_tensor::rng::SeededRng;
+
+    fn tiny_net(rng: &mut SeededRng) -> Network {
+        let stack = Sequential::new("net")
+            .with(Flatten::new("flat"))
+            .with(Linear::new("fc1", 8, 6, true, rng))
+            .with(Relu::new("r"))
+            .with(Linear::new("fc2", 6, 3, true, rng));
+        Network::new("tiny", stack, vec![2, 2, 2], 3)
+    }
+
+    #[test]
+    fn forward_backward_shapes() {
+        let mut rng = SeededRng::new(6);
+        let mut net = tiny_net(&mut rng);
+        let x = Tensor::randn(&[5, 2, 2, 2], 1.0, &mut rng);
+        let y = net.forward(&x, true).unwrap();
+        assert_eq!(y.dims(), &[5, 3]);
+        let dx = net.backward(&Tensor::ones(&[5, 3])).unwrap();
+        assert_eq!(dx.dims(), &[5, 2, 2, 2]);
+    }
+
+    #[test]
+    fn param_counts() {
+        let mut rng = SeededRng::new(6);
+        let mut net = tiny_net(&mut rng);
+        // fc1: 8*6+6, fc2: 6*3+3
+        assert_eq!(net.param_count(), 48 + 6 + 18 + 3);
+        assert_eq!(net.prunable_param_count(), 48 + 18);
+    }
+
+    #[test]
+    fn snapshot_carries_batchnorm_running_stats() {
+        // Regression test: rebuilding a model from a snapshot must
+        // reproduce eval-mode outputs exactly, which requires the
+        // batch-norm running statistics to travel with the snapshot.
+        use crate::layers::BatchNorm2d;
+        let mut rng = SeededRng::new(8);
+        let build = |rng: &mut SeededRng| {
+            let stack = Sequential::new("n")
+                .with(crate::layers::Conv2d::new("c", 2, 4, 3, 1, 1, false, rng))
+                .with(BatchNorm2d::new("bn", 4));
+            Network::new("n", stack, vec![2, 4, 4], 4)
+        };
+        let mut net = build(&mut rng);
+        // Drive the running stats away from their init values.
+        for _ in 0..5 {
+            let x = Tensor::randn(&[4, 2, 4, 4], 2.0, &mut rng).add_scalar(1.0);
+            net.forward(&x, true).unwrap();
+        }
+        let x = Tensor::randn(&[2, 2, 4, 4], 1.0, &mut rng);
+        let reference = net.forward(&x, false).unwrap();
+
+        let snapshot = net.snapshot();
+        let mut rng2 = SeededRng::new(999); // different init on purpose
+        let mut rebuilt = build(&mut rng2);
+        rebuilt.restore(&snapshot);
+        assert_eq!(rebuilt.forward(&x, false).unwrap(), reference);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip() {
+        let mut rng = SeededRng::new(6);
+        let mut net = tiny_net(&mut rng);
+        let snap = net.snapshot();
+        net.visit_params(&mut |p| p.value.map_inplace(|_| 0.0));
+        assert_eq!(net.prunable_sparsity(), 1.0);
+        net.restore(&snap);
+        let again = net.snapshot();
+        for ((n1, t1), (n2, t2)) in snap.iter().zip(&again) {
+            assert_eq!(n1, n2);
+            assert_eq!(t1, t2);
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Binary snapshot serialization.
+//!
+//! Trained (and pruned) models are persisted as parameter snapshots in a
+//! small, versioned, little-endian binary format, so experiments can save
+//! a pruned model once and reload it for later fault-injection or mapping
+//! studies without retraining. No external dependencies — the format is
+//! part of this reproduction.
+//!
+//! Layout: magic `TADC`, format version, entry count, then per entry a
+//! length-prefixed UTF-8 name, the rank, the dims, and the f32 payload.
+
+use crate::{Network, NnError, Result};
+use std::io::{Read, Write};
+use tinyadc_tensor::Tensor;
+
+const MAGIC: &[u8; 4] = b"TADC";
+const VERSION: u32 = 1;
+
+/// Writes a parameter snapshot to any [`Write`] sink (pass `&mut file` if
+/// you need the writer back).
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidConfig`] wrapping I/O failures.
+pub fn write_snapshot<W: Write>(
+    mut sink: W,
+    snapshot: &[(String, Tensor)],
+) -> Result<()> {
+    let io = |e: std::io::Error| NnError::InvalidConfig(format!("snapshot write failed: {e}"));
+    sink.write_all(MAGIC).map_err(io)?;
+    sink.write_all(&VERSION.to_le_bytes()).map_err(io)?;
+    sink.write_all(&(snapshot.len() as u32).to_le_bytes())
+        .map_err(io)?;
+    for (name, tensor) in snapshot {
+        let bytes = name.as_bytes();
+        sink.write_all(&(bytes.len() as u32).to_le_bytes()).map_err(io)?;
+        sink.write_all(bytes).map_err(io)?;
+        sink.write_all(&(tensor.rank() as u32).to_le_bytes())
+            .map_err(io)?;
+        for &d in tensor.dims() {
+            sink.write_all(&(d as u64).to_le_bytes()).map_err(io)?;
+        }
+        for &v in tensor.as_slice() {
+            sink.write_all(&v.to_le_bytes()).map_err(io)?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a parameter snapshot from any [`Read`] source.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidConfig`] for I/O failures, bad magic, an
+/// unsupported version, or malformed entries.
+pub fn read_snapshot<R: Read>(mut source: R) -> Result<Vec<(String, Tensor)>> {
+    let io = |e: std::io::Error| NnError::InvalidConfig(format!("snapshot read failed: {e}"));
+    let mut magic = [0u8; 4];
+    source.read_exact(&mut magic).map_err(io)?;
+    if &magic != MAGIC {
+        return Err(NnError::InvalidConfig("not a TADC snapshot".into()));
+    }
+    let version = read_u32(&mut source)?;
+    if version != VERSION {
+        return Err(NnError::InvalidConfig(format!(
+            "unsupported snapshot version {version}"
+        )));
+    }
+    let count = read_u32(&mut source)? as usize;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let name_len = read_u32(&mut source)? as usize;
+        if name_len > 4096 {
+            return Err(NnError::InvalidConfig("implausible name length".into()));
+        }
+        let mut name_bytes = vec![0u8; name_len];
+        source.read_exact(&mut name_bytes).map_err(io)?;
+        let name = String::from_utf8(name_bytes)
+            .map_err(|_| NnError::InvalidConfig("snapshot name is not UTF-8".into()))?;
+        let rank = read_u32(&mut source)? as usize;
+        if rank > 8 {
+            return Err(NnError::InvalidConfig("implausible tensor rank".into()));
+        }
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            let mut b = [0u8; 8];
+            source.read_exact(&mut b).map_err(io)?;
+            dims.push(u64::from_le_bytes(b) as usize);
+        }
+        let volume: usize = dims.iter().product();
+        if volume > 1 << 28 {
+            return Err(NnError::InvalidConfig("implausible tensor volume".into()));
+        }
+        let mut data = Vec::with_capacity(volume);
+        for _ in 0..volume {
+            let mut b = [0u8; 4];
+            source.read_exact(&mut b).map_err(io)?;
+            data.push(f32::from_le_bytes(b));
+        }
+        out.push((name, Tensor::from_vec(data, &dims)?));
+    }
+    Ok(out)
+}
+
+fn read_u32<R: Read>(source: &mut R) -> Result<u32> {
+    let mut b = [0u8; 4];
+    source
+        .read_exact(&mut b)
+        .map_err(|e| NnError::InvalidConfig(format!("snapshot read failed: {e}")))?;
+    Ok(u32::from_le_bytes(b))
+}
+
+/// Saves a network's current parameters to a file.
+///
+/// # Errors
+///
+/// As [`write_snapshot`], plus file-creation failures.
+pub fn save_network(net: &mut Network, path: &std::path::Path) -> Result<()> {
+    let file = std::fs::File::create(path)
+        .map_err(|e| NnError::InvalidConfig(format!("cannot create {}: {e}", path.display())))?;
+    write_snapshot(std::io::BufWriter::new(file), &net.snapshot())
+}
+
+/// Loads parameters from a file into a network (architecture must already
+/// match; parameters missing from the file are left untouched).
+///
+/// # Errors
+///
+/// As [`read_snapshot`], plus file-open failures.
+pub fn load_network(net: &mut Network, path: &std::path::Path) -> Result<()> {
+    let file = std::fs::File::open(path)
+        .map_err(|e| NnError::InvalidConfig(format!("cannot open {}: {e}", path.display())))?;
+    let snapshot = read_snapshot(std::io::BufReader::new(file))?;
+    net.restore(&snapshot);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Linear, Sequential};
+    use tinyadc_tensor::rng::SeededRng;
+
+    fn tiny_net(rng: &mut SeededRng) -> Network {
+        let stack = Sequential::new("n").with(Linear::new("fc", 3, 2, true, rng));
+        Network::new("n", stack, vec![3], 2)
+    }
+
+    #[test]
+    fn round_trip_through_memory() {
+        let mut rng = SeededRng::new(1);
+        let mut net = tiny_net(&mut rng);
+        let snapshot = net.snapshot();
+        let mut buf = Vec::new();
+        write_snapshot(&mut buf, &snapshot).unwrap();
+        let back = read_snapshot(buf.as_slice()).unwrap();
+        assert_eq!(back.len(), snapshot.len());
+        for ((n1, t1), (n2, t2)) in snapshot.iter().zip(&back) {
+            assert_eq!(n1, n2);
+            assert_eq!(t1, t2);
+        }
+    }
+
+    #[test]
+    fn round_trip_through_file() {
+        let mut rng = SeededRng::new(2);
+        let mut net = tiny_net(&mut rng);
+        let original = net.snapshot();
+        let dir = std::env::temp_dir().join("tinyadc_serialize_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.tadc");
+        save_network(&mut net, &path).unwrap();
+        net.visit_params(&mut |p| p.value.map_inplace(|_| 0.0));
+        load_network(&mut net, &path).unwrap();
+        assert_eq!(net.snapshot(), original);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let buf = b"NOPE\x01\x00\x00\x00\x00\x00\x00\x00".to_vec();
+        assert!(read_snapshot(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut buf = Vec::new();
+        write_snapshot(&mut buf, &[]).unwrap();
+        buf[4] = 99; // corrupt version
+        assert!(read_snapshot(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let mut rng = SeededRng::new(3);
+        let mut net = tiny_net(&mut rng);
+        let mut buf = Vec::new();
+        write_snapshot(&mut buf, &net.snapshot()).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_snapshot(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let mut buf = Vec::new();
+        write_snapshot(&mut buf, &[]).unwrap();
+        assert!(read_snapshot(buf.as_slice()).unwrap().is_empty());
+    }
+}

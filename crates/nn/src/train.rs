@@ -1,0 +1,332 @@
+//! Training and evaluation loops.
+//!
+//! The trainer is deliberately hook-based: the ADMM machinery in
+//! `tinyadc-prune` injects its augmented-Lagrangian gradient through
+//! [`TrainHook::before_step`], re-applies pruning masks through
+//! [`TrainHook::after_step`], and runs its Z/U updates through
+//! [`TrainHook::after_epoch`] — exactly the three touch points the paper's
+//! Eqs. (4)–(6) require.
+
+use crate::augment::{augment_batch, AugmentConfig};
+use crate::data::SyntheticImageDataset;
+use crate::loss::softmax_cross_entropy;
+use crate::metrics::Accuracy;
+use crate::optim::{LrSchedule, Sgd};
+use crate::{Network, NnError, Result};
+use tinyadc_tensor::rng::SeededRng;
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Number of passes over the training split.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Base learning rate.
+    pub lr: f32,
+    /// SGD momentum.
+    pub momentum: f32,
+    /// L2 weight decay.
+    pub weight_decay: f32,
+    /// Learning-rate schedule over epochs.
+    pub schedule: LrSchedule,
+    /// Whether to shuffle the training set every epoch.
+    pub shuffle: bool,
+    /// Train-time augmentation; `None` disables.
+    pub augment: Option<AugmentConfig>,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 4,
+            batch_size: 32,
+            lr: 0.05,
+            momentum: 0.9,
+            weight_decay: 5e-4,
+            schedule: LrSchedule::Cosine {
+                total_epochs: 4,
+                min_lr: 1e-3,
+            },
+            shuffle: true,
+            augment: None,
+        }
+    }
+}
+
+/// Per-epoch summary returned by [`Trainer::fit`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochStats {
+    /// 0-based epoch index.
+    pub epoch: usize,
+    /// Mean training loss over the epoch.
+    pub train_loss: f32,
+    /// Training top-1 accuracy over the epoch.
+    pub train_accuracy: f64,
+}
+
+/// Summary of a full [`Trainer::fit`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainReport {
+    /// Stats for each epoch, in order.
+    pub epochs: Vec<EpochStats>,
+    /// Mean training loss of the last epoch.
+    pub final_train_loss: f32,
+}
+
+/// Callbacks invoked around the optimizer step; see the module docs.
+/// All methods default to no-ops, so hooks implement only what they need.
+pub trait TrainHook {
+    /// Called after gradients are computed but before the optimizer step —
+    /// the place to add regularisation gradients (ADMM's `ρ(W - Z + U)`).
+    fn before_step(&mut self, net: &mut Network) -> Result<()> {
+        let _ = net;
+        Ok(())
+    }
+
+    /// Called after the optimizer step — the place to re-apply masks.
+    fn after_step(&mut self, net: &mut Network) -> Result<()> {
+        let _ = net;
+        Ok(())
+    }
+
+    /// Called at the end of every epoch (ADMM Z/U updates).
+    fn after_epoch(&mut self, net: &mut Network, epoch: usize) -> Result<()> {
+        let _ = (net, epoch);
+        Ok(())
+    }
+}
+
+/// A hook that does nothing; used by plain (non-ADMM) training.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopHook;
+
+impl TrainHook for NoopHook {}
+
+/// Mini-batch SGD trainer over a [`SyntheticImageDataset`].
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    config: TrainConfig,
+}
+
+impl Trainer {
+    /// Creates a trainer with the given configuration.
+    pub fn new(config: TrainConfig) -> Self {
+        Self { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &TrainConfig {
+        &self.config
+    }
+
+    /// Trains `net` on the dataset's training split with no hook.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer/loss errors and rejects an empty configuration.
+    pub fn fit(
+        &self,
+        net: &mut Network,
+        data: &SyntheticImageDataset,
+        rng: &mut SeededRng,
+    ) -> Result<TrainReport> {
+        self.fit_with_hook(net, data, &mut NoopHook, rng)
+    }
+
+    /// Trains `net` with a [`TrainHook`] wired around every step/epoch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer/loss/hook errors; rejects `batch_size == 0`.
+    pub fn fit_with_hook(
+        &self,
+        net: &mut Network,
+        data: &SyntheticImageDataset,
+        hook: &mut dyn TrainHook,
+        rng: &mut SeededRng,
+    ) -> Result<TrainReport> {
+        let cfg = &self.config;
+        if cfg.batch_size == 0 {
+            return Err(NnError::InvalidConfig("batch_size must be positive".into()));
+        }
+        let mut sgd = Sgd::new(cfg.lr)
+            .with_momentum(cfg.momentum)
+            .with_weight_decay(cfg.weight_decay);
+        let n = data.train_len();
+        let mut epochs = Vec::with_capacity(cfg.epochs);
+        for epoch in 0..cfg.epochs {
+            sgd.set_learning_rate(cfg.schedule.lr_at(cfg.lr, epoch));
+            let order = if cfg.shuffle {
+                rng.permutation(n)
+            } else {
+                (0..n).collect()
+            };
+            let mut loss_sum = 0.0f64;
+            let mut batches = 0usize;
+            let mut acc = Accuracy::top1();
+            for chunk in order.chunks(cfg.batch_size) {
+                let (mut x, labels) = data.train_batch(chunk)?;
+                if let Some(aug) = &cfg.augment {
+                    x = augment_batch(&x, aug, rng)?;
+                }
+                let logits = net.forward(&x, true)?;
+                let (loss, grad) = softmax_cross_entropy(&logits, &labels)?;
+                acc.update(&logits, &labels)?;
+                net.zero_grads();
+                net.backward(&grad)?;
+                hook.before_step(net)?;
+                sgd.step(net)?;
+                hook.after_step(net)?;
+                loss_sum += loss as f64;
+                batches += 1;
+            }
+            hook.after_epoch(net, epoch)?;
+            epochs.push(EpochStats {
+                epoch,
+                train_loss: (loss_sum / batches.max(1) as f64) as f32,
+                train_accuracy: acc.value(),
+            });
+        }
+        let final_train_loss = epochs.last().map(|e| e.train_loss).unwrap_or(f32::NAN);
+        Ok(TrainReport {
+            epochs,
+            final_train_loss,
+        })
+    }
+
+    /// Top-1 accuracy of `net` on the dataset's test split.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer/loss errors.
+    pub fn evaluate(&self, net: &mut Network, data: &SyntheticImageDataset) -> Result<Accuracy> {
+        evaluate_top_k(net, data, 1, self.config.batch_size)
+    }
+}
+
+/// Top-k accuracy of `net` on the test split, batched.
+///
+/// # Errors
+///
+/// Propagates layer/loss errors.
+pub fn evaluate_top_k(
+    net: &mut Network,
+    data: &SyntheticImageDataset,
+    k: usize,
+    batch_size: usize,
+) -> Result<Accuracy> {
+    let mut acc = Accuracy::top_k(k);
+    let idx: Vec<usize> = (0..data.test_len()).collect();
+    for chunk in idx.chunks(batch_size.max(1)) {
+        let (x, labels) = data.test_batch(chunk)?;
+        let logits = net.forward(&x, false)?;
+        acc.update(&logits, &labels)?;
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::DatasetTier;
+    use crate::models;
+
+    #[test]
+    fn mlp_learns_tier1() {
+        let mut rng = SeededRng::new(42);
+        let data = SyntheticImageDataset::generate(DatasetTier::Tier1Cifar10Like, 300, 100, &mut rng)
+            .unwrap();
+        let mut net = models::mlp("m", data.input_dims(), data.num_classes(), &[64], &mut rng)
+            .unwrap();
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 5,
+            batch_size: 32,
+            lr: 0.05,
+            ..TrainConfig::default()
+        });
+        trainer.fit(&mut net, &data, &mut rng).unwrap();
+        let acc = trainer.evaluate(&mut net, &data).unwrap();
+        assert!(
+            acc.value() > 0.5,
+            "mlp should beat 50% on tier-1, got {:.1}%",
+            acc.percent()
+        );
+    }
+
+    #[test]
+    fn hooks_fire_in_order() {
+        #[derive(Default)]
+        struct Recorder {
+            events: Vec<&'static str>,
+        }
+        impl TrainHook for Recorder {
+            fn before_step(&mut self, _n: &mut Network) -> Result<()> {
+                self.events.push("before");
+                Ok(())
+            }
+            fn after_step(&mut self, _n: &mut Network) -> Result<()> {
+                self.events.push("after");
+                Ok(())
+            }
+            fn after_epoch(&mut self, _n: &mut Network, _e: usize) -> Result<()> {
+                self.events.push("epoch");
+                Ok(())
+            }
+        }
+        let mut rng = SeededRng::new(1);
+        let data =
+            SyntheticImageDataset::generate(DatasetTier::Tier1Cifar10Like, 20, 10, &mut rng)
+                .unwrap();
+        let mut net =
+            models::mlp("m", data.input_dims(), data.num_classes(), &[8], &mut rng).unwrap();
+        let mut hook = Recorder::default();
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 1,
+            batch_size: 10,
+            shuffle: false,
+            ..TrainConfig::default()
+        });
+        trainer
+            .fit_with_hook(&mut net, &data, &mut hook, &mut rng)
+            .unwrap();
+        assert_eq!(
+            hook.events,
+            vec!["before", "after", "before", "after", "epoch"]
+        );
+    }
+
+    #[test]
+    fn zero_batch_size_rejected() {
+        let mut rng = SeededRng::new(1);
+        let data =
+            SyntheticImageDataset::generate(DatasetTier::Tier1Cifar10Like, 20, 10, &mut rng)
+                .unwrap();
+        let mut net =
+            models::mlp("m", data.input_dims(), data.num_classes(), &[8], &mut rng).unwrap();
+        let trainer = Trainer::new(TrainConfig {
+            batch_size: 0,
+            ..TrainConfig::default()
+        });
+        assert!(trainer.fit(&mut net, &data, &mut rng).is_err());
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let run = || {
+            let mut rng = SeededRng::new(9);
+            let data =
+                SyntheticImageDataset::generate(DatasetTier::Tier1Cifar10Like, 60, 20, &mut rng)
+                    .unwrap();
+            let mut net =
+                models::mlp("m", data.input_dims(), data.num_classes(), &[16], &mut rng).unwrap();
+            let trainer = Trainer::new(TrainConfig {
+                epochs: 2,
+                ..TrainConfig::default()
+            });
+            let report = trainer.fit(&mut net, &data, &mut rng).unwrap();
+            report.final_train_loss
+        };
+        assert_eq!(run(), run());
+    }
+}

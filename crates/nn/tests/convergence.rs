@@ -1,0 +1,92 @@
+//! Convergence smoke tests: each model family must actually *learn* on
+//! the easy tier within a small budget — the property every experiment in
+//! the workspace silently depends on.
+
+use tinyadc_nn::data::{DatasetTier, SyntheticImageDataset};
+use tinyadc_nn::models;
+use tinyadc_nn::optim::LrSchedule;
+use tinyadc_nn::train::{TrainConfig, Trainer};
+use tinyadc_nn::Network;
+use tinyadc_tensor::rng::SeededRng;
+
+fn quick_config(epochs: usize) -> TrainConfig {
+    TrainConfig {
+        epochs,
+        batch_size: 32,
+        lr: 0.05,
+        schedule: LrSchedule::Cosine {
+            total_epochs: epochs,
+            min_lr: 1e-3,
+        },
+        ..TrainConfig::default()
+    }
+}
+
+fn assert_learns(mut net: Network, epochs: usize, min_acc: f64, label: &str) {
+    let mut rng = SeededRng::new(81);
+    let data = SyntheticImageDataset::generate(DatasetTier::Tier1Cifar10Like, 300, 100, &mut rng)
+        .expect("dataset");
+    let trainer = Trainer::new(quick_config(epochs));
+    let report = trainer.fit(&mut net, &data, &mut rng).expect("fit");
+    let acc = trainer.evaluate(&mut net, &data).expect("eval").value();
+    assert!(
+        acc >= min_acc,
+        "{label}: accuracy {acc:.3} below {min_acc} (final loss {})",
+        report.final_train_loss
+    );
+    // Loss must have decreased across training.
+    let first = report.epochs.first().expect("epochs").train_loss;
+    let last = report.final_train_loss;
+    assert!(last < first, "{label}: loss did not decrease ({first} -> {last})");
+}
+
+#[test]
+fn resnet_s_learns_tier1() {
+    let mut rng = SeededRng::new(81);
+    let net = models::resnet_s("r18", vec![3, 16, 16], 10, 4, &mut rng).expect("model");
+    assert_learns(net, 4, 0.6, "resnet_s");
+}
+
+#[test]
+fn resnet_m_learns_tier1() {
+    let mut rng = SeededRng::new(81);
+    let net = models::resnet_m("r50", vec![3, 16, 16], 10, 4, &mut rng).expect("model");
+    assert_learns(net, 6, 0.45, "resnet_m");
+}
+
+#[test]
+fn vgg_s_learns_tier1() {
+    let mut rng = SeededRng::new(81);
+    let net = models::vgg_s("vgg", vec![3, 16, 16], 10, 4, &mut rng).expect("model");
+    assert_learns(net, 4, 0.6, "vgg_s");
+}
+
+#[test]
+fn vgg_dropout_learns_tier1() {
+    let mut rng = SeededRng::new(81);
+    let net =
+        models::vgg_s_dropout("vggd", vec![3, 16, 16], 10, 4, 0.25, &mut rng).expect("model");
+    assert_learns(net, 5, 0.55, "vgg_s_dropout");
+}
+
+#[test]
+fn augmentation_does_not_break_learning() {
+    let mut rng = SeededRng::new(82);
+    let data = SyntheticImageDataset::generate(DatasetTier::Tier1Cifar10Like, 300, 100, &mut rng)
+        .expect("dataset");
+    let mut net =
+        models::resnet_s("r18", vec![3, 16, 16], 10, 4, &mut rng).expect("model");
+    // Mild augmentation: the full default recipe (cutout 4 on a 16x16
+    // image) is too destructive for a 4-epoch smoke budget.
+    let trainer = Trainer::new(TrainConfig {
+        augment: Some(tinyadc_nn::augment::AugmentConfig {
+            flip_probability: 0.5,
+            max_shift: 1,
+            cutout: 0,
+        }),
+        ..quick_config(6)
+    });
+    trainer.fit(&mut net, &data, &mut rng).expect("fit");
+    let acc = trainer.evaluate(&mut net, &data).expect("eval").value();
+    assert!(acc > 0.45, "augmented training accuracy {acc:.3}");
+}

@@ -1,0 +1,255 @@
+//! Baseline pruning schemes the paper compares against (Table II).
+//!
+//! The referenced works fall into three families, all implemented here:
+//!
+//! * **Non-structured magnitude pruning** (Han et al.-style; stands in for
+//!   N2N's pruning component) — high accuracy, but zero crossbar savings
+//!   because pruned weights must still be mapped (paper §II-A1).
+//! * **Structured filter pruning without crossbar-size awareness**
+//!   (stands in for SSL / Decorrelation / DCP): filters are removed by
+//!   norm at an arbitrary count; crossbar reduction comes from repacking
+//!   the surviving columns.
+//! * **Crossbar-size-aware structured pruning** is in
+//!   [`crate::structured`] (stands in for Ultra-Efficient / TinyButAcc).
+
+use crate::layout::matrix_dims;
+use crate::masks::MaskSet;
+use crate::structured::{LayerStructure, StructuredOutcome};
+use crate::{PruneError, Result};
+use tinyadc_nn::{Network, Param, ParamKind};
+
+/// Non-structured magnitude pruning: zero the smallest-magnitude weights
+/// of every prunable parameter (per layer) until only `1/rate` of them
+/// survive. Returns the frozen masks.
+///
+/// Skipped parameters (by exact name) are left dense.
+///
+/// # Errors
+///
+/// Returns [`PruneError::InvalidConfig`] for `rate < 1`.
+pub fn magnitude_prune(net: &mut Network, rate: f64, skip: &[String]) -> Result<MaskSet> {
+    if rate < 1.0 {
+        return Err(PruneError::InvalidConfig(format!(
+            "pruning rate {rate} must be >= 1"
+        )));
+    }
+    let keep_fraction = 1.0 / rate;
+    net.visit_params(&mut |p: &mut Param| {
+        if !p.kind.is_prunable() || skip.iter().any(|s| s == &p.name) {
+            return;
+        }
+        let n = p.value.len();
+        let keep = ((n as f64 * keep_fraction).round() as usize).clamp(1, n);
+        if keep == n {
+            return;
+        }
+        // Threshold = magnitude of the keep-th largest entry.
+        let mut mags: Vec<f32> = p.value.as_slice().iter().map(|x| x.abs()).collect();
+        mags.select_nth_unstable_by(keep - 1, |a, b| b.partial_cmp(a).expect("finite"));
+        let threshold = mags[keep - 1];
+        let mut kept = 0usize;
+        let data = p.value.as_mut_slice();
+        for v in data.iter_mut() {
+            // Keep strictly-above-threshold always; fill remaining quota
+            // with at-threshold entries (handles ties deterministically).
+            if v.abs() > threshold {
+                kept += 1;
+            }
+        }
+        let mut quota = keep - kept;
+        for v in data.iter_mut() {
+            let mag = v.abs();
+            if mag > threshold {
+                continue;
+            }
+            if mag == threshold && quota > 0 && mag != 0.0 {
+                quota -= 1;
+            } else {
+                *v = 0.0;
+            }
+        }
+    });
+    Ok(MaskSet::from_zero_pattern(net))
+}
+
+/// Channel/filter pruning without crossbar-size alignment (DCP-style):
+/// removes the `fraction` lowest-norm filters of every prunable layer
+/// (any count — not rounded to crossbar multiples). Crossbar reduction is
+/// then computed by repacking the surviving dense columns, which generally
+/// strands partially-filled arrays — the inefficiency the paper's
+/// size-aware scheme eliminates.
+///
+/// # Errors
+///
+/// Returns [`PruneError::InvalidConfig`] for fractions outside `[0, 1)`.
+pub fn channel_prune(
+    net: &mut Network,
+    fraction: f64,
+    skip: &[String],
+) -> Result<StructuredOutcome> {
+    if !(0.0..1.0).contains(&fraction) {
+        return Err(PruneError::InvalidConfig(format!(
+            "channel fraction {fraction} must be in [0, 1)"
+        )));
+    }
+    let mut outcome = StructuredOutcome::default();
+    net.visit_params(&mut |p: &mut Param| {
+        if !p.kind.is_prunable() {
+            return;
+        }
+        let Ok((rows, cols)) = matrix_dims(p.value.dims(), p.kind) else {
+            return;
+        };
+        let mut layer = LayerStructure {
+            name: p.name.clone(),
+            matrix_rows: rows,
+            matrix_cols: cols,
+            removed_rows: Vec::new(),
+            removed_cols: Vec::new(),
+        };
+        if !skip.iter().any(|s| s == &p.name) {
+            let k = ((cols as f64 * fraction).floor() as usize).min(cols.saturating_sub(1));
+            if k > 0 {
+                layer.removed_cols = smallest_filter_indices(p, k);
+                zero_filters(p, &layer.removed_cols);
+            }
+        }
+        outcome.layers.push(layer);
+    });
+    outcome.masks = MaskSet::from_zero_pattern(net);
+    Ok(outcome)
+}
+
+/// Indices of the `k` smallest-L2-norm filters (matrix columns) of a
+/// prunable parameter, sorted ascending.
+fn smallest_filter_indices(p: &Param, k: usize) -> Vec<usize> {
+    let dims = p.value.dims();
+    let (filters, fsize) = match (p.kind, dims) {
+        (ParamKind::ConvWeight, &[f, c, kh, kw]) => (f, c * kh * kw),
+        (ParamKind::LinearWeight, &[out, inp]) => (out, inp),
+        _ => return Vec::new(),
+    };
+    let data = p.value.as_slice();
+    let mut norms: Vec<(usize, f32)> = (0..filters)
+        .map(|fi| {
+            let norm: f32 = data[fi * fsize..(fi + 1) * fsize]
+                .iter()
+                .map(|x| x * x)
+                .sum();
+            (fi, norm)
+        })
+        .collect();
+    norms.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+    let mut out: Vec<usize> = norms[..k].iter().map(|&(i, _)| i).collect();
+    out.sort_unstable();
+    out
+}
+
+fn zero_filters(p: &mut Param, removed: &[usize]) {
+    let dims = p.value.dims().to_vec();
+    let fsize: usize = dims[1..].iter().product();
+    let data = p.value.as_mut_slice();
+    for &fi in removed {
+        for v in &mut data[fi * fsize..(fi + 1) * fsize] {
+            *v = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CrossbarShape;
+    use tinyadc_nn::layers::{Conv2d, Linear, Sequential};
+    use tinyadc_tensor::rng::SeededRng;
+    use tinyadc_tensor::Tensor;
+
+    fn two_layer_net(rng: &mut SeededRng) -> Network {
+        let stack = Sequential::new("n")
+            .with(Conv2d::new("conv", 2, 8, 3, 1, 1, false, rng))
+            .with(Linear::new("fc", 8, 4, false, rng));
+        Network::new("n", stack, vec![2, 4, 4], 4)
+    }
+
+    #[test]
+    fn magnitude_prune_hits_requested_rate() {
+        let mut rng = SeededRng::new(1);
+        let mut net = two_layer_net(&mut rng);
+        let masks = magnitude_prune(&mut net, 4.0, &[]).unwrap();
+        assert!((masks.overall_pruning_rate() - 4.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn magnitude_prune_keeps_largest() {
+        let mut rng = SeededRng::new(1);
+        let stack = Sequential::new("n").with(Linear::new("fc", 2, 2, false, &mut rng));
+        let mut net = Network::new("n", stack, vec![2], 2);
+        net.visit_params(&mut |p| {
+            p.value = Tensor::from_vec(vec![0.1, -5.0, 0.2, 3.0], &[2, 2]).unwrap();
+        });
+        magnitude_prune(&mut net, 2.0, &[]).unwrap();
+        net.visit_params(&mut |p| {
+            assert_eq!(p.value.as_slice(), &[0.0, -5.0, 0.0, 3.0]);
+        });
+    }
+
+    #[test]
+    fn magnitude_prune_respects_skip() {
+        let mut rng = SeededRng::new(1);
+        let mut net = two_layer_net(&mut rng);
+        magnitude_prune(&mut net, 8.0, &["conv.weight".to_string()]).unwrap();
+        net.visit_params(&mut |p| {
+            if p.name == "conv.weight" {
+                assert_eq!(p.value.count_nonzero(), p.value.len());
+            }
+        });
+    }
+
+    #[test]
+    fn rate_below_one_rejected() {
+        let mut rng = SeededRng::new(1);
+        let mut net = two_layer_net(&mut rng);
+        assert!(magnitude_prune(&mut net, 0.5, &[]).is_err());
+    }
+
+    #[test]
+    fn channel_prune_removes_fraction_of_filters() {
+        let mut rng = SeededRng::new(2);
+        let mut net = two_layer_net(&mut rng);
+        let outcome = channel_prune(&mut net, 0.5, &[]).unwrap();
+        let conv = outcome
+            .layers
+            .iter()
+            .find(|l| l.name == "conv.weight")
+            .unwrap();
+        assert_eq!(conv.removed_cols.len(), 4); // 50% of 8 filters
+        net.visit_params(&mut |p| {
+            if p.name == "conv.weight" {
+                // 4 of 8 filters zeroed -> half the weights gone.
+                assert_eq!(p.value.count_nonzero(), p.value.len() / 2);
+            }
+        });
+    }
+
+    #[test]
+    fn unaligned_channel_prune_converts_poorly_to_crossbars() {
+        // The paper's motivation: removing 3 of 8 filters on an 8-wide
+        // crossbar saves *zero* arrays after repacking (5 columns still
+        // need one column-block), whereas removing 4 of 8 on a 4-wide
+        // crossbar saves a full block.
+        let mut rng = SeededRng::new(3);
+        let stack = Sequential::new("n").with(Conv2d::new("c", 4, 8, 2, 1, 0, false, &mut rng));
+        let mut net = Network::new("n", stack, vec![4, 4, 4], 8);
+        let outcome = channel_prune(&mut net, 0.4, &[]).unwrap(); // 3 of 8
+        let xbar = CrossbarShape::new(16, 8).unwrap();
+        assert_eq!(outcome.crossbars_before(xbar), outcome.crossbars_after(xbar));
+    }
+
+    #[test]
+    fn channel_prune_validates_fraction() {
+        let mut rng = SeededRng::new(2);
+        let mut net = two_layer_net(&mut rng);
+        assert!(channel_prune(&mut net, 1.0, &[]).is_err());
+        assert!(channel_prune(&mut net, -0.1, &[]).is_err());
+    }
+}

@@ -1,0 +1,307 @@
+use crate::{CrossbarShape, PruneError, Result};
+use tinyadc_nn::ParamKind;
+use tinyadc_tensor::Tensor;
+
+/// The column proportional pruning constraint `S_i` (paper §III-A):
+/// within every crossbar-sized block of a layer's 2-D weight matrix, every
+/// column holds at most `l` non-zero weights (positions free).
+///
+/// The Euclidean projection onto this set — the solution of the paper's
+/// Eq. (6) — keeps, per block-column, the `l` largest-magnitude entries
+/// and zeroes the rest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CpConstraint {
+    xbar: CrossbarShape,
+    l: usize,
+}
+
+impl CpConstraint {
+    /// Creates the constraint "at most `l` non-zeros per block column" for
+    /// blocks of shape `xbar`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PruneError::InvalidConfig`] when `l` is zero or exceeds
+    /// the crossbar row count.
+    pub fn new(xbar: CrossbarShape, l: usize) -> Result<Self> {
+        if l == 0 || l > xbar.rows() {
+            return Err(PruneError::InvalidConfig(format!(
+                "l = {l} must be in 1..={}",
+                xbar.rows()
+            )));
+        }
+        Ok(Self { xbar, l })
+    }
+
+    /// Builds the constraint from a paper-style pruning *rate*
+    /// (e.g. `32` for "32×"): `l = rows / rate`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PruneError::InvalidConfig`] when the rate does not divide
+    /// the row count (so the resulting `l` would be ambiguous) or is zero.
+    pub fn from_rate(xbar: CrossbarShape, rate: usize) -> Result<Self> {
+        if rate == 0 || !xbar.rows().is_multiple_of(rate) {
+            return Err(PruneError::InvalidConfig(format!(
+                "rate {rate} must evenly divide crossbar rows {}",
+                xbar.rows()
+            )));
+        }
+        Self::new(xbar, xbar.rows() / rate)
+    }
+
+    /// The crossbar shape the constraint is defined over.
+    pub fn crossbar(&self) -> CrossbarShape {
+        self.xbar
+    }
+
+    /// Maximum non-zeros per block column.
+    pub fn max_nonzeros_per_column(&self) -> usize {
+        self.l
+    }
+
+    /// The paper's column-proportional pruning rate
+    /// (`crossbar rows / non-zeros per column`).
+    pub fn rate(&self) -> f64 {
+        self.xbar.rows() as f64 / self.l as f64
+    }
+
+    /// Euclidean projection of a 2-D weight matrix onto the constraint set:
+    /// per block column, keep the `l` largest-magnitude entries.
+    ///
+    /// For the ragged bottom row-blocks (fewer than `rows` rows), the same
+    /// `l` cap applies — a shorter column can only activate fewer rows, so
+    /// the cap is never loosened.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PruneError::UnsupportedShape`] for non-matrices.
+    pub fn project(&self, matrix: &Tensor) -> Result<Tensor> {
+        let [rows, cols] = matrix_dims(matrix)?;
+        let mut out = matrix.clone();
+        let data = out.as_mut_slice();
+        let m = self.xbar.rows();
+        let mut idx_buf: Vec<usize> = Vec::with_capacity(m);
+        for block_start in (0..rows).step_by(m) {
+            let block_end = (block_start + m).min(rows);
+            for col in 0..cols {
+                let seg_len = block_end - block_start;
+                if seg_len <= self.l {
+                    continue; // cannot violate the cap
+                }
+                idx_buf.clear();
+                idx_buf.extend(0..seg_len);
+                // Partial sort: l largest magnitudes first.
+                idx_buf.select_nth_unstable_by(self.l - 1, |&a, &b| {
+                    let va = data[(block_start + a) * cols + col].abs();
+                    let vb = data[(block_start + b) * cols + col].abs();
+                    vb.partial_cmp(&va).expect("weights are finite")
+                });
+                for &i in &idx_buf[self.l..] {
+                    data[(block_start + i) * cols + col] = 0.0;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Whether a 2-D matrix satisfies the constraint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PruneError::UnsupportedShape`] for non-matrices.
+    pub fn is_satisfied(&self, matrix: &Tensor) -> Result<bool> {
+        Ok(self.max_block_column_nonzeros(matrix)? <= self.l)
+    }
+
+    /// The largest non-zero count found in any block column — i.e. the
+    /// worst-case number of simultaneously activated crossbar rows, which
+    /// is what sizes the ADC.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PruneError::UnsupportedShape`] for non-matrices.
+    pub fn max_block_column_nonzeros(&self, matrix: &Tensor) -> Result<usize> {
+        max_block_column_nonzeros(matrix, self.xbar)
+    }
+
+    /// Projects a *parameter tensor* (conv/linear weight) by round-tripping
+    /// through the crossbar matrix layout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layout errors for unsupported parameter kinds.
+    pub fn project_param(&self, value: &Tensor, kind: ParamKind) -> Result<Tensor> {
+        let m = crate::layout::to_matrix(value, kind)?;
+        let z = self.project(&m)?;
+        crate::layout::from_matrix(&z, kind, value.dims())
+    }
+}
+
+impl std::fmt::Display for CpConstraint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "CP {}x on {} (l = {})",
+            self.rate(),
+            self.xbar,
+            self.l
+        )
+    }
+}
+
+/// Worst-case activated-row count per block column for an arbitrary matrix
+/// and crossbar shape (free function — used by audits without a constraint).
+///
+/// # Errors
+///
+/// Returns [`PruneError::UnsupportedShape`] for non-matrices.
+pub fn max_block_column_nonzeros(matrix: &Tensor, xbar: CrossbarShape) -> Result<usize> {
+    let [rows, cols] = matrix_dims(matrix)?;
+    let data = matrix.as_slice();
+    let m = xbar.rows();
+    let mut worst = 0usize;
+    for block_start in (0..rows).step_by(m) {
+        let block_end = (block_start + m).min(rows);
+        for col in 0..cols {
+            let nnz = (block_start..block_end)
+                .filter(|&r| data[r * cols + col] != 0.0)
+                .count();
+            worst = worst.max(nnz);
+        }
+    }
+    Ok(worst)
+}
+
+fn matrix_dims(t: &Tensor) -> Result<[usize; 2]> {
+    match t.dims() {
+        &[r, c] => Ok([r, c]),
+        dims => Err(PruneError::UnsupportedShape {
+            context: "column proportional constraint".into(),
+            shape: dims.to_vec(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinyadc_tensor::rng::SeededRng;
+
+    fn xbar(r: usize, c: usize) -> CrossbarShape {
+        CrossbarShape::new(r, c).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_l() {
+        let x = xbar(8, 8);
+        assert!(CpConstraint::new(x, 0).is_err());
+        assert!(CpConstraint::new(x, 9).is_err());
+        assert!(CpConstraint::new(x, 8).is_ok());
+    }
+
+    #[test]
+    fn from_rate_matches_paper_arithmetic() {
+        // 128-row crossbar at 32x leaves 4 non-zeros per column (paper §IV-B1).
+        let cp = CpConstraint::from_rate(CrossbarShape::PAPER_128, 32).unwrap();
+        assert_eq!(cp.max_nonzeros_per_column(), 4);
+        assert_eq!(cp.rate(), 32.0);
+        assert!(CpConstraint::from_rate(CrossbarShape::PAPER_128, 3).is_err());
+    }
+
+    #[test]
+    fn projection_keeps_top_l_per_column() {
+        let cp = CpConstraint::new(xbar(4, 2), 2).unwrap();
+        let m = Tensor::from_vec(
+            vec![
+                1.0, -8.0, //
+                -5.0, 2.0, //
+                3.0, -1.0, //
+                -2.0, 7.0,
+            ],
+            &[4, 2],
+        )
+        .unwrap();
+        let z = cp.project(&m).unwrap();
+        // Column 0 magnitudes: 1,5,3,2 -> keep -5.0 and 3.0.
+        assert_eq!(z.column(0).unwrap().as_slice(), &[0.0, -5.0, 3.0, 0.0]);
+        // Column 1 magnitudes: 8,2,1,7 -> keep -8.0 and 7.0.
+        assert_eq!(z.column(1).unwrap().as_slice(), &[-8.0, 0.0, 0.0, 7.0]);
+    }
+
+    #[test]
+    fn projection_is_per_block() {
+        // Two row-blocks of 2: each block column may keep 1 entry.
+        let cp = CpConstraint::new(xbar(2, 1), 1).unwrap();
+        let m = Tensor::from_vec(vec![3.0, 1.0, 2.0, 4.0], &[4, 1]).unwrap();
+        let z = cp.project(&m).unwrap();
+        assert_eq!(z.as_slice(), &[3.0, 0.0, 0.0, 4.0]);
+    }
+
+    #[test]
+    fn projection_handles_ragged_rows() {
+        let cp = CpConstraint::new(xbar(4, 4), 1).unwrap();
+        // 6 rows: one full block of 4, one ragged block of 2.
+        let m = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[6, 1]).unwrap();
+        let z = cp.project(&m).unwrap();
+        assert_eq!(z.as_slice(), &[0.0, 0.0, 0.0, 4.0, 0.0, 6.0]);
+    }
+
+    #[test]
+    fn projection_is_idempotent() {
+        let mut rng = SeededRng::new(7);
+        let cp = CpConstraint::new(xbar(8, 4), 3).unwrap();
+        let m = Tensor::randn(&[19, 11], 1.0, &mut rng);
+        let z1 = cp.project(&m).unwrap();
+        let z2 = cp.project(&z1).unwrap();
+        assert_eq!(z1, z2);
+        assert!(cp.is_satisfied(&z1).unwrap());
+        assert!(!cp.is_satisfied(&m).unwrap());
+    }
+
+    #[test]
+    fn projection_is_euclidean_optimal_among_probes() {
+        // ||W - P(W)|| must not exceed ||W - Z|| for any feasible Z; probe
+        // with random feasible points.
+        let mut rng = SeededRng::new(11);
+        let cp = CpConstraint::new(xbar(6, 3), 2).unwrap();
+        let w = Tensor::randn(&[12, 6], 1.0, &mut rng);
+        let p = cp.project(&w).unwrap();
+        let d_star = w.sub(&p).unwrap().frobenius_norm();
+        for _ in 0..50 {
+            let probe = cp
+                .project(&Tensor::randn(&[12, 6], 1.0, &mut rng))
+                .unwrap();
+            let d = w.sub(&probe).unwrap().frobenius_norm();
+            assert!(d_star <= d + 1e-5, "{d_star} > {d}");
+        }
+    }
+
+    #[test]
+    fn max_nonzeros_audit() {
+        let x = xbar(2, 2);
+        let m = Tensor::from_vec(vec![1.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0, 0.0], &[4, 2]).unwrap();
+        // Block 0 columns: col0 {1,1}=2 nnz, col1 {0,1}=1.
+        // Block 1 columns: col0 {0,1}=1, col1 {0,0}=0.
+        assert_eq!(max_block_column_nonzeros(&m, x).unwrap(), 2);
+    }
+
+    #[test]
+    fn project_param_round_trip_satisfies() {
+        let mut rng = SeededRng::new(13);
+        let w = Tensor::randn(&[8, 4, 3, 3], 1.0, &mut rng); // matrix [36, 8]
+        let cp = CpConstraint::new(xbar(16, 8), 2).unwrap();
+        let z = cp.project_param(&w, ParamKind::ConvWeight).unwrap();
+        assert_eq!(z.dims(), w.dims());
+        let zm = crate::layout::to_matrix(&z, ParamKind::ConvWeight).unwrap();
+        assert!(cp.is_satisfied(&zm).unwrap());
+        // Per column: 3 blocks (16+16+4 rows) x 2 nnz each at most.
+        assert!(z.count_nonzero() <= 8 * 3 * 2);
+    }
+
+    #[test]
+    fn non_matrix_rejected() {
+        let cp = CpConstraint::new(xbar(4, 4), 2).unwrap();
+        assert!(cp.project(&Tensor::zeros(&[2, 2, 2])).is_err());
+    }
+}

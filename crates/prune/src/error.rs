@@ -1,0 +1,81 @@
+use std::fmt;
+use tinyadc_nn::NnError;
+use tinyadc_tensor::TensorError;
+
+/// Error type for pruning configuration and execution.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PruneError {
+    /// Underlying tensor failure.
+    Tensor(TensorError),
+    /// Underlying network/training failure.
+    Nn(NnError),
+    /// A crossbar/pruning configuration value was invalid.
+    InvalidConfig(String),
+    /// A weight tensor had a shape the scheme cannot handle.
+    UnsupportedShape {
+        /// What the operation was doing.
+        context: String,
+        /// The offending shape.
+        shape: Vec<usize>,
+    },
+}
+
+impl fmt::Display for PruneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Tensor(e) => write!(f, "tensor error: {e}"),
+            Self::Nn(e) => write!(f, "network error: {e}"),
+            Self::InvalidConfig(msg) => write!(f, "invalid pruning configuration: {msg}"),
+            Self::UnsupportedShape { context, shape } => {
+                write!(f, "unsupported weight shape {shape:?} in {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PruneError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Tensor(e) => Some(e),
+            Self::Nn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for PruneError {
+    fn from(e: TensorError) -> Self {
+        Self::Tensor(e)
+    }
+}
+
+impl From<NnError> for PruneError {
+    fn from(e: NnError) -> Self {
+        Self::Nn(e)
+    }
+}
+
+impl From<PruneError> for NnError {
+    fn from(e: PruneError) -> Self {
+        match e {
+            PruneError::Tensor(t) => NnError::Tensor(t),
+            PruneError::Nn(n) => n,
+            other => NnError::InvalidConfig(other.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_compose() {
+        let te = TensorError::InvalidArgument("x".into());
+        let pe: PruneError = te.clone().into();
+        assert_eq!(pe, PruneError::Tensor(te));
+        let back: NnError = pe.into();
+        assert!(matches!(back, NnError::Tensor(_)));
+    }
+}

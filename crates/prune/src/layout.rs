@@ -1,0 +1,150 @@
+//! Conversions between parameter tensors and the 2-D crossbar weight
+//! matrix (paper Fig. 3).
+//!
+//! The mapping convention:
+//!
+//! * Conv weight `[f, c, kh, kw]` → matrix `[c*kh*kw, f]`: each **column**
+//!   is one flattened filter, each **row** one filter-shape position.
+//! * Linear weight `[out, in]` → matrix `[in, out]`: each column is one
+//!   output neuron.
+//!
+//! Crossbar columns thus accumulate dot products for one output, which is
+//! why fixing the non-zero count *per matrix column segment* bounds the
+//! number of activated rows an ADC must resolve.
+
+use crate::{PruneError, Result};
+use tinyadc_nn::ParamKind;
+use tinyadc_tensor::Tensor;
+
+/// Converts a prunable parameter tensor to its crossbar 2-D matrix.
+///
+/// # Errors
+///
+/// Returns [`PruneError::UnsupportedShape`] for parameters that are not
+/// conv (`rank 4`) or linear (`rank 2`) weights.
+pub fn to_matrix(value: &Tensor, kind: ParamKind) -> Result<Tensor> {
+    match (kind, value.dims()) {
+        (ParamKind::ConvWeight, &[f, c, kh, kw]) => {
+            // [f, c*kh*kw] -> transpose -> [c*kh*kw, f]
+            Ok(value.reshape(&[f, c * kh * kw])?.transpose()?)
+        }
+        (ParamKind::LinearWeight, &[_out, _inp]) => Ok(value.transpose()?),
+        _ => Err(PruneError::UnsupportedShape {
+            context: format!("to_matrix for {kind:?}"),
+            shape: value.dims().to_vec(),
+        }),
+    }
+}
+
+/// Converts a crossbar 2-D matrix back to the parameter tensor layout.
+///
+/// # Errors
+///
+/// Returns [`PruneError::UnsupportedShape`] when `matrix` does not match
+/// the original `dims` under the [`to_matrix`] convention.
+pub fn from_matrix(matrix: &Tensor, kind: ParamKind, dims: &[usize]) -> Result<Tensor> {
+    match (kind, dims) {
+        (ParamKind::ConvWeight, &[f, c, kh, kw]) => {
+            if matrix.dims() != [c * kh * kw, f] {
+                return Err(PruneError::UnsupportedShape {
+                    context: "from_matrix(conv)".into(),
+                    shape: matrix.dims().to_vec(),
+                });
+            }
+            Ok(matrix.transpose()?.reshape(&[f, c, kh, kw])?)
+        }
+        (ParamKind::LinearWeight, &[out, inp]) => {
+            if matrix.dims() != [inp, out] {
+                return Err(PruneError::UnsupportedShape {
+                    context: "from_matrix(linear)".into(),
+                    shape: matrix.dims().to_vec(),
+                });
+            }
+            Ok(matrix.transpose()?)
+        }
+        _ => Err(PruneError::UnsupportedShape {
+            context: format!("from_matrix for {kind:?}"),
+            shape: dims.to_vec(),
+        }),
+    }
+}
+
+/// The matrix extents `[rows, cols]` a parameter occupies, without
+/// materialising the matrix.
+///
+/// # Errors
+///
+/// Same conditions as [`to_matrix`].
+pub fn matrix_dims(dims: &[usize], kind: ParamKind) -> Result<(usize, usize)> {
+    match (kind, dims) {
+        (ParamKind::ConvWeight, &[f, c, kh, kw]) => Ok((c * kh * kw, f)),
+        (ParamKind::LinearWeight, &[out, inp]) => Ok((inp, out)),
+        _ => Err(PruneError::UnsupportedShape {
+            context: format!("matrix_dims for {kind:?}"),
+            shape: dims.to_vec(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinyadc_tensor::rng::SeededRng;
+
+    #[test]
+    fn conv_round_trip() {
+        let mut rng = SeededRng::new(1);
+        let w = Tensor::randn(&[4, 3, 2, 2], 1.0, &mut rng);
+        let m = to_matrix(&w, ParamKind::ConvWeight).unwrap();
+        assert_eq!(m.dims(), &[12, 4]);
+        let back = from_matrix(&m, ParamKind::ConvWeight, &[4, 3, 2, 2]).unwrap();
+        assert_eq!(back, w);
+    }
+
+    #[test]
+    fn linear_round_trip() {
+        let mut rng = SeededRng::new(2);
+        let w = Tensor::randn(&[5, 7], 1.0, &mut rng);
+        let m = to_matrix(&w, ParamKind::LinearWeight).unwrap();
+        assert_eq!(m.dims(), &[7, 5]);
+        let back = from_matrix(&m, ParamKind::LinearWeight, &[5, 7]).unwrap();
+        assert_eq!(back, w);
+    }
+
+    #[test]
+    fn filter_occupies_one_column() {
+        // Filter 2's weights must land in column 2 of the matrix.
+        let mut w = Tensor::zeros(&[4, 1, 2, 2]);
+        for i in 0..4 {
+            w.set(&[2, 0, i / 2, i % 2], (i + 1) as f32).unwrap();
+        }
+        let m = to_matrix(&w, ParamKind::ConvWeight).unwrap();
+        let col = m.column(2).unwrap();
+        assert_eq!(col.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+        for j in [0usize, 1, 3] {
+            assert_eq!(m.column(j).unwrap().sum(), 0.0);
+        }
+    }
+
+    #[test]
+    fn non_weight_kinds_rejected() {
+        let b = Tensor::zeros(&[4]);
+        assert!(to_matrix(&b, ParamKind::Bias).is_err());
+        assert!(matrix_dims(&[4], ParamKind::NormScale).is_err());
+    }
+
+    #[test]
+    fn matrix_dims_agree_with_to_matrix() {
+        let mut rng = SeededRng::new(3);
+        let w = Tensor::randn(&[6, 2, 3, 3], 1.0, &mut rng);
+        let (r, c) = matrix_dims(w.dims(), ParamKind::ConvWeight).unwrap();
+        let m = to_matrix(&w, ParamKind::ConvWeight).unwrap();
+        assert_eq!(m.dims(), &[r, c]);
+    }
+
+    #[test]
+    fn mismatched_from_matrix_rejected() {
+        let m = Tensor::zeros(&[12, 4]);
+        assert!(from_matrix(&m, ParamKind::ConvWeight, &[4, 3, 2, 3]).is_err());
+    }
+}

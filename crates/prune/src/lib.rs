@@ -1,0 +1,60 @@
+//! # tinyadc-prune
+//!
+//! The TinyADC paper's algorithmic contribution: **column proportional
+//! pruning** with ADMM-based training, crossbar-size-aware **structured
+//! pruning** (filter and filter-shape), their **combination**, and the
+//! baseline schemes the paper compares against (non-structured magnitude
+//! pruning and channel pruning).
+//!
+//! ## Key concepts
+//!
+//! * A layer's weights are viewed as the 2-D matrix that gets mapped onto
+//!   ReRAM crossbars (paper Fig. 3): each *column* holds one filter/output
+//!   neuron, each *row* one filter-shape position ([`layout`]).
+//! * The matrix is tiled into crossbar-sized blocks
+//!   ([`CrossbarShape`]); the CP constraint allows at most `l` non-zeros in
+//!   every column *of every block* ([`CpConstraint`]).
+//! * [`admm::AdmmPruner`] enforces the constraint during training via the
+//!   paper's Eqs. (4)–(6); [`masks::MaskSet`] freezes the resulting zeros
+//!   for hard retraining.
+//!
+//! # Example
+//!
+//! ```
+//! use tinyadc_prune::{CpConstraint, CrossbarShape};
+//! use tinyadc_tensor::{Tensor, rng::SeededRng};
+//!
+//! # fn main() -> Result<(), tinyadc_prune::PruneError> {
+//! let xbar = CrossbarShape::new(8, 8)?;
+//! let cp = CpConstraint::new(xbar, 2)?; // 4x column proportional pruning
+//! let mut rng = SeededRng::new(0);
+//! let w = Tensor::randn(&[16, 8], 1.0, &mut rng);
+//! let z = cp.project(&w)?;
+//! assert!(cp.is_satisfied(&z)?);
+//! assert_eq!(cp.rate(), 4.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod constraint;
+mod error;
+mod shape;
+
+pub mod admm;
+pub mod baselines;
+pub mod layout;
+pub mod masks;
+pub mod pattern;
+pub mod schedule;
+pub mod sensitivity;
+pub mod structured;
+
+pub use constraint::{max_block_column_nonzeros, CpConstraint};
+pub use error::PruneError;
+pub use shape::CrossbarShape;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, PruneError>;

@@ -1,0 +1,292 @@
+//! Pruning masks: freezing zero patterns during retraining.
+//!
+//! After ADMM training converges, weights are hard-projected and the
+//! resulting zero pattern is frozen into a [`MaskSet`]; masked retraining
+//! then recovers accuracy while preserving the pattern (standard
+//! ADMM-pruning practice, used by the paper's pipeline).
+
+use crate::Result;
+use std::collections::HashMap;
+use tinyadc_nn::train::TrainHook;
+use tinyadc_nn::{Network, Param};
+use tinyadc_tensor::Tensor;
+
+/// A set of binary masks keyed by parameter name. Masks have the parameter
+/// layout (not the matrix layout), with `1.0` = keep, `0.0` = pruned.
+#[derive(Debug, Clone, Default)]
+pub struct MaskSet {
+    masks: HashMap<String, Tensor>,
+}
+
+impl MaskSet {
+    /// An empty mask set (no-op when applied).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds masks from the current zero pattern of every *prunable*
+    /// parameter in the network.
+    pub fn from_zero_pattern(net: &mut Network) -> Self {
+        let mut masks = HashMap::new();
+        net.visit_params(&mut |p: &mut Param| {
+            if p.kind.is_prunable() {
+                masks.insert(
+                    p.name.clone(),
+                    p.value.map(|x| if x == 0.0 { 0.0 } else { 1.0 }),
+                );
+            }
+        });
+        Self { masks }
+    }
+
+    /// Inserts (or replaces) the mask for one parameter.
+    pub fn insert(&mut self, name: impl Into<String>, mask: Tensor) {
+        self.masks.insert(name.into(), mask);
+    }
+
+    /// The mask for `name`, if present.
+    pub fn get(&self, name: &str) -> Option<&Tensor> {
+        self.masks.get(name)
+    }
+
+    /// Number of masked parameters.
+    pub fn len(&self) -> usize {
+        self.masks.len()
+    }
+
+    /// `true` when no masks are present.
+    pub fn is_empty(&self) -> bool {
+        self.masks.is_empty()
+    }
+
+    /// Multiplies every masked parameter by its mask.
+    pub fn apply(&self, net: &mut Network) {
+        net.visit_params(&mut |p: &mut Param| {
+            if let Some(mask) = self.masks.get(&p.name) {
+                if let Ok(masked) = p.value.mul(mask) {
+                    p.value = masked;
+                }
+            }
+        });
+    }
+
+    /// Intersects with another mask set: positions pruned by *either* set
+    /// are pruned in the result. Parameters masked in only one set keep
+    /// that set's mask.
+    #[must_use]
+    pub fn intersect(&self, other: &Self) -> Self {
+        let mut out = self.clone();
+        for (name, mask) in &other.masks {
+            match out.masks.get_mut(name) {
+                Some(existing) => {
+                    if let Ok(combined) = existing.mul(mask) {
+                        *existing = combined;
+                    }
+                }
+                None => {
+                    out.masks.insert(name.clone(), mask.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Fraction of scalars kept across all masks (1.0 for an empty set).
+    pub fn density(&self) -> f64 {
+        let total: usize = self.masks.values().map(Tensor::len).sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let kept: usize = self.masks.values().map(Tensor::count_nonzero).sum();
+        kept as f64 / total as f64
+    }
+
+    /// The paper's "overall pruning rate": total / kept weights, over the
+    /// masked parameters.
+    pub fn overall_pruning_rate(&self) -> f64 {
+        let d = self.density();
+        if d == 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / d
+        }
+    }
+
+    /// Iterates over `(name, mask)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Tensor)> {
+        self.masks.iter()
+    }
+}
+
+/// A [`TrainHook`] that re-applies a [`MaskSet`] after every optimizer
+/// step, implementing masked retraining.
+#[derive(Debug, Clone)]
+pub struct MaskHook {
+    masks: MaskSet,
+}
+
+impl MaskHook {
+    /// Wraps a mask set for use during training.
+    pub fn new(masks: MaskSet) -> Self {
+        Self { masks }
+    }
+
+    /// Read access to the wrapped masks.
+    pub fn masks(&self) -> &MaskSet {
+        &self.masks
+    }
+
+    /// Unwraps the mask set.
+    pub fn into_inner(self) -> MaskSet {
+        self.masks
+    }
+}
+
+impl TrainHook for MaskHook {
+    fn after_step(&mut self, net: &mut Network) -> tinyadc_nn::Result<()> {
+        self.masks.apply(net);
+        Ok(())
+    }
+}
+
+/// Zeroes gradients at masked positions before the step (keeps momentum
+/// buffers from dragging pruned weights away from zero); combine with
+/// [`MaskHook`] when exact zeros matter during long retraining runs.
+pub fn mask_gradients(net: &mut Network, masks: &MaskSet) -> Result<()> {
+    net.visit_params(&mut |p: &mut Param| {
+        if let Some(mask) = masks.get(&p.name) {
+            if let Ok(masked) = p.grad.mul(mask) {
+                p.grad = masked;
+            }
+        }
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinyadc_nn::layers::{Linear, Sequential};
+    use tinyadc_tensor::rng::SeededRng;
+
+    fn tiny_net(rng: &mut SeededRng) -> Network {
+        let stack = Sequential::new("n").with(Linear::new("fc", 4, 4, true, rng));
+        Network::new("n", stack, vec![4], 4)
+    }
+
+    #[test]
+    fn from_zero_pattern_captures_zeros() {
+        let mut rng = SeededRng::new(3);
+        let mut net = tiny_net(&mut rng);
+        net.visit_params(&mut |p| {
+            if p.kind.is_prunable() {
+                let s = p.value.as_mut_slice();
+                s[0] = 0.0;
+                s[5] = 0.0;
+            }
+        });
+        let masks = MaskSet::from_zero_pattern(&mut net);
+        assert_eq!(masks.len(), 1);
+        let m = masks.get("fc.weight").unwrap();
+        assert_eq!(m.count_nonzero(), 14);
+        assert!((masks.density() - 14.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn apply_freezes_pattern() {
+        let mut rng = SeededRng::new(3);
+        let mut net = tiny_net(&mut rng);
+        let mut mask = Tensor::ones(&[4, 4]);
+        mask.as_mut_slice()[3] = 0.0;
+        let mut masks = MaskSet::new();
+        masks.insert("fc.weight", mask);
+        // Perturb then apply.
+        net.visit_params(&mut |p| p.value.map_inplace(|_| 2.0));
+        masks.apply(&mut net);
+        net.visit_params(&mut |p| {
+            if p.name == "fc.weight" {
+                assert_eq!(p.value.as_slice()[3], 0.0);
+                assert_eq!(p.value.as_slice()[0], 2.0);
+            }
+        });
+    }
+
+    #[test]
+    fn intersect_combines_zeros() {
+        let mut a = MaskSet::new();
+        a.insert(
+            "w",
+            Tensor::from_vec(vec![1.0, 0.0, 1.0, 1.0], &[4]).unwrap(),
+        );
+        let mut b = MaskSet::new();
+        b.insert(
+            "w",
+            Tensor::from_vec(vec![1.0, 1.0, 0.0, 1.0], &[4]).unwrap(),
+        );
+        b.insert("v", Tensor::ones(&[2]));
+        let c = a.intersect(&b);
+        assert_eq!(
+            c.get("w").unwrap().as_slice(),
+            &[1.0, 0.0, 0.0, 1.0]
+        );
+        assert!(c.get("v").is_some());
+    }
+
+    #[test]
+    fn pruning_rate_is_reciprocal_density() {
+        let mut m = MaskSet::new();
+        m.insert(
+            "w",
+            Tensor::from_vec(vec![1.0, 0.0, 0.0, 0.0], &[4]).unwrap(),
+        );
+        assert_eq!(m.overall_pruning_rate(), 4.0);
+    }
+
+    #[test]
+    fn mask_hook_applies_after_step() {
+        let mut rng = SeededRng::new(3);
+        let mut net = tiny_net(&mut rng);
+        let mut mask = Tensor::ones(&[4, 4]);
+        mask.as_mut_slice()[0] = 0.0;
+        let mut masks = MaskSet::new();
+        masks.insert("fc.weight", mask);
+        let mut hook = MaskHook::new(masks);
+        net.visit_params(&mut |p| p.value.map_inplace(|_| 1.0));
+        hook.after_step(&mut net).unwrap();
+        net.visit_params(&mut |p| {
+            if p.name == "fc.weight" {
+                assert_eq!(p.value.as_slice()[0], 0.0);
+            }
+        });
+    }
+
+    #[test]
+    fn gradient_masking() {
+        let mut rng = SeededRng::new(3);
+        let mut net = tiny_net(&mut rng);
+        let mut mask = Tensor::ones(&[4, 4]);
+        mask.as_mut_slice()[7] = 0.0;
+        let mut masks = MaskSet::new();
+        masks.insert("fc.weight", mask);
+        net.visit_params(&mut |p| p.grad.map_inplace(|_| 5.0));
+        mask_gradients(&mut net, &masks).unwrap();
+        net.visit_params(&mut |p| {
+            if p.name == "fc.weight" {
+                assert_eq!(p.grad.as_slice()[7], 0.0);
+                assert_eq!(p.grad.as_slice()[0], 5.0);
+            }
+        });
+    }
+
+    #[test]
+    fn empty_set_is_identity() {
+        let masks = MaskSet::new();
+        assert!(masks.is_empty());
+        assert_eq!(masks.density(), 1.0);
+        let mut rng = SeededRng::new(3);
+        let mut net = tiny_net(&mut rng);
+        let before = net.snapshot();
+        masks.apply(&mut net);
+        assert_eq!(net.snapshot(), before);
+    }
+}

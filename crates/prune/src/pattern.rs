@@ -1,0 +1,146 @@
+//! Sparsity-pattern visualisation: ASCII renderings of a layer's 2-D
+//! crossbar matrix, block grid included — the fastest way to *see* the
+//! difference between non-structured, column-proportional and structured
+//! zeros (the paper's Figs. 1–2 in text form).
+
+use crate::layout::to_matrix;
+use crate::{CrossbarShape, Result};
+use tinyadc_nn::ParamKind;
+use tinyadc_tensor::Tensor;
+
+/// Renders the zero pattern of a 2-D matrix: `#` non-zero, `.` zero,
+/// with `|`/`-` rules on crossbar block boundaries.
+///
+/// Intended for small matrices (debug/teaching); larger ones should be
+/// down-sampled by the caller first.
+///
+/// # Errors
+///
+/// Propagates shape errors for non-matrices.
+pub fn render_matrix(matrix: &Tensor, xbar: CrossbarShape) -> Result<String> {
+    let dims = matrix.dims();
+    let (rows, cols) = (dims[0], dims[1]);
+    let data = matrix.as_slice();
+    let mut out = String::with_capacity((rows + rows / xbar.rows().max(1) + 1) * (cols + 8));
+    for r in 0..rows {
+        if r > 0 && r % xbar.rows() == 0 {
+            for c in 0..cols {
+                if c > 0 && c % xbar.cols() == 0 {
+                    out.push('+');
+                }
+                out.push('-');
+            }
+            out.push('\n');
+        }
+        for c in 0..cols {
+            if c > 0 && c % xbar.cols() == 0 {
+                out.push('|');
+            }
+            out.push(if data[r * cols + c] != 0.0 { '#' } else { '.' });
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Renders a parameter tensor's crossbar pattern (conv/linear weight).
+///
+/// # Errors
+///
+/// Propagates layout errors for unsupported kinds.
+pub fn render_param(value: &Tensor, kind: ParamKind, xbar: CrossbarShape) -> Result<String> {
+    let matrix = to_matrix(value, kind)?;
+    render_matrix(&matrix, xbar)
+}
+
+/// Per-block-column non-zero histogram: `counts[k]` = number of block
+/// columns with exactly `k` non-zeros. The CP constraint shows up as all
+/// mass at or below `l`.
+///
+/// # Errors
+///
+/// Propagates shape errors for non-matrices.
+pub fn column_occupancy_histogram(
+    matrix: &Tensor,
+    xbar: CrossbarShape,
+) -> Result<Vec<usize>> {
+    let dims = matrix.dims();
+    let (rows, cols) = (dims[0], dims[1]);
+    let data = matrix.as_slice();
+    let m = xbar.rows();
+    let mut counts = vec![0usize; m + 1];
+    for block_start in (0..rows).step_by(m) {
+        let block_end = (block_start + m).min(rows);
+        for col in 0..cols {
+            let nnz = (block_start..block_end)
+                .filter(|&r| data[r * cols + col] != 0.0)
+                .count();
+            counts[nnz.min(m)] += 1;
+        }
+    }
+    Ok(counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CpConstraint;
+    use tinyadc_tensor::rng::SeededRng;
+
+    fn xbar(r: usize, c: usize) -> CrossbarShape {
+        CrossbarShape::new(r, c).unwrap()
+    }
+
+    #[test]
+    fn render_marks_zeros_and_nonzeros() {
+        let m = Tensor::from_vec(vec![1.0, 0.0, 0.0, 2.0], &[2, 2]).unwrap();
+        let s = render_matrix(&m, xbar(2, 2)).unwrap();
+        assert_eq!(s, "#.\n.#\n");
+    }
+
+    #[test]
+    fn render_draws_block_rules() {
+        let m = Tensor::ones(&[4, 4]);
+        let s = render_matrix(&m, xbar(2, 2)).unwrap();
+        assert!(s.contains('|'), "{s}");
+        assert!(s.contains('-'), "{s}");
+        assert!(s.contains('+'), "{s}");
+        // 4 content rows + 1 rule row.
+        assert_eq!(s.lines().count(), 5);
+    }
+
+    #[test]
+    fn histogram_of_cp_pruned_matrix_is_capped_at_l() {
+        let mut rng = SeededRng::new(3);
+        let cp = CpConstraint::new(xbar(8, 4), 3).unwrap();
+        let m = Tensor::randn(&[24, 12], 1.0, &mut rng);
+        let z = cp.project(&m).unwrap();
+        let hist = column_occupancy_histogram(&z, xbar(8, 4)).unwrap();
+        // No block column exceeds l = 3 non-zeros.
+        assert!(hist[4..].iter().all(|&c| c == 0), "{hist:?}");
+        // And with random weights, every column hits exactly 3.
+        assert_eq!(hist[3], 3 * 12);
+    }
+
+    #[test]
+    fn histogram_counts_all_block_columns() {
+        let m = Tensor::zeros(&[10, 6]);
+        let hist = column_occupancy_histogram(&m, xbar(4, 4)).unwrap();
+        // 3 row blocks (4+4+2) x 6 columns = 18 block columns, all empty.
+        assert_eq!(hist[0], 18);
+        assert_eq!(hist.iter().sum::<usize>(), 18);
+    }
+
+    #[test]
+    fn render_param_shows_filter_columns() {
+        // One filter entirely zero -> one fully-dotted column.
+        let mut w = Tensor::ones(&[3, 1, 2, 2]);
+        for i in 0..4 {
+            w.set(&[1, 0, i / 2, i % 2], 0.0).unwrap();
+        }
+        let s = render_param(&w, ParamKind::ConvWeight, xbar(4, 4)).unwrap();
+        for line in s.lines().filter(|l| !l.starts_with('-')) {
+            assert_eq!(&line[1..2], ".", "column 1 must be pruned: {line}");
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Progressive pruning schedules.
+//!
+//! Jumping straight to an aggressive CP rate can strand ADMM in a bad
+//! basin; the standard remedy (used across the ADMM-pruning literature the
+//! paper builds on) is to *ramp* the constraint: start at a mild rate and
+//! tighten it every few epochs until the target is reached. The
+//! [`ProgressiveCpHook`] wraps an [`AdmmPruner`]-compatible schedule as a
+//! [`TrainHook`] so it drops into the existing trainer unchanged.
+
+use crate::admm::{AdmmConfig, AdmmPruner};
+use crate::{CpConstraint, CrossbarShape, PruneError, Result};
+use tinyadc_nn::train::TrainHook;
+use tinyadc_nn::Network;
+
+/// A ramp of CP rates: which rate is active at which epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CpRamp {
+    /// `(first_epoch, rate)` pairs, ascending in both fields.
+    steps: Vec<(usize, usize)>,
+}
+
+impl CpRamp {
+    /// Builds a ramp from `(first_epoch, rate)` steps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PruneError::InvalidConfig`] when empty, not starting at
+    /// epoch 0, or not strictly ascending in both epoch and rate.
+    pub fn new(steps: Vec<(usize, usize)>) -> Result<Self> {
+        if steps.is_empty() || steps[0].0 != 0 {
+            return Err(PruneError::InvalidConfig(
+                "ramp must be non-empty and start at epoch 0".into(),
+            ));
+        }
+        for w in steps.windows(2) {
+            if w[1].0 <= w[0].0 || w[1].1 <= w[0].1 {
+                return Err(PruneError::InvalidConfig(
+                    "ramp steps must be strictly ascending in epoch and rate".into(),
+                ));
+            }
+        }
+        Ok(Self { steps })
+    }
+
+    /// A geometric ramp doubling the rate every `epochs_per_step` epochs,
+    /// from 2× up to `target_rate`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PruneError::InvalidConfig`] when `target_rate < 2`, is
+    /// not a power of two, or `epochs_per_step == 0`.
+    pub fn doubling(target_rate: usize, epochs_per_step: usize) -> Result<Self> {
+        if target_rate < 2 || !target_rate.is_power_of_two() || epochs_per_step == 0 {
+            return Err(PruneError::InvalidConfig(format!(
+                "doubling ramp needs a power-of-two target >= 2 (got {target_rate}) \
+                 and positive step length"
+            )));
+        }
+        let mut steps = Vec::new();
+        let mut rate = 2usize;
+        let mut epoch = 0usize;
+        while rate <= target_rate {
+            steps.push((epoch, rate));
+            epoch += epochs_per_step;
+            rate *= 2;
+        }
+        Self::new(steps)
+    }
+
+    /// The rate active at `epoch`.
+    pub fn rate_at(&self, epoch: usize) -> usize {
+        self.steps
+            .iter()
+            .rev()
+            .find(|&&(e, _)| e <= epoch)
+            .map(|&(_, r)| r)
+            .unwrap_or(self.steps[0].1)
+    }
+
+    /// The final (target) rate.
+    pub fn target_rate(&self) -> usize {
+        self.steps.last().map(|&(_, r)| r).unwrap_or(2)
+    }
+}
+
+/// A [`TrainHook`] that rebuilds its internal [`AdmmPruner`] whenever the
+/// ramp advances, carrying the training forward under a gradually
+/// tightening CP constraint.
+pub struct ProgressiveCpHook {
+    ramp: CpRamp,
+    xbar: CrossbarShape,
+    skip: Vec<String>,
+    admm: AdmmConfig,
+    current_rate: usize,
+    pruner: AdmmPruner,
+}
+
+impl std::fmt::Debug for ProgressiveCpHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProgressiveCpHook")
+            .field("current_rate", &self.current_rate)
+            .field("target_rate", &self.ramp.target_rate())
+            .finish()
+    }
+}
+
+impl ProgressiveCpHook {
+    /// Creates the hook, initialising the pruner at the ramp's first rate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates constraint/pruner construction errors.
+    pub fn new(
+        net: &mut Network,
+        ramp: CpRamp,
+        xbar: CrossbarShape,
+        skip: Vec<String>,
+        admm: AdmmConfig,
+    ) -> Result<Self> {
+        let first = ramp.rate_at(0);
+        let cp = CpConstraint::from_rate(xbar, first)?;
+        let pruner = AdmmPruner::uniform_cp(net, cp, &skip, admm)?;
+        Ok(Self {
+            ramp,
+            xbar,
+            skip,
+            admm,
+            current_rate: first,
+            pruner,
+        })
+    }
+
+    /// The rate currently enforced.
+    pub fn current_rate(&self) -> usize {
+        self.current_rate
+    }
+
+    /// Consumes the hook, returning the final pruner (for `finalize`).
+    pub fn into_pruner(self) -> AdmmPruner {
+        self.pruner
+    }
+}
+
+impl TrainHook for ProgressiveCpHook {
+    fn before_step(&mut self, net: &mut Network) -> tinyadc_nn::Result<()> {
+        self.pruner.before_step(net)
+    }
+
+    fn after_epoch(&mut self, net: &mut Network, epoch: usize) -> tinyadc_nn::Result<()> {
+        self.pruner.after_epoch(net, epoch)?;
+        let next_rate = self.ramp.rate_at(epoch + 1);
+        if next_rate != self.current_rate {
+            let cp = CpConstraint::from_rate(self.xbar, next_rate)
+                .map_err(tinyadc_nn::NnError::from)?;
+            self.pruner = AdmmPruner::uniform_cp(net, cp, &self.skip, self.admm)
+                .map_err(tinyadc_nn::NnError::from)?;
+            self.current_rate = next_rate;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinyadc_nn::layers::{Linear, Sequential};
+    use tinyadc_tensor::rng::SeededRng;
+
+    #[test]
+    fn ramp_validation() {
+        assert!(CpRamp::new(vec![]).is_err());
+        assert!(CpRamp::new(vec![(1, 2)]).is_err()); // must start at 0
+        assert!(CpRamp::new(vec![(0, 4), (2, 2)]).is_err()); // rate descends
+        assert!(CpRamp::new(vec![(0, 2), (0, 4)]).is_err()); // epoch ties
+        assert!(CpRamp::new(vec![(0, 2), (3, 8)]).is_ok());
+    }
+
+    #[test]
+    fn doubling_ramp_shape() {
+        let ramp = CpRamp::doubling(16, 2).unwrap();
+        assert_eq!(ramp.rate_at(0), 2);
+        assert_eq!(ramp.rate_at(1), 2);
+        assert_eq!(ramp.rate_at(2), 4);
+        assert_eq!(ramp.rate_at(4), 8);
+        assert_eq!(ramp.rate_at(6), 16);
+        assert_eq!(ramp.rate_at(99), 16);
+        assert_eq!(ramp.target_rate(), 16);
+        assert!(CpRamp::doubling(3, 1).is_err());
+        assert!(CpRamp::doubling(8, 0).is_err());
+    }
+
+    #[test]
+    fn hook_tightens_over_epochs() {
+        let mut rng = SeededRng::new(1);
+        let stack = Sequential::new("n").with(Linear::new("fc", 16, 16, false, &mut rng));
+        let mut net = tinyadc_nn::Network::new("n", stack, vec![16], 16);
+        let xbar = CrossbarShape::new(16, 16).unwrap();
+        let ramp = CpRamp::doubling(8, 1).unwrap();
+        let mut hook =
+            ProgressiveCpHook::new(&mut net, ramp, xbar, vec![], AdmmConfig::default()).unwrap();
+        assert_eq!(hook.current_rate(), 2);
+        hook.after_epoch(&mut net, 0).unwrap();
+        assert_eq!(hook.current_rate(), 4);
+        hook.after_epoch(&mut net, 1).unwrap();
+        assert_eq!(hook.current_rate(), 8);
+        hook.after_epoch(&mut net, 2).unwrap();
+        assert_eq!(hook.current_rate(), 8, "stays at target");
+        // Finalizing at the target rate yields a feasible model.
+        let pruner = hook.into_pruner();
+        pruner.finalize(&mut net).unwrap();
+        let cp = CpConstraint::from_rate(xbar, 8).unwrap();
+        net.visit_params(&mut |p| {
+            let m = crate::layout::to_matrix(&p.value, p.kind).unwrap();
+            assert!(cp.is_satisfied(&m).unwrap());
+        });
+    }
+}

@@ -1,0 +1,284 @@
+//! Per-layer pruning-sensitivity analysis and non-uniform rate selection.
+//!
+//! The paper applies one uniform CP rate to every layer (except the
+//! first); its natural extension — alluded to by the per-layer `l_i` in
+//! Eq. 2's constraint set — is choosing a *different* `l_i` per layer.
+//! This module measures how much one-shot CP projection at a candidate
+//! rate perturbs each layer (relative Frobenius distortion and, when a
+//! loss probe is supplied, the loss increase), then assigns each layer the
+//! most aggressive rate whose distortion stays under a budget.
+//!
+//! The analysis is *one-shot* (no retraining), which is the standard
+//! cheap proxy used to seed per-layer rates before ADMM training.
+
+use crate::{CpConstraint, CrossbarShape, PruneError, Result};
+use std::collections::HashMap;
+use tinyadc_nn::{Network, Param, ParamKind};
+
+/// Distortion of one layer at one candidate CP rate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerSensitivity {
+    /// Parameter name.
+    pub name: String,
+    /// Candidate CP rate.
+    pub rate: usize,
+    /// Non-zeros allowed per block column at this rate.
+    pub l: usize,
+    /// `‖W − Π(W)‖_F / ‖W‖_F` — the relative weight distortion the
+    /// one-shot projection would cause.
+    pub relative_distortion: f64,
+    /// Fraction of weights the projection keeps.
+    pub kept_fraction: f64,
+}
+
+/// Sensitivity profile of a whole network: per-layer distortion at every
+/// candidate rate.
+#[derive(Debug, Clone, Default)]
+pub struct SensitivityProfile {
+    /// All measurements, grouped by layer then rate (ascending).
+    pub measurements: Vec<LayerSensitivity>,
+}
+
+impl SensitivityProfile {
+    /// Measures every prunable parameter of `net` (minus `skip`) at each
+    /// candidate rate. Weights are not modified.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PruneError::InvalidConfig`] when a rate does not divide
+    /// the crossbar rows; propagates projection errors.
+    pub fn measure(
+        net: &mut Network,
+        xbar: CrossbarShape,
+        rates: &[usize],
+        skip: &[String],
+    ) -> Result<Self> {
+        let mut constraints = Vec::with_capacity(rates.len());
+        for &rate in rates {
+            constraints.push((rate, CpConstraint::from_rate(xbar, rate)?));
+        }
+        let mut measurements = Vec::new();
+        let mut failure: Option<PruneError> = None;
+        net.visit_params(&mut |p: &mut Param| {
+            if failure.is_some() || !p.kind.is_prunable() || skip.iter().any(|s| s == &p.name) {
+                return;
+            }
+            for &(rate, cp) in &constraints {
+                match cp.project_param(&p.value, p.kind) {
+                    Ok(z) => {
+                        let denom = f64::from(p.value.frobenius_norm()).max(1e-12);
+                        let dist = match p.value.sub(&z) {
+                            Ok(d) => f64::from(d.frobenius_norm()) / denom,
+                            Err(e) => {
+                                failure = Some(e.into());
+                                return;
+                            }
+                        };
+                        measurements.push(LayerSensitivity {
+                            name: p.name.clone(),
+                            rate,
+                            l: cp.max_nonzeros_per_column(),
+                            relative_distortion: dist,
+                            kept_fraction: z.count_nonzero() as f64 / p.value.len() as f64,
+                        });
+                    }
+                    Err(e) => {
+                        failure = Some(e);
+                        return;
+                    }
+                }
+            }
+        });
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(Self { measurements }),
+        }
+    }
+
+    /// Layer names present in the profile, in first-seen order.
+    pub fn layer_names(&self) -> Vec<String> {
+        let mut names = Vec::new();
+        for m in &self.measurements {
+            if !names.contains(&m.name) {
+                names.push(m.name.clone());
+            }
+        }
+        names
+    }
+
+    /// The measurements for one layer, ascending by rate.
+    pub fn for_layer(&self, name: &str) -> Vec<&LayerSensitivity> {
+        let mut out: Vec<&LayerSensitivity> =
+            self.measurements.iter().filter(|m| m.name == name).collect();
+        out.sort_by_key(|m| m.rate);
+        out
+    }
+
+    /// Per-layer rate assignment: the most aggressive candidate rate whose
+    /// relative distortion stays at or below `budget`; layers where even
+    /// the mildest rate exceeds the budget get the mildest rate.
+    pub fn assign_rates(&self, budget: f64) -> HashMap<String, usize> {
+        let mut out = HashMap::new();
+        for name in self.layer_names() {
+            let per_layer = self.for_layer(&name);
+            let best = per_layer
+                .iter()
+                .filter(|m| m.relative_distortion <= budget)
+                .map(|m| m.rate)
+                .max()
+                .or_else(|| per_layer.iter().map(|m| m.rate).min());
+            if let Some(rate) = best {
+                out.insert(name, rate);
+            }
+        }
+        out
+    }
+}
+
+/// Builds per-layer CP constraints from an assignment produced by
+/// [`SensitivityProfile::assign_rates`], ready for
+/// [`crate::admm::AdmmPruner::with_constraints`].
+///
+/// # Errors
+///
+/// Returns [`PruneError::InvalidConfig`] for rates that do not divide the
+/// crossbar rows.
+pub fn constraints_from_rates(
+    net: &mut Network,
+    xbar: CrossbarShape,
+    rates: &HashMap<String, usize>,
+) -> Result<HashMap<String, (crate::admm::LayerConstraint, ParamKind)>> {
+    let mut out = HashMap::new();
+    let mut failure: Option<PruneError> = None;
+    net.visit_params(&mut |p: &mut Param| {
+        if failure.is_some() || !p.kind.is_prunable() {
+            return;
+        }
+        if let Some(&rate) = rates.get(&p.name) {
+            match CpConstraint::from_rate(xbar, rate) {
+                Ok(cp) => {
+                    out.insert(
+                        p.name.clone(),
+                        (crate::admm::LayerConstraint::Cp(cp), p.kind),
+                    );
+                }
+                Err(e) => failure = Some(e),
+            }
+        }
+    });
+    match failure {
+        Some(e) => Err(e),
+        None => Ok(out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinyadc_nn::layers::{Conv2d, Linear, Sequential};
+    use tinyadc_tensor::rng::SeededRng;
+    use tinyadc_tensor::Tensor;
+
+    fn xbar() -> CrossbarShape {
+        CrossbarShape::new(8, 8).unwrap()
+    }
+
+    fn net(rng: &mut SeededRng) -> Network {
+        let stack = Sequential::new("n")
+            .with(Conv2d::new("conv", 2, 8, 3, 1, 1, false, rng))
+            .with(Linear::new("fc", 8, 4, false, rng));
+        Network::new("n", stack, vec![2, 4, 4], 4)
+    }
+
+    #[test]
+    fn distortion_grows_with_rate() {
+        let mut rng = SeededRng::new(1);
+        let mut n = net(&mut rng);
+        let profile = SensitivityProfile::measure(&mut n, xbar(), &[2, 4, 8], &[]).unwrap();
+        for name in profile.layer_names() {
+            let per = profile.for_layer(&name);
+            assert_eq!(per.len(), 3);
+            for w in per.windows(2) {
+                assert!(
+                    w[1].relative_distortion >= w[0].relative_distortion,
+                    "{name}: distortion must be monotone in rate"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn measurement_does_not_modify_weights() {
+        let mut rng = SeededRng::new(2);
+        let mut n = net(&mut rng);
+        let before = n.snapshot();
+        SensitivityProfile::measure(&mut n, xbar(), &[2, 8], &[]).unwrap();
+        assert_eq!(n.snapshot(), before);
+    }
+
+    #[test]
+    fn skip_list_excludes_layers() {
+        let mut rng = SeededRng::new(3);
+        let mut n = net(&mut rng);
+        let profile =
+            SensitivityProfile::measure(&mut n, xbar(), &[2], &["conv.weight".into()]).unwrap();
+        assert_eq!(profile.layer_names(), vec!["fc.weight".to_string()]);
+    }
+
+    #[test]
+    fn assignment_respects_budget() {
+        let mut rng = SeededRng::new(4);
+        let mut n = net(&mut rng);
+        let profile = SensitivityProfile::measure(&mut n, xbar(), &[2, 4, 8], &[]).unwrap();
+        // Budget 1.0 admits everything -> max rate everywhere.
+        let loose = profile.assign_rates(1.0);
+        assert!(loose.values().all(|&r| r == 8));
+        // Budget 0 admits nothing -> min rate fallback.
+        let tight = profile.assign_rates(0.0);
+        assert!(tight.values().all(|&r| r == 2));
+    }
+
+    #[test]
+    fn robust_layer_gets_higher_rate() {
+        // A layer whose mass is concentrated in one entry per column loses
+        // ~nothing at high rates; a uniform layer loses a lot.
+        let mut rng = SeededRng::new(5);
+        let stack = Sequential::new("n")
+            .with(Linear::new("concentrated", 8, 8, false, &mut rng))
+            .with(Linear::new("uniform", 8, 8, false, &mut rng));
+        let mut n = Network::new("n", stack, vec![8], 8);
+        n.visit_params(&mut |p| {
+            if p.name.starts_with("concentrated") {
+                let mut t = Tensor::zeros(&[8, 8]);
+                for i in 0..8 {
+                    t.set(&[i, i], 5.0).unwrap();
+                    t.set(&[i, (i + 1) % 8], 0.01).unwrap();
+                }
+                p.value = t;
+            } else {
+                p.value = Tensor::ones(&[8, 8]);
+            }
+        });
+        let profile = SensitivityProfile::measure(&mut n, xbar(), &[2, 4, 8], &[]).unwrap();
+        let rates = profile.assign_rates(0.2);
+        assert!(rates["concentrated.weight"] > rates["uniform.weight"]);
+    }
+
+    #[test]
+    fn constraints_from_assignment_cover_requested_layers() {
+        let mut rng = SeededRng::new(6);
+        let mut n = net(&mut rng);
+        let mut rates = HashMap::new();
+        rates.insert("fc.weight".to_string(), 4usize);
+        let constraints = constraints_from_rates(&mut n, xbar(), &rates).unwrap();
+        assert_eq!(constraints.len(), 1);
+        assert!(constraints.contains_key("fc.weight"));
+    }
+
+    #[test]
+    fn invalid_rate_rejected() {
+        let mut rng = SeededRng::new(7);
+        let mut n = net(&mut rng);
+        assert!(SensitivityProfile::measure(&mut n, xbar(), &[3], &[]).is_err());
+    }
+}

@@ -1,0 +1,101 @@
+use crate::{PruneError, Result};
+
+/// Dimensions of one ReRAM crossbar array: `rows × cols` cells.
+///
+/// The paper's evaluation uses `128 × 128` arrays (following ISAAC); tests
+/// in this workspace use smaller shapes. A layer's 2-D weight matrix is
+/// tiled into blocks of this size; each block maps to one physical array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CrossbarShape {
+    rows: usize,
+    cols: usize,
+}
+
+impl CrossbarShape {
+    /// The configuration used throughout the paper's evaluation.
+    pub const PAPER_128: Self = Self {
+        rows: 128,
+        cols: 128,
+    };
+
+    /// Creates a crossbar shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PruneError::InvalidConfig`] when either extent is zero.
+    pub fn new(rows: usize, cols: usize) -> Result<Self> {
+        if rows == 0 || cols == 0 {
+            return Err(PruneError::InvalidConfig(
+                "crossbar must have positive rows and cols".into(),
+            ));
+        }
+        Ok(Self { rows, cols })
+    }
+
+    /// Word-line count (weight-matrix rows per block).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Bit-line count (weight-matrix columns per block).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total cells per array.
+    pub fn cells(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// How many blocks (arrays) a `matrix_rows × matrix_cols` weight matrix
+    /// occupies, counting ragged edge blocks (paper §III-C: leftover
+    /// rows/columns get their own arrays).
+    pub fn blocks_for(&self, matrix_rows: usize, matrix_cols: usize) -> usize {
+        matrix_rows.div_ceil(self.rows) * matrix_cols.div_ceil(self.cols)
+    }
+
+    /// Number of row-blocks a matrix with `matrix_rows` rows spans.
+    pub fn row_blocks(&self, matrix_rows: usize) -> usize {
+        matrix_rows.div_ceil(self.rows)
+    }
+
+    /// Number of column-blocks a matrix with `matrix_cols` columns spans.
+    pub fn col_blocks(&self, matrix_cols: usize) -> usize {
+        matrix_cols.div_ceil(self.cols)
+    }
+}
+
+impl std::fmt::Display for CrossbarShape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}", self.rows, self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(CrossbarShape::new(0, 8).is_err());
+        assert!(CrossbarShape::new(8, 0).is_err());
+        let x = CrossbarShape::new(128, 128).unwrap();
+        assert_eq!(x, CrossbarShape::PAPER_128);
+        assert_eq!(x.cells(), 16384);
+    }
+
+    #[test]
+    fn block_counting_includes_ragged_edges() {
+        let x = CrossbarShape::new(8, 8).unwrap();
+        assert_eq!(x.blocks_for(8, 8), 1);
+        assert_eq!(x.blocks_for(9, 8), 2);
+        assert_eq!(x.blocks_for(8, 9), 2);
+        assert_eq!(x.blocks_for(17, 17), 9);
+        assert_eq!(x.blocks_for(1, 1), 1);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(CrossbarShape::PAPER_128.to_string(), "128x128");
+    }
+}

@@ -1,0 +1,470 @@
+//! Crossbar-size-aware structured pruning (paper §III-D).
+//!
+//! Two structured granularities are supported, matching the paper:
+//!
+//! * **filter pruning** — removing entire *columns* of the 2-D crossbar
+//!   matrix (whole filters / output neurons);
+//! * **filter-shape pruning** — removing entire *rows* (one kernel position
+//!   across all filters).
+//!
+//! The crossbar-size-aware restriction: the number of removed columns
+//! (rows) per layer must be a multiple of the crossbar column (row) count,
+//! so the surviving dense matrix still tiles into whole arrays and every
+//! removed group converts 1:1 into removed crossbars and ADCs.
+//!
+//! Selection uses the standard group-Lasso-style criterion: remove the
+//! groups with the smallest L2 norm.
+
+use crate::layout::{matrix_dims, to_matrix};
+use crate::masks::MaskSet;
+use crate::{CrossbarShape, PruneError, Result};
+use tinyadc_nn::{Network, Param, ParamKind};
+use tinyadc_tensor::Tensor;
+
+/// Which structured granularity to prune.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StructuredKind {
+    /// Remove whole matrix columns (filters / output neurons).
+    Filter,
+    /// Remove whole matrix rows (filter-shape positions).
+    FilterShape,
+}
+
+/// Structured-pruning outcome for one layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerStructure {
+    /// Parameter name (e.g. `"stage2.block0.conv1.weight"`).
+    pub name: String,
+    /// Matrix rows before pruning.
+    pub matrix_rows: usize,
+    /// Matrix columns before pruning.
+    pub matrix_cols: usize,
+    /// Indices of removed rows (filter-shapes), sorted.
+    pub removed_rows: Vec<usize>,
+    /// Indices of removed columns (filters), sorted.
+    pub removed_cols: Vec<usize>,
+}
+
+impl LayerStructure {
+    /// Crossbar arrays this layer needs before pruning.
+    pub fn crossbars_before(&self, xbar: CrossbarShape) -> usize {
+        xbar.blocks_for(self.matrix_rows, self.matrix_cols)
+    }
+
+    /// Crossbar arrays after removing the pruned rows/columns and
+    /// repacking the surviving dense matrix.
+    pub fn crossbars_after(&self, xbar: CrossbarShape) -> usize {
+        let rows = self.matrix_rows - self.removed_rows.len();
+        let cols = self.matrix_cols - self.removed_cols.len();
+        if rows == 0 || cols == 0 {
+            0
+        } else {
+            xbar.blocks_for(rows, cols)
+        }
+    }
+
+    /// Structured pruning rate for this layer
+    /// (`total cells / surviving cells`).
+    pub fn pruning_rate(&self) -> f64 {
+        let total = (self.matrix_rows * self.matrix_cols) as f64;
+        let kept = ((self.matrix_rows - self.removed_rows.len())
+            * (self.matrix_cols - self.removed_cols.len())) as f64;
+        if kept == 0.0 {
+            f64::INFINITY
+        } else {
+            total / kept
+        }
+    }
+}
+
+/// Whole-network structured-pruning outcome: per-layer structure plus the
+/// masks that realise it.
+#[derive(Debug, Clone, Default)]
+pub struct StructuredOutcome {
+    /// Per-layer structural changes.
+    pub layers: Vec<LayerStructure>,
+    /// Masks (parameter layout) that zero the removed groups.
+    pub masks: MaskSet,
+}
+
+impl StructuredOutcome {
+    /// Total crossbar arrays (across recorded layers) before pruning.
+    pub fn crossbars_before(&self, xbar: CrossbarShape) -> usize {
+        self.layers.iter().map(|l| l.crossbars_before(xbar)).sum()
+    }
+
+    /// Total crossbar arrays after pruning and repacking.
+    pub fn crossbars_after(&self, xbar: CrossbarShape) -> usize {
+        self.layers.iter().map(|l| l.crossbars_after(xbar)).sum()
+    }
+
+    /// Crossbar reduction as a fraction in `[0, 1]` (paper Table II's
+    /// "Crossbar Reduction" column).
+    pub fn crossbar_reduction(&self, xbar: CrossbarShape) -> f64 {
+        let before = self.crossbars_before(xbar);
+        if before == 0 {
+            0.0
+        } else {
+            1.0 - self.crossbars_after(xbar) as f64 / before as f64
+        }
+    }
+
+    /// Aggregate structured pruning rate across recorded layers.
+    pub fn overall_rate(&self) -> f64 {
+        let total: usize = self
+            .layers
+            .iter()
+            .map(|l| l.matrix_rows * l.matrix_cols)
+            .sum();
+        let kept: usize = self
+            .layers
+            .iter()
+            .map(|l| {
+                (l.matrix_rows - l.removed_rows.len()) * (l.matrix_cols - l.removed_cols.len())
+            })
+            .sum();
+        if kept == 0 {
+            f64::INFINITY
+        } else {
+            total as f64 / kept as f64
+        }
+    }
+}
+
+/// Configuration for crossbar-size-aware structured pruning.
+#[derive(Debug, Clone)]
+pub struct StructuredConfig {
+    /// Crossbar shape the removal counts must align to.
+    pub xbar: CrossbarShape,
+    /// Target fraction of columns (filters) to remove per layer, in
+    /// `[0, 1)`; rounded *down* to a multiple of the crossbar column count.
+    pub filter_fraction: f64,
+    /// Target fraction of rows (filter-shapes) to remove per layer;
+    /// rounded down to a multiple of the crossbar row count.
+    pub shape_fraction: f64,
+    /// Parameter names to skip (the paper never prunes the first layer;
+    /// the classifier head is also usually kept).
+    pub skip: Vec<String>,
+}
+
+impl StructuredConfig {
+    /// A config pruning only filters.
+    pub fn filters_only(xbar: CrossbarShape, fraction: f64, skip: Vec<String>) -> Self {
+        Self {
+            xbar,
+            filter_fraction: fraction,
+            shape_fraction: 0.0,
+            skip,
+        }
+    }
+}
+
+/// Plans and applies crossbar-size-aware structured pruning to every
+/// prunable parameter of `net` (except skipped ones), zeroing the removed
+/// groups in place and returning the outcome.
+///
+/// Removed groups are chosen by smallest L2 norm. Because removal counts
+/// are rounded down to crossbar multiples, layers whose matrices are
+/// smaller than one crossbar are left untouched — exactly the behaviour
+/// the paper's size-aware scheme implies.
+///
+/// # Errors
+///
+/// Returns [`PruneError::InvalidConfig`] for fractions outside `[0, 1)`.
+pub fn apply_structured(net: &mut Network, config: &StructuredConfig) -> Result<StructuredOutcome> {
+    if !(0.0..1.0).contains(&config.filter_fraction)
+        || !(0.0..1.0).contains(&config.shape_fraction)
+    {
+        return Err(PruneError::InvalidConfig(
+            "structured fractions must be in [0, 1)".into(),
+        ));
+    }
+    let mut outcome = StructuredOutcome::default();
+    let mut failure: Option<PruneError> = None;
+    let cfg = config.clone();
+    net.visit_params(&mut |p: &mut Param| {
+        if failure.is_some() || !p.kind.is_prunable() {
+            return;
+        }
+        if cfg.skip.iter().any(|s| &p.name == s) {
+            // Still record the layer so crossbar accounting covers it.
+            if let Ok((rows, cols)) = matrix_dims(p.value.dims(), p.kind) {
+                outcome.layers.push(LayerStructure {
+                    name: p.name.clone(),
+                    matrix_rows: rows,
+                    matrix_cols: cols,
+                    removed_rows: Vec::new(),
+                    removed_cols: Vec::new(),
+                });
+            }
+            return;
+        }
+        match prune_one_param(p, &cfg) {
+            Ok(layer) => outcome.layers.push(layer),
+            Err(e) => failure = Some(e),
+        }
+    });
+    if let Some(e) = failure {
+        return Err(e);
+    }
+    outcome.masks = MaskSet::from_zero_pattern(net);
+    Ok(outcome)
+}
+
+fn prune_one_param(p: &mut Param, cfg: &StructuredConfig) -> Result<LayerStructure> {
+    let matrix = to_matrix(&p.value, p.kind)?;
+    let (rows, cols) = matrix_dims(p.value.dims(), p.kind)?;
+
+    let removed_cols = select_groups(
+        &matrix,
+        StructuredKind::Filter,
+        cfg.filter_fraction,
+        cfg.xbar.cols(),
+    );
+    let removed_rows = select_groups(
+        &matrix,
+        StructuredKind::FilterShape,
+        cfg.shape_fraction,
+        cfg.xbar.rows(),
+    );
+
+    // Zero the removed groups directly in the parameter tensor.
+    zero_groups(p, &removed_cols, &removed_rows)?;
+
+    Ok(LayerStructure {
+        name: p.name.clone(),
+        matrix_rows: rows,
+        matrix_cols: cols,
+        removed_rows,
+        removed_cols,
+    })
+}
+
+/// Selects group indices (columns or rows) to remove: the `k` smallest by
+/// L2 norm where `k` is `fraction * group_count` rounded **down** to a
+/// multiple of `multiple`, capped so at least one multiple survives.
+fn select_groups(
+    matrix: &Tensor,
+    kind: StructuredKind,
+    fraction: f64,
+    multiple: usize,
+) -> Vec<usize> {
+    let [rows, cols] = [matrix.dims()[0], matrix.dims()[1]];
+    let group_count = match kind {
+        StructuredKind::Filter => cols,
+        StructuredKind::FilterShape => rows,
+    };
+    let target = (fraction * group_count as f64).floor() as usize;
+    let k = (target / multiple) * multiple;
+    if k == 0 || k >= group_count {
+        return Vec::new();
+    }
+    let data = matrix.as_slice();
+    let mut norms: Vec<(usize, f32)> = (0..group_count)
+        .map(|g| {
+            let norm: f32 = match kind {
+                StructuredKind::Filter => (0..rows).map(|r| data[r * cols + g].powi(2)).sum(),
+                StructuredKind::FilterShape => {
+                    (0..cols).map(|c| data[g * cols + c].powi(2)).sum()
+                }
+            };
+            (g, norm)
+        })
+        .collect();
+    norms.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite norms"));
+    let mut removed: Vec<usize> = norms[..k].iter().map(|&(g, _)| g).collect();
+    removed.sort_unstable();
+    removed
+}
+
+fn zero_groups(p: &mut Param, removed_cols: &[usize], removed_rows: &[usize]) -> Result<()> {
+    match (p.kind, p.value.dims().to_vec().as_slice()) {
+        (ParamKind::ConvWeight, &[f, c, kh, kw]) => {
+            let data = p.value.as_mut_slice();
+            let fsize = c * kh * kw;
+            // Matrix column j == filter j.
+            for &col in removed_cols {
+                debug_assert!(col < f);
+                for v in &mut data[col * fsize..(col + 1) * fsize] {
+                    *v = 0.0;
+                }
+            }
+            // Matrix row r == flattened (channel, kh, kw) position r.
+            for &row in removed_rows {
+                debug_assert!(row < fsize);
+                for fi in 0..f {
+                    data[fi * fsize + row] = 0.0;
+                }
+            }
+            Ok(())
+        }
+        (ParamKind::LinearWeight, &[out, inp]) => {
+            let data = p.value.as_mut_slice();
+            for &col in removed_cols {
+                debug_assert!(col < out);
+                for v in &mut data[col * inp..(col + 1) * inp] {
+                    *v = 0.0;
+                }
+            }
+            for &row in removed_rows {
+                debug_assert!(row < inp);
+                for o in 0..out {
+                    data[o * inp + row] = 0.0;
+                }
+            }
+            Ok(())
+        }
+        _ => Err(PruneError::UnsupportedShape {
+            context: "zero_groups".into(),
+            shape: p.value.dims().to_vec(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinyadc_nn::layers::{Conv2d, Linear, Sequential};
+    use tinyadc_tensor::rng::SeededRng;
+
+    fn xbar(r: usize, c: usize) -> CrossbarShape {
+        CrossbarShape::new(r, c).unwrap()
+    }
+
+    fn conv_net(rng: &mut SeededRng) -> Network {
+        let stack = Sequential::new("n")
+            .with(Conv2d::new("conv1", 3, 16, 3, 1, 1, false, rng))
+            .with(Conv2d::new("conv2", 16, 16, 3, 1, 1, false, rng));
+        Network::new("n", stack, vec![3, 8, 8], 16)
+    }
+
+    #[test]
+    fn filter_counts_align_to_crossbar_columns() {
+        let mut rng = SeededRng::new(5);
+        let mut net = conv_net(&mut rng);
+        let cfg = StructuredConfig::filters_only(xbar(8, 4), 0.5, vec!["conv1.weight".into()]);
+        let outcome = apply_structured(&mut net, &cfg).unwrap();
+        let conv2 = outcome
+            .layers
+            .iter()
+            .find(|l| l.name == "conv2.weight")
+            .unwrap();
+        // 16 columns, 50% target = 8, already a multiple of 4.
+        assert_eq!(conv2.removed_cols.len(), 8);
+        assert!(conv2.removed_cols.len() % 4 == 0);
+        let conv1 = outcome
+            .layers
+            .iter()
+            .find(|l| l.name == "conv1.weight")
+            .unwrap();
+        assert!(conv1.removed_cols.is_empty(), "skipped layer untouched");
+    }
+
+    #[test]
+    fn counts_round_down_to_multiples() {
+        let mut rng = SeededRng::new(5);
+        let mut net = conv_net(&mut rng);
+        // 30% of 16 = 4.8 -> 4 -> rounded down to multiple of 8 = 0... use
+        // crossbar cols 3: 4.8 -> 4 -> 3.
+        let cfg = StructuredConfig::filters_only(xbar(8, 3), 0.3, vec![]);
+        let outcome = apply_structured(&mut net, &cfg).unwrap();
+        for layer in &outcome.layers {
+            assert_eq!(layer.removed_cols.len() % 3, 0);
+            assert_eq!(layer.removed_cols.len(), 3);
+        }
+    }
+
+    #[test]
+    fn removed_groups_are_smallest_norm() {
+        let mut rng = SeededRng::new(5);
+        let stack = Sequential::new("n").with(Linear::new("fc", 4, 6, false, &mut rng));
+        let mut net = Network::new("n", stack, vec![4], 6);
+        // Set row norms (param layout [out=6, in=4]): filter j = row j.
+        net.visit_params(&mut |p| {
+            let d = p.value.as_mut_slice();
+            for (j, chunk) in d.chunks_mut(4).enumerate() {
+                for v in chunk.iter_mut() {
+                    *v = (j + 1) as f32; // filter norms increase with j
+                }
+            }
+        });
+        let cfg = StructuredConfig::filters_only(xbar(4, 2), 0.5, vec![]);
+        let outcome = apply_structured(&mut net, &cfg).unwrap();
+        let fc = &outcome.layers[0];
+        // 6 filters, 50% -> 3 -> rounded to multiple of 2 -> 2 smallest.
+        assert_eq!(fc.removed_cols, vec![0, 1]);
+        net.visit_params(&mut |p| {
+            assert_eq!(p.value.as_slice()[0], 0.0);
+            assert_ne!(p.value.as_slice()[8], 0.0);
+        });
+    }
+
+    #[test]
+    fn crossbar_accounting() {
+        let layer = LayerStructure {
+            name: "x".into(),
+            matrix_rows: 16,
+            matrix_cols: 16,
+            removed_rows: (0..8).collect(),
+            removed_cols: (0..8).collect(),
+        };
+        let x = xbar(8, 8);
+        assert_eq!(layer.crossbars_before(x), 4);
+        assert_eq!(layer.crossbars_after(x), 1);
+        assert_eq!(layer.pruning_rate(), 4.0);
+    }
+
+    #[test]
+    fn outcome_reduction_matches_layer_sums() {
+        let mut rng = SeededRng::new(5);
+        let mut net = conv_net(&mut rng);
+        let cfg = StructuredConfig::filters_only(xbar(16, 8), 0.5, vec![]);
+        let outcome = apply_structured(&mut net, &cfg).unwrap();
+        let x = cfg.xbar;
+        let before = outcome.crossbars_before(x);
+        let after = outcome.crossbars_after(x);
+        assert!(after < before);
+        let reduction = outcome.crossbar_reduction(x);
+        assert!((reduction - (1.0 - after as f64 / before as f64)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shape_pruning_zeroes_rows() {
+        let mut rng = SeededRng::new(6);
+        let mut net = conv_net(&mut rng);
+        let cfg = StructuredConfig {
+            xbar: xbar(9, 8),
+            filter_fraction: 0.0,
+            shape_fraction: 0.5,
+            skip: vec![],
+        };
+        let outcome = apply_structured(&mut net, &cfg).unwrap();
+        // conv2 matrix has 16*9 = 144 rows; 50% = 72 = 8 multiples of 9.
+        let conv2 = outcome
+            .layers
+            .iter()
+            .find(|l| l.name == "conv2.weight")
+            .unwrap();
+        assert_eq!(conv2.removed_rows.len(), 72);
+        // Verify the mask actually zeroed whole matrix rows.
+        let mut ok = false;
+        net.visit_params(&mut |p| {
+            if p.name == "conv2.weight" {
+                let m = to_matrix(&p.value, p.kind).unwrap();
+                for &r in &conv2.removed_rows {
+                    assert_eq!(m.row(r).unwrap().count_nonzero(), 0);
+                }
+                ok = true;
+            }
+        });
+        assert!(ok);
+    }
+
+    #[test]
+    fn invalid_fraction_rejected() {
+        let mut rng = SeededRng::new(5);
+        let mut net = conv_net(&mut rng);
+        let cfg = StructuredConfig::filters_only(xbar(8, 8), 1.0, vec![]);
+        assert!(apply_structured(&mut net, &cfg).is_err());
+    }
+}

@@ -1,0 +1,137 @@
+//! Integration tests: ADMM pruning inside real training loops.
+
+use tinyadc_nn::data::{DatasetTier, SyntheticImageDataset};
+use tinyadc_nn::models;
+use tinyadc_nn::optim::LrSchedule;
+use tinyadc_nn::train::{TrainConfig, Trainer};
+use tinyadc_prune::admm::{AdmmConfig, AdmmPruner};
+use tinyadc_prune::layout;
+use tinyadc_prune::masks::MaskHook;
+use tinyadc_prune::schedule::{CpRamp, ProgressiveCpHook};
+use tinyadc_prune::{CpConstraint, CrossbarShape};
+use tinyadc_tensor::rng::SeededRng;
+
+fn quick_trainer(epochs: usize) -> Trainer {
+    Trainer::new(TrainConfig {
+        epochs,
+        batch_size: 20,
+        lr: 0.05,
+        schedule: LrSchedule::Constant,
+        ..TrainConfig::default()
+    })
+}
+
+#[test]
+fn admm_training_pulls_weights_toward_constraint() {
+    let mut rng = SeededRng::new(51);
+    let data =
+        SyntheticImageDataset::generate(DatasetTier::Tier1Cifar10Like, 60, 20, &mut rng).unwrap();
+    let mut net =
+        models::mlp("m", data.input_dims(), data.num_classes(), &[32], &mut rng).unwrap();
+    let xbar = CrossbarShape::new(16, 16).unwrap();
+    let cp = CpConstraint::new(xbar, 2).unwrap();
+
+    // Feasibility gap: relative distance from W to the constraint set.
+    let gap = |net: &mut tinyadc_nn::Network| -> f32 {
+        let mut worst = 0.0f32;
+        net.visit_params(&mut |p| {
+            if p.kind.is_prunable() {
+                let z = cp.project_param(&p.value, p.kind).unwrap();
+                let d = p.value.sub(&z).unwrap().frobenius_norm();
+                worst = worst.max(d / p.value.frobenius_norm().max(1e-9));
+            }
+        });
+        worst
+    };
+
+    let initial_gap = gap(&mut net);
+    let mut pruner = AdmmPruner::uniform_cp(
+        &mut net,
+        cp,
+        &[],
+        AdmmConfig {
+            rho: 2.0,
+            update_every_epochs: 1,
+        },
+    )
+    .unwrap();
+    let trainer = Trainer::new(TrainConfig {
+        epochs: 15,
+        batch_size: 10,
+        lr: 0.01,
+        schedule: LrSchedule::Constant,
+        ..TrainConfig::default()
+    });
+    trainer
+        .fit_with_hook(&mut net, &data, &mut pruner, &mut rng)
+        .unwrap();
+    let final_gap = gap(&mut net);
+    assert!(
+        final_gap < initial_gap * 0.8,
+        "ADMM must pull W toward the constraint set: {initial_gap} -> {final_gap}"
+    );
+}
+
+#[test]
+fn progressive_ramp_trains_to_target_feasibility() {
+    let mut rng = SeededRng::new(52);
+    let data =
+        SyntheticImageDataset::generate(DatasetTier::Tier1Cifar10Like, 60, 20, &mut rng).unwrap();
+    let mut net =
+        models::mlp("m", data.input_dims(), data.num_classes(), &[32], &mut rng).unwrap();
+    let xbar = CrossbarShape::new(16, 16).unwrap();
+    let ramp = CpRamp::doubling(8, 1).unwrap();
+    let mut hook =
+        ProgressiveCpHook::new(&mut net, ramp, xbar, vec![], AdmmConfig::default()).unwrap();
+    quick_trainer(4)
+        .fit_with_hook(&mut net, &data, &mut hook, &mut rng)
+        .unwrap();
+    assert_eq!(hook.current_rate(), 8);
+    let pruner = hook.into_pruner();
+    let masks = pruner.finalize(&mut net).unwrap();
+    // Target rate 8 on 16-row crossbars: l = 2 per column.
+    let cp = CpConstraint::new(xbar, 2).unwrap();
+    net.visit_params(&mut |p| {
+        if p.kind.is_prunable() {
+            let m = layout::to_matrix(&p.value, p.kind).unwrap();
+            assert!(cp.is_satisfied(&m).unwrap(), "{}", p.name);
+        }
+    });
+    assert!(masks.overall_pruning_rate() >= 4.0);
+}
+
+#[test]
+fn masked_retraining_preserves_the_pattern_under_momentum() {
+    let mut rng = SeededRng::new(53);
+    let data =
+        SyntheticImageDataset::generate(DatasetTier::Tier1Cifar10Like, 60, 20, &mut rng).unwrap();
+    let mut net =
+        models::mlp("m", data.input_dims(), data.num_classes(), &[16], &mut rng).unwrap();
+    let xbar = CrossbarShape::new(8, 8).unwrap();
+    let cp = CpConstraint::new(xbar, 1).unwrap();
+    let pruner = AdmmPruner::uniform_cp(&mut net, cp, &[], AdmmConfig::default()).unwrap();
+    let masks = pruner.finalize(&mut net).unwrap();
+    let zero_count_before: usize = {
+        let mut z = 0;
+        net.visit_params(&mut |p| {
+            if p.kind.is_prunable() {
+                z += p.value.len() - p.value.count_nonzero();
+            }
+        });
+        z
+    };
+    let mut hook = MaskHook::new(masks);
+    quick_trainer(3)
+        .fit_with_hook(&mut net, &data, &mut hook, &mut rng)
+        .unwrap();
+    let mut zero_count_after = 0usize;
+    net.visit_params(&mut |p| {
+        if p.kind.is_prunable() {
+            zero_count_after += p.value.len() - p.value.count_nonzero();
+        }
+    });
+    assert!(
+        zero_count_after >= zero_count_before,
+        "masked retraining must not resurrect pruned weights: {zero_count_before} -> {zero_count_after}"
+    );
+}

@@ -1,0 +1,305 @@
+//! im2col / col2im transforms for convolution.
+//!
+//! Convolutions in `tinyadc-nn` are lowered to matrix products via im2col:
+//! the input feature map `[c, h, w]` is unfolded into a matrix
+//! `[c*kh*kw, oh*ow]` so that a conv with filter bank `[f, c, kh, kw]`
+//! becomes `[f, c*kh*kw] x [c*kh*kw, oh*ow]`. This is also exactly the 2-D
+//! weight-matrix layout the TinyADC paper maps onto ReRAM crossbars
+//! (paper Fig. 3), so the same geometry type is reused by `tinyadc-xbar`.
+
+use crate::{Result, Tensor, TensorError};
+
+/// Geometry of a 2-D convolution: input extents, kernel, stride, padding.
+///
+/// # Example
+///
+/// ```
+/// use tinyadc_tensor::Conv2dGeometry;
+///
+/// # fn main() -> Result<(), tinyadc_tensor::TensorError> {
+/// let g = Conv2dGeometry::new(3, 32, 32, 3, 3, 1, 1)?;
+/// assert_eq!((g.out_h, g.out_w), (32, 32)); // "same" padding
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Conv2dGeometry {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Kernel height.
+    pub kernel_h: usize,
+    /// Kernel width.
+    pub kernel_w: usize,
+    /// Stride (same in both axes).
+    pub stride: usize,
+    /// Zero padding (same on all four sides).
+    pub padding: usize,
+    /// Output height, derived.
+    pub out_h: usize,
+    /// Output width, derived.
+    pub out_w: usize,
+}
+
+impl Conv2dGeometry {
+    /// Derives the output extents and validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] when the kernel (plus
+    /// padding) does not fit in the input or `stride == 0`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        in_channels: usize,
+        in_h: usize,
+        in_w: usize,
+        kernel_h: usize,
+        kernel_w: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Result<Self> {
+        if stride == 0 {
+            return Err(TensorError::InvalidArgument("stride must be > 0".into()));
+        }
+        if kernel_h == 0 || kernel_w == 0 {
+            return Err(TensorError::InvalidArgument("kernel must be non-empty".into()));
+        }
+        let padded_h = in_h + 2 * padding;
+        let padded_w = in_w + 2 * padding;
+        if kernel_h > padded_h || kernel_w > padded_w {
+            return Err(TensorError::InvalidArgument(format!(
+                "kernel {kernel_h}x{kernel_w} larger than padded input {padded_h}x{padded_w}"
+            )));
+        }
+        Ok(Self {
+            in_channels,
+            in_h,
+            in_w,
+            kernel_h,
+            kernel_w,
+            stride,
+            padding,
+            out_h: (padded_h - kernel_h) / stride + 1,
+            out_w: (padded_w - kernel_w) / stride + 1,
+        })
+    }
+
+    /// Rows of the im2col matrix: `in_channels * kernel_h * kernel_w`.
+    ///
+    /// This is also the number of rows the layer's 2-D crossbar weight
+    /// matrix occupies (one row per filter-shape position, paper Fig. 3).
+    pub fn patch_len(&self) -> usize {
+        self.in_channels * self.kernel_h * self.kernel_w
+    }
+
+    /// Columns of the im2col matrix: `out_h * out_w`.
+    pub fn patch_count(&self) -> usize {
+        self.out_h * self.out_w
+    }
+}
+
+/// Unfolds an input `[c, h, w]` into an im2col matrix
+/// `[c*kh*kw, oh*ow]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when `input` does not have shape
+/// `[geometry.in_channels, geometry.in_h, geometry.in_w]`.
+pub fn im2col(input: &Tensor, geometry: &Conv2dGeometry) -> Result<Tensor> {
+    let g = geometry;
+    if input.dims() != [g.in_channels, g.in_h, g.in_w] {
+        return Err(TensorError::ShapeMismatch {
+            left: input.dims().to_vec(),
+            right: vec![g.in_channels, g.in_h, g.in_w],
+        });
+    }
+    let x = input.as_slice();
+    let mut out = vec![0.0f32; g.patch_len() * g.patch_count()];
+    let cols = g.patch_count();
+    for c in 0..g.in_channels {
+        for kh in 0..g.kernel_h {
+            for kw in 0..g.kernel_w {
+                let row = (c * g.kernel_h + kh) * g.kernel_w + kw;
+                let out_row = &mut out[row * cols..(row + 1) * cols];
+                for oh in 0..g.out_h {
+                    let ih = (oh * g.stride + kh) as isize - g.padding as isize;
+                    if ih < 0 || ih >= g.in_h as isize {
+                        continue; // zero padding row: already zero
+                    }
+                    let ih = ih as usize;
+                    for ow in 0..g.out_w {
+                        let iw = (ow * g.stride + kw) as isize - g.padding as isize;
+                        if iw < 0 || iw >= g.in_w as isize {
+                            continue;
+                        }
+                        out_row[oh * g.out_w + ow] = x[(c * g.in_h + ih) * g.in_w + iw as usize];
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[g.patch_len(), g.patch_count()])
+}
+
+/// Folds an im2col-shaped gradient `[c*kh*kw, oh*ow]` back onto the input
+/// grid `[c, h, w]`, accumulating where patches overlap. This is the adjoint
+/// of [`im2col`], used for the convolution input-gradient.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when `cols` does not have shape
+/// `[geometry.patch_len(), geometry.patch_count()]`.
+pub fn col2im(cols: &Tensor, geometry: &Conv2dGeometry) -> Result<Tensor> {
+    let g = geometry;
+    if cols.dims() != [g.patch_len(), g.patch_count()] {
+        return Err(TensorError::ShapeMismatch {
+            left: cols.dims().to_vec(),
+            right: vec![g.patch_len(), g.patch_count()],
+        });
+    }
+    let src = cols.as_slice();
+    let mut out = vec![0.0f32; g.in_channels * g.in_h * g.in_w];
+    let n_cols = g.patch_count();
+    for c in 0..g.in_channels {
+        for kh in 0..g.kernel_h {
+            for kw in 0..g.kernel_w {
+                let row = (c * g.kernel_h + kh) * g.kernel_w + kw;
+                let src_row = &src[row * n_cols..(row + 1) * n_cols];
+                for oh in 0..g.out_h {
+                    let ih = (oh * g.stride + kh) as isize - g.padding as isize;
+                    if ih < 0 || ih >= g.in_h as isize {
+                        continue;
+                    }
+                    let ih = ih as usize;
+                    for ow in 0..g.out_w {
+                        let iw = (ow * g.stride + kw) as isize - g.padding as isize;
+                        if iw < 0 || iw >= g.in_w as isize {
+                            continue;
+                        }
+                        out[(c * g.in_h + ih) * g.in_w + iw as usize] +=
+                            src_row[oh * g.out_w + ow];
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[g.in_channels, g.in_h, g.in_w])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeededRng;
+
+    #[test]
+    fn geometry_derives_output_extents() {
+        let g = Conv2dGeometry::new(3, 32, 32, 3, 3, 1, 1).unwrap();
+        assert_eq!((g.out_h, g.out_w), (32, 32));
+        assert_eq!(g.patch_len(), 27);
+        assert_eq!(g.patch_count(), 1024);
+
+        let g2 = Conv2dGeometry::new(16, 8, 8, 3, 3, 2, 1).unwrap();
+        assert_eq!((g2.out_h, g2.out_w), (4, 4));
+    }
+
+    #[test]
+    fn geometry_rejects_bad_configs() {
+        assert!(Conv2dGeometry::new(1, 4, 4, 3, 3, 0, 0).is_err());
+        assert!(Conv2dGeometry::new(1, 2, 2, 5, 5, 1, 0).is_err());
+        assert!(Conv2dGeometry::new(1, 4, 4, 0, 3, 1, 0).is_err());
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // A 1x1 kernel with stride 1, no padding, is just a reshape.
+        let mut rng = SeededRng::new(2);
+        let x = Tensor::randn(&[2, 3, 3], 1.0, &mut rng);
+        let g = Conv2dGeometry::new(2, 3, 3, 1, 1, 1, 0).unwrap();
+        let cols = im2col(&x, &g).unwrap();
+        assert_eq!(cols.dims(), &[2, 9]);
+        assert_eq!(cols.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn im2col_known_small_case() {
+        // 1 channel, 3x3 input, 2x2 kernel, stride 1, no padding.
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0],
+            &[1, 3, 3],
+        )
+        .unwrap();
+        let g = Conv2dGeometry::new(1, 3, 3, 2, 2, 1, 0).unwrap();
+        let cols = im2col(&x, &g).unwrap();
+        assert_eq!(cols.dims(), &[4, 4]);
+        // Rows: kernel positions (0,0) (0,1) (1,0) (1,1); cols: output pixels.
+        assert_eq!(
+            cols.as_slice(),
+            &[
+                1.0, 2.0, 4.0, 5.0, // top-left of each patch
+                2.0, 3.0, 5.0, 6.0, // top-right
+                4.0, 5.0, 7.0, 8.0, // bottom-left
+                5.0, 6.0, 8.0, 9.0, // bottom-right
+            ]
+        );
+    }
+
+    #[test]
+    fn conv_via_im2col_matches_direct() {
+        // Direct convolution reference.
+        let mut rng = SeededRng::new(8);
+        let g = Conv2dGeometry::new(3, 7, 6, 3, 3, 2, 1).unwrap();
+        let x = Tensor::randn(&[3, 7, 6], 1.0, &mut rng);
+        let w = Tensor::randn(&[4, 3, 3, 3], 1.0, &mut rng);
+
+        let cols = im2col(&x, &g).unwrap();
+        let w2d = w.reshape(&[4, g.patch_len()]).unwrap();
+        let out = w2d.matmul(&cols).unwrap();
+
+        // Reference: direct loop.
+        for f in 0..4 {
+            for oh in 0..g.out_h {
+                for ow in 0..g.out_w {
+                    let mut acc = 0.0f32;
+                    for c in 0..3 {
+                        for kh in 0..3 {
+                            for kw in 0..3 {
+                                let ih = (oh * g.stride + kh) as isize - 1;
+                                let iw = (ow * g.stride + kw) as isize - 1;
+                                if ih < 0 || iw < 0 || ih >= 7 || iw >= 6 {
+                                    continue;
+                                }
+                                acc += w.at(&[f, c, kh, kw]).unwrap()
+                                    * x.at(&[c, ih as usize, iw as usize]).unwrap();
+                            }
+                        }
+                    }
+                    let got = out.at(&[f, oh * g.out_w + ow]).unwrap();
+                    assert!((acc - got).abs() < 1e-4, "f={f} oh={oh} ow={ow}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining
+        // property of the adjoint, which is what backprop requires.
+        let mut rng = SeededRng::new(21);
+        let g = Conv2dGeometry::new(2, 5, 5, 3, 3, 2, 1).unwrap();
+        let x = Tensor::randn(&[2, 5, 5], 1.0, &mut rng);
+        let y = Tensor::randn(&[g.patch_len(), g.patch_count()], 1.0, &mut rng);
+        let lhs = im2col(&x, &g).unwrap().dot(&y).unwrap();
+        let rhs = x.dot(&col2im(&y, &g).unwrap()).unwrap();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn shape_mismatches_are_rejected() {
+        let g = Conv2dGeometry::new(2, 4, 4, 3, 3, 1, 1).unwrap();
+        assert!(im2col(&Tensor::zeros(&[1, 4, 4]), &g).is_err());
+        assert!(col2im(&Tensor::zeros(&[3, 3]), &g).is_err());
+    }
+}

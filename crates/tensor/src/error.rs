@@ -1,0 +1,109 @@
+use std::fmt;
+
+/// Error type for all fallible tensor operations.
+///
+/// Every public constructor and op in this crate that can fail returns
+/// [`crate::Result`] with this error. The variants carry the offending
+/// shapes/sizes so messages are actionable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TensorError {
+    /// The number of elements implied by a shape does not match the data
+    /// length supplied.
+    LengthMismatch {
+        /// Number of elements the shape requires.
+        expected: usize,
+        /// Number of elements actually supplied.
+        actual: usize,
+    },
+    /// Two tensors were expected to have identical shapes but do not.
+    ShapeMismatch {
+        /// Shape of the left operand.
+        left: Vec<usize>,
+        /// Shape of the right operand.
+        right: Vec<usize>,
+    },
+    /// The inner dimensions of a matrix product do not agree.
+    MatmulDimMismatch {
+        /// Shape of the left operand.
+        left: Vec<usize>,
+        /// Shape of the right operand.
+        right: Vec<usize>,
+    },
+    /// An operation required a tensor of a particular rank.
+    RankMismatch {
+        /// Rank the operation requires.
+        expected: usize,
+        /// Rank of the supplied tensor.
+        actual: usize,
+    },
+    /// A reshape asked for a different number of elements.
+    ReshapeMismatch {
+        /// Element count of the source tensor.
+        from: usize,
+        /// Element count the new shape requires.
+        to: usize,
+    },
+    /// An index was out of bounds for the given axis.
+    IndexOutOfBounds {
+        /// Axis on which the index was applied.
+        axis: usize,
+        /// The offending index.
+        index: usize,
+        /// Length of that axis.
+        len: usize,
+    },
+    /// An argument was invalid for reasons described in the message.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::LengthMismatch { expected, actual } => write!(
+                f,
+                "data length {actual} does not match shape volume {expected}"
+            ),
+            Self::ShapeMismatch { left, right } => {
+                write!(f, "shape mismatch: {left:?} vs {right:?}")
+            }
+            Self::MatmulDimMismatch { left, right } => {
+                write!(f, "matmul inner dimensions disagree: {left:?} x {right:?}")
+            }
+            Self::RankMismatch { expected, actual } => {
+                write!(f, "expected rank {expected}, got rank {actual}")
+            }
+            Self::ReshapeMismatch { from, to } => {
+                write!(f, "cannot reshape {from} elements into a {to}-element shape")
+            }
+            Self::IndexOutOfBounds { axis, index, len } => {
+                write!(f, "index {index} out of bounds for axis {axis} of length {len}")
+            }
+            Self::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = TensorError::ShapeMismatch {
+            left: vec![2, 3],
+            right: vec![3, 2],
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("[2, 3]"));
+        assert!(msg.contains("[3, 2]"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,53 @@
+//! # tinyadc-tensor
+//!
+//! Dense, row-major `f32` tensor substrate for the TinyADC reproduction.
+//!
+//! The TinyADC paper trains its models with PyTorch; this crate is the
+//! from-scratch replacement used by every other crate in the workspace:
+//! the neural-network trainer (`tinyadc-nn`), the pruning/ADMM machinery
+//! (`tinyadc-prune`) and the crossbar simulator (`tinyadc-xbar`) all
+//! operate on [`Tensor`] values.
+//!
+//! The design goals, in order:
+//!
+//! 1. **Correctness** — every op is implemented in the most obvious way
+//!    first and covered by unit + property tests; blocked variants are
+//!    validated against the naive ones.
+//! 2. **Determinism** — all random initialisation goes through seeded RNGs
+//!    so experiments regenerate bit-identical numbers.
+//! 3. **No external numeric deps** — the substrate is part of the
+//!    reproduction; only `rand` is used (for seeding).
+//!
+//! # Example
+//!
+//! ```
+//! use tinyadc_tensor::Tensor;
+//!
+//! # fn main() -> Result<(), tinyadc_tensor::TensorError> {
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b)?;
+//! assert_eq!(c.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod conv;
+mod error;
+mod matmul;
+mod ops;
+mod shape;
+mod tensor;
+
+pub mod rng;
+
+pub use conv::{col2im, im2col, Conv2dGeometry};
+pub use error::TensorError;
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,0 +1,247 @@
+//! Matrix multiplication kernels.
+//!
+//! A cache-blocked kernel drives all production call sites; a naive
+//! triple-loop reference exists for validation in tests.
+
+use crate::{Result, Tensor, TensorError};
+
+/// Block edge for the cache-blocked kernel; chosen so three blocks of
+/// `f32` fit comfortably in L1.
+const BLOCK: usize = 64;
+
+impl Tensor {
+    /// Matrix product of two rank-2 tensors: `[m, k] x [k, n] -> [m, n]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrices and
+    /// [`TensorError::MatmulDimMismatch`] when inner dimensions disagree.
+    pub fn matmul(&self, other: &Self) -> Result<Self> {
+        let [m, k] = self.expect_matrix()?;
+        let [k2, n] = other.expect_matrix()?;
+        if k != k2 {
+            return Err(TensorError::MatmulDimMismatch {
+                left: self.dims().to_vec(),
+                right: other.dims().to_vec(),
+            });
+        }
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let mut c = vec![0.0f32; m * n];
+        // i-k-j loop order with blocking: the inner j-loop is a contiguous
+        // AXPY over a row of B, which vectorises well.
+        for ib in (0..m).step_by(BLOCK) {
+            let imax = (ib + BLOCK).min(m);
+            for kb in (0..k).step_by(BLOCK) {
+                let kmax = (kb + BLOCK).min(k);
+                for i in ib..imax {
+                    let crow = &mut c[i * n..(i + 1) * n];
+                    for p in kb..kmax {
+                        let aval = a[i * k + p];
+                        if aval == 0.0 {
+                            continue;
+                        }
+                        let brow = &b[p * n..(p + 1) * n];
+                        for (cv, &bv) in crow.iter_mut().zip(brow) {
+                            *cv += aval * bv;
+                        }
+                    }
+                }
+            }
+        }
+        Self::from_vec(c, &[m, n])
+    }
+
+    /// Matrix–vector product: `[m, k] x [k] -> [m]`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Tensor::matmul`].
+    pub fn matvec(&self, v: &Self) -> Result<Self> {
+        let [m, k] = self.expect_matrix()?;
+        if v.dims() != [k] {
+            return Err(TensorError::MatmulDimMismatch {
+                left: self.dims().to_vec(),
+                right: v.dims().to_vec(),
+            });
+        }
+        let a = self.as_slice();
+        let x = v.as_slice();
+        let mut y = vec![0.0f32; m];
+        for i in 0..m {
+            let row = &a[i * k..(i + 1) * k];
+            y[i] = row.iter().zip(x).map(|(&a, &b)| a * b).sum();
+        }
+        Self::from_vec(y, &[m])
+    }
+
+    /// `A^T x B` without materialising the transpose: `[k, m] x [k, n] -> [m, n]`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Tensor::matmul`].
+    pub fn t_matmul(&self, other: &Self) -> Result<Self> {
+        let [k, m] = self.expect_matrix()?;
+        let [k2, n] = other.expect_matrix()?;
+        if k != k2 {
+            return Err(TensorError::MatmulDimMismatch {
+                left: self.dims().to_vec(),
+                right: other.dims().to_vec(),
+            });
+        }
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let mut c = vec![0.0f32; m * n];
+        for p in 0..k {
+            let arow = &a[p * m..(p + 1) * m];
+            let brow = &b[p * n..(p + 1) * n];
+            for (i, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let crow = &mut c[i * n..(i + 1) * n];
+                for (cv, &bv) in crow.iter_mut().zip(brow) {
+                    *cv += av * bv;
+                }
+            }
+        }
+        Self::from_vec(c, &[m, n])
+    }
+
+    /// `A x B^T` without materialising the transpose: `[m, k] x [n, k] -> [m, n]`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Tensor::matmul`].
+    pub fn matmul_t(&self, other: &Self) -> Result<Self> {
+        let [m, k] = self.expect_matrix()?;
+        let [n, k2] = other.expect_matrix()?;
+        if k != k2 {
+            return Err(TensorError::MatmulDimMismatch {
+                left: self.dims().to_vec(),
+                right: other.dims().to_vec(),
+            });
+        }
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let mut c = vec![0.0f32; m * n];
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            for j in 0..n {
+                let brow = &b[j * k..(j + 1) * k];
+                c[i * n + j] = arow.iter().zip(brow).map(|(&x, &y)| x * y).sum();
+            }
+        }
+        Self::from_vec(c, &[m, n])
+    }
+}
+
+/// Naive triple-loop reference multiply used to validate the blocked kernel.
+#[cfg(test)]
+pub(crate) fn matmul_naive(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let [m, k] = a.expect_matrix()?;
+    let [k2, n] = b.expect_matrix()?;
+    assert_eq!(k, k2);
+    let mut c = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for p in 0..k {
+                acc += a.as_slice()[i * k + p] * b.as_slice()[p * n + j];
+            }
+            c[i * n + j] = acc;
+        }
+    }
+    Tensor::from_vec(c, &[m, n])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeededRng;
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+        assert_eq!(a.dims(), b.dims());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() <= tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn small_known_product() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = SeededRng::new(3);
+        let a = Tensor::randn(&[5, 5], 1.0, &mut rng);
+        assert_close(&a.matmul(&Tensor::eye(5)).unwrap(), &a, 1e-6);
+        assert_close(&Tensor::eye(5).matmul(&a).unwrap(), &a, 1e-6);
+    }
+
+    #[test]
+    fn blocked_matches_naive_on_awkward_shapes() {
+        let mut rng = SeededRng::new(11);
+        for &(m, k, n) in &[(1, 1, 1), (3, 7, 5), (65, 64, 63), (130, 17, 129)] {
+            let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+            let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+            let fast = a.matmul(&b).unwrap();
+            let slow = matmul_naive(&a, &b).unwrap();
+            assert_close(&fast, &slow, 1e-3);
+        }
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let mut rng = SeededRng::new(4);
+        let a = Tensor::randn(&[6, 9], 1.0, &mut rng);
+        let v = Tensor::randn(&[9], 1.0, &mut rng);
+        let via_mm = a.matmul(&v.reshape(&[9, 1]).unwrap()).unwrap();
+        let mv = a.matvec(&v).unwrap();
+        assert_close(&mv.reshape(&[6, 1]).unwrap(), &via_mm, 1e-4);
+    }
+
+    #[test]
+    fn t_matmul_matches_explicit_transpose() {
+        let mut rng = SeededRng::new(5);
+        let a = Tensor::randn(&[8, 4], 1.0, &mut rng);
+        let b = Tensor::randn(&[8, 6], 1.0, &mut rng);
+        let expected = a.transpose().unwrap().matmul(&b).unwrap();
+        assert_close(&a.t_matmul(&b).unwrap(), &expected, 1e-4);
+    }
+
+    #[test]
+    fn matmul_t_matches_explicit_transpose() {
+        let mut rng = SeededRng::new(6);
+        let a = Tensor::randn(&[5, 7], 1.0, &mut rng);
+        let b = Tensor::randn(&[9, 7], 1.0, &mut rng);
+        let expected = a.matmul(&b.transpose().unwrap()).unwrap();
+        assert_close(&a.matmul_t(&b).unwrap(), &expected, 1e-4);
+    }
+
+    #[test]
+    fn dim_mismatch_is_rejected() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(TensorError::MatmulDimMismatch { .. })
+        ));
+        let v = Tensor::zeros(&[4]);
+        assert!(a.matvec(&v).is_err());
+    }
+
+    #[test]
+    fn rank_mismatch_is_rejected() {
+        let a = Tensor::zeros(&[2, 3, 4]);
+        let b = Tensor::zeros(&[3, 2]);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(TensorError::RankMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,91 @@
+//! Operator-trait implementations for [`Tensor`].
+//!
+//! Shape mismatches in operator form are programming errors (the checked
+//! [`Tensor::add`]/[`Tensor::sub`]/[`Tensor::mul`] methods exist for
+//! fallible call sites), so the `std::ops` impls panic on mismatch, as
+//! documented.
+
+use crate::Tensor;
+use std::ops::{Add, Mul, Neg, Sub};
+
+impl Add for &Tensor {
+    type Output = Tensor;
+
+    /// Elementwise sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the shapes differ; use [`Tensor::add`] for a fallible
+    /// variant.
+    fn add(self, rhs: &Tensor) -> Tensor {
+        Tensor::add(self, rhs).expect("tensor shapes must match for +")
+    }
+}
+
+impl Sub for &Tensor {
+    type Output = Tensor;
+
+    /// Elementwise difference.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the shapes differ; use [`Tensor::sub`] for a fallible
+    /// variant.
+    fn sub(self, rhs: &Tensor) -> Tensor {
+        Tensor::sub(self, rhs).expect("tensor shapes must match for -")
+    }
+}
+
+impl Mul for &Tensor {
+    type Output = Tensor;
+
+    /// Elementwise (Hadamard) product.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the shapes differ; use [`Tensor::mul`] for a fallible
+    /// variant.
+    fn mul(self, rhs: &Tensor) -> Tensor {
+        Tensor::mul(self, rhs).expect("tensor shapes must match for *")
+    }
+}
+
+impl Mul<f32> for &Tensor {
+    type Output = Tensor;
+
+    fn mul(self, rhs: f32) -> Tensor {
+        self.scale(rhs)
+    }
+}
+
+impl Neg for &Tensor {
+    type Output = Tensor;
+
+    fn neg(self) -> Tensor {
+        self.scale(-1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operator_sugar_matches_methods() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let b = Tensor::from_vec(vec![3.0, 4.0], &[2]).unwrap();
+        assert_eq!((&a + &b).as_slice(), &[4.0, 6.0]);
+        assert_eq!((&b - &a).as_slice(), &[2.0, 2.0]);
+        assert_eq!((&a * &b).as_slice(), &[3.0, 8.0]);
+        assert_eq!((&a * 2.0).as_slice(), &[2.0, 4.0]);
+        assert_eq!((-&a).as_slice(), &[-1.0, -2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "tensor shapes must match")]
+    fn operator_panics_on_mismatch() {
+        let a = Tensor::zeros(&[2]);
+        let b = Tensor::zeros(&[3]);
+        let _ = &a + &b;
+    }
+}

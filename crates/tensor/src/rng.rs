@@ -1,0 +1,155 @@
+//! Deterministic random-number generation.
+//!
+//! Everything stochastic in the workspace — weight init, dataset synthesis,
+//! fault injection, device variation — draws from a [`SeededRng`] so that
+//! every experiment regenerates identical numbers on every run.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded random-number generator with the distributions this workspace
+/// needs (standard normal via Box–Muller, uniform, Bernoulli, shuffling).
+///
+/// # Example
+///
+/// ```
+/// use tinyadc_tensor::rng::SeededRng;
+///
+/// let mut a = SeededRng::new(7);
+/// let mut b = SeededRng::new(7);
+/// assert_eq!(a.sample_standard_normal(), b.sample_standard_normal());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SeededRng {
+    inner: StdRng,
+    spare_normal: Option<f32>,
+}
+
+impl SeededRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            inner: StdRng::seed_from_u64(seed),
+            spare_normal: None,
+        }
+    }
+
+    /// Derives an independent child generator; useful for giving each
+    /// layer/experiment its own stream without cross-coupling.
+    pub fn fork(&mut self, salt: u64) -> Self {
+        let base: u64 = self.inner.gen();
+        Self::new(base ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Mutable access to the wrapped [`StdRng`] for `rand` APIs.
+    pub fn inner_mut(&mut self) -> &mut StdRng {
+        &mut self.inner
+    }
+
+    /// One sample from the standard normal distribution (Box–Muller).
+    pub fn sample_standard_normal(&mut self) -> f32 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        // Box-Muller transform on two uniforms in (0, 1].
+        let u1: f32 = 1.0 - self.inner.gen::<f32>();
+        let u2: f32 = self.inner.gen();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        self.spare_normal = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Uniform sample in `[lo, hi)`.
+    pub fn sample_uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn sample_index(&mut self, n: usize) -> usize {
+        self.inner.gen_range(0..n)
+    }
+
+    /// Bernoulli trial with probability `p` of `true`.
+    pub fn sample_bool(&mut self, p: f64) -> bool {
+        self.inner.gen_bool(p.clamp(0.0, 1.0))
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            xs.swap(i, j);
+        }
+    }
+
+    /// A random permutation of `0..n`.
+    pub fn permutation(&mut self, n: usize) -> Vec<usize> {
+        let mut p: Vec<usize> = (0..n).collect();
+        self.shuffle(&mut p);
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SeededRng::new(123);
+        let mut b = SeededRng::new(123);
+        for _ in 0..100 {
+            assert_eq!(a.sample_standard_normal(), b.sample_standard_normal());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SeededRng::new(1);
+        let mut b = SeededRng::new(2);
+        let xs: Vec<f32> = (0..10).map(|_| a.sample_standard_normal()).collect();
+        let ys: Vec<f32> = (0..10).map(|_| b.sample_standard_normal()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = SeededRng::new(99);
+        let n = 50_000;
+        let xs: Vec<f32> = (0..n).map(|_| rng.sample_standard_normal()).collect();
+        let mean = xs.iter().sum::<f32>() / n as f32;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.02, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.05, "var={var}");
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let mut rng = SeededRng::new(5);
+        let p = rng.permutation(100);
+        let mut sorted = p.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fork_produces_independent_streams() {
+        let mut root = SeededRng::new(10);
+        let mut a = root.fork(1);
+        let mut b = root.fork(2);
+        assert_ne!(a.sample_standard_normal(), b.sample_standard_normal());
+    }
+
+    #[test]
+    fn bernoulli_rate_tracks_p() {
+        let mut rng = SeededRng::new(3);
+        let hits = (0..10_000).filter(|_| rng.sample_bool(0.3)).count();
+        let rate = hits as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "rate={rate}");
+    }
+}

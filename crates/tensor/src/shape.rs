@@ -1,0 +1,176 @@
+use crate::{Result, TensorError};
+
+/// A tensor shape: the extent of each axis, row-major.
+///
+/// `Shape` is a thin, validated wrapper around `Vec<usize>` used pervasively
+/// by [`crate::Tensor`]. Zero-length axes are permitted (producing empty
+/// tensors); an empty dimension list denotes a scalar.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from axis extents.
+    pub fn new(dims: &[usize]) -> Self {
+        Self(dims.to_vec())
+    }
+
+    /// The extents as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of axes.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements (product of extents; 1 for a scalar).
+    pub fn volume(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Extent of a single axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] if `axis >= rank`.
+    pub fn dim(&self, axis: usize) -> Result<usize> {
+        self.0
+            .get(axis)
+            .copied()
+            .ok_or(TensorError::IndexOutOfBounds {
+                axis,
+                index: axis,
+                len: self.0.len(),
+            })
+    }
+
+    /// Row-major strides for this shape.
+    ///
+    /// The last axis has stride 1. Empty shapes produce empty stride lists.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![0; self.0.len()];
+        let mut acc = 1;
+        for (i, &d) in self.0.iter().enumerate().rev() {
+            strides[i] = acc;
+            acc *= d;
+        }
+        strides
+    }
+
+    /// Converts a multi-dimensional index to a flat offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] when the index rank disagrees,
+    /// or [`TensorError::IndexOutOfBounds`] when any coordinate exceeds its
+    /// axis extent.
+    pub fn offset(&self, index: &[usize]) -> Result<usize> {
+        if index.len() != self.0.len() {
+            return Err(TensorError::RankMismatch {
+                expected: self.0.len(),
+                actual: index.len(),
+            });
+        }
+        let mut off = 0;
+        let mut stride = 1;
+        for axis in (0..self.0.len()).rev() {
+            let (i, d) = (index[axis], self.0[axis]);
+            if i >= d {
+                return Err(TensorError::IndexOutOfBounds {
+                    axis,
+                    index: i,
+                    len: d,
+                });
+            }
+            off += i * stride;
+            stride *= d;
+        }
+        Ok(off)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Self::new(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Self(dims)
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_and_rank() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.volume(), 24);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.dims(), &[2, 3, 4]);
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::new(&[]);
+        assert_eq!(s.volume(), 1);
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.offset(&[]).unwrap(), 0);
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+    }
+
+    #[test]
+    fn offset_round_trip() {
+        let s = Shape::new(&[2, 3, 4]);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..2 {
+            for j in 0..3 {
+                for k in 0..4 {
+                    let off = s.offset(&[i, j, k]).unwrap();
+                    assert!(off < 24);
+                    assert!(seen.insert(off), "offsets must be unique");
+                }
+            }
+        }
+        assert_eq!(seen.len(), 24);
+    }
+
+    #[test]
+    fn offset_rejects_bad_rank() {
+        let s = Shape::new(&[2, 2]);
+        assert!(matches!(
+            s.offset(&[1]),
+            Err(TensorError::RankMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn offset_rejects_out_of_bounds() {
+        let s = Shape::new(&[2, 2]);
+        assert!(matches!(
+            s.offset(&[0, 2]),
+            Err(TensorError::IndexOutOfBounds { axis: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn zero_length_axis_has_zero_volume() {
+        let s = Shape::new(&[3, 0, 2]);
+        assert_eq!(s.volume(), 0);
+    }
+}

@@ -1,0 +1,590 @@
+use crate::rng::SeededRng;
+use crate::{Result, Shape, TensorError};
+use rand::Rng;
+
+/// A dense, row-major, owned `f32` tensor.
+///
+/// `Tensor` is the single numeric container used across the TinyADC
+/// workspace: network weights and activations, ADMM auxiliary/dual
+/// variables, pruning masks (0/1 valued) and crossbar block views all use
+/// it. Storage is a contiguous `Vec<f32>`; views are materialised eagerly
+/// (simplicity over zero-copy — the models in this reproduction are small).
+///
+/// # Example
+///
+/// ```
+/// use tinyadc_tensor::Tensor;
+///
+/// # fn main() -> Result<(), tinyadc_tensor::TensorError> {
+/// let t = Tensor::zeros(&[3, 3]).add_scalar(1.0);
+/// assert_eq!(t.sum(), 9.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Shape,
+}
+
+impl Tensor {
+    // ---------------------------------------------------------------- ctors
+
+    /// A tensor of zeros with the given shape.
+    pub fn zeros(dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        Self {
+            data: vec![0.0; shape.volume()],
+            shape,
+        }
+    }
+
+    /// A tensor of ones with the given shape.
+    pub fn ones(dims: &[usize]) -> Self {
+        Self::full(dims, 1.0)
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(dims: &[usize], value: f32) -> Self {
+        let shape = Shape::new(dims);
+        Self {
+            data: vec![value; shape.volume()],
+            shape,
+        }
+    }
+
+    /// The `n × n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Self::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Builds a tensor from existing data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] when `data.len()` differs
+    /// from the shape volume.
+    pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Result<Self> {
+        let shape = Shape::new(dims);
+        if data.len() != shape.volume() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.volume(),
+                actual: data.len(),
+            });
+        }
+        Ok(Self { data, shape })
+    }
+
+    /// Samples i.i.d. `N(0, std^2)` entries using the supplied seeded RNG.
+    pub fn randn(dims: &[usize], std: f32, rng: &mut SeededRng) -> Self {
+        let shape = Shape::new(dims);
+        let data = (0..shape.volume())
+            .map(|_| rng.sample_standard_normal() * std)
+            .collect();
+        Self { data, shape }
+    }
+
+    /// Samples i.i.d. `U(lo, hi)` entries using the supplied seeded RNG.
+    pub fn uniform(dims: &[usize], lo: f32, hi: f32, rng: &mut SeededRng) -> Self {
+        let shape = Shape::new(dims);
+        let data = (0..shape.volume())
+            .map(|_| rng.inner_mut().gen_range(lo..hi))
+            .collect();
+        Self { data, shape }
+    }
+
+    /// Kaiming-He normal initialisation for a weight tensor whose fan-in is
+    /// the product of all axes except the first (filters-first convention).
+    pub fn kaiming(dims: &[usize], rng: &mut SeededRng) -> Self {
+        let fan_in: usize = dims.iter().skip(1).product::<usize>().max(1);
+        let std = (2.0 / fan_in as f32).sqrt();
+        Self::randn(dims, std, rng)
+    }
+
+    // ------------------------------------------------------------ accessors
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Axis extents as a slice.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Number of axes.
+    pub fn rank(&self) -> usize {
+        self.shape.rank()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying row-major buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns the underlying buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Propagates index/rank errors from [`Shape::offset`].
+    pub fn at(&self, index: &[usize]) -> Result<f32> {
+        Ok(self.data[self.shape.offset(index)?])
+    }
+
+    /// Sets the element at a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Propagates index/rank errors from [`Shape::offset`].
+    pub fn set(&mut self, index: &[usize], value: f32) -> Result<()> {
+        let off = self.shape.offset(index)?;
+        self.data[off] = value;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------- reshapes
+
+    /// Returns a tensor with the same data and a new shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ReshapeMismatch`] when element counts differ.
+    pub fn reshape(&self, dims: &[usize]) -> Result<Self> {
+        let shape = Shape::new(dims);
+        if shape.volume() != self.data.len() {
+            return Err(TensorError::ReshapeMismatch {
+                from: self.data.len(),
+                to: shape.volume(),
+            });
+        }
+        Ok(Self {
+            data: self.data.clone(),
+            shape,
+        })
+    }
+
+    /// Transpose of a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrices.
+    pub fn transpose(&self) -> Result<Self> {
+        let [r, c] = self.expect_matrix()?;
+        let mut out = vec![0.0f32; r * c];
+        for i in 0..r {
+            for j in 0..c {
+                out[j * r + i] = self.data[i * c + j];
+            }
+        }
+        Self::from_vec(out, &[c, r])
+    }
+
+    /// One row of a rank-2 tensor, as a rank-1 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Rank/bounds errors as for [`Tensor::at`].
+    pub fn row(&self, i: usize) -> Result<Self> {
+        let [r, c] = self.expect_matrix()?;
+        if i >= r {
+            return Err(TensorError::IndexOutOfBounds {
+                axis: 0,
+                index: i,
+                len: r,
+            });
+        }
+        Self::from_vec(self.data[i * c..(i + 1) * c].to_vec(), &[c])
+    }
+
+    /// One column of a rank-2 tensor, as a rank-1 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Rank/bounds errors as for [`Tensor::at`].
+    pub fn column(&self, j: usize) -> Result<Self> {
+        let [r, c] = self.expect_matrix()?;
+        if j >= c {
+            return Err(TensorError::IndexOutOfBounds {
+                axis: 1,
+                index: j,
+                len: c,
+            });
+        }
+        let col = (0..r).map(|i| self.data[i * c + j]).collect();
+        Self::from_vec(col, &[r])
+    }
+
+    pub(crate) fn expect_matrix(&self) -> Result<[usize; 2]> {
+        match self.dims() {
+            &[r, c] => Ok([r, c]),
+            dims => Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: dims.len(),
+            }),
+        }
+    }
+
+    // ---------------------------------------------------------- elementwise
+
+    /// Applies `f` to every element, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        Self {
+            data: self.data.iter().map(|&x| f(x)).collect(),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Combines two same-shaped tensors elementwise with `f`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn zip_with(&self, other: &Self, f: impl Fn(f32, f32) -> f32) -> Result<Self> {
+        self.check_same_shape(other)?;
+        Ok(Self {
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+            shape: self.shape.clone(),
+        })
+    }
+
+    /// Elementwise sum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn add(&self, other: &Self) -> Result<Self> {
+        self.zip_with(other, |a, b| a + b)
+    }
+
+    /// Elementwise difference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn sub(&self, other: &Self) -> Result<Self> {
+        self.zip_with(other, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn mul(&self, other: &Self) -> Result<Self> {
+        self.zip_with(other, |a, b| a * b)
+    }
+
+    /// Adds `other` into `self` in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn add_assign(&mut self, other: &Self) -> Result<()> {
+        self.check_same_shape(other)?;
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// `self += alpha * other` (AXPY), in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn axpy(&mut self, alpha: f32, other: &Self) -> Result<()> {
+        self.check_same_shape(other)?;
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Adds a scalar to every element.
+    pub fn add_scalar(&self, s: f32) -> Self {
+        self.map(|x| x + s)
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn scale(&self, s: f32) -> Self {
+        self.map(|x| x * s)
+    }
+
+    /// Multiplies every element by a scalar in place.
+    pub fn scale_inplace(&mut self, s: f32) {
+        self.map_inplace(|x| x * s);
+    }
+
+    // ----------------------------------------------------------- reductions
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Arithmetic mean of all elements (0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Largest element (negative infinity for an empty tensor).
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Smallest element (positive infinity for an empty tensor).
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Largest absolute value (0 for an empty tensor).
+    pub fn abs_max(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+    }
+
+    /// Frobenius norm (`sqrt(sum of squares)`).
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Number of non-zero elements.
+    pub fn count_nonzero(&self) -> usize {
+        self.data.iter().filter(|&&x| x != 0.0).count()
+    }
+
+    /// Fraction of elements that are exactly zero (1.0 for empty tensors).
+    pub fn sparsity(&self) -> f64 {
+        if self.data.is_empty() {
+            1.0
+        } else {
+            1.0 - self.count_nonzero() as f64 / self.data.len() as f64
+        }
+    }
+
+    /// Dot product of two same-shaped tensors viewed as flat vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn dot(&self, other: &Self) -> Result<f32> {
+        self.check_same_shape(other)?;
+        Ok(self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| a * b)
+            .sum())
+    }
+
+    /// Index of the largest element in a rank-1 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] for empty tensors.
+    pub fn argmax(&self) -> Result<usize> {
+        if self.data.is_empty() {
+            return Err(TensorError::InvalidArgument(
+                "argmax of an empty tensor".into(),
+            ));
+        }
+        let mut best = 0;
+        for (i, &x) in self.data.iter().enumerate() {
+            if x > self.data[best] {
+                best = i;
+            }
+        }
+        Ok(best)
+    }
+
+    fn check_same_shape(&self, other: &Self) -> Result<()> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                left: self.dims().to_vec(),
+                right: other.dims().to_vec(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for Tensor {
+    fn default() -> Self {
+        Self::zeros(&[0])
+    }
+}
+
+impl std::fmt::Display for Tensor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Tensor{} {:?}", self.shape, &self.data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctors_have_correct_volume() {
+        assert_eq!(Tensor::zeros(&[2, 3]).len(), 6);
+        assert_eq!(Tensor::ones(&[4]).sum(), 4.0);
+        assert_eq!(Tensor::full(&[2, 2], 3.0).sum(), 12.0);
+    }
+
+    #[test]
+    fn eye_is_identity() {
+        let i = Tensor::eye(3);
+        assert_eq!(i.at(&[0, 0]).unwrap(), 1.0);
+        assert_eq!(i.at(&[0, 1]).unwrap(), 0.0);
+        assert_eq!(i.sum(), 3.0);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec(vec![1.0; 5], &[2, 3]).is_err());
+        assert!(Tensor::from_vec(vec![1.0; 6], &[2, 3]).is_ok());
+    }
+
+    #[test]
+    fn indexing_round_trip() {
+        let mut t = Tensor::zeros(&[2, 3]);
+        t.set(&[1, 2], 7.5).unwrap();
+        assert_eq!(t.at(&[1, 2]).unwrap(), 7.5);
+        assert_eq!(t.as_slice()[5], 7.5);
+    }
+
+    #[test]
+    fn transpose_matches_manual() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let tt = t.transpose().unwrap();
+        assert_eq!(tt.dims(), &[3, 2]);
+        assert_eq!(tt.as_slice(), &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn double_transpose_is_identity() {
+        let mut rng = SeededRng::new(7);
+        let t = Tensor::randn(&[4, 7], 1.0, &mut rng);
+        assert_eq!(t.transpose().unwrap().transpose().unwrap(), t);
+    }
+
+    #[test]
+    fn row_and_column_extraction() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        assert_eq!(t.row(1).unwrap().as_slice(), &[4.0, 5.0, 6.0]);
+        assert_eq!(t.column(2).unwrap().as_slice(), &[3.0, 6.0]);
+        assert!(t.row(2).is_err());
+        assert!(t.column(3).is_err());
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let b = Tensor::from_vec(vec![3.0, 5.0], &[2]).unwrap();
+        assert_eq!(a.add(&b).unwrap().as_slice(), &[4.0, 7.0]);
+        assert_eq!(b.sub(&a).unwrap().as_slice(), &[2.0, 3.0]);
+        assert_eq!(a.mul(&b).unwrap().as_slice(), &[3.0, 10.0]);
+        assert_eq!(a.dot(&b).unwrap(), 13.0);
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let a = Tensor::zeros(&[2]);
+        let b = Tensor::zeros(&[3]);
+        assert!(matches!(a.add(&b), Err(TensorError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Tensor::ones(&[3]);
+        let b = Tensor::full(&[3], 2.0);
+        a.axpy(0.5, &b).unwrap();
+        assert_eq!(a.as_slice(), &[2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_vec(vec![-3.0, 0.0, 4.0], &[3]).unwrap();
+        assert_eq!(t.sum(), 1.0);
+        assert_eq!(t.max(), 4.0);
+        assert_eq!(t.min(), -3.0);
+        assert_eq!(t.abs_max(), 4.0);
+        assert_eq!(t.frobenius_norm(), 5.0);
+        assert_eq!(t.count_nonzero(), 2);
+        assert!((t.sparsity() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(t.argmax().unwrap(), 2);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[4]).unwrap();
+        let r = t.reshape(&[2, 2]).unwrap();
+        assert_eq!(r.at(&[1, 0]).unwrap(), 3.0);
+        assert!(t.reshape(&[3]).is_err());
+    }
+
+    #[test]
+    fn randn_is_deterministic_per_seed() {
+        let mut r1 = SeededRng::new(42);
+        let mut r2 = SeededRng::new(42);
+        assert_eq!(
+            Tensor::randn(&[10], 1.0, &mut r1),
+            Tensor::randn(&[10], 1.0, &mut r2)
+        );
+    }
+
+    #[test]
+    fn kaiming_std_tracks_fan_in() {
+        let mut rng = SeededRng::new(1);
+        let t = Tensor::kaiming(&[64, 128, 3, 3], &mut rng);
+        let var = t.as_slice().iter().map(|x| x * x).sum::<f32>() / t.len() as f32;
+        let expected = 2.0 / (128.0 * 9.0);
+        assert!((var - expected).abs() < expected * 0.2, "var={var}");
+    }
+
+    #[test]
+    fn tensor_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Tensor>();
+    }
+}

@@ -1,0 +1,127 @@
+//! Edge-case tests for the tensor substrate: degenerate shapes, empty
+//! tensors, and boundary arithmetic that the property tests don't reach.
+
+use tinyadc_tensor::rng::SeededRng;
+use tinyadc_tensor::{Shape, Tensor, TensorError};
+
+#[test]
+fn empty_tensor_behaviour() {
+    let t = Tensor::zeros(&[0]);
+    assert!(t.is_empty());
+    assert_eq!(t.len(), 0);
+    assert_eq!(t.sum(), 0.0);
+    assert_eq!(t.mean(), 0.0);
+    assert_eq!(t.abs_max(), 0.0);
+    assert_eq!(t.count_nonzero(), 0);
+    assert_eq!(t.sparsity(), 1.0);
+    assert!(t.argmax().is_err());
+}
+
+#[test]
+fn zero_axis_matrix_ops() {
+    let a = Tensor::zeros(&[0, 3]);
+    let b = Tensor::zeros(&[3, 4]);
+    let c = a.matmul(&b).unwrap();
+    assert_eq!(c.dims(), &[0, 4]);
+    assert!(c.is_empty());
+
+    let t = a.transpose().unwrap();
+    assert_eq!(t.dims(), &[3, 0]);
+}
+
+#[test]
+fn scalar_shape_round_trip() {
+    let s = Shape::new(&[]);
+    assert_eq!(s.volume(), 1);
+    let t = Tensor::from_vec(vec![42.0], &[]).unwrap();
+    assert_eq!(t.at(&[]).unwrap(), 42.0);
+    assert_eq!(t.rank(), 0);
+}
+
+#[test]
+fn single_element_matmul() {
+    let a = Tensor::from_vec(vec![3.0], &[1, 1]).unwrap();
+    let b = Tensor::from_vec(vec![4.0], &[1, 1]).unwrap();
+    assert_eq!(a.matmul(&b).unwrap().as_slice(), &[12.0]);
+}
+
+#[test]
+fn default_tensor_is_empty() {
+    let t = Tensor::default();
+    assert!(t.is_empty());
+}
+
+#[test]
+fn display_formats() {
+    let t = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+    let s = format!("{t}");
+    assert!(s.contains("Tensor"));
+    assert!(s.contains("1.0"));
+    assert_eq!(Shape::new(&[2, 3]).to_string(), "[2, 3]");
+}
+
+#[test]
+fn map_preserves_shape_and_scale_zero() {
+    let mut rng = SeededRng::new(1);
+    let t = Tensor::randn(&[3, 5], 1.0, &mut rng);
+    let zeroed = t.scale(0.0);
+    assert_eq!(zeroed.dims(), t.dims());
+    assert_eq!(zeroed.count_nonzero(), 0);
+}
+
+#[test]
+fn from_vec_error_reports_sizes() {
+    let err = Tensor::from_vec(vec![1.0; 3], &[2, 2]).unwrap_err();
+    match err {
+        TensorError::LengthMismatch { expected, actual } => {
+            assert_eq!(expected, 4);
+            assert_eq!(actual, 3);
+        }
+        other => panic!("unexpected error {other:?}"),
+    }
+}
+
+#[test]
+fn uniform_bounds_respected() {
+    let mut rng = SeededRng::new(2);
+    let t = Tensor::uniform(&[1000], -2.0, 3.0, &mut rng);
+    assert!(t.min() >= -2.0);
+    assert!(t.max() < 3.0);
+    // Spread sanity: covers most of the interval.
+    assert!(t.max() - t.min() > 4.0);
+}
+
+#[test]
+fn axpy_with_zero_alpha_is_identity() {
+    let mut rng = SeededRng::new(3);
+    let mut a = Tensor::randn(&[7], 1.0, &mut rng);
+    let before = a.clone();
+    let b = Tensor::randn(&[7], 1.0, &mut rng);
+    a.axpy(0.0, &b).unwrap();
+    assert_eq!(a, before);
+}
+
+#[test]
+fn dot_of_orthogonal_basis_vectors_is_zero() {
+    let mut e1 = Tensor::zeros(&[4]);
+    e1.as_mut_slice()[0] = 1.0;
+    let mut e2 = Tensor::zeros(&[4]);
+    e2.as_mut_slice()[2] = 1.0;
+    assert_eq!(e1.dot(&e2).unwrap(), 0.0);
+    assert_eq!(e1.dot(&e1).unwrap(), 1.0);
+}
+
+#[test]
+fn matvec_with_empty_rows() {
+    let a = Tensor::zeros(&[0, 4]);
+    let v = Tensor::ones(&[4]);
+    let y = a.matvec(&v).unwrap();
+    assert_eq!(y.dims(), &[0]);
+}
+
+#[test]
+fn eye_zero_is_empty() {
+    let i = Tensor::eye(0);
+    assert_eq!(i.dims(), &[0, 0]);
+    assert!(i.is_empty());
+}

@@ -1,0 +1,159 @@
+//! Activity accounting for crossbar MVMs: how many ADC conversions, DAC
+//! toggles and array accesses one inference performs.
+//!
+//! The paper's throughput argument (§IV-D) rests on the fact that smaller
+//! ADCs are not just cheaper but *faster*, and that pruning reduces the
+//! number of conversions. This module counts the events of the bit-serial
+//! datapath for a mapped layer so the hardware crate can turn them into
+//! dynamic energy (`tinyadc_hw::energy`).
+
+use crate::mapping::MappedLayer;
+use crate::tile::Tile;
+
+/// Event counts for one full MVM through a mapped layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ActivityReport {
+    /// ADC conversions (one per polarity × slice × column × cycle).
+    pub adc_conversions: u64,
+    /// DAC bit-drive events (one per row × cycle, across tiles).
+    pub dac_events: u64,
+    /// Crossbar column read-outs (column × cycle × tile).
+    pub column_reads: u64,
+    /// Shift-and-add operations (one per ADC conversion).
+    pub shift_adds: u64,
+    /// Streaming cycles executed (cycles × tiles).
+    pub tile_cycles: u64,
+}
+
+impl ActivityReport {
+    /// Element-wise sum of two reports.
+    #[must_use]
+    pub fn merged(self, other: Self) -> Self {
+        Self {
+            adc_conversions: self.adc_conversions + other.adc_conversions,
+            dac_events: self.dac_events + other.dac_events,
+            column_reads: self.column_reads + other.column_reads,
+            shift_adds: self.shift_adds + other.shift_adds,
+            tile_cycles: self.tile_cycles + other.tile_cycles,
+        }
+    }
+}
+
+/// Counts the events one MVM through `tile` performs.
+pub fn tile_activity(tile: &Tile) -> ActivityReport {
+    let cfg = tile.config();
+    let cycles = u64::from(cfg.cycles());
+    let slices = cfg.cells_per_weight() as u64;
+    let cols = tile.cols() as u64;
+    let rows = tile.rows() as u64;
+    // Two polarities per (slice, column, cycle).
+    let conversions = 2 * slices * cols * cycles;
+    ActivityReport {
+        adc_conversions: conversions,
+        dac_events: rows * cycles,
+        column_reads: 2 * slices * cols * cycles,
+        shift_adds: conversions,
+        tile_cycles: cycles,
+    }
+}
+
+/// Counts the events one MVM through an entire mapped layer performs.
+pub fn layer_activity(layer: &MappedLayer) -> ActivityReport {
+    layer
+        .tiles()
+        .iter()
+        .map(tile_activity)
+        .fold(ActivityReport::default(), ActivityReport::merged)
+}
+
+/// Events for one full network inference given per-layer MVM counts
+/// (a conv layer runs its MVM once per output pixel).
+pub fn scaled_activity(per_mvm: ActivityReport, mvm_count: u64) -> ActivityReport {
+    ActivityReport {
+        adc_conversions: per_mvm.adc_conversions * mvm_count,
+        dac_events: per_mvm.dac_events * mvm_count,
+        column_reads: per_mvm.column_reads * mvm_count,
+        shift_adds: per_mvm.shift_adds * mvm_count,
+        tile_cycles: per_mvm.tile_cycles * mvm_count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tile::XbarConfig;
+    use tinyadc_nn::ParamKind;
+    use tinyadc_prune::CrossbarShape;
+    use tinyadc_tensor::rng::SeededRng;
+    use tinyadc_tensor::Tensor;
+
+    fn cfg() -> XbarConfig {
+        XbarConfig {
+            shape: CrossbarShape::new(8, 8).unwrap(),
+            ..XbarConfig::paper_default()
+        }
+    }
+
+    #[test]
+    fn tile_counts_follow_geometry() {
+        let codes = vec![1i64; 4 * 3];
+        let tile = Tile::new(&codes, 4, 3, cfg()).unwrap();
+        let a = tile_activity(&tile);
+        // paper_default: 8 cycles, 4 slices, 2 polarities.
+        assert_eq!(a.tile_cycles, 8);
+        assert_eq!(a.adc_conversions, 2 * 4 * 3 * 8);
+        assert_eq!(a.dac_events, 4 * 8);
+        assert_eq!(a.shift_adds, a.adc_conversions);
+    }
+
+    #[test]
+    fn layer_activity_sums_tiles() {
+        let mut rng = SeededRng::new(1);
+        let w = Tensor::randn(&[10, 18], 0.5, &mut rng); // matrix [18, 10]
+        let mapped = crate::mapping::MappedLayer::from_param(
+            &w,
+            ParamKind::LinearWeight,
+            cfg(),
+        )
+        .unwrap();
+        // 18 rows -> 3 row blocks (8+8+2); 10 cols -> 2 col blocks (8+2).
+        assert_eq!(mapped.block_count(), 6);
+        let a = layer_activity(&mapped);
+        let per_tile: u64 = mapped
+            .tiles()
+            .iter()
+            .map(|t| tile_activity(t).adc_conversions)
+            .sum();
+        assert_eq!(a.adc_conversions, per_tile);
+        assert!(a.adc_conversions > 0);
+    }
+
+    #[test]
+    fn scaling_multiplies_everything() {
+        let codes = vec![1i64; 4];
+        let tile = Tile::new(&codes, 2, 2, cfg()).unwrap();
+        let a = tile_activity(&tile);
+        let s = scaled_activity(a, 5);
+        assert_eq!(s.adc_conversions, a.adc_conversions * 5);
+        assert_eq!(s.tile_cycles, a.tile_cycles * 5);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let a = ActivityReport {
+            adc_conversions: 1,
+            dac_events: 2,
+            column_reads: 3,
+            shift_adds: 4,
+            tile_cycles: 5,
+        };
+        let b = ActivityReport {
+            adc_conversions: 10,
+            dac_events: 20,
+            column_reads: 30,
+            shift_adds: 40,
+            tile_cycles: 50,
+        };
+        assert_eq!(a.merged(b), b.merged(a));
+    }
+}

@@ -1,0 +1,207 @@
+//! ADC resolution rules.
+//!
+//! Two ways to size the ADC for a crossbar column:
+//!
+//! * [`required_adc_bits_paper`] — the paper's Eq. 1:
+//!   `bits = v + w + ⌈log2 r⌉`, minus one when `v == 1` or `w == 1`.
+//! * [`required_adc_bits_exact`] — from the worst-case column sum
+//!   `r · (2^w − 1) · (2^v − 1)`: the smallest `b` with
+//!   `2^b − 1 ≥ max_sum`.
+//!
+//! The two agree whenever `r` is a power of two (proved by a test over the
+//! full operating range); Eq. 1 is conservative otherwise.
+//!
+//! Note on the paper's "8-bit" baseline: with 128 activated rows, a 1-bit
+//! DAC and 2-bit cells, Eq. 1 requires **9** bits, and all of the paper's
+//! "ADC bits reduction" figures are consistent with a 9-bit baseline
+//! (e.g. 64× CP → 3 bits → “−6 bits”). The prose mentions ISAAC's deployed
+//! 8-bit ADC, which relies on ISAAC's output encoding trick; this crate
+//! follows Eq. 1 so the reduction arithmetic reproduces the paper exactly.
+
+use crate::{Result, XbarError};
+
+/// The paper's Eq. 1 with `log = ⌈log2⌉`.
+///
+/// `v` = DAC (input) bits per cycle, `w` = bits per ReRAM cell, `rows` =
+/// activated rows per column. The result is clamped to at least 1 bit.
+///
+/// # Panics
+///
+/// Panics if any argument is zero (a configuration bug, not a runtime
+/// condition).
+pub fn required_adc_bits_paper(v: u32, w: u32, rows: usize) -> u32 {
+    assert!(v > 0 && w > 0 && rows > 0, "v, w, rows must be positive");
+    let log_r = ceil_log2(rows);
+    let raw = v + w + log_r;
+    let bits = if v > 1 && w > 1 { raw } else { raw - 1 };
+    bits.max(1)
+}
+
+/// Exact requirement from the worst-case column sum: the smallest `b`
+/// such that `2^b − 1 ≥ rows · (2^w − 1) · (2^v − 1)`.
+///
+/// # Panics
+///
+/// Panics if any argument is zero.
+pub fn required_adc_bits_exact(v: u32, w: u32, rows: usize) -> u32 {
+    assert!(v > 0 && w > 0 && rows > 0, "v, w, rows must be positive");
+    let max_sum = rows as u128 * ((1u128 << w) - 1) * ((1u128 << v) - 1);
+    let mut bits = 1u32;
+    while ((1u128 << bits) - 1) < max_sum {
+        bits += 1;
+    }
+    bits
+}
+
+/// `⌈log2 n⌉` for `n ≥ 1` (0 for `n == 1`).
+pub fn ceil_log2(n: usize) -> u32 {
+    assert!(n > 0, "log2 of zero");
+    (usize::BITS - (n - 1).leading_zeros()).min(usize::BITS)
+        * u32::from(n > 1)
+}
+
+/// An ideal ADC of fixed resolution digitising non-negative column sums.
+///
+/// Values representable without error are `0 ..= 2^bits − 1`; larger sums
+/// saturate — which is exactly the "computational inaccuracy" an
+/// under-provisioned ADC introduces and column proportional pruning
+/// removes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Adc {
+    bits: u32,
+}
+
+impl Adc {
+    /// Creates an ADC with the given resolution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::InvalidConfig`] for zero or absurd (> 32)
+    /// resolutions.
+    pub fn new(bits: u32) -> Result<Self> {
+        if bits == 0 || bits > 32 {
+            return Err(XbarError::InvalidConfig(format!(
+                "ADC resolution {bits} out of range 1..=32"
+            )));
+        }
+        Ok(Self { bits })
+    }
+
+    /// Resolution in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Largest exactly representable value.
+    pub fn full_scale(&self) -> u64 {
+        (1u64 << self.bits) - 1
+    }
+
+    /// Digitises an integer column sum: exact up to full scale, saturating
+    /// above it.
+    pub fn sample(&self, column_sum: u64) -> u64 {
+        column_sum.min(self.full_scale())
+    }
+
+    /// Digitises an analog (real-valued) column reading by rounding to the
+    /// nearest code, saturating at full scale.
+    pub fn sample_analog(&self, reading: f64) -> u64 {
+        let code = reading.round().max(0.0) as u64;
+        code.min(self.full_scale())
+    }
+
+    /// `true` when `column_sum` digitises without error.
+    pub fn is_lossless_for(&self, column_sum: u64) -> bool {
+        column_sum <= self.full_scale()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(128), 7);
+    }
+
+    #[test]
+    fn paper_example_8_rows() {
+        // Paper §II-B: 8 activated rows, 1-bit DAC, 2-bit MLC -> 5 bits.
+        assert_eq!(required_adc_bits_paper(1, 2, 8), 5);
+    }
+
+    #[test]
+    fn paper_table1_reductions() {
+        // Baseline: 128 rows, 1-bit DAC, 2-bit MLC -> 9 bits.
+        let base = required_adc_bits_paper(1, 2, 128);
+        assert_eq!(base, 9);
+        // CP rates from Table I: rate -> remaining rows -> reduction.
+        for (rate, expected_reduction) in
+            [(2usize, 1u32), (4, 2), (8, 3), (16, 4), (32, 5), (64, 6)]
+        {
+            let l = 128 / rate;
+            let bits = required_adc_bits_paper(1, 2, l);
+            assert_eq!(base - bits, expected_reduction, "rate {rate}x");
+        }
+    }
+
+    #[test]
+    fn exact_matches_paper_for_power_of_two_rows() {
+        for v in 1..=3 {
+            for w in 1..=3 {
+                for exp in 0..=8 {
+                    let rows = 1usize << exp;
+                    let exact = required_adc_bits_exact(v, w, rows);
+                    let paper = required_adc_bits_paper(v, w, rows);
+                    assert_eq!(exact, paper, "v={v} w={w} rows={rows}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_rule_is_conservative_for_ragged_rows() {
+        for v in 1..=3 {
+            for w in 1..=3 {
+                for rows in 1..=200 {
+                    let exact = required_adc_bits_exact(v, w, rows);
+                    let paper = required_adc_bits_paper(v, w, rows);
+                    assert!(exact <= paper, "v={v} w={w} rows={rows}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adc_samples_exactly_up_to_full_scale() {
+        let adc = Adc::new(3).unwrap();
+        assert_eq!(adc.full_scale(), 7);
+        for s in 0..=7u64 {
+            assert_eq!(adc.sample(s), s);
+            assert!(adc.is_lossless_for(s));
+        }
+        assert_eq!(adc.sample(8), 7);
+        assert!(!adc.is_lossless_for(8));
+    }
+
+    #[test]
+    fn analog_sampling_rounds() {
+        let adc = Adc::new(4).unwrap();
+        assert_eq!(adc.sample_analog(3.4), 3);
+        assert_eq!(adc.sample_analog(3.6), 4);
+        assert_eq!(adc.sample_analog(-1.0), 0);
+        assert_eq!(adc.sample_analog(99.0), 15);
+    }
+
+    #[test]
+    fn invalid_resolutions_rejected() {
+        assert!(Adc::new(0).is_err());
+        assert!(Adc::new(33).is_err());
+    }
+}

@@ -1,0 +1,217 @@
+//! ReRAM cell model: multi-level cells, bit slicing, and a VTEAM-style
+//! conductance model with process variation.
+//!
+//! The paper uses 2-bit MLC ReRAM (4 conductance levels) and notes that
+//! "using more than 2-3 ReRAM bit cells is not practical", so a quantised
+//! weight magnitude is sliced across several cells: an 8-bit weight with
+//! 2-bit cells occupies 4 cells, recombined by shift-and-add with weights
+//! `4^k` (§III-C). Conductances follow a linear level map between
+//! `g_min`/`g_max` (VTEAM-calibrated defaults) with an optional 10 %
+//! lognormal process variation, the figure the paper's evaluation assumes.
+
+use crate::{Result, XbarError};
+use tinyadc_tensor::rng::SeededRng;
+
+/// Multi-level-cell configuration: how many bits one cell stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CellConfig {
+    /// Bits per cell (paper default: 2).
+    pub bits_per_cell: u32,
+}
+
+impl Default for CellConfig {
+    fn default() -> Self {
+        Self { bits_per_cell: 2 }
+    }
+}
+
+impl CellConfig {
+    /// Validates the configuration (1–4 bits; the paper notes > 2–3 bits
+    /// per cell is impractical, 4 is allowed for ablations).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::InvalidConfig`] outside `1..=4`.
+    pub fn validate(&self) -> Result<()> {
+        if !(1..=4).contains(&self.bits_per_cell) {
+            return Err(XbarError::InvalidConfig(format!(
+                "bits_per_cell {} must be in 1..=4",
+                self.bits_per_cell
+            )));
+        }
+        Ok(())
+    }
+
+    /// Number of distinct conductance levels (`2^bits`).
+    pub fn levels(&self) -> u64 {
+        1 << self.bits_per_cell
+    }
+
+    /// Largest level value (`2^bits − 1`).
+    pub fn level_max(&self) -> u64 {
+        self.levels() - 1
+    }
+
+    /// Cells needed to store a magnitude of `magnitude_bits` bits.
+    pub fn cells_per_weight(&self, magnitude_bits: u32) -> usize {
+        magnitude_bits.div_ceil(self.bits_per_cell) as usize
+    }
+
+    /// Slices a non-negative magnitude into cell levels, least-significant
+    /// slice first: `value = Σ slice[k] · 2^(bits_per_cell·k)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not fit in `n_cells` slices (a mapping
+    /// bug, not a runtime condition).
+    pub fn slice(&self, value: u64, n_cells: usize) -> Vec<u64> {
+        let mask = self.level_max();
+        let mut out = Vec::with_capacity(n_cells);
+        let mut rest = value;
+        for _ in 0..n_cells {
+            out.push(rest & mask);
+            rest >>= self.bits_per_cell;
+        }
+        assert_eq!(rest, 0, "magnitude {value} does not fit in {n_cells} cells");
+        out
+    }
+
+    /// Recombines cell slices back into the magnitude.
+    pub fn unslice(&self, slices: &[u64]) -> u64 {
+        slices
+            .iter()
+            .rev()
+            .fold(0u64, |acc, &s| (acc << self.bits_per_cell) | s)
+    }
+}
+
+/// VTEAM-style conductance model: linear level→conductance map with
+/// optional multiplicative process variation.
+///
+/// Defaults follow the VTEAM Pt/HfO2/Ti calibration commonly used in
+/// crossbar studies: `R_on = 100 kΩ`, `R_off = 10 MΩ`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceModel {
+    /// Conductance of the fully-on state (level max), in siemens.
+    pub g_on: f64,
+    /// Conductance of the fully-off state (level 0), in siemens.
+    pub g_off: f64,
+    /// Relative (1σ) process variation applied multiplicatively
+    /// (paper: 10 %).
+    pub variation: f64,
+}
+
+impl Default for DeviceModel {
+    fn default() -> Self {
+        Self {
+            g_on: 1.0 / 100e3,
+            g_off: 1.0 / 10e6,
+            variation: 0.10,
+        }
+    }
+}
+
+impl DeviceModel {
+    /// Ideal conductance for a cell level under `config`.
+    pub fn conductance(&self, level: u64, config: &CellConfig) -> f64 {
+        let t = level as f64 / config.level_max() as f64;
+        self.g_off + t * (self.g_on - self.g_off)
+    }
+
+    /// Conductance with process variation drawn from the seeded RNG
+    /// (truncated Gaussian multiplicative noise, floored at 0).
+    pub fn conductance_with_variation(
+        &self,
+        level: u64,
+        config: &CellConfig,
+        rng: &mut SeededRng,
+    ) -> f64 {
+        let ideal = self.conductance(level, config);
+        let factor = (1.0 + self.variation * rng.sample_standard_normal() as f64).max(0.0);
+        ideal * factor
+    }
+
+    /// Inverse map: the nearest level for an observed conductance.
+    pub fn nearest_level(&self, g: f64, config: &CellConfig) -> u64 {
+        let t = ((g - self.g_off) / (self.g_on - self.g_off)).clamp(0.0, 1.0);
+        (t * config.level_max() as f64).round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_counts() {
+        let c = CellConfig::default();
+        assert_eq!(c.levels(), 4);
+        assert_eq!(c.level_max(), 3);
+        assert_eq!(c.cells_per_weight(7), 4);
+        assert_eq!(c.cells_per_weight(8), 4);
+        assert_eq!(c.cells_per_weight(9), 5);
+    }
+
+    #[test]
+    fn slice_unslice_round_trip() {
+        let c = CellConfig::default();
+        for v in 0..=127u64 {
+            let slices = c.slice(v, 4);
+            assert!(slices.iter().all(|&s| s <= 3));
+            assert_eq!(c.unslice(&slices), v);
+        }
+    }
+
+    #[test]
+    fn slice_is_little_endian() {
+        let c = CellConfig::default();
+        // 0b01_10_11 = 27: slices LSB-first = [3, 2, 1].
+        assert_eq!(c.slice(27, 3), vec![3, 2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_magnitude_panics() {
+        CellConfig::default().slice(64, 3); // needs 4 slices
+    }
+
+    #[test]
+    fn conductance_is_monotone_in_level() {
+        let d = DeviceModel::default();
+        let c = CellConfig::default();
+        let gs: Vec<f64> = (0..=3).map(|l| d.conductance(l, &c)).collect();
+        assert!(gs.windows(2).all(|w| w[1] > w[0]));
+        assert!((gs[0] - d.g_off).abs() < 1e-12);
+        assert!((gs[3] - d.g_on).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nearest_level_inverts_conductance() {
+        let d = DeviceModel::default();
+        let c = CellConfig::default();
+        for l in 0..=3u64 {
+            assert_eq!(d.nearest_level(d.conductance(l, &c), &c), l);
+        }
+    }
+
+    #[test]
+    fn variation_stays_near_ideal() {
+        let d = DeviceModel::default();
+        let c = CellConfig::default();
+        let mut rng = SeededRng::new(4);
+        let ideal = d.conductance(3, &c);
+        let n = 2000;
+        let mean: f64 = (0..n)
+            .map(|_| d.conductance_with_variation(3, &c, &mut rng))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean / ideal - 1.0).abs() < 0.02, "mean ratio {}", mean / ideal);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(CellConfig { bits_per_cell: 0 }.validate().is_err());
+        assert!(CellConfig { bits_per_cell: 5 }.validate().is_err());
+        assert!(CellConfig::default().validate().is_ok());
+    }
+}

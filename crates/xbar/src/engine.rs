@@ -1,0 +1,161 @@
+//! Network-level crossbar effects.
+//!
+//! Whole-network inference on the crossbar substrate is evaluated in the
+//! *weight domain*: every prunable parameter is mapped to crossbars
+//! (quantise → slice → tiles), optionally fault-injected, and the cell
+//! contents are unmapped back into the network, which then runs its normal
+//! forward pass. This is numerically equivalent to running the bit-serial
+//! crossbar MVM end to end because the tile datapath is integer-exact when
+//! the ADC is adequately sized — a property proven by the [`crate::tile`]
+//! and [`crate::mapping`] tests — while being fast enough to evaluate
+//! accuracy over whole test sets.
+
+use crate::fault::{inject_faults, FaultModel, FaultReport};
+use crate::mapping::MappedLayer;
+use crate::tile::XbarConfig;
+use crate::Result;
+use tinyadc_nn::{Network, Param};
+use tinyadc_tensor::rng::SeededRng;
+
+/// Summary of applying crossbar effects to a network.
+#[derive(Debug, Clone, Default)]
+pub struct CrossbarEffects {
+    /// Per-layer `(name, logical blocks, required ADC bits)`.
+    pub layers: Vec<(String, usize, u32)>,
+    /// Aggregate fault report (zero when no faults were injected).
+    pub faults: FaultReport,
+}
+
+impl CrossbarEffects {
+    /// Total logical crossbar blocks across mapped layers.
+    pub fn total_blocks(&self) -> usize {
+        self.layers.iter().map(|(_, b, _)| b).sum()
+    }
+
+    /// The worst (largest) per-layer ADC requirement.
+    pub fn max_adc_bits(&self) -> u32 {
+        self.layers.iter().map(|&(_, _, b)| b).max().unwrap_or(0)
+    }
+}
+
+/// Maps every prunable parameter of `net` onto crossbars, optionally
+/// injects stuck-at faults, and writes the (quantised, possibly faulted)
+/// weights back. `skip` lists parameter names to leave untouched (the
+/// paper's first layer, typically).
+///
+/// # Errors
+///
+/// Propagates mapping errors.
+pub fn apply_crossbar_effects(
+    net: &mut Network,
+    config: XbarConfig,
+    faults: Option<&FaultModel>,
+    skip: &[String],
+    rng: &mut SeededRng,
+) -> Result<CrossbarEffects> {
+    let mut effects = CrossbarEffects::default();
+    let mut failure = None;
+    net.visit_params(&mut |p: &mut Param| {
+        if failure.is_some() || !p.kind.is_prunable() || skip.iter().any(|s| s == &p.name) {
+            return;
+        }
+        let step = (|| -> Result<()> {
+            let mut mapped = MappedLayer::from_param(&p.value, p.kind, config)?;
+            if let Some(model) = faults {
+                let report = inject_faults(&mut mapped, model, rng);
+                effects.faults.cells += report.cells;
+                effects.faults.sa0 += report.sa0;
+                effects.faults.sa1 += report.sa1;
+                effects.faults.sa0_harmless += report.sa0_harmless;
+            }
+            effects.layers.push((
+                p.name.clone(),
+                mapped.block_count(),
+                mapped.required_adc_bits(),
+            ));
+            p.value = mapped.unmap()?;
+            Ok(())
+        })();
+        if let Err(e) = step {
+            failure = Some(e);
+        }
+    });
+    match failure {
+        Some(e) => Err(e),
+        None => Ok(effects),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinyadc_nn::layers::{Conv2d, GlobalAvgPool, Linear, Sequential};
+    use tinyadc_prune::CrossbarShape;
+    use tinyadc_tensor::Tensor;
+
+    fn cfg() -> XbarConfig {
+        XbarConfig {
+            shape: CrossbarShape::new(8, 8).unwrap(),
+            ..XbarConfig::paper_default()
+        }
+    }
+
+    fn net(rng: &mut SeededRng) -> Network {
+        let stack = Sequential::new("n")
+            .with(Conv2d::new("conv", 2, 4, 3, 1, 1, true, rng))
+            .with(GlobalAvgPool::new("gap"))
+            .with(Linear::new("fc", 4, 4, true, rng));
+        Network::new("n", stack, vec![2, 4, 4], 4)
+    }
+
+    #[test]
+    fn quantisation_only_changes_weights_slightly() {
+        let mut rng = SeededRng::new(1);
+        let mut n = net(&mut rng);
+        let before = n.snapshot();
+        let effects = apply_crossbar_effects(&mut n, cfg(), None, &[], &mut rng).unwrap();
+        assert_eq!(effects.layers.len(), 2);
+        assert_eq!(effects.faults.total_faults(), 0);
+        let after = n.snapshot();
+        for ((name, b), (_, a)) in before.iter().zip(&after) {
+            if name.ends_with("weight") {
+                let err = b.sub(a).unwrap().abs_max();
+                assert!(err < b.abs_max() * 0.02 + 1e-6, "{name}: err {err}");
+            } else {
+                assert_eq!(b, a, "{name} (bias) must be untouched");
+            }
+        }
+    }
+
+    #[test]
+    fn skip_list_is_respected() {
+        let mut rng = SeededRng::new(2);
+        let mut n = net(&mut rng);
+        let effects =
+            apply_crossbar_effects(&mut n, cfg(), None, &["conv.weight".into()], &mut rng)
+                .unwrap();
+        assert_eq!(effects.layers.len(), 1);
+        assert_eq!(effects.layers[0].0, "fc.weight");
+    }
+
+    #[test]
+    fn faults_are_counted() {
+        let mut rng = SeededRng::new(3);
+        let mut n = net(&mut rng);
+        let model = FaultModel::from_overall_rate(0.2).unwrap();
+        let effects =
+            apply_crossbar_effects(&mut n, cfg(), Some(&model), &[], &mut rng).unwrap();
+        assert!(effects.faults.total_faults() > 0);
+        assert!(effects.faults.cells > 0);
+    }
+
+    #[test]
+    fn forward_still_runs_after_effects() {
+        let mut rng = SeededRng::new(4);
+        let mut n = net(&mut rng);
+        apply_crossbar_effects(&mut n, cfg(), None, &[], &mut rng).unwrap();
+        let x = Tensor::randn(&[2, 2, 4, 4], 1.0, &mut rng);
+        let y = n.forward(&x, false).unwrap();
+        assert_eq!(y.dims(), &[2, 4]);
+    }
+}

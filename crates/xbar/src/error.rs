@@ -1,0 +1,73 @@
+use std::fmt;
+use tinyadc_prune::PruneError;
+use tinyadc_tensor::TensorError;
+
+/// Error type for crossbar mapping and simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum XbarError {
+    /// Underlying tensor failure.
+    Tensor(TensorError),
+    /// Underlying layout/pruning failure.
+    Prune(PruneError),
+    /// A configuration value was invalid.
+    InvalidConfig(String),
+    /// An input vector did not match the mapped layer's row count.
+    InputLengthMismatch {
+        /// Rows the mapping expects.
+        expected: usize,
+        /// Length supplied.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for XbarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Tensor(e) => write!(f, "tensor error: {e}"),
+            Self::Prune(e) => write!(f, "layout error: {e}"),
+            Self::InvalidConfig(msg) => write!(f, "invalid crossbar configuration: {msg}"),
+            Self::InputLengthMismatch { expected, actual } => {
+                write!(f, "input length {actual} does not match mapped rows {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for XbarError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Tensor(e) => Some(e),
+            Self::Prune(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for XbarError {
+    fn from(e: TensorError) -> Self {
+        Self::Tensor(e)
+    }
+}
+
+impl From<PruneError> for XbarError {
+    fn from(e: PruneError) -> Self {
+        Self::Prune(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = XbarError::InputLengthMismatch {
+            expected: 4,
+            actual: 3,
+        };
+        assert!(e.to_string().contains('4'));
+        let t: XbarError = TensorError::InvalidArgument("x".into()).into();
+        assert!(std::error::Error::source(&t).is_some());
+    }
+}

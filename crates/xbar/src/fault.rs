@@ -1,0 +1,208 @@
+//! ReRAM stuck-at fault model (paper §IV-E, failure model of paper ref. 26).
+//!
+//! Cells fail independently: **SA0** freezes a cell at level 0 (high
+//! resistance), **SA1** at the maximum level. Following the March-test
+//! characterisation the paper cites, SA0 faults dominate; the default
+//! split assigns ~83 % of stuck-at faults to SA0.
+//!
+//! The paper's observation reproduced here: a column-proportionally pruned
+//! model stores mostly *intentional zeros*, and an SA0 fault on a zero
+//! cell is harmless — so CP-pruned models degrade more slowly with fault
+//! rate than densely-stored baselines.
+
+use crate::mapping::MappedLayer;
+use crate::{Result, XbarError};
+use tinyadc_tensor::rng::SeededRng;
+
+/// Stuck-at fault configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultModel {
+    /// Probability that any given cell is stuck at level 0.
+    pub sa0_rate: f64,
+    /// Probability that any given cell is stuck at the maximum level.
+    pub sa1_rate: f64,
+}
+
+impl FaultModel {
+    /// Builds a model from an *overall* stuck-at rate using the default
+    /// SA0-dominant split (83 % SA0 / 17 % SA1, after the paper's ref. 26).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::InvalidConfig`] for rates outside `[0, 1]`.
+    pub fn from_overall_rate(rate: f64) -> Result<Self> {
+        Self::new(rate * 0.83, rate * 0.17)
+    }
+
+    /// Builds a model from explicit SA0/SA1 rates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::InvalidConfig`] when either rate is outside
+    /// `[0, 1]` or they sum above 1.
+    pub fn new(sa0_rate: f64, sa1_rate: f64) -> Result<Self> {
+        if !(0.0..=1.0).contains(&sa0_rate)
+            || !(0.0..=1.0).contains(&sa1_rate)
+            || sa0_rate + sa1_rate > 1.0
+        {
+            return Err(XbarError::InvalidConfig(format!(
+                "fault rates sa0={sa0_rate} sa1={sa1_rate} invalid"
+            )));
+        }
+        Ok(Self { sa0_rate, sa1_rate })
+    }
+
+    /// Overall stuck-at rate.
+    pub fn overall_rate(&self) -> f64 {
+        self.sa0_rate + self.sa1_rate
+    }
+}
+
+/// Statistics from one injection pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultReport {
+    /// Total cells examined.
+    pub cells: usize,
+    /// Cells stuck at 0.
+    pub sa0: usize,
+    /// Cells stuck at the maximum level.
+    pub sa1: usize,
+    /// SA0 faults that landed on already-zero cells (harmless).
+    pub sa0_harmless: usize,
+}
+
+impl FaultReport {
+    /// Total faults injected.
+    pub fn total_faults(&self) -> usize {
+        self.sa0 + self.sa1
+    }
+}
+
+/// Injects stuck-at faults into every cell of a mapped layer, in place.
+/// Deterministic given the RNG seed.
+pub fn inject_faults(
+    layer: &mut MappedLayer,
+    model: &FaultModel,
+    rng: &mut SeededRng,
+) -> FaultReport {
+    let mut report = FaultReport::default();
+    let level_max = layer.config().cell.level_max();
+    let sa0 = model.sa0_rate;
+    let sa1 = model.sa1_rate;
+    for tile in layer.tiles_mut() {
+        let (pos, neg) = tile.slices_mut();
+        for polarity in [pos, neg] {
+            for slice in polarity.iter_mut() {
+                for level in slice.iter_mut() {
+                    report.cells += 1;
+                    let roll: f64 = rng.sample_uniform(0.0, 1.0) as f64;
+                    if roll < sa0 {
+                        report.sa0 += 1;
+                        if *level == 0 {
+                            report.sa0_harmless += 1;
+                        }
+                        *level = 0;
+                    } else if roll < sa0 + sa1 {
+                        report.sa1 += 1;
+                        *level = level_max;
+                    }
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tile::XbarConfig;
+    use tinyadc_nn::ParamKind;
+    use tinyadc_prune::{CpConstraint, CrossbarShape};
+    use tinyadc_tensor::Tensor;
+
+    fn cfg() -> XbarConfig {
+        XbarConfig {
+            shape: CrossbarShape::new(8, 8).unwrap(),
+            ..XbarConfig::paper_default()
+        }
+    }
+
+    #[test]
+    fn model_validation() {
+        assert!(FaultModel::new(0.5, 0.6).is_err());
+        assert!(FaultModel::new(-0.1, 0.0).is_err());
+        let m = FaultModel::from_overall_rate(0.10).unwrap();
+        assert!((m.overall_rate() - 0.10).abs() < 1e-12);
+        assert!(m.sa0_rate > m.sa1_rate);
+    }
+
+    #[test]
+    fn zero_rate_changes_nothing() {
+        let mut rng = SeededRng::new(1);
+        let w = Tensor::randn(&[8, 8], 0.5, &mut rng);
+        let mut mapped = MappedLayer::from_param(&w, ParamKind::LinearWeight, cfg()).unwrap();
+        let before = mapped.unmap().unwrap();
+        let model = FaultModel::new(0.0, 0.0).unwrap();
+        let report = inject_faults(&mut mapped, &model, &mut rng);
+        assert_eq!(report.total_faults(), 0);
+        assert_eq!(mapped.unmap().unwrap(), before);
+    }
+
+    #[test]
+    fn fault_rate_tracks_request() {
+        let mut rng = SeededRng::new(2);
+        let w = Tensor::randn(&[64, 64], 0.5, &mut rng);
+        let mut mapped = MappedLayer::from_param(&w, ParamKind::LinearWeight, cfg()).unwrap();
+        let model = FaultModel::from_overall_rate(0.10).unwrap();
+        let report = inject_faults(&mut mapped, &model, &mut rng);
+        let rate = report.total_faults() as f64 / report.cells as f64;
+        assert!((rate - 0.10).abs() < 0.01, "rate {rate}");
+        assert!(report.sa0 > report.sa1);
+    }
+
+    #[test]
+    fn sa0_on_pruned_cells_is_harmless() {
+        // Fully CP-pruned layer (1 nonzero per 8-row column) has ≥ 7/8 of
+        // weight cells zero; most SA0 faults land harmlessly.
+        let mut rng = SeededRng::new(3);
+        let w = Tensor::randn(&[32, 32], 0.5, &mut rng);
+        let cp = CpConstraint::new(CrossbarShape::new(8, 8).unwrap(), 1).unwrap();
+        let pruned = cp.project_param(&w, ParamKind::LinearWeight).unwrap();
+        let mut mapped = MappedLayer::from_param(&pruned, ParamKind::LinearWeight, cfg()).unwrap();
+        let model = FaultModel::new(0.2, 0.0).unwrap();
+        let report = inject_faults(&mut mapped, &model, &mut rng);
+        let harmless_fraction = report.sa0_harmless as f64 / report.sa0 as f64;
+        assert!(
+            harmless_fraction > 0.8,
+            "harmless fraction {harmless_fraction}"
+        );
+    }
+
+    #[test]
+    fn sa1_perturbs_weights() {
+        let mut rng = SeededRng::new(4);
+        let w = Tensor::zeros(&[8, 8]);
+        let mut mapped = MappedLayer::from_param(&w, ParamKind::LinearWeight, cfg()).unwrap();
+        let model = FaultModel::new(0.0, 0.5).unwrap();
+        inject_faults(&mut mapped, &model, &mut rng);
+        // Weight scale of the all-zero tensor is 1.0; SA1 cells now carry
+        // nonzero levels, visible after unmapping.
+        let faulted = mapped.unmap().unwrap();
+        assert!(faulted.count_nonzero() > 0);
+    }
+
+    #[test]
+    fn injection_is_deterministic() {
+        let run = |seed: u64| {
+            let mut rng = SeededRng::new(seed);
+            let w = Tensor::randn(&[16, 16], 0.5, &mut rng);
+            let mut mapped =
+                MappedLayer::from_param(&w, ParamKind::LinearWeight, cfg()).unwrap();
+            let model = FaultModel::from_overall_rate(0.05).unwrap();
+            inject_faults(&mut mapped, &model, &mut rng);
+            mapped.unmap().unwrap()
+        };
+        assert_eq!(run(9), run(9));
+    }
+}

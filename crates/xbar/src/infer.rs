@@ -1,0 +1,243 @@
+//! Full crossbar inference: executing network layers end to end on the
+//! bit-serial simulator.
+//!
+//! [`crate::engine`] evaluates networks in the weight domain (fast, used
+//! for whole-test-set accuracy); this module runs the *actual datapath* —
+//! im2col unfold, per-patch quantisation, bit-serial MVM through ADCs,
+//! dequantise — so small models can be validated on the real simulated
+//! hardware path. The two agree to within quantisation error because the
+//! tile datapath is integer-exact (proven in `tile`/`mapping` tests).
+//!
+//! Activation functions and pooling run in the digital domain, as they do
+//! in ISAAC-style accelerators (sigmoid/maxpool units per tile).
+
+use crate::adc::Adc;
+use crate::mapping::MappedLayer;
+use crate::quant::quantize_input;
+use crate::{Result, XbarError};
+use tinyadc_nn::ParamKind;
+use tinyadc_tensor::{im2col, Conv2dGeometry, Tensor};
+
+/// Runs a convolution on the crossbar datapath.
+///
+/// `input` is one sample `[c, h, w]` (non-negative — post-ReLU or
+/// normalised-to-positive pixels); the mapped layer must hold a conv
+/// weight `[f, c, kh, kw]`. Returns `[f, oh, ow]`.
+///
+/// The whole im2col matrix shares one input quantisation scale, matching
+/// the per-layer activation quantisation of ISAAC-style designs.
+///
+/// # Errors
+///
+/// Returns [`XbarError::InvalidConfig`] when the mapped layer is not a
+/// conv or shapes disagree; propagates quantisation/MVM errors.
+pub fn conv2d(
+    mapped: &MappedLayer,
+    input: &Tensor,
+    stride: usize,
+    padding: usize,
+    adc: &Adc,
+) -> Result<Tensor> {
+    let dims = mapped.param_dims();
+    let (f, c, kh, kw) = match (mapped.kind(), dims) {
+        (ParamKind::ConvWeight, &[f, c, kh, kw]) => (f, c, kh, kw),
+        _ => {
+            return Err(XbarError::InvalidConfig(format!(
+                "conv2d needs a mapped conv weight, got {:?} {dims:?}",
+                mapped.kind()
+            )))
+        }
+    };
+    if input.rank() != 3 || input.dims()[0] != c {
+        return Err(XbarError::InvalidConfig(format!(
+            "conv2d input must be [{c}, h, w], got {:?}",
+            input.dims()
+        )));
+    }
+    let g = Conv2dGeometry::new(c, input.dims()[1], input.dims()[2], kh, kw, stride, padding)?;
+    let cols = im2col(input, &g)?;
+    // One quantisation scale for the whole unfolded input.
+    let q = quantize_input(&cols, &mapped.config().quant)?;
+    let (rows, out_cols) = mapped.matrix_dims();
+    debug_assert_eq!(rows, g.patch_len());
+    debug_assert_eq!(out_cols, f);
+
+    let mut out = vec![0.0f32; f * g.patch_count()];
+    let scale = mapped.weight_scale() * q.scale;
+    let mut column = vec![0u64; rows];
+    for p in 0..g.patch_count() {
+        for (r, slot) in column.iter_mut().enumerate() {
+            *slot = q.codes[r * g.patch_count() + p] as u64;
+        }
+        let y = mapped.matvec_codes(&column, adc)?;
+        for (fi, &v) in y.iter().enumerate() {
+            out[fi * g.patch_count() + p] = v as f32 * scale;
+        }
+    }
+    Ok(Tensor::from_vec(out, &[f, g.out_h, g.out_w])?)
+}
+
+/// Runs a fully-connected layer on the crossbar datapath: input `[in]`
+/// (non-negative), output `[out]`.
+///
+/// # Errors
+///
+/// Returns [`XbarError::InvalidConfig`] for non-linear mapped layers;
+/// propagates quantisation/MVM errors.
+pub fn linear(mapped: &MappedLayer, input: &Tensor, adc: &Adc) -> Result<Tensor> {
+    if mapped.kind() != ParamKind::LinearWeight {
+        return Err(XbarError::InvalidConfig(
+            "linear needs a mapped linear weight".into(),
+        ));
+    }
+    let q = quantize_input(input, &mapped.config().quant)?;
+    let codes: Vec<u64> = q.codes.iter().map(|&v| v as u64).collect();
+    let y = mapped.matvec_codes(&codes, adc)?;
+    let scale = mapped.weight_scale() * q.scale;
+    let data: Vec<f32> = y.iter().map(|&v| v as f32 * scale).collect();
+    let len = data.len();
+    Ok(Tensor::from_vec(data, &[len])?)
+}
+
+/// Digital-domain ReLU (runs in the tile's post-processing units).
+pub fn relu(t: &Tensor) -> Tensor {
+    t.map(|x| x.max(0.0))
+}
+
+/// Digital-domain global average pool: `[c, h, w] -> [c]`.
+///
+/// # Errors
+///
+/// Returns [`XbarError::InvalidConfig`] for non-rank-3 input.
+pub fn global_avg_pool(t: &Tensor) -> Result<Tensor> {
+    let dims = t.dims();
+    if dims.len() != 3 {
+        return Err(XbarError::InvalidConfig(format!(
+            "global_avg_pool needs [c, h, w], got {dims:?}"
+        )));
+    }
+    let (c, h, w) = (dims[0], dims[1], dims[2]);
+    let hw = (h * w) as f32;
+    let mut out = vec![0.0f32; c];
+    for (ci, o) in out.iter_mut().enumerate() {
+        *o = t.as_slice()[ci * h * w..(ci + 1) * h * w].iter().sum::<f32>() / hw;
+    }
+    Ok(Tensor::from_vec(out, &[c])?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quant::QuantConfig;
+    use crate::tile::XbarConfig;
+    use tinyadc_prune::CrossbarShape;
+    use tinyadc_tensor::rng::SeededRng;
+
+    fn cfg() -> XbarConfig {
+        XbarConfig {
+            shape: CrossbarShape::new(32, 16).unwrap(),
+            quant: QuantConfig {
+                weight_bits: 8,
+                input_bits: 8,
+            },
+            ..XbarConfig::paper_default()
+        }
+    }
+
+    /// Float reference convolution for validation.
+    fn conv_ref(w: &Tensor, x: &Tensor, stride: usize, padding: usize) -> Tensor {
+        let &[f, c, kh, kw] = w.dims() else { panic!() };
+        let g = Conv2dGeometry::new(c, x.dims()[1], x.dims()[2], kh, kw, stride, padding)
+            .unwrap();
+        let cols = im2col(x, &g).unwrap();
+        let w2d = w.reshape(&[f, g.patch_len()]).unwrap();
+        w2d.matmul(&cols)
+            .unwrap()
+            .reshape(&[f, g.out_h, g.out_w])
+            .unwrap()
+    }
+
+    #[test]
+    fn crossbar_conv_matches_float_reference_within_quant_error() {
+        let mut rng = SeededRng::new(41);
+        let w = Tensor::randn(&[8, 3, 3, 3], 0.4, &mut rng);
+        let x = Tensor::uniform(&[3, 8, 8], 0.0, 1.0, &mut rng);
+        let mapped = MappedLayer::from_param(&w, ParamKind::ConvWeight, cfg()).unwrap();
+        let adc = Adc::new(mapped.required_adc_bits()).unwrap();
+        let sim = conv2d(&mapped, &x, 1, 1, &adc).unwrap();
+        let reference = conv_ref(&w, &x, 1, 1);
+        assert_eq!(sim.dims(), reference.dims());
+        let scale = reference.abs_max().max(1.0);
+        for (a, b) in sim.as_slice().iter().zip(reference.as_slice()) {
+            assert!(
+                (a - b).abs() < 0.03 * scale,
+                "sim {a} vs ref {b} (scale {scale})"
+            );
+        }
+    }
+
+    #[test]
+    fn strided_conv_shapes() {
+        let mut rng = SeededRng::new(42);
+        let w = Tensor::randn(&[4, 2, 3, 3], 0.4, &mut rng);
+        let x = Tensor::uniform(&[2, 8, 8], 0.0, 1.0, &mut rng);
+        let mapped = MappedLayer::from_param(&w, ParamKind::ConvWeight, cfg()).unwrap();
+        let adc = Adc::new(mapped.required_adc_bits()).unwrap();
+        let y = conv2d(&mapped, &x, 2, 1, &adc).unwrap();
+        assert_eq!(y.dims(), &[4, 4, 4]);
+    }
+
+    #[test]
+    fn two_layer_crossbar_cnn_matches_float_network() {
+        // conv -> relu -> gap -> linear, fully on the simulated datapath,
+        // vs the float pipeline.
+        let mut rng = SeededRng::new(43);
+        let wc = Tensor::randn(&[6, 3, 3, 3], 0.4, &mut rng);
+        let wl = Tensor::randn(&[4, 6], 0.5, &mut rng);
+        let x = Tensor::uniform(&[3, 6, 6], 0.0, 1.0, &mut rng);
+
+        let mc = MappedLayer::from_param(&wc, ParamKind::ConvWeight, cfg()).unwrap();
+        let ml = MappedLayer::from_param(&wl, ParamKind::LinearWeight, cfg()).unwrap();
+        let adc_c = Adc::new(mc.required_adc_bits()).unwrap();
+        let adc_l = Adc::new(ml.required_adc_bits()).unwrap();
+
+        let h = relu(&conv2d(&mc, &x, 1, 1, &adc_c).unwrap());
+        let pooled = global_avg_pool(&h).unwrap();
+        let sim_logits = linear(&ml, &pooled, &adc_l).unwrap();
+
+        // Float reference.
+        let h_ref = conv_ref(&wc, &x, 1, 1).map(|v| v.max(0.0));
+        let pooled_ref = global_avg_pool(&h_ref).unwrap();
+        let ref_logits = wl.matvec(&pooled_ref).unwrap();
+
+        assert_eq!(sim_logits.dims(), ref_logits.dims());
+        let scale = ref_logits.abs_max().max(0.5);
+        for (a, b) in sim_logits.as_slice().iter().zip(ref_logits.as_slice()) {
+            assert!((a - b).abs() < 0.05 * scale, "sim {a} vs ref {b}");
+        }
+    }
+
+    #[test]
+    fn kind_mismatches_rejected() {
+        let mut rng = SeededRng::new(44);
+        let wl = Tensor::randn(&[4, 6], 0.5, &mut rng);
+        let ml = MappedLayer::from_param(&wl, ParamKind::LinearWeight, cfg()).unwrap();
+        let adc = Adc::new(8).unwrap();
+        assert!(conv2d(&ml, &Tensor::zeros(&[3, 4, 4]), 1, 1, &adc).is_err());
+
+        let wc = Tensor::randn(&[4, 2, 3, 3], 0.5, &mut rng);
+        let mc = MappedLayer::from_param(&wc, ParamKind::ConvWeight, cfg()).unwrap();
+        assert!(linear(&mc, &Tensor::zeros(&[18]), &adc).is_err());
+        // Wrong channel count.
+        assert!(conv2d(&mc, &Tensor::zeros(&[3, 4, 4]), 1, 1, &adc).is_err());
+    }
+
+    #[test]
+    fn digital_helpers() {
+        let t = Tensor::from_vec(vec![-1.0, 2.0], &[2]).unwrap();
+        assert_eq!(relu(&t).as_slice(), &[0.0, 2.0]);
+        let x = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0], &[1, 2, 2]).unwrap();
+        assert_eq!(global_avg_pool(&x).unwrap().as_slice(), &[4.0]);
+        assert!(global_avg_pool(&t).is_err());
+    }
+}

@@ -1,0 +1,265 @@
+//! Analog non-idealities beyond device variation: wordline/bitline IR
+//! drop and additive read noise.
+//!
+//! IR drop is the classic crossbar accuracy killer: wire resistance
+//! accumulates along rows and columns, so cells far from the drivers see
+//! a reduced effective voltage and contribute less current than ideal.
+//! The first-order model used here (and widely in the crossbar
+//! literature) attenuates each cell's contribution by
+//! `1 / (1 + n_segments(r, c) · R_wire · G_load)` where `n_segments` is
+//! the wire distance from the drivers and `G_load` the average loading
+//! conductance.
+//!
+//! Column proportional pruning helps here too: with only `l` rows active
+//! per column, both the current through the shared wires and the number
+//! of attenuated contributors shrink — a side benefit on top of the ADC
+//! saving the paper focuses on.
+
+use crate::adc::Adc;
+use crate::tile::Tile;
+use crate::{Result, XbarError};
+use tinyadc_tensor::rng::SeededRng;
+
+/// First-order IR-drop model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IrDropModel {
+    /// Wire resistance per cell-to-cell segment, ohms (typical: 1–5 Ω).
+    pub wire_resistance_ohm: f64,
+    /// Average loading conductance per active cell, siemens (typical:
+    /// on the order of the device's on-conductance).
+    pub load_conductance_s: f64,
+}
+
+impl IrDropModel {
+    /// A model with the given segment resistance and the VTEAM-default
+    /// on-conductance (10 µS) as the load.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::InvalidConfig`] for negative resistance.
+    pub fn with_wire_resistance(wire_resistance_ohm: f64) -> Result<Self> {
+        if wire_resistance_ohm < 0.0 {
+            return Err(XbarError::InvalidConfig(
+                "wire resistance must be non-negative".into(),
+            ));
+        }
+        Ok(Self {
+            wire_resistance_ohm,
+            load_conductance_s: 1.0 / 100e3,
+        })
+    }
+
+    /// Attenuation factor in `(0, 1]` for the cell at `(row, col)` of a
+    /// `rows × cols` array: drivers sit at row 0 (wordlines) and the ADC
+    /// at column `cols-1` (bitlines), so the wire distance is
+    /// `row + (cols - 1 - col)` segments.
+    pub fn attenuation(&self, row: usize, col: usize, rows: usize, cols: usize) -> f64 {
+        debug_assert!(row < rows && col < cols);
+        let segments = (row + (cols - 1 - col)) as f64;
+        1.0 / (1.0 + segments * self.wire_resistance_ohm * self.load_conductance_s)
+    }
+}
+
+/// Additive Gaussian read noise on each digitised column reading, in
+/// level units (LSBs of the ideal integer lattice).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadNoise {
+    /// Standard deviation of the additive noise, in level units.
+    pub sigma_levels: f64,
+}
+
+/// Bit-serial MVM through `tile` including IR drop and optional read
+/// noise; with zero wire resistance and no noise this equals
+/// [`Tile::matvec`].
+///
+/// # Errors
+///
+/// Propagates input-length/config errors from the tile.
+pub fn matvec_with_ir_drop(
+    tile: &Tile,
+    input: &[u64],
+    adc: &Adc,
+    ir: &IrDropModel,
+    read_noise: Option<&ReadNoise>,
+    rng: &mut SeededRng,
+) -> Result<Vec<i64>> {
+    // Validate via the ideal path first (cheap) so error behaviour matches.
+    let _ = tile.matvec_ideal(input)?;
+    let cfg = *tile.config();
+    let dac = cfg.dac_bits;
+    let dac_mask = (1u64 << dac) - 1;
+    let cycles = cfg.cycles();
+    let cell_bits = cfg.cell.bits_per_cell;
+    let (rows, cols) = (tile.rows(), tile.cols());
+    let codes = tile.codes();
+    let n_slices = cfg.cells_per_weight();
+
+    // Reconstruct per-slice levels from the codes (polarity-split).
+    let mut pos = vec![vec![0f64; rows * cols]; n_slices];
+    let mut neg = vec![vec![0f64; rows * cols]; n_slices];
+    for (i, &code) in codes.iter().enumerate() {
+        let slices = cfg.cell.slice(code.unsigned_abs(), n_slices);
+        let target = if code >= 0 { &mut pos } else { &mut neg };
+        for (s, &level) in slices.iter().enumerate() {
+            target[s][i] = level as f64;
+        }
+    }
+
+    let mut y = vec![0i64; cols];
+    for cycle in 0..cycles {
+        let shift_in = cycle * dac;
+        for j in 0..cols {
+            for s in 0..n_slices {
+                let shift = shift_in + s as u32 * cell_bits;
+                let mut pos_sum = 0.0f64;
+                let mut neg_sum = 0.0f64;
+                for r in 0..rows {
+                    let bits = (input[r] >> shift_in) & dac_mask;
+                    if bits == 0 {
+                        continue;
+                    }
+                    let att = ir.attenuation(r, j, rows, cols);
+                    pos_sum += bits as f64 * pos[s][r * cols + j] * att;
+                    neg_sum += bits as f64 * neg[s][r * cols + j] * att;
+                }
+                if let Some(noise) = read_noise {
+                    pos_sum += noise.sigma_levels * f64::from(rng.sample_standard_normal());
+                    neg_sum += noise.sigma_levels * f64::from(rng.sample_standard_normal());
+                }
+                let p = adc.sample_analog(pos_sum) as i64;
+                let n = adc.sample_analog(neg_sum) as i64;
+                y[j] += (p - n) << shift;
+            }
+        }
+    }
+    Ok(y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adc::required_adc_bits_paper;
+    use crate::quant::QuantConfig;
+    use crate::tile::XbarConfig;
+    use tinyadc_prune::CrossbarShape;
+
+    fn cfg() -> XbarConfig {
+        XbarConfig {
+            shape: CrossbarShape::new(16, 16).unwrap(),
+            quant: QuantConfig {
+                weight_bits: 5,
+                input_bits: 4,
+            },
+            ..XbarConfig::paper_default()
+        }
+    }
+
+    #[test]
+    fn attenuation_bounds_and_monotonicity() {
+        let ir = IrDropModel::with_wire_resistance(5.0).unwrap();
+        let a00 = ir.attenuation(0, 15, 16, 16); // closest to both drivers
+        assert!(a00 <= 1.0 && a00 > 0.99);
+        let afar = ir.attenuation(15, 0, 16, 16); // farthest corner
+        assert!(afar < a00);
+        // Monotone in row distance.
+        for r in 0..15 {
+            assert!(ir.attenuation(r, 8, 16, 16) >= ir.attenuation(r + 1, 8, 16, 16));
+        }
+        // Zero resistance -> no attenuation anywhere.
+        let ideal = IrDropModel::with_wire_resistance(0.0).unwrap();
+        assert_eq!(ideal.attenuation(15, 0, 16, 16), 1.0);
+    }
+
+    #[test]
+    fn zero_wire_resistance_matches_digital_path() {
+        let mut rng = SeededRng::new(1);
+        let codes: Vec<i64> = (0..16 * 4).map(|i| ((i * 7) % 31) as i64 - 15).collect();
+        let tile = Tile::new(&codes, 16, 4, cfg()).unwrap();
+        let adc = Adc::new(required_adc_bits_paper(1, 2, 16)).unwrap();
+        let ir = IrDropModel::with_wire_resistance(0.0).unwrap();
+        let input: Vec<u64> = (0..16).map(|i| (i % 16) as u64).collect();
+        assert_eq!(
+            matvec_with_ir_drop(&tile, &input, &adc, &ir, None, &mut rng).unwrap(),
+            tile.matvec(&input, &adc).unwrap()
+        );
+    }
+
+    #[test]
+    fn ir_drop_error_grows_with_wire_resistance() {
+        let mut rng = SeededRng::new(2);
+        let codes: Vec<i64> = (0..16 * 4).map(|i| ((i * 5) % 31) as i64 - 15).collect();
+        let tile = Tile::new(&codes, 16, 4, cfg()).unwrap();
+        let adc = Adc::new(required_adc_bits_paper(1, 2, 16)).unwrap();
+        let input: Vec<u64> = vec![15; 16];
+        let ideal = tile.matvec_ideal(&input).unwrap();
+        let error_at = |r_ohm: f64, rng: &mut SeededRng| -> i64 {
+            let ir = IrDropModel::with_wire_resistance(r_ohm).unwrap();
+            let out = matvec_with_ir_drop(&tile, &input, &adc, &ir, None, rng).unwrap();
+            out.iter().zip(&ideal).map(|(a, b)| (a - b).abs()).sum()
+        };
+        let e1 = error_at(100.0, &mut rng);
+        let e2 = error_at(2000.0, &mut rng);
+        assert!(e2 > e1, "error must grow with resistance: {e1} vs {e2}");
+    }
+
+    #[test]
+    fn cp_pruned_tile_suffers_less_ir_drop_error() {
+        // Same weights, pruned to 2 active rows per column: fewer
+        // attenuated contributors -> lower relative output error.
+        let mut rng = SeededRng::new(3);
+        let dense_codes: Vec<i64> = (0..16 * 4).map(|i| ((i * 11) % 29) as i64 - 14).collect();
+        // Keep the 2 largest magnitudes per column, zero the rest.
+        let mut pruned = dense_codes.clone();
+        for j in 0..4 {
+            let mut idx: Vec<usize> = (0..16).collect();
+            idx.sort_by_key(|&r| std::cmp::Reverse(dense_codes[r * 4 + j].abs()));
+            for &r in &idx[2..] {
+                pruned[r * 4 + j] = 0;
+            }
+        }
+        let dense = Tile::new(&dense_codes, 16, 4, cfg()).unwrap();
+        let sparse = Tile::new(&pruned, 16, 4, cfg()).unwrap();
+        let adc = Adc::new(required_adc_bits_paper(1, 2, 16)).unwrap();
+        let ir = IrDropModel::with_wire_resistance(1000.0).unwrap();
+        let input: Vec<u64> = vec![15; 16];
+
+        // The pruned tile's cells are a subset of the dense tile's with
+        // identical values, so its total absolute IR-drop deviation is a
+        // subset sum of the dense one's (up to ADC rounding).
+        let abs_error = |tile: &Tile, rng: &mut SeededRng| -> f64 {
+            let ideal = tile.matvec_ideal(&input).unwrap();
+            let out = matvec_with_ir_drop(tile, &input, &adc, &ir, None, rng).unwrap();
+            out.iter()
+                .zip(&ideal)
+                .map(|(a, b)| ((a - b) as f64).abs())
+                .sum()
+        };
+        let dense_err = abs_error(&dense, &mut rng);
+        let sparse_err = abs_error(&sparse, &mut rng);
+        let rounding_slack = 4.0 * 8.0; // 4 cols x 8 cycles x +-0.5 LSB x2
+        assert!(
+            sparse_err <= dense_err + rounding_slack,
+            "pruned {sparse_err} vs dense {dense_err}"
+        );
+    }
+
+    #[test]
+    fn read_noise_perturbs_output() {
+        let mut rng = SeededRng::new(4);
+        let codes: Vec<i64> = vec![7; 16];
+        let tile = Tile::new(&codes, 16, 1, cfg()).unwrap();
+        let adc = Adc::new(required_adc_bits_paper(1, 2, 16)).unwrap();
+        let ir = IrDropModel::with_wire_resistance(0.0).unwrap();
+        let noise = ReadNoise { sigma_levels: 3.0 };
+        let input: Vec<u64> = vec![15; 16];
+        let clean = tile.matvec(&input, &adc).unwrap();
+        let noisy =
+            matvec_with_ir_drop(&tile, &input, &adc, &ir, Some(&noise), &mut rng).unwrap();
+        assert_ne!(clean, noisy);
+    }
+
+    #[test]
+    fn negative_resistance_rejected() {
+        assert!(IrDropModel::with_wire_resistance(-1.0).is_err());
+    }
+}

@@ -1,0 +1,221 @@
+//! Fixed-point quantisation of weights and activations.
+//!
+//! Weights are quantised to symmetric signed fixed point; the sign is
+//! handled by differential column pairs in the crossbar (positive and
+//! negative parts on separate columns, subtracted after digitisation), so
+//! only the *magnitude* is bit-sliced across cells. Inputs are quantised
+//! to unsigned fixed point (activations are post-ReLU in the mapped
+//! layers), streamed one bit per cycle through the 1-bit DACs.
+
+use crate::{Result, XbarError};
+use tinyadc_tensor::Tensor;
+
+/// Quantisation widths for mapping a layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QuantConfig {
+    /// Total weight bits, including sign (ISAAC-style default: 8).
+    pub weight_bits: u32,
+    /// Input (activation) bits, unsigned (default: 8).
+    pub input_bits: u32,
+}
+
+impl Default for QuantConfig {
+    fn default() -> Self {
+        Self {
+            weight_bits: 8,
+            input_bits: 8,
+        }
+    }
+}
+
+impl QuantConfig {
+    /// Validates the widths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::InvalidConfig`] for zero or > 16-bit widths
+    /// (the integer simulation uses i64 accumulators sized for ≤ 16).
+    pub fn validate(&self) -> Result<()> {
+        if !(2..=16).contains(&self.weight_bits) || !(1..=16).contains(&self.input_bits) {
+            return Err(XbarError::InvalidConfig(format!(
+                "weight_bits {} must be in 2..=16 and input_bits {} in 1..=16",
+                self.weight_bits, self.input_bits
+            )));
+        }
+        Ok(())
+    }
+
+    /// Largest weight magnitude code: `2^(weight_bits-1) − 1`.
+    pub fn weight_max(&self) -> i64 {
+        (1i64 << (self.weight_bits - 1)) - 1
+    }
+
+    /// Largest input code: `2^input_bits − 1`.
+    pub fn input_max(&self) -> u64 {
+        (1u64 << self.input_bits) - 1
+    }
+}
+
+/// A quantised tensor: integer codes plus the scale that dequantises them
+/// (`real ≈ code * scale`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Quantized {
+    /// Integer codes, same volume as the source tensor.
+    pub codes: Vec<i64>,
+    /// Dequantisation scale.
+    pub scale: f32,
+    /// Original shape.
+    pub dims: Vec<usize>,
+}
+
+impl Quantized {
+    /// Reconstructs the real-valued tensor from the codes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors (only possible if `dims` was tampered with).
+    pub fn dequantize(&self) -> Result<Tensor> {
+        let data = self.codes.iter().map(|&c| c as f32 * self.scale).collect();
+        Ok(Tensor::from_vec(data, &self.dims)?)
+    }
+}
+
+/// Symmetric signed quantisation of weights: codes in
+/// `[-weight_max, weight_max]`, scale `absmax / weight_max`.
+/// Exact zeros stay exactly zero — essential for pruning.
+///
+/// # Errors
+///
+/// Propagates invalid [`QuantConfig`]s.
+pub fn quantize_weights(weights: &Tensor, config: &QuantConfig) -> Result<Quantized> {
+    config.validate()?;
+    let absmax = weights.abs_max();
+    let qmax = config.weight_max();
+    let scale = if absmax == 0.0 {
+        1.0
+    } else {
+        absmax / qmax as f32
+    };
+    let codes = weights
+        .as_slice()
+        .iter()
+        .map(|&w| ((w / scale).round() as i64).clamp(-qmax, qmax))
+        .collect();
+    Ok(Quantized {
+        codes,
+        scale,
+        dims: weights.dims().to_vec(),
+    })
+}
+
+/// Unsigned quantisation of a non-negative input vector: codes in
+/// `[0, input_max]`, scale `max / input_max`.
+///
+/// # Errors
+///
+/// Returns [`XbarError::InvalidConfig`] if any entry is negative (mapped
+/// layers consume post-ReLU activations), or for invalid configs.
+pub fn quantize_input(input: &Tensor, config: &QuantConfig) -> Result<Quantized> {
+    config.validate()?;
+    if input.as_slice().iter().any(|&x| x < 0.0) {
+        return Err(XbarError::InvalidConfig(
+            "crossbar inputs must be non-negative (post-ReLU)".into(),
+        ));
+    }
+    let max = input.max().max(0.0);
+    let qmax = config.input_max();
+    let scale = if max == 0.0 { 1.0 } else { max / qmax as f32 };
+    let codes = input
+        .as_slice()
+        .iter()
+        .map(|&x| ((x / scale).round() as i64).clamp(0, qmax as i64))
+        .collect();
+    Ok(Quantized {
+        codes,
+        scale,
+        dims: input.dims().to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinyadc_tensor::rng::SeededRng;
+
+    #[test]
+    fn weight_round_trip_error_is_bounded() {
+        let mut rng = SeededRng::new(3);
+        let w = Tensor::randn(&[8, 8], 1.0, &mut rng);
+        let cfg = QuantConfig::default();
+        let q = quantize_weights(&w, &cfg).unwrap();
+        let back = q.dequantize().unwrap();
+        let max_err = w
+            .sub(&back)
+            .unwrap()
+            .abs_max();
+        assert!(max_err <= q.scale * 0.5 + 1e-7, "err {max_err}");
+    }
+
+    #[test]
+    fn zeros_stay_zero() {
+        let mut w = Tensor::zeros(&[4]);
+        w.as_mut_slice()[1] = 1.0;
+        let q = quantize_weights(&w, &QuantConfig::default()).unwrap();
+        assert_eq!(q.codes[0], 0);
+        assert_eq!(q.codes[2], 0);
+        assert_eq!(q.codes[1], QuantConfig::default().weight_max());
+    }
+
+    #[test]
+    fn all_zero_tensor_quantizes() {
+        let q = quantize_weights(&Tensor::zeros(&[4]), &QuantConfig::default()).unwrap();
+        assert!(q.codes.iter().all(|&c| c == 0));
+        assert_eq!(q.dequantize().unwrap().sum(), 0.0);
+    }
+
+    #[test]
+    fn codes_stay_in_range() {
+        let mut rng = SeededRng::new(5);
+        let w = Tensor::randn(&[100], 10.0, &mut rng);
+        let cfg = QuantConfig {
+            weight_bits: 4,
+            input_bits: 4,
+        };
+        let q = quantize_weights(&w, &cfg).unwrap();
+        assert!(q.codes.iter().all(|&c| c.abs() <= 7));
+    }
+
+    #[test]
+    fn input_quantisation_is_unsigned() {
+        let x = Tensor::from_vec(vec![0.0, 0.5, 1.0], &[3]).unwrap();
+        let q = quantize_input(&x, &QuantConfig::default()).unwrap();
+        assert_eq!(q.codes[0], 0);
+        assert_eq!(q.codes[2], 255);
+        assert!(q.codes[1] >= 127 && q.codes[1] <= 128);
+    }
+
+    #[test]
+    fn negative_input_rejected() {
+        let x = Tensor::from_vec(vec![-0.1, 0.5], &[2]).unwrap();
+        assert!(quantize_input(&x, &QuantConfig::default()).is_err());
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(QuantConfig {
+            weight_bits: 1,
+            input_bits: 8
+        }
+        .validate()
+        .is_err());
+        assert!(QuantConfig {
+            weight_bits: 8,
+            input_bits: 0
+        }
+        .validate()
+        .is_err());
+        assert!(QuantConfig::default().validate().is_ok());
+        assert_eq!(QuantConfig::default().weight_max(), 127);
+        assert_eq!(QuantConfig::default().input_max(), 255);
+    }
+}

@@ -1,0 +1,490 @@
+//! A single crossbar tile: bit-sliced, differentially encoded weights and
+//! the bit-serial MVM datapath (DAC → analog accumulate → ADC → shift-add).
+
+use crate::adc::Adc;
+use crate::cell::{CellConfig, DeviceModel};
+use crate::quant::QuantConfig;
+use crate::{Result, XbarError};
+use tinyadc_prune::CrossbarShape;
+use tinyadc_tensor::rng::SeededRng;
+
+/// Full crossbar configuration shared by tiles and layer mappings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct XbarConfig {
+    /// Crossbar array shape (paper: 128×128).
+    pub shape: CrossbarShape,
+    /// Cell (MLC) configuration (paper: 2-bit).
+    pub cell: CellConfig,
+    /// Weight/input quantisation widths (paper/ISAAC: 8/8).
+    pub quant: QuantConfig,
+    /// DAC bits per streaming cycle (paper: 1).
+    pub dac_bits: u32,
+}
+
+impl XbarConfig {
+    /// The paper's evaluation configuration: 128×128 arrays, 2-bit MLC,
+    /// 8-bit weights and inputs, 1-bit DACs.
+    pub fn paper_default() -> Self {
+        Self {
+            shape: CrossbarShape::PAPER_128,
+            cell: CellConfig::default(),
+            quant: QuantConfig::default(),
+            dac_bits: 1,
+        }
+    }
+
+    /// Validates all sub-configurations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::InvalidConfig`] for invalid widths or a DAC
+    /// wider than the input.
+    pub fn validate(&self) -> Result<()> {
+        self.cell.validate()?;
+        self.quant.validate()?;
+        if self.dac_bits == 0 || self.dac_bits > self.quant.input_bits {
+            return Err(XbarError::InvalidConfig(format!(
+                "dac_bits {} must be in 1..=input_bits ({})",
+                self.dac_bits, self.quant.input_bits
+            )));
+        }
+        Ok(())
+    }
+
+    /// Streaming cycles per MVM: `⌈input_bits / dac_bits⌉`.
+    pub fn cycles(&self) -> u32 {
+        self.quant.input_bits.div_ceil(self.dac_bits)
+    }
+
+    /// Cells per weight magnitude (`⌈(weight_bits−1) / bits_per_cell⌉`;
+    /// the sign bit is carried by the differential pair).
+    pub fn cells_per_weight(&self) -> usize {
+        self.cell.cells_per_weight(self.quant.weight_bits - 1)
+    }
+
+    /// Physical arrays one logical (weight-matrix) block expands to:
+    /// two differential polarities × the bit slices.
+    pub fn arrays_per_block(&self) -> usize {
+        2 * self.cells_per_weight()
+    }
+}
+
+/// One crossbar tile holding a `rows × cols` block of quantised weights.
+///
+/// Weights are stored as cell levels: `pos` and `neg` polarities, each
+/// with `cells_per_weight` slices laid out `[slice][row * cols + col]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tile {
+    rows: usize,
+    cols: usize,
+    pos: Vec<Vec<u64>>,
+    neg: Vec<Vec<u64>>,
+    config: XbarConfig,
+}
+
+impl Tile {
+    /// Builds a tile from a block of signed weight codes, row-major
+    /// `rows × cols`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::InvalidConfig`] when the block exceeds the
+    /// crossbar shape, a code exceeds the quantised range, or the config
+    /// is invalid.
+    pub fn new(codes: &[i64], rows: usize, cols: usize, config: XbarConfig) -> Result<Self> {
+        config.validate()?;
+        if rows == 0 || cols == 0 || rows > config.shape.rows() || cols > config.shape.cols() {
+            return Err(XbarError::InvalidConfig(format!(
+                "block {rows}x{cols} exceeds crossbar {}",
+                config.shape
+            )));
+        }
+        if codes.len() != rows * cols {
+            return Err(XbarError::InvalidConfig(format!(
+                "expected {} codes, got {}",
+                rows * cols,
+                codes.len()
+            )));
+        }
+        let qmax = config.quant.weight_max();
+        let n_slices = config.cells_per_weight();
+        let mut pos = vec![vec![0u64; rows * cols]; n_slices];
+        let mut neg = vec![vec![0u64; rows * cols]; n_slices];
+        for (i, &code) in codes.iter().enumerate() {
+            if code.abs() > qmax {
+                return Err(XbarError::InvalidConfig(format!(
+                    "weight code {code} exceeds magnitude limit {qmax}"
+                )));
+            }
+            let magnitude = code.unsigned_abs();
+            let slices = config.cell.slice(magnitude, n_slices);
+            let target = if code >= 0 { &mut pos } else { &mut neg };
+            for (s, &level) in slices.iter().enumerate() {
+                target[s][i] = level;
+            }
+        }
+        Ok(Self {
+            rows,
+            cols,
+            pos,
+            neg,
+            config,
+        })
+    }
+
+    /// Block extent in rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Block extent in columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The tile's configuration.
+    pub fn config(&self) -> &XbarConfig {
+        &self.config
+    }
+
+    /// Reconstructs the signed weight codes stored in the tile.
+    pub fn codes(&self) -> Vec<i64> {
+        let mut out = vec![0i64; self.rows * self.cols];
+        for (i, v) in out.iter_mut().enumerate() {
+            let p: u64 = self
+                .config
+                .cell
+                .unslice(&self.pos.iter().map(|s| s[i]).collect::<Vec<_>>());
+            let n: u64 = self
+                .config
+                .cell
+                .unslice(&self.neg.iter().map(|s| s[i]).collect::<Vec<_>>());
+            *v = p as i64 - n as i64;
+        }
+        out
+    }
+
+    /// Worst-case activated rows over all columns: the paper's quantity
+    /// that sizes the ADC. A row is activated for a column when the stored
+    /// weight code there is non-zero.
+    pub fn activated_rows(&self) -> usize {
+        let codes = self.codes();
+        (0..self.cols)
+            .map(|j| (0..self.rows).filter(|&r| codes[r * self.cols + j] != 0).count())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Direct integer reference MVM: `y_j = Σ_r x_r · w_{r,j}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::InputLengthMismatch`] for wrong input length.
+    pub fn matvec_ideal(&self, input: &[u64]) -> Result<Vec<i64>> {
+        self.check_input(input)?;
+        let codes = self.codes();
+        let mut y = vec![0i64; self.cols];
+        for r in 0..self.rows {
+            let x = input[r] as i64;
+            if x == 0 {
+                continue;
+            }
+            for j in 0..self.cols {
+                y[j] += x * codes[r * self.cols + j];
+            }
+        }
+        Ok(y)
+    }
+
+    /// Bit-serial crossbar MVM through the given ADC: inputs stream
+    /// `dac_bits` per cycle, every polarity/slice column is digitised each
+    /// cycle, and the digital results are recombined by shift-and-add.
+    ///
+    /// With an ADC of at least the required resolution the result equals
+    /// [`Tile::matvec_ideal`] exactly; with fewer bits the ADC saturates
+    /// and the result degrades — the paper's core trade-off.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::InputLengthMismatch`] for wrong input length
+    /// or codes exceeding the input range.
+    pub fn matvec(&self, input: &[u64], adc: &Adc) -> Result<Vec<i64>> {
+        self.check_input(input)?;
+        let dac = self.config.dac_bits;
+        let dac_mask = (1u64 << dac) - 1;
+        let cycles = self.config.cycles();
+        let cell_bits = self.config.cell.bits_per_cell;
+        let mut y = vec![0i64; self.cols];
+        for cycle in 0..cycles {
+            let shift_in = cycle * dac;
+            for j in 0..self.cols {
+                for (s, (pos, neg)) in self.pos.iter().zip(&self.neg).enumerate() {
+                    let shift = shift_in + s as u32 * cell_bits;
+                    let mut pos_sum = 0u64;
+                    let mut neg_sum = 0u64;
+                    for r in 0..self.rows {
+                        let bits = (input[r] >> shift_in) & dac_mask;
+                        if bits == 0 {
+                            continue;
+                        }
+                        pos_sum += bits * pos[r * self.cols + j];
+                        neg_sum += bits * neg[r * self.cols + j];
+                    }
+                    let p = adc.sample(pos_sum) as i64;
+                    let n = adc.sample(neg_sum) as i64;
+                    y[j] += (p - n) << shift;
+                }
+            }
+        }
+        Ok(y)
+    }
+
+    /// Analog-domain MVM: cell conductances carry the levels (with the
+    /// device model's process variation), column currents are converted
+    /// back to level units and digitised. With `variation = 0` this equals
+    /// [`Tile::matvec`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::InputLengthMismatch`] for wrong input length.
+    pub fn matvec_analog(
+        &self,
+        input: &[u64],
+        adc: &Adc,
+        device: &DeviceModel,
+        rng: &mut SeededRng,
+    ) -> Result<Vec<i64>> {
+        self.check_input(input)?;
+        let dac = self.config.dac_bits;
+        let dac_mask = (1u64 << dac) - 1;
+        let cycles = self.config.cycles();
+        let cell_bits = self.config.cell.bits_per_cell;
+        let level_max = self.config.cell.level_max() as f64;
+        let unit = (device.g_on - device.g_off) / level_max;
+        // Pre-draw varied conductances per cell (one draw per cell, reused
+        // across cycles — variation is static, not per-read noise).
+        let vary = |levels: &[u64], rng: &mut SeededRng| -> Vec<f64> {
+            levels
+                .iter()
+                .map(|&l| device.conductance_with_variation(l, &self.config.cell, rng))
+                .collect()
+        };
+        let pos_g: Vec<Vec<f64>> = self.pos.iter().map(|s| vary(s, rng)).collect();
+        let neg_g: Vec<Vec<f64>> = self.neg.iter().map(|s| vary(s, rng)).collect();
+
+        let mut y = vec![0i64; self.cols];
+        for cycle in 0..cycles {
+            let shift_in = cycle * dac;
+            for j in 0..self.cols {
+                for s in 0..pos_g.len() {
+                    let shift = shift_in + s as u32 * cell_bits;
+                    let mut pos_i = 0.0f64;
+                    let mut neg_i = 0.0f64;
+                    let mut active = 0u64;
+                    for r in 0..self.rows {
+                        let bits = (input[r] >> shift_in) & dac_mask;
+                        if bits == 0 {
+                            continue;
+                        }
+                        active += bits;
+                        pos_i += bits as f64 * pos_g[s][r * self.cols + j];
+                        neg_i += bits as f64 * neg_g[s][r * self.cols + j];
+                    }
+                    // Remove the g_off pedestal contributed by active rows.
+                    let pedestal = active as f64 * device.g_off;
+                    let p = adc.sample_analog((pos_i - pedestal) / unit) as i64;
+                    let n = adc.sample_analog((neg_i - pedestal) / unit) as i64;
+                    y[j] += (p - n) << shift;
+                }
+            }
+        }
+        Ok(y)
+    }
+
+    /// Total cells in the tile (both polarities, all slices).
+    pub fn cell_count(&self) -> usize {
+        2 * self.pos.len() * self.rows * self.cols
+    }
+
+    /// Mutable access to the raw cell levels, `(polarity, slice, levels)`:
+    /// polarity 0 = positive, 1 = negative. Used by fault injection.
+    pub(crate) fn slices_mut(&mut self) -> (&mut Vec<Vec<u64>>, &mut Vec<Vec<u64>>) {
+        (&mut self.pos, &mut self.neg)
+    }
+
+    fn check_input(&self, input: &[u64]) -> Result<()> {
+        if input.len() != self.rows {
+            return Err(XbarError::InputLengthMismatch {
+                expected: self.rows,
+                actual: input.len(),
+            });
+        }
+        let max = self.config.quant.input_max();
+        if input.iter().any(|&x| x > max) {
+            return Err(XbarError::InvalidConfig(format!(
+                "input code exceeds {max}"
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adc::{required_adc_bits_exact, required_adc_bits_paper};
+
+    fn small_config() -> XbarConfig {
+        XbarConfig {
+            shape: CrossbarShape::new(8, 8).unwrap(),
+            cell: CellConfig::default(),
+            quant: QuantConfig {
+                weight_bits: 5, // magnitude 4 bits -> 2 cells
+                input_bits: 4,
+            },
+            dac_bits: 1,
+        }
+    }
+
+    fn demo_codes() -> Vec<i64> {
+        // 4x3 block with mixed signs and zeros.
+        vec![
+            3, -7, 0, //
+            0, 15, -1, //
+            -15, 0, 8, //
+            2, 4, 0,
+        ]
+    }
+
+    #[test]
+    fn codes_round_trip_through_cells() {
+        let tile = Tile::new(&demo_codes(), 4, 3, small_config()).unwrap();
+        assert_eq!(tile.codes(), demo_codes());
+    }
+
+    #[test]
+    fn activated_rows_counts_nonzeros_per_column() {
+        let tile = Tile::new(&demo_codes(), 4, 3, small_config()).unwrap();
+        // Column nonzeros: col0 = {3,-15,2} = 3, col1 = 3, col2 = 2.
+        assert_eq!(tile.activated_rows(), 3);
+    }
+
+    #[test]
+    fn matvec_with_sufficient_adc_is_exact() {
+        let cfg = small_config();
+        let tile = Tile::new(&demo_codes(), 4, 3, cfg).unwrap();
+        let bits = required_adc_bits_paper(cfg.dac_bits, cfg.cell.bits_per_cell, 4);
+        let adc = Adc::new(bits).unwrap();
+        let input = vec![5u64, 0, 15, 9];
+        assert_eq!(
+            tile.matvec(&input, &adc).unwrap(),
+            tile.matvec_ideal(&input).unwrap()
+        );
+    }
+
+    #[test]
+    fn matvec_with_reduced_adc_is_exact_after_pruning() {
+        // Column-proportionally pruned block: at most 1 nonzero per column.
+        let cfg = small_config();
+        let codes = vec![
+            0, -7, 0, //
+            0, 0, 0, //
+            -15, 0, 8, //
+            0, 0, 0,
+        ];
+        let tile = Tile::new(&codes, 4, 3, cfg).unwrap();
+        assert_eq!(tile.activated_rows(), 1);
+        // 1 activated row, 1-bit DAC, 2-bit cells -> 2 bits suffice.
+        let bits = required_adc_bits_exact(1, 2, 1);
+        assert_eq!(bits, 2);
+        let adc = Adc::new(bits).unwrap();
+        for input in [vec![15u64, 15, 15, 15], vec![1, 2, 3, 4], vec![0, 0, 0, 0]] {
+            assert_eq!(
+                tile.matvec(&input, &adc).unwrap(),
+                tile.matvec_ideal(&input).unwrap(),
+                "input {input:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn undersized_adc_saturates_unpruned_block() {
+        let cfg = small_config();
+        // Dense column of maximal weights and inputs.
+        let codes = vec![15i64; 8];
+        let tile = Tile::new(&codes, 8, 1, cfg).unwrap();
+        let input = vec![15u64; 8];
+        let small = Adc::new(2).unwrap();
+        let exact = tile.matvec_ideal(&input).unwrap();
+        let lossy = tile.matvec(&input, &small).unwrap();
+        assert!(lossy[0] < exact[0], "{lossy:?} vs {exact:?}");
+    }
+
+    #[test]
+    fn multibit_dac_matches_ideal() {
+        let cfg = XbarConfig {
+            dac_bits: 2,
+            ..small_config()
+        };
+        let tile = Tile::new(&demo_codes(), 4, 3, cfg).unwrap();
+        let adc = Adc::new(required_adc_bits_paper(2, 2, 4)).unwrap();
+        let input = vec![11u64, 3, 15, 6];
+        assert_eq!(
+            tile.matvec(&input, &adc).unwrap(),
+            tile.matvec_ideal(&input).unwrap()
+        );
+    }
+
+    #[test]
+    fn analog_mode_without_variation_is_exact() {
+        let cfg = small_config();
+        let tile = Tile::new(&demo_codes(), 4, 3, cfg).unwrap();
+        let adc = Adc::new(required_adc_bits_paper(1, 2, 4)).unwrap();
+        let device = DeviceModel {
+            variation: 0.0,
+            ..DeviceModel::default()
+        };
+        let mut rng = SeededRng::new(1);
+        let input = vec![7u64, 2, 13, 15];
+        assert_eq!(
+            tile.matvec_analog(&input, &adc, &device, &mut rng).unwrap(),
+            tile.matvec_ideal(&input).unwrap()
+        );
+    }
+
+    #[test]
+    fn analog_variation_perturbs_but_tracks() {
+        let cfg = small_config();
+        let tile = Tile::new(&demo_codes(), 4, 3, cfg).unwrap();
+        let adc = Adc::new(required_adc_bits_paper(1, 2, 4)).unwrap();
+        let device = DeviceModel::default(); // 10% variation
+        let mut rng = SeededRng::new(5);
+        let input = vec![15u64, 15, 15, 15];
+        let ideal = tile.matvec_ideal(&input).unwrap();
+        let noisy = tile.matvec_analog(&input, &adc, &device, &mut rng).unwrap();
+        for (a, b) in noisy.iter().zip(&ideal) {
+            let denom = (b.abs() as f64).max(16.0);
+            assert!(
+                ((a - b).abs() as f64) / denom < 0.5,
+                "noisy {a} too far from ideal {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_blocks() {
+        let cfg = small_config();
+        assert!(Tile::new(&[0; 72], 9, 8, cfg).is_err()); // too many rows
+        assert!(Tile::new(&[0; 8], 4, 3, cfg).is_err()); // wrong length
+        assert!(Tile::new(&[99], 1, 1, cfg).is_err()); // code out of range
+        assert!(Tile::new(&[], 0, 1, cfg).is_err());
+    }
+
+    #[test]
+    fn cycles_and_arrays_accounting() {
+        let cfg = XbarConfig::paper_default();
+        assert_eq!(cfg.cycles(), 8);
+        assert_eq!(cfg.cells_per_weight(), 4); // 7 magnitude bits, 2-bit cells
+        assert_eq!(cfg.arrays_per_block(), 8);
+    }
+}

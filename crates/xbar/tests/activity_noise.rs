@@ -1,0 +1,130 @@
+//! Integration tests for the activity accounting and analog-noise models.
+
+use tinyadc_nn::ParamKind;
+use tinyadc_prune::{CpConstraint, CrossbarShape};
+use tinyadc_tensor::rng::SeededRng;
+use tinyadc_tensor::Tensor;
+use tinyadc_xbar::activity::{layer_activity, scaled_activity};
+use tinyadc_xbar::adc::{required_adc_bits_paper, Adc};
+use tinyadc_xbar::mapping::MappedLayer;
+use tinyadc_xbar::noise::{matvec_with_ir_drop, IrDropModel, ReadNoise};
+use tinyadc_xbar::tile::XbarConfig;
+
+fn config(rows: usize, cols: usize) -> XbarConfig {
+    XbarConfig {
+        shape: CrossbarShape::new(rows, cols).expect("valid"),
+        ..XbarConfig::paper_default()
+    }
+}
+
+#[test]
+fn activity_counts_are_independent_of_weight_sparsity() {
+    // The conversion count depends only on geometry — the reason the
+    // paper's energy saving comes from cheaper (not fewer) conversions.
+    let mut rng = SeededRng::new(91);
+    let cfg = config(16, 8);
+    let w = Tensor::randn(&[16, 32], 0.5, &mut rng);
+    let dense = MappedLayer::from_param(&w, ParamKind::LinearWeight, cfg).expect("map");
+    let cp = CpConstraint::new(cfg.shape, 2).expect("constraint");
+    let pruned_w = cp
+        .project_param(&w, ParamKind::LinearWeight)
+        .expect("projection");
+    let pruned = MappedLayer::from_param(&pruned_w, ParamKind::LinearWeight, cfg).expect("map");
+    assert_eq!(layer_activity(&dense), layer_activity(&pruned));
+}
+
+#[test]
+fn activity_scales_linearly_with_mvm_count() {
+    let mut rng = SeededRng::new(92);
+    let cfg = config(8, 8);
+    let w = Tensor::randn(&[8, 8], 0.5, &mut rng);
+    let mapped = MappedLayer::from_param(&w, ParamKind::LinearWeight, cfg).expect("map");
+    let one = layer_activity(&mapped);
+    let many = scaled_activity(one, 256); // e.g. a 16x16 conv output plane
+    assert_eq!(many.adc_conversions, one.adc_conversions * 256);
+    assert_eq!(many.dac_events, one.dac_events * 256);
+}
+
+#[test]
+fn structured_pruning_reduces_activity_via_block_count() {
+    // Unlike CP, removing whole crossbar blocks cuts conversions.
+    let mut rng = SeededRng::new(93);
+    let cfg = config(16, 8);
+    let full = Tensor::randn(&[16, 32], 0.5, &mut rng);
+    let mapped_full = MappedLayer::from_param(&full, ParamKind::LinearWeight, cfg).expect("map");
+    // Repacked survivor after removing 8 of 16 filters.
+    let half = Tensor::randn(&[8, 32], 0.5, &mut rng);
+    let mapped_half = MappedLayer::from_param(&half, ParamKind::LinearWeight, cfg).expect("map");
+    let a_full = layer_activity(&mapped_full);
+    let a_half = layer_activity(&mapped_half);
+    assert!(a_half.adc_conversions < a_full.adc_conversions);
+}
+
+#[test]
+fn ir_drop_and_read_noise_compose() {
+    let mut rng = SeededRng::new(94);
+    let cfg = config(16, 4);
+    let w = Tensor::randn(&[4, 16], 0.5, &mut rng);
+    let mapped = MappedLayer::from_param(&w, ParamKind::LinearWeight, cfg).expect("map");
+    let tile = &mapped.tiles()[0];
+    let adc = Adc::new(required_adc_bits_paper(1, 2, 16)).expect("bits");
+    let input: Vec<u64> = (0..16).map(|i| 100 + i as u64).collect();
+    let ideal = tile.matvec_ideal(&input).expect("ideal");
+
+    // Zero-noise, zero-resistance path is exact.
+    let clean = matvec_with_ir_drop(
+        tile,
+        &input,
+        &adc,
+        &IrDropModel::with_wire_resistance(0.0).expect("model"),
+        None,
+        &mut rng,
+    )
+    .expect("mvm");
+    assert_eq!(clean, ideal);
+
+    // Both non-idealities together still produce finite, bounded outputs.
+    let noisy = matvec_with_ir_drop(
+        tile,
+        &input,
+        &adc,
+        &IrDropModel::with_wire_resistance(10.0).expect("model"),
+        Some(&ReadNoise { sigma_levels: 1.0 }),
+        &mut rng,
+    )
+    .expect("mvm");
+    for (a, b) in noisy.iter().zip(&ideal) {
+        let denom = (b.abs() as f64).max(64.0);
+        assert!(
+            ((a - b).abs() as f64) < denom,
+            "noisy {a} diverged from ideal {b}"
+        );
+    }
+}
+
+#[test]
+fn deeper_quantisation_means_more_cycles_and_conversions() {
+    let mut rng = SeededRng::new(95);
+    let w = Tensor::randn(&[8, 8], 0.5, &mut rng);
+    let narrow = XbarConfig {
+        shape: CrossbarShape::new(8, 8).expect("valid"),
+        quant: tinyadc_xbar::quant::QuantConfig {
+            weight_bits: 8,
+            input_bits: 4,
+        },
+        ..XbarConfig::paper_default()
+    };
+    let wide = XbarConfig {
+        quant: tinyadc_xbar::quant::QuantConfig {
+            weight_bits: 8,
+            input_bits: 8,
+        },
+        ..narrow
+    };
+    let m_narrow = MappedLayer::from_param(&w, ParamKind::LinearWeight, narrow).expect("map");
+    let m_wide = MappedLayer::from_param(&w, ParamKind::LinearWeight, wide).expect("map");
+    let a_narrow = layer_activity(&m_narrow);
+    let a_wide = layer_activity(&m_wide);
+    assert_eq!(a_wide.tile_cycles, a_narrow.tile_cycles * 2);
+    assert_eq!(a_wide.adc_conversions, a_narrow.adc_conversions * 2);
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for the crossbar simulator.
+
+use proptest::prelude::*;
+use tinyadc_nn::ParamKind;
+use tinyadc_prune::CrossbarShape;
+use tinyadc_tensor::rng::SeededRng;
+use tinyadc_tensor::Tensor;
+use tinyadc_xbar::adc::{required_adc_bits_exact, Adc};
+use tinyadc_xbar::cell::CellConfig;
+use tinyadc_xbar::mapping::MappedLayer;
+use tinyadc_xbar::quant::{quantize_weights, QuantConfig};
+use tinyadc_xbar::tile::{Tile, XbarConfig};
+
+fn small_config(rows: usize, cols: usize) -> XbarConfig {
+    XbarConfig {
+        shape: CrossbarShape::new(rows, cols).expect("valid"),
+        quant: QuantConfig {
+            weight_bits: 5,
+            input_bits: 4,
+        },
+        ..XbarConfig::paper_default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn slicing_round_trips_any_magnitude(
+        value in 0u64..1024,
+        bits_per_cell in 1u32..=4,
+    ) {
+        let cfg = CellConfig { bits_per_cell };
+        let n_cells = cfg.cells_per_weight(10);
+        let slices = cfg.slice(value, n_cells);
+        prop_assert!(slices.iter().all(|&s| s <= cfg.level_max()));
+        prop_assert_eq!(cfg.unslice(&slices), value);
+    }
+
+    #[test]
+    fn tile_codes_round_trip(
+        rows in 1usize..8,
+        cols in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let cfg = small_config(8, 8);
+        let qmax = cfg.quant.weight_max();
+        let mut rng = SeededRng::new(seed);
+        let codes: Vec<i64> = (0..rows * cols)
+            .map(|_| (rng.sample_index((2 * qmax as usize) + 1) as i64) - qmax)
+            .collect();
+        let tile = Tile::new(&codes, rows, cols, cfg).unwrap();
+        prop_assert_eq!(tile.codes(), codes);
+    }
+
+    #[test]
+    fn exact_adc_is_always_sufficient(
+        rows in 1usize..8,
+        cols in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        // An ADC sized by the exact bound is lossless for ANY tile whose
+        // activated rows match, for any valid input.
+        let cfg = small_config(8, 8);
+        let qmax = cfg.quant.weight_max();
+        let mut rng = SeededRng::new(seed);
+        let codes: Vec<i64> = (0..rows * cols)
+            .map(|_| (rng.sample_index((2 * qmax as usize) + 1) as i64) - qmax)
+            .collect();
+        let tile = Tile::new(&codes, rows, cols, cfg).unwrap();
+        let active = tile.activated_rows().max(1);
+        let bits = required_adc_bits_exact(cfg.dac_bits, cfg.cell.bits_per_cell, active);
+        let adc = Adc::new(bits).unwrap();
+        let input: Vec<u64> = (0..rows)
+            .map(|_| rng.sample_index(16) as u64)
+            .collect();
+        prop_assert_eq!(
+            tile.matvec(&input, &adc).unwrap(),
+            tile.matvec_ideal(&input).unwrap()
+        );
+    }
+
+    #[test]
+    fn mapping_preserves_quantised_values(
+        f in 1usize..10,
+        c in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let cfg = small_config(8, 4);
+        let mut rng = SeededRng::new(seed);
+        let w = Tensor::randn(&[f, c, 3, 3], 1.0, &mut rng);
+        let mapped = MappedLayer::from_param(&w, ParamKind::ConvWeight, cfg).unwrap();
+        let back = mapped.unmap().unwrap();
+        // unmap == quantise->dequantise of the original (via matrix layout).
+        let matrix = tinyadc_prune::layout::to_matrix(&w, ParamKind::ConvWeight).unwrap();
+        let q = quantize_weights(&matrix, &cfg.quant).unwrap();
+        let expect_matrix = q.dequantize().unwrap();
+        let back_matrix = tinyadc_prune::layout::to_matrix(&back, ParamKind::ConvWeight).unwrap();
+        for (a, b) in back_matrix.as_slice().iter().zip(expect_matrix.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn layer_mvm_linearity(
+        inp in 1usize..20,
+        out in 1usize..10,
+        seed in any::<u64>(),
+    ) {
+        // ideal MVM is linear: M(a) + M(b) == M(a + b) when a + b stays
+        // within the input range.
+        let cfg = small_config(8, 8);
+        let mut rng = SeededRng::new(seed);
+        let w = Tensor::randn(&[out, inp], 1.0, &mut rng);
+        let mapped = MappedLayer::from_param(&w, ParamKind::LinearWeight, cfg).unwrap();
+        let a: Vec<u64> = (0..inp).map(|_| rng.sample_index(8) as u64).collect();
+        let b: Vec<u64> = (0..inp).map(|_| rng.sample_index(7) as u64).collect();
+        let sum: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+        let ya = mapped.matvec_codes_ideal(&a).unwrap();
+        let yb = mapped.matvec_codes_ideal(&b).unwrap();
+        let ysum = mapped.matvec_codes_ideal(&sum).unwrap();
+        for ((x, y), z) in ya.iter().zip(&yb).zip(&ysum) {
+            prop_assert_eq!(x + y, *z);
+        }
+    }
+}

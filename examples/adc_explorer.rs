@@ -1,0 +1,85 @@
+//! ADC explorer: the lossless-reduction mechanism on one crossbar tile.
+//!
+//! Demonstrates, with exact integer arithmetic, the paper's central claim:
+//! after column proportional pruning a *smaller* ADC digitises the
+//! crossbar MVM with **zero** error, while the same small ADC corrupts the
+//! dense layer. Also sweeps the ADC cost model to show what each saved bit
+//! is worth.
+//!
+//! ```text
+//! cargo run --release --example adc_explorer
+//! ```
+
+use tinyadc_hw::adc::SarAdcModel;
+use tinyadc_nn::ParamKind;
+use tinyadc_prune::{CpConstraint, CrossbarShape};
+use tinyadc_tensor::rng::SeededRng;
+use tinyadc_tensor::Tensor;
+use tinyadc_xbar::adc::{required_adc_bits_paper, Adc};
+use tinyadc_xbar::mapping::MappedLayer;
+use tinyadc_xbar::tile::XbarConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = SeededRng::new(7);
+    let config = XbarConfig {
+        shape: CrossbarShape::new(128, 128)?,
+        ..XbarConfig::paper_default()
+    };
+
+    // A conv layer worth of weights: [128 filters, 32 ch, 3x3].
+    let weights = Tensor::randn(&[128, 32, 3, 3], 0.5, &mut rng);
+    let dense = MappedLayer::from_param(&weights, ParamKind::ConvWeight, config)?;
+
+    println!("dense layer:   activated rows = {:>3}  -> ADC {} bits (Eq. 1)",
+        dense.activated_rows(), dense.required_adc_bits());
+
+    let input: Vec<u64> = (0..288).map(|i| (i * 37 % 256) as u64).collect();
+    let ideal = dense.matvec_codes_ideal(&input)?;
+
+    println!("\n{:<12} {:>9} {:>12} {:>14} {:>12}", "design", "ADC bits", "exact?", "max |error|", "ADC power");
+    let adc_model = SarAdcModel::default();
+    for rate in [1usize, 2, 4, 8, 16, 32, 64] {
+        let (mapped, label) = if rate == 1 {
+            (dense.clone(), "dense".to_owned())
+        } else {
+            let cp = CpConstraint::from_rate(config.shape, rate)?;
+            let pruned = cp.project_param(&weights, ParamKind::ConvWeight)?;
+            (
+                MappedLayer::from_param(&pruned, ParamKind::ConvWeight, config)?,
+                format!("CP {rate}x"),
+            )
+        };
+        let bits = required_adc_bits_paper(1, 2, (128 / rate).max(1));
+        let adc = Adc::new(bits)?;
+        let out = mapped.matvec_codes(&input, &adc)?;
+        let reference = mapped.matvec_codes_ideal(&input)?;
+        let max_err = out
+            .iter()
+            .zip(&reference)
+            .map(|(a, b)| (a - b).abs())
+            .max()
+            .unwrap_or(0);
+        println!(
+            "{label:<12} {bits:>9} {:>12} {max_err:>14} {:>9.3} mW",
+            if max_err == 0 { "yes" } else { "NO" },
+            adc_model.power_mw(bits)
+        );
+        let _ = ideal;
+    }
+
+    // Show the failure case: the dense layer through a 4-bit ADC.
+    let small = Adc::new(4)?;
+    let corrupted = dense.matvec_codes(&input, &small)?;
+    let max_err = corrupted
+        .iter()
+        .zip(&ideal)
+        .map(|(a, b)| (a - b).abs())
+        .max()
+        .unwrap_or(0);
+    println!(
+        "\ncounter-example: dense layer through a 4-bit ADC -> max |error| = {max_err} \
+         (saturation), while every CP-pruned design above is bit-exact at its reduced \
+         resolution."
+    );
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! Visualises the three pruning granularities on one weight matrix —
+//! the paper's Figs. 1–2 in ASCII: non-structured zeros land anywhere,
+//! structured pruning removes whole rows/columns, column proportional
+//! pruning fixes the per-block-column count while leaving positions free.
+//!
+//! ```text
+//! cargo run --release --example pruning_patterns
+//! ```
+
+use tinyadc_nn::layers::{Linear, Sequential};
+use tinyadc_nn::{Network, ParamKind};
+use tinyadc_prune::baselines::magnitude_prune;
+use tinyadc_prune::pattern::{column_occupancy_histogram, render_matrix};
+use tinyadc_prune::structured::{apply_structured, StructuredConfig};
+use tinyadc_prune::{layout, CpConstraint, CrossbarShape};
+use tinyadc_tensor::rng::SeededRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let xbar = CrossbarShape::new(8, 8)?;
+    let mut rng = SeededRng::new(5);
+    // A 16x16 linear weight = 2x2 grid of 8x8 crossbar blocks.
+    let make_net = |rng: &mut SeededRng| {
+        let stack = Sequential::new("n").with(Linear::new("fc", 16, 16, false, rng));
+        Network::new("n", stack, vec![16], 16)
+    };
+
+    // Dense reference.
+    let mut dense = make_net(&mut rng);
+    let matrix_of = |net: &mut Network| {
+        let mut m = None;
+        net.visit_params(&mut |p| {
+            if p.kind == ParamKind::LinearWeight {
+                m = Some(layout::to_matrix(&p.value, p.kind).unwrap());
+            }
+        });
+        m.expect("weight present")
+    };
+
+    // 1. Non-structured magnitude pruning at 4x.
+    let mut mag_net = make_net(&mut SeededRng::new(5));
+    magnitude_prune(&mut mag_net, 4.0, &[])?;
+
+    // 2. Column proportional at 4x (l = 2 per 8-row block column).
+    let cp = CpConstraint::from_rate(xbar, 4)?;
+    let cp_matrix = cp.project(&matrix_of(&mut dense))?;
+
+    // 3. Crossbar-aware structured: remove half the filters (8 of 16).
+    let mut sp_net = make_net(&mut SeededRng::new(5));
+    apply_structured(
+        &mut sp_net,
+        &StructuredConfig::filters_only(xbar, 0.5, vec![]),
+    )?;
+
+    println!("non-structured 4x (zeros anywhere -> no ADC or crossbar savings):\n");
+    println!("{}", render_matrix(&matrix_of(&mut mag_net), xbar)?);
+    println!("column proportional 4x (== 2 non-zeros per block column -> 2 fewer ADC bits):\n");
+    println!("{}", render_matrix(&cp_matrix, xbar)?);
+    let hist = column_occupancy_histogram(&cp_matrix, xbar)?;
+    println!("block-column occupancy histogram: {hist:?}\n");
+    println!("structured 50% filters (whole columns -> half the crossbars):\n");
+    println!("{}", render_matrix(&matrix_of(&mut sp_net), xbar)?);
+    Ok(())
+}

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Regenerates every table, figure and ablation of the TinyADC reproduction
+# into results/, in the order of the paper's evaluation.
+#
+# Usage:
+#   scripts/regenerate.sh            # quick profile (~1 h total on 2 cores)
+#   TINYADC_PROFILE=full scripts/regenerate.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mkdir -p results
+cargo build --release --workspace --bins
+
+run() {
+    local bin="$1"
+    echo "== $bin =="
+    "./target/release/$bin" | tee "results/$bin.txt"
+}
+
+# Paper artifacts.
+run table1
+run fig4
+run table2
+run fig5
+run table3
+run fault_tolerance
+
+# Ablations (E1-E9).
+run adc_sweep
+run ablation_schemes
+run energy_ablation
+run sensitivity_rates
+run dac_ablation
+run ir_drop
+run xbar_size
+run variation
+
+# E6 lives in an example.
+echo "== design_space =="
+./target/release/examples/design_space | tee results/design_space.txt || \
+    cargo run --release --example design_space | tee results/design_space.txt
+
+echo "All artifacts regenerated under results/."

@@ -1,0 +1,10 @@
+//! Root crate for the TinyADC reproduction workspace: hosts the runnable
+//! examples under `examples/` and the cross-crate integration tests under
+//! `tests/`. Re-exports the member crates for convenience.
+
+pub use tinyadc;
+pub use tinyadc_hw;
+pub use tinyadc_nn;
+pub use tinyadc_prune;
+pub use tinyadc_tensor;
+pub use tinyadc_xbar;

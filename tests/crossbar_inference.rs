@@ -1,0 +1,154 @@
+//! End-to-end validation of the bit-serial crossbar inference path
+//! (`tinyadc_xbar::infer`) against the float network on a *trained* model:
+//! the simulated accelerator must classify (nearly) identically.
+
+use tinyadc_nn::data::{DatasetTier, SyntheticImageDataset};
+use tinyadc_nn::layers::{Conv2d, GlobalAvgPool, Linear, Relu, Sequential};
+use tinyadc_nn::loss::softmax_cross_entropy;
+use tinyadc_nn::optim::Sgd;
+use tinyadc_nn::{Network, Param, ParamKind};
+use tinyadc_prune::{CpConstraint, CrossbarShape};
+use tinyadc_tensor::rng::SeededRng;
+use tinyadc_tensor::Tensor;
+use tinyadc_xbar::adc::Adc;
+use tinyadc_xbar::infer;
+use tinyadc_xbar::mapping::MappedLayer;
+use tinyadc_xbar::tile::XbarConfig;
+
+fn xbar_config() -> XbarConfig {
+    XbarConfig {
+        shape: CrossbarShape::new(32, 16).expect("valid"),
+        ..XbarConfig::paper_default()
+    }
+}
+
+/// A small conv→relu→gap→linear network trained on tier-1 data.
+fn train_small_cnn(
+    rng: &mut SeededRng,
+) -> (Network, SyntheticImageDataset) {
+    let data =
+        SyntheticImageDataset::generate(DatasetTier::Tier1Cifar10Like, 200, 40, rng)
+            .expect("dataset");
+    let stack = Sequential::new("cnn")
+        .with(Conv2d::new("conv", 3, 12, 3, 1, 1, false, rng))
+        .with(Relu::new("relu"))
+        .with(GlobalAvgPool::new("gap"))
+        .with(Linear::new("head", 12, data.num_classes(), false, rng));
+    let mut net = Network::new("cnn", stack, data.input_dims(), data.num_classes());
+    let mut sgd = Sgd::new(0.1).with_momentum(0.9);
+    for _epoch in 0..6 {
+        let order = rng.permutation(data.train_len());
+        for chunk in order.chunks(20) {
+            let (x, labels) = data.train_batch(chunk).expect("batch");
+            let logits = net.forward(&x, true).expect("forward");
+            let (_, grad) = softmax_cross_entropy(&logits, &labels).expect("loss");
+            net.zero_grads();
+            net.backward(&grad).expect("backward");
+            sgd.step(&mut net).expect("step");
+        }
+    }
+    (net, data)
+}
+
+/// Extracts the conv and head weights from the trained network.
+fn weights_of(net: &mut Network) -> (Tensor, Tensor) {
+    let mut conv = None;
+    let mut head = None;
+    net.visit_params(&mut |p: &mut Param| match (p.kind, p.name.as_str()) {
+        (ParamKind::ConvWeight, "conv.weight") => conv = Some(p.value.clone()),
+        (ParamKind::LinearWeight, "head.weight") => head = Some(p.value.clone()),
+        _ => {}
+    });
+    (conv.expect("conv present"), head.expect("head present"))
+}
+
+/// Runs the crossbar datapath on one (non-negative) sample.
+fn crossbar_logits(
+    conv_mapped: &MappedLayer,
+    head_mapped: &MappedLayer,
+    sample: &Tensor,
+) -> Tensor {
+    let adc_c = Adc::new(conv_mapped.required_adc_bits()).expect("bits");
+    let adc_l = Adc::new(head_mapped.required_adc_bits()).expect("bits");
+    let h = infer::relu(&infer::conv2d(conv_mapped, sample, 1, 1, &adc_c).expect("conv"));
+    let pooled = infer::global_avg_pool(&h).expect("gap");
+    infer::linear(head_mapped, &pooled, &adc_l).expect("linear")
+}
+
+#[test]
+fn simulated_accelerator_classifies_like_the_float_network() {
+    let mut rng = SeededRng::new(61);
+    let (mut net, data) = train_small_cnn(&mut rng);
+    let (conv_w, head_w) = weights_of(&mut net);
+    let cfg = xbar_config();
+    let conv_mapped =
+        MappedLayer::from_param(&conv_w, ParamKind::ConvWeight, cfg).expect("map conv");
+    let head_mapped =
+        MappedLayer::from_param(&head_w, ParamKind::LinearWeight, cfg).expect("map head");
+
+    let n = 20.min(data.test_len());
+    let (batch, _labels) = data.test_batch(&(0..n).collect::<Vec<_>>()).expect("batch");
+    // The crossbar front end consumes non-negative inputs: shift each
+    // sample to min zero (a constant per-sample offset the first conv's
+    // bias absorbs in a real deployment; our conv has no bias, so apply
+    // the same shifted input to BOTH paths for a like-for-like check).
+    let vol: usize = data.input_dims().iter().product();
+    let mut agree = 0usize;
+    for i in 0..n {
+        let sample =
+            Tensor::from_vec(batch.as_slice()[i * vol..(i + 1) * vol].to_vec(), &data.input_dims())
+                .expect("sample");
+        let shifted = sample.add_scalar(-sample.min());
+
+        let sim = crossbar_logits(&conv_mapped, &head_mapped, &shifted);
+
+        let float_in = shifted
+            .reshape(&[1, 3, 16, 16])
+            .expect("batch of one");
+        let float_logits = net.forward(&float_in, false).expect("forward");
+        let sim_arg = sim.argmax().expect("argmax");
+        let float_arg = float_logits
+            .reshape(&[data.num_classes()])
+            .expect("flatten")
+            .argmax()
+            .expect("argmax");
+        if sim_arg == float_arg {
+            agree += 1;
+        }
+    }
+    assert!(
+        agree * 10 >= n * 9,
+        "simulated and float classifications agree on {agree}/{n} samples"
+    );
+}
+
+#[test]
+fn cp_pruned_model_is_classified_identically_by_the_smaller_adc() {
+    // Prune the trained conv layer, then run the datapath once with the
+    // full-resolution ADC and once with the Eq.1-reduced ADC: outputs must
+    // be bit-identical (the losslessness claim at network level).
+    let mut rng = SeededRng::new(62);
+    let (mut net, data) = train_small_cnn(&mut rng);
+    let (conv_w, _) = weights_of(&mut net);
+    let cfg = xbar_config();
+    let cp = CpConstraint::new(cfg.shape, 2).expect("constraint");
+    let pruned = cp
+        .project_param(&conv_w, ParamKind::ConvWeight)
+        .expect("projection");
+    let mapped = MappedLayer::from_param(&pruned, ParamKind::ConvWeight, cfg).expect("map");
+    assert!(mapped.required_adc_bits() < 8);
+
+    let (batch, _) = data.test_batch(&[0, 1, 2]).expect("batch");
+    let vol: usize = data.input_dims().iter().product();
+    for i in 0..3 {
+        let sample =
+            Tensor::from_vec(batch.as_slice()[i * vol..(i + 1) * vol].to_vec(), &data.input_dims())
+                .expect("sample");
+        let shifted = sample.add_scalar(-sample.min());
+        let small = Adc::new(mapped.required_adc_bits()).expect("bits");
+        let big = Adc::new(12).expect("bits");
+        let y_small = infer::conv2d(&mapped, &shifted, 1, 1, &small).expect("conv");
+        let y_big = infer::conv2d(&mapped, &shifted, 1, 1, &big).expect("conv");
+        assert_eq!(y_small, y_big, "sample {i}");
+    }
+}

@@ -1,0 +1,102 @@
+//! Integration test of the §IV-E mechanism: CP-pruned models tolerate
+//! SA0 faults better than densely-stored ones, because their zeros are
+//! intentional.
+
+use tinyadc_nn::layers::{Conv2d, GlobalAvgPool, Linear, Relu, Sequential};
+use tinyadc_nn::{Network, ParamKind};
+use tinyadc_prune::{CpConstraint, CrossbarShape};
+use tinyadc_tensor::rng::SeededRng;
+use tinyadc_tensor::Tensor;
+use tinyadc_xbar::engine::apply_crossbar_effects;
+use tinyadc_xbar::fault::{inject_faults, FaultModel};
+use tinyadc_xbar::mapping::MappedLayer;
+use tinyadc_xbar::tile::XbarConfig;
+
+fn cfg() -> XbarConfig {
+    XbarConfig {
+        shape: CrossbarShape::new(16, 8).expect("valid"),
+        ..XbarConfig::paper_default()
+    }
+}
+
+#[test]
+fn sa0_perturbation_is_smaller_on_cp_pruned_weights() {
+    let mut rng = SeededRng::new(31);
+    let w = Tensor::randn(&[64, 64], 0.5, &mut rng);
+    let cp = CpConstraint::new(cfg().shape, 2).expect("valid");
+    let pruned = cp
+        .project_param(&w, ParamKind::LinearWeight)
+        .expect("projection");
+
+    let relative_damage = |weights: &Tensor, rng: &mut SeededRng| -> f64 {
+        let mut mapped =
+            MappedLayer::from_param(weights, ParamKind::LinearWeight, cfg()).expect("maps");
+        let clean = mapped.unmap().expect("unmaps");
+        let model = FaultModel::new(0.10, 0.0).expect("valid");
+        inject_faults(&mut mapped, &model, rng);
+        let faulted = mapped.unmap().expect("unmaps");
+        let diff = clean.sub(&faulted).expect("same shape").frobenius_norm() as f64;
+        diff / clean.frobenius_norm().max(1e-9) as f64
+    };
+
+    // Average over several seeds for stability.
+    let (mut dense_damage, mut cp_damage) = (0.0, 0.0);
+    for s in 0..5 {
+        let mut r1 = SeededRng::new(100 + s);
+        let mut r2 = SeededRng::new(100 + s);
+        dense_damage += relative_damage(&w, &mut r1);
+        cp_damage += relative_damage(&pruned, &mut r2);
+    }
+    assert!(
+        cp_damage < dense_damage,
+        "CP relative damage {cp_damage} must be below dense {dense_damage}"
+    );
+}
+
+#[test]
+fn network_level_fault_injection_is_reproducible_and_bounded() {
+    let mut rng = SeededRng::new(32);
+    let stack = Sequential::new("n")
+        .with(Conv2d::new("conv", 3, 8, 3, 1, 1, false, &mut rng))
+        .with(Relu::new("relu"))
+        .with(GlobalAvgPool::new("gap"))
+        .with(Linear::new("fc", 8, 4, true, &mut rng));
+    let mut net = Network::new("n", stack, vec![3, 8, 8], 4);
+
+    let model = FaultModel::from_overall_rate(0.15).expect("valid");
+    let mut fault_rng = SeededRng::new(7);
+    let effects =
+        apply_crossbar_effects(&mut net, cfg(), Some(&model), &[], &mut fault_rng).expect("runs");
+
+    let observed = effects.faults.total_faults() as f64 / effects.faults.cells as f64;
+    assert!((observed - 0.15).abs() < 0.03, "observed rate {observed}");
+    // SA0-dominant split.
+    assert!(effects.faults.sa0 > effects.faults.sa1);
+    // The network still produces finite outputs.
+    let x = Tensor::randn(&[2, 3, 8, 8], 1.0, &mut rng);
+    let y = net.forward(&x, false).expect("forward");
+    assert!(y.as_slice().iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn fault_free_effects_preserve_zero_pattern() {
+    // Crossbar quantisation must keep intentional zeros exactly zero —
+    // otherwise CP constraints would silently erode.
+    let mut rng = SeededRng::new(33);
+    let stack =
+        Sequential::new("n").with(Linear::new("fc", 32, 16, false, &mut rng));
+    let mut net = Network::new("n", stack, vec![32], 16);
+    let cp = CpConstraint::new(cfg().shape, 2).expect("valid");
+    net.visit_params(&mut |p| {
+        p.value = cp.project_param(&p.value, p.kind).expect("projection");
+    });
+    let before_zeros: usize = {
+        let mut z = 0;
+        net.visit_params(&mut |p| z += p.value.len() - p.value.count_nonzero());
+        z
+    };
+    apply_crossbar_effects(&mut net, cfg(), None, &[], &mut rng).expect("runs");
+    let mut after_zeros = 0;
+    net.visit_params(&mut |p| after_zeros += p.value.len() - p.value.count_nonzero());
+    assert!(after_zeros >= before_zeros);
+}

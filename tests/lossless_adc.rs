@@ -1,0 +1,111 @@
+//! Cross-crate integration test of the paper's central claim: after
+//! column proportional pruning, the *reduced-resolution* ADC digitises the
+//! crossbar computation with zero error, across layer shapes, crossbar
+//! shapes, pruning rates and inputs.
+
+use tinyadc_nn::ParamKind;
+use tinyadc_prune::{CpConstraint, CrossbarShape};
+use tinyadc_tensor::rng::SeededRng;
+use tinyadc_tensor::Tensor;
+use tinyadc_xbar::adc::{required_adc_bits_paper, Adc};
+use tinyadc_xbar::mapping::MappedLayer;
+use tinyadc_xbar::quant::QuantConfig;
+use tinyadc_xbar::tile::XbarConfig;
+
+fn config(rows: usize, cols: usize) -> XbarConfig {
+    XbarConfig {
+        shape: CrossbarShape::new(rows, cols).expect("valid shape"),
+        ..XbarConfig::paper_default()
+    }
+}
+
+#[test]
+fn cp_pruning_is_lossless_at_reduced_resolution_across_shapes() {
+    let mut rng = SeededRng::new(77);
+    // (param dims, kind, crossbar rows/cols, l)
+    let cases: Vec<(Vec<usize>, ParamKind, usize, usize, usize)> = vec![
+        (vec![16, 4, 3, 3], ParamKind::ConvWeight, 16, 16, 2),
+        (vec![10, 3, 3, 3], ParamKind::ConvWeight, 8, 4, 1),
+        (vec![24, 50], ParamKind::LinearWeight, 32, 8, 4),
+        (vec![7, 129], ParamKind::LinearWeight, 64, 16, 2),
+        (vec![128, 8, 3, 3], ParamKind::ConvWeight, 128, 128, 4),
+    ];
+    for (dims, kind, rows, cols, l) in cases {
+        let cfg = config(rows, cols);
+        let cp = CpConstraint::new(cfg.shape, l).expect("valid constraint");
+        let w = Tensor::randn(&dims, 0.5, &mut rng);
+        let pruned = cp.project_param(&w, kind).expect("projection");
+        let mapped = MappedLayer::from_param(&pruned, kind, cfg).expect("mapping");
+        assert!(mapped.activated_rows() <= l, "dims {dims:?}");
+
+        let bits = required_adc_bits_paper(cfg.dac_bits, cfg.cell.bits_per_cell, l);
+        let adc = Adc::new(bits).expect("valid bits");
+        let (matrix_rows, _) = mapped.matrix_dims();
+        for trial in 0..3 {
+            let input: Vec<u64> = (0..matrix_rows)
+                .map(|i| (i as u64 * 31 + trial * 97) % 256)
+                .collect();
+            assert_eq!(
+                mapped.matvec_codes(&input, &adc).expect("mvm"),
+                mapped.matvec_codes_ideal(&input).expect("mvm"),
+                "dims {dims:?} trial {trial}"
+            );
+        }
+    }
+}
+
+#[test]
+fn dense_layer_corrupts_at_the_same_reduced_resolution() {
+    let mut rng = SeededRng::new(78);
+    let cfg = config(32, 8);
+    let w = Tensor::randn(&[16, 32], 0.8, &mut rng);
+    let mapped = MappedLayer::from_param(&w, ParamKind::LinearWeight, cfg).expect("mapping");
+    // The ADC sized for l = 2 active rows.
+    let small = Adc::new(required_adc_bits_paper(1, 2, 2)).expect("valid bits");
+    let input: Vec<u64> = vec![255; 32];
+    let lossy = mapped.matvec_codes(&input, &small).expect("mvm");
+    let exact = mapped.matvec_codes_ideal(&input).expect("mvm");
+    assert_ne!(lossy, exact, "a dense layer must saturate the small ADC");
+}
+
+#[test]
+fn adc_reduction_matches_paper_table1_arithmetic() {
+    // On the paper's 128x128 crossbars: rate -> bits reduction.
+    let base = required_adc_bits_paper(1, 2, 128);
+    assert_eq!(base, 9);
+    let expected = [(2usize, 1u32), (4, 2), (8, 3), (16, 4), (32, 5), (64, 6)];
+    for (rate, reduction) in expected {
+        let bits = required_adc_bits_paper(1, 2, 128 / rate);
+        assert_eq!(base - bits, reduction, "rate {rate}x");
+    }
+}
+
+#[test]
+fn quantisation_widths_compose_with_pruning() {
+    // Lossless reduction holds for other weight/input widths too.
+    let mut rng = SeededRng::new(79);
+    for (wb, ib) in [(4u32, 4u32), (6, 8), (8, 6)] {
+        let cfg = XbarConfig {
+            shape: CrossbarShape::new(16, 8).expect("valid"),
+            quant: QuantConfig {
+                weight_bits: wb,
+                input_bits: ib,
+            },
+            ..XbarConfig::paper_default()
+        };
+        let cp = CpConstraint::new(cfg.shape, 2).expect("valid");
+        let w = Tensor::randn(&[8, 32], 0.5, &mut rng);
+        let pruned = cp
+            .project_param(&w, ParamKind::LinearWeight)
+            .expect("projection");
+        let mapped =
+            MappedLayer::from_param(&pruned, ParamKind::LinearWeight, cfg).expect("mapping");
+        let adc = Adc::new(mapped.required_adc_bits()).expect("valid");
+        let input: Vec<u64> = (0..32).map(|i| (i as u64 * 7) % (1 << ib)).collect();
+        assert_eq!(
+            mapped.matvec_codes(&input, &adc).expect("mvm"),
+            mapped.matvec_codes_ideal(&input).expect("mvm"),
+            "weight_bits {wb} input_bits {ib}"
+        );
+    }
+}

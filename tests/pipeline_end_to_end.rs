@@ -1,0 +1,104 @@
+//! End-to-end integration tests: the full TinyADC pipeline across crates,
+//! checking that the paper's qualitative claims hold on small instances.
+
+use tinyadc::config::ModelKind;
+use tinyadc::{Pipeline, PipelineConfig};
+use tinyadc_nn::data::{DatasetTier, SyntheticImageDataset};
+use tinyadc_prune::max_block_column_nonzeros;
+use tinyadc_prune::layout;
+use tinyadc_tensor::rng::SeededRng;
+
+fn quick_data(rng: &mut SeededRng) -> SyntheticImageDataset {
+    SyntheticImageDataset::generate(DatasetTier::Tier1Cifar10Like, 120, 60, rng)
+        .expect("dataset generates")
+}
+
+#[test]
+fn cp_pipeline_produces_feasible_weights() {
+    let mut rng = SeededRng::new(21);
+    let data = quick_data(&mut rng);
+    let config = PipelineConfig::quick_test();
+    let xbar = config.xbar.shape;
+    let pipeline = Pipeline::new(config);
+    let trained = pipeline.pretrain(&data, &mut rng).expect("pretrains");
+    let (report, mut net) = pipeline
+        .run_cp_with_network(&data, &trained, 4, &mut rng)
+        .expect("runs");
+    // Every non-skipped prunable layer satisfies the CP constraint with
+    // l = rows/4 after the full pipeline (ADMM + retrain + masks).
+    let skip = pipeline.skip_list(&mut net);
+    let l = xbar.rows() / 4;
+    net.visit_params(&mut |p| {
+        if p.kind.is_prunable() && !skip.contains(&p.name) {
+            let m = layout::to_matrix(&p.value, p.kind).expect("layout");
+            let worst = max_block_column_nonzeros(&m, xbar).expect("audit");
+            assert!(worst <= l, "{}: {worst} > {l}", p.name);
+        }
+    });
+    assert_eq!(report.adc_bits_reduction, 2);
+}
+
+#[test]
+fn combined_beats_cp_only_on_hardware_cost() {
+    let mut rng = SeededRng::new(22);
+    let data = quick_data(&mut rng);
+    let pipeline = Pipeline::new(PipelineConfig::quick_test());
+    let trained = pipeline.pretrain(&data, &mut rng).expect("pretrains");
+    let cp_only = pipeline
+        .run_cp_from(&data, &trained, 2, &mut rng)
+        .expect("cp runs");
+    let combined = pipeline
+        .run_combined_from(&data, &trained, 2, 0.5, 0.0, &mut rng)
+        .expect("combined runs");
+    // Same CP rate; the structured stage must strictly reduce cost.
+    assert!(combined.normalized_power < cp_only.normalized_power);
+    assert!(combined.normalized_area < cp_only.normalized_area);
+    assert!(combined.overall_pruning_rate > cp_only.overall_pruning_rate);
+}
+
+#[test]
+fn all_three_models_run_the_pipeline() {
+    for model in [ModelKind::ResNetS, ModelKind::ResNetM, ModelKind::VggS] {
+        let mut rng = SeededRng::new(23);
+        let data = quick_data(&mut rng);
+        let mut config = PipelineConfig::quick_test();
+        config.model = model;
+        let pipeline = Pipeline::new(config);
+        let report = pipeline.run_cp(&data, 2, &mut rng).expect("runs");
+        assert_eq!(report.model, model.paper_name());
+        assert!(report.adc_bits_reduction >= 1, "{model}");
+    }
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let run = || {
+        let mut rng = SeededRng::new(24);
+        let data = quick_data(&mut rng);
+        let pipeline = Pipeline::new(PipelineConfig::quick_test());
+        let report = pipeline.run_cp(&data, 4, &mut rng).expect("runs");
+        (
+            report.final_accuracy,
+            report.overall_pruning_rate,
+            report.normalized_power,
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn deeper_cp_rates_cost_less_hardware() {
+    let mut rng = SeededRng::new(25);
+    let data = quick_data(&mut rng);
+    let pipeline = Pipeline::new(PipelineConfig::quick_test());
+    let trained = pipeline.pretrain(&data, &mut rng).expect("pretrains");
+    let r2 = pipeline
+        .run_cp_from(&data, &trained, 2, &mut rng)
+        .expect("runs");
+    let r8 = pipeline
+        .run_cp_from(&data, &trained, 8, &mut rng)
+        .expect("runs");
+    assert!(r8.adc_bits_reduction > r2.adc_bits_reduction);
+    assert!(r8.normalized_power < r2.normalized_power);
+    assert!(r8.normalized_area < r2.normalized_area);
+}

@@ -1,0 +1,79 @@
+//! Persistence integration: a pruned model saved to disk and reloaded
+//! must audit identically (same ADC requirements, same sparsity) and
+//! evaluate identically — the workflow the `tinyadc` CLI builds on.
+
+use tinyadc::{NetworkAudit, Pipeline, PipelineConfig};
+use tinyadc_nn::data::{DatasetTier, SyntheticImageDataset};
+use tinyadc_nn::serialize::{load_network, save_network};
+use tinyadc_nn::train::evaluate_top_k;
+use tinyadc_tensor::rng::SeededRng;
+
+#[test]
+fn pruned_model_round_trips_through_disk() {
+    let mut rng = SeededRng::new(71);
+    let data = SyntheticImageDataset::generate(DatasetTier::Tier1Cifar10Like, 120, 60, &mut rng)
+        .expect("dataset");
+    let pipeline = Pipeline::new(PipelineConfig::quick_test());
+    let trained = pipeline.pretrain(&data, &mut rng).expect("pretrain");
+    let (report, mut net) = pipeline
+        .run_cp_with_network(&data, &trained, 4, &mut rng)
+        .expect("prune");
+
+    let dir = std::env::temp_dir().join("tinyadc_persistence_test");
+    std::fs::create_dir_all(&dir).expect("tempdir");
+    let path = dir.join("pruned.tadc");
+    save_network(&mut net, &path).expect("save");
+
+    // Reload into a fresh architecture instance.
+    let mut build_rng = SeededRng::new(9999);
+    let mut reloaded = pipeline.build_model(&data, &mut build_rng).expect("build");
+    load_network(&mut reloaded, &path).expect("load");
+
+    // Identical evaluation.
+    let acc_orig = evaluate_top_k(&mut net, &data, 1, 32).expect("eval").value();
+    let acc_reloaded = evaluate_top_k(&mut reloaded, &data, 1, 32)
+        .expect("eval")
+        .value();
+    assert_eq!(acc_orig, acc_reloaded);
+    assert_eq!(acc_orig, report.final_accuracy);
+
+    // Identical crossbar audit (ADC bits, blocks, sparsity per layer).
+    let skip = pipeline.skip_list(&mut reloaded);
+    let audit_orig =
+        NetworkAudit::of(&mut net, pipeline.config().xbar, &skip).expect("audit");
+    let audit_reloaded =
+        NetworkAudit::of(&mut reloaded, pipeline.config().xbar, &skip).expect("audit");
+    assert_eq!(audit_orig, audit_reloaded);
+    assert_eq!(audit_orig.adc_bits_reduction(), report.adc_bits_reduction);
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn snapshot_files_are_portable_across_model_instances() {
+    // Two different random initialisations of the same architecture must
+    // converge to identical parameters after loading the same file.
+    let mut rng = SeededRng::new(72);
+    let data = SyntheticImageDataset::generate(DatasetTier::Tier1Cifar10Like, 60, 30, &mut rng)
+        .expect("dataset");
+    let pipeline = Pipeline::new(PipelineConfig::quick_test());
+    let mut source = pipeline.build_model(&data, &mut rng).expect("build");
+
+    let dir = std::env::temp_dir().join("tinyadc_persistence_test");
+    std::fs::create_dir_all(&dir).expect("tempdir");
+    let path = dir.join("weights.tadc");
+    save_network(&mut source, &path).expect("save");
+
+    let mut a = pipeline
+        .build_model(&data, &mut SeededRng::new(1))
+        .expect("build");
+    let mut b = pipeline
+        .build_model(&data, &mut SeededRng::new(2))
+        .expect("build");
+    load_network(&mut a, &path).expect("load");
+    load_network(&mut b, &path).expect("load");
+    assert_eq!(a.snapshot(), b.snapshot());
+    assert_eq!(a.snapshot(), source.snapshot());
+
+    std::fs::remove_file(&path).ok();
+}
