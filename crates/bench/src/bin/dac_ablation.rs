@@ -50,8 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let bits = required_adc_bits_paper(v, 2, 128);
         let adc = Adc::new(bits)?;
         let input: Vec<u64> = (0..128).map(|i| (i * 2 % 256) as u64).collect();
-        let exact =
-            mapped.matvec_codes(&input, &adc)? == mapped.matvec_codes_ideal(&input)?;
+        let exact = mapped.matvec_codes(&input, &adc)? == mapped.matvec_codes_ideal(&input)?;
         let cycles = config.cycles();
         let power = adc_model.power_mw(bits);
         table.row_owned(vec![

@@ -45,8 +45,7 @@ fn faulted_accuracy(
         // stuck-at-0 faults only, at the stated overall rate.
         let model = FaultModel::new(rate, 0.0)?;
         let mut fault_rng = run_rng(tier, ModelKind::ResNetS, 1000 + salt * 10 + s);
-        let effects =
-            apply_crossbar_effects(&mut net, xbar, Some(&model), &[], &mut fault_rng)?;
+        let effects = apply_crossbar_effects(&mut net, xbar, Some(&model), &[], &mut fault_rng)?;
         if effects.faults.sa0 > 0 {
             harmless_sum += effects.faults.sa0_harmless as f64 / effects.faults.sa0 as f64;
         }

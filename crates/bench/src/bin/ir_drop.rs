@@ -26,7 +26,9 @@ fn layer_error(
     let mut num = 0.0f64;
     let mut den = 0.0f64;
     for tile in mapped.tiles() {
-        let input: Vec<u64> = (0..tile.rows()).map(|i| 128 + (i as u64 * 13) % 128).collect();
+        let input: Vec<u64> = (0..tile.rows())
+            .map(|i| 128 + (i as u64 * 13) % 128)
+            .collect();
         let ideal = tile.matvec_ideal(&input)?;
         let out = matvec_with_ir_drop(tile, &input, adc, ir, None, rng)?;
         num += out

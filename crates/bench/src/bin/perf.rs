@@ -1,0 +1,178 @@
+//! Serial-vs-parallel micro-benchmarks for the workspace hot kernels.
+//!
+//! ```text
+//! cargo run --release -p tinyadc-bench --bin perf
+//! ```
+//!
+//! Times four kernels — dense matmul, im2col convolution, CP projection,
+//! and bit-serial tile inference — once with `tinyadc_par` forced to one
+//! worker and once at the ambient thread count (`TINYADC_THREADS` or
+//! auto-detect), then writes `BENCH_parallel.json` to the current
+//! directory (the workspace root under `cargo run`).
+//! Pure std: `std::time::Instant`, one warmup run per mode, then
+//! interleaved serial/parallel repeats (cancels slow machine-load drift)
+//! reporting the best of N (robust to scheduling noise). Because every
+//! parallel kernel is bitwise-deterministic, the two modes also
+//! cross-check each other's outputs.
+
+use std::time::Instant;
+use tinyadc_nn::ParamKind;
+use tinyadc_prune::{CpConstraint, CrossbarShape};
+use tinyadc_tensor::rng::SeededRng;
+use tinyadc_tensor::{im2col, Conv2dGeometry, Tensor};
+use tinyadc_xbar::adc::Adc;
+use tinyadc_xbar::infer::conv2d;
+use tinyadc_xbar::mapping::MappedLayer;
+use tinyadc_xbar::tile::XbarConfig;
+
+/// Timing repeats per mode; the best (minimum) is reported.
+const REPS: usize = 15;
+
+/// One timed run of `f`; returns (seconds, checksum). The checksum keeps
+/// the work observable so it cannot be optimised away.
+fn timed<F: FnMut() -> f64>(f: &mut F) -> (f64, f64) {
+    let t0 = Instant::now();
+    let c = f();
+    (t0.elapsed().as_secs_f64(), c)
+}
+
+struct KernelResult {
+    name: &'static str,
+    serial_s: f64,
+    parallel_s: f64,
+}
+
+impl KernelResult {
+    fn speedup(&self) -> f64 {
+        if self.parallel_s > 0.0 {
+            self.serial_s / self.parallel_s
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Runs `f` at 1 worker and at the ambient count with interleaved
+/// repeats, checks the outputs agree bitwise, and keeps the best time
+/// per mode.
+fn bench<F: FnMut() -> f64>(name: &'static str, ambient: usize, mut f: F) -> KernelResult {
+    // Warm caches/allocator in both modes.
+    tinyadc_par::set_threads(1);
+    let reference = f();
+    tinyadc_par::set_threads(ambient);
+    let warm = f();
+    assert_eq!(
+        reference.to_bits(),
+        warm.to_bits(),
+        "{name}: parallel output diverged from serial"
+    );
+    let (mut serial_s, mut parallel_s) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..REPS {
+        tinyadc_par::set_threads(1);
+        let (dt, c) = timed(&mut f);
+        assert_eq!(
+            c.to_bits(),
+            reference.to_bits(),
+            "{name}: serial run unstable"
+        );
+        serial_s = serial_s.min(dt);
+        tinyadc_par::set_threads(ambient);
+        let (dt, c) = timed(&mut f);
+        assert_eq!(
+            c.to_bits(),
+            reference.to_bits(),
+            "{name}: parallel run unstable"
+        );
+        parallel_s = parallel_s.min(dt);
+    }
+    tinyadc_par::set_threads(0);
+    let r = KernelResult {
+        name,
+        serial_s,
+        parallel_s,
+    };
+    eprintln!(
+        "  {name:<16} serial {:8.3} ms  parallel {:8.3} ms  speedup {:.2}x",
+        r.serial_s * 1e3,
+        r.parallel_s * 1e3,
+        r.speedup()
+    );
+    r
+}
+
+fn checksum(slice: &[f32]) -> f64 {
+    slice.iter().map(|&v| v as f64).sum()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Resolve the ambient count once, before any override.
+    tinyadc_par::set_threads(0);
+    let ambient = tinyadc_par::current_threads();
+    eprintln!("perf: comparing 1 worker vs {ambient} worker(s), best of {REPS} interleaved");
+
+    let mut rng = SeededRng::new(7_2021);
+    let mut results = Vec::new();
+
+    // 1. Dense matmul: [192, 384] x [384, 192].
+    let a = Tensor::randn(&[192, 384], 1.0, &mut rng);
+    let b = Tensor::randn(&[384, 192], 1.0, &mut rng);
+    results.push(bench("matmul", ambient, || {
+        checksum(a.matmul(&b).expect("matmul").as_slice())
+    }));
+
+    // 2. Convolution lowering: im2col + filter matmul on a 16x32x32 map.
+    let x = Tensor::uniform(&[16, 32, 32], 0.0, 1.0, &mut rng);
+    let w = Tensor::randn(&[32, 16, 3, 3], 0.3, &mut rng);
+    let g = Conv2dGeometry::new(16, 32, 32, 3, 3, 1, 1)?;
+    let w2d = w.reshape(&[32, g.patch_len()])?;
+    results.push(bench("conv_im2col", ambient, || {
+        let cols = im2col(&x, &g).expect("im2col");
+        checksum(w2d.matmul(&cols).expect("matmul").as_slice())
+    }));
+
+    // 3. CP projection of a large linear weight at 4x.
+    let shape = CrossbarShape::new(16, 8)?;
+    let cp = CpConstraint::new(shape, 4)?;
+    let big = Tensor::randn(&[256, 512], 1.0, &mut rng);
+    results.push(bench("cp_projection", ambient, || {
+        checksum(
+            cp.project_param(&big, ParamKind::LinearWeight)
+                .expect("projection")
+                .as_slice(),
+        )
+    }));
+
+    // 4. Bit-serial tile inference: a small conv on the datapath.
+    let cfg = XbarConfig {
+        shape,
+        ..XbarConfig::paper_default()
+    };
+    let wc = Tensor::randn(&[8, 4, 3, 3], 0.4, &mut rng);
+    let xc = Tensor::uniform(&[4, 12, 12], 0.0, 1.0, &mut rng);
+    let mapped = MappedLayer::from_param(&wc, ParamKind::ConvWeight, cfg)?;
+    let adc = Adc::new(mapped.required_adc_bits())?;
+    results.push(bench("tile_inference", ambient, || {
+        checksum(conv2d(&mapped, &xc, 1, 1, &adc).expect("conv2d").as_slice())
+    }));
+
+    // Hand-rolled JSON (std-only policy: no serde in the workspace).
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"threads_parallel\": {ambient},\n"));
+    json.push_str(&format!("  \"reps\": {REPS},\n"));
+    json.push_str("  \"kernels\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, \"speedup\": {:.3}}}{}\n",
+            r.name,
+            r.serial_s * 1e3,
+            r.parallel_s * 1e3,
+            r.speedup(),
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_parallel.json", &json)?;
+    println!("{json}");
+    eprintln!("wrote BENCH_parallel.json");
+    Ok(())
+}

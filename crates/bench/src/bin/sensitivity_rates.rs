@@ -59,8 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Sensitivity-guided: candidates 2/4/8, distortion budget 0.55 — robust
     // layers go deeper, fragile layers back off.
     let mut rng = run_rng(tier, model, 601);
-    let guided =
-        pipeline.run_cp_sensitivity_from(&data, &trained, &[2, 4, 8], 0.55, &mut rng)?;
+    let guided = pipeline.run_cp_sensitivity_from(&data, &trained, &[2, 4, 8], 0.55, &mut rng)?;
     push(&mut table, "Sensitivity-guided {2,4,8}x", &guided);
 
     println!("{}", table.render());

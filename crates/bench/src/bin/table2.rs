@@ -27,12 +27,16 @@ fn row_of(table: &mut TextTable, network: &str, method: &str, r: &PipelineReport
     let (sp, cp) = match &r.scheme {
         Scheme::Cp { rate } => ("-".to_owned(), format!("{rate}x")),
         Scheme::Combined { cp_rate, .. } => (
-            r.structured_rate.map(fmt_rate).unwrap_or_else(|| "-".into()),
+            r.structured_rate
+                .map(fmt_rate)
+                .unwrap_or_else(|| "-".into()),
             format!("{cp_rate}x"),
         ),
         Scheme::Magnitude { .. } => ("-".to_owned(), "-".to_owned()),
         Scheme::Channel { .. } | Scheme::Structured { .. } => (
-            r.structured_rate.map(fmt_rate).unwrap_or_else(|| "-".into()),
+            r.structured_rate
+                .map(fmt_rate)
+                .unwrap_or_else(|| "-".into()),
             "-".to_owned(),
         ),
     };
@@ -83,8 +87,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
             // Non-structured baseline (N2N-style) at the same overall rate.
             let mut rng = run_rng(tier, model, 200);
-            let mag =
-                pipeline.run_magnitude_from(&data, &trained, best_cp as f64, &mut rng)?;
+            let mag = pipeline.run_magnitude_from(&data, &trained, best_cp as f64, &mut rng)?;
             row_of(&mut table, &net_label, "Non-structured (N2N-like)", &mag);
 
             // Unaligned channel pruning (DCP/SSL-like) at 50% filters.
@@ -106,14 +109,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             // (the paper's trade-off between the two schemes).
             let combined_cp = (best_cp / 2).max(2);
             let mut rng = run_rng(tier, model, 204);
-            let combined = pipeline.run_combined_from(
-                &data,
-                &trained,
-                combined_cp,
-                0.5,
-                0.0,
-                &mut rng,
-            )?;
+            let combined =
+                pipeline.run_combined_from(&data, &trained, combined_cp, 0.5, 0.0, &mut rng)?;
             row_of(&mut table, &net_label, "TinyADC", &combined);
             eprintln!("  done: {net_label}");
         }

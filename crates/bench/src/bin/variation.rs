@@ -33,8 +33,9 @@ fn relative_error(
         let mut num = 0.0f64;
         let mut den = 0.0f64;
         for tile in mapped.tiles() {
-            let input: Vec<u64> =
-                (0..tile.rows()).map(|i| 64 + (i as u64 * 29) % 192).collect();
+            let input: Vec<u64> = (0..tile.rows())
+                .map(|i| 64 + (i as u64 * 29) % 192)
+                .collect();
             let ideal = tile.matvec_ideal(&input)?;
             let noisy = tile.matvec_analog(&input, adc, &device, &mut rng)?;
             num += noisy

@@ -149,8 +149,7 @@ impl Harness {
         self.datasets.entry(tier).or_insert_with(|| {
             let (train, test) = profile.split();
             let mut rng = SeededRng::new(SEED ^ tier_salt(tier));
-            SyntheticImageDataset::generate(tier, train, test, &mut rng)
-                .expect("non-empty splits")
+            SyntheticImageDataset::generate(tier, train, test, &mut rng).expect("non-empty splits")
         })
     }
 

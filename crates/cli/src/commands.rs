@@ -117,7 +117,9 @@ fn load_into(
 
 fn cmd_train(args: &Args) -> Result<String> {
     let (pipeline, data, mut rng) = pipeline_of(args)?;
-    let trained = pipeline.pretrain(&data, &mut rng).map_err(|e| e.to_string())?;
+    let trained = pipeline
+        .pretrain(&data, &mut rng)
+        .map_err(|e| e.to_string())?;
     let mut out = format!(
         "trained {} on {}: accuracy {:.2} %\n",
         pipeline.config().model,
@@ -225,8 +227,14 @@ fn cmd_faults(args: &Args) -> Result<String> {
             .map_err(|e| e.to_string())?;
         net.restore(&snapshot);
         let mut fault_rng = SeededRng::new(2000 + s);
-        apply_crossbar_effects(&mut net, pipeline.config().xbar, Some(&model), &[], &mut fault_rng)
-            .map_err(|e| e.to_string())?;
+        apply_crossbar_effects(
+            &mut net,
+            pipeline.config().xbar,
+            Some(&model),
+            &[],
+            &mut fault_rng,
+        )
+        .map_err(|e| e.to_string())?;
         acc_sum += evaluate_top_k(&mut net, &data, 1, 64)
             .map_err(|e| e.to_string())?
             .value();
@@ -302,11 +310,7 @@ mod tests {
         let pruned = dir.join("pruned.tadc");
         let common = "--tier cifar10 --model resnet18 --width 4 --train 60 --test 30 \
                       --epochs 1 --admm-epochs 1 --retrain-epochs 1 --rows 8 --cols 8";
-        let out = run(&args(&format!(
-            "train {common} --out {}",
-            dense.display()
-        )))
-        .unwrap();
+        let out = run(&args(&format!("train {common} --out {}", dense.display()))).unwrap();
         assert!(out.contains("accuracy"));
         let out = run(&args(&format!(
             "prune {common} --in {} --rate 4 --out {}",
@@ -315,11 +319,7 @@ mod tests {
         )))
         .unwrap();
         assert!(out.contains("ADC -2 bits"), "{out}");
-        let out = run(&args(&format!(
-            "audit {common} --in {}",
-            pruned.display()
-        )))
-        .unwrap();
+        let out = run(&args(&format!("audit {common} --in {}", pruned.display()))).unwrap();
         assert!(out.contains("baseline ADC: 5 bits"), "{out}");
         assert!(out.contains("-2 bits"), "{out}");
         let out = run(&args(&format!("cost {common} --in {}", pruned.display()))).unwrap();

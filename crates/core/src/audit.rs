@@ -256,7 +256,11 @@ mod tests {
         let mut rng = SeededRng::new(4);
         let mut net = demo_net(&mut rng);
         let audit = NetworkAudit::of(&mut net, cfg(), &[]).unwrap();
-        let conv2 = audit.layers.iter().find(|l| l.name == "conv2.weight").unwrap();
+        let conv2 = audit
+            .layers
+            .iter()
+            .find(|l| l.name == "conv2.weight")
+            .unwrap();
         assert_eq!((conv2.matrix_rows, conv2.matrix_cols), (72, 8));
         assert_eq!(conv2.blocks, 9);
         let _ = ParamKind::ConvWeight; // layout convention documented there

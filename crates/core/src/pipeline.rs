@@ -253,10 +253,13 @@ impl Pipeline {
         let mut net = self.restore(data, trained, rng)?;
         let skip = self.skip_list(&mut net);
         let cp = CpConstraint::from_rate(self.config.xbar.shape, cp_rate)?;
-        let mut pruner =
-            AdmmPruner::uniform_cp(&mut net, cp, &skip, self.config.admm)?;
-        Trainer::new(self.config.admm_train.clone())
-            .fit_with_hook(&mut net, data, &mut pruner, rng)?;
+        let mut pruner = AdmmPruner::uniform_cp(&mut net, cp, &skip, self.config.admm)?;
+        Trainer::new(self.config.admm_train.clone()).fit_with_hook(
+            &mut net,
+            data,
+            &mut pruner,
+            rng,
+        )?;
         let masks = pruner.finalize(&mut net)?;
         let final_accuracy = self.masked_retrain(&mut net, data, masks.clone(), rng)?;
         let report = self.report(
@@ -337,8 +340,12 @@ impl Pipeline {
             );
         });
         let mut pruner = AdmmPruner::with_constraints(&mut net, constraints, self.config.admm)?;
-        Trainer::new(self.config.admm_train.clone())
-            .fit_with_hook(&mut net, data, &mut pruner, rng)?;
+        Trainer::new(self.config.admm_train.clone()).fit_with_hook(
+            &mut net,
+            data,
+            &mut pruner,
+            rng,
+        )?;
         let masks = pruner.finalize(&mut net)?;
         let final_accuracy = self.masked_retrain(&mut net, data, masks.clone(), rng)?;
         let report = self.report(
@@ -393,8 +400,12 @@ impl Pipeline {
             &rates,
         )?;
         let mut pruner = AdmmPruner::with_constraints(&mut net, constraints, self.config.admm)?;
-        Trainer::new(self.config.admm_train.clone())
-            .fit_with_hook(&mut net, data, &mut pruner, rng)?;
+        Trainer::new(self.config.admm_train.clone()).fit_with_hook(
+            &mut net,
+            data,
+            &mut pruner,
+            rng,
+        )?;
         let masks = pruner.finalize(&mut net)?;
         let final_accuracy = self.masked_retrain(&mut net, data, masks.clone(), rng)?;
         let min_rate = rates.values().copied().min().unwrap_or(1);
@@ -582,8 +593,7 @@ impl Pipeline {
         let hw_model = AcceleratorModel::default();
         let normalized = hw_model.normalized(&design, &baseline)?;
 
-        let crossbar_reduction =
-            structured.map(|o| o.crossbar_reduction(self.config.xbar.shape));
+        let crossbar_reduction = structured.map(|o| o.crossbar_reduction(self.config.xbar.shape));
         let structured_rate = structured.map(StructuredOutcome::overall_rate);
 
         Ok(PipelineReport {
@@ -703,10 +713,7 @@ mod tests {
             .map(|l| l.required_adc_bits)
             .collect();
         assert!(!bits.is_empty());
-        let (lo, hi) = (
-            *bits.iter().min().unwrap(),
-            *bits.iter().max().unwrap(),
-        );
+        let (lo, hi) = (*bits.iter().min().unwrap(), *bits.iter().max().unwrap());
         assert!(hi - lo <= 1, "candidate rates 2x/4x differ by one bit");
     }
 

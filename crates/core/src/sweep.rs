@@ -73,14 +73,9 @@ pub fn run_sweep(
             SweepPoint::Combined {
                 cp_rate,
                 filter_fraction,
-            } => pipeline.run_combined_from(
-                data,
-                trained,
-                *cp_rate,
-                *filter_fraction,
-                0.0,
-                &mut rng,
-            ),
+            } => {
+                pipeline.run_combined_from(data, trained, *cp_rate, *filter_fraction, 0.0, &mut rng)
+            }
             SweepPoint::Magnitude { rate } => {
                 pipeline.run_magnitude_from(data, trained, *rate, &mut rng)
             }
@@ -123,9 +118,8 @@ mod tests {
 
     fn setup() -> (Pipeline, SyntheticImageDataset, TrainedModel, SeededRng) {
         let mut rng = SeededRng::new(55);
-        let data =
-            SyntheticImageDataset::generate(DatasetTier::Tier1Cifar10Like, 80, 40, &mut rng)
-                .expect("dataset");
+        let data = SyntheticImageDataset::generate(DatasetTier::Tier1Cifar10Like, 80, 40, &mut rng)
+            .expect("dataset");
         let pipeline = Pipeline::new(PipelineConfig::quick_test());
         let trained = pipeline.pretrain(&data, &mut rng).expect("pretrain");
         (pipeline, data, trained, rng)

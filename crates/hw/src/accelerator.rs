@@ -162,11 +162,7 @@ impl AcceleratorModel {
     /// # Errors
     ///
     /// As for [`Self::cost`].
-    pub fn normalized(
-        &self,
-        design: &[LayerHw],
-        baseline: &[LayerHw],
-    ) -> Result<NormalizedCost> {
+    pub fn normalized(&self, design: &[LayerHw], baseline: &[LayerHw]) -> Result<NormalizedCost> {
         let d = self.cost(design)?;
         let b = self.cost(baseline)?;
         Ok(NormalizedCost {

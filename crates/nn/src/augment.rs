@@ -72,8 +72,8 @@ pub fn augment_batch(
         }
         if config.max_shift > 0 {
             let s = config.max_shift as isize;
-            let dy = rng.inner_mut_range(-s, s);
-            let dx = rng.inner_mut_range(-s, s);
+            let dy = rng.sample_range_inclusive(-s, s);
+            let dx = rng.sample_range_inclusive(-s, s);
             shift(sample, c, h, w, dy, dx);
         }
         if config.cutout > 0 {
@@ -83,17 +83,6 @@ pub fn augment_batch(
         }
     }
     Ok(Tensor::from_vec(out, dims)?)
-}
-
-trait RangeExt {
-    fn inner_mut_range(&mut self, lo: isize, hi: isize) -> isize;
-}
-
-impl RangeExt for SeededRng {
-    fn inner_mut_range(&mut self, lo: isize, hi: isize) -> isize {
-        let span = (hi - lo + 1) as usize;
-        lo + self.sample_index(span) as isize
-    }
 }
 
 fn flip_horizontal(sample: &mut [f32], c: usize, h: usize, w: usize) {

@@ -124,8 +124,7 @@ impl SyntheticImageDataset {
             ));
         }
         let prototypes = Self::make_prototypes(tier, rng);
-        let (train_images, train_labels) =
-            Self::sample_split(tier, &prototypes, train_count, rng)?;
+        let (train_images, train_labels) = Self::sample_split(tier, &prototypes, train_count, rng)?;
         let (test_images, test_labels) = Self::sample_split(tier, &prototypes, test_count, rng)?;
         Ok(Self {
             tier,
@@ -179,10 +178,11 @@ impl SyntheticImageDataset {
             labels.push(label);
             let shift = tier.max_shift() as isize;
             let (dy, dx) = (
-                rng.inner_mut().gen_range(-shift..=shift),
-                rng.inner_mut().gen_range(-shift..=shift),
+                rng.sample_range_inclusive(-shift, shift),
+                rng.sample_range_inclusive(-shift, shift),
             );
-            let contrast = 1.0 + rng.sample_uniform(-tier.contrast_jitter(), tier.contrast_jitter());
+            let contrast =
+                1.0 + rng.sample_uniform(-tier.contrast_jitter(), tier.contrast_jitter());
             let proto = prototypes[label].as_slice();
             let dst = &mut images[n * vol..(n + 1) * vol];
             for c in 0..IMAGE_CHANNELS {
@@ -292,22 +292,23 @@ fn smooth_field(rng: &mut SeededRng) -> Tensor {
                 for dy in -r..=r {
                     for dx in -r..=r {
                         let (sy, sx) = (y + dy, x + dx);
-                        if sy >= 0 && sy < IMAGE_SIZE as isize && sx >= 0 && sx < IMAGE_SIZE as isize
+                        if sy >= 0
+                            && sy < IMAGE_SIZE as isize
+                            && sx >= 0
+                            && sx < IMAGE_SIZE as isize
                         {
                             acc += src[(c * IMAGE_SIZE + sy as usize) * IMAGE_SIZE + sx as usize];
                             n += 1;
                         }
                     }
                 }
-                out[(c * IMAGE_SIZE + y as usize) * IMAGE_SIZE + x as usize] =
-                    acc / n as f32 * 2.0; // rescale after blur
+                out[(c * IMAGE_SIZE + y as usize) * IMAGE_SIZE + x as usize] = acc / n as f32 * 2.0;
+                // rescale after blur
             }
         }
     }
     Tensor::from_vec(out, &[IMAGE_CHANNELS, IMAGE_SIZE, IMAGE_SIZE]).expect("fixed volume")
 }
-
-use rand::Rng as _;
 
 #[cfg(test)]
 mod tests {
@@ -317,12 +318,10 @@ mod tests {
     fn generation_is_deterministic() {
         let mut r1 = SeededRng::new(5);
         let mut r2 = SeededRng::new(5);
-        let d1 =
-            SyntheticImageDataset::generate(DatasetTier::Tier1Cifar10Like, 20, 10, &mut r1)
-                .unwrap();
-        let d2 =
-            SyntheticImageDataset::generate(DatasetTier::Tier1Cifar10Like, 20, 10, &mut r2)
-                .unwrap();
+        let d1 = SyntheticImageDataset::generate(DatasetTier::Tier1Cifar10Like, 20, 10, &mut r1)
+            .unwrap();
+        let d2 = SyntheticImageDataset::generate(DatasetTier::Tier1Cifar10Like, 20, 10, &mut r2)
+            .unwrap();
         let (b1, l1) = d1.train_batch(&[0, 5, 19]).unwrap();
         let (b2, l2) = d2.train_batch(&[0, 5, 19]).unwrap();
         assert_eq!(b1, b2);

@@ -35,7 +35,10 @@ impl fmt::Display for NnError {
                 layer,
                 expected,
                 actual,
-            } => write!(f, "layer `{layer}` expected {expected}, got shape {actual:?}"),
+            } => write!(
+                f,
+                "layer `{layer}` expected {expected}, got shape {actual:?}"
+            ),
             Self::BackwardBeforeForward { layer } => {
                 write!(f, "layer `{layer}`: backward called before forward")
             }

@@ -70,7 +70,11 @@ mod tests {
 
     fn variance(t: &Tensor) -> f32 {
         let mean = t.mean();
-        t.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / t.len() as f32
+        t.as_slice()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / t.len() as f32
     }
 
     #[test]
@@ -83,16 +87,23 @@ mod tests {
     #[test]
     fn kaiming_normal_variance() {
         let mut rng = SeededRng::new(1);
-        let t = Init::KaimingNormal.sample(&[64, 64, 3, 3], &mut rng).unwrap();
+        let t = Init::KaimingNormal
+            .sample(&[64, 64, 3, 3], &mut rng)
+            .unwrap();
         let expected = 2.0 / (64.0 * 9.0);
         let v = variance(&t);
-        assert!((v - expected).abs() < expected * 0.15, "var {v} vs {expected}");
+        assert!(
+            (v - expected).abs() < expected * 0.15,
+            "var {v} vs {expected}"
+        );
     }
 
     #[test]
     fn kaiming_uniform_bounds_and_variance() {
         let mut rng = SeededRng::new(2);
-        let t = Init::KaimingUniform.sample(&[32, 32, 3, 3], &mut rng).unwrap();
+        let t = Init::KaimingUniform
+            .sample(&[32, 32, 3, 3], &mut rng)
+            .unwrap();
         let bound = (6.0f32 / (32.0 * 9.0)).sqrt();
         assert!(t.max() <= bound && t.min() >= -bound);
         // Uniform(-b, b) variance = b^2/3 = 2/fan_in.

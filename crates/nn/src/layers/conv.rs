@@ -104,18 +104,25 @@ impl Layer for Conv2d {
         let f = self.out_channels();
         let w2d = self.weight.value.reshape(&[f, g.patch_len()])?;
 
-        let mut out = vec![0.0f32; batch * f * g.patch_count()];
         let per_sample = f * g.patch_count();
-        let mut cols_cache = Vec::with_capacity(if train { batch } else { 0 });
-        for b in 0..batch {
+        // Batch samples are independent; unfold and multiply them in
+        // parallel, then assemble in batch order (bitwise identical to the
+        // serial loop for any thread count).
+        let results = tinyadc_par::map(batch, |b| -> Result<(Tensor, Option<Tensor>)> {
             let sample = Tensor::from_vec(
                 input.as_slice()[b * c * h * w..(b + 1) * c * h * w].to_vec(),
                 &[c, h, w],
             )?;
             let cols = im2col(&sample, &g)?;
             let y = w2d.matmul(&cols)?; // [f, oh*ow]
+            Ok((y, train.then_some(cols)))
+        });
+        let mut out = vec![0.0f32; batch * per_sample];
+        let mut cols_cache = Vec::with_capacity(if train { batch } else { 0 });
+        for (b, result) in results.into_iter().enumerate() {
+            let (y, cols) = result?;
             out[b * per_sample..(b + 1) * per_sample].copy_from_slice(y.as_slice());
-            if train {
+            if let Some(cols) = cols {
                 cols_cache.push(cols);
             }
         }
@@ -158,19 +165,27 @@ impl Layer for Conv2d {
             });
         }
         let w2d = self.weight.value.reshape(&[f, g.patch_len()])?;
-        let mut dw2d = Tensor::zeros(&[f, g.patch_len()]);
         let in_vol = g.in_channels * g.in_h * g.in_w;
-        let mut dx = vec![0.0f32; batch * in_vol];
-        for (b, cols) in cached.cols.iter().enumerate() {
+        // Per-sample weight-gradient partials and input gradients compute in
+        // parallel; the dW partials then merge in batch order, matching the
+        // serial accumulation exactly.
+        let sample_grads = tinyadc_par::map(batch, |b| -> Result<(Tensor, Tensor)> {
+            let cols = &cached.cols[b];
             let dy = Tensor::from_vec(
                 grad_output.as_slice()[b * per_sample..(b + 1) * per_sample].to_vec(),
                 &[f, g.patch_count()],
             )?;
-            // dW += dY cols^T  ([f, pc] x [pl, pc]^T)
-            dw2d.add_assign(&dy.matmul_t(cols)?)?;
+            // dW_b = dY cols^T  ([f, pc] x [pl, pc]^T)
+            let dw_b = dy.matmul_t(cols)?;
             // dcols = W^T dY  ([f, pl]^T x [f, pc])
             let dcols = w2d.t_matmul(&dy)?;
-            let dxi = col2im(&dcols, &g)?;
+            Ok((dw_b, col2im(&dcols, &g)?))
+        });
+        let mut dw2d = Tensor::zeros(&[f, g.patch_len()]);
+        let mut dx = vec![0.0f32; batch * in_vol];
+        for (b, result) in sample_grads.into_iter().enumerate() {
+            let (dw_b, dxi) = result?;
+            dw2d.add_assign(&dw_b)?;
             dx[b * in_vol..(b + 1) * in_vol].copy_from_slice(dxi.as_slice());
         }
         self.weight
@@ -205,8 +220,8 @@ impl Layer for Conv2d {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::loss::softmax_cross_entropy;
     use crate::layers::Flatten;
+    use crate::loss::softmax_cross_entropy;
 
     #[test]
     fn forward_shapes() {

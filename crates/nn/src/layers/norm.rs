@@ -218,8 +218,7 @@ mod tests {
                 }
             }
             let mean = vals.iter().sum::<f32>() / vals.len() as f32;
-            let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
-                / vals.len() as f32;
+            let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
             assert!(mean.abs() < 1e-4, "mean={mean}");
             assert!((var - 1.0).abs() < 1e-2, "var={var}");
         }

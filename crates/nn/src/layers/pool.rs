@@ -211,8 +211,8 @@ mod tests {
     #[test]
     fn gap_averages_planes() {
         let mut gap = GlobalAvgPool::new("g");
-        let x = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0, 2.0, 2.0, 2.0, 2.0], &[1, 2, 2, 2])
-            .unwrap();
+        let x =
+            Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0, 2.0, 2.0, 2.0, 2.0], &[1, 2, 2, 2]).unwrap();
         let y = gap.forward(&x, false).unwrap();
         assert_eq!(y.dims(), &[1, 2]);
         assert_eq!(y.as_slice(), &[4.0, 2.0]);

@@ -14,7 +14,11 @@ impl std::fmt::Debug for Sequential {
             .field("name", &self.name)
             .field(
                 "layers",
-                &self.layers.iter().map(|l| l.name().to_owned()).collect::<Vec<_>>(),
+                &self
+                    .layers
+                    .iter()
+                    .map(|l| l.name().to_owned())
+                    .collect::<Vec<_>>(),
             )
             .finish()
     }

@@ -140,8 +140,7 @@ mod tests {
 
     #[test]
     fn top_k_counts() {
-        let logits =
-            Tensor::from_vec(vec![3.0, 2.0, 1.0, 1.0, 2.0, 3.0], &[2, 3]).unwrap();
+        let logits = Tensor::from_vec(vec![3.0, 2.0, 1.0, 1.0, 2.0, 3.0], &[2, 3]).unwrap();
         assert_eq!(top_k_correct(&logits, &[0, 0], 1).unwrap(), 1);
         assert_eq!(top_k_correct(&logits, &[0, 0], 3).unwrap(), 2);
         assert_eq!(top_k_correct(&logits, &[1, 1], 2).unwrap(), 2);

@@ -52,7 +52,12 @@ pub fn mlp(
         true,
         rng,
     )));
-    Ok(Network::new(name.to_owned(), stack, input_dims, num_classes))
+    Ok(Network::new(
+        name.to_owned(),
+        stack,
+        input_dims,
+        num_classes,
+    ))
 }
 
 /// Scaled-down ResNet-18: 3×3 stem, four stages of [`BasicBlock`]s with
@@ -89,7 +94,16 @@ pub fn resnet_basic(
 ) -> Result<Network> {
     let in_channels = check_image_input(&input_dims, num_classes, width)?;
     let mut stack = Sequential::new(name.to_owned())
-        .with(Conv2d::new("stem.conv", in_channels, width, 3, 1, 1, false, rng))
+        .with(Conv2d::new(
+            "stem.conv",
+            in_channels,
+            width,
+            3,
+            1,
+            1,
+            false,
+            rng,
+        ))
         .with(BatchNorm2d::new("stem.bn", width))
         .with(Relu::new("stem.relu"));
     let mut channels = width;
@@ -107,10 +121,19 @@ pub fn resnet_basic(
             channels = out;
         }
     }
-    let stack = stack
-        .with(GlobalAvgPool::new("gap"))
-        .with(Linear::new("head", channels, num_classes, true, rng));
-    Ok(Network::new(name.to_owned(), stack, input_dims, num_classes))
+    let stack = stack.with(GlobalAvgPool::new("gap")).with(Linear::new(
+        "head",
+        channels,
+        num_classes,
+        true,
+        rng,
+    ));
+    Ok(Network::new(
+        name.to_owned(),
+        stack,
+        input_dims,
+        num_classes,
+    ))
 }
 
 /// Scaled-down ResNet-50: four stages of [`Bottleneck`]s with block counts
@@ -130,7 +153,16 @@ pub fn resnet_m(
     let in_channels = check_image_input(&input_dims, num_classes, width)?;
     let blocks = [1usize, 2, 2, 1];
     let mut stack = Sequential::new(name.to_owned())
-        .with(Conv2d::new("stem.conv", in_channels, width, 3, 1, 1, false, rng))
+        .with(Conv2d::new(
+            "stem.conv",
+            in_channels,
+            width,
+            3,
+            1,
+            1,
+            false,
+            rng,
+        ))
         .with(BatchNorm2d::new("stem.bn", width))
         .with(Relu::new("stem.relu"));
     let mut channels = width;
@@ -148,10 +180,19 @@ pub fn resnet_m(
             channels = mid * Bottleneck::EXPANSION;
         }
     }
-    let stack = stack
-        .with(GlobalAvgPool::new("gap"))
-        .with(Linear::new("head", channels, num_classes, true, rng));
-    Ok(Network::new(name.to_owned(), stack, input_dims, num_classes))
+    let stack = stack.with(GlobalAvgPool::new("gap")).with(Linear::new(
+        "head",
+        channels,
+        num_classes,
+        true,
+        rng,
+    ));
+    Ok(Network::new(
+        name.to_owned(),
+        stack,
+        input_dims,
+        num_classes,
+    ))
 }
 
 /// Scaled-down VGG-16: three plain conv blocks (`2 + 2 + 3` convs, widths
@@ -196,10 +237,19 @@ pub fn vgg_s(
         stack.push(Box::new(MaxPool2d::new(format!("block{blk}.pool"), 2)));
     }
     let spatial = (h >> specs.len()) * (w_px >> specs.len());
-    let stack = stack
-        .with(Flatten::new("flatten"))
-        .with(Linear::new("head", channels * spatial, num_classes, true, rng));
-    Ok(Network::new(name.to_owned(), stack, input_dims, num_classes))
+    let stack = stack.with(Flatten::new("flatten")).with(Linear::new(
+        "head",
+        channels * spatial,
+        num_classes,
+        true,
+        rng,
+    ));
+    Ok(Network::new(
+        name.to_owned(),
+        stack,
+        input_dims,
+        num_classes,
+    ))
 }
 
 /// [`vgg_s`] with a dropout-regularised classifier head (the full-size
@@ -233,7 +283,10 @@ pub fn vgg_s_dropout(
                 false,
                 rng,
             )));
-            stack.push(Box::new(BatchNorm2d::new(format!("block{blk}.bn{ci}"), out)));
+            stack.push(Box::new(BatchNorm2d::new(
+                format!("block{blk}.bn{ci}"),
+                out,
+            )));
             stack.push(Box::new(Relu::new(format!("block{blk}.relu{ci}"))));
             channels = out;
         }
@@ -249,7 +302,12 @@ pub fn vgg_s_dropout(
         true,
         rng,
     )));
-    Ok(Network::new(name.to_owned(), stack, input_dims, num_classes))
+    Ok(Network::new(
+        name.to_owned(),
+        stack,
+        input_dims,
+        num_classes,
+    ))
 }
 
 fn check_image_input(input_dims: &[usize], num_classes: usize, width: usize) -> Result<usize> {

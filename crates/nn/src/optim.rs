@@ -131,9 +131,7 @@ impl LrSchedule {
     pub fn lr_at(&self, base_lr: f32, epoch: usize) -> f32 {
         match *self {
             Self::Constant => base_lr,
-            Self::StepDecay { every, gamma } => {
-                base_lr * gamma.powi((epoch / every.max(1)) as i32)
-            }
+            Self::StepDecay { every, gamma } => base_lr * gamma.powi((epoch / every.max(1)) as i32),
             Self::Cosine {
                 total_epochs,
                 min_lr,

@@ -22,10 +22,7 @@ const VERSION: u32 = 1;
 /// # Errors
 ///
 /// Returns [`NnError::InvalidConfig`] wrapping I/O failures.
-pub fn write_snapshot<W: Write>(
-    mut sink: W,
-    snapshot: &[(String, Tensor)],
-) -> Result<()> {
+pub fn write_snapshot<W: Write>(mut sink: W, snapshot: &[(String, Tensor)]) -> Result<()> {
     let io = |e: std::io::Error| NnError::InvalidConfig(format!("snapshot write failed: {e}"));
     sink.write_all(MAGIC).map_err(io)?;
     sink.write_all(&VERSION.to_le_bytes()).map_err(io)?;
@@ -33,7 +30,8 @@ pub fn write_snapshot<W: Write>(
         .map_err(io)?;
     for (name, tensor) in snapshot {
         let bytes = name.as_bytes();
-        sink.write_all(&(bytes.len() as u32).to_le_bytes()).map_err(io)?;
+        sink.write_all(&(bytes.len() as u32).to_le_bytes())
+            .map_err(io)?;
         sink.write_all(bytes).map_err(io)?;
         sink.write_all(&(tensor.rank() as u32).to_le_bytes())
             .map_err(io)?;

@@ -235,10 +235,11 @@ mod tests {
     #[test]
     fn mlp_learns_tier1() {
         let mut rng = SeededRng::new(42);
-        let data = SyntheticImageDataset::generate(DatasetTier::Tier1Cifar10Like, 300, 100, &mut rng)
-            .unwrap();
-        let mut net = models::mlp("m", data.input_dims(), data.num_classes(), &[64], &mut rng)
-            .unwrap();
+        let data =
+            SyntheticImageDataset::generate(DatasetTier::Tier1Cifar10Like, 300, 100, &mut rng)
+                .unwrap();
+        let mut net =
+            models::mlp("m", data.input_dims(), data.num_classes(), &[64], &mut rng).unwrap();
         let trainer = Trainer::new(TrainConfig {
             epochs: 5,
             batch_size: 32,
@@ -275,9 +276,8 @@ mod tests {
             }
         }
         let mut rng = SeededRng::new(1);
-        let data =
-            SyntheticImageDataset::generate(DatasetTier::Tier1Cifar10Like, 20, 10, &mut rng)
-                .unwrap();
+        let data = SyntheticImageDataset::generate(DatasetTier::Tier1Cifar10Like, 20, 10, &mut rng)
+            .unwrap();
         let mut net =
             models::mlp("m", data.input_dims(), data.num_classes(), &[8], &mut rng).unwrap();
         let mut hook = Recorder::default();
@@ -299,9 +299,8 @@ mod tests {
     #[test]
     fn zero_batch_size_rejected() {
         let mut rng = SeededRng::new(1);
-        let data =
-            SyntheticImageDataset::generate(DatasetTier::Tier1Cifar10Like, 20, 10, &mut rng)
-                .unwrap();
+        let data = SyntheticImageDataset::generate(DatasetTier::Tier1Cifar10Like, 20, 10, &mut rng)
+            .unwrap();
         let mut net =
             models::mlp("m", data.input_dims(), data.num_classes(), &[8], &mut rng).unwrap();
         let trainer = Trainer::new(TrainConfig {

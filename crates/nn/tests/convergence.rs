@@ -37,7 +37,10 @@ fn assert_learns(mut net: Network, epochs: usize, min_acc: f64, label: &str) {
     // Loss must have decreased across training.
     let first = report.epochs.first().expect("epochs").train_loss;
     let last = report.final_train_loss;
-    assert!(last < first, "{label}: loss did not decrease ({first} -> {last})");
+    assert!(
+        last < first,
+        "{label}: loss did not decrease ({first} -> {last})"
+    );
 }
 
 #[test]
@@ -64,8 +67,7 @@ fn vgg_s_learns_tier1() {
 #[test]
 fn vgg_dropout_learns_tier1() {
     let mut rng = SeededRng::new(81);
-    let net =
-        models::vgg_s_dropout("vggd", vec![3, 16, 16], 10, 4, 0.25, &mut rng).expect("model");
+    let net = models::vgg_s_dropout("vggd", vec![3, 16, 16], 10, 4, 0.25, &mut rng).expect("model");
     assert_learns(net, 5, 0.55, "vgg_s_dropout");
 }
 
@@ -74,8 +76,7 @@ fn augmentation_does_not_break_learning() {
     let mut rng = SeededRng::new(82);
     let data = SyntheticImageDataset::generate(DatasetTier::Tier1Cifar10Like, 300, 100, &mut rng)
         .expect("dataset");
-    let mut net =
-        models::resnet_s("r18", vec![3, 16, 16], 10, 4, &mut rng).expect("model");
+    let mut net = models::resnet_s("r18", vec![3, 16, 16], 10, 4, &mut rng).expect("model");
     // Mild augmentation: the full default recipe (cutout 4 on a 16x16
     // image) is too destructive for a 4-epoch smoke budget.
     let trainer = Trainer::new(TrainConfig {

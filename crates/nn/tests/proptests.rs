@@ -1,70 +1,71 @@
-//! Property-based tests for the training substrate.
+//! Randomized property tests for the training substrate, driven by the
+//! in-tree [`SeededRng`] (fixed seeds, fully deterministic and offline).
 
-use proptest::prelude::*;
 use tinyadc_nn::layers::{Linear, Relu, Sequential};
 use tinyadc_nn::loss::{softmax_cross_entropy, top_k_correct};
 use tinyadc_nn::{Layer, Network};
 use tinyadc_tensor::rng::SeededRng;
 use tinyadc_tensor::Tensor;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    #[test]
-    fn softmax_loss_invariant_to_constant_shift(
-        (batch, classes) in (1usize..5, 2usize..6),
-        shift in -10.0f32..10.0,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn softmax_loss_invariant_to_constant_shift() {
+    for seed in 0..CASES {
         let mut rng = SeededRng::new(seed);
+        let batch = 1 + rng.sample_index(4);
+        let classes = 2 + rng.sample_index(4);
+        let shift = rng.sample_uniform(-10.0, 10.0);
         let logits = Tensor::randn(&[batch, classes], 1.0, &mut rng);
         let labels: Vec<usize> = (0..batch).map(|i| i % classes).collect();
         let (l1, g1) = softmax_cross_entropy(&logits, &labels).unwrap();
         let shifted = logits.add_scalar(shift);
         let (l2, g2) = softmax_cross_entropy(&shifted, &labels).unwrap();
-        prop_assert!((l1 - l2).abs() < 1e-4, "{l1} vs {l2}");
+        assert!((l1 - l2).abs() < 1e-4, "{l1} vs {l2}");
         for (a, b) in g1.as_slice().iter().zip(g2.as_slice()) {
-            prop_assert!((a - b).abs() < 1e-5);
+            assert!((a - b).abs() < 1e-5);
         }
     }
+}
 
-    #[test]
-    fn loss_is_nonnegative_and_gradient_rows_sum_zero(
-        (batch, classes) in (1usize..6, 2usize..8),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn loss_is_nonnegative_and_gradient_rows_sum_zero() {
+    for seed in 0..CASES {
         let mut rng = SeededRng::new(seed);
+        let batch = 1 + rng.sample_index(5);
+        let classes = 2 + rng.sample_index(6);
         let logits = Tensor::randn(&[batch, classes], 2.0, &mut rng);
         let labels: Vec<usize> = (0..batch).map(|i| (i * 3) % classes).collect();
         let (loss, grad) = softmax_cross_entropy(&logits, &labels).unwrap();
-        prop_assert!(loss >= 0.0);
+        assert!(loss >= 0.0);
         for b in 0..batch {
             let row_sum: f32 = grad.as_slice()[b * classes..(b + 1) * classes].iter().sum();
-            prop_assert!(row_sum.abs() < 1e-5);
+            assert!(row_sum.abs() < 1e-5);
         }
     }
+}
 
-    #[test]
-    fn top_k_is_monotone_in_k(
-        (batch, classes) in (1usize..6, 2usize..8),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn top_k_is_monotone_in_k() {
+    for seed in 0..CASES {
         let mut rng = SeededRng::new(seed);
+        let batch = 1 + rng.sample_index(5);
+        let classes = 2 + rng.sample_index(6);
         let logits = Tensor::randn(&[batch, classes], 1.0, &mut rng);
         let labels: Vec<usize> = (0..batch).map(|i| i % classes).collect();
         let mut last = 0usize;
         for k in 1..=classes {
             let c = top_k_correct(&logits, &labels, k).unwrap();
-            prop_assert!(c >= last);
+            assert!(c >= last);
             last = c;
         }
-        prop_assert_eq!(last, batch, "top-#classes must be all-correct");
+        assert_eq!(last, batch, "top-#classes must be all-correct");
     }
+}
 
-    #[test]
-    fn forward_is_deterministic_and_eval_mode_is_stateless(
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn forward_is_deterministic_and_eval_mode_is_stateless() {
+    for seed in 0..CASES {
         let mut rng = SeededRng::new(seed);
         let stack = Sequential::new("n")
             .with(Linear::new("fc1", 6, 5, true, &mut rng))
@@ -74,14 +75,14 @@ proptest! {
         let x = Tensor::randn(&[4, 6], 1.0, &mut rng);
         let y1 = net.forward(&x, false).unwrap();
         let y2 = net.forward(&x, false).unwrap();
-        prop_assert_eq!(y1, y2);
+        assert_eq!(y1, y2);
     }
+}
 
-    #[test]
-    fn backward_gradients_accumulate_additively(
-        seed in any::<u64>(),
-    ) {
-        // Two backward passes without zeroing must double the gradient.
+#[test]
+fn backward_gradients_accumulate_additively() {
+    // Two backward passes without zeroing must double the gradient.
+    for seed in 0..CASES {
         let mut rng = SeededRng::new(seed);
         let mut layer = Linear::new("fc", 4, 3, false, &mut rng);
         let x = Tensor::randn(&[2, 4], 1.0, &mut rng);

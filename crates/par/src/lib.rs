@@ -1,0 +1,321 @@
+//! Deterministic, dependency-free parallel execution for the workspace.
+//!
+//! Every hot kernel in the workspace (blocked matmul, im2col convolution,
+//! CP projection, bit-serial crossbar MVM, per-sample training passes)
+//! fans out through this crate. The design goal is *bitwise determinism*:
+//! for a given input, the result is identical for every thread count —
+//! including the serial path — so every numeric test in the workspace
+//! doubles as a parallel-correctness oracle. Three rules make that hold:
+//!
+//! 1. **Disjoint writes.** [`for_each_chunk_mut`] hands each task a
+//!    disjoint sub-slice of the output; each element is produced by
+//!    exactly the same code as the serial loop, so values cannot differ.
+//! 2. **Fixed chunk boundaries.** Reduction grain is chosen by the
+//!    *caller* from the problem shape, never from the thread count.
+//! 3. **Ordered merges.** [`map_reduce`] folds per-chunk partials in
+//!    chunk-index order, so floating-point association is a function of
+//!    the grain alone.
+//!
+//! Thread count resolves as: [`set_threads`] override → `TINYADC_THREADS`
+//! env var → [`std::thread::available_parallelism`]. At 1 thread every
+//! helper degrades to a plain serial loop with no spawning and no
+//! synchronisation overhead.
+//!
+//! # Example
+//!
+//! ```
+//! let mut squares = vec![0u64; 1000];
+//! tinyadc_par::for_each_chunk_mut(&mut squares, 128, |chunk_index, chunk| {
+//!     for (i, v) in chunk.iter_mut().enumerate() {
+//!         let n = (chunk_index * 128 + i) as u64;
+//!         *v = n * n;
+//!     }
+//! });
+//! assert_eq!(squares[40], 1600);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Programmatic override; 0 means "not set, use env/auto".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Set inside worker threads so nested parallel calls (e.g. a
+    /// per-patch map invoking per-column tile MVMs) degrade to serial
+    /// instead of oversubscribing the machine with recursive spawns.
+    /// Harmless for results: every helper is thread-count-invariant.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Below this many work items the spawn cost dwarfs the win; run serial.
+/// Thresholding never changes results — only where they are computed.
+const MIN_ITEMS_PER_THREAD: usize = 2;
+
+/// Sets the global worker count. `0` clears the override, returning to
+/// `TINYADC_THREADS` / auto detection. Takes effect for subsequent calls.
+pub fn set_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// The worker count parallel helpers will use right now:
+/// [`set_threads`] override, else `TINYADC_THREADS`, else
+/// [`std::thread::available_parallelism`], floored at 1.
+pub fn current_threads() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if forced > 0 {
+        return forced;
+    }
+    if let Ok(v) = std::env::var("TINYADC_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// How many workers to actually launch for `tasks` independent tasks.
+fn workers_for(tasks: usize) -> usize {
+    if IN_WORKER.with(Cell::get) {
+        return 1;
+    }
+    let t = current_threads()
+        .min(tasks / MIN_ITEMS_PER_THREAD.max(1))
+        .min(tasks);
+    t.max(1)
+}
+
+/// Splits `data` into consecutive chunks of `chunk_len` elements (the last
+/// may be shorter) and runs `f(chunk_index, chunk)` for every chunk,
+/// distributing chunks over the worker threads.
+///
+/// Each chunk is a disjoint `&mut` sub-slice, so the result is bitwise
+/// identical to running the chunks serially in order — for any thread
+/// count.
+///
+/// # Panics
+///
+/// Panics if `chunk_len == 0` (via `chunks_mut`) or if `f` panics on any
+/// worker.
+pub fn for_each_chunk_mut<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let n_chunks = data.len().div_ceil(chunk_len.max(1));
+    let workers = workers_for(n_chunks);
+    if workers <= 1 {
+        for (ci, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(ci, chunk);
+        }
+        return;
+    }
+    // Contiguous runs of chunks per worker keep memory access streaming.
+    let chunks: Vec<(usize, &mut [T])> = data.chunks_mut(chunk_len).enumerate().collect();
+    let per_worker = chunks.len().div_ceil(workers);
+    let mut groups: Vec<Vec<(usize, &mut [T])>> = Vec::with_capacity(workers);
+    let mut rest = chunks;
+    while !rest.is_empty() {
+        let take = per_worker.min(rest.len());
+        let tail = rest.split_off(take);
+        groups.push(rest);
+        rest = tail;
+    }
+    std::thread::scope(|s| {
+        for group in groups {
+            let f = &f;
+            s.spawn(move || {
+                IN_WORKER.with(|w| w.set(true));
+                for (ci, chunk) in group {
+                    f(ci, chunk);
+                }
+            });
+        }
+    });
+}
+
+/// Runs `f(i)` for `i in 0..n` and collects the results in index order.
+///
+/// Results are placed by index, so ordering is independent of scheduling.
+pub fn map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = workers_for(n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let per_worker = n.div_ceil(workers);
+    std::thread::scope(|s| {
+        for (w, slots) in out.chunks_mut(per_worker).enumerate() {
+            let base = w * per_worker;
+            let f = &f;
+            s.spawn(move || {
+                IN_WORKER.with(|w| w.set(true));
+                for (j, slot) in slots.iter_mut().enumerate() {
+                    *slot = Some(f(base + j));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|v| v.expect("every index filled"))
+        .collect()
+}
+
+/// Splits `0..n_items` into ranges of `grain` items (fixed boundaries,
+/// independent of thread count), maps every range with `map`, and folds
+/// the partials **in range order** with `reduce`.
+///
+/// Because both the chunking and the merge order are functions of
+/// `(n_items, grain)` alone, the result — floating point included — is
+/// identical for every thread count. Callers that previously summed
+/// element-by-element must adopt the chunked association as their
+/// canonical (serial and parallel) result.
+///
+/// Returns `None` when `n_items == 0`.
+pub fn map_reduce<T, M, R>(n_items: usize, grain: usize, map_fn: M, mut reduce: R) -> Option<T>
+where
+    T: Send,
+    M: Fn(Range<usize>) -> T + Sync,
+    R: FnMut(T, T) -> T,
+{
+    if n_items == 0 {
+        return None;
+    }
+    let grain = grain.max(1);
+    let n_chunks = n_items.div_ceil(grain);
+    let ranges = move |ci: usize| ci * grain..((ci + 1) * grain).min(n_items);
+    let partials = map(n_chunks, |ci| map_fn(ranges(ci)));
+    partials.into_iter().reduce(&mut reduce)
+}
+
+/// Chunked deterministic sum of `f(i)` over `0..n_items` in `f64`:
+/// per-chunk serial accumulation, partials merged in chunk order.
+pub fn sum_f64<F>(n_items: usize, grain: usize, f: F) -> f64
+where
+    F: Fn(usize) -> f64 + Sync,
+{
+    map_reduce(n_items, grain, |r| r.map(&f).sum::<f64>(), |a, b| a + b).unwrap_or(0.0)
+}
+
+/// A sensible chunk length for `n` items of roughly uniform cost: large
+/// enough to amortise spawning, derived only from `n` (never the thread
+/// count) so boundaries are reproducible.
+pub fn default_grain(n: usize) -> usize {
+    // At most 64 chunks; at least 1 item each.
+    n.div_ceil(64).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunked_mut_covers_every_element_once() {
+        let mut v = vec![0u32; 1003];
+        for_each_chunk_mut(&mut v, 17, |ci, chunk| {
+            for (j, x) in chunk.iter_mut().enumerate() {
+                *x += (ci * 17 + j) as u32 + 1;
+            }
+        });
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn map_preserves_index_order() {
+        let out = map(257, |i| i * i);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, i * i);
+        }
+    }
+
+    #[test]
+    fn map_reduce_is_thread_count_invariant() {
+        let eval = || {
+            map_reduce(
+                1000,
+                37,
+                |r| r.map(|i| (i as f64 + 0.1).sqrt()).sum::<f64>(),
+                |a, b| a + b,
+            )
+            .unwrap()
+        };
+        set_threads(1);
+        let serial = eval();
+        for t in [2, 3, 4, 7] {
+            set_threads(t);
+            assert_eq!(serial.to_bits(), eval().to_bits(), "threads = {t}");
+        }
+        set_threads(0);
+    }
+
+    #[test]
+    fn sum_f64_handles_empty_and_matches_manual() {
+        assert_eq!(sum_f64(0, 8, |_| 1.0), 0.0);
+        let total = sum_f64(10, 3, |i| i as f64);
+        assert_eq!(total, 45.0);
+    }
+
+    #[test]
+    fn set_threads_roundtrip() {
+        set_threads(3);
+        assert_eq!(current_threads(), 3);
+        set_threads(0);
+        assert!(current_threads() >= 1);
+    }
+
+    #[test]
+    fn default_grain_bounds() {
+        assert_eq!(default_grain(0), 1);
+        assert_eq!(default_grain(1), 1);
+        assert_eq!(default_grain(64), 1);
+        assert_eq!(default_grain(65), 2);
+        assert!(default_grain(1_000_000) >= 15_000);
+    }
+
+    #[test]
+    fn nested_calls_run_on_the_outer_worker_thread() {
+        set_threads(4);
+        let outer = map(8, |i| {
+            let me = std::thread::current().id();
+            let inner_ids = map(8, |_| std::thread::current().id());
+            (i, inner_ids.iter().all(|&id| id == me))
+        });
+        set_threads(0);
+        for (i, stayed) in outer {
+            assert!(stayed, "nested map at {i} escaped its worker thread");
+        }
+    }
+
+    #[test]
+    fn parallel_results_match_serial_with_many_threads() {
+        let run = |threads: usize| {
+            set_threads(threads);
+            let mut v = vec![0f32; 541];
+            for_each_chunk_mut(&mut v, 13, |ci, chunk| {
+                for (j, x) in chunk.iter_mut().enumerate() {
+                    *x = ((ci * 13 + j) as f32).sin();
+                }
+            });
+            set_threads(0);
+            v
+        };
+        let base = run(1);
+        for t in [2, 4, 7, 16] {
+            assert_eq!(base, run(t), "threads = {t}");
+        }
+    }
+}

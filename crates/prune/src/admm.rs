@@ -377,8 +377,7 @@ mod tests {
         let mut rng = SeededRng::new(2);
         let mut net = net_8x8(&mut rng);
         let cp = CpConstraint::new(xbar(8, 8), 2).unwrap();
-        let pruner =
-            AdmmPruner::uniform_cp(&mut net, cp, &[], AdmmConfig::default()).unwrap();
+        let pruner = AdmmPruner::uniform_cp(&mut net, cp, &[], AdmmConfig::default()).unwrap();
         assert_eq!(pruner.constrained_count(), 1);
         let z = pruner.z.get("fc.weight").unwrap();
         let zm = to_matrix(z, ParamKind::LinearWeight).unwrap();
@@ -417,8 +416,7 @@ mod tests {
         let mut rng = SeededRng::new(2);
         let mut net = net_8x8(&mut rng);
         let cp = CpConstraint::new(xbar(8, 8), 2).unwrap();
-        let mut pruner =
-            AdmmPruner::uniform_cp(&mut net, cp, &[], AdmmConfig::default()).unwrap();
+        let mut pruner = AdmmPruner::uniform_cp(&mut net, cp, &[], AdmmConfig::default()).unwrap();
         pruner.update_auxiliary(&mut net).unwrap();
         let u = pruner.u.get("fc.weight").unwrap();
         // After one update, U = W - Z (started at zero); nonzero for a
@@ -431,8 +429,7 @@ mod tests {
         let mut rng = SeededRng::new(3);
         let mut net = net_8x8(&mut rng);
         let cp = CpConstraint::new(xbar(4, 4), 1).unwrap();
-        let pruner =
-            AdmmPruner::uniform_cp(&mut net, cp, &[], AdmmConfig::default()).unwrap();
+        let pruner = AdmmPruner::uniform_cp(&mut net, cp, &[], AdmmConfig::default()).unwrap();
         let masks = pruner.finalize(&mut net).unwrap();
         net.visit_params(&mut |p| {
             let m = to_matrix(&p.value, p.kind).unwrap();
@@ -462,8 +459,7 @@ mod tests {
         let mut rng = SeededRng::new(3);
         let mut net = net_8x8(&mut rng);
         let cp = CpConstraint::new(xbar(8, 8), 2).unwrap();
-        let pruner =
-            AdmmPruner::uniform_cp(&mut net, cp, &[], AdmmConfig::default()).unwrap();
+        let pruner = AdmmPruner::uniform_cp(&mut net, cp, &[], AdmmConfig::default()).unwrap();
         pruner.finalize(&mut net).unwrap();
         // Re-project Z from the projected weights: residual vanishes.
         let mut p2 = AdmmPruner::uniform_cp(&mut net, cp, &[], AdmmConfig::default()).unwrap();
@@ -494,8 +490,7 @@ mod tests {
         let mut rng = SeededRng::new(5);
         let mut net = net_8x8(&mut rng);
         let cp = CpConstraint::new(xbar(8, 8), 2).unwrap();
-        let mut pruner =
-            AdmmPruner::uniform_cp(&mut net, cp, &[], AdmmConfig::default()).unwrap();
+        let mut pruner = AdmmPruner::uniform_cp(&mut net, cp, &[], AdmmConfig::default()).unwrap();
         pruner.update_auxiliary(&mut net).unwrap(); // U becomes nonzero
         let rho0 = pruner.rho();
         let u0 = pruner.u.get("fc.weight").unwrap().clone();
@@ -516,8 +511,7 @@ mod tests {
         let mut rng = SeededRng::new(6);
         let mut net = net_8x8(&mut rng);
         let cp = CpConstraint::new(xbar(8, 8), 2).unwrap();
-        let mut pruner =
-            AdmmPruner::uniform_cp(&mut net, cp, &[], AdmmConfig::default()).unwrap();
+        let mut pruner = AdmmPruner::uniform_cp(&mut net, cp, &[], AdmmConfig::default()).unwrap();
         // First call only seeds prev_z (no dual residual yet).
         let rho0 = pruner.adapt_rho(&mut net, 10.0, 2.0);
         assert_eq!(rho0, pruner.rho());
@@ -531,7 +525,10 @@ mod tests {
         pruner.update_auxiliary(&mut net).unwrap();
         let before = pruner.rho();
         let after = pruner.adapt_rho(&mut net, 1.0, 2.0);
-        assert!(after >= before, "rho should not shrink here: {before} -> {after}");
+        assert!(
+            after >= before,
+            "rho should not shrink here: {before} -> {after}"
+        );
     }
 
     #[test]

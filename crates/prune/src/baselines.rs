@@ -242,7 +242,10 @@ mod tests {
         let mut net = Network::new("n", stack, vec![4, 4, 4], 8);
         let outcome = channel_prune(&mut net, 0.4, &[]).unwrap(); // 3 of 8
         let xbar = CrossbarShape::new(16, 8).unwrap();
-        assert_eq!(outcome.crossbars_before(xbar), outcome.crossbars_after(xbar));
+        assert_eq!(
+            outcome.crossbars_before(xbar),
+            outcome.crossbars_after(xbar)
+        );
     }
 
     #[test]

@@ -79,28 +79,39 @@ impl CpConstraint {
     pub fn project(&self, matrix: &Tensor) -> Result<Tensor> {
         let [rows, cols] = matrix_dims(matrix)?;
         let mut out = matrix.clone();
-        let data = out.as_mut_slice();
         let m = self.xbar.rows();
-        let mut idx_buf: Vec<usize> = Vec::with_capacity(m);
-        for block_start in (0..rows).step_by(m) {
+        let l = self.l;
+        let n_blocks = rows.div_ceil(m);
+        // Phase 1 (parallel, read-only): every block column independently
+        // determines which flat indices fall outside its l largest
+        // magnitudes. `select_nth_unstable_by` is deterministic for a given
+        // input order, so the selected set does not depend on threading.
+        let data = out.as_slice();
+        let zero_lists = tinyadc_par::map(n_blocks * cols, |t| {
+            let block_start = (t / cols) * m;
+            let col = t % cols;
             let block_end = (block_start + m).min(rows);
-            for col in 0..cols {
-                let seg_len = block_end - block_start;
-                if seg_len <= self.l {
-                    continue; // cannot violate the cap
-                }
-                idx_buf.clear();
-                idx_buf.extend(0..seg_len);
-                // Partial sort: l largest magnitudes first.
-                idx_buf.select_nth_unstable_by(self.l - 1, |&a, &b| {
-                    let va = data[(block_start + a) * cols + col].abs();
-                    let vb = data[(block_start + b) * cols + col].abs();
-                    vb.partial_cmp(&va).expect("weights are finite")
-                });
-                for &i in &idx_buf[self.l..] {
-                    data[(block_start + i) * cols + col] = 0.0;
-                }
+            let seg_len = block_end - block_start;
+            if seg_len <= l {
+                return Vec::new(); // cannot violate the cap
             }
+            let mut idx: Vec<usize> = (0..seg_len).collect();
+            // Partial sort: l largest magnitudes first.
+            idx.select_nth_unstable_by(l - 1, |&a, &b| {
+                let va = data[(block_start + a) * cols + col].abs();
+                let vb = data[(block_start + b) * cols + col].abs();
+                vb.partial_cmp(&va).expect("weights are finite")
+            });
+            idx[l..]
+                .iter()
+                .map(|&i| (block_start + i) * cols + col)
+                .collect()
+        });
+        // Phase 2 (serial): zero the losers. Lists touch disjoint indices,
+        // so application order is immaterial.
+        let data = out.as_mut_slice();
+        for &i in zero_lists.iter().flatten() {
+            data[i] = 0.0;
         }
         Ok(out)
     }
@@ -140,13 +151,7 @@ impl CpConstraint {
 
 impl std::fmt::Display for CpConstraint {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "CP {}x on {} (l = {})",
-            self.rate(),
-            self.xbar,
-            self.l
-        )
+        write!(f, "CP {}x on {} (l = {})", self.rate(), self.xbar, self.l)
     }
 }
 
@@ -160,17 +165,28 @@ pub fn max_block_column_nonzeros(matrix: &Tensor, xbar: CrossbarShape) -> Result
     let [rows, cols] = matrix_dims(matrix)?;
     let data = matrix.as_slice();
     let m = xbar.rows();
-    let mut worst = 0usize;
-    for block_start in (0..rows).step_by(m) {
-        let block_end = (block_start + m).min(rows);
-        for col in 0..cols {
-            let nnz = (block_start..block_end)
-                .filter(|&r| data[r * cols + col] != 0.0)
-                .count();
-            worst = worst.max(nnz);
-        }
-    }
-    Ok(worst)
+    let n_tasks = rows.div_ceil(m) * cols;
+    // Max-reduction over block columns: order-free, so the parallel chunked
+    // fold agrees exactly with the serial scan.
+    let worst = tinyadc_par::map_reduce(
+        n_tasks,
+        tinyadc_par::default_grain(n_tasks),
+        |range| {
+            let mut worst = 0usize;
+            for t in range {
+                let block_start = (t / cols) * m;
+                let col = t % cols;
+                let block_end = (block_start + m).min(rows);
+                let nnz = (block_start..block_end)
+                    .filter(|&r| data[r * cols + col] != 0.0)
+                    .count();
+                worst = worst.max(nnz);
+            }
+            worst
+        },
+        usize::max,
+    );
+    Ok(worst.unwrap_or(0))
 }
 
 fn matrix_dims(t: &Tensor) -> Result<[usize; 2]> {
@@ -269,9 +285,7 @@ mod tests {
         let p = cp.project(&w).unwrap();
         let d_star = w.sub(&p).unwrap().frobenius_norm();
         for _ in 0..50 {
-            let probe = cp
-                .project(&Tensor::randn(&[12, 6], 1.0, &mut rng))
-                .unwrap();
+            let probe = cp.project(&Tensor::randn(&[12, 6], 1.0, &mut rng)).unwrap();
             let d = w.sub(&probe).unwrap().frobenius_norm();
             assert!(d_star <= d + 1e-5, "{d_star} > {d}");
         }

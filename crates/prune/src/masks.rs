@@ -225,10 +225,7 @@ mod tests {
         );
         b.insert("v", Tensor::ones(&[2]));
         let c = a.intersect(&b);
-        assert_eq!(
-            c.get("w").unwrap().as_slice(),
-            &[1.0, 0.0, 0.0, 1.0]
-        );
+        assert_eq!(c.get("w").unwrap().as_slice(), &[1.0, 0.0, 0.0, 1.0]);
         assert!(c.get("v").is_some());
     }
 

@@ -60,10 +60,7 @@ pub fn render_param(value: &Tensor, kind: ParamKind, xbar: CrossbarShape) -> Res
 /// # Errors
 ///
 /// Propagates shape errors for non-matrices.
-pub fn column_occupancy_histogram(
-    matrix: &Tensor,
-    xbar: CrossbarShape,
-) -> Result<Vec<usize>> {
+pub fn column_occupancy_histogram(matrix: &Tensor, xbar: CrossbarShape) -> Result<Vec<usize>> {
     let dims = matrix.dims();
     let (rows, cols) = (dims[0], dims[1]);
     let data = matrix.as_slice();

@@ -150,8 +150,8 @@ impl TrainHook for ProgressiveCpHook {
         self.pruner.after_epoch(net, epoch)?;
         let next_rate = self.ramp.rate_at(epoch + 1);
         if next_rate != self.current_rate {
-            let cp = CpConstraint::from_rate(self.xbar, next_rate)
-                .map_err(tinyadc_nn::NnError::from)?;
+            let cp =
+                CpConstraint::from_rate(self.xbar, next_rate).map_err(tinyadc_nn::NnError::from)?;
             self.pruner = AdmmPruner::uniform_cp(net, cp, &self.skip, self.admm)
                 .map_err(tinyadc_nn::NnError::from)?;
             self.current_rate = next_rate;

@@ -108,8 +108,11 @@ impl SensitivityProfile {
 
     /// The measurements for one layer, ascending by rate.
     pub fn for_layer(&self, name: &str) -> Vec<&LayerSensitivity> {
-        let mut out: Vec<&LayerSensitivity> =
-            self.measurements.iter().filter(|m| m.name == name).collect();
+        let mut out: Vec<&LayerSensitivity> = self
+            .measurements
+            .iter()
+            .filter(|m| m.name == name)
+            .collect();
         out.sort_by_key(|m| m.rate);
         out
     }

@@ -172,8 +172,7 @@ impl StructuredConfig {
 ///
 /// Returns [`PruneError::InvalidConfig`] for fractions outside `[0, 1)`.
 pub fn apply_structured(net: &mut Network, config: &StructuredConfig) -> Result<StructuredOutcome> {
-    if !(0.0..1.0).contains(&config.filter_fraction)
-        || !(0.0..1.0).contains(&config.shape_fraction)
+    if !(0.0..1.0).contains(&config.filter_fraction) || !(0.0..1.0).contains(&config.shape_fraction)
     {
         return Err(PruneError::InvalidConfig(
             "structured fractions must be in [0, 1)".into(),
@@ -264,9 +263,7 @@ fn select_groups(
         .map(|g| {
             let norm: f32 = match kind {
                 StructuredKind::Filter => (0..rows).map(|r| data[r * cols + g].powi(2)).sum(),
-                StructuredKind::FilterShape => {
-                    (0..cols).map(|c| data[g * cols + c].powi(2)).sum()
-                }
+                StructuredKind::FilterShape => (0..cols).map(|c| data[g * cols + c].powi(2)).sum(),
             };
             (g, norm)
         })

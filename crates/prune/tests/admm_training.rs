@@ -26,8 +26,7 @@ fn admm_training_pulls_weights_toward_constraint() {
     let mut rng = SeededRng::new(51);
     let data =
         SyntheticImageDataset::generate(DatasetTier::Tier1Cifar10Like, 60, 20, &mut rng).unwrap();
-    let mut net =
-        models::mlp("m", data.input_dims(), data.num_classes(), &[32], &mut rng).unwrap();
+    let mut net = models::mlp("m", data.input_dims(), data.num_classes(), &[32], &mut rng).unwrap();
     let xbar = CrossbarShape::new(16, 16).unwrap();
     let cp = CpConstraint::new(xbar, 2).unwrap();
 
@@ -77,8 +76,7 @@ fn progressive_ramp_trains_to_target_feasibility() {
     let mut rng = SeededRng::new(52);
     let data =
         SyntheticImageDataset::generate(DatasetTier::Tier1Cifar10Like, 60, 20, &mut rng).unwrap();
-    let mut net =
-        models::mlp("m", data.input_dims(), data.num_classes(), &[32], &mut rng).unwrap();
+    let mut net = models::mlp("m", data.input_dims(), data.num_classes(), &[32], &mut rng).unwrap();
     let xbar = CrossbarShape::new(16, 16).unwrap();
     let ramp = CpRamp::doubling(8, 1).unwrap();
     let mut hook =
@@ -105,8 +103,7 @@ fn masked_retraining_preserves_the_pattern_under_momentum() {
     let mut rng = SeededRng::new(53);
     let data =
         SyntheticImageDataset::generate(DatasetTier::Tier1Cifar10Like, 60, 20, &mut rng).unwrap();
-    let mut net =
-        models::mlp("m", data.input_dims(), data.num_classes(), &[16], &mut rng).unwrap();
+    let mut net = models::mlp("m", data.input_dims(), data.num_classes(), &[16], &mut rng).unwrap();
     let xbar = CrossbarShape::new(8, 8).unwrap();
     let cp = CpConstraint::new(xbar, 1).unwrap();
     let pruner = AdmmPruner::uniform_cp(&mut net, cp, &[], AdmmConfig::default()).unwrap();

@@ -1,43 +1,43 @@
-//! Property-based tests for the pruning crate's invariants.
+//! Randomized property tests for the pruning crate's invariants, driven
+//! by the in-tree [`SeededRng`] (fixed seeds, deterministic, offline).
 
-use proptest::prelude::*;
 use std::collections::HashSet;
+use tinyadc_nn::layers::{Conv2d, Sequential};
+use tinyadc_nn::Network;
 use tinyadc_nn::ParamKind;
 use tinyadc_prune::structured::{apply_structured, StructuredConfig};
 use tinyadc_prune::{layout, max_block_column_nonzeros, CpConstraint, CrossbarShape};
-use tinyadc_nn::layers::{Conv2d, Sequential};
-use tinyadc_nn::Network;
 use tinyadc_tensor::rng::SeededRng;
 use tinyadc_tensor::Tensor;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    #[test]
-    fn projection_satisfies_constraint_for_any_geometry(
-        (rows, cols) in (1usize..40, 1usize..24),
-        (xr, xc) in (1usize..16, 1usize..16),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn projection_satisfies_constraint_for_any_geometry() {
+    for seed in 0..CASES {
+        let mut rng = SeededRng::new(seed);
+        let rows = 1 + rng.sample_index(39);
+        let cols = 1 + rng.sample_index(23);
+        let xr = 1 + rng.sample_index(15);
+        let xc = 1 + rng.sample_index(15);
         let xbar = CrossbarShape::new(xr, xc).unwrap();
         let l = (xr / 2).max(1);
         let cp = CpConstraint::new(xbar, l).unwrap();
-        let mut rng = SeededRng::new(seed);
         let m = Tensor::randn(&[rows, cols], 1.0, &mut rng);
         let z = cp.project(&m).unwrap();
-        prop_assert!(cp.is_satisfied(&z).unwrap());
-        prop_assert!(max_block_column_nonzeros(&z, xbar).unwrap() <= l);
+        assert!(cp.is_satisfied(&z).unwrap());
+        assert!(max_block_column_nonzeros(&z, xbar).unwrap() <= l);
     }
+}
 
-    #[test]
-    fn projection_keeps_largest_magnitudes_per_block_column(
-        seed in any::<u64>(),
-    ) {
-        // For a single-column matrix with one block: the survivors must be
-        // exactly the l largest magnitudes.
+#[test]
+fn projection_keeps_largest_magnitudes_per_block_column() {
+    // For a single-column matrix with one block: the survivors must be
+    // exactly the l largest magnitudes.
+    for seed in 0..CASES {
+        let mut rng = SeededRng::new(seed);
         let xbar = CrossbarShape::new(12, 1).unwrap();
         let cp = CpConstraint::new(xbar, 4).unwrap();
-        let mut rng = SeededRng::new(seed);
         let m = Tensor::randn(&[12, 1], 1.0, &mut rng);
         let z = cp.project(&m).unwrap();
         let mut mags: Vec<f32> = m.as_slice().iter().map(|x| x.abs()).collect();
@@ -45,38 +45,33 @@ proptest! {
         let threshold = mags[3];
         for (orig, kept) in m.as_slice().iter().zip(z.as_slice()) {
             if orig.abs() > threshold {
-                prop_assert_eq!(orig, kept);
+                assert_eq!(orig, kept);
             }
             if *kept != 0.0 {
-                prop_assert!(kept.abs() >= mags[4] || mags[3] == mags[4]);
+                assert!(kept.abs() >= mags[4] || mags[3] == mags[4]);
             }
         }
     }
+}
 
-    #[test]
-    fn structured_masks_agree_with_reported_groups(
-        filters in 1usize..5, // x8 filters
-        fraction in 0.0f64..0.9,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn structured_masks_agree_with_reported_groups() {
+    for seed in 0..16 {
         let mut rng = SeededRng::new(seed);
-        let f = filters * 8;
-        let stack = Sequential::new("n")
-            .with(Conv2d::new("conv", 4, f, 3, 1, 1, false, &mut rng));
+        let f = (1 + rng.sample_index(4)) * 8;
+        let fraction = rng.sample_uniform(0.0, 0.9) as f64;
+        let stack = Sequential::new("n").with(Conv2d::new("conv", 4, f, 3, 1, 1, false, &mut rng));
         let mut net = Network::new("n", stack, vec![4, 8, 8], f);
-        let cfg = StructuredConfig::filters_only(
-            CrossbarShape::new(8, 8).unwrap(),
-            fraction,
-            vec![],
-        );
+        let cfg =
+            StructuredConfig::filters_only(CrossbarShape::new(8, 8).unwrap(), fraction, vec![]);
         let outcome = apply_structured(&mut net, &cfg).unwrap();
         let layer = &outcome.layers[0];
         // Removal count aligned to crossbar columns.
-        prop_assert_eq!(layer.removed_cols.len() % 8, 0);
+        assert_eq!(layer.removed_cols.len() % 8, 0);
         // Indices unique and within range.
         let unique: HashSet<_> = layer.removed_cols.iter().collect();
-        prop_assert_eq!(unique.len(), layer.removed_cols.len());
-        prop_assert!(layer.removed_cols.iter().all(|&c| c < f));
+        assert_eq!(unique.len(), layer.removed_cols.len());
+        assert!(layer.removed_cols.iter().all(|&c| c < f));
         // The weights of removed filters are all zero.
         net.visit_params(&mut |p| {
             let m = layout::to_matrix(&p.value, p.kind).unwrap();
@@ -85,28 +80,35 @@ proptest! {
             }
         });
     }
+}
 
-    #[test]
-    fn layout_round_trip_any_conv_shape(
-        (f, c, kh, kw) in (1usize..10, 1usize..6, 1usize..4, 1usize..4),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn layout_round_trip_any_conv_shape() {
+    for seed in 0..CASES {
         let mut rng = SeededRng::new(seed);
+        let f = 1 + rng.sample_index(9);
+        let c = 1 + rng.sample_index(5);
+        let kh = 1 + rng.sample_index(3);
+        let kw = 1 + rng.sample_index(3);
         let w = Tensor::randn(&[f, c, kh, kw], 1.0, &mut rng);
         let m = layout::to_matrix(&w, ParamKind::ConvWeight).unwrap();
-        prop_assert_eq!(m.dims(), &[c * kh * kw, f]);
+        assert_eq!(m.dims(), &[c * kh * kw, f]);
         let back = layout::from_matrix(&m, ParamKind::ConvWeight, w.dims()).unwrap();
-        prop_assert_eq!(back, w);
+        assert_eq!(back, w);
     }
+}
 
-    #[test]
-    fn crossbar_block_count_monotone_in_matrix_size(
-        (r1, c1) in (1usize..64, 1usize..64),
-        (dr, dc) in (0usize..32, 0usize..32),
-    ) {
+#[test]
+fn crossbar_block_count_monotone_in_matrix_size() {
+    for seed in 0..CASES {
+        let mut rng = SeededRng::new(seed);
+        let r1 = 1 + rng.sample_index(63);
+        let c1 = 1 + rng.sample_index(63);
+        let dr = rng.sample_index(32);
+        let dc = rng.sample_index(32);
         let xbar = CrossbarShape::new(16, 8).unwrap();
         let small = xbar.blocks_for(r1, c1);
         let large = xbar.blocks_for(r1 + dr, c1 + dc);
-        prop_assert!(large >= small);
+        assert!(large >= small);
     }
 }

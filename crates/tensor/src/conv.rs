@@ -65,7 +65,9 @@ impl Conv2dGeometry {
             return Err(TensorError::InvalidArgument("stride must be > 0".into()));
         }
         if kernel_h == 0 || kernel_w == 0 {
-            return Err(TensorError::InvalidArgument("kernel must be non-empty".into()));
+            return Err(TensorError::InvalidArgument(
+                "kernel must be non-empty".into(),
+            ));
         }
         let padded_h = in_h + 2 * padding;
         let padded_w = in_w + 2 * padding;
@@ -119,28 +121,27 @@ pub fn im2col(input: &Tensor, geometry: &Conv2dGeometry) -> Result<Tensor> {
     let x = input.as_slice();
     let mut out = vec![0.0f32; g.patch_len() * g.patch_count()];
     let cols = g.patch_count();
-    for c in 0..g.in_channels {
-        for kh in 0..g.kernel_h {
-            for kw in 0..g.kernel_w {
-                let row = (c * g.kernel_h + kh) * g.kernel_w + kw;
-                let out_row = &mut out[row * cols..(row + 1) * cols];
-                for oh in 0..g.out_h {
-                    let ih = (oh * g.stride + kh) as isize - g.padding as isize;
-                    if ih < 0 || ih >= g.in_h as isize {
-                        continue; // zero padding row: already zero
-                    }
-                    let ih = ih as usize;
-                    for ow in 0..g.out_w {
-                        let iw = (ow * g.stride + kw) as isize - g.padding as isize;
-                        if iw < 0 || iw >= g.in_w as isize {
-                            continue;
-                        }
-                        out_row[oh * g.out_w + ow] = x[(c * g.in_h + ih) * g.in_w + iw as usize];
-                    }
+    // Each output row corresponds to one kernel position (c, kh, kw) and is
+    // written independently, so rows are distributed across threads.
+    tinyadc_par::for_each_chunk_mut(&mut out, cols.max(1), |row, out_row| {
+        let kw = row % g.kernel_w;
+        let kh = (row / g.kernel_w) % g.kernel_h;
+        let c = row / (g.kernel_w * g.kernel_h);
+        for oh in 0..g.out_h {
+            let ih = (oh * g.stride + kh) as isize - g.padding as isize;
+            if ih < 0 || ih >= g.in_h as isize {
+                continue; // zero padding row: already zero
+            }
+            let ih = ih as usize;
+            for ow in 0..g.out_w {
+                let iw = (ow * g.stride + kw) as isize - g.padding as isize;
+                if iw < 0 || iw >= g.in_w as isize {
+                    continue;
                 }
+                out_row[oh * g.out_w + ow] = x[(c * g.in_h + ih) * g.in_w + iw as usize];
             }
         }
-    }
+    });
     Tensor::from_vec(out, &[g.patch_len(), g.patch_count()])
 }
 
@@ -163,7 +164,11 @@ pub fn col2im(cols: &Tensor, geometry: &Conv2dGeometry) -> Result<Tensor> {
     let src = cols.as_slice();
     let mut out = vec![0.0f32; g.in_channels * g.in_h * g.in_w];
     let n_cols = g.patch_count();
-    for c in 0..g.in_channels {
+    // Overlapping patches only accumulate within a channel, so channels are
+    // the unit of parallelism; the per-element accumulation order over
+    // (kh, kw, oh, ow) is the same as the serial loop, keeping results
+    // bitwise identical for any thread count.
+    tinyadc_par::for_each_chunk_mut(&mut out, (g.in_h * g.in_w).max(1), |c, out_ch| {
         for kh in 0..g.kernel_h {
             for kw in 0..g.kernel_w {
                 let row = (c * g.kernel_h + kh) * g.kernel_w + kw;
@@ -179,13 +184,12 @@ pub fn col2im(cols: &Tensor, geometry: &Conv2dGeometry) -> Result<Tensor> {
                         if iw < 0 || iw >= g.in_w as isize {
                             continue;
                         }
-                        out[(c * g.in_h + ih) * g.in_w + iw as usize] +=
-                            src_row[oh * g.out_w + ow];
+                        out_ch[ih * g.in_w + iw as usize] += src_row[oh * g.out_w + ow];
                     }
                 }
             }
         }
-    }
+    });
     Tensor::from_vec(out, &[g.in_channels, g.in_h, g.in_w])
 }
 

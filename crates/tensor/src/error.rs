@@ -74,10 +74,16 @@ impl fmt::Display for TensorError {
                 write!(f, "expected rank {expected}, got rank {actual}")
             }
             Self::ReshapeMismatch { from, to } => {
-                write!(f, "cannot reshape {from} elements into a {to}-element shape")
+                write!(
+                    f,
+                    "cannot reshape {from} elements into a {to}-element shape"
+                )
             }
             Self::IndexOutOfBounds { axis, index, len } => {
-                write!(f, "index {index} out of bounds for axis {axis} of length {len}")
+                write!(
+                    f,
+                    "index {index} out of bounds for axis {axis} of length {len}"
+                )
             }
             Self::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
         }

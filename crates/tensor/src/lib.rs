@@ -16,7 +16,7 @@
 //! 2. **Determinism** — all random initialisation goes through seeded RNGs
 //!    so experiments regenerate bit-identical numbers.
 //! 3. **No external numeric deps** — the substrate is part of the
-//!    reproduction; only `rand` is used (for seeding).
+//!    reproduction; the workspace builds fully offline with no external crates.
 //!
 //! # Example
 //!

@@ -1,16 +1,136 @@
 //! Matrix multiplication kernels.
 //!
 //! A cache-blocked kernel drives all production call sites; a naive
-//! triple-loop reference exists for validation in tests.
+//! triple-loop reference exists for validation in tests. All kernels run
+//! over disjoint row-chunks of the output via [`tinyadc_par`], so results
+//! are bitwise identical for every thread count: each output element is
+//! produced by the same instruction sequence regardless of how rows are
+//! distributed across threads.
+//!
+//! Kernels with an `A`-side zero-skip (`matmul`, `t_matmul`) dispatch once
+//! per call on a whole-matrix zero scan: fully dense inputs take a
+//! branch-free inner loop, while masked/pruned matrices keep the skip.
+//! Both paths agree bitwise for finite inputs because adding `aval * bv`
+//! with `aval == ±0.0` leaves a `+0.0`-initialised accumulator unchanged.
 
 use crate::{Result, Tensor, TensorError};
 
 /// Block edge for the cache-blocked kernel; chosen so three blocks of
-/// `f32` fit comfortably in L1.
+/// `f32` fit comfortably in L1. Also the row granularity of parallel
+/// chunking, so chunk boundaries coincide with cache blocks.
 const BLOCK: usize = 64;
+
+/// Whether the zero-skip fast path should be bypassed: a matrix with no
+/// exact zeros gains nothing from the per-element branch.
+fn is_dense(a: &[f32]) -> bool {
+    !a.contains(&0.0)
+}
+
+/// Blocked `A x B` kernel for output rows `i0 .. i0 + c_rows.len() / n`.
+fn matmul_rows(
+    a: &[f32],
+    b: &[f32],
+    c_rows: &mut [f32],
+    i0: usize,
+    k: usize,
+    n: usize,
+    dense: bool,
+) {
+    let rows = c_rows.len() / n;
+    // i-k-j loop order with blocking: the inner j-loop is a contiguous
+    // AXPY over a row of B, which vectorises well.
+    for kb in (0..k).step_by(BLOCK) {
+        let kmax = (kb + BLOCK).min(k);
+        for r in 0..rows {
+            let i = i0 + r;
+            let crow = &mut c_rows[r * n..(r + 1) * n];
+            if dense {
+                for p in kb..kmax {
+                    let aval = a[i * k + p];
+                    let brow = &b[p * n..(p + 1) * n];
+                    for (cv, &bv) in crow.iter_mut().zip(brow) {
+                        *cv += aval * bv;
+                    }
+                }
+            } else {
+                for p in kb..kmax {
+                    let aval = a[i * k + p];
+                    if aval == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[p * n..(p + 1) * n];
+                    for (cv, &bv) in crow.iter_mut().zip(brow) {
+                        *cv += aval * bv;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Blocked `A^T x B` kernel for output rows `i0 .. i0 + c_rows.len() / n`,
+/// reading `A` column-wise (`a[p * m + i]`) so no transpose is materialised.
+/// Per output element the accumulation order is `p` ascending, identical to
+/// the serial reference for every chunking.
+#[allow(clippy::too_many_arguments)]
+fn t_matmul_rows(
+    a: &[f32],
+    b: &[f32],
+    c_rows: &mut [f32],
+    i0: usize,
+    k: usize,
+    m: usize,
+    n: usize,
+    dense: bool,
+) {
+    let rows = c_rows.len() / n;
+    for kb in (0..k).step_by(BLOCK) {
+        let kmax = (kb + BLOCK).min(k);
+        for r in 0..rows {
+            let i = i0 + r;
+            let crow = &mut c_rows[r * n..(r + 1) * n];
+            if dense {
+                for p in kb..kmax {
+                    let aval = a[p * m + i];
+                    let brow = &b[p * n..(p + 1) * n];
+                    for (cv, &bv) in crow.iter_mut().zip(brow) {
+                        *cv += aval * bv;
+                    }
+                }
+            } else {
+                for p in kb..kmax {
+                    let aval = a[p * m + i];
+                    if aval == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[p * n..(p + 1) * n];
+                    for (cv, &bv) in crow.iter_mut().zip(brow) {
+                        *cv += aval * bv;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `A x B^T` dot-product kernel for output rows `i0 .. i0 + c_rows.len() / n`.
+fn matmul_t_rows(a: &[f32], b: &[f32], c_rows: &mut [f32], i0: usize, k: usize, n: usize) {
+    let rows = c_rows.len() / n;
+    for r in 0..rows {
+        let arow = &a[(i0 + r) * k..(i0 + r + 1) * k];
+        for j in 0..n {
+            let brow = &b[j * k..(j + 1) * k];
+            c_rows[r * n + j] = arow.iter().zip(brow).map(|(&x, &y)| x * y).sum();
+        }
+    }
+}
 
 impl Tensor {
     /// Matrix product of two rank-2 tensors: `[m, k] x [k, n] -> [m, n]`.
+    ///
+    /// Row-blocks of the output are computed in parallel (see
+    /// [`tinyadc_par`]); the result is bitwise identical for any thread
+    /// count.
     ///
     /// # Errors
     ///
@@ -27,28 +147,11 @@ impl Tensor {
         }
         let a = self.as_slice();
         let b = other.as_slice();
+        let dense = is_dense(a);
         let mut c = vec![0.0f32; m * n];
-        // i-k-j loop order with blocking: the inner j-loop is a contiguous
-        // AXPY over a row of B, which vectorises well.
-        for ib in (0..m).step_by(BLOCK) {
-            let imax = (ib + BLOCK).min(m);
-            for kb in (0..k).step_by(BLOCK) {
-                let kmax = (kb + BLOCK).min(k);
-                for i in ib..imax {
-                    let crow = &mut c[i * n..(i + 1) * n];
-                    for p in kb..kmax {
-                        let aval = a[i * k + p];
-                        if aval == 0.0 {
-                            continue;
-                        }
-                        let brow = &b[p * n..(p + 1) * n];
-                        for (cv, &bv) in crow.iter_mut().zip(brow) {
-                            *cv += aval * bv;
-                        }
-                    }
-                }
-            }
-        }
+        tinyadc_par::for_each_chunk_mut(&mut c, (BLOCK * n).max(1), |chunk, c_rows| {
+            matmul_rows(a, b, c_rows, chunk * BLOCK, k, n, dense);
+        });
         Self::from_vec(c, &[m, n])
     }
 
@@ -68,10 +171,14 @@ impl Tensor {
         let a = self.as_slice();
         let x = v.as_slice();
         let mut y = vec![0.0f32; m];
-        for i in 0..m {
-            let row = &a[i * k..(i + 1) * k];
-            y[i] = row.iter().zip(x).map(|(&a, &b)| a * b).sum();
-        }
+        let grain = tinyadc_par::default_grain(m);
+        tinyadc_par::for_each_chunk_mut(&mut y, grain, |chunk, y_rows| {
+            for (r, yv) in y_rows.iter_mut().enumerate() {
+                let i = chunk * grain + r;
+                let row = &a[i * k..(i + 1) * k];
+                *yv = row.iter().zip(x).map(|(&a, &b)| a * b).sum();
+            }
+        });
         Self::from_vec(y, &[m])
     }
 
@@ -91,20 +198,11 @@ impl Tensor {
         }
         let a = self.as_slice();
         let b = other.as_slice();
+        let dense = is_dense(a);
         let mut c = vec![0.0f32; m * n];
-        for p in 0..k {
-            let arow = &a[p * m..(p + 1) * m];
-            let brow = &b[p * n..(p + 1) * n];
-            for (i, &av) in arow.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let crow = &mut c[i * n..(i + 1) * n];
-                for (cv, &bv) in crow.iter_mut().zip(brow) {
-                    *cv += av * bv;
-                }
-            }
-        }
+        tinyadc_par::for_each_chunk_mut(&mut c, (BLOCK * n).max(1), |chunk, c_rows| {
+            t_matmul_rows(a, b, c_rows, chunk * BLOCK, k, m, n, dense);
+        });
         Self::from_vec(c, &[m, n])
     }
 
@@ -125,13 +223,9 @@ impl Tensor {
         let a = self.as_slice();
         let b = other.as_slice();
         let mut c = vec![0.0f32; m * n];
-        for i in 0..m {
-            let arow = &a[i * k..(i + 1) * k];
-            for j in 0..n {
-                let brow = &b[j * k..(j + 1) * k];
-                c[i * n + j] = arow.iter().zip(brow).map(|(&x, &y)| x * y).sum();
-            }
-        }
+        tinyadc_par::for_each_chunk_mut(&mut c, (BLOCK * n).max(1), |chunk, c_rows| {
+            matmul_t_rows(a, b, c_rows, chunk * BLOCK, k, n);
+        });
         Self::from_vec(c, &[m, n])
     }
 }
@@ -193,6 +287,29 @@ mod tests {
             let slow = matmul_naive(&a, &b).unwrap();
             assert_close(&fast, &slow, 1e-3);
         }
+    }
+
+    #[test]
+    fn sparse_and_dense_paths_agree_bitwise() {
+        // A matrix with zeros takes the skip path; zeroing entries of a
+        // dense product by hand must match exactly.
+        let mut rng = SeededRng::new(17);
+        let a = Tensor::randn(&[33, 21], 1.0, &mut rng);
+        let b = Tensor::randn(&[21, 19], 1.0, &mut rng);
+        assert!(is_dense(a.as_slice()));
+        let mut masked = a.as_slice().to_vec();
+        for (i, v) in masked.iter_mut().enumerate() {
+            if i % 3 == 0 {
+                *v = 0.0;
+            }
+        }
+        let am = Tensor::from_vec(masked, &[33, 21]).unwrap();
+        assert!(!is_dense(am.as_slice()));
+        // Sparse path on the masked matrix vs dense kernel run directly.
+        let sparse_out = am.matmul(&b).unwrap();
+        let mut dense_c = vec![0.0f32; 33 * 19];
+        matmul_rows(am.as_slice(), b.as_slice(), &mut dense_c, 0, 21, 19, true);
+        assert_eq!(sparse_out.as_slice(), &dense_c[..]);
     }
 
     #[test]

@@ -3,9 +3,10 @@
 //! Everything stochastic in the workspace — weight init, dataset synthesis,
 //! fault injection, device variation — draws from a [`SeededRng`] so that
 //! every experiment regenerates identical numbers on every run.
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+//!
+//! The generator is an in-tree xoshiro256++ (Blackman & Vigna) seeded
+//! through SplitMix64, so the workspace builds fully offline with no
+//! external crates.
 
 /// A seeded random-number generator with the distributions this workspace
 /// needs (standard normal via Box–Muller, uniform, Bernoulli, shuffling).
@@ -21,15 +22,32 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SeededRng {
-    inner: StdRng,
+    state: [u64; 4],
     spare_normal: Option<f32>,
+}
+
+/// One step of SplitMix64 — used only to expand the seed into the
+/// xoshiro256++ state, per the generator authors' recommendation.
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SeededRng {
     /// Creates a generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
+        let mut s = seed;
+        let state = [
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+        ];
         Self {
-            inner: StdRng::seed_from_u64(seed),
+            state,
             spare_normal: None,
         }
     }
@@ -37,13 +55,32 @@ impl SeededRng {
     /// Derives an independent child generator; useful for giving each
     /// layer/experiment its own stream without cross-coupling.
     pub fn fork(&mut self, salt: u64) -> Self {
-        let base: u64 = self.inner.gen();
+        let base = self.next_u64();
         Self::new(base ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
     }
 
-    /// Mutable access to the wrapped [`StdRng`] for `rand` APIs.
-    pub fn inner_mut(&mut self) -> &mut StdRng {
-        &mut self.inner
+    /// The next raw 64-bit output (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f32` in `[0, 1)` with 24 bits of precision.
+    fn next_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// One sample from the standard normal distribution (Box–Muller).
@@ -52,8 +89,8 @@ impl SeededRng {
             return z;
         }
         // Box-Muller transform on two uniforms in (0, 1].
-        let u1: f32 = 1.0 - self.inner.gen::<f32>();
-        let u2: f32 = self.inner.gen();
+        let u1: f32 = 1.0 - self.next_f32();
+        let u2: f32 = self.next_f32();
         let r = (-2.0 * u1.ln()).sqrt();
         let theta = 2.0 * std::f32::consts::PI * u2;
         self.spare_normal = Some(r * theta.sin());
@@ -62,7 +99,7 @@ impl SeededRng {
 
     /// Uniform sample in `[lo, hi)`.
     pub fn sample_uniform(&mut self, lo: f32, hi: f32) -> f32 {
-        self.inner.gen_range(lo..hi)
+        lo + self.next_f32() * (hi - lo)
     }
 
     /// Uniform integer in `[0, n)`.
@@ -71,18 +108,32 @@ impl SeededRng {
     ///
     /// Panics if `n == 0`.
     pub fn sample_index(&mut self, n: usize) -> usize {
-        self.inner.gen_range(0..n)
+        assert!(n > 0, "sample_index needs n > 0");
+        // Lemire's widening-multiply range reduction (bias negligible for
+        // the range sizes this workspace uses; deterministic regardless).
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+
+    /// Uniform integer in the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn sample_range_inclusive(&mut self, lo: isize, hi: isize) -> isize {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        let span = (hi - lo) as usize + 1;
+        lo + self.sample_index(span) as isize
     }
 
     /// Bernoulli trial with probability `p` of `true`.
     pub fn sample_bool(&mut self, p: f64) -> bool {
-        self.inner.gen_bool(p.clamp(0.0, 1.0))
+        self.next_f64() < p.clamp(0.0, 1.0)
     }
 
     /// Fisher–Yates shuffle of a slice.
     pub fn shuffle<T>(&mut self, xs: &mut [T]) {
         for i in (1..xs.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.sample_index(i + 1);
             xs.swap(i, j);
         }
     }
@@ -126,6 +177,41 @@ mod tests {
         let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
         assert!(mean.abs() < 0.02, "mean={mean}");
         assert!((var - 1.0).abs() < 0.05, "var={var}");
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut rng = SeededRng::new(4);
+        for _ in 0..10_000 {
+            let x = rng.sample_uniform(-2.5, 3.5);
+            assert!((-2.5..3.5).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn sample_index_covers_all_buckets() {
+        let mut rng = SeededRng::new(17);
+        let mut seen = [0usize; 7];
+        for _ in 0..7_000 {
+            seen[rng.sample_index(7)] += 1;
+        }
+        for (i, &count) in seen.iter().enumerate() {
+            assert!(count > 700, "bucket {i} undersampled: {count}");
+        }
+    }
+
+    #[test]
+    fn inclusive_range_hits_both_endpoints() {
+        let mut rng = SeededRng::new(23);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..1_000 {
+            let v = rng.sample_range_inclusive(-2, 2);
+            assert!((-2..=2).contains(&v));
+            lo_seen |= v == -2;
+            hi_seen |= v == 2;
+        }
+        assert!(lo_seen && hi_seen);
     }
 
     #[test]

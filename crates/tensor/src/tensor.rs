@@ -1,6 +1,5 @@
 use crate::rng::SeededRng;
 use crate::{Result, Shape, TensorError};
-use rand::Rng;
 
 /// A dense, row-major, owned `f32` tensor.
 ///
@@ -92,7 +91,7 @@ impl Tensor {
     pub fn uniform(dims: &[usize], lo: f32, hi: f32, rng: &mut SeededRng) -> Self {
         let shape = Shape::new(dims);
         let data = (0..shape.volume())
-            .map(|_| rng.inner_mut().gen_range(lo..hi))
+            .map(|_| rng.sample_uniform(lo, hi))
             .collect();
         Self { data, shape }
     }
@@ -385,7 +384,16 @@ impl Tensor {
 
     /// Frobenius norm (`sqrt(sum of squares)`).
     pub fn frobenius_norm(&self) -> f32 {
-        self.data.iter().map(|&x| x * x).sum::<f32>().sqrt()
+        // Chunked f64 accumulation with fixed grain: the chunk boundaries
+        // depend only on the length, so the result is bitwise identical for
+        // any thread count (see `tinyadc_par::sum_f64`).
+        let n = self.data.len();
+        let data = &self.data;
+        let ss = tinyadc_par::sum_f64(n, tinyadc_par::default_grain(n), |i| {
+            let v = data[i] as f64;
+            v * v
+        });
+        ss.sqrt() as f32
     }
 
     /// Number of non-zero elements.

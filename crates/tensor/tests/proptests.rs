@@ -1,109 +1,140 @@
-//! Property-based tests for the tensor substrate.
+//! Randomized property tests for the tensor substrate, driven by the
+//! in-tree [`SeededRng`] (fixed seeds, fully deterministic and offline).
 
-use proptest::prelude::*;
 use tinyadc_tensor::rng::SeededRng;
 use tinyadc_tensor::{col2im, im2col, Conv2dGeometry, Tensor};
 
-fn tensor_strategy(max_dim: usize) -> impl Strategy<Value = Tensor> {
-    (1..=max_dim, 1..=max_dim, any::<u64>()).prop_map(|(r, c, seed)| {
-        let mut rng = SeededRng::new(seed);
-        Tensor::randn(&[r, c], 1.0, &mut rng)
-    })
+const CASES: u64 = 64;
+
+fn random_matrix(rng: &mut SeededRng, max_dim: usize) -> Tensor {
+    let r = 1 + rng.sample_index(max_dim);
+    let c = 1 + rng.sample_index(max_dim);
+    Tensor::randn(&[r, c], 1.0, rng)
 }
 
-proptest! {
-    #[test]
-    fn add_is_commutative(a in tensor_strategy(8), seed in any::<u64>()) {
+#[test]
+fn add_is_commutative() {
+    for seed in 0..CASES {
         let mut rng = SeededRng::new(seed);
+        let a = random_matrix(&mut rng, 8);
         let b = Tensor::randn(a.dims(), 1.0, &mut rng);
-        prop_assert_eq!(a.add(&b).unwrap(), b.add(&a).unwrap());
+        assert_eq!(a.add(&b).unwrap(), b.add(&a).unwrap());
     }
+}
 
-    #[test]
-    fn sub_then_add_round_trips(a in tensor_strategy(8), seed in any::<u64>()) {
+#[test]
+fn sub_then_add_round_trips() {
+    for seed in 0..CASES {
         let mut rng = SeededRng::new(seed);
+        let a = random_matrix(&mut rng, 8);
         let b = Tensor::randn(a.dims(), 1.0, &mut rng);
         let back = a.sub(&b).unwrap().add(&b).unwrap();
         for (x, y) in back.as_slice().iter().zip(a.as_slice()) {
-            prop_assert!((x - y).abs() < 1e-4);
+            assert!((x - y).abs() < 1e-4);
         }
     }
+}
 
-    #[test]
-    fn transpose_involution(a in tensor_strategy(10)) {
-        prop_assert_eq!(a.transpose().unwrap().transpose().unwrap(), a);
-    }
-
-    #[test]
-    fn matmul_distributes_over_add(
-        (m, k, n) in (1usize..6, 1usize..6, 1usize..6),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn transpose_involution() {
+    for seed in 0..CASES {
         let mut rng = SeededRng::new(seed);
+        let a = random_matrix(&mut rng, 10);
+        assert_eq!(a.transpose().unwrap().transpose().unwrap(), a);
+    }
+}
+
+#[test]
+fn matmul_distributes_over_add() {
+    for seed in 0..CASES {
+        let mut rng = SeededRng::new(seed);
+        let (m, k, n) = (
+            1 + rng.sample_index(5),
+            1 + rng.sample_index(5),
+            1 + rng.sample_index(5),
+        );
         let a = Tensor::randn(&[m, k], 1.0, &mut rng);
         let b = Tensor::randn(&[k, n], 1.0, &mut rng);
         let c = Tensor::randn(&[k, n], 1.0, &mut rng);
         let lhs = a.matmul(&b.add(&c).unwrap()).unwrap();
         let rhs = a.matmul(&b).unwrap().add(&a.matmul(&c).unwrap()).unwrap();
         for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
-            prop_assert!((x - y).abs() < 1e-3, "{} vs {}", x, y);
+            assert!((x - y).abs() < 1e-3, "{} vs {}", x, y);
         }
     }
+}
 
-    #[test]
-    fn matmul_transpose_identity(
-        (m, k, n) in (1usize..6, 1usize..6, 1usize..6),
-        seed in any::<u64>(),
-    ) {
-        // (A B)^T == B^T A^T
+#[test]
+fn matmul_transpose_identity() {
+    // (A B)^T == B^T A^T
+    for seed in 0..CASES {
         let mut rng = SeededRng::new(seed);
+        let (m, k, n) = (
+            1 + rng.sample_index(5),
+            1 + rng.sample_index(5),
+            1 + rng.sample_index(5),
+        );
         let a = Tensor::randn(&[m, k], 1.0, &mut rng);
         let b = Tensor::randn(&[k, n], 1.0, &mut rng);
         let lhs = a.matmul(&b).unwrap().transpose().unwrap();
         let rhs = b
-            .transpose().unwrap()
+            .transpose()
+            .unwrap()
             .matmul(&a.transpose().unwrap())
             .unwrap();
         for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
-            prop_assert!((x - y).abs() < 1e-3);
+            assert!((x - y).abs() < 1e-3);
         }
     }
+}
 
-    #[test]
-    fn frobenius_norm_is_subadditive(a in tensor_strategy(8), seed in any::<u64>()) {
+#[test]
+fn frobenius_norm_is_subadditive() {
+    for seed in 0..CASES {
         let mut rng = SeededRng::new(seed);
+        let a = random_matrix(&mut rng, 8);
         let b = Tensor::randn(a.dims(), 1.0, &mut rng);
         let lhs = a.add(&b).unwrap().frobenius_norm();
-        prop_assert!(lhs <= a.frobenius_norm() + b.frobenius_norm() + 1e-4);
+        assert!(lhs <= a.frobenius_norm() + b.frobenius_norm() + 1e-4);
     }
+}
 
-    #[test]
-    fn im2col_col2im_adjoint(
-        (c, h, w) in (1usize..4, 3usize..8, 3usize..8),
-        (stride, padding) in (1usize..3, 0usize..2),
-        seed in any::<u64>(),
-    ) {
-        let g = Conv2dGeometry::new(c, h, w, 3, 3, stride, padding);
-        prop_assume!(g.is_ok());
-        let g = g.unwrap();
+#[test]
+fn im2col_col2im_adjoint() {
+    for seed in 0..CASES {
         let mut rng = SeededRng::new(seed);
+        let c = 1 + rng.sample_index(3);
+        let h = 3 + rng.sample_index(5);
+        let w = 3 + rng.sample_index(5);
+        let stride = 1 + rng.sample_index(2);
+        let padding = rng.sample_index(2);
+        let Ok(g) = Conv2dGeometry::new(c, h, w, 3, 3, stride, padding) else {
+            continue;
+        };
         let x = Tensor::randn(&[c, h, w], 1.0, &mut rng);
         let y = Tensor::randn(&[g.patch_len(), g.patch_count()], 1.0, &mut rng);
         let lhs = im2col(&x, &g).unwrap().dot(&y).unwrap();
         let rhs = x.dot(&col2im(&y, &g).unwrap()).unwrap();
-        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()), "{} vs {}", lhs, rhs);
+        assert!(
+            (lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()),
+            "{} vs {}",
+            lhs,
+            rhs
+        );
     }
+}
 
-    #[test]
-    fn sparsity_counts_zeros(
-        zeros in 0usize..16,
-        nonzeros in 1usize..16,
-    ) {
+#[test]
+fn sparsity_counts_zeros() {
+    for seed in 0..CASES {
+        let mut rng = SeededRng::new(seed);
+        let zeros = rng.sample_index(16);
+        let nonzeros = 1 + rng.sample_index(15);
         let mut data = vec![0.0f32; zeros];
         data.extend(std::iter::repeat_n(1.5, nonzeros));
         let t = Tensor::from_vec(data, &[zeros + nonzeros]).unwrap();
-        prop_assert_eq!(t.count_nonzero(), nonzeros);
+        assert_eq!(t.count_nonzero(), nonzeros);
         let expected = zeros as f64 / (zeros + nonzeros) as f64;
-        prop_assert!((t.sparsity() - expected).abs() < 1e-12);
+        assert!((t.sparsity() - expected).abs() < 1e-12);
     }
 }

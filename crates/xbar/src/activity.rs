@@ -110,12 +110,8 @@ mod tests {
     fn layer_activity_sums_tiles() {
         let mut rng = SeededRng::new(1);
         let w = Tensor::randn(&[10, 18], 0.5, &mut rng); // matrix [18, 10]
-        let mapped = crate::mapping::MappedLayer::from_param(
-            &w,
-            ParamKind::LinearWeight,
-            cfg(),
-        )
-        .unwrap();
+        let mapped =
+            crate::mapping::MappedLayer::from_param(&w, ParamKind::LinearWeight, cfg()).unwrap();
         // 18 rows -> 3 row blocks (8+8+2); 10 cols -> 2 col blocks (8+2).
         assert_eq!(mapped.block_count(), 6);
         let a = layer_activity(&mapped);

@@ -56,8 +56,7 @@ pub fn required_adc_bits_exact(v: u32, w: u32, rows: usize) -> u32 {
 /// `⌈log2 n⌉` for `n ≥ 1` (0 for `n == 1`).
 pub fn ceil_log2(n: usize) -> u32 {
     assert!(n > 0, "log2 of zero");
-    (usize::BITS - (n - 1).leading_zeros()).min(usize::BITS)
-        * u32::from(n > 1)
+    (usize::BITS - (n - 1).leading_zeros()).min(usize::BITS) * u32::from(n > 1)
 }
 
 /// An ideal ADC of fixed resolution digitising non-negative column sums.

@@ -205,7 +205,11 @@ mod tests {
             .map(|_| d.conductance_with_variation(3, &c, &mut rng))
             .sum::<f64>()
             / n as f64;
-        assert!((mean / ideal - 1.0).abs() < 0.02, "mean ratio {}", mean / ideal);
+        assert!(
+            (mean / ideal - 1.0).abs() < 0.02,
+            "mean ratio {}",
+            mean / ideal
+        );
     }
 
     #[test]

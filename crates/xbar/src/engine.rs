@@ -132,8 +132,7 @@ mod tests {
         let mut rng = SeededRng::new(2);
         let mut n = net(&mut rng);
         let effects =
-            apply_crossbar_effects(&mut n, cfg(), None, &["conv.weight".into()], &mut rng)
-                .unwrap();
+            apply_crossbar_effects(&mut n, cfg(), None, &["conv.weight".into()], &mut rng).unwrap();
         assert_eq!(effects.layers.len(), 1);
         assert_eq!(effects.layers[0].0, "fc.weight");
     }
@@ -143,8 +142,7 @@ mod tests {
         let mut rng = SeededRng::new(3);
         let mut n = net(&mut rng);
         let model = FaultModel::from_overall_rate(0.2).unwrap();
-        let effects =
-            apply_crossbar_effects(&mut n, cfg(), Some(&model), &[], &mut rng).unwrap();
+        let effects = apply_crossbar_effects(&mut n, cfg(), Some(&model), &[], &mut rng).unwrap();
         assert!(effects.faults.total_faults() > 0);
         assert!(effects.faults.cells > 0);
     }

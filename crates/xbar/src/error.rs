@@ -28,7 +28,10 @@ impl fmt::Display for XbarError {
             Self::Prune(e) => write!(f, "layout error: {e}"),
             Self::InvalidConfig(msg) => write!(f, "invalid crossbar configuration: {msg}"),
             Self::InputLengthMismatch { expected, actual } => {
-                write!(f, "input length {actual} does not match mapped rows {expected}")
+                write!(
+                    f,
+                    "input length {actual} does not match mapped rows {expected}"
+                )
             }
         }
     }

@@ -197,8 +197,7 @@ mod tests {
         let run = |seed: u64| {
             let mut rng = SeededRng::new(seed);
             let w = Tensor::randn(&[16, 16], 0.5, &mut rng);
-            let mut mapped =
-                MappedLayer::from_param(&w, ParamKind::LinearWeight, cfg()).unwrap();
+            let mut mapped = MappedLayer::from_param(&w, ParamKind::LinearWeight, cfg()).unwrap();
             let model = FaultModel::from_overall_rate(0.05).unwrap();
             inject_faults(&mut mapped, &model, &mut rng);
             mapped.unmap().unwrap()

@@ -62,14 +62,19 @@ pub fn conv2d(
     debug_assert_eq!(rows, g.patch_len());
     debug_assert_eq!(out_cols, f);
 
-    let mut out = vec![0.0f32; f * g.patch_count()];
     let scale = mapped.weight_scale() * q.scale;
-    let mut column = vec![0u64; rows];
-    for p in 0..g.patch_count() {
+    // Patches are independent MVMs over the shared mapped layer; results
+    // come back in patch order and scatter serially into the output.
+    let patch_results = tinyadc_par::map(g.patch_count(), |p| {
+        let mut column = vec![0u64; rows];
         for (r, slot) in column.iter_mut().enumerate() {
             *slot = q.codes[r * g.patch_count() + p] as u64;
         }
-        let y = mapped.matvec_codes(&column, adc)?;
+        mapped.matvec_codes(&column, adc)
+    });
+    let mut out = vec![0.0f32; f * g.patch_count()];
+    for (p, result) in patch_results.into_iter().enumerate() {
+        let y = result?;
         for (fi, &v) in y.iter().enumerate() {
             out[fi * g.patch_count() + p] = v as f32 * scale;
         }
@@ -120,7 +125,10 @@ pub fn global_avg_pool(t: &Tensor) -> Result<Tensor> {
     let hw = (h * w) as f32;
     let mut out = vec![0.0f32; c];
     for (ci, o) in out.iter_mut().enumerate() {
-        *o = t.as_slice()[ci * h * w..(ci + 1) * h * w].iter().sum::<f32>() / hw;
+        *o = t.as_slice()[ci * h * w..(ci + 1) * h * w]
+            .iter()
+            .sum::<f32>()
+            / hw;
     }
     Ok(Tensor::from_vec(out, &[c])?)
 }
@@ -147,8 +155,7 @@ mod tests {
     /// Float reference convolution for validation.
     fn conv_ref(w: &Tensor, x: &Tensor, stride: usize, padding: usize) -> Tensor {
         let &[f, c, kh, kw] = w.dims() else { panic!() };
-        let g = Conv2dGeometry::new(c, x.dims()[1], x.dims()[2], kh, kw, stride, padding)
-            .unwrap();
+        let g = Conv2dGeometry::new(c, x.dims()[1], x.dims()[2], kh, kw, stride, padding).unwrap();
         let cols = im2col(x, &g).unwrap();
         let w2d = w.reshape(&[f, g.patch_len()]).unwrap();
         w2d.matmul(&cols)

@@ -140,7 +140,11 @@ impl MappedLayer {
     /// Worst-case activated rows across every tile — the quantity that
     /// sizes the layer's ADCs.
     pub fn activated_rows(&self) -> usize {
-        self.tiles.iter().map(Tile::activated_rows).max().unwrap_or(0)
+        self.tiles
+            .iter()
+            .map(Tile::activated_rows)
+            .max()
+            .unwrap_or(0)
     }
 
     /// ADC resolution required by the paper's Eq. 1 for this layer as
@@ -179,7 +183,7 @@ impl MappedLayer {
     fn run_matvec(
         &self,
         input: &[u64],
-        f: impl Fn(&Tile, &[u64]) -> Result<Vec<i64>>,
+        f: impl Fn(&Tile, &[u64]) -> Result<Vec<i64>> + Sync,
     ) -> Result<Vec<i64>> {
         if input.len() != self.matrix_rows {
             return Err(XbarError::InputLengthMismatch {
@@ -189,18 +193,20 @@ impl MappedLayer {
         }
         let m = self.config.shape.rows();
         let n = self.config.shape.cols();
-        let mut out = vec![0i64; self.matrix_cols];
-        for rb in 0..self.row_blocks {
-            let r0 = rb * m;
+        // Tiles run concurrently (they only read the shared input); partial
+        // sums merge serially in tile order. The digital accumulation is
+        // integer-exact, so the merge order cannot change results.
+        let results = tinyadc_par::map(self.tiles.len(), |t| {
+            let r0 = (t / self.col_blocks) * m;
             let r1 = (r0 + m).min(self.matrix_rows);
-            let slice = &input[r0..r1];
-            for cb in 0..self.col_blocks {
-                let tile = &self.tiles[rb * self.col_blocks + cb];
-                let y = f(tile, slice)?;
-                let c0 = cb * n;
-                for (k, v) in y.iter().enumerate() {
-                    out[c0 + k] += v;
-                }
+            f(&self.tiles[t], &input[r0..r1])
+        });
+        let mut out = vec![0i64; self.matrix_cols];
+        for (t, result) in results.into_iter().enumerate() {
+            let y = result?;
+            let c0 = (t % self.col_blocks) * n;
+            for (k, v) in y.iter().enumerate() {
+                out[c0 + k] += v;
             }
         }
         Ok(out)
@@ -263,8 +269,7 @@ impl MappedLayer {
                 let (r0, c0) = (rb * m, cb * n);
                 for r in 0..tile.rows() {
                     for c in 0..tile.cols() {
-                        codes[(r0 + r) * self.matrix_cols + c0 + c] =
-                            tcodes[r * tile.cols() + c];
+                        codes[(r0 + r) * self.matrix_cols + c0 + c] = tcodes[r * tile.cols() + c];
                     }
                 }
             }

@@ -253,8 +253,7 @@ mod tests {
         let noise = ReadNoise { sigma_levels: 3.0 };
         let input: Vec<u64> = vec![15; 16];
         let clean = tile.matvec(&input, &adc).unwrap();
-        let noisy =
-            matvec_with_ir_drop(&tile, &input, &adc, &ir, Some(&noise), &mut rng).unwrap();
+        let noisy = matvec_with_ir_drop(&tile, &input, &adc, &ir, Some(&noise), &mut rng).unwrap();
         assert_ne!(clean, noisy);
     }
 

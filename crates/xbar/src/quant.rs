@@ -149,10 +149,7 @@ mod tests {
         let cfg = QuantConfig::default();
         let q = quantize_weights(&w, &cfg).unwrap();
         let back = q.dequantize().unwrap();
-        let max_err = w
-            .sub(&back)
-            .unwrap()
-            .abs_max();
+        let max_err = w.sub(&back).unwrap().abs_max();
         assert!(max_err <= q.scale * 0.5 + 1e-7, "err {max_err}");
     }
 

@@ -170,7 +170,11 @@ impl Tile {
     pub fn activated_rows(&self) -> usize {
         let codes = self.codes();
         (0..self.cols)
-            .map(|j| (0..self.rows).filter(|&r| codes[r * self.cols + j] != 0).count())
+            .map(|j| {
+                (0..self.rows)
+                    .filter(|&r| codes[r * self.cols + j] != 0)
+                    .count()
+            })
             .max()
             .unwrap_or(0)
     }
@@ -184,15 +188,21 @@ impl Tile {
         self.check_input(input)?;
         let codes = self.codes();
         let mut y = vec![0i64; self.cols];
-        for r in 0..self.rows {
-            let x = input[r] as i64;
-            if x == 0 {
-                continue;
+        let grain = tinyadc_par::default_grain(self.cols);
+        tinyadc_par::for_each_chunk_mut(&mut y, grain, |chunk, y_cols| {
+            for (jj, yv) in y_cols.iter_mut().enumerate() {
+                let j = chunk * grain + jj;
+                let mut acc = 0i64;
+                for r in 0..self.rows {
+                    let x = input[r] as i64;
+                    if x == 0 {
+                        continue;
+                    }
+                    acc += x * codes[r * self.cols + j];
+                }
+                *yv = acc;
             }
-            for j in 0..self.cols {
-                y[j] += x * codes[r * self.cols + j];
-            }
-        }
+        });
         Ok(y)
     }
 
@@ -214,28 +224,39 @@ impl Tile {
         let dac_mask = (1u64 << dac) - 1;
         let cycles = self.config.cycles();
         let cell_bits = self.config.cell.bits_per_cell;
+        // Columns are independent ADC channels; each thread digitises its
+        // own span of columns. The per-column shift-add runs over the same
+        // (cycle, slice) sequence as the serial datapath, and the digital
+        // accumulation is integer-exact, so parallel output is bitwise
+        // identical for every thread count.
         let mut y = vec![0i64; self.cols];
-        for cycle in 0..cycles {
-            let shift_in = cycle * dac;
-            for j in 0..self.cols {
-                for (s, (pos, neg)) in self.pos.iter().zip(&self.neg).enumerate() {
-                    let shift = shift_in + s as u32 * cell_bits;
-                    let mut pos_sum = 0u64;
-                    let mut neg_sum = 0u64;
-                    for r in 0..self.rows {
-                        let bits = (input[r] >> shift_in) & dac_mask;
-                        if bits == 0 {
-                            continue;
+        let grain = tinyadc_par::default_grain(self.cols);
+        tinyadc_par::for_each_chunk_mut(&mut y, grain, |chunk, y_cols| {
+            for (jj, yv) in y_cols.iter_mut().enumerate() {
+                let j = chunk * grain + jj;
+                let mut acc = 0i64;
+                for cycle in 0..cycles {
+                    let shift_in = cycle * dac;
+                    for (s, (pos, neg)) in self.pos.iter().zip(&self.neg).enumerate() {
+                        let shift = shift_in + s as u32 * cell_bits;
+                        let mut pos_sum = 0u64;
+                        let mut neg_sum = 0u64;
+                        for r in 0..self.rows {
+                            let bits = (input[r] >> shift_in) & dac_mask;
+                            if bits == 0 {
+                                continue;
+                            }
+                            pos_sum += bits * pos[r * self.cols + j];
+                            neg_sum += bits * neg[r * self.cols + j];
                         }
-                        pos_sum += bits * pos[r * self.cols + j];
-                        neg_sum += bits * neg[r * self.cols + j];
+                        let p = adc.sample(pos_sum) as i64;
+                        let n = adc.sample(neg_sum) as i64;
+                        acc += (p - n) << shift;
                     }
-                    let p = adc.sample(pos_sum) as i64;
-                    let n = adc.sample(neg_sum) as i64;
-                    y[j] += (p - n) << shift;
                 }
+                *yv = acc;
             }
-        }
+        });
         Ok(y)
     }
 
@@ -269,35 +290,46 @@ impl Tile {
                 .map(|&l| device.conductance_with_variation(l, &self.config.cell, rng))
                 .collect()
         };
+        // The conductance draw consumes the rng stream sequentially and must
+        // stay serial; only the column loop below parallelises.
         let pos_g: Vec<Vec<f64>> = self.pos.iter().map(|s| vary(s, rng)).collect();
         let neg_g: Vec<Vec<f64>> = self.neg.iter().map(|s| vary(s, rng)).collect();
 
+        // Per column, the float current sums accumulate over rows in the
+        // same order as the serial loop, so parallelism over columns keeps
+        // results bitwise identical.
         let mut y = vec![0i64; self.cols];
-        for cycle in 0..cycles {
-            let shift_in = cycle * dac;
-            for j in 0..self.cols {
-                for s in 0..pos_g.len() {
-                    let shift = shift_in + s as u32 * cell_bits;
-                    let mut pos_i = 0.0f64;
-                    let mut neg_i = 0.0f64;
-                    let mut active = 0u64;
-                    for r in 0..self.rows {
-                        let bits = (input[r] >> shift_in) & dac_mask;
-                        if bits == 0 {
-                            continue;
+        let grain = tinyadc_par::default_grain(self.cols);
+        tinyadc_par::for_each_chunk_mut(&mut y, grain, |chunk, y_cols| {
+            for (jj, yv) in y_cols.iter_mut().enumerate() {
+                let j = chunk * grain + jj;
+                let mut acc = 0i64;
+                for cycle in 0..cycles {
+                    let shift_in = cycle * dac;
+                    for s in 0..pos_g.len() {
+                        let shift = shift_in + s as u32 * cell_bits;
+                        let mut pos_i = 0.0f64;
+                        let mut neg_i = 0.0f64;
+                        let mut active = 0u64;
+                        for r in 0..self.rows {
+                            let bits = (input[r] >> shift_in) & dac_mask;
+                            if bits == 0 {
+                                continue;
+                            }
+                            active += bits;
+                            pos_i += bits as f64 * pos_g[s][r * self.cols + j];
+                            neg_i += bits as f64 * neg_g[s][r * self.cols + j];
                         }
-                        active += bits;
-                        pos_i += bits as f64 * pos_g[s][r * self.cols + j];
-                        neg_i += bits as f64 * neg_g[s][r * self.cols + j];
+                        // Remove the g_off pedestal contributed by active rows.
+                        let pedestal = active as f64 * device.g_off;
+                        let p = adc.sample_analog((pos_i - pedestal) / unit) as i64;
+                        let n = adc.sample_analog((neg_i - pedestal) / unit) as i64;
+                        acc += (p - n) << shift;
                     }
-                    // Remove the g_off pedestal contributed by active rows.
-                    let pedestal = active as f64 * device.g_off;
-                    let p = adc.sample_analog((pos_i - pedestal) / unit) as i64;
-                    let n = adc.sample_analog((neg_i - pedestal) / unit) as i64;
-                    y[j] += (p - n) << shift;
                 }
+                *yv = acc;
             }
-        }
+        });
         Ok(y)
     }
 

@@ -84,22 +84,37 @@ fn ir_drop_and_read_noise_compose() {
     assert_eq!(clean, ideal);
 
     // Both non-idealities together still produce finite, bounded outputs.
+    let sigma = 1.0f64;
     let noisy = matvec_with_ir_drop(
         tile,
         &input,
         &adc,
         &IrDropModel::with_wire_resistance(10.0).expect("model"),
-        Some(&ReadNoise { sigma_levels: 1.0 }),
+        Some(&ReadNoise {
+            sigma_levels: sigma,
+        }),
         &mut rng,
     )
     .expect("mvm");
+    // Read noise of `sigma` levels enters both polarities of every
+    // (cycle, slice) conversion and is shifted like the data, so the total
+    // perturbation has variance 2 sigma^2 Σ 4^shift; bound at 8 of those
+    // standard deviations (IR drop at 10 Ω adds far less than that).
+    let mut variance = 0.0f64;
+    for cycle in 0..cfg.cycles() {
+        for s in 0..cfg.cells_per_weight() as u32 {
+            let shift = cycle * cfg.dac_bits + s * cfg.cell.bits_per_cell;
+            variance += 2.0 * (sigma * (1u64 << shift) as f64).powi(2);
+        }
+    }
+    let bound = 8.0 * variance.sqrt();
     for (a, b) in noisy.iter().zip(&ideal) {
-        let denom = (b.abs() as f64).max(64.0);
         assert!(
-            ((a - b).abs() as f64) < denom,
-            "noisy {a} diverged from ideal {b}"
+            ((a - b).abs() as f64) < bound,
+            "noisy {a} diverged from ideal {b} beyond {bound}"
         );
     }
+    assert_ne!(noisy, ideal, "read noise should perturb the output");
 }
 
 #[test]

@@ -30,13 +30,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let weights = Tensor::randn(&[128, 32, 3, 3], 0.5, &mut rng);
     let dense = MappedLayer::from_param(&weights, ParamKind::ConvWeight, config)?;
 
-    println!("dense layer:   activated rows = {:>3}  -> ADC {} bits (Eq. 1)",
-        dense.activated_rows(), dense.required_adc_bits());
+    println!(
+        "dense layer:   activated rows = {:>3}  -> ADC {} bits (Eq. 1)",
+        dense.activated_rows(),
+        dense.required_adc_bits()
+    );
 
     let input: Vec<u64> = (0..288).map(|i| (i * 37 % 256) as u64).collect();
     let ideal = dense.matvec_codes_ideal(&input)?;
 
-    println!("\n{:<12} {:>9} {:>12} {:>14} {:>12}", "design", "ADC bits", "exact?", "max |error|", "ADC power");
+    println!(
+        "\n{:<12} {:>9} {:>12} {:>14} {:>12}",
+        "design", "ADC bits", "exact?", "max |error|", "ADC power"
+    );
     let adc_model = SarAdcModel::default();
     for rate in [1usize, 2, 4, 8, 16, 32, 64] {
         let (mapped, label) = if rate == 1 {

@@ -28,11 +28,13 @@ fn push(table: &mut TextTable, r: &PipelineReport) {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = SeededRng::new(2021);
-    let data =
-        SyntheticImageDataset::generate(DatasetTier::Tier1Cifar10Like, 800, 300, &mut rng)?;
+    let data = SyntheticImageDataset::generate(DatasetTier::Tier1Cifar10Like, 800, 300, &mut rng)?;
     let pipeline = Pipeline::new(PipelineConfig::experiment_default());
 
-    println!("pre-training dense ResNet18 (scaled) on {} ...", data.tier());
+    println!(
+        "pre-training dense ResNet18 (scaled) on {} ...",
+        data.tier()
+    );
     let trained = pipeline.pretrain(&data, &mut rng)?;
     println!("dense accuracy: {:.2} %\n", trained.accuracy * 100.0);
 

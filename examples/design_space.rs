@@ -48,10 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 adc_bits: bits,
             }];
             let n = model.normalized(&design, &baseline)?;
-            print!(
-                "{:>16}",
-                format!("{bits}b {:.2}/{:.2}", n.power, n.area)
-            );
+            print!("{:>16}", format!("{bits}b {:.2}/{:.2}", n.power, n.area));
         }
         println!();
     }

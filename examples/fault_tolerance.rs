@@ -16,14 +16,12 @@ use tinyadc_xbar::fault::FaultModel;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = SeededRng::new(99);
-    let data =
-        SyntheticImageDataset::generate(DatasetTier::Tier1Cifar10Like, 600, 200, &mut rng)?;
+    let data = SyntheticImageDataset::generate(DatasetTier::Tier1Cifar10Like, 600, 200, &mut rng)?;
     let pipeline = Pipeline::new(PipelineConfig::experiment_default());
 
     println!("training + CP-pruning (8x) a model to fault-test ...");
     let trained = pipeline.pretrain(&data, &mut rng)?;
-    let (report, mut pruned_net) =
-        pipeline.run_cp_with_network(&data, &trained, 8, &mut rng)?;
+    let (report, mut pruned_net) = pipeline.run_cp_with_network(&data, &trained, 8, &mut rng)?;
     println!(
         "pruned accuracy: {:.2} % (dense {:.2} %)\n",
         report.final_accuracy * 100.0,

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full local gate: format, lints, release build, tests — all offline.
+# Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --offline --release
+
+echo "==> cargo test"
+cargo test --offline -q
+
+echo "OK: all checks passed"

@@ -23,12 +23,9 @@ fn xbar_config() -> XbarConfig {
 }
 
 /// A small conv→relu→gap→linear network trained on tier-1 data.
-fn train_small_cnn(
-    rng: &mut SeededRng,
-) -> (Network, SyntheticImageDataset) {
-    let data =
-        SyntheticImageDataset::generate(DatasetTier::Tier1Cifar10Like, 200, 40, rng)
-            .expect("dataset");
+fn train_small_cnn(rng: &mut SeededRng) -> (Network, SyntheticImageDataset) {
+    let data = SyntheticImageDataset::generate(DatasetTier::Tier1Cifar10Like, 200, 40, rng)
+        .expect("dataset");
     let stack = Sequential::new("cnn")
         .with(Conv2d::new("conv", 3, 12, 3, 1, 1, false, rng))
         .with(Relu::new("relu"))
@@ -95,16 +92,16 @@ fn simulated_accelerator_classifies_like_the_float_network() {
     let vol: usize = data.input_dims().iter().product();
     let mut agree = 0usize;
     for i in 0..n {
-        let sample =
-            Tensor::from_vec(batch.as_slice()[i * vol..(i + 1) * vol].to_vec(), &data.input_dims())
-                .expect("sample");
+        let sample = Tensor::from_vec(
+            batch.as_slice()[i * vol..(i + 1) * vol].to_vec(),
+            &data.input_dims(),
+        )
+        .expect("sample");
         let shifted = sample.add_scalar(-sample.min());
 
         let sim = crossbar_logits(&conv_mapped, &head_mapped, &shifted);
 
-        let float_in = shifted
-            .reshape(&[1, 3, 16, 16])
-            .expect("batch of one");
+        let float_in = shifted.reshape(&[1, 3, 16, 16]).expect("batch of one");
         let float_logits = net.forward(&float_in, false).expect("forward");
         let sim_arg = sim.argmax().expect("argmax");
         let float_arg = float_logits
@@ -141,9 +138,11 @@ fn cp_pruned_model_is_classified_identically_by_the_smaller_adc() {
     let (batch, _) = data.test_batch(&[0, 1, 2]).expect("batch");
     let vol: usize = data.input_dims().iter().product();
     for i in 0..3 {
-        let sample =
-            Tensor::from_vec(batch.as_slice()[i * vol..(i + 1) * vol].to_vec(), &data.input_dims())
-                .expect("sample");
+        let sample = Tensor::from_vec(
+            batch.as_slice()[i * vol..(i + 1) * vol].to_vec(),
+            &data.input_dims(),
+        )
+        .expect("sample");
         let shifted = sample.add_scalar(-sample.min());
         let small = Adc::new(mapped.required_adc_bits()).expect("bits");
         let big = Adc::new(12).expect("bits");

@@ -83,8 +83,7 @@ fn fault_free_effects_preserve_zero_pattern() {
     // Crossbar quantisation must keep intentional zeros exactly zero —
     // otherwise CP constraints would silently erode.
     let mut rng = SeededRng::new(33);
-    let stack =
-        Sequential::new("n").with(Linear::new("fc", 32, 16, false, &mut rng));
+    let stack = Sequential::new("n").with(Linear::new("fc", 32, 16, false, &mut rng));
     let mut net = Network::new("n", stack, vec![32], 16);
     let cp = CpConstraint::new(cfg().shape, 2).expect("valid");
     net.visit_params(&mut |p| {

@@ -1,0 +1,150 @@
+//! Bitwise determinism of every parallelised kernel across thread counts.
+//!
+//! The `tinyadc-par` contract is that results are identical — bit for bit,
+//! floats included — for any worker count, including the serial path.
+//! These tests pin that contract on deliberately awkward shapes (prime
+//! dimensions, ragged final blocks) for each wired hot path: dense/sparse
+//! matmul, im2col convolution lowering, CP projection, bit-serial crossbar
+//! inference, and the batched conv layer.
+//!
+//! `tinyadc_par::set_threads` is process-global, so concurrent test
+//! functions race on it — harmlessly: thread-count invariance is exactly
+//! the property under test, so an assert holds no matter which count was
+//! live when a kernel ran.
+
+use tinyadc_nn::layers::Conv2d;
+use tinyadc_nn::{Layer, ParamKind};
+use tinyadc_prune::{max_block_column_nonzeros, CpConstraint, CrossbarShape};
+use tinyadc_tensor::rng::SeededRng;
+use tinyadc_tensor::{col2im, im2col, Conv2dGeometry, Tensor};
+use tinyadc_xbar::adc::Adc;
+use tinyadc_xbar::infer;
+use tinyadc_xbar::mapping::MappedLayer;
+use tinyadc_xbar::tile::XbarConfig;
+
+/// Thread counts exercised; 7 deliberately exceeds this machine's cores
+/// and never divides the chunk counts evenly.
+const THREADS: [usize; 4] = [1, 2, 4, 7];
+
+/// Runs `f` at 1 worker and asserts every other count reproduces the
+/// result exactly.
+fn assert_invariant<T, F>(what: &str, mut f: F)
+where
+    T: PartialEq + std::fmt::Debug,
+    F: FnMut() -> T,
+{
+    tinyadc_par::set_threads(THREADS[0]);
+    let reference = f();
+    for &t in &THREADS[1..] {
+        tinyadc_par::set_threads(t);
+        let got = f();
+        assert_eq!(reference, got, "{what}: diverged at {t} threads");
+    }
+    tinyadc_par::set_threads(0);
+}
+
+#[test]
+fn matmul_family_is_thread_count_invariant() {
+    let mut rng = SeededRng::new(501);
+    // 67 rows: one ragged 3-row tail past the 64-row parallel block.
+    let a = Tensor::randn(&[67, 29], 1.0, &mut rng);
+    let b = Tensor::randn(&[29, 31], 1.0, &mut rng);
+    let bt = Tensor::randn(&[31, 29], 1.0, &mut rng);
+    let at = Tensor::randn(&[29, 67], 1.0, &mut rng);
+    let v = Tensor::randn(&[29], 1.0, &mut rng);
+    // A sparse operand exercises the skip path next to the dense one.
+    let mut sparse = a.clone();
+    for (i, w) in sparse.as_mut_slice().iter_mut().enumerate() {
+        if i % 3 == 0 {
+            *w = 0.0;
+        }
+    }
+    assert_invariant("matmul", || a.matmul(&b).unwrap());
+    assert_invariant("matmul sparse", || sparse.matmul(&b).unwrap());
+    assert_invariant("matmul_t", || a.matmul_t(&bt).unwrap());
+    assert_invariant("t_matmul", || at.t_matmul(&b).unwrap());
+    assert_invariant("matvec", || a.matvec(&v).unwrap());
+    assert_invariant("frobenius_norm", || a.frobenius_norm().to_bits());
+}
+
+#[test]
+fn conv_lowering_is_thread_count_invariant() {
+    let mut rng = SeededRng::new(502);
+    // Prime-ish geometry with stride and padding: ragged everywhere.
+    let g = Conv2dGeometry::new(3, 13, 11, 3, 3, 2, 1).unwrap();
+    let x = Tensor::randn(&[3, 13, 11], 1.0, &mut rng);
+    let cols = {
+        tinyadc_par::set_threads(1);
+        im2col(&x, &g).unwrap()
+    };
+    assert_invariant("im2col", || im2col(&x, &g).unwrap());
+    assert_invariant("col2im", || col2im(&cols, &g).unwrap());
+}
+
+#[test]
+fn cp_projection_is_thread_count_invariant() {
+    let mut rng = SeededRng::new(503);
+    let shape = CrossbarShape::new(16, 8).unwrap();
+    let cp = CpConstraint::new(shape, 3).unwrap();
+    // 37 rows: two full 16-row blocks plus a ragged 5-row block.
+    let w = Tensor::randn(&[37, 23], 1.0, &mut rng);
+    assert_invariant("cp project", || cp.project(&w).unwrap());
+    assert_invariant("max nnz audit", || {
+        max_block_column_nonzeros(&w, shape).unwrap()
+    });
+    let wp = Tensor::randn(&[9, 5, 3, 3], 1.0, &mut rng);
+    assert_invariant("cp project_param", || {
+        cp.project_param(&wp, ParamKind::ConvWeight).unwrap()
+    });
+}
+
+#[test]
+fn crossbar_inference_is_thread_count_invariant() {
+    let mut rng = SeededRng::new(504);
+    let cfg = XbarConfig {
+        shape: CrossbarShape::new(16, 8).unwrap(),
+        ..XbarConfig::paper_default()
+    };
+    // Linear path: ragged 37x13 weight over 16x8 tiles.
+    let wl = Tensor::randn(&[13, 37], 0.5, &mut rng);
+    let ml = MappedLayer::from_param(&wl, ParamKind::LinearWeight, cfg).unwrap();
+    let adc_l = Adc::new(ml.required_adc_bits()).unwrap();
+    let (rows, _) = ml.matrix_dims();
+    let codes: Vec<u64> = (0..rows).map(|r| (r * 7 + 3) as u64 % 256).collect();
+    assert_invariant("mapped matvec_codes", || {
+        ml.matvec_codes(&codes, &adc_l).unwrap()
+    });
+
+    // Conv path: the full datapath (quantise, per-patch MVM, dequantise).
+    let wc = Tensor::randn(&[5, 3, 3, 3], 0.4, &mut rng);
+    let x = Tensor::uniform(&[3, 9, 7], 0.0, 1.0, &mut rng);
+    let mc = MappedLayer::from_param(&wc, ParamKind::ConvWeight, cfg).unwrap();
+    let adc_c = Adc::new(mc.required_adc_bits()).unwrap();
+    assert_invariant("crossbar conv2d", || {
+        infer::conv2d(&mc, &x, 1, 1, &adc_c).unwrap()
+    });
+}
+
+#[test]
+fn conv_layer_training_pass_is_thread_count_invariant() {
+    // Forward + backward over a 5-sample batch: per-sample parallelism in
+    // both directions, dW partials merged in batch order.
+    let x = {
+        let mut rng = SeededRng::new(505);
+        Tensor::randn(&[5, 3, 7, 7], 0.7, &mut rng)
+    };
+    let dy = {
+        let mut rng = SeededRng::new(506);
+        Tensor::randn(&[5, 4, 7, 7], 0.5, &mut rng)
+    };
+    assert_invariant("conv2d layer fwd/bwd", || {
+        // Rebuild the layer per run: identical init (same seed), fresh cache.
+        let mut rng = SeededRng::new(507);
+        let mut conv = Conv2d::new("c", 3, 4, 3, 1, 1, true, &mut rng);
+        let y = conv.forward(&x, true).unwrap();
+        let dx = conv.backward(&dy).unwrap();
+        let mut grads = Vec::new();
+        conv.visit_params(&mut |p| grads.push(p.grad.clone()));
+        (y, dx, grads)
+    });
+}

@@ -4,8 +4,8 @@
 use tinyadc::config::ModelKind;
 use tinyadc::{Pipeline, PipelineConfig};
 use tinyadc_nn::data::{DatasetTier, SyntheticImageDataset};
-use tinyadc_prune::max_block_column_nonzeros;
 use tinyadc_prune::layout;
+use tinyadc_prune::max_block_column_nonzeros;
 use tinyadc_tensor::rng::SeededRng;
 
 fn quick_data(rng: &mut SeededRng) -> SyntheticImageDataset {

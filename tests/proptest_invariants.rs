@@ -1,7 +1,7 @@
-//! Workspace-level property tests spanning crates: pruning invariants
-//! composed with crossbar mapping.
+//! Workspace-level randomized property tests spanning crates: pruning
+//! invariants composed with crossbar mapping. Driven by the in-tree
+//! [`SeededRng`] (fixed seeds, deterministic, offline).
 
-use proptest::prelude::*;
 use tinyadc_nn::ParamKind;
 use tinyadc_prune::{layout, max_block_column_nonzeros, CpConstraint, CrossbarShape};
 use tinyadc_tensor::rng::SeededRng;
@@ -10,87 +10,101 @@ use tinyadc_xbar::adc::{required_adc_bits_paper, Adc};
 use tinyadc_xbar::mapping::MappedLayer;
 use tinyadc_xbar::tile::XbarConfig;
 
-fn arb_conv_dims() -> impl Strategy<Value = Vec<usize>> {
-    (1usize..12, 1usize..6, 1usize..4).prop_map(|(f, c, k)| vec![f, c, k, k])
+const CASES: u64 = 64;
+
+fn random_conv_dims(rng: &mut SeededRng) -> Vec<usize> {
+    let f = 1 + rng.sample_index(11);
+    let c = 1 + rng.sample_index(5);
+    let k = 1 + rng.sample_index(3);
+    vec![f, c, k, k]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn projection_never_increases_nonzeros(
-        dims in arb_conv_dims(),
-        (rows, cols) in (2usize..20, 1usize..20),
-        l_frac in 0.1f64..1.0,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn projection_never_increases_nonzeros() {
+    for seed in 0..CASES {
+        let mut rng = SeededRng::new(seed);
+        let dims = random_conv_dims(&mut rng);
+        let rows = 2 + rng.sample_index(18);
+        let cols = 1 + rng.sample_index(19);
+        let l_frac = rng.sample_uniform(0.1, 1.0) as f64;
         let xbar = CrossbarShape::new(rows, cols).unwrap();
         let l = ((rows as f64 * l_frac) as usize).clamp(1, rows);
         let cp = CpConstraint::new(xbar, l).unwrap();
-        let mut rng = SeededRng::new(seed);
         let w = Tensor::randn(&dims, 1.0, &mut rng);
         let z = cp.project_param(&w, ParamKind::ConvWeight).unwrap();
-        prop_assert!(z.count_nonzero() <= w.count_nonzero());
+        assert!(z.count_nonzero() <= w.count_nonzero());
         let m = layout::to_matrix(&z, ParamKind::ConvWeight).unwrap();
-        prop_assert!(max_block_column_nonzeros(&m, xbar).unwrap() <= l);
+        assert!(max_block_column_nonzeros(&m, xbar).unwrap() <= l);
         // Surviving entries are unchanged.
         for (a, b) in z.as_slice().iter().zip(w.as_slice()) {
-            prop_assert!(*a == 0.0 || a == b);
+            assert!(*a == 0.0 || a == b);
         }
     }
+}
 
-    #[test]
-    fn mapping_unmapping_preserves_zero_pattern(
-        dims in arb_conv_dims(),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn mapping_unmapping_preserves_zero_pattern() {
+    for seed in 0..CASES {
         let mut rng = SeededRng::new(seed);
+        let dims = random_conv_dims(&mut rng);
         let xbar = CrossbarShape::new(8, 8).unwrap();
         let cp = CpConstraint::new(xbar, 2).unwrap();
         let w = Tensor::randn(&dims, 1.0, &mut rng);
         let pruned = cp.project_param(&w, ParamKind::ConvWeight).unwrap();
-        let config = XbarConfig { shape: xbar, ..XbarConfig::paper_default() };
+        let config = XbarConfig {
+            shape: xbar,
+            ..XbarConfig::paper_default()
+        };
         let mapped = MappedLayer::from_param(&pruned, ParamKind::ConvWeight, config).unwrap();
         let back = mapped.unmap().unwrap();
         for (orig, rec) in pruned.as_slice().iter().zip(back.as_slice()) {
             if *orig == 0.0 {
-                prop_assert_eq!(*rec, 0.0);
+                assert_eq!(*rec, 0.0);
             }
         }
-        prop_assert!(mapped.activated_rows() <= 2);
+        assert!(mapped.activated_rows() <= 2);
     }
+}
 
-    #[test]
-    fn reduced_adc_is_exact_on_random_pruned_layers(
-        dims in arb_conv_dims(),
-        l in 1usize..4,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn reduced_adc_is_exact_on_random_pruned_layers() {
+    for seed in 0..CASES {
         let mut rng = SeededRng::new(seed);
+        let dims = random_conv_dims(&mut rng);
+        let l = 1 + rng.sample_index(3);
         let xbar = CrossbarShape::new(8, 4).unwrap();
         let cp = CpConstraint::new(xbar, l).unwrap();
         let w = Tensor::randn(&dims, 1.0, &mut rng);
         let pruned = cp.project_param(&w, ParamKind::ConvWeight).unwrap();
-        let config = XbarConfig { shape: xbar, ..XbarConfig::paper_default() };
+        let config = XbarConfig {
+            shape: xbar,
+            ..XbarConfig::paper_default()
+        };
         let mapped = MappedLayer::from_param(&pruned, ParamKind::ConvWeight, config).unwrap();
         let adc = Adc::new(required_adc_bits_paper(1, 2, l)).unwrap();
         let (rows, _) = mapped.matrix_dims();
-        let input: Vec<u64> = (0..rows).map(|i| (i as u64 * 13 + seed % 97) % 256).collect();
-        prop_assert_eq!(
+        let input: Vec<u64> = (0..rows)
+            .map(|i| (i as u64 * 13 + seed % 97) % 256)
+            .collect();
+        assert_eq!(
             mapped.matvec_codes(&input, &adc).unwrap(),
             mapped.matvec_codes_ideal(&input).unwrap()
         );
     }
+}
 
-    #[test]
-    fn eq1_bits_never_underestimate(
-        v in 1u32..4,
-        w in 1u32..4,
-        rows in 1usize..300,
-    ) {
-        let paper = required_adc_bits_paper(v, w, rows);
-        let max_sum = rows as u128 * ((1u128 << w) - 1) * ((1u128 << v) - 1);
-        prop_assert!(((1u128 << paper) - 1) >= max_sum,
-            "Eq.1 gives {paper} bits but max sum is {max_sum}");
+#[test]
+fn eq1_bits_never_underestimate() {
+    for v in 1u32..4 {
+        for w in 1u32..4 {
+            for rows in (1usize..300).step_by(7) {
+                let paper = required_adc_bits_paper(v, w, rows);
+                let max_sum = rows as u128 * ((1u128 << w) - 1) * ((1u128 << v) - 1);
+                assert!(
+                    ((1u128 << paper) - 1) >= max_sum,
+                    "Eq.1 gives {paper} bits but max sum is {max_sum}"
+                );
+            }
+        }
     }
 }

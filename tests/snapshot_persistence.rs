@@ -30,7 +30,9 @@ fn pruned_model_round_trips_through_disk() {
     load_network(&mut reloaded, &path).expect("load");
 
     // Identical evaluation.
-    let acc_orig = evaluate_top_k(&mut net, &data, 1, 32).expect("eval").value();
+    let acc_orig = evaluate_top_k(&mut net, &data, 1, 32)
+        .expect("eval")
+        .value();
     let acc_reloaded = evaluate_top_k(&mut reloaded, &data, 1, 32)
         .expect("eval")
         .value();
@@ -39,8 +41,7 @@ fn pruned_model_round_trips_through_disk() {
 
     // Identical crossbar audit (ADC bits, blocks, sparsity per layer).
     let skip = pipeline.skip_list(&mut reloaded);
-    let audit_orig =
-        NetworkAudit::of(&mut net, pipeline.config().xbar, &skip).expect("audit");
+    let audit_orig = NetworkAudit::of(&mut net, pipeline.config().xbar, &skip).expect("audit");
     let audit_reloaded =
         NetworkAudit::of(&mut reloaded, pipeline.config().xbar, &skip).expect("audit");
     assert_eq!(audit_orig, audit_reloaded);
