@@ -1,19 +1,30 @@
-//! Serial-vs-parallel micro-benchmarks for the workspace hot kernels.
+//! Serial-vs-parallel and loop-vs-packed micro-benchmarks for the
+//! workspace hot kernels.
 //!
 //! ```text
-//! cargo run --release -p tinyadc-bench --bin perf
+//! cargo run --release -p tinyadc-bench --bin perf [-- --quick]
 //! ```
 //!
-//! Times four kernels — dense matmul, im2col convolution, CP projection,
-//! and bit-serial tile inference — once with `tinyadc_par` forced to one
-//! worker and once at the ambient thread count (`TINYADC_THREADS` or
-//! auto-detect), then writes `BENCH_parallel.json` to the current
-//! directory (the workspace root under `cargo run`).
+//! Two families of measurements, both written to `BENCH_parallel.json`
+//! in the current directory (the workspace root under `cargo run`):
+//!
+//! * **Serial vs parallel** — dense matmul, im2col convolution, CP
+//!   projection, and datapath conv inference, once with `tinyadc_par`
+//!   forced to one worker and once at the parallel count (the
+//!   `TINYADC_THREADS` env var, defaulting to available parallelism).
+//!   Both thread counts are recorded; a warning is printed when they are
+//!   equal (single-core machine without `TINYADC_THREADS` set), since
+//!   the speedups are then meaningless ~1.0×.
+//! * **Datapath kernel comparisons** — single-threaded loop-vs-packed
+//!   `tile_matvec` on dense and CP-pruned paper-default 128×128 tiles,
+//!   and per-patch-vs-batched `datapath_conv2d`; these record the packed
+//!   popcount kernel's algorithmic speedup independent of threading.
+//!
 //! Pure std: `std::time::Instant`, one warmup run per mode, then
-//! interleaved serial/parallel repeats (cancels slow machine-load drift)
-//! reporting the best of N (robust to scheduling noise). Because every
-//! parallel kernel is bitwise-deterministic, the two modes also
-//! cross-check each other's outputs.
+//! interleaved repeats (cancels slow machine-load drift) reporting the
+//! best of N (robust to scheduling noise). Every kernel here is
+//! bitwise-deterministic, so the two modes also cross-check each other's
+//! outputs. `--quick` cuts the repeat count for CI smoke runs.
 
 use std::time::Instant;
 use tinyadc_nn::ParamKind;
@@ -23,10 +34,8 @@ use tinyadc_tensor::{im2col, Conv2dGeometry, Tensor};
 use tinyadc_xbar::adc::Adc;
 use tinyadc_xbar::infer::conv2d;
 use tinyadc_xbar::mapping::MappedLayer;
-use tinyadc_xbar::tile::XbarConfig;
-
-/// Timing repeats per mode; the best (minimum) is reported.
-const REPS: usize = 15;
+use tinyadc_xbar::quant::quantize_input;
+use tinyadc_xbar::tile::{Tile, XbarConfig};
 
 /// One timed run of `f`; returns (seconds, checksum). The checksum keeps
 /// the work observable so it cannot be optimised away.
@@ -42,24 +51,40 @@ struct KernelResult {
     parallel_s: f64,
 }
 
-impl KernelResult {
-    fn speedup(&self) -> f64 {
-        if self.parallel_s > 0.0 {
-            self.serial_s / self.parallel_s
-        } else {
-            f64::INFINITY
-        }
+struct CompareResult {
+    name: &'static str,
+    baseline: &'static str,
+    optimized: &'static str,
+    baseline_s: f64,
+    optimized_s: f64,
+}
+
+fn speedup(slow: f64, fast: f64) -> f64 {
+    if fast > 0.0 {
+        slow / fast
+    } else {
+        f64::INFINITY
     }
 }
 
-/// Runs `f` at 1 worker and at the ambient count with interleaved
+/// Runs `f` at 1 worker and at the parallel count with interleaved
 /// repeats, checks the outputs agree bitwise, and keeps the best time
 /// per mode.
-fn bench<F: FnMut() -> f64>(name: &'static str, ambient: usize, mut f: F) -> KernelResult {
+fn bench<F: FnMut() -> f64>(
+    name: &'static str,
+    parallel: usize,
+    reps: usize,
+    mut f: F,
+) -> KernelResult {
     // Warm caches/allocator in both modes.
     tinyadc_par::set_threads(1);
     let reference = f();
-    tinyadc_par::set_threads(ambient);
+    tinyadc_par::set_threads(parallel);
+    assert_eq!(
+        tinyadc_par::current_threads(),
+        parallel,
+        "worker count did not take effect"
+    );
     let warm = f();
     assert_eq!(
         reference.to_bits(),
@@ -67,7 +92,7 @@ fn bench<F: FnMut() -> f64>(name: &'static str, ambient: usize, mut f: F) -> Ker
         "{name}: parallel output diverged from serial"
     );
     let (mut serial_s, mut parallel_s) = (f64::INFINITY, f64::INFINITY);
-    for _ in 0..REPS {
+    for _ in 0..reps {
         tinyadc_par::set_threads(1);
         let (dt, c) = timed(&mut f);
         assert_eq!(
@@ -76,7 +101,7 @@ fn bench<F: FnMut() -> f64>(name: &'static str, ambient: usize, mut f: F) -> Ker
             "{name}: serial run unstable"
         );
         serial_s = serial_s.min(dt);
-        tinyadc_par::set_threads(ambient);
+        tinyadc_par::set_threads(parallel);
         let (dt, c) = timed(&mut f);
         assert_eq!(
             c.to_bits(),
@@ -95,7 +120,66 @@ fn bench<F: FnMut() -> f64>(name: &'static str, ambient: usize, mut f: F) -> Ker
         "  {name:<16} serial {:8.3} ms  parallel {:8.3} ms  speedup {:.2}x",
         r.serial_s * 1e3,
         r.parallel_s * 1e3,
-        r.speedup()
+        speedup(r.serial_s, r.parallel_s)
+    );
+    r
+}
+
+/// Times two implementations of the same computation at **one** worker,
+/// asserting their checksums agree bitwise, interleaved, best of `reps`.
+fn compare<A, B>(
+    name: &'static str,
+    labels: (&'static str, &'static str),
+    reps: usize,
+    mut baseline: A,
+    mut optimized: B,
+) -> CompareResult
+where
+    A: FnMut() -> f64,
+    B: FnMut() -> f64,
+{
+    tinyadc_par::set_threads(1);
+    let reference = baseline();
+    let check = optimized();
+    assert_eq!(
+        reference.to_bits(),
+        check.to_bits(),
+        "{name}: {} output diverged from {}",
+        labels.1,
+        labels.0
+    );
+    let (mut baseline_s, mut optimized_s) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..reps {
+        let (dt, c) = timed(&mut baseline);
+        assert_eq!(
+            c.to_bits(),
+            reference.to_bits(),
+            "{name}: baseline unstable"
+        );
+        baseline_s = baseline_s.min(dt);
+        let (dt, c) = timed(&mut optimized);
+        assert_eq!(
+            c.to_bits(),
+            reference.to_bits(),
+            "{name}: optimized unstable"
+        );
+        optimized_s = optimized_s.min(dt);
+    }
+    tinyadc_par::set_threads(0);
+    let r = CompareResult {
+        name,
+        baseline: labels.0,
+        optimized: labels.1,
+        baseline_s,
+        optimized_s,
+    };
+    eprintln!(
+        "  {name:<16} {} {:8.3} ms  {} {:8.3} ms  speedup {:.2}x (1 thread)",
+        r.baseline,
+        r.baseline_s * 1e3,
+        r.optimized,
+        r.optimized_s * 1e3,
+        speedup(r.baseline_s, r.optimized_s)
     );
     r
 }
@@ -104,11 +188,59 @@ fn checksum(slice: &[f32]) -> f64 {
     slice.iter().map(|&v| v as f64).sum()
 }
 
+fn checksum_i64(slice: &[i64]) -> f64 {
+    // Column sums are far below 2^53, so the f64 accumulation is exact.
+    slice.iter().map(|&v| v as f64).sum()
+}
+
+/// Paper-default 128×128 tile (8-bit weights/inputs, 2-bit cells, 1-bit
+/// DAC) with seeded random codes; `cp_rate > 1` keeps only
+/// `128 / cp_rate` non-zero rows per column (column-proportional
+/// sparsity).
+fn paper_tile(cp_rate: usize, rng: &mut SeededRng) -> Tile {
+    let cfg = XbarConfig::paper_default();
+    let n = 128;
+    let codes: Vec<i64> = (0..n * n)
+        .map(|i| {
+            let (r, j) = (i / n, i % n);
+            if cp_rate > 1 && r % cp_rate != j % cp_rate {
+                0
+            } else {
+                // Non-zero signed codes in [-127, 127].
+                let m = 1 + (rng.next_u64() % 127) as i64;
+                if rng.next_u64().is_multiple_of(2) {
+                    m
+                } else {
+                    -m
+                }
+            }
+        })
+        .collect();
+    Tile::new(&codes, n, n, cfg).expect("paper tile")
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // Resolve the ambient count once, before any override.
+    let quick = std::env::args().any(|a| a == "--quick");
+    let reps = if quick { 3 } else { 15 };
+
+    // Resolve the parallel worker count once, before any override:
+    // TINYADC_THREADS if set, else available parallelism (what
+    // `current_threads` reports with no override active).
     tinyadc_par::set_threads(0);
-    let ambient = tinyadc_par::current_threads();
-    eprintln!("perf: comparing 1 worker vs {ambient} worker(s), best of {REPS} interleaved");
+    let threads_serial = 1usize;
+    let threads_parallel = tinyadc_par::current_threads();
+    eprintln!(
+        "perf: comparing {threads_serial} worker vs {threads_parallel} worker(s), \
+         best of {reps} interleaved{}",
+        if quick { " (quick)" } else { "" }
+    );
+    if threads_parallel == threads_serial {
+        eprintln!(
+            "perf: WARNING serial and parallel worker counts are both {threads_serial}; \
+             parallel speedups below are meaningless — set TINYADC_THREADS>1 \
+             (available parallelism on this machine is 1)"
+        );
+    }
 
     let mut rng = SeededRng::new(7_2021);
     let mut results = Vec::new();
@@ -116,7 +248,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Dense matmul: [192, 384] x [384, 192].
     let a = Tensor::randn(&[192, 384], 1.0, &mut rng);
     let b = Tensor::randn(&[384, 192], 1.0, &mut rng);
-    results.push(bench("matmul", ambient, || {
+    results.push(bench("matmul", threads_parallel, reps, || {
         checksum(a.matmul(&b).expect("matmul").as_slice())
     }));
 
@@ -125,7 +257,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let w = Tensor::randn(&[32, 16, 3, 3], 0.3, &mut rng);
     let g = Conv2dGeometry::new(16, 32, 32, 3, 3, 1, 1)?;
     let w2d = w.reshape(&[32, g.patch_len()])?;
-    results.push(bench("conv_im2col", ambient, || {
+    results.push(bench("conv_im2col", threads_parallel, reps, || {
         let cols = im2col(&x, &g).expect("im2col");
         checksum(w2d.matmul(&cols).expect("matmul").as_slice())
     }));
@@ -134,7 +266,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let shape = CrossbarShape::new(16, 8)?;
     let cp = CpConstraint::new(shape, 4)?;
     let big = Tensor::randn(&[256, 512], 1.0, &mut rng);
-    results.push(bench("cp_projection", ambient, || {
+    results.push(bench("cp_projection", threads_parallel, reps, || {
         checksum(
             cp.project_param(&big, ParamKind::LinearWeight)
                 .expect("projection")
@@ -151,14 +283,67 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let xc = Tensor::uniform(&[4, 12, 12], 0.0, 1.0, &mut rng);
     let mapped = MappedLayer::from_param(&wc, ParamKind::ConvWeight, cfg)?;
     let adc = Adc::new(mapped.required_adc_bits())?;
-    results.push(bench("tile_inference", ambient, || {
+    results.push(bench("tile_inference", threads_parallel, reps, || {
         checksum(conv2d(&mapped, &xc, 1, 1, &adc).expect("conv2d").as_slice())
     }));
 
+    // --- Datapath kernel comparisons (single-threaded, algorithmic) ---
+    eprintln!("perf: datapath kernels, loop vs packed at 1 thread");
+    let mut comparisons = Vec::new();
+
+    // 5. tile_matvec on the paper-default 128×128 config: the packed
+    // popcount kernel vs the reference quadruple loop, dense and
+    // CP-pruned (rate 8: 16 active rows per column).
+    let input: Vec<u64> = (0..128).map(|_| rng.next_u64() % 256).collect();
+    for (name, cp_rate) in [("tile_matvec_dense", 1usize), ("tile_matvec_cp8", 8)] {
+        let tile = paper_tile(cp_rate, &mut rng);
+        let tile_adc = Adc::new(9)?; // Eq. 1 for 128 dense rows
+        comparisons.push(compare(
+            name,
+            ("loop", "packed"),
+            reps,
+            || checksum_i64(&tile.matvec_loop(&input, &tile_adc).expect("loop")),
+            || checksum_i64(&tile.matvec(&input, &tile_adc).expect("packed")),
+        ));
+    }
+
+    // 6. datapath_conv2d: batched MVM (one packing pass per tile) vs the
+    // old per-patch streaming, at the codes level on the same layer.
+    let gq = Conv2dGeometry::new(4, 12, 12, 3, 3, 1, 1)?;
+    let cols_q = im2col(&xc, &gq)?;
+    let q = quantize_input(&cols_q, &mapped.config().quant)?;
+    let codes: Vec<u64> = q.codes.iter().map(|&c| c as u64).collect();
+    let (rows, _) = mapped.matrix_dims();
+    let patches = gq.patch_count();
+    comparisons.push(compare(
+        "datapath_conv2d",
+        ("per_patch", "batched"),
+        reps,
+        || {
+            let mut acc = 0.0f64;
+            let mut column = vec![0u64; rows];
+            for p in 0..patches {
+                for (r, slot) in column.iter_mut().enumerate() {
+                    *slot = codes[r * patches + p];
+                }
+                acc += checksum_i64(&mapped.matvec_codes(&column, &adc).expect("mvm"));
+            }
+            acc
+        },
+        || {
+            checksum_i64(
+                &mapped
+                    .matvec_codes_batch(&codes, patches, &adc)
+                    .expect("mvm"),
+            )
+        },
+    ));
+
     // Hand-rolled JSON (std-only policy: no serde in the workspace).
     let mut json = String::from("{\n");
-    json.push_str(&format!("  \"threads_parallel\": {ambient},\n"));
-    json.push_str(&format!("  \"reps\": {REPS},\n"));
+    json.push_str(&format!("  \"threads_serial\": {threads_serial},\n"));
+    json.push_str(&format!("  \"threads_parallel\": {threads_parallel},\n"));
+    json.push_str(&format!("  \"reps\": {reps},\n"));
     json.push_str("  \"kernels\": [\n");
     for (i, r) in results.iter().enumerate() {
         json.push_str(&format!(
@@ -166,13 +351,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             r.name,
             r.serial_s * 1e3,
             r.parallel_s * 1e3,
-            r.speedup(),
+            speedup(r.serial_s, r.parallel_s),
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
+    json.push_str("  ],\n");
+    json.push_str("  \"datapath\": [\n");
+    for (i, r) in comparisons.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"baseline\": \"{}\", \"optimized\": \"{}\", \
+             \"baseline_ms\": {:.3}, \"optimized_ms\": {:.3}, \"speedup\": {:.3}, \"threads\": 1}}{}\n",
+            r.name,
+            r.baseline,
+            r.optimized,
+            r.baseline_s * 1e3,
+            r.optimized_s * 1e3,
+            speedup(r.baseline_s, r.optimized_s),
+            if i + 1 < comparisons.len() { "," } else { "" }
+        ));
+    }
     json.push_str("  ]\n}\n");
-    std::fs::write("BENCH_parallel.json", &json)?;
+    // Quick smoke runs go to a scratch file so they never clobber the
+    // committed full-run numbers.
+    let out = if quick {
+        "BENCH_parallel.quick.json"
+    } else {
+        "BENCH_parallel.json"
+    };
+    std::fs::write(out, &json)?;
     println!("{json}");
-    eprintln!("wrote BENCH_parallel.json");
+    eprintln!("wrote {out}");
     Ok(())
 }

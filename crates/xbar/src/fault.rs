@@ -90,25 +90,26 @@ pub fn inject_faults(
     let sa0 = model.sa0_rate;
     let sa1 = model.sa1_rate;
     for tile in layer.tiles_mut() {
-        let (pos, neg) = tile.slices_mut();
-        for polarity in [pos, neg] {
-            for slice in polarity.iter_mut() {
-                for level in slice.iter_mut() {
-                    report.cells += 1;
-                    let roll: f64 = rng.sample_uniform(0.0, 1.0) as f64;
-                    if roll < sa0 {
-                        report.sa0 += 1;
-                        if *level == 0 {
-                            report.sa0_harmless += 1;
+        tile.mutate_cells(|pos, neg| {
+            for polarity in [pos, neg] {
+                for slice in polarity.iter_mut() {
+                    for level in slice.iter_mut() {
+                        report.cells += 1;
+                        let roll: f64 = rng.sample_uniform(0.0, 1.0) as f64;
+                        if roll < sa0 {
+                            report.sa0 += 1;
+                            if *level == 0 {
+                                report.sa0_harmless += 1;
+                            }
+                            *level = 0;
+                        } else if roll < sa0 + sa1 {
+                            report.sa1 += 1;
+                            *level = level_max;
                         }
-                        *level = 0;
-                    } else if roll < sa0 + sa1 {
-                        report.sa1 += 1;
-                        *level = level_max;
                     }
                 }
             }
-        }
+        });
     }
     report
 }

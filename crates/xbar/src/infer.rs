@@ -63,19 +63,15 @@ pub fn conv2d(
     debug_assert_eq!(out_cols, f);
 
     let scale = mapped.weight_scale() * q.scale;
-    // Patches are independent MVMs over the shared mapped layer; results
-    // come back in patch order and scatter serially into the output.
-    let patch_results = tinyadc_par::map(g.patch_count(), |p| {
-        let mut column = vec![0u64; rows];
-        for (r, slot) in column.iter_mut().enumerate() {
-            *slot = q.codes[r * g.patch_count() + p] as u64;
-        }
-        mapped.matvec_codes(&column, adc)
-    });
+    // The unfolded input is already in the batched entry point's layout
+    // (matrix row r of patch p at `r * patch_count + p`), so the whole
+    // tile's worth of patches streams through one packing pass instead of
+    // one per patch.
+    let codes: Vec<u64> = q.codes.iter().map(|&c| c as u64).collect();
+    let y = mapped.matvec_codes_batch(&codes, g.patch_count(), adc)?;
     let mut out = vec![0.0f32; f * g.patch_count()];
-    for (p, result) in patch_results.into_iter().enumerate() {
-        let y = result?;
-        for (fi, &v) in y.iter().enumerate() {
+    for (p, y_row) in y.chunks(f).enumerate() {
+        for (fi, &v) in y_row.iter().enumerate() {
             out[fi * g.patch_count() + p] = v as f32 * scale;
         }
     }

@@ -15,7 +15,10 @@
 //!   cycle; column currents are digitised by ADCs and recombined with
 //!   shift-and-add ([`tile`]). The arithmetic is carried on integer
 //!   lattices, so the paper's "no computational inaccuracy" claim is
-//!   checkable with `==`.
+//!   checkable with `==`. The hot path runs on a bit-plane-packed
+//!   popcount kernel (cell levels and DAC bits packed into `u64` row
+//!   bitmasks) that is bitwise identical to the reference loop —
+//!   [`tile::Tile::matvec_loop`] — including ADC saturation.
 //! * **The ADC resolution rule (Eq. 1)** — and its exact counterpart
 //!   derived from the worst-case column sum ([`adc`]).
 //! * **Stuck-at faults and device variation** — SA0/SA1 cell faults and
@@ -37,6 +40,7 @@
 #![warn(missing_docs)]
 
 mod error;
+mod packed;
 
 pub mod activity;
 pub mod adc;

@@ -180,6 +180,57 @@ impl MappedLayer {
         self.run_matvec(input, |tile, slice| tile.matvec_ideal(slice))
     }
 
+    /// Batched crossbar MVM: `n_inputs` integer input vectors in im2col
+    /// layout — element `(matrix row r, input i)` at
+    /// `inputs[r * n_inputs + i]` — through the given ADC. Returns
+    /// input-major outputs, `out[i * matrix_cols + j]`, with partial sums
+    /// accumulated digitally across row blocks.
+    ///
+    /// Bitwise identical to calling [`MappedLayer::matvec_codes`] once
+    /// per input; each tile packs the whole batch's DAC bit planes once
+    /// ([`Tile::matvec_batch`]) instead of re-streaming every input, and
+    /// parallelism runs over inputs inside each tile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::InputLengthMismatch`] when `inputs` is not
+    /// `matrix_rows × n_inputs` long.
+    pub fn matvec_codes_batch(
+        &self,
+        inputs: &[u64],
+        n_inputs: usize,
+        adc: &Adc,
+    ) -> Result<Vec<i64>> {
+        if n_inputs == 0 {
+            return Ok(Vec::new());
+        }
+        if inputs.len() != self.matrix_rows * n_inputs {
+            return Err(XbarError::InputLengthMismatch {
+                expected: self.matrix_rows * n_inputs,
+                actual: inputs.len(),
+            });
+        }
+        let m = self.config.shape.rows();
+        let n = self.config.shape.cols();
+        let mut out = vec![0i64; n_inputs * self.matrix_cols];
+        // Tiles merge serially in tile order (digital accumulation is
+        // integer-exact, so the order cannot change results); the batch
+        // parallelism lives inside `Tile::matvec_batch`.
+        for (t, tile) in self.tiles.iter().enumerate() {
+            let r0 = (t / self.col_blocks) * m;
+            let r1 = (r0 + m).min(self.matrix_rows);
+            let c0 = (t % self.col_blocks) * n;
+            let y = tile.matvec_batch(&inputs[r0 * n_inputs..r1 * n_inputs], n_inputs, adc)?;
+            for (i, y_row) in y.chunks(tile.cols()).enumerate() {
+                let dst = &mut out[i * self.matrix_cols + c0..][..tile.cols()];
+                for (d, v) in dst.iter_mut().zip(y_row) {
+                    *d += v;
+                }
+            }
+        }
+        Ok(out)
+    }
+
     fn run_matvec(
         &self,
         input: &[u64],

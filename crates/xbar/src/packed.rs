@@ -1,0 +1,380 @@
+//! Bit-plane-packed popcount kernels for the bit-serial crossbar datapath.
+//!
+//! The reference MVM in [`crate::tile`] walks a column × cycle × slice ×
+//! row quadruple loop with stride-`cols` cell accesses. This module packs
+//! the same data into machine words so the inner row loop collapses to a
+//! handful of `AND` + `popcount` operations:
+//!
+//! * **Level planes.** Each polarity/slice of the tile is decomposed into
+//!   per-bit planes: plane `b` of a slice is the set of cells whose level
+//!   has bit `b` set, stored as **column-major row bitmasks** — column `j`
+//!   owns `words_per_col = ⌈rows/64⌉` consecutive `u64` words, bit `r` of
+//!   the mask marking row `r`. A plane that is zero everywhere (common
+//!   after column-proportional pruning, which zeroes whole weights and
+//!   thus every bit of every slice they occupy) is dropped at pack time
+//!   and costs nothing per MVM.
+//! * **Input planes.** An input vector is packed once into per-bit row
+//!   bitmasks the same way; the bits a DAC streams in cycle `c` are
+//!   exactly input planes `c·dac_bits .. (c+1)·dac_bits`.
+//!
+//! The per-column pre-ADC sum of cycle `c` and slice `s` then becomes
+//!
+//! ```text
+//! Σ_r bits_r · level_{r,j}
+//!   = Σ_d Σ_b 2^(d+b) · popcount(input_plane_{c·dac+d} & level_plane_b[j])
+//! ```
+//!
+//! which is an identity over the integers — every cross term of the two
+//! binary expansions is counted exactly once — so the packed kernel feeds
+//! the ADC the *same* integer column sums as the reference loop and its
+//! output is bitwise identical, saturation included. All accumulation is
+//! integer, so results are also invariant to any chunking or thread count.
+
+use crate::adc::Adc;
+
+/// One non-zero bit plane of a polarity/slice: the set of cells whose
+/// level has bit [`BitPlane::bit`] set, as column-major row bitmasks.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct BitPlane {
+    /// Bit position within the cell level (weight `2^bit`).
+    bit: u32,
+    /// `cols × words_per_col` words; column `j` owns
+    /// `words[j*words_per_col .. (j+1)*words_per_col]`.
+    words: Vec<u64>,
+}
+
+/// The bit planes of one slice, split by differential polarity. Planes
+/// that are zero over the whole tile are omitted.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub(crate) struct SlicePlanes {
+    pos: Vec<BitPlane>,
+    neg: Vec<BitPlane>,
+}
+
+/// Bit-plane-packed view of a tile's cell levels, built once at
+/// [`crate::tile::Tile::new`] time and read-only afterwards.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct PackedTile {
+    rows: usize,
+    cols: usize,
+    words_per_col: usize,
+    /// One entry per weight slice, least-significant first.
+    slices: Vec<SlicePlanes>,
+}
+
+impl PackedTile {
+    /// Packs the tile's cell levels (`[slice][row * cols + col]`, one
+    /// `Vec` per polarity) into per-bit column-major planes.
+    pub(crate) fn pack(
+        pos: &[Vec<u64>],
+        neg: &[Vec<u64>],
+        rows: usize,
+        cols: usize,
+        cell_bits: u32,
+    ) -> Self {
+        let words_per_col = rows.div_ceil(64);
+        let pack_polarity = |levels: &[u64]| -> Vec<BitPlane> {
+            (0..cell_bits)
+                .filter_map(|bit| {
+                    let mut words = vec![0u64; cols * words_per_col];
+                    let mut any = false;
+                    for r in 0..rows {
+                        let (w, mask) = (r / 64, 1u64 << (r % 64));
+                        for c in 0..cols {
+                            if (levels[r * cols + c] >> bit) & 1 == 1 {
+                                words[c * words_per_col + w] |= mask;
+                                any = true;
+                            }
+                        }
+                    }
+                    any.then_some(BitPlane { bit, words })
+                })
+                .collect()
+        };
+        let slices = pos
+            .iter()
+            .zip(neg)
+            .map(|(p, n)| SlicePlanes {
+                pos: pack_polarity(p),
+                neg: pack_polarity(n),
+            })
+            .collect();
+        Self {
+            rows,
+            cols,
+            words_per_col,
+            slices,
+        }
+    }
+
+    /// Words per column bitmask (`⌈rows/64⌉`).
+    pub(crate) fn words_per_col(&self) -> usize {
+        self.words_per_col
+    }
+
+    /// Bit planes stored across all slices/polarities (zero planes have
+    /// already been dropped).
+    pub(crate) fn stored_planes(&self) -> usize {
+        self.slices.iter().map(|s| s.pos.len() + s.neg.len()).sum()
+    }
+
+    /// Bit-serial MVM of one column through the ADC: per (cycle, slice)
+    /// the positive and negative pre-ADC sums are formed by popcount
+    /// accumulation, digitised, and shift-added — the same integer sums,
+    /// in the same order, as the reference loop.
+    ///
+    /// `in_planes` must hold `cycles * dac` input bit planes of
+    /// `words_per_col` words each, least-significant bit first.
+    pub(crate) fn column_bit_serial(
+        &self,
+        j: usize,
+        in_planes: &[u64],
+        dac: u32,
+        cycles: u32,
+        cell_bits: u32,
+        adc: &Adc,
+    ) -> i64 {
+        let wpc = self.words_per_col;
+        let col = j * wpc;
+        let mut acc = 0i64;
+        for cycle in 0..cycles {
+            let shift_in = cycle * dac;
+            for (s, slice) in self.slices.iter().enumerate() {
+                let pos = plane_sum(&slice.pos, col, wpc, in_planes, shift_in, dac);
+                let neg = plane_sum(&slice.neg, col, wpc, in_planes, shift_in, dac);
+                if pos == 0 && neg == 0 {
+                    continue; // sample(0) == 0: skipping cannot change acc
+                }
+                let shift = shift_in + s as u32 * cell_bits;
+                acc += (adc.sample(pos) as i64 - adc.sample(neg) as i64) << shift;
+            }
+        }
+        acc
+    }
+
+    /// Ideal (no-ADC) integer MVM of one column: every
+    /// (input bit, slice, level bit) cross term accumulates exactly, so
+    /// the result equals the direct `Σ_r x_r · w_{r,j}`.
+    ///
+    /// `in_planes` must hold `n_in_planes` input bit planes.
+    pub(crate) fn column_ideal(
+        &self,
+        j: usize,
+        in_planes: &[u64],
+        n_in_planes: u32,
+        cell_bits: u32,
+    ) -> i64 {
+        let wpc = self.words_per_col;
+        let col = j * wpc;
+        let mut acc = 0i64;
+        for (s, slice) in self.slices.iter().enumerate() {
+            let base = s as u32 * cell_bits;
+            for (planes, sign) in [(&slice.pos, 1i64), (&slice.neg, -1i64)] {
+                for plane in planes {
+                    let words = &plane.words[col..col + wpc];
+                    for p in 0..n_in_planes {
+                        let ip = &in_planes[p as usize * wpc..][..wpc];
+                        let cnt: i64 = words
+                            .iter()
+                            .zip(ip)
+                            .map(|(a, b)| i64::from((a & b).count_ones()))
+                            .sum();
+                        acc += sign * (cnt << (base + plane.bit + p));
+                    }
+                }
+            }
+        }
+        acc
+    }
+
+    /// Rows with a non-zero stored weight in column `j`: the OR of every
+    /// stored plane's column mask, popcounted. `scratch` must hold
+    /// `words_per_col` words and is overwritten.
+    pub(crate) fn column_active_rows(&self, j: usize, scratch: &mut [u64]) -> usize {
+        scratch.fill(0);
+        let col = j * self.words_per_col;
+        for slice in &self.slices {
+            for plane in slice.pos.iter().chain(&slice.neg) {
+                for (m, w) in scratch
+                    .iter_mut()
+                    .zip(&plane.words[col..col + self.words_per_col])
+                {
+                    *m |= w;
+                }
+            }
+        }
+        scratch.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+/// Pre-ADC sum contribution of one polarity's planes for one column and
+/// one DAC cycle: `Σ_planes Σ_d 2^(plane.bit + d) · popcount(...)`.
+#[inline]
+fn plane_sum(
+    planes: &[BitPlane],
+    col: usize,
+    wpc: usize,
+    in_planes: &[u64],
+    shift_in: u32,
+    dac: u32,
+) -> u64 {
+    let mut sum = 0u64;
+    for plane in planes {
+        let words = &plane.words[col..col + wpc];
+        for d in 0..dac {
+            let ip = &in_planes[(shift_in + d) as usize * wpc..][..wpc];
+            let cnt: u64 = words
+                .iter()
+                .zip(ip)
+                .map(|(a, b)| u64::from((a & b).count_ones()))
+                .sum();
+            sum += cnt << (plane.bit + d);
+        }
+    }
+    sum
+}
+
+/// Packs one input vector into `n_planes` per-bit row bitmasks of
+/// `words_per_col` words each (plane `p` marks rows whose code has bit
+/// `p` set). Only set bits are visited, so sparse/low activations pack in
+/// proportion to their population count.
+pub(crate) fn pack_bit_planes(input: &[u64], n_planes: u32, words_per_col: usize) -> Vec<u64> {
+    let mut words = vec![0u64; n_planes as usize * words_per_col];
+    for (r, &x) in input.iter().enumerate() {
+        scatter_bits(&mut words, x, r, n_planes, words_per_col, 0);
+    }
+    words
+}
+
+/// Packs a batch of input vectors stored in im2col layout — element
+/// `(row r, input i)` at `inputs[r * n_inputs + i]` — into input-major
+/// planes: plane `p` of input `i` occupies
+/// `words[(i * n_planes + p) * words_per_col ..][..words_per_col]`.
+///
+/// Packing the whole batch in one pass is what the batched entry points
+/// amortise: each input's DAC bits are extracted once, instead of once
+/// per (cycle, slice) per tile as in the reference loop.
+pub(crate) fn pack_bit_planes_batch(
+    inputs: &[u64],
+    n_inputs: usize,
+    n_planes: u32,
+    words_per_col: usize,
+) -> Vec<u64> {
+    let rows = inputs.len().checked_div(n_inputs).unwrap_or(0);
+    let mut words = vec![0u64; n_inputs * n_planes as usize * words_per_col];
+    let per_input = n_planes as usize * words_per_col;
+    for r in 0..rows {
+        for (i, &x) in inputs[r * n_inputs..(r + 1) * n_inputs].iter().enumerate() {
+            scatter_bits(&mut words, x, r, n_planes, words_per_col, i * per_input);
+        }
+    }
+    words
+}
+
+/// Sets bit `r` of plane `p` (at `base`) for every set bit `p` of `x`.
+#[inline]
+fn scatter_bits(words: &mut [u64], x: u64, r: usize, n_planes: u32, wpc: usize, base: usize) {
+    let (w, mask) = (r / 64, 1u64 << (r % 64));
+    let mut v = x;
+    while v != 0 {
+        let p = v.trailing_zeros();
+        if p >= n_planes {
+            break;
+        }
+        words[base + p as usize * wpc + w] |= mask;
+        v &= v - 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Levels `[slice][row * cols + col]` for a 3×2 block, 2-bit cells.
+    fn demo_levels() -> (Vec<Vec<u64>>, Vec<Vec<u64>>) {
+        // pos slice0: rows x cols = [[1, 0], [3, 2], [0, 0]]
+        // pos slice1: all zero -> both its planes must be dropped.
+        let pos = vec![vec![1, 0, 3, 2, 0, 0], vec![0; 6]];
+        // neg slice0: [[0, 1], [0, 0], [2, 0]]; slice1: [[0,0],[1,0],[0,0]]
+        let neg = vec![vec![0, 1, 0, 0, 2, 0], vec![0, 0, 1, 0, 0, 0]];
+        (pos, neg)
+    }
+
+    #[test]
+    fn zero_planes_are_dropped() {
+        let (pos, neg) = demo_levels();
+        let packed = PackedTile::pack(&pos, &neg, 3, 2, 2);
+        assert_eq!(packed.words_per_col(), 1);
+        // pos slice0 has bits 0 and 1 somewhere; slice1 is empty.
+        assert_eq!(packed.slices[0].pos.len(), 2);
+        assert_eq!(packed.slices[1].pos.len(), 0);
+        // neg slice0 has bit0 (level 1) and bit1 (level 2); slice1 only bit0.
+        assert_eq!(packed.slices[0].neg.len(), 2);
+        assert_eq!(packed.slices[1].neg.len(), 1);
+        assert_eq!(packed.stored_planes(), 5);
+    }
+
+    #[test]
+    fn planes_are_column_major_row_masks() {
+        let (pos, neg) = demo_levels();
+        let packed = PackedTile::pack(&pos, &neg, 3, 2, 2);
+        let bit0 = &packed.slices[0].pos[0];
+        assert_eq!(bit0.bit, 0);
+        // col0: rows 0 (level 1) and 1 (level 3) have bit 0 set -> 0b011.
+        assert_eq!(bit0.words[0], 0b011);
+        // col1: no level with bit 0 in pos slice0 (levels 0, 2, 0).
+        assert_eq!(bit0.words[1], 0b000);
+        let bit1 = &packed.slices[0].pos[1];
+        assert_eq!(bit1.bit, 1);
+        assert_eq!(bit1.words[0], 0b010); // row1 level 3
+        assert_eq!(bit1.words[1], 0b010); // row1 level 2
+    }
+
+    #[test]
+    fn input_packing_matches_bit_extraction() {
+        let input = [5u64, 0, 255, 130, 1];
+        let planes = pack_bit_planes(&input, 8, 1);
+        for (p, plane) in planes.iter().enumerate() {
+            for (r, &x) in input.iter().enumerate() {
+                assert_eq!((plane >> r) & 1, (x >> p) & 1, "plane {p} row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_packing_matches_single_packing() {
+        // 3 rows x 2 inputs, im2col layout (r, i) -> r * 2 + i.
+        let inputs = [7u64, 1, 0, 4, 9, 2];
+        let batch = pack_bit_planes_batch(&inputs, 2, 4, 1);
+        for i in 0..2 {
+            let single: Vec<u64> = (0..3).map(|r| inputs[r * 2 + i]).collect();
+            let planes = pack_bit_planes(&single, 4, 1);
+            assert_eq!(&batch[i * 4..(i + 1) * 4], &planes[..], "input {i}");
+        }
+    }
+
+    #[test]
+    fn active_rows_ors_every_plane() {
+        let (pos, neg) = demo_levels();
+        let packed = PackedTile::pack(&pos, &neg, 3, 2, 2);
+        let mut scratch = vec![0u64; 1];
+        // col0: rows 0, 1 (pos), 1 (neg slice1), 2 (neg) -> 3 active rows.
+        assert_eq!(packed.column_active_rows(0, &mut scratch), 3);
+        // col1: row 0 (neg), row 1 (pos) -> 2 active rows.
+        assert_eq!(packed.column_active_rows(1, &mut scratch), 2);
+    }
+
+    #[test]
+    fn rows_past_64_use_the_second_word() {
+        let rows = 70;
+        let pos = vec![(0..rows).map(|r| u64::from(r >= 66)).collect::<Vec<_>>()];
+        let neg = vec![vec![0u64; rows]];
+        let packed = PackedTile::pack(&pos, &neg, rows, 1, 1);
+        assert_eq!(packed.words_per_col(), 2);
+        let mut scratch = vec![0u64; 2];
+        assert_eq!(packed.column_active_rows(0, &mut scratch), 4);
+        let plane = &packed.slices[0].pos[0];
+        assert_eq!(plane.words[0], 0);
+        assert_eq!(plane.words[1], 0b1111 << 2); // rows 66..=69
+    }
+}

@@ -3,6 +3,7 @@
 
 use crate::adc::Adc;
 use crate::cell::{CellConfig, DeviceModel};
+use crate::packed::{self, PackedTile};
 use crate::quant::QuantConfig;
 use crate::{Result, XbarError};
 use tinyadc_prune::CrossbarShape;
@@ -73,12 +74,16 @@ impl XbarConfig {
 ///
 /// Weights are stored as cell levels: `pos` and `neg` polarities, each
 /// with `cells_per_weight` slices laid out `[slice][row * cols + col]`.
+/// A bit-plane-packed mirror of the levels ([`crate::packed`]) is built
+/// at construction time and drives the popcount MVM kernels; it is
+/// rebuilt whenever the cells are mutated (fault injection).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Tile {
     rows: usize,
     cols: usize,
     pos: Vec<Vec<u64>>,
     neg: Vec<Vec<u64>>,
+    packed: PackedTile,
     config: XbarConfig,
 }
 
@@ -123,11 +128,13 @@ impl Tile {
                 target[s][i] = level;
             }
         }
+        let packed = PackedTile::pack(&pos, &neg, rows, cols, config.cell.bits_per_cell);
         Ok(Self {
             rows,
             cols,
             pos,
             neg,
+            packed,
             config,
         })
     }
@@ -147,60 +154,52 @@ impl Tile {
         &self.config
     }
 
-    /// Reconstructs the signed weight codes stored in the tile.
+    /// Reconstructs the signed weight codes stored in the tile by a
+    /// shift-accumulate scan over the stored slices (no per-element
+    /// allocation).
     pub fn codes(&self) -> Vec<i64> {
         let mut out = vec![0i64; self.rows * self.cols];
-        for (i, v) in out.iter_mut().enumerate() {
-            let p: u64 = self
-                .config
-                .cell
-                .unslice(&self.pos.iter().map(|s| s[i]).collect::<Vec<_>>());
-            let n: u64 = self
-                .config
-                .cell
-                .unslice(&self.neg.iter().map(|s| s[i]).collect::<Vec<_>>());
-            *v = p as i64 - n as i64;
+        let cell_bits = self.config.cell.bits_per_cell;
+        for (s, (pos, neg)) in self.pos.iter().zip(&self.neg).enumerate() {
+            let shift = s as u32 * cell_bits;
+            for ((v, &p), &n) in out.iter_mut().zip(pos).zip(neg) {
+                *v += (p as i64 - n as i64) << shift;
+            }
         }
         out
     }
 
     /// Worst-case activated rows over all columns: the paper's quantity
     /// that sizes the ADC. A row is activated for a column when the stored
-    /// weight code there is non-zero.
+    /// weight code there is non-zero. Computed from the packed planes —
+    /// the OR of every stored plane's column mask, popcounted — without
+    /// reconstructing codes.
     pub fn activated_rows(&self) -> usize {
-        let codes = self.codes();
+        let mut scratch = vec![0u64; self.packed.words_per_col()];
         (0..self.cols)
-            .map(|j| {
-                (0..self.rows)
-                    .filter(|&r| codes[r * self.cols + j] != 0)
-                    .count()
-            })
+            .map(|j| self.packed.column_active_rows(j, &mut scratch))
             .max()
             .unwrap_or(0)
     }
 
-    /// Direct integer reference MVM: `y_j = Σ_r x_r · w_{r,j}`.
+    /// Direct integer reference MVM: `y_j = Σ_r x_r · w_{r,j}`, computed
+    /// on the packed bit planes (exact: every input-bit × level-bit cross
+    /// term accumulates as an integer).
     ///
     /// # Errors
     ///
     /// Returns [`XbarError::InputLengthMismatch`] for wrong input length.
     pub fn matvec_ideal(&self, input: &[u64]) -> Result<Vec<i64>> {
         self.check_input(input)?;
-        let codes = self.codes();
+        let in_bits = self.config.quant.input_bits;
+        let cell_bits = self.config.cell.bits_per_cell;
+        let planes = packed::pack_bit_planes(input, in_bits, self.packed.words_per_col());
         let mut y = vec![0i64; self.cols];
         let grain = tinyadc_par::default_grain(self.cols);
         tinyadc_par::for_each_chunk_mut(&mut y, grain, |chunk, y_cols| {
             for (jj, yv) in y_cols.iter_mut().enumerate() {
                 let j = chunk * grain + jj;
-                let mut acc = 0i64;
-                for r in 0..self.rows {
-                    let x = input[r] as i64;
-                    if x == 0 {
-                        continue;
-                    }
-                    acc += x * codes[r * self.cols + j];
-                }
-                *yv = acc;
+                *yv = self.packed.column_ideal(j, &planes, in_bits, cell_bits);
             }
         });
         Ok(y)
@@ -209,6 +208,11 @@ impl Tile {
     /// Bit-serial crossbar MVM through the given ADC: inputs stream
     /// `dac_bits` per cycle, every polarity/slice column is digitised each
     /// cycle, and the digital results are recombined by shift-and-add.
+    ///
+    /// Runs on the packed popcount kernel ([`crate::packed`]), which feeds
+    /// the ADC the same integer column sums as the reference loop
+    /// ([`Tile::matvec_loop`]) and is therefore bitwise identical to it,
+    /// ADC saturation included.
     ///
     /// With an ADC of at least the required resolution the result equals
     /// [`Tile::matvec_ideal`] exactly; with fewer bits the ADC saturates
@@ -219,6 +223,95 @@ impl Tile {
     /// Returns [`XbarError::InputLengthMismatch`] for wrong input length
     /// or codes exceeding the input range.
     pub fn matvec(&self, input: &[u64], adc: &Adc) -> Result<Vec<i64>> {
+        self.check_input(input)?;
+        let dac = self.config.dac_bits;
+        let cycles = self.config.cycles();
+        let cell_bits = self.config.cell.bits_per_cell;
+        let planes = packed::pack_bit_planes(input, cycles * dac, self.packed.words_per_col());
+        // Columns are independent ADC channels; each thread digitises its
+        // own span of columns against the shared read-only planes, so the
+        // output is bitwise identical for every thread count.
+        let mut y = vec![0i64; self.cols];
+        let grain = tinyadc_par::default_grain(self.cols);
+        tinyadc_par::for_each_chunk_mut(&mut y, grain, |chunk, y_cols| {
+            for (jj, yv) in y_cols.iter_mut().enumerate() {
+                let j = chunk * grain + jj;
+                *yv = self
+                    .packed
+                    .column_bit_serial(j, &planes, dac, cycles, cell_bits, adc);
+            }
+        });
+        Ok(y)
+    }
+
+    /// Bit-serial MVM for a batch of inputs sharing this tile.
+    ///
+    /// `inputs` holds `n_inputs` column vectors in im2col layout —
+    /// element `(row r, input i)` at `inputs[r * n_inputs + i]` — so an
+    /// unfolded activation matrix can be streamed without per-patch
+    /// gathering. The output is input-major: `out[i * cols + j]`.
+    ///
+    /// Bitwise identical to calling [`Tile::matvec`] once per input; the
+    /// input bit-plane packing is amortised across the whole batch and
+    /// the batch is chunked over inputs (disjoint output spans), so the
+    /// result is thread-count-invariant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::InputLengthMismatch`] when `inputs` is not
+    /// `rows × n_inputs` long, [`XbarError::InvalidConfig`] for codes
+    /// exceeding the input range.
+    pub fn matvec_batch(&self, inputs: &[u64], n_inputs: usize, adc: &Adc) -> Result<Vec<i64>> {
+        if n_inputs == 0 {
+            return Ok(Vec::new());
+        }
+        if inputs.len() != self.rows * n_inputs {
+            return Err(XbarError::InputLengthMismatch {
+                expected: self.rows * n_inputs,
+                actual: inputs.len(),
+            });
+        }
+        let max = self.config.quant.input_max();
+        if inputs.iter().any(|&x| x > max) {
+            return Err(XbarError::InvalidConfig(format!(
+                "input code exceeds {max}"
+            )));
+        }
+        let dac = self.config.dac_bits;
+        let cycles = self.config.cycles();
+        let cell_bits = self.config.cell.bits_per_cell;
+        let wpc = self.packed.words_per_col();
+        let n_planes = cycles * dac;
+        let planes = packed::pack_bit_planes_batch(inputs, n_inputs, n_planes, wpc);
+        let per_input = n_planes as usize * wpc;
+        let mut y = vec![0i64; n_inputs * self.cols];
+        // Chunk over whole inputs: chunk boundaries align to `cols`, so
+        // each worker owns complete output rows.
+        let grain_inputs = tinyadc_par::default_grain(n_inputs);
+        tinyadc_par::for_each_chunk_mut(&mut y, grain_inputs * self.cols, |chunk, y_block| {
+            for (bi, y_row) in y_block.chunks_mut(self.cols).enumerate() {
+                let i = chunk * grain_inputs + bi;
+                let in_planes = &planes[i * per_input..][..per_input];
+                for (j, yv) in y_row.iter_mut().enumerate() {
+                    *yv = self
+                        .packed
+                        .column_bit_serial(j, in_planes, dac, cycles, cell_bits, adc);
+                }
+            }
+        });
+        Ok(y)
+    }
+
+    /// The reference bit-serial MVM: the original column × cycle × slice
+    /// × row loop over the stored cell levels. Kept as the equivalence
+    /// oracle for the packed kernel (and for benchmarking it); production
+    /// paths use [`Tile::matvec`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::InputLengthMismatch`] for wrong input length
+    /// or codes exceeding the input range.
+    pub fn matvec_loop(&self, input: &[u64], adc: &Adc) -> Result<Vec<i64>> {
         self.check_input(input)?;
         let dac = self.config.dac_bits;
         let dac_mask = (1u64 << dac) - 1;
@@ -338,10 +431,27 @@ impl Tile {
         2 * self.pos.len() * self.rows * self.cols
     }
 
-    /// Mutable access to the raw cell levels, `(polarity, slice, levels)`:
-    /// polarity 0 = positive, 1 = negative. Used by fault injection.
-    pub(crate) fn slices_mut(&mut self) -> (&mut Vec<Vec<u64>>, &mut Vec<Vec<u64>>) {
-        (&mut self.pos, &mut self.neg)
+    /// Bit planes the packed kernel actually stores (out of
+    /// `2 · slices · bits_per_cell` possible): all-zero planes are
+    /// dropped at pack time, so this shrinks with slice-level sparsity —
+    /// the structure column-proportional pruning creates.
+    pub fn packed_plane_count(&self) -> usize {
+        self.packed.stored_planes()
+    }
+
+    /// Mutates the raw cell levels (`f` receives the positive and
+    /// negative polarity slices, each `[slice][row * cols + col]`) and
+    /// rebuilds the packed bit planes afterwards so the popcount kernels
+    /// stay consistent. Used by fault injection.
+    pub(crate) fn mutate_cells(&mut self, f: impl FnOnce(&mut Vec<Vec<u64>>, &mut Vec<Vec<u64>>)) {
+        f(&mut self.pos, &mut self.neg);
+        self.packed = PackedTile::pack(
+            &self.pos,
+            &self.neg,
+            self.rows,
+            self.cols,
+            self.config.cell.bits_per_cell,
+        );
     }
 
     fn check_input(&self, input: &[u64]) -> Result<()> {
@@ -501,6 +611,65 @@ mod tests {
                 "noisy {a} too far from ideal {b}"
             );
         }
+    }
+
+    #[test]
+    fn packed_matvec_matches_reference_loop() {
+        let cfg = small_config();
+        let tile = Tile::new(&demo_codes(), 4, 3, cfg).unwrap();
+        let input = vec![5u64, 0, 15, 9];
+        // Generous and deliberately starved ADCs: packed must track the
+        // loop bit for bit in both regimes.
+        for bits in [1, 2, 4, 8] {
+            let adc = Adc::new(bits).unwrap();
+            assert_eq!(
+                tile.matvec(&input, &adc).unwrap(),
+                tile.matvec_loop(&input, &adc).unwrap(),
+                "adc {bits} bits"
+            );
+        }
+    }
+
+    #[test]
+    fn matvec_batch_matches_per_input_matvec() {
+        let cfg = small_config();
+        let tile = Tile::new(&demo_codes(), 4, 3, cfg).unwrap();
+        let adc = Adc::new(3).unwrap();
+        let inputs = [
+            vec![5u64, 0, 15, 9],
+            vec![0u64, 0, 0, 0],
+            vec![15u64, 15, 15, 15],
+        ];
+        // im2col layout: (row r, input i) at r * n_inputs + i.
+        let n = inputs.len();
+        let mut batch = vec![0u64; 4 * n];
+        for (i, input) in inputs.iter().enumerate() {
+            for (r, &x) in input.iter().enumerate() {
+                batch[r * n + i] = x;
+            }
+        }
+        let y = tile.matvec_batch(&batch, n, &adc).unwrap();
+        for (i, input) in inputs.iter().enumerate() {
+            assert_eq!(
+                &y[i * 3..(i + 1) * 3],
+                &tile.matvec(input, &adc).unwrap()[..],
+                "input {i}"
+            );
+        }
+        assert!(tile.matvec_batch(&[], 0, &adc).unwrap().is_empty());
+        assert!(tile.matvec_batch(&batch[..7], n, &adc).is_err());
+    }
+
+    #[test]
+    fn zero_plane_skipping_shrinks_pruned_tiles() {
+        let cfg = small_config();
+        let dense = Tile::new(&demo_codes(), 4, 3, cfg).unwrap();
+        // Only small-magnitude weights: the high slice stores nothing.
+        let low = Tile::new(&[1, -2, 0, 3, 0, -1, 2, 0, 1, 0, 3, -3], 4, 3, cfg).unwrap();
+        assert!(low.packed_plane_count() < dense.packed_plane_count());
+        let empty = Tile::new(&[0; 12], 4, 3, cfg).unwrap();
+        assert_eq!(empty.packed_plane_count(), 0);
+        assert_eq!(empty.activated_rows(), 0);
     }
 
     #[test]

@@ -16,4 +16,18 @@ cargo build --offline --release
 echo "==> cargo test"
 cargo test --offline -q
 
+# The packed popcount kernel and the parallel layer are correctness
+# anchors: run their suites explicitly (and by name) so a kernel
+# regression fails loudly even if the workspace test set is filtered.
+echo "==> packed-kernel equivalence suite"
+cargo test --offline -q --test packed_equivalence
+
+echo "==> parallel determinism suite"
+cargo test --offline -q --test parallel_determinism
+
+# Smoke-run the perf harness so bench bit-rot (API drift, JSON emission)
+# fails the gate offline; --quick keeps it to a few seconds.
+echo "==> perf bench smoke run (--quick)"
+cargo run --offline --release -p tinyadc-bench --bin perf -- --quick >/dev/null
+
 echo "OK: all checks passed"

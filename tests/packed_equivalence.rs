@@ -1,0 +1,221 @@
+//! Exhaustive equivalence matrix for the bit-plane-packed popcount MVM
+//! kernel.
+//!
+//! The packed kernel's claim is *bitwise identity* with the reference
+//! column × cycle × slice × row loop (`Tile::matvec_loop`) — including
+//! ADC saturation — because it feeds the ADC the same integer column
+//! sums. These tests pin that across ragged shapes, DAC widths, cell
+//! widths, seeded random codes with forced zero rows/columns, sufficient
+//! and undersized ADCs, and the batched entry points. An independent
+//! scalar dot product (computed here from the raw codes, not from the
+//! tile) anchors `matvec_ideal`, so the packed paths never verify
+//! themselves against themselves.
+
+use tinyadc_nn::ParamKind;
+use tinyadc_prune::CrossbarShape;
+use tinyadc_tensor::rng::SeededRng;
+use tinyadc_tensor::Tensor;
+use tinyadc_xbar::adc::{required_adc_bits_exact, Adc};
+use tinyadc_xbar::cell::CellConfig;
+use tinyadc_xbar::mapping::MappedLayer;
+use tinyadc_xbar::quant::QuantConfig;
+use tinyadc_xbar::tile::{Tile, XbarConfig};
+
+/// Every (rows, cols) of the equivalence matrix: square, ragged, and the
+/// degenerate 1×1 block.
+const SHAPES: [(usize, usize); 4] = [(1, 1), (7, 3), (64, 64), (128, 128)];
+const DAC_BITS: [u32; 3] = [1, 2, 4];
+const CELL_BITS: [u32; 3] = [1, 2, 3];
+
+fn config(rows: usize, cols: usize, dac: u32, cell_bits: u32) -> XbarConfig {
+    XbarConfig {
+        shape: CrossbarShape::new(rows, cols).unwrap(),
+        cell: CellConfig {
+            bits_per_cell: cell_bits,
+        },
+        quant: QuantConfig {
+            weight_bits: 8,
+            input_bits: 8,
+        },
+        dac_bits: dac,
+    }
+}
+
+/// Seeded random codes in [-127, 127] with one all-zero row and one
+/// all-zero column forced (when the block is big enough to keep other
+/// structure), so zero-plane and zero-row paths are always exercised.
+fn random_codes(rows: usize, cols: usize, rng: &mut SeededRng) -> Vec<i64> {
+    let mut codes: Vec<i64> = (0..rows * cols)
+        .map(|_| rng.sample_range_inclusive(-127, 127) as i64)
+        .collect();
+    if rows > 2 && cols > 2 {
+        let (zr, zc) = (rows / 2, cols / 2);
+        for c in 0..cols {
+            codes[zr * cols + c] = 0;
+        }
+        for r in 0..rows {
+            codes[r * cols + zc] = 0;
+        }
+    }
+    codes
+}
+
+/// Inputs covering the interesting regimes: seeded random with a forced
+/// zero, all-zero, and all-maximal (saturation stress).
+fn test_inputs(rows: usize, rng: &mut SeededRng) -> Vec<Vec<u64>> {
+    let mut random: Vec<u64> = (0..rows).map(|_| rng.next_u64() % 256).collect();
+    random[rows / 2] = 0;
+    vec![random, vec![0u64; rows], vec![255u64; rows]]
+}
+
+/// Independent scalar reference: `y_j = Σ_r x_r · w_{r,j}` straight from
+/// the raw codes.
+fn naive_matvec(codes: &[i64], rows: usize, cols: usize, input: &[u64]) -> Vec<i64> {
+    let mut y = vec![0i64; cols];
+    for r in 0..rows {
+        for (j, yv) in y.iter_mut().enumerate() {
+            *yv += input[r] as i64 * codes[r * cols + j];
+        }
+    }
+    y
+}
+
+/// Packs per-input vectors into the im2col batch layout
+/// (`(r, i) -> r * n + i`).
+fn to_batch(inputs: &[Vec<u64>], rows: usize) -> Vec<u64> {
+    let n = inputs.len();
+    let mut batch = vec![0u64; rows * n];
+    for (i, input) in inputs.iter().enumerate() {
+        for (r, &x) in input.iter().enumerate() {
+            batch[r * n + i] = x;
+        }
+    }
+    batch
+}
+
+#[test]
+fn packed_equals_loop_and_ideal_across_the_matrix() {
+    let mut saturated_cases = 0usize;
+    for &(rows, cols) in &SHAPES {
+        for &dac in &DAC_BITS {
+            for &cell_bits in &CELL_BITS {
+                let ctx = format!("{rows}x{cols} dac={dac} cell={cell_bits}");
+                let mut rng =
+                    SeededRng::new(rows as u64 * 1000 + dac as u64 * 10 + cell_bits as u64);
+                let cfg = config(rows, cols, dac, cell_bits);
+                let codes = random_codes(rows, cols, &mut rng);
+                let tile = Tile::new(&codes, rows, cols, cfg).unwrap();
+
+                // Sufficient resolution: lossless for any input, so all
+                // three kernels must agree exactly.
+                let big = Adc::new(required_adc_bits_exact(dac, cell_bits, rows)).unwrap();
+                // Deliberately undersized: saturates on dense columns;
+                // packed and loop must still agree bit for bit.
+                let small = Adc::new(2).unwrap();
+
+                let inputs = test_inputs(rows, &mut rng);
+                for (k, input) in inputs.iter().enumerate() {
+                    let naive = naive_matvec(&codes, rows, cols, input);
+                    let ideal = tile.matvec_ideal(input).unwrap();
+                    assert_eq!(ideal, naive, "{ctx} input {k}: ideal vs naive");
+
+                    let packed = tile.matvec(input, &big).unwrap();
+                    let looped = tile.matvec_loop(input, &big).unwrap();
+                    assert_eq!(packed, looped, "{ctx} input {k}: packed vs loop (big)");
+                    assert_eq!(packed, ideal, "{ctx} input {k}: packed vs ideal (big)");
+
+                    let packed_s = tile.matvec(input, &small).unwrap();
+                    let looped_s = tile.matvec_loop(input, &small).unwrap();
+                    assert_eq!(
+                        packed_s, looped_s,
+                        "{ctx} input {k}: packed vs loop (small)"
+                    );
+                    if packed_s != ideal {
+                        saturated_cases += 1;
+                    }
+                }
+
+                // Batched kernel: one packing pass, same bits out, for
+                // both ADC regimes.
+                let batch = to_batch(&inputs, rows);
+                for adc in [&big, &small] {
+                    let y = tile.matvec_batch(&batch, inputs.len(), adc).unwrap();
+                    for (i, input) in inputs.iter().enumerate() {
+                        assert_eq!(
+                            &y[i * cols..(i + 1) * cols],
+                            &tile.matvec(input, adc).unwrap()[..],
+                            "{ctx}: batch input {i} (adc {} bits)",
+                            adc.bits()
+                        );
+                    }
+                }
+            }
+        }
+    }
+    // The undersized ADC must actually have saturated somewhere, or the
+    // saturation half of the equivalence claim was never exercised.
+    assert!(
+        saturated_cases > 20,
+        "only {saturated_cases} saturated cases — undersized-ADC coverage too thin"
+    );
+}
+
+#[test]
+fn mapped_layer_batch_equals_per_input_over_ragged_tiles() {
+    let mut rng = SeededRng::new(77);
+    let cfg = XbarConfig {
+        shape: CrossbarShape::new(16, 8).unwrap(),
+        ..XbarConfig::paper_default()
+    };
+    // Ragged 37×13 matrix: 3×2 tile grid with 5-row and 5-col edges.
+    let w = Tensor::randn(&[13, 37], 0.5, &mut rng);
+    let mapped = MappedLayer::from_param(&w, ParamKind::LinearWeight, cfg).unwrap();
+    let (rows, cols) = mapped.matrix_dims();
+    for adc_bits in [mapped.required_adc_bits(), 3] {
+        let adc = Adc::new(adc_bits).unwrap();
+        let inputs: Vec<Vec<u64>> = (0..5)
+            .map(|i| {
+                (0..rows)
+                    .map(|r| (r as u64 * 31 + i as u64 * 7) % 256)
+                    .collect()
+            })
+            .collect();
+        let batch = to_batch(&inputs, rows);
+        let y = mapped
+            .matvec_codes_batch(&batch, inputs.len(), &adc)
+            .unwrap();
+        for (i, input) in inputs.iter().enumerate() {
+            assert_eq!(
+                &y[i * cols..(i + 1) * cols],
+                &mapped.matvec_codes(input, &adc).unwrap()[..],
+                "batch input {i} (adc {adc_bits} bits)"
+            );
+        }
+    }
+    // Shape/validation edges.
+    let adc = Adc::new(8).unwrap();
+    assert!(mapped.matvec_codes_batch(&[], 0, &adc).unwrap().is_empty());
+    assert!(mapped.matvec_codes_batch(&[1, 2, 3], 2, &adc).is_err());
+}
+
+#[test]
+fn activated_rows_matches_direct_code_scan() {
+    for &(rows, cols) in &SHAPES {
+        for &cell_bits in &CELL_BITS {
+            let mut rng = SeededRng::new(rows as u64 + cell_bits as u64 * 100);
+            let cfg = config(rows, cols, 1, cell_bits);
+            let codes = random_codes(rows, cols, &mut rng);
+            let tile = Tile::new(&codes, rows, cols, cfg).unwrap();
+            let direct = (0..cols)
+                .map(|j| (0..rows).filter(|&r| codes[r * cols + j] != 0).count())
+                .max()
+                .unwrap_or(0);
+            assert_eq!(
+                tile.activated_rows(),
+                direct,
+                "{rows}x{cols} cell={cell_bits}"
+            );
+            assert_eq!(tile.codes(), codes, "{rows}x{cols} cell={cell_bits} codes");
+        }
+    }
+}

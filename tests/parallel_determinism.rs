@@ -126,6 +126,61 @@ fn crossbar_inference_is_thread_count_invariant() {
 }
 
 #[test]
+fn packed_mvm_kernels_are_thread_count_invariant() {
+    // The packed popcount kernels chunk columns (matvec/matvec_ideal) or
+    // whole inputs (matvec_batch) over workers; the planes are read-only
+    // and the accumulation is integer, so 1/2/4/7 threads must agree bit
+    // for bit — including when an undersized ADC saturates.
+    let mut rng = SeededRng::new(508);
+    let cfg = XbarConfig {
+        shape: CrossbarShape::new(67, 29).unwrap(), // ragged: 2 words/col
+        ..XbarConfig::paper_default()
+    };
+    let codes: Vec<i64> = (0..67 * 29)
+        .map(|_| rng.sample_range_inclusive(-127, 127) as i64)
+        .collect();
+    let tile = tinyadc_xbar::tile::Tile::new(&codes, 67, 29, cfg).unwrap();
+    let input: Vec<u64> = (0..67).map(|r| (r * 13 + 5) as u64 % 256).collect();
+    // 3 inputs in im2col layout (row r of input i at r * 3 + i).
+    let batch: Vec<u64> = (0..67 * 3).map(|k| (k * 7 + 1) as u64 % 256).collect();
+    for adc_bits in [tile_required_bits(&tile), 2] {
+        let adc = Adc::new(adc_bits).unwrap();
+        assert_invariant(&format!("packed matvec ({adc_bits} bits)"), || {
+            tile.matvec(&input, &adc).unwrap()
+        });
+        assert_invariant(&format!("packed matvec_batch ({adc_bits} bits)"), || {
+            tile.matvec_batch(&batch, 3, &adc).unwrap()
+        });
+    }
+    assert_invariant("packed matvec_ideal", || tile.matvec_ideal(&input).unwrap());
+    assert_invariant("packed activated_rows", || tile.activated_rows());
+
+    // Batched mapped-layer MVM over a ragged tile grid.
+    let wl = Tensor::randn(&[13, 37], 0.5, &mut rng);
+    let cfg_small = XbarConfig {
+        shape: CrossbarShape::new(16, 8).unwrap(),
+        ..XbarConfig::paper_default()
+    };
+    let ml = MappedLayer::from_param(&wl, ParamKind::LinearWeight, cfg_small).unwrap();
+    let adc = Adc::new(ml.required_adc_bits()).unwrap();
+    let (rows, _) = ml.matrix_dims();
+    let lbatch: Vec<u64> = (0..rows * 4).map(|k| (k * 11 + 2) as u64 % 256).collect();
+    assert_invariant("mapped matvec_codes_batch", || {
+        ml.matvec_codes_batch(&lbatch, 4, &adc).unwrap()
+    });
+}
+
+/// Exact lossless resolution for every input of a tile.
+fn tile_required_bits(tile: &tinyadc_xbar::tile::Tile) -> u32 {
+    let cfg = tile.config();
+    tinyadc_xbar::adc::required_adc_bits_exact(
+        cfg.dac_bits,
+        cfg.cell.bits_per_cell,
+        tile.rows().max(1),
+    )
+}
+
+#[test]
 fn conv_layer_training_pass_is_thread_count_invariant() {
     // Forward + backward over a 5-sample batch: per-sample parallelism in
     // both directions, dW partials merged in batch order.
