@@ -8,14 +8,16 @@ use crate::{Args, Result};
 use std::path::Path;
 use tinyadc::config::ModelKind;
 use tinyadc::report::TextTable;
+use tinyadc::resilience::{
+    CampaignConfig, CampaignReport, CampaignRow, CampaignVariant, Mitigation,
+};
 use tinyadc::{Pipeline, PipelineConfig, TrainedModel};
 use tinyadc_hw::adc::SarAdcModel;
 use tinyadc_nn::data::{DatasetTier, SyntheticImageDataset};
 use tinyadc_nn::serialize;
 use tinyadc_nn::train::evaluate_top_k;
-use tinyadc_prune::CrossbarShape;
+use tinyadc_prune::{CpConstraint, CrossbarShape};
 use tinyadc_tensor::rng::SeededRng;
-use tinyadc_xbar::engine::apply_crossbar_effects;
 use tinyadc_xbar::fault::FaultModel;
 
 /// Top-level dispatch; returns the command's printable output.
@@ -48,7 +50,12 @@ pub fn usage() -> String {
      prune   --tier .. --model .. --in FILE --rate N [--filters F] [--out FILE]\n\
      audit   --tier .. --model .. --in FILE   per-layer crossbar/ADC audit\n\
      cost    --tier .. --model .. --in FILE   accelerator power/area vs baseline\n\
-     faults  --tier .. --model .. --in FILE --rate R [--seeds N]\n\
+     faults  --tier .. --model .. --in FILE   Monte-Carlo fault campaign\n\
+     \x20       [--rates R1,R2|--rate R] [--seeds N] [--spares K] [--cp-l L]\n\
+     \x20       [--strategies none,spares,retrain,redistribute]\n\
+     \x20       [--out CSV] [--json FILE]\n\
+     \x20       [--recover 1]  degraded-mode demo: fault, then masked retrain\n\
+     \x20       [--quick 1]    self-contained campaign smoke test\n\
      adc     [--bits N]                       ADC cost table\n\
      help                                     this text\n\
      \n\
@@ -207,47 +214,201 @@ fn cmd_cost(args: &Args) -> Result<String> {
     ))
 }
 
+fn parse_rates(args: &Args) -> Result<Vec<f64>> {
+    if let Some(spec) = args.get("rates") {
+        spec.split(',')
+            .map(|t| {
+                t.trim()
+                    .parse::<f64>()
+                    .map_err(|_| format!("option --rates: cannot parse `{t}`"))
+            })
+            .collect()
+    } else {
+        Ok(vec![args.get_or("rate", 0.10)?])
+    }
+}
+
+fn parse_strategies(args: &Args, spares: usize) -> Result<Vec<Mitigation>> {
+    args.get("strategies")
+        .unwrap_or("none")
+        .split(',')
+        .map(|t| Mitigation::parse(t, spares).map_err(|e| e.to_string()))
+        .collect()
+}
+
+/// Renders a campaign report as a table, one row per (variant, strategy,
+/// rate) cell with seeds averaged.
+fn render_campaign(report: &CampaignReport) -> String {
+    let mut table = TextTable::new(&[
+        "Variant",
+        "Strategy",
+        "Rate",
+        "Acc %",
+        "Drop",
+        "Damage",
+        "Faults",
+        "Remapped",
+        "Unrepaired",
+    ]);
+    let mut keys: Vec<(String, String, f64)> = Vec::new();
+    for r in &report.rows {
+        let k = (r.variant.clone(), r.strategy.clone(), r.rate);
+        if !keys.contains(&k) {
+            keys.push(k);
+        }
+    }
+    for (v, s, rate) in &keys {
+        let rows: Vec<&CampaignRow> = report
+            .rows
+            .iter()
+            .filter(|r| &r.variant == v && &r.strategy == s && r.rate == *rate)
+            .collect();
+        let n = rows.len() as f64;
+        let mean = |f: &dyn Fn(&CampaignRow) -> f64| rows.iter().map(|r| f(r)).sum::<f64>() / n;
+        table.row_owned(vec![
+            v.clone(),
+            s.clone(),
+            format!("{rate}"),
+            format!("{:.2}", mean(&|r| r.accuracy) * 100.0),
+            format!("{:.2}", mean(&|r| r.accuracy_drop) * 100.0),
+            format!("{:.4}", mean(&|r| r.weight_damage)),
+            rows.iter().map(|r| r.faults).sum::<usize>().to_string(),
+            rows.iter()
+                .map(|r| r.remapped_columns)
+                .sum::<usize>()
+                .to_string(),
+            rows.iter()
+                .map(|r| r.unrepaired_columns)
+                .sum::<usize>()
+                .to_string(),
+        ]);
+    }
+    table.render()
+}
+
+/// Self-contained campaign smoke test: train a tiny dense model and a CP
+/// 4× pruned sibling, sweep two fault rates over two seeds without
+/// mitigation, and assert the report round-trips through CSV and shows
+/// the CP variant taking no more weight damage than the dense one.
+fn cmd_faults_quick(args: &Args) -> Result<String> {
+    let mut rng = SeededRng::new(7);
+    let data = SyntheticImageDataset::generate(DatasetTier::Tier1Cifar10Like, 60, 30, &mut rng)
+        .map_err(|e| e.to_string())?;
+    let pipeline = Pipeline::new(PipelineConfig::quick_test());
+    let trained = pipeline
+        .pretrain(&data, &mut rng)
+        .map_err(|e| e.to_string())?;
+    let (cp_report, mut cp_net) = pipeline
+        .run_cp_with_network(&data, &trained, 4, &mut rng)
+        .map_err(|e| e.to_string())?;
+    let mut dense_net = pipeline
+        .restore(&data, &trained, &mut rng)
+        .map_err(|e| e.to_string())?;
+    let cp_l = CpConstraint::from_rate(pipeline.config().xbar.shape, 4)
+        .map_err(|e| e.to_string())?
+        .max_nonzeros_per_column();
+    let variants = vec![
+        CampaignVariant::from_network("dense", &mut dense_net, None, trained.accuracy),
+        CampaignVariant::from_network("cp4x", &mut cp_net, Some(cp_l), cp_report.final_accuracy),
+    ];
+    let config = CampaignConfig {
+        rates: vec![0.05, 0.15],
+        seeds: vec![1, 2],
+        strategies: vec![Mitigation::None],
+        eval_batch: 32,
+    };
+    let report = pipeline
+        .run_fault_campaign(&data, &variants, &config)
+        .map_err(|e| e.to_string())?;
+    let csv = report.to_csv();
+    let parsed = CampaignReport::from_csv(&csv).map_err(|e| e.to_string())?;
+    if parsed != report {
+        return Err("campaign CSV round-trip mismatch".into());
+    }
+    let dominates = report.cp_dominates("cp4x", "dense");
+    let mut out = render_campaign(&report);
+    out.push_str("report parse round-trip: OK\n");
+    out.push_str(&format!(
+        "CP dominates dense (weight damage): {}\n",
+        if dominates { "yes" } else { "no" }
+    ));
+    if let Some(path) = args.get("out") {
+        std::fs::write(path, &csv).map_err(|e| e.to_string())?;
+        out.push_str(&format!("wrote campaign CSV to {path}\n"));
+    }
+    if !dominates {
+        return Err(format!(
+            "{out}\nFAIL: CP-pruned weight damage exceeded dense at some rate"
+        ));
+    }
+    Ok(out)
+}
+
 fn cmd_faults(args: &Args) -> Result<String> {
+    if args.get("quick").is_some() {
+        return cmd_faults_quick(args);
+    }
     let (pipeline, data, mut rng) = pipeline_of(args)?;
     let input = args.required("in")?.to_owned();
-    let rate: f64 = args.get_or("rate", 0.10)?;
-    let seeds: u64 = args.get_or("seeds", 3)?;
+    let rates = parse_rates(args)?;
+    let spares: usize = args.get_or("spares", 2)?;
+    let strategies = parse_strategies(args, spares)?;
+    let n_seeds: u64 = args.get_or("seeds", 3)?;
 
-    let mut clean = load_into(&pipeline, &data, &input, &mut rng)?;
-    let base = evaluate_top_k(&mut clean, &data, 1, 64)
+    let mut net = load_into(&pipeline, &data, &input, &mut rng)?;
+    let clean = evaluate_top_k(&mut net, &data, 1, 64)
         .map_err(|e| e.to_string())?
         .value();
-    let snapshot = clean.snapshot();
-    let model = FaultModel::from_overall_rate(rate).map_err(|e| e.to_string())?;
-    let mut acc_sum = 0.0;
-    for s in 0..seeds {
-        let mut build_rng = SeededRng::new(1000 + s);
-        let mut net = pipeline
-            .build_model(&data, &mut build_rng)
+
+    if args.get("recover").is_some() {
+        // Degraded mode: fault the device at the first rate, then recover
+        // via fault-masked retraining on the same faulty hardware.
+        let model = FaultModel::from_overall_rate(rates[0]).map_err(|e| e.to_string())?;
+        let rec = pipeline
+            .recover_from_faults(&mut net, &data, &model, &mut rng)
             .map_err(|e| e.to_string())?;
-        net.restore(&snapshot);
-        let mut fault_rng = SeededRng::new(2000 + s);
-        apply_crossbar_effects(
-            &mut net,
-            pipeline.config().xbar,
-            Some(&model),
-            &[],
-            &mut fault_rng,
-        )
-        .map_err(|e| e.to_string())?;
-        acc_sum += evaluate_top_k(&mut net, &data, 1, 64)
-            .map_err(|e| e.to_string())?
-            .value();
+        return Ok(format!(
+            "fault-free accuracy: {:.2} %\n\
+             faulted accuracy at {:.1}% stuck-at: {:.2} % ({} faults, {} harmless SA0)\n\
+             recovered accuracy after masked retraining: {:.2} % ({} weights frozen)\n",
+            clean * 100.0,
+            rates[0] * 100.0,
+            rec.faulted_accuracy * 100.0,
+            rec.faults.total_faults(),
+            rec.faults.sa0_harmless,
+            rec.recovered_accuracy * 100.0,
+            rec.masked_weights,
+        ));
     }
-    let faulted = acc_sum / seeds as f64;
-    Ok(format!(
-        "fault-free accuracy: {:.2} %\nat {:.0}% stuck-at faults ({} seeds): {:.2} % (drop {:.2} points)\n",
-        base * 100.0,
-        rate * 100.0,
-        seeds,
-        faulted * 100.0,
-        (base - faulted) * 100.0
-    ))
+
+    let cp_l = match args.get("cp-l") {
+        None => None,
+        Some(_) => Some(args.get_or("cp-l", 0usize)?),
+    };
+    let variant = CampaignVariant::from_network("model", &mut net, cp_l, clean);
+    let config = CampaignConfig {
+        rates,
+        seeds: (1..=n_seeds).collect(),
+        strategies,
+        eval_batch: 64,
+    };
+    let report = pipeline
+        .run_fault_campaign(&data, &[variant], &config)
+        .map_err(|e| e.to_string())?;
+    let mut out = format!(
+        "fault-free accuracy: {:.2} %\n{}",
+        clean * 100.0,
+        render_campaign(&report)
+    );
+    if let Some(path) = args.get("out") {
+        std::fs::write(path, report.to_csv()).map_err(|e| e.to_string())?;
+        out.push_str(&format!("wrote campaign CSV to {path}\n"));
+    }
+    if let Some(path) = args.get("json") {
+        std::fs::write(path, report.to_json()).map_err(|e| e.to_string())?;
+        out.push_str(&format!("wrote campaign JSON to {path}\n"));
+    }
+    Ok(out)
 }
 
 fn cmd_adc(args: &Args) -> Result<String> {
@@ -292,6 +453,25 @@ mod tests {
         let out = run(&args("adc --bits 9")).unwrap();
         assert!(out.contains("Bits"));
         assert!(out.lines().count() > 9);
+    }
+
+    #[test]
+    fn fault_option_parsers() {
+        let a = args("faults --rates 0.05,0.15 --strategies none,spares,retrain --spares 3");
+        assert_eq!(parse_rates(&a).unwrap(), vec![0.05, 0.15]);
+        assert_eq!(
+            parse_strategies(&a, 3).unwrap(),
+            vec![
+                Mitigation::None,
+                Mitigation::Spares { per_tile: 3 },
+                Mitigation::Retrain
+            ]
+        );
+        let a = args("faults --rate 0.2");
+        assert_eq!(parse_rates(&a).unwrap(), vec![0.2]);
+        assert_eq!(parse_strategies(&a, 2).unwrap(), vec![Mitigation::None]);
+        assert!(parse_rates(&args("faults --rates x")).is_err());
+        assert!(parse_strategies(&args("faults --strategies bogus"), 2).is_err());
     }
 
     #[test]

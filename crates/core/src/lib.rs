@@ -44,6 +44,7 @@ pub mod audit;
 pub mod config;
 pub mod pipeline;
 pub mod report;
+pub mod resilience;
 pub mod sweep;
 
 pub use audit::{LayerAudit, NetworkAudit};
@@ -51,6 +52,9 @@ pub use config::PipelineConfig;
 pub use error::TinyAdcError;
 pub use pipeline::{Pipeline, Scheme, TrainedModel};
 pub use report::PipelineReport;
+pub use resilience::{
+    CampaignConfig, CampaignReport, CampaignRow, CampaignVariant, FaultRecovery, Mitigation,
+};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, TinyAdcError>;

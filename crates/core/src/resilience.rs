@@ -1,0 +1,745 @@
+//! Deterministic Monte-Carlo fault campaigns and fault recovery
+//! (paper §IV-E, systematised).
+//!
+//! The paper measures one consequence of stuck-at faults — CP-pruned
+//! models degrade more slowly than dense ones because their zeros are
+//! intentional. This module turns that one-shot measurement into a
+//! reproducible study: a campaign sweeps fault rate × mitigation strategy
+//! × seed over any set of trained model variants, fanning the samples out
+//! over `tinyadc-par` with bitwise thread-count-invariant results, and
+//! reports both accuracy and a weight-damage metric per sample.
+//!
+//! Mitigations form the repair ladder of [`tinyadc_xbar::repair`]:
+//! nothing, spare-column remapping, fault-masked retraining, and CP-slack
+//! redistribution. The same [`SeededRng`] stream is used for every
+//! strategy at a given campaign seed, so strategies are compared on the
+//! *same* faulty device.
+
+use crate::config::PipelineConfig;
+use crate::pipeline::Pipeline;
+use crate::{Result, TinyAdcError};
+use tinyadc_nn::data::SyntheticImageDataset;
+use tinyadc_nn::train::{evaluate_top_k, Trainer};
+use tinyadc_nn::{Network, Param, ParamKind};
+use tinyadc_prune::masks::{MaskHook, MaskSet};
+use tinyadc_tensor::rng::SeededRng;
+use tinyadc_tensor::Tensor;
+use tinyadc_xbar::fault::{FaultModel, FaultReport, LayerFaultMap};
+use tinyadc_xbar::mapping::MappedLayer;
+use tinyadc_xbar::repair;
+
+/// A fault-mitigation strategy, in ladder order of cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mitigation {
+    /// Program the faulty device as-is (the paper's §IV-E setting).
+    None,
+    /// Spare-column remapping: each tile reroutes up to `per_tile`
+    /// harmful columns to pristine spare hardware.
+    Spares {
+        /// Spare columns available per tile.
+        per_tile: usize,
+    },
+    /// Fault-masked retraining: freeze damaged weights at zero and
+    /// fine-tune around them before programming.
+    Retrain,
+    /// CP-slack redistribution: retrain under a mask that re-projects
+    /// damaged columns onto their healthy cells (never exceeding the
+    /// variant's activated-row budget).
+    Redistribute,
+}
+
+impl Mitigation {
+    /// Stable label used in reports and CSV.
+    pub fn label(&self) -> String {
+        match self {
+            Self::None => "none".into(),
+            Self::Spares { per_tile } => format!("spares{per_tile}"),
+            Self::Retrain => "retrain".into(),
+            Self::Redistribute => "redistribute".into(),
+        }
+    }
+
+    /// Parses a strategy name (`none`, `spares`, `retrain`,
+    /// `redistribute`); `spares_per_tile` supplies the spare budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TinyAdcError::InvalidConfig`] for unknown names.
+    pub fn parse(name: &str, spares_per_tile: usize) -> Result<Self> {
+        match name.trim() {
+            "none" => Ok(Self::None),
+            "spares" => Ok(Self::Spares {
+                per_tile: spares_per_tile,
+            }),
+            "retrain" => Ok(Self::Retrain),
+            "redistribute" => Ok(Self::Redistribute),
+            other => Err(TinyAdcError::InvalidConfig(format!(
+                "unknown mitigation strategy `{other}` \
+                 (expected none|spares|retrain|redistribute)"
+            ))),
+        }
+    }
+
+    fn retrains(&self) -> bool {
+        matches!(self, Self::Retrain | Self::Redistribute)
+    }
+}
+
+/// Campaign sweep grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignConfig {
+    /// Overall stuck-at rates to sweep (each split 83/17 SA0/SA1).
+    pub rates: Vec<f64>,
+    /// Monte-Carlo seeds; each (rate, seed) pair is one device instance.
+    pub seeds: Vec<u64>,
+    /// Mitigation strategies to compare.
+    pub strategies: Vec<Mitigation>,
+    /// Evaluation batch size.
+    pub eval_batch: usize,
+}
+
+impl CampaignConfig {
+    /// Validates the grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TinyAdcError::InvalidConfig`] for an empty grid, rates
+    /// outside `[0, 1]`, or a zero batch size.
+    pub fn validate(&self) -> Result<()> {
+        if self.rates.is_empty() || self.seeds.is_empty() || self.strategies.is_empty() {
+            return Err(TinyAdcError::InvalidConfig(
+                "campaign needs at least one rate, seed and strategy".into(),
+            ));
+        }
+        if self.rates.iter().any(|r| !(0.0..=1.0).contains(r)) {
+            return Err(TinyAdcError::InvalidConfig(
+                "fault rates must lie in [0, 1]".into(),
+            ));
+        }
+        if self.eval_batch == 0 {
+            return Err(TinyAdcError::InvalidConfig(
+                "eval_batch must be positive".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One trained model entered into a campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignVariant {
+    /// Display name (e.g. `dense`, `cp4x`).
+    pub name: String,
+    /// Weight snapshot the campaign programs onto faulty hardware.
+    pub snapshot: Vec<(String, Tensor)>,
+    /// The variant's CP budget (non-zeros per block column), when pruned;
+    /// `None` for dense models. Bounds the redistribution strategy.
+    pub cp_l: Option<usize>,
+    /// Fault-free test accuracy, for drop computation.
+    pub clean_accuracy: f64,
+}
+
+impl CampaignVariant {
+    /// Wraps a trained network as a campaign variant.
+    pub fn from_network(
+        name: impl Into<String>,
+        net: &mut Network,
+        cp_l: Option<usize>,
+        clean_accuracy: f64,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            snapshot: net.snapshot(),
+            cp_l,
+            clean_accuracy,
+        }
+    }
+}
+
+/// One campaign sample: a (variant, strategy, rate, seed) cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignRow {
+    /// Variant name.
+    pub variant: String,
+    /// Mitigation strategy label.
+    pub strategy: String,
+    /// Overall stuck-at rate.
+    pub rate: f64,
+    /// Monte-Carlo seed.
+    pub seed: u64,
+    /// Test accuracy on the faulted (and possibly repaired) model.
+    pub accuracy: f64,
+    /// Clean accuracy minus faulted accuracy.
+    pub accuracy_drop: f64,
+    /// RMS programming error per weight, `‖faulted − intended‖ / √N`
+    /// over all `N` programmed parameters (intended = the clean
+    /// quantise–unmap of the weights actually programmed,
+    /// post-strategy). Deliberately *not* normalised by the weight norm:
+    /// variants share an architecture, so per-weight error compares them
+    /// on the same device, while a relative metric would punish pruned
+    /// models merely for having a smaller denominator.
+    pub weight_damage: f64,
+    /// Faults forced into cells (remapped columns excluded).
+    pub faults: usize,
+    /// SA0 faults that landed on already-zero cells.
+    pub sa0_harmless: usize,
+    /// Columns rerouted to spares.
+    pub remapped_columns: usize,
+    /// Harmful columns left unrepaired after the spare budget.
+    pub unrepaired_columns: usize,
+}
+
+/// A full campaign result: one row per grid cell, in grid order
+/// (variant → strategy → rate → seed).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CampaignReport {
+    /// The sampled rows.
+    pub rows: Vec<CampaignRow>,
+}
+
+const CSV_HEADER: &str = "variant,strategy,rate,seed,accuracy,accuracy_drop,\
+weight_damage,faults,sa0_harmless,remapped_columns,unrepaired_columns";
+
+impl CampaignReport {
+    /// Renders the report as CSV. `f64` fields print their shortest
+    /// round-trip representation, so [`CampaignReport::from_csv`] restores
+    /// the report exactly.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(CSV_HEADER);
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{},{}\n",
+                r.variant,
+                r.strategy,
+                r.rate,
+                r.seed,
+                r.accuracy,
+                r.accuracy_drop,
+                r.weight_damage,
+                r.faults,
+                r.sa0_harmless,
+                r.remapped_columns,
+                r.unrepaired_columns
+            ));
+        }
+        out
+    }
+
+    /// Parses a report back from [`CampaignReport::to_csv`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TinyAdcError::InvalidConfig`] for a malformed header,
+    /// field count, or field value.
+    pub fn from_csv(s: &str) -> Result<Self> {
+        let bad = |msg: String| TinyAdcError::InvalidConfig(format!("campaign csv: {msg}"));
+        let mut lines = s.lines().filter(|l| !l.trim().is_empty());
+        let header = lines.next().ok_or_else(|| bad("empty input".into()))?;
+        if header.trim() != CSV_HEADER {
+            return Err(bad(format!("unexpected header `{header}`")));
+        }
+        let mut rows = Vec::new();
+        for (i, line) in lines.enumerate() {
+            let fields: Vec<&str> = line.split(',').collect();
+            if fields.len() != 11 {
+                return Err(bad(format!(
+                    "row {i}: expected 11 fields, got {}",
+                    fields.len()
+                )));
+            }
+            let pf = |j: usize| -> Result<f64> {
+                fields[j]
+                    .parse()
+                    .map_err(|_| bad(format!("row {i}, field {j}")))
+            };
+            let pu = |j: usize| -> Result<usize> {
+                fields[j]
+                    .parse()
+                    .map_err(|_| bad(format!("row {i}, field {j}")))
+            };
+            rows.push(CampaignRow {
+                variant: fields[0].to_owned(),
+                strategy: fields[1].to_owned(),
+                rate: pf(2)?,
+                seed: fields[3]
+                    .parse()
+                    .map_err(|_| bad(format!("row {i}, field 3")))?,
+                accuracy: pf(4)?,
+                accuracy_drop: pf(5)?,
+                weight_damage: pf(6)?,
+                faults: pu(7)?,
+                sa0_harmless: pu(8)?,
+                remapped_columns: pu(9)?,
+                unrepaired_columns: pu(10)?,
+            });
+        }
+        Ok(Self { rows })
+    }
+
+    /// Renders the report as a JSON array of row objects.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            out.push_str(&format!(
+                "  {{\"variant\": \"{}\", \"strategy\": \"{}\", \"rate\": {}, \
+                 \"seed\": {}, \"accuracy\": {}, \"accuracy_drop\": {}, \
+                 \"weight_damage\": {}, \"faults\": {}, \"sa0_harmless\": {}, \
+                 \"remapped_columns\": {}, \"unrepaired_columns\": {}}}{}\n",
+                r.variant,
+                r.strategy,
+                r.rate,
+                r.seed,
+                r.accuracy,
+                r.accuracy_drop,
+                r.weight_damage,
+                r.faults,
+                r.sa0_harmless,
+                r.remapped_columns,
+                r.unrepaired_columns,
+                if i + 1 == self.rows.len() { "" } else { "," }
+            ));
+        }
+        out.push(']');
+        out
+    }
+
+    /// Mean weight damage over the `none`-strategy samples of a variant
+    /// at one rate; `None` when no such samples exist.
+    pub fn mean_damage(&self, variant: &str, rate: f64) -> Option<f64> {
+        let vals: Vec<f64> = self
+            .rows
+            .iter()
+            .filter(|r| r.variant == variant && r.strategy == "none" && r.rate == rate)
+            .map(|r| r.weight_damage)
+            .collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    }
+
+    /// The §IV-E claim as a predicate: at every swept rate where both
+    /// variants have unmitigated samples, the CP variant's mean weight
+    /// damage does not exceed the dense variant's. Returns `false` when
+    /// the variants share no rate.
+    pub fn cp_dominates(&self, cp_variant: &str, dense_variant: &str) -> bool {
+        let mut compared = false;
+        for rate in self.rows.iter().map(|r| r.rate) {
+            let (Some(cp), Some(dense)) = (
+                self.mean_damage(cp_variant, rate),
+                self.mean_damage(dense_variant, rate),
+            ) else {
+                continue;
+            };
+            compared = true;
+            if cp > dense + 1e-12 {
+                return false;
+            }
+        }
+        compared
+    }
+}
+
+/// Outcome of [`Pipeline::recover_from_faults`]: the degraded-mode story
+/// in numbers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultRecovery {
+    /// Accuracy with the faults applied, before any mitigation.
+    pub faulted_accuracy: f64,
+    /// Accuracy after fault-masked retraining, re-programmed onto the
+    /// same faulty device.
+    pub recovered_accuracy: f64,
+    /// Aggregate fault statistics.
+    pub faults: FaultReport,
+    /// Weights frozen at zero by the fault mask.
+    pub masked_weights: usize,
+}
+
+/// A prunable parameter pulled out of the network for mapping.
+struct PrunableParam {
+    name: String,
+    kind: ParamKind,
+    value: Tensor,
+}
+
+fn prunable_params(net: &mut Network) -> Vec<PrunableParam> {
+    let mut out = Vec::new();
+    net.visit_params(&mut |p: &mut Param| {
+        if p.kind.is_prunable() {
+            out.push(PrunableParam {
+                name: p.name.clone(),
+                kind: p.kind,
+                value: p.value.clone(),
+            });
+        }
+    });
+    out
+}
+
+fn write_back(net: &mut Network, values: &[(String, Tensor)]) {
+    net.visit_params(&mut |p: &mut Param| {
+        if let Some((_, v)) = values.iter().find(|(n, _)| n == &p.name) {
+            p.value = v.clone();
+        }
+    });
+}
+
+impl Pipeline {
+    /// Runs a deterministic Monte-Carlo fault campaign: for every
+    /// (variant, strategy, rate, seed) grid cell, rebuild the variant,
+    /// sample a per-layer fault map, apply the mitigation, program the
+    /// weights onto the faulty device, and measure accuracy plus relative
+    /// weight damage.
+    ///
+    /// Samples fan out over [`tinyadc_par::map`] and every stochastic
+    /// step inside a sample draws from its own [`SeededRng`], so the
+    /// report is bitwise identical for every thread count. The per-sample
+    /// stream depends only on the campaign seed — not the strategy or
+    /// variant — so all strategies and variants face the *same* device
+    /// fault pattern, and maps at increasing rates nest (a cell faulty at
+    /// 5 % is still faulty at 15 %).
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration, mapping, training and evaluation errors
+    /// from any sample.
+    pub fn run_fault_campaign(
+        &self,
+        data: &SyntheticImageDataset,
+        variants: &[CampaignVariant],
+        config: &CampaignConfig,
+    ) -> Result<CampaignReport> {
+        config.validate()?;
+        if variants.is_empty() {
+            return Err(TinyAdcError::InvalidConfig(
+                "campaign needs at least one variant".into(),
+            ));
+        }
+        let n_strategies = config.strategies.len();
+        let n_rates = config.rates.len();
+        let n_seeds = config.seeds.len();
+        let grid = variants.len() * n_strategies * n_rates * n_seeds;
+        let results = tinyadc_par::map(grid, |i| {
+            let vi = i / (n_strategies * n_rates * n_seeds);
+            let rem = i % (n_strategies * n_rates * n_seeds);
+            let si = rem / (n_rates * n_seeds);
+            let rem = rem % (n_rates * n_seeds);
+            let ri = rem / n_seeds;
+            let seed = config.seeds[rem % n_seeds];
+            run_sample(
+                self.config(),
+                data,
+                &variants[vi],
+                config.strategies[si],
+                config.rates[ri],
+                seed,
+                config.eval_batch,
+            )
+        });
+        let rows = results.into_iter().collect::<Result<Vec<_>>>()?;
+        Ok(CampaignReport { rows })
+    }
+
+    /// Recoverable degraded mode: given a trained network and a fault
+    /// model, measure the faulted accuracy, freeze the damaged weights as
+    /// hard masks, fine-tune around them ([`MaskHook`] with the retrain
+    /// stage's hyper-parameters), and re-program the result onto the same
+    /// faulty device. `net` holds the recovered weights on return.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping, training and evaluation errors.
+    pub fn recover_from_faults(
+        &self,
+        net: &mut Network,
+        data: &SyntheticImageDataset,
+        model: &FaultModel,
+        rng: &mut SeededRng,
+    ) -> Result<FaultRecovery> {
+        let xbar = self.config().xbar;
+        let clean = net.snapshot();
+        // Sample the device's fault maps and the masks they imply.
+        let params = prunable_params(net);
+        let mut maps: Vec<(String, LayerFaultMap)> = Vec::with_capacity(params.len());
+        let mut fault_masks = MaskSet::new();
+        for p in &params {
+            let mapped = MappedLayer::from_param(&p.value, p.kind, xbar)?;
+            let map = LayerFaultMap::sample(&mapped, model, rng);
+            fault_masks.insert(p.name.clone(), repair::harmful_weight_mask(&mapped, &map)?);
+            maps.push((p.name.clone(), map));
+        }
+        // Degraded accuracy: program as-is.
+        let (faults, _) = program_faulted(net, xbar, &maps, Mitigation::None)?;
+        let faulted_accuracy =
+            evaluate_top_k(net, data, 1, self.config().retrain.batch_size)?.value();
+        // Recover: restore intended weights, freeze damage, fine-tune.
+        net.restore(&clean);
+        let masks = MaskSet::from_zero_pattern(net).intersect(&fault_masks);
+        let masked_weights: usize = masks.iter().map(|(_, m)| m.len() - m.count_nonzero()).sum();
+        masks.apply(net);
+        let mut hook = MaskHook::new(masks);
+        let trainer = Trainer::new(self.config().retrain.clone());
+        trainer.fit_with_hook(net, data, &mut hook, rng)?;
+        hook.masks().apply(net);
+        // The device is still faulty: re-program the recovered weights.
+        program_faulted(net, xbar, &maps, Mitigation::None)?;
+        let recovered_accuracy =
+            evaluate_top_k(net, data, 1, self.config().retrain.batch_size)?.value();
+        Ok(FaultRecovery {
+            faulted_accuracy,
+            recovered_accuracy,
+            faults,
+            masked_weights,
+        })
+    }
+}
+
+/// Maps every prunable parameter onto crossbars, applies its fault map
+/// under the given mitigation, and writes the faulted weights back.
+/// Returns the aggregate fault report and the relative weight damage.
+fn program_faulted(
+    net: &mut Network,
+    xbar: tinyadc_xbar::tile::XbarConfig,
+    maps: &[(String, LayerFaultMap)],
+    strategy: Mitigation,
+) -> Result<(FaultReport, CampaignRow)> {
+    let mut faults = FaultReport::default();
+    let mut remapped = 0usize;
+    let mut unrepaired = 0usize;
+    let mut sq_err_sum = 0.0f64;
+    let mut n_weights = 0.0f64;
+    let params = prunable_params(net);
+    let mut written: Vec<(String, Tensor)> = Vec::with_capacity(params.len());
+    for p in &params {
+        let map = &maps
+            .iter()
+            .find(|(n, _)| n == &p.name)
+            .ok_or_else(|| {
+                TinyAdcError::InvalidConfig(format!("no fault map for parameter `{}`", p.name))
+            })?
+            .1;
+        let mut mapped = MappedLayer::from_param(&p.value, p.kind, xbar)?;
+        let intended = mapped.unmap()?;
+        match strategy {
+            Mitigation::Spares { per_tile } => {
+                let outcome = repair::apply_with_spares(&mut mapped, map, per_tile);
+                faults.merge(&outcome.faults);
+                remapped += outcome.remapped_columns;
+                unrepaired += outcome.unrepaired_columns;
+            }
+            _ => {
+                faults.merge(&map.apply(&mut mapped));
+            }
+        }
+        let faulted = mapped.unmap()?;
+        sq_err_sum += {
+            let d = faulted.sub(&intended)?.frobenius_norm() as f64;
+            d * d
+        };
+        n_weights += intended.len() as f64;
+        written.push((p.name.clone(), faulted));
+    }
+    write_back(net, &written);
+    let weight_damage = if n_weights > 0.0 {
+        (sq_err_sum / n_weights).sqrt()
+    } else {
+        0.0
+    };
+    // The caller fills in identification and accuracy fields; this stub
+    // carries the physically measured ones.
+    let partial = CampaignRow {
+        variant: String::new(),
+        strategy: strategy.label(),
+        rate: 0.0,
+        seed: 0,
+        accuracy: 0.0,
+        accuracy_drop: 0.0,
+        weight_damage,
+        faults: faults.total_faults(),
+        sa0_harmless: faults.sa0_harmless,
+        remapped_columns: remapped,
+        unrepaired_columns: unrepaired,
+    };
+    Ok((faults, partial))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_sample(
+    pipeline_config: &PipelineConfig,
+    data: &SyntheticImageDataset,
+    variant: &CampaignVariant,
+    strategy: Mitigation,
+    rate: f64,
+    seed: u64,
+    eval_batch: usize,
+) -> Result<CampaignRow> {
+    let xbar = pipeline_config.xbar;
+    let model = FaultModel::from_overall_rate(rate)?;
+    // Rebuild the variant (Network is not Clone): fixed-seed construction,
+    // then restore the snapshot — initialisation randomness is overwritten.
+    let mut build_rng = SeededRng::new(0x7E5E);
+    let pipeline = Pipeline::new(pipeline_config.clone());
+    let mut net = pipeline.build_model(data, &mut build_rng)?;
+    net.restore(&variant.snapshot);
+    // The device stream depends only on the campaign seed: all variants
+    // and strategies see the same fault pattern.
+    let mut rng = SeededRng::new(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xFA_017);
+    // Sample the per-layer fault maps against the clean geometry; derive
+    // the strategy's retraining mask while the weights are still intact.
+    let params = prunable_params(&mut net);
+    let mut maps: Vec<(String, LayerFaultMap)> = Vec::with_capacity(params.len());
+    let mut fault_masks = MaskSet::new();
+    for p in &params {
+        let mapped = MappedLayer::from_param(&p.value, p.kind, xbar)?;
+        let map = LayerFaultMap::sample(&mapped, &model, &mut rng);
+        match strategy {
+            Mitigation::Retrain => {
+                fault_masks.insert(p.name.clone(), repair::harmful_weight_mask(&mapped, &map)?);
+            }
+            Mitigation::Redistribute => {
+                let budget = variant.cp_l.unwrap_or_else(|| xbar.shape.rows());
+                fault_masks.insert(
+                    p.name.clone(),
+                    repair::redistribution_mask(&mapped, &map, budget)?,
+                );
+            }
+            _ => {}
+        }
+        maps.push((p.name.clone(), map));
+    }
+    // Retraining strategies fine-tune around the damage first.
+    if strategy.retrains() {
+        let masks = match strategy {
+            Mitigation::Retrain => MaskSet::from_zero_pattern(&mut net).intersect(&fault_masks),
+            _ => fault_masks,
+        };
+        masks.apply(&mut net);
+        let mut hook = MaskHook::new(masks);
+        let trainer = Trainer::new(pipeline_config.retrain.clone());
+        trainer.fit_with_hook(&mut net, data, &mut hook, &mut rng)?;
+        hook.masks().apply(&mut net);
+    }
+    // Program the (possibly retrained) weights onto the faulty device.
+    let (_, partial) = program_faulted(&mut net, xbar, &maps, strategy)?;
+    let accuracy = evaluate_top_k(&mut net, data, 1, eval_batch)?.value();
+    Ok(CampaignRow {
+        variant: variant.name.clone(),
+        rate,
+        seed,
+        accuracy,
+        accuracy_drop: variant.clean_accuracy - accuracy,
+        ..partial
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(variant: &str, strategy: &str, rate: f64, seed: u64, damage: f64) -> CampaignRow {
+        CampaignRow {
+            variant: variant.into(),
+            strategy: strategy.into(),
+            rate,
+            seed,
+            accuracy: 0.5,
+            accuracy_drop: 0.25,
+            weight_damage: damage,
+            faults: 10,
+            sa0_harmless: 3,
+            remapped_columns: 1,
+            unrepaired_columns: 2,
+        }
+    }
+
+    #[test]
+    fn csv_round_trips_exactly() {
+        let report = CampaignReport {
+            rows: vec![
+                row("dense", "none", 0.05, 1, 0.123456789012345),
+                row("cp4x", "spares2", 1.0 / 3.0, 2, 1e-300),
+            ],
+        };
+        let csv = report.to_csv();
+        let back = CampaignReport::from_csv(&csv).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn from_csv_rejects_malformed_input() {
+        assert!(CampaignReport::from_csv("").is_err());
+        assert!(CampaignReport::from_csv("wrong,header\n").is_err());
+        let truncated = format!("{CSV_HEADER}\na,b,0.1\n");
+        assert!(CampaignReport::from_csv(&truncated).is_err());
+        let bad_field = format!("{CSV_HEADER}\nd,none,xx,1,0,0,0,0,0,0,0\n");
+        assert!(CampaignReport::from_csv(&bad_field).is_err());
+    }
+
+    #[test]
+    fn json_lists_every_row() {
+        let report = CampaignReport {
+            rows: vec![row("dense", "none", 0.05, 1, 0.2)],
+        };
+        let json = report.to_json();
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"variant\": \"dense\""));
+        assert!(json.contains("\"weight_damage\": 0.2"));
+    }
+
+    #[test]
+    fn dominance_compares_unmitigated_means_per_rate() {
+        let report = CampaignReport {
+            rows: vec![
+                row("dense", "none", 0.05, 1, 0.4),
+                row("dense", "none", 0.05, 2, 0.6),
+                row("cp", "none", 0.05, 1, 0.2),
+                row("cp", "none", 0.05, 2, 0.3),
+                // Mitigated rows must not enter the comparison.
+                row("cp", "retrain", 0.05, 1, 9.0),
+            ],
+        };
+        assert!(report.cp_dominates("cp", "dense"));
+        assert!(!report.cp_dominates("dense", "cp"));
+        // No shared rate -> not a comparison.
+        assert!(!report.cp_dominates("cp", "missing"));
+    }
+
+    #[test]
+    fn strategy_labels_parse_back() {
+        for (s, label) in [
+            (Mitigation::None, "none"),
+            (Mitigation::Spares { per_tile: 2 }, "spares2"),
+            (Mitigation::Retrain, "retrain"),
+            (Mitigation::Redistribute, "redistribute"),
+        ] {
+            assert_eq!(s.label(), label);
+        }
+        assert_eq!(
+            Mitigation::parse("spares", 3).unwrap(),
+            Mitigation::Spares { per_tile: 3 }
+        );
+        assert!(Mitigation::parse("bogus", 0).is_err());
+    }
+
+    #[test]
+    fn config_validation() {
+        let ok = CampaignConfig {
+            rates: vec![0.1],
+            seeds: vec![1],
+            strategies: vec![Mitigation::None],
+            eval_batch: 32,
+        };
+        assert!(ok.validate().is_ok());
+        let mut bad = ok.clone();
+        bad.rates.clear();
+        assert!(bad.validate().is_err());
+        let mut bad = ok.clone();
+        bad.rates = vec![1.5];
+        assert!(bad.validate().is_err());
+        let mut bad = ok;
+        bad.eval_batch = 0;
+        assert!(bad.validate().is_err());
+    }
+}

@@ -25,6 +25,14 @@ pub enum NnError {
     InvalidConfig(String),
     /// The dataset is unusable (empty, inconsistent labels, ...).
     BadDataset(String),
+    /// Training produced a NaN/infinite loss — the run has diverged and
+    /// any downstream report would silently carry the NaN.
+    NonFiniteLoss {
+        /// 0-based epoch in which the loss blew up.
+        epoch: usize,
+        /// 0-based batch within that epoch.
+        batch: usize,
+    },
 }
 
 impl fmt::Display for NnError {
@@ -44,6 +52,10 @@ impl fmt::Display for NnError {
             }
             Self::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             Self::BadDataset(msg) => write!(f, "bad dataset: {msg}"),
+            Self::NonFiniteLoss { epoch, batch } => write!(
+                f,
+                "training diverged: non-finite loss at epoch {epoch}, batch {batch}"
+            ),
         }
     }
 }

@@ -139,6 +139,9 @@ impl Trainer {
     /// # Errors
     ///
     /// Propagates layer/loss/hook errors; rejects `batch_size == 0`.
+    /// Returns [`NnError::NonFiniteLoss`] (with epoch/batch context) the
+    /// moment a batch loss goes NaN or infinite, instead of letting the
+    /// divergence propagate silently into reports.
     pub fn fit_with_hook(
         &self,
         net: &mut Network,
@@ -172,6 +175,12 @@ impl Trainer {
                 }
                 let logits = net.forward(&x, true)?;
                 let (loss, grad) = softmax_cross_entropy(&logits, &labels)?;
+                if !loss.is_finite() {
+                    return Err(NnError::NonFiniteLoss {
+                        epoch,
+                        batch: batches,
+                    });
+                }
                 acc.update(&logits, &labels)?;
                 net.zero_grads();
                 net.backward(&grad)?;
@@ -308,6 +317,27 @@ mod tests {
             ..TrainConfig::default()
         });
         assert!(trainer.fit(&mut net, &data, &mut rng).is_err());
+    }
+
+    #[test]
+    fn non_finite_loss_is_a_typed_error() {
+        let mut rng = SeededRng::new(1);
+        let data = SyntheticImageDataset::generate(DatasetTier::Tier1Cifar10Like, 20, 10, &mut rng)
+            .unwrap();
+        let mut net =
+            models::mlp("m", data.input_dims(), data.num_classes(), &[8], &mut rng).unwrap();
+        // Poison the parameters: the very first forward pass yields NaN
+        // logits, so the loss is non-finite at epoch 0, batch 0.
+        net.visit_params(&mut |p| p.value.map_inplace(|_| f32::NAN));
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 1,
+            batch_size: 10,
+            shuffle: false,
+            ..TrainConfig::default()
+        });
+        let err = trainer.fit(&mut net, &data, &mut rng).unwrap_err();
+        assert_eq!(err, NnError::NonFiniteLoss { epoch: 0, batch: 0 });
+        assert!(err.to_string().contains("epoch 0"));
     }
 
     #[test]

@@ -102,6 +102,14 @@ impl SeededRng {
         lo + self.next_f32() * (hi - lo)
     }
 
+    /// Uniform `f64` sample in `[lo, hi)` with the generator's full 53-bit
+    /// precision. Use this for probability rolls against small rates: the
+    /// `f32` sampler quantises to 24 bits, so thresholds below ~6e-8 could
+    /// never fire.
+    pub fn sample_uniform_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.next_f64() * (hi - lo)
+    }
+
     /// Uniform integer in `[0, n)`.
     ///
     /// # Panics
@@ -186,6 +194,46 @@ mod tests {
             let x = rng.sample_uniform(-2.5, 3.5);
             assert!((-2.5..3.5).contains(&x), "{x}");
         }
+    }
+
+    #[test]
+    fn uniform_f64_stays_in_range_and_exceeds_f32_granularity() {
+        let mut rng = SeededRng::new(8);
+        // Any draw whose value is not representable on the 24-bit f32
+        // lattice proves the sampler really carries f64 precision.
+        let mut finer_than_f32 = false;
+        for _ in 0..1_000 {
+            let x = rng.sample_uniform_f64(0.0, 1.0);
+            assert!((0.0..1.0).contains(&x), "{x}");
+            let lattice = (x * (1u64 << 24) as f64).round() / (1u64 << 24) as f64;
+            if x != lattice {
+                finer_than_f32 = true;
+            }
+        }
+        assert!(finer_than_f32, "all draws sat on the 24-bit lattice");
+    }
+
+    #[test]
+    fn uniform_f64_resolves_tiny_rates() {
+        // Small-probability rolls live in the left tail; the 24-bit f32
+        // sampler can only land there on exact multiples of 2^-24 (almost
+        // always 0.0). The f64 sampler must produce tail hits carrying
+        // genuine sub-2^-24 resolution.
+        let mut rng = SeededRng::new(9);
+        let threshold = 2f64.powi(-18);
+        let mut hits = 0usize;
+        let mut off_lattice = 0usize;
+        for _ in 0..5_000_000 {
+            let x = rng.sample_uniform_f64(0.0, 1.0);
+            if x < threshold {
+                hits += 1;
+                if (x * (1u64 << 24) as f64).fract() != 0.0 {
+                    off_lattice += 1;
+                }
+            }
+        }
+        assert!(hits > 0, "no draw below 2^-18");
+        assert!(off_lattice > 0, "tail draws all sat on the 24-bit lattice");
     }
 
     #[test]

@@ -62,11 +62,9 @@ pub fn apply_crossbar_effects(
         let step = (|| -> Result<()> {
             let mut mapped = MappedLayer::from_param(&p.value, p.kind, config)?;
             if let Some(model) = faults {
-                let report = inject_faults(&mut mapped, model, rng);
-                effects.faults.cells += report.cells;
-                effects.faults.sa0 += report.sa0;
-                effects.faults.sa1 += report.sa1;
-                effects.faults.sa0_harmless += report.sa0_harmless;
+                effects
+                    .faults
+                    .merge(&inject_faults(&mut mapped, model, rng));
             }
             effects.layers.push((
                 p.name.clone(),
@@ -145,6 +143,23 @@ mod tests {
         let effects = apply_crossbar_effects(&mut n, cfg(), Some(&model), &[], &mut rng).unwrap();
         assert!(effects.faults.total_faults() > 0);
         assert!(effects.faults.cells > 0);
+    }
+
+    #[test]
+    fn effects_are_deterministic_for_a_fixed_seed() {
+        let run = || {
+            let mut rng = SeededRng::new(11);
+            let mut n = net(&mut rng);
+            let model = FaultModel::from_overall_rate(0.1).unwrap();
+            let mut fault_rng = SeededRng::new(42);
+            let effects =
+                apply_crossbar_effects(&mut n, cfg(), Some(&model), &[], &mut fault_rng).unwrap();
+            (n.snapshot(), effects.faults)
+        };
+        let (snap_a, faults_a) = run();
+        let (snap_b, faults_b) = run();
+        assert_eq!(faults_a, faults_b);
+        assert_eq!(snap_a, snap_b);
     }
 
     #[test]

@@ -9,8 +9,16 @@
 //! model stores mostly *intentional zeros*, and an SA0 fault on a zero
 //! cell is harmless — so CP-pruned models degrade more slowly with fault
 //! rate than densely-stored baselines.
+//!
+//! Faults are modelled as a device property: a [`LayerFaultMap`] records
+//! which cells are stuck (the outcome a March test would report), sampled
+//! deterministically from a [`FaultModel`] and a seed, independent of the
+//! weights programmed later. Applying the map to a [`MappedLayer`] forces
+//! the stuck levels into the cells; repair strategies ([`crate::repair`])
+//! consume the same map to work around the faults before they bite.
 
 use crate::mapping::MappedLayer;
+use crate::tile::Tile;
 use crate::{Result, XbarError};
 use tinyadc_tensor::rng::SeededRng;
 
@@ -76,42 +84,242 @@ impl FaultReport {
     pub fn total_faults(&self) -> usize {
         self.sa0 + self.sa1
     }
+
+    /// Accumulates another report into this one (per-tile and per-layer
+    /// reports roll up by field-wise addition).
+    pub fn merge(&mut self, other: &Self) {
+        self.cells += other.cells;
+        self.sa0 += other.sa0;
+        self.sa1 += other.sa1;
+        self.sa0_harmless += other.sa0_harmless;
+    }
 }
 
-/// Injects stuck-at faults into every cell of a mapped layer, in place.
-/// Deterministic given the RNG seed.
+/// The level a faulty cell is frozen at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StuckAt {
+    /// Stuck at level 0 (high resistance; SA0).
+    Zero,
+    /// Stuck at the maximum level (low resistance; SA1).
+    Max,
+}
+
+/// One faulty cell within a tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellFault {
+    /// Polarity array the cell belongs to: 0 = positive, 1 = negative.
+    pub polarity: usize,
+    /// Bit-slice index within the polarity.
+    pub slice: usize,
+    /// Flat cell position `row * cols + col` within the tile block.
+    pub index: usize,
+    /// The level the cell is frozen at.
+    pub stuck: StuckAt,
+}
+
+impl CellFault {
+    /// Tile-local column of the fault.
+    pub fn column(&self, cols: usize) -> usize {
+        self.index % cols
+    }
+
+    /// Tile-local row of the fault.
+    pub fn row(&self, cols: usize) -> usize {
+        self.index / cols
+    }
+}
+
+/// March-test-style fault map of one tile: the stuck cells a device test
+/// would report, independent of the weights programmed into them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TileFaultMap {
+    rows: usize,
+    cols: usize,
+    faults: Vec<CellFault>,
+}
+
+impl TileFaultMap {
+    /// Builds a map from an explicit fault list (March-test import, tests).
+    pub fn from_faults(rows: usize, cols: usize, faults: Vec<CellFault>) -> Self {
+        Self { rows, cols, faults }
+    }
+
+    /// Samples a fault map for `tile`'s geometry. Cells fail independently;
+    /// the scan order is polarity → slice → flat cell index with one f64
+    /// roll per cell, so the map is deterministic for a given rng state
+    /// and resolves rates far below `f32` precision.
+    pub fn sample(tile: &Tile, model: &FaultModel, rng: &mut SeededRng) -> Self {
+        let cells = tile.rows() * tile.cols();
+        let mut faults = Vec::new();
+        for polarity in 0..2 {
+            for slice in 0..tile.slice_count() {
+                for index in 0..cells {
+                    let roll = rng.sample_uniform_f64(0.0, 1.0);
+                    let stuck = if roll < model.sa0_rate {
+                        StuckAt::Zero
+                    } else if roll < model.sa0_rate + model.sa1_rate {
+                        StuckAt::Max
+                    } else {
+                        continue;
+                    };
+                    faults.push(CellFault {
+                        polarity,
+                        slice,
+                        index,
+                        stuck,
+                    });
+                }
+            }
+        }
+        Self {
+            rows: tile.rows(),
+            cols: tile.cols(),
+            faults,
+        }
+    }
+
+    /// Tile extent in rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Tile extent in columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The recorded faults, in scan order.
+    pub fn faults(&self) -> &[CellFault] {
+        &self.faults
+    }
+
+    /// Number of faulty cells.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// `true` when the tile has no faulty cells.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Tile-local columns containing at least one fault, ascending.
+    pub fn faulty_columns(&self) -> Vec<usize> {
+        let mut cols: Vec<usize> = self.faults.iter().map(|f| f.column(self.cols)).collect();
+        cols.sort_unstable();
+        cols.dedup();
+        cols
+    }
+
+    /// Forces the stuck levels into `tile`, skipping faults `keep` rejects
+    /// (spare-column repair drops a remapped column's faults entirely —
+    /// the spare hardware is pristine). Packed planes rebuild afterwards.
+    pub(crate) fn apply_filtered(
+        &self,
+        tile: &mut Tile,
+        keep: &dyn Fn(&CellFault) -> bool,
+    ) -> FaultReport {
+        debug_assert_eq!((tile.rows(), tile.cols()), (self.rows, self.cols));
+        let level_max = tile.config().cell.level_max();
+        let mut report = FaultReport {
+            cells: tile.cell_count(),
+            ..FaultReport::default()
+        };
+        if !self.faults.iter().any(keep) {
+            return report;
+        }
+        tile.mutate_cells(|pos, neg| {
+            for fault in &self.faults {
+                if !keep(fault) {
+                    continue;
+                }
+                let target = if fault.polarity == 0 {
+                    &mut *pos
+                } else {
+                    &mut *neg
+                };
+                let cell = &mut target[fault.slice][fault.index];
+                match fault.stuck {
+                    StuckAt::Zero => {
+                        report.sa0 += 1;
+                        if *cell == 0 {
+                            report.sa0_harmless += 1;
+                        }
+                        *cell = 0;
+                    }
+                    StuckAt::Max => {
+                        report.sa1 += 1;
+                        *cell = level_max;
+                    }
+                }
+            }
+        });
+        report
+    }
+}
+
+/// Fault maps for every tile of a mapped layer, in tile order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerFaultMap {
+    tiles: Vec<TileFaultMap>,
+}
+
+impl LayerFaultMap {
+    /// Builds a layer map from per-tile maps, in the layer's tile order.
+    pub fn from_tiles(tiles: Vec<TileFaultMap>) -> Self {
+        Self { tiles }
+    }
+
+    /// Samples a fault map for every tile of `layer`, in tile order.
+    pub fn sample(layer: &MappedLayer, model: &FaultModel, rng: &mut SeededRng) -> Self {
+        Self {
+            tiles: layer
+                .tiles()
+                .iter()
+                .map(|t| TileFaultMap::sample(t, model, rng))
+                .collect(),
+        }
+    }
+
+    /// Per-tile maps, in the layer's tile order.
+    pub fn tiles(&self) -> &[TileFaultMap] {
+        &self.tiles
+    }
+
+    /// Total faulty cells across all tiles.
+    pub fn total_faults(&self) -> usize {
+        self.tiles.iter().map(TileFaultMap::len).sum()
+    }
+
+    /// Forces every recorded fault into `layer`'s cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the map was sampled from a layer with a different tile
+    /// grid.
+    pub fn apply(&self, layer: &mut MappedLayer) -> FaultReport {
+        assert_eq!(
+            self.tiles.len(),
+            layer.tiles().len(),
+            "fault map / layer tile count mismatch"
+        );
+        let mut report = FaultReport::default();
+        for (map, tile) in self.tiles.iter().zip(layer.tiles_mut()) {
+            report.merge(&map.apply_filtered(tile, &|_| true));
+        }
+        report
+    }
+}
+
+/// Injects stuck-at faults into every cell of a mapped layer, in place:
+/// samples a [`LayerFaultMap`] and applies it. Deterministic given the
+/// RNG seed.
 pub fn inject_faults(
     layer: &mut MappedLayer,
     model: &FaultModel,
     rng: &mut SeededRng,
 ) -> FaultReport {
-    let mut report = FaultReport::default();
-    let level_max = layer.config().cell.level_max();
-    let sa0 = model.sa0_rate;
-    let sa1 = model.sa1_rate;
-    for tile in layer.tiles_mut() {
-        tile.mutate_cells(|pos, neg| {
-            for polarity in [pos, neg] {
-                for slice in polarity.iter_mut() {
-                    for level in slice.iter_mut() {
-                        report.cells += 1;
-                        let roll: f64 = rng.sample_uniform(0.0, 1.0) as f64;
-                        if roll < sa0 {
-                            report.sa0 += 1;
-                            if *level == 0 {
-                                report.sa0_harmless += 1;
-                            }
-                            *level = 0;
-                        } else if roll < sa0 + sa1 {
-                            report.sa1 += 1;
-                            *level = level_max;
-                        }
-                    }
-                }
-            }
-        });
-    }
-    report
+    LayerFaultMap::sample(layer, model, rng).apply(layer)
 }
 
 #[cfg(test)]
@@ -191,6 +399,54 @@ mod tests {
         // nonzero levels, visible after unmapping.
         let faulted = mapped.unmap().unwrap();
         assert!(faulted.count_nonzero() > 0);
+    }
+
+    #[test]
+    fn sampled_map_matches_direct_injection() {
+        // inject_faults is sample+apply; a map sampled from the same rng
+        // state must reproduce its effect exactly.
+        let mut rng = SeededRng::new(21);
+        let w = Tensor::randn(&[16, 16], 0.5, &mut rng);
+        let model = FaultModel::from_overall_rate(0.1).unwrap();
+        let mut a = MappedLayer::from_param(&w, ParamKind::LinearWeight, cfg()).unwrap();
+        let mut b = a.clone();
+        let mut rng_a = SeededRng::new(77);
+        let mut rng_b = SeededRng::new(77);
+        let report_a = inject_faults(&mut a, &model, &mut rng_a);
+        let map = LayerFaultMap::sample(&b, &model, &mut rng_b);
+        let report_b = map.apply(&mut b);
+        assert_eq!(report_a, report_b);
+        assert_eq!(map.total_faults(), report_b.total_faults());
+        assert_eq!(a.unmap().unwrap(), b.unmap().unwrap());
+    }
+
+    #[test]
+    fn map_is_independent_of_programmed_weights() {
+        // The fault map is a device property: sampling against different
+        // weight contents (same geometry, same rng) yields the same map.
+        let mut rng = SeededRng::new(22);
+        let w1 = Tensor::randn(&[16, 16], 0.5, &mut rng);
+        let w2 = Tensor::zeros(&[16, 16]);
+        let m1 = MappedLayer::from_param(&w1, ParamKind::LinearWeight, cfg()).unwrap();
+        let m2 = MappedLayer::from_param(&w2, ParamKind::LinearWeight, cfg()).unwrap();
+        let model = FaultModel::from_overall_rate(0.1).unwrap();
+        let map1 = LayerFaultMap::sample(&m1, &model, &mut SeededRng::new(5));
+        let map2 = LayerFaultMap::sample(&m2, &model, &mut SeededRng::new(5));
+        assert_eq!(map1, map2);
+    }
+
+    #[test]
+    fn faulty_columns_are_sorted_and_deduped() {
+        let mut rng = SeededRng::new(23);
+        let w = Tensor::randn(&[8, 8], 0.5, &mut rng);
+        let mapped = MappedLayer::from_param(&w, ParamKind::LinearWeight, cfg()).unwrap();
+        let model = FaultModel::from_overall_rate(0.3).unwrap();
+        let map = LayerFaultMap::sample(&mapped, &model, &mut rng);
+        for tile in map.tiles() {
+            let cols = tile.faulty_columns();
+            assert!(cols.windows(2).all(|w| w[0] < w[1]), "{cols:?}");
+            assert!(cols.iter().all(|&c| c < tile.cols()));
+        }
     }
 
     #[test]

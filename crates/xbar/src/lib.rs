@@ -23,6 +23,8 @@
 //!   derived from the worst-case column sum ([`adc`]).
 //! * **Stuck-at faults and device variation** — SA0/SA1 cell faults and
 //!   lognormal conductance variation ([`fault`], [`cell`]).
+//! * **Fault repair** — per-tile fault triage, spare-column remapping and
+//!   CP-slack redistribution masks ([`repair`]).
 //!
 //! # Example: lossless ADC reduction on a CP-pruned block
 //!
@@ -51,6 +53,7 @@ pub mod infer;
 pub mod mapping;
 pub mod noise;
 pub mod quant;
+pub mod repair;
 pub mod tile;
 
 pub use error::XbarError;

@@ -122,6 +122,13 @@ impl MappedLayer {
         self.tiles.len()
     }
 
+    /// Block grid extents `(row_blocks, col_blocks)`; tile `t` covers
+    /// matrix rows starting at `(t / col_blocks) * shape.rows()` and
+    /// columns starting at `(t % col_blocks) * shape.cols()`.
+    pub fn block_grid(&self) -> (usize, usize) {
+        (self.row_blocks, self.col_blocks)
+    }
+
     /// Number of physical arrays (blocks × differential pairs × slices).
     pub fn array_count(&self) -> usize {
         self.block_count() * self.config.arrays_per_block()

@@ -171,6 +171,35 @@ mod tests {
     }
 
     #[test]
+    fn zero_resistance_means_unit_attenuation_for_every_cell() {
+        let ideal = IrDropModel::with_wire_resistance(0.0).unwrap();
+        for r in 0..16 {
+            for c in 0..16 {
+                assert_eq!(ideal.attenuation(r, c, 16, 16), 1.0, "cell ({r}, {c})");
+            }
+        }
+    }
+
+    #[test]
+    fn attenuation_strictly_decreases_with_wire_distance() {
+        let ir = IrDropModel::with_wire_resistance(5.0).unwrap();
+        // Walk cells in order of wire distance: row r, column cols-1
+        // (segments = r), so each step adds exactly one segment.
+        let mut prev = f64::INFINITY;
+        for r in 0..16 {
+            let a = ir.attenuation(r, 15, 16, 16);
+            assert!(a < prev, "row {r}: {a} not below {prev}");
+            prev = a;
+        }
+        // Same strict decrease along a wordline (distance grows toward
+        // column 0) and equality for equidistant cells.
+        for c in (1..16).rev() {
+            assert!(ir.attenuation(0, c - 1, 16, 16) < ir.attenuation(0, c, 16, 16));
+        }
+        assert_eq!(ir.attenuation(3, 15, 16, 16), ir.attenuation(0, 12, 16, 16));
+    }
+
+    #[test]
     fn zero_wire_resistance_matches_digital_path() {
         let mut rng = SeededRng::new(1);
         let codes: Vec<i64> = (0..16 * 4).map(|i| ((i * 7) % 31) as i64 - 15).collect();

@@ -1,0 +1,458 @@
+//! Fault repair: working around stuck cells before they corrupt results.
+//!
+//! A March test reports *where* cells are stuck ([`crate::fault`]); this
+//! module decides *what to do about it*, in a ladder of increasing cost:
+//!
+//! 1. **Triage** ([`Tile::scan_faults`]) — classify each fault against the
+//!    weights actually programmed: a fault whose stuck level equals the
+//!    stored level is harmless and needs no repair at all.
+//! 2. **Spare-column remapping** ([`apply_with_spares`]) — crossbar macros
+//!    reserve `k` spare columns per tile; a column with harmful faults is
+//!    rerouted to pristine spare hardware, recovering bitwise-exact
+//!    outputs while spares last.
+//! 3. **CP-slack redistribution** ([`redistribution_mask`]) — when spares
+//!    run out, re-project the damaged columns' weights onto their healthy
+//!    cells with the pruning constraint's own Euclidean projection
+//!    ([`CpConstraint::project`]), producing a retraining mask that keeps
+//!    every healthy weight and re-opens slack positions near the drivers.
+//! 4. **Fault-masked retraining** ([`harmful_weight_mask`]) — the fallback
+//!    mask that simply freezes damaged weights at zero so fine-tuning
+//!    recovers accuracy around them.
+//!
+//! Every repair that touches cells goes through `Tile::mutate_cells`, so
+//! the packed popcount planes rebuild and stay the single source of truth.
+
+use crate::fault::{CellFault, FaultReport, LayerFaultMap, StuckAt, TileFaultMap};
+use crate::mapping::MappedLayer;
+use crate::tile::Tile;
+use crate::Result;
+use std::collections::HashSet;
+use tinyadc_prune::{layout, CpConstraint};
+use tinyadc_tensor::Tensor;
+
+/// Fault triage for one tile column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColumnScan {
+    /// Tile-local column index.
+    pub col: usize,
+    /// Faulty cells in the column.
+    pub faults: usize,
+    /// Faults whose stuck level differs from the stored level — the ones
+    /// that would corrupt MVM results.
+    pub harmful: usize,
+}
+
+/// Per-column fault triage of one tile (only columns with faults appear).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TileScan {
+    columns: Vec<ColumnScan>,
+}
+
+impl TileScan {
+    /// Per-column triage results, ascending by column.
+    pub fn columns(&self) -> &[ColumnScan] {
+        &self.columns
+    }
+
+    /// Columns containing at least one harmful fault, ascending — the
+    /// candidates for spare remapping.
+    pub fn harmful_columns(&self) -> Vec<usize> {
+        self.columns
+            .iter()
+            .filter(|c| c.harmful > 0)
+            .map(|c| c.col)
+            .collect()
+    }
+
+    /// Total harmful faults across the tile.
+    pub fn total_harmful(&self) -> usize {
+        self.columns.iter().map(|c| c.harmful).sum()
+    }
+}
+
+/// The level a fault freezes its cell at.
+fn stuck_level(stuck: StuckAt, level_max: u64) -> u64 {
+    match stuck {
+        StuckAt::Zero => 0,
+        StuckAt::Max => level_max,
+    }
+}
+
+/// Whether a fault would change the cell's stored level.
+fn is_harmful(tile: &Tile, fault: &CellFault) -> bool {
+    let target = stuck_level(fault.stuck, tile.config().cell.level_max());
+    tile.cell_level(fault.polarity, fault.slice, fault.index) != target
+}
+
+impl Tile {
+    /// Triages a fault map against the weights programmed into this tile:
+    /// per column, how many cells are stuck and how many of those are
+    /// *harmful* (stuck at a level different from the stored one). An SA0
+    /// fault on an intentional zero — the common case after CP pruning —
+    /// is harmless and claims no repair resources.
+    pub fn scan_faults(&self, map: &TileFaultMap) -> TileScan {
+        debug_assert_eq!((self.rows(), self.cols()), (map.rows(), map.cols()));
+        let mut counts = vec![(0usize, 0usize); self.cols()];
+        for fault in map.faults() {
+            let entry = &mut counts[fault.column(self.cols())];
+            entry.0 += 1;
+            if is_harmful(self, fault) {
+                entry.1 += 1;
+            }
+        }
+        TileScan {
+            columns: counts
+                .iter()
+                .enumerate()
+                .filter(|(_, &(faults, _))| faults > 0)
+                .map(|(col, &(faults, harmful))| ColumnScan {
+                    col,
+                    faults,
+                    harmful,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Outcome of a spare-column repair pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RepairOutcome {
+    /// Faults actually forced into cells (remapped columns excluded).
+    pub faults: FaultReport,
+    /// Columns rerouted to spare hardware, across all tiles.
+    pub remapped_columns: usize,
+    /// Columns with harmful faults left unrepaired (spares exhausted).
+    pub unrepaired_columns: usize,
+}
+
+/// Applies a fault map to a layer with `spares_per_tile` spare columns
+/// available per tile: each tile's harmful columns claim spares in
+/// ascending column order, and a remapped column's faults are skipped
+/// entirely — the spare hardware is pristine, so the column's output is
+/// bitwise-exact. Remaining faults (harmless ones, and harmful columns
+/// beyond the spare budget) are forced into the cells, rebuilding the
+/// packed planes.
+///
+/// # Panics
+///
+/// Panics when the map was sampled from a layer with a different tile
+/// grid.
+pub fn apply_with_spares(
+    layer: &mut MappedLayer,
+    map: &LayerFaultMap,
+    spares_per_tile: usize,
+) -> RepairOutcome {
+    assert_eq!(
+        map.tiles().len(),
+        layer.tiles().len(),
+        "fault map / layer tile count mismatch"
+    );
+    let mut outcome = RepairOutcome::default();
+    for (tile_map, tile) in map.tiles().iter().zip(layer.tiles_mut()) {
+        let harmful = tile.scan_faults(tile_map).harmful_columns();
+        let remapped: HashSet<usize> = harmful.iter().copied().take(spares_per_tile).collect();
+        outcome.remapped_columns += remapped.len();
+        outcome.unrepaired_columns += harmful.len() - remapped.len();
+        let cols = tile.cols();
+        let report = tile_map.apply_filtered(tile, &|f| !remapped.contains(&f.column(cols)));
+        outcome.faults.merge(&report);
+    }
+    outcome
+}
+
+/// Builds a retraining mask (parameter layout, `1.0` = trainable) that
+/// zeroes every weight with a harmful fault on any of its cells. Applying
+/// it through `MaskSet`/`MaskHook` freezes the damaged weights at zero so
+/// fine-tuning recovers accuracy around them — the last rung of the
+/// repair ladder.
+///
+/// Compute the mask on the *clean* layer (before the map is applied):
+/// harm is judged against the weights the cells were meant to store.
+///
+/// # Errors
+///
+/// Propagates layout errors.
+pub fn harmful_weight_mask(layer: &MappedLayer, map: &LayerFaultMap) -> Result<Tensor> {
+    let (rows, cols) = layer.matrix_dims();
+    let (_, col_blocks) = layer.block_grid();
+    let m = layer.config().shape.rows();
+    let n = layer.config().shape.cols();
+    let mut mask = vec![1.0f32; rows * cols];
+    for (t, (tile_map, tile)) in map.tiles().iter().zip(layer.tiles()).enumerate() {
+        let r0 = (t / col_blocks) * m;
+        let c0 = (t % col_blocks) * n;
+        for fault in tile_map.faults() {
+            if is_harmful(tile, fault) {
+                let r = r0 + fault.row(tile.cols());
+                let c = c0 + fault.column(tile.cols());
+                mask[r * cols + c] = 0.0;
+            }
+        }
+    }
+    let matrix = Tensor::from_vec(mask, &[rows, cols])?;
+    Ok(layout::from_matrix(
+        &matrix,
+        layer.kind(),
+        layer.param_dims(),
+    )?)
+}
+
+/// Builds a redistribution mask (parameter layout, `1.0` = trainable) by
+/// re-projecting each damaged block column onto its healthy cells with the
+/// CP constraint's Euclidean projection: healthy stored weights score by
+/// magnitude (all ≥ 1 in code units), zero positions in columns that lost
+/// a nonzero weight re-open as candidates scored `1/(2 + row)` (< 1, so
+/// they never displace a surviving weight; lower rows — nearer the
+/// drivers — rank first), and damaged or faulted positions score 0. The
+/// projection then keeps at most `max_nonzeros` positions per block
+/// column, so retraining under the mask stays within the layer's
+/// activated-row budget and its reduced ADC resolution.
+///
+/// Compute the mask on the *clean* layer (before the map is applied).
+///
+/// # Errors
+///
+/// Propagates projection and layout errors.
+pub fn redistribution_mask(
+    layer: &MappedLayer,
+    map: &LayerFaultMap,
+    max_nonzeros: usize,
+) -> Result<Tensor> {
+    let (rows, cols) = layer.matrix_dims();
+    let (_, col_blocks) = layer.block_grid();
+    let m = layer.config().shape.rows();
+    let n = layer.config().shape.cols();
+    let q = layer.quantized();
+    let mut score: Vec<f32> = q.codes.iter().map(|&c| c.unsigned_abs() as f32).collect();
+    // Triage pass: zero the scores of damaged weights, remember every
+    // faulted position (a stuck cell cannot store a retrained weight, even
+    // when its current fault is harmless), and record which block columns
+    // lost a nonzero weight.
+    let mut faulted: HashSet<usize> = HashSet::new();
+    let mut lossy: HashSet<(usize, usize)> = HashSet::new(); // (tile, local col)
+    for (t, (tile_map, tile)) in map.tiles().iter().zip(layer.tiles()).enumerate() {
+        let r0 = (t / col_blocks) * m;
+        let c0 = (t % col_blocks) * n;
+        for fault in tile_map.faults() {
+            let local_col = fault.column(tile.cols());
+            let idx = (r0 + fault.row(tile.cols())) * cols + c0 + local_col;
+            faulted.insert(idx);
+            if is_harmful(tile, fault) {
+                if q.codes[idx] != 0 {
+                    lossy.insert((t, local_col));
+                }
+                score[idx] = 0.0;
+            }
+        }
+    }
+    // Slack pass: in each lossy block column, fault-free zero positions
+    // become candidates, ranked by driver proximity.
+    for &(t, local_col) in &lossy {
+        let tile = &layer.tiles()[t];
+        let r0 = (t / col_blocks) * m;
+        let c0 = (t % col_blocks) * n;
+        for r in 0..tile.rows() {
+            let idx = (r0 + r) * cols + c0 + local_col;
+            if q.codes[idx] == 0 && !faulted.contains(&idx) {
+                score[idx] = 1.0 / (2.0 + r as f32);
+            }
+        }
+    }
+    let cp = CpConstraint::new(layer.config().shape, max_nonzeros.clamp(1, m))?;
+    let projected = cp.project(&Tensor::from_vec(score, &[rows, cols])?)?;
+    let mask = projected.map(|x| if x == 0.0 { 0.0 } else { 1.0 });
+    Ok(layout::from_matrix(
+        &mask,
+        layer.kind(),
+        layer.param_dims(),
+    )?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adc::Adc;
+    use crate::fault::{FaultModel, LayerFaultMap};
+    use crate::tile::XbarConfig;
+    use tinyadc_nn::ParamKind;
+    use tinyadc_prune::CrossbarShape;
+    use tinyadc_tensor::rng::SeededRng;
+
+    fn cfg() -> XbarConfig {
+        XbarConfig {
+            shape: CrossbarShape::new(8, 8).unwrap(),
+            ..XbarConfig::paper_default()
+        }
+    }
+
+    fn fault(polarity: usize, slice: usize, index: usize, stuck: StuckAt) -> CellFault {
+        CellFault {
+            polarity,
+            slice,
+            index,
+            stuck,
+        }
+    }
+
+    #[test]
+    fn scan_separates_harmless_from_harmful() {
+        // 2x2 tile: w[0,0] = 3 (pos slice 0 level 3), the rest zero.
+        let tile = Tile::new(&[3, 0, 0, 0], 2, 2, cfg()).unwrap();
+        let map = TileFaultMap::from_faults(
+            2,
+            2,
+            vec![
+                fault(0, 0, 0, StuckAt::Zero), // kills the stored 3: harmful
+                fault(0, 0, 1, StuckAt::Zero), // zero cell stuck at 0: harmless
+                fault(0, 0, 3, StuckAt::Max),  // zero cell stuck at max: harmful
+            ],
+        );
+        let scan = tile.scan_faults(&map);
+        assert_eq!(
+            scan.columns(),
+            &[
+                ColumnScan {
+                    col: 0,
+                    faults: 1,
+                    harmful: 1
+                },
+                ColumnScan {
+                    col: 1,
+                    faults: 2,
+                    harmful: 1
+                },
+            ]
+        );
+        assert_eq!(scan.harmful_columns(), vec![0, 1]);
+        assert_eq!(scan.total_harmful(), 2);
+    }
+
+    #[test]
+    fn spares_recover_bitwise_exact_outputs() {
+        let mut rng = SeededRng::new(31);
+        let w = Tensor::randn(&[16, 16], 0.5, &mut rng);
+        let clean = MappedLayer::from_param(&w, ParamKind::LinearWeight, cfg()).unwrap();
+        let model = FaultModel::from_overall_rate(0.05).unwrap();
+        let map = LayerFaultMap::sample(&clean, &model, &mut rng);
+        let adc = Adc::new(clean.required_adc_bits()).unwrap();
+        let input: Vec<u64> = (0..16).map(|i| (i % 16) as u64).collect();
+        let reference = clean.matvec_codes(&input, &adc).unwrap();
+
+        // Enough spares for every column: all harmful columns remap, only
+        // harmless faults land, and the output is bitwise identical.
+        let mut repaired = clean.clone();
+        let outcome = apply_with_spares(&mut repaired, &map, 8);
+        assert_eq!(outcome.unrepaired_columns, 0);
+        assert!(outcome.remapped_columns > 0);
+        assert_eq!(repaired.matvec_codes(&input, &adc).unwrap(), reference);
+        assert_eq!(repaired.unmap().unwrap(), clean.unmap().unwrap());
+
+        // No spares: same map corrupts the output.
+        let mut unrepaired = clean.clone();
+        let outcome = apply_with_spares(&mut unrepaired, &map, 0);
+        assert_eq!(outcome.remapped_columns, 0);
+        assert!(outcome.unrepaired_columns > 0);
+        assert_ne!(unrepaired.matvec_codes(&input, &adc).unwrap(), reference);
+    }
+
+    #[test]
+    fn spare_budget_caps_remapping_per_tile() {
+        let mut rng = SeededRng::new(32);
+        let w = Tensor::randn(&[8, 8], 0.5, &mut rng);
+        let clean = MappedLayer::from_param(&w, ParamKind::LinearWeight, cfg()).unwrap();
+        let model = FaultModel::from_overall_rate(0.2).unwrap();
+        let map = LayerFaultMap::sample(&clean, &model, &mut rng);
+        let harmful = clean.tiles()[0]
+            .scan_faults(&map.tiles()[0])
+            .harmful_columns()
+            .len();
+        assert!(harmful > 1, "need a multi-column fault pattern");
+        let mut layer = clean.clone();
+        let outcome = apply_with_spares(&mut layer, &map, 1);
+        assert_eq!(outcome.remapped_columns, 1);
+        assert_eq!(outcome.unrepaired_columns, harmful - 1);
+    }
+
+    #[test]
+    fn harmful_mask_zeroes_exactly_damaged_weights() {
+        // Linear [out=2, in=2] -> matrix [2, 2]; matrix (r, c) maps to
+        // weight (c, r).
+        let w = Tensor::from_vec(vec![1.0, 0.0, 0.5, -0.5], &[2, 2]).unwrap();
+        let layer = MappedLayer::from_param(&w, ParamKind::LinearWeight, cfg()).unwrap();
+        // Matrix layout (in x out): [[1.0, 0.5], [0.0, -0.5]].
+        let map = LayerFaultMap::from_tiles(vec![TileFaultMap::from_faults(
+            2,
+            2,
+            vec![
+                fault(0, 0, 0, StuckAt::Zero), // matrix (0,0)=1.0: harmful
+                fault(0, 0, 2, StuckAt::Zero), // matrix (1,0)=0.0: harmless
+            ],
+        )]);
+        let mask = harmful_weight_mask(&layer, &map).unwrap();
+        assert_eq!(mask.dims(), w.dims());
+        // Only weight (0, 0) — matrix (0, 0) — is damaged.
+        assert_eq!(mask.as_slice(), &[0.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn redistribution_mask_reopens_slack_and_respects_cap() {
+        // CP-pruned layer (l = 2) on an 8x8 crossbar.
+        let mut rng = SeededRng::new(33);
+        let shape = CrossbarShape::new(8, 8).unwrap();
+        let cp = CpConstraint::new(shape, 2).unwrap();
+        let w = Tensor::randn(&[8, 8], 0.5, &mut rng);
+        let pruned = cp.project_param(&w, ParamKind::LinearWeight).unwrap();
+        let layer = MappedLayer::from_param(&pruned, ParamKind::LinearWeight, cfg()).unwrap();
+        // Find a stored positive weight with a nonzero low slice (so an
+        // SA0 on its slice-0 cell is actually harmful) and kill it.
+        let q = layer.quantized();
+        let idx = q
+            .codes
+            .iter()
+            .position(|&c| c > 0 && c & 3 != 0)
+            .expect("pruned layer still has nonzeros with low bits");
+        let map = LayerFaultMap::from_tiles(vec![TileFaultMap::from_faults(
+            8,
+            8,
+            vec![fault(0, 0, idx, StuckAt::Zero)],
+        )]);
+        let mask = redistribution_mask(&layer, &map, 2).unwrap();
+        // The damaged weight is frozen out...
+        let matrix = layout::to_matrix(&mask, ParamKind::LinearWeight).unwrap();
+        assert_eq!(matrix.as_slice()[idx], 0.0);
+        // ...a healthy zero in the same column re-opened in its place...
+        let col = idx % 8;
+        let reopened = (0..8)
+            .filter(|&r| q.codes[r * 8 + col] == 0 && matrix.as_slice()[r * 8 + col] != 0.0)
+            .count();
+        assert_eq!(reopened, 1);
+        // ...every healthy stored nonzero survives, and the cap holds.
+        for (i, &code) in q.codes.iter().enumerate() {
+            if code != 0 && i != idx {
+                assert_eq!(matrix.as_slice()[i], 1.0, "healthy weight {i} dropped");
+            }
+        }
+        assert!(cp.is_satisfied(&matrix).unwrap());
+    }
+
+    #[test]
+    fn redistribution_mask_skips_faulted_candidates() {
+        // Column 0 holds one nonzero at row 0; rows 1 and 2 are zero. A
+        // harmful SA0 kills row 0 and a harmless SA0 sits on row 1 — the
+        // candidate must be row 2 (row 1's cell is stuck and unusable).
+        let w = Tensor::from_vec(vec![1.0, 0.0, 0.0], &[1, 3]).unwrap(); // linear [out=1, in=3]
+        let layer = MappedLayer::from_param(&w, ParamKind::LinearWeight, cfg()).unwrap();
+        let map = LayerFaultMap::from_tiles(vec![TileFaultMap::from_faults(
+            3,
+            1,
+            vec![
+                fault(0, 0, 0, StuckAt::Zero), // harmful: kills the 1.0
+                fault(0, 0, 1, StuckAt::Zero), // harmless, but marks the cell stuck
+            ],
+        )]);
+        let mask = redistribution_mask(&layer, &map, 1).unwrap();
+        let matrix = layout::to_matrix(&mask, ParamKind::LinearWeight).unwrap();
+        assert_eq!(matrix.as_slice(), &[0.0, 0.0, 1.0]);
+    }
+}

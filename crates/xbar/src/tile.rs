@@ -431,6 +431,18 @@ impl Tile {
         2 * self.pos.len() * self.rows * self.cols
     }
 
+    /// Number of bit slices per polarity.
+    pub(crate) fn slice_count(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// Stored level of one cell; `polarity` 0 = positive, 1 = negative,
+    /// `index` is the flat `row * cols + col` position.
+    pub(crate) fn cell_level(&self, polarity: usize, slice: usize, index: usize) -> u64 {
+        let target = if polarity == 0 { &self.pos } else { &self.neg };
+        target[slice][index]
+    }
+
     /// Bit planes the packed kernel actually stores (out of
     /// `2 · slices · bits_per_cell` possible): all-zero planes are
     /// dropped at pack time, so this shrinks with slice-level sparsity —

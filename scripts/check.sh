@@ -25,6 +25,17 @@ cargo test --offline -q --test packed_equivalence
 echo "==> parallel determinism suite"
 cargo test --offline -q --test parallel_determinism
 
+# The resilience layer's acceptance gates: thread-count-invariant fault
+# campaigns, bitwise-exact spare-column repair, CP damage dominance.
+echo "==> resilience suite"
+cargo test --offline -q --test resilience
+
+# End-to-end fault-campaign smoke through the CLI (2 rates x 2 seeds):
+# the command itself fails unless the report parses back exactly and the
+# CP-pruned curve dominates the dense one.
+echo "==> fault campaign smoke run (--quick)"
+cargo run --offline --release -p tinyadc-cli --bin tinyadc -- faults --quick 1 >/dev/null
+
 # Smoke-run the perf harness so bench bit-rot (API drift, JSON emission)
 # fails the gate offline; --quick keeps it to a few seconds.
 echo "==> perf bench smoke run (--quick)"

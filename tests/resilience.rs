@@ -1,0 +1,236 @@
+//! Resilience-layer acceptance tests (paper §IV-E, systematised).
+//!
+//! Pins the contracts the fault-campaign runner and the repair ladder
+//! promise:
+//!
+//! - A full campaign — fault sampling, spare-column repair, masked
+//!   retraining, evaluation — is bitwise identical at 1/2/4/7 worker
+//!   threads.
+//! - Spare-column remapping restores bitwise-exact layer outputs whenever
+//!   the per-tile harmful-column count fits the spare budget, and never
+//!   increases weight damage otherwise.
+//! - The CP-pruned variant's weight-damage curve dominates the dense one
+//!   (the paper's graceful-degradation claim), and reports survive a CSV
+//!   round trip exactly.
+//! - Degraded-mode recovery (`Pipeline::recover_from_faults`) is
+//!   deterministic for a fixed seed.
+
+use std::sync::OnceLock;
+use tinyadc::resilience::{CampaignConfig, CampaignReport, CampaignVariant, Mitigation};
+use tinyadc::{Pipeline, PipelineConfig};
+use tinyadc_nn::data::{DatasetTier, SyntheticImageDataset};
+use tinyadc_nn::ParamKind;
+use tinyadc_prune::{CpConstraint, CrossbarShape};
+use tinyadc_tensor::rng::SeededRng;
+use tinyadc_tensor::Tensor;
+use tinyadc_xbar::adc::Adc;
+use tinyadc_xbar::fault::{FaultModel, LayerFaultMap};
+use tinyadc_xbar::mapping::MappedLayer;
+use tinyadc_xbar::repair;
+use tinyadc_xbar::tile::XbarConfig;
+
+/// Thread counts exercised; 7 deliberately exceeds this machine's cores
+/// and never divides the sample counts evenly.
+const THREADS: [usize; 4] = [1, 2, 4, 7];
+
+/// Shared trained fixture: a tiny dense model and its CP 4× pruned
+/// sibling, trained once for the whole suite.
+struct Fixture {
+    pipeline: Pipeline,
+    data: SyntheticImageDataset,
+    variants: Vec<CampaignVariant>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let mut rng = SeededRng::new(7);
+        let data = SyntheticImageDataset::generate(DatasetTier::Tier1Cifar10Like, 60, 30, &mut rng)
+            .unwrap();
+        let pipeline = Pipeline::new(PipelineConfig::quick_test());
+        let trained = pipeline.pretrain(&data, &mut rng).unwrap();
+        let (cp_report, mut cp_net) = pipeline
+            .run_cp_with_network(&data, &trained, 4, &mut rng)
+            .unwrap();
+        let mut dense_net = pipeline.restore(&data, &trained, &mut rng).unwrap();
+        let cp_l = CpConstraint::from_rate(pipeline.config().xbar.shape, 4)
+            .unwrap()
+            .max_nonzeros_per_column();
+        let variants = vec![
+            CampaignVariant::from_network("dense", &mut dense_net, None, trained.accuracy),
+            CampaignVariant::from_network(
+                "cp4x",
+                &mut cp_net,
+                Some(cp_l),
+                cp_report.final_accuracy,
+            ),
+        ];
+        Fixture {
+            pipeline,
+            data,
+            variants,
+        }
+    })
+}
+
+#[test]
+fn fault_campaign_is_bitwise_thread_count_invariant() {
+    let fx = fixture();
+    // One variant, every mitigation strategy: the campaign's fan-out, the
+    // repair ladder and the in-sample retraining all run under each
+    // thread count.
+    let config = CampaignConfig {
+        rates: vec![0.1],
+        seeds: vec![1, 2],
+        strategies: vec![
+            Mitigation::None,
+            Mitigation::Spares { per_tile: 1 },
+            Mitigation::Retrain,
+            Mitigation::Redistribute,
+        ],
+        eval_batch: 32,
+    };
+    tinyadc_par::set_threads(THREADS[0]);
+    let reference = fx
+        .pipeline
+        .run_fault_campaign(&fx.data, &fx.variants[1..], &config)
+        .unwrap();
+    for &t in &THREADS[1..] {
+        tinyadc_par::set_threads(t);
+        let got = fx
+            .pipeline
+            .run_fault_campaign(&fx.data, &fx.variants[1..], &config)
+            .unwrap();
+        assert_eq!(reference, got, "campaign diverged at {t} threads");
+    }
+    tinyadc_par::set_threads(0);
+
+    assert_eq!(reference.rows.len(), 8);
+    // Same device, fewer applied faults: on identical fault maps the
+    // spare-column repair can only remove damage, never add it.
+    let row = |strategy: &str, seed: u64| {
+        reference
+            .rows
+            .iter()
+            .find(|r| r.strategy == strategy && r.seed == seed)
+            .unwrap()
+    };
+    for seed in [1, 2] {
+        let none = row("none", seed);
+        let spared = row("spares1", seed);
+        assert!(spared.remapped_columns > 0, "seed {seed}: nothing remapped");
+        assert!(
+            spared.weight_damage <= none.weight_damage,
+            "seed {seed}: spares increased damage ({} > {})",
+            spared.weight_damage,
+            none.weight_damage
+        );
+        assert!(spared.faults <= none.faults);
+    }
+}
+
+#[test]
+fn cp_curve_dominates_dense_and_report_round_trips() {
+    let fx = fixture();
+    let config = CampaignConfig {
+        rates: vec![0.05, 0.15],
+        seeds: vec![1, 2],
+        strategies: vec![Mitigation::None],
+        eval_batch: 32,
+    };
+    let report = fx
+        .pipeline
+        .run_fault_campaign(&fx.data, &fx.variants, &config)
+        .unwrap();
+    assert_eq!(report.rows.len(), 8);
+    // Exact CSV round trip: shortest-representation f64 printing.
+    let parsed = CampaignReport::from_csv(&report.to_csv()).unwrap();
+    assert_eq!(parsed, report);
+    assert!(report.to_json().contains("\"variant\": \"cp4x\""));
+    // §IV-E: intentional zeros absorb the SA0-dominant faults, so the
+    // pruned model takes no more per-weight damage than the dense one.
+    assert!(
+        report.cp_dominates("cp4x", "dense"),
+        "CP damage exceeded dense:\n{}",
+        report.to_csv()
+    );
+    // Damage grows with the fault rate for every variant.
+    for name in ["dense", "cp4x"] {
+        let lo = report.mean_damage(name, 0.05).unwrap();
+        let hi = report.mean_damage(name, 0.15).unwrap();
+        assert!(hi > lo, "{name}: damage not increasing ({lo} -> {hi})");
+    }
+}
+
+#[test]
+fn spare_columns_restore_bitwise_exact_layer_outputs() {
+    let mut rng = SeededRng::new(21);
+    let cfg = XbarConfig {
+        shape: CrossbarShape::new(16, 8).unwrap(),
+        ..XbarConfig::paper_default()
+    };
+    // Ragged 37x13 weight over 16x8 tiles.
+    let w = Tensor::randn(&[13, 37], 0.5, &mut rng);
+    let clean = MappedLayer::from_param(&w, ParamKind::LinearWeight, cfg).unwrap();
+    let model = FaultModel::from_overall_rate(0.02).unwrap();
+    let mut fault_rng = SeededRng::new(33);
+    let map = LayerFaultMap::sample(&clean, &model, &mut fault_rng);
+    assert!(map.total_faults() > 0, "no faults sampled");
+
+    // A budget covering the worst tile repairs everything: the remapped
+    // spare columns are pristine, so the repaired layer is bitwise
+    // identical to the clean one.
+    let spares = clean
+        .tiles()
+        .iter()
+        .zip(map.tiles())
+        .map(|(tile, tile_map)| tile.scan_faults(tile_map).harmful_columns().len())
+        .max()
+        .unwrap();
+    assert!(spares > 0, "no harmful columns at 2% fault rate");
+    let mut repaired = clean.clone();
+    let outcome = repair::apply_with_spares(&mut repaired, &map, spares);
+    assert_eq!(outcome.unrepaired_columns, 0);
+    assert!(outcome.remapped_columns > 0);
+
+    let adc = Adc::new(clean.required_adc_bits()).unwrap();
+    let (rows, _) = clean.matrix_dims();
+    let input: Vec<u64> = (0..rows).map(|r| (r * 7 + 3) as u64 % 256).collect();
+    assert_eq!(
+        clean.matvec_codes(&input, &adc).unwrap(),
+        repaired.matvec_codes(&input, &adc).unwrap(),
+        "repaired outputs differ from clean"
+    );
+    assert_eq!(clean.unmap().unwrap(), repaired.unmap().unwrap());
+
+    // Zero budget: nothing remapped, every harmful fault lands.
+    let mut unrepaired = clean.clone();
+    let bare = repair::apply_with_spares(&mut unrepaired, &map, 0);
+    assert_eq!(bare.remapped_columns, 0);
+    assert!(bare.faults.total_faults() >= outcome.faults.total_faults());
+}
+
+#[test]
+fn degraded_mode_recovery_is_deterministic() {
+    let fx = fixture();
+    let model = FaultModel::from_overall_rate(0.1).unwrap();
+    let run = || {
+        let mut build = SeededRng::new(9);
+        let mut net = fx.pipeline.build_model(&fx.data, &mut build).unwrap();
+        net.restore(&fx.variants[1].snapshot);
+        let mut rng = SeededRng::new(5);
+        let rec = fx
+            .pipeline
+            .recover_from_faults(&mut net, &fx.data, &model, &mut rng)
+            .unwrap();
+        (rec, net.snapshot())
+    };
+    let (rec_a, snap_a) = run();
+    let (rec_b, snap_b) = run();
+    assert_eq!(rec_a, rec_b, "recovery diverged between identical runs");
+    assert_eq!(snap_a, snap_b);
+    assert!(rec_a.faults.total_faults() > 0);
+    assert!(rec_a.masked_weights > 0, "no weights frozen by fault masks");
+    assert!((0.0..=1.0).contains(&rec_a.faulted_accuracy));
+    assert!((0.0..=1.0).contains(&rec_a.recovered_accuracy));
+}
