@@ -13,12 +13,19 @@ use tinyadc::resilience::{
 };
 use tinyadc::{Pipeline, PipelineConfig, TrainedModel};
 use tinyadc_hw::adc::SarAdcModel;
+use tinyadc_hw::energy::{ActivityCounts, EnergyModel};
+use tinyadc_hw::latency::LatencyModel;
 use tinyadc_nn::data::{DatasetTier, SyntheticImageDataset};
 use tinyadc_nn::serialize;
 use tinyadc_nn::train::evaluate_top_k;
+use tinyadc_obs::{MetricsSnapshot, RunManifest};
 use tinyadc_prune::{CpConstraint, CrossbarShape};
 use tinyadc_tensor::rng::SeededRng;
-use tinyadc_xbar::fault::FaultModel;
+use tinyadc_tensor::Tensor;
+use tinyadc_xbar::adc::Adc;
+use tinyadc_xbar::fault::{FaultModel, LayerFaultMap};
+use tinyadc_xbar::mapping::MappedLayer;
+use tinyadc_xbar::repair;
 
 /// Top-level dispatch; returns the command's printable output.
 ///
@@ -26,16 +33,25 @@ use tinyadc_xbar::fault::FaultModel;
 ///
 /// Returns a user-facing message for unknown commands or failed options.
 pub fn run(args: &Args) -> Result<String> {
-    match args.command.as_str() {
+    let mut out = match args.command.as_str() {
         "train" => cmd_train(args),
         "prune" => cmd_prune(args),
         "audit" => cmd_audit(args),
         "cost" => cmd_cost(args),
         "faults" => cmd_faults(args),
         "adc" => cmd_adc(args),
+        "report" => cmd_report(args),
         "help" => Ok(usage()),
         other => Err(format!("unknown command `{other}`\n\n{}", usage())),
+    }?;
+    // Every subcommand accepts `--trace FILE`: after the command finishes,
+    // its completed spans are exported in chrome://tracing JSON format.
+    if let Some(path) = args.get("trace") {
+        let trace = tinyadc_obs::chrome_trace(&tinyadc_obs::spans());
+        std::fs::write(path, trace).map_err(|e| e.to_string())?;
+        out.push_str(&format!("wrote span trace to {path}\n"));
     }
+    Ok(out)
 }
 
 /// The usage text.
@@ -57,10 +73,14 @@ pub fn usage() -> String {
      \x20       [--recover 1]  degraded-mode demo: fault, then masked retrain\n\
      \x20       [--quick 1]    self-contained campaign smoke test\n\
      adc     [--bits N]                       ADC cost table\n\
+     report  [--seed N] [--metrics-csv FILE]  observability demo: run the\n\
+     \x20       example pipeline, dump the run manifest + metric snapshot\n\
+     \x20       (JSON) and the hardware-event energy/latency roll-up\n\
      help                                     this text\n\
      \n\
      Common options: --rows/--cols (crossbar, default 16x8), --train/--test\n\
-     (split sizes, default 800/300), --seed (default 2021)."
+     (split sizes, default 800/300), --seed (default 2021), --trace FILE\n\
+     (write completed spans as chrome://tracing JSON, any command)."
         .to_owned()
 }
 
@@ -411,6 +431,148 @@ fn cmd_faults(args: &Args) -> Result<String> {
     Ok(out)
 }
 
+/// Everything `tinyadc report` produces, in machine-readable form.
+///
+/// Split out from the rendering so tests (notably the workspace's
+/// `obs_determinism` tier-1 suite) can compare the JSON artifacts across
+/// thread counts without scraping human-readable output.
+pub struct ExampleReport {
+    /// Provenance of the run: config hash, seed, threads, git describe.
+    pub manifest: RunManifest,
+    /// Name-sorted snapshot of every registered metric.
+    pub metrics: MetricsSnapshot,
+    /// Energy/latency roll-up derived from the counter stream (JSON).
+    pub rollup_json: String,
+}
+
+/// Runs the self-contained example pipeline under full instrumentation
+/// and returns the run manifest, the metric snapshot and the
+/// hardware-event roll-up.
+///
+/// The workload is deliberately small but exercises every instrumented
+/// layer: pretrain + ADMM CP pruning (train/prune counters, phase
+/// spans), crossbar batched MVMs at the required and at a 2-bit starved
+/// ADC resolution (conversion/saturation counters), and a fault
+/// injection + spare-column repair pass (fault/repair counters). Metric
+/// values depend only on `seed`, never on `TINYADC_THREADS`.
+///
+/// # Errors
+///
+/// Returns a rendered message when any pipeline or mapping stage fails,
+/// or when the snapshot fails its internal JSON/CSV round-trip check.
+pub fn example_report(seed: u64) -> Result<ExampleReport> {
+    tinyadc_obs::reset();
+    let _span = tinyadc_obs::span("report.example");
+    let mut rng = SeededRng::new(seed);
+    let data = SyntheticImageDataset::generate(DatasetTier::Tier1Cifar10Like, 60, 30, &mut rng)
+        .map_err(|e| e.to_string())?;
+    let pipeline = Pipeline::new(PipelineConfig::quick_test());
+    let trained = pipeline
+        .pretrain(&data, &mut rng)
+        .map_err(|e| e.to_string())?;
+    let (_report, mut net) = pipeline
+        .run_cp_with_network(&data, &trained, 4, &mut rng)
+        .map_err(|e| e.to_string())?;
+
+    // Map the first prunable parameter onto crossbars and drive the
+    // instrumented datapath: a batch at the ADC resolution the layer
+    // needs, then the same batch through a 2-bit starved ADC so the
+    // saturation counter has something to say.
+    let mut first: Option<(tinyadc_nn::ParamKind, Tensor)> = None;
+    net.visit_params(&mut |p| {
+        if first.is_none() && p.kind.is_prunable() {
+            first = Some((p.kind, p.value.clone()));
+        }
+    });
+    let (kind, value) = first.ok_or("example model has no prunable parameter")?;
+    let xbar = pipeline.config().xbar;
+    let mut mapped = MappedLayer::from_param(&value, kind, xbar).map_err(|e| e.to_string())?;
+    let adc_bits = mapped.required_adc_bits();
+    let (matrix_rows, _) = mapped.matrix_dims();
+    let n_inputs = 8;
+    let code_range = 1u64 << xbar.dac_bits;
+    let inputs: Vec<u64> = (0..matrix_rows * n_inputs)
+        .map(|_| rng.next_u64() % code_range)
+        .collect();
+    let adc = Adc::new(adc_bits).map_err(|e| e.to_string())?;
+    let starved = Adc::new(adc_bits.saturating_sub(2).max(1)).map_err(|e| e.to_string())?;
+    mapped
+        .matvec_codes_batch(&inputs, n_inputs, &adc)
+        .map_err(|e| e.to_string())?;
+    mapped
+        .matvec_codes_batch(&inputs, n_inputs, &starved)
+        .map_err(|e| e.to_string())?;
+
+    // Fault the mapped layer and repair with one spare column per tile.
+    let model = FaultModel::from_overall_rate(0.05).map_err(|e| e.to_string())?;
+    let map = LayerFaultMap::sample(&mapped, &model, &mut rng);
+    repair::apply_with_spares(&mut mapped, &map, 1);
+
+    let metrics = MetricsSnapshot::capture();
+    let via_json =
+        MetricsSnapshot::from_json(&metrics.to_json()).map_err(|e| format!("json: {e}"))?;
+    let via_csv = MetricsSnapshot::from_csv(&metrics.to_csv()).map_err(|e| format!("csv: {e}"))?;
+    if via_json != metrics || via_csv != metrics {
+        return Err("metric snapshot failed its serialisation round-trip".into());
+    }
+    let manifest = RunManifest::new(
+        &format!("{:?}", pipeline.config()),
+        seed,
+        tinyadc_par::current_threads(),
+    );
+    let rollup_json = rollup(&metrics, adc_bits)?;
+    Ok(ExampleReport {
+        manifest,
+        metrics,
+        rollup_json,
+    })
+}
+
+/// Energy/latency roll-up from the observability counter stream: the
+/// measured `xbar.*` events priced by the `tinyadc-hw` models, as JSON.
+fn rollup(metrics: &MetricsSnapshot, adc_bits: u32) -> Result<String> {
+    let counts = ActivityCounts::from_snapshot(metrics);
+    let energy = EnergyModel::default()
+        .energy(&counts, adc_bits)
+        .map_err(|e| e.to_string())?;
+    let latency = LatencyModel::default();
+    let matvecs = metrics.counter("xbar.matvecs").unwrap_or(0);
+    let mvm_latency_s = latency.mvm_latency_s(adc_bits);
+    let adc_fraction = energy.adc_fraction();
+    let (adc_nj, dac_nj, array_nj, shift_add_nj, total_nj) = (
+        energy.adc_nj,
+        energy.dac_nj,
+        energy.array_nj,
+        energy.shift_add_nj,
+        energy.total_nj(),
+    );
+    let runtime_s = mvm_latency_s * matvecs as f64;
+    Ok(format!(
+        "{{\n  \"adc_bits\": {adc_bits},\n  \"matvecs\": {matvecs},\n  \
+         \"energy_nj\": {{\"adc\": {adc_nj}, \"dac\": {dac_nj}, \"array\": {array_nj}, \
+         \"shift_add\": {shift_add_nj}, \"total\": {total_nj}}},\n  \
+         \"adc_energy_fraction\": {adc_fraction},\n  \
+         \"mvm_latency_s\": {mvm_latency_s},\n  \"modeled_runtime_s\": {runtime_s}\n}}"
+    ))
+}
+
+fn cmd_report(args: &Args) -> Result<String> {
+    let seed: u64 = args.get_or("seed", 2021)?;
+    let report = example_report(seed)?;
+    let mut out = format!(
+        "== run manifest ==\n{}\n\n== metrics ==\n{}\n\n== hardware-event roll-up ==\n{}\n",
+        report.manifest.to_json(),
+        report.metrics.to_json(),
+        report.rollup_json,
+    );
+    if let Some(path) = args.get("metrics-csv") {
+        std::fs::write(path, report.metrics.to_csv()).map_err(|e| e.to_string())?;
+        out.push_str(&format!("wrote metrics CSV to {path}\n"));
+    }
+    out.push_str("snapshot JSON/CSV round-trip: OK\n");
+    Ok(out)
+}
+
 fn cmd_adc(args: &Args) -> Result<String> {
     let baseline: u32 = args.get_or("bits", 9)?;
     let model = SarAdcModel::default();
@@ -480,6 +642,37 @@ mod tests {
         assert!(tier_of(&args("x --tier mnist")).is_err());
         assert!(model_of(&args("x --model vgg16")).is_ok());
         assert!(model_of(&args("x --model alexnet")).is_err());
+    }
+
+    #[test]
+    fn report_emits_manifest_metrics_and_rollup() {
+        let dir = std::env::temp_dir().join("tinyadc_cli_report_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("trace.json");
+        let csv = dir.join("metrics.csv");
+        let out = run(&args(&format!(
+            "report --seed 3 --trace {} --metrics-csv {}",
+            trace.display(),
+            csv.display()
+        )))
+        .unwrap();
+        assert!(out.contains("run manifest"), "{out}");
+        assert!(out.contains("\"seed\": 3"), "{out}");
+        assert!(out.contains("xbar.matvecs"), "{out}");
+        assert!(out.contains("xbar.adc.conversions"), "{out}");
+        assert!(out.contains("prune.cp.projections"), "{out}");
+        assert!(out.contains("\"adc_bits\""), "{out}");
+        assert!(out.contains("round-trip: OK"), "{out}");
+        // The exported trace is valid JSON and contains the report span.
+        let trace_json = std::fs::read_to_string(&trace).unwrap();
+        let parsed = tinyadc_obs::json::JsonValue::parse(&trace_json).unwrap();
+        assert!(parsed.as_array().is_some_and(|a| !a.is_empty()));
+        assert!(trace_json.contains("report.example"));
+        // The CSV dump parses back into a snapshot.
+        let csv_text = std::fs::read_to_string(&csv).unwrap();
+        assert!(MetricsSnapshot::from_csv(&csv_text).is_ok());
+        std::fs::remove_file(&trace).ok();
+        std::fs::remove_file(&csv).ok();
     }
 
     #[test]

@@ -179,6 +179,7 @@ impl Pipeline {
         rng: &mut SeededRng,
     ) -> Result<TrainedModel> {
         self.config.validate()?;
+        let _span = tinyadc_obs::span("phase.pretrain");
         let mut net = self.build_model(data, rng)?;
         let trainer = Trainer::new(self.config.pretrain.clone());
         trainer.fit(&mut net, data, rng)?;
@@ -254,12 +255,15 @@ impl Pipeline {
         let skip = self.skip_list(&mut net);
         let cp = CpConstraint::from_rate(self.config.xbar.shape, cp_rate)?;
         let mut pruner = AdmmPruner::uniform_cp(&mut net, cp, &skip, self.config.admm)?;
-        Trainer::new(self.config.admm_train.clone()).fit_with_hook(
-            &mut net,
-            data,
-            &mut pruner,
-            rng,
-        )?;
+        {
+            let _span = tinyadc_obs::span("phase.admm");
+            Trainer::new(self.config.admm_train.clone()).fit_with_hook(
+                &mut net,
+                data,
+                &mut pruner,
+                rng,
+            )?;
+        }
         let masks = pruner.finalize(&mut net)?;
         let final_accuracy = self.masked_retrain(&mut net, data, masks.clone(), rng)?;
         let report = self.report(
@@ -340,12 +344,15 @@ impl Pipeline {
             );
         });
         let mut pruner = AdmmPruner::with_constraints(&mut net, constraints, self.config.admm)?;
-        Trainer::new(self.config.admm_train.clone()).fit_with_hook(
-            &mut net,
-            data,
-            &mut pruner,
-            rng,
-        )?;
+        {
+            let _span = tinyadc_obs::span("phase.admm");
+            Trainer::new(self.config.admm_train.clone()).fit_with_hook(
+                &mut net,
+                data,
+                &mut pruner,
+                rng,
+            )?;
+        }
         let masks = pruner.finalize(&mut net)?;
         let final_accuracy = self.masked_retrain(&mut net, data, masks.clone(), rng)?;
         let report = self.report(
@@ -400,12 +407,15 @@ impl Pipeline {
             &rates,
         )?;
         let mut pruner = AdmmPruner::with_constraints(&mut net, constraints, self.config.admm)?;
-        Trainer::new(self.config.admm_train.clone()).fit_with_hook(
-            &mut net,
-            data,
-            &mut pruner,
-            rng,
-        )?;
+        {
+            let _span = tinyadc_obs::span("phase.admm");
+            Trainer::new(self.config.admm_train.clone()).fit_with_hook(
+                &mut net,
+                data,
+                &mut pruner,
+                rng,
+            )?;
+        }
         let masks = pruner.finalize(&mut net)?;
         let final_accuracy = self.masked_retrain(&mut net, data, masks.clone(), rng)?;
         let min_rate = rates.values().copied().min().unwrap_or(1);
@@ -544,6 +554,7 @@ impl Pipeline {
         masks: MaskSet,
         rng: &mut SeededRng,
     ) -> Result<f64> {
+        let _span = tinyadc_obs::span("phase.retrain");
         masks.apply(net);
         let mut hook = MaskHook::new(masks);
         let trainer = Trainer::new(self.config.retrain.clone());
@@ -564,6 +575,7 @@ impl Pipeline {
         structured: Option<&StructuredOutcome>,
         skip: &[String],
     ) -> Result<PipelineReport> {
+        let _span = tinyadc_obs::span("phase.audit");
         let final_top5_accuracy =
             tinyadc_nn::train::evaluate_top_k(net, data, 5, self.config.retrain.batch_size)?
                 .value();

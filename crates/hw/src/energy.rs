@@ -53,6 +53,22 @@ pub struct ActivityCounts {
     pub shift_adds: u64,
 }
 
+impl ActivityCounts {
+    /// Builds activity counts from the observability counter stream
+    /// (`xbar.adc.conversions` & co. in a [`tinyadc_obs::MetricsSnapshot`])
+    /// instead of re-deriving them analytically — the counters record the
+    /// events the simulated datapath actually performed.
+    pub fn from_snapshot(snap: &tinyadc_obs::MetricsSnapshot) -> Self {
+        let get = |name: &str| snap.counter(name).unwrap_or(0);
+        Self {
+            adc_conversions: get("xbar.adc.conversions"),
+            dac_events: get("xbar.dac.events"),
+            column_reads: get("xbar.column.reads"),
+            shift_adds: get("xbar.shift_adds"),
+        }
+    }
+}
+
 /// Energy breakdown of a workload, nanojoules.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct EnergyReport {

@@ -36,6 +36,7 @@
 
 mod error;
 mod layer;
+mod obs;
 
 pub mod augment;
 pub mod data;

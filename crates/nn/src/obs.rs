@@ -1,0 +1,12 @@
+//! Crate-local observability handles (`tinyadc-obs` metrics).
+//!
+//! One count per epoch / optimiser step, recorded from the serial
+//! training loop, so totals are thread-count-invariant. See
+//! `docs/observability.md`.
+
+use tinyadc_obs::LazyCounter;
+
+/// Training epochs completed across all [`crate::train::Trainer`] runs.
+pub(crate) static TRAIN_EPOCHS: LazyCounter = LazyCounter::new("nn.train.epochs");
+/// Optimiser steps (batches) executed.
+pub(crate) static TRAIN_STEPS: LazyCounter = LazyCounter::new("nn.train.steps");

@@ -159,6 +159,7 @@ impl Trainer {
         let n = data.train_len();
         let mut epochs = Vec::with_capacity(cfg.epochs);
         for epoch in 0..cfg.epochs {
+            let _epoch_span = tinyadc_obs::span("nn.epoch");
             sgd.set_learning_rate(cfg.schedule.lr_at(cfg.lr, epoch));
             let order = if cfg.shuffle {
                 rng.permutation(n)
@@ -191,6 +192,8 @@ impl Trainer {
                 batches += 1;
             }
             hook.after_epoch(net, epoch)?;
+            crate::obs::TRAIN_EPOCHS.inc();
+            crate::obs::TRAIN_STEPS.add(batches as u64);
             epochs.push(EpochStats {
                 epoch,
                 train_loss: (loss_sum / batches.max(1) as f64) as f32,

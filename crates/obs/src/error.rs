@@ -1,0 +1,29 @@
+//! The crate error type.
+
+/// Error raised by parsers and validators in this crate.
+///
+/// ```
+/// let e = tinyadc_obs::ObsError::new("bad input");
+/// assert_eq!(e.to_string(), "bad input");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObsError {
+    message: String,
+}
+
+impl ObsError {
+    /// Wraps a message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ObsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ObsError {}

@@ -1,0 +1,80 @@
+//! # tinyadc-obs
+//!
+//! Deterministic, dependency-free observability for the TinyADC
+//! workspace: named metrics (counters, gauges, fixed-bucket histograms),
+//! hierarchical wall-time spans with deterministic logical sequence
+//! counters, snapshot serialisation with exact JSON/CSV round-trips, a
+//! chrome://tracing span export, and a run manifest that pins the
+//! provenance of a run (config hash, seed, thread count, git describe).
+//!
+//! ## Determinism contract
+//!
+//! Metric **values** are bitwise identical across thread counts for the
+//! same workload and seed:
+//!
+//! * Counters and histogram buckets are `u64` cells updated with atomic
+//!   `fetch_add`. Integer addition is commutative and associative, so
+//!   the totals do not depend on scheduling. This is the workspace's
+//!   "per-thread sink merged deterministically": every worker adds into
+//!   lock-free shared cells and the merge *is* the addition.
+//! * Histogram bucket edges are fixed at registration time, so the
+//!   bucketisation of an observation never varies between runs.
+//! * Gauges are last-write-wins and must only be set from serial code
+//!   (the workspace convention: ADMM epoch boundaries, report builders).
+//! * Span **timings** are wall-clock and explicitly excluded from the
+//!   contract; they never appear in a [`MetricsSnapshot`]. The spans'
+//!   logical sequence numbers are deterministic for serial callers.
+//!
+//! ## Example
+//!
+//! ```
+//! static MVMS: tinyadc_obs::LazyCounter = tinyadc_obs::LazyCounter::new("demo.mvms");
+//!
+//! let _phase = tinyadc_obs::span("demo.phase");
+//! MVMS.add(3);
+//! let snap = tinyadc_obs::MetricsSnapshot::capture();
+//! assert_eq!(snap.counter("demo.mvms"), Some(3));
+//! let back = tinyadc_obs::MetricsSnapshot::from_json(&snap.to_json()).unwrap();
+//! assert_eq!(back, snap);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+pub mod json;
+mod manifest;
+mod metrics;
+mod snapshot;
+mod span;
+
+pub use error::ObsError;
+pub use manifest::{fnv1a_hash, RunManifest};
+pub use metrics::{
+    counter, gauge, histogram, Counter, Gauge, Histogram, LazyCounter, LazyGauge, LazyHistogram,
+};
+pub use snapshot::{HistogramSnapshot, MetricsSnapshot};
+pub use span::{chrome_trace, span, spans, Span, SpanRecord};
+
+/// Zeroes every registered metric and discards all completed spans.
+///
+/// Registration survives a reset — handles cached in [`LazyCounter`] &
+/// co. stay valid and the metric *set* reported by
+/// [`MetricsSnapshot::capture`] is unchanged — only values return to
+/// zero (gauges to `0.0`). Call between measured runs (the determinism
+/// suite and `tinyadc report` do) so each run starts from a clean slate.
+///
+/// ```
+/// let c = tinyadc_obs::counter("reset.demo");
+/// c.add(5);
+/// tinyadc_obs::reset();
+/// assert_eq!(c.get(), 0);
+/// assert!(tinyadc_obs::spans().is_empty());
+/// ```
+pub fn reset() {
+    metrics::reset_values();
+    span::reset_spans();
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ObsError>;

@@ -1,0 +1,142 @@
+//! Run provenance: config hash, seed, thread count, git describe.
+
+use crate::error::ObsError;
+use crate::json::{escape, JsonValue};
+
+/// FNV-1a over `bytes` — the stable, dependency-free hash used for the
+/// run manifest's config fingerprint.
+///
+/// ```
+/// assert_eq!(tinyadc_obs::fnv1a_hash(b""), 0xcbf29ce484222325);
+/// assert_ne!(tinyadc_obs::fnv1a_hash(b"a"), tinyadc_obs::fnv1a_hash(b"b"));
+/// ```
+pub fn fnv1a_hash(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+/// Provenance of one measured run: everything needed to reproduce (or
+/// refuse to compare) a metrics dump.
+///
+/// ```
+/// let m = tinyadc_obs::RunManifest::new("XbarConfig { rows: 8 }", 2021, 4);
+/// assert_eq!(m.seed, 2021);
+/// assert_eq!(m.threads, 4);
+/// let back = tinyadc_obs::RunManifest::from_json(&m.to_json()).unwrap();
+/// assert_eq!(back, m);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunManifest {
+    /// FNV-1a hash of the config's debug representation.
+    pub config_hash: u64,
+    /// RNG seed of the run.
+    pub seed: u64,
+    /// Worker-thread count the run resolved to.
+    pub threads: usize,
+    /// `git describe --always --dirty` output, or `"unknown"` outside a
+    /// work tree.
+    pub git_describe: String,
+}
+
+impl RunManifest {
+    /// Builds a manifest, hashing `config_repr` (typically the
+    /// `format!("{config:?}")` of the pipeline config) and capturing the
+    /// current git describe.
+    pub fn new(config_repr: &str, seed: u64, threads: usize) -> Self {
+        Self {
+            config_hash: fnv1a_hash(config_repr.as_bytes()),
+            seed,
+            threads,
+            git_describe: git_describe(),
+        }
+    }
+
+    /// Serialises to JSON; the config hash is rendered as a hex literal
+    /// string (`"0x..."`) so it survives JSON number precision limits.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"config_hash\": \"{:#018x}\",\n  \"seed\": {},\n  \"threads\": {},\n  \
+             \"git_describe\": {}\n}}\n",
+            self.config_hash,
+            self.seed,
+            self.threads,
+            escape(&self.git_describe)
+        )
+    }
+
+    /// Parses the output of [`RunManifest::to_json`].
+    pub fn from_json(text: &str) -> crate::Result<Self> {
+        let doc = JsonValue::parse(text)?;
+        let hash_lit = doc
+            .get("config_hash")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| ObsError::new("missing 'config_hash' string"))?;
+        let config_hash = u64::from_str_radix(hash_lit.trim_start_matches("0x"), 16)
+            .map_err(|_| ObsError::new(format!("bad config hash '{hash_lit}'")))?;
+        let seed = doc
+            .get("seed")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| ObsError::new("missing 'seed'"))?;
+        let threads = doc
+            .get("threads")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| ObsError::new("missing 'threads'"))? as usize;
+        let git_describe = doc
+            .get("git_describe")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| ObsError::new("missing 'git_describe'"))?
+            .to_owned();
+        Ok(Self {
+            config_hash,
+            seed,
+            threads,
+            git_describe,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_known_vectors() {
+        assert_eq!(fnv1a_hash(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a_hash(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a_hash(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let m = RunManifest {
+            config_hash: u64::MAX,
+            seed: 2021,
+            threads: 7,
+            git_describe: "v0-4-g1234abc-dirty".into(),
+        };
+        assert_eq!(RunManifest::from_json(&m.to_json()).unwrap(), m);
+    }
+
+    #[test]
+    fn same_config_same_hash() {
+        let a = RunManifest::new("cfg", 1, 1);
+        let b = RunManifest::new("cfg", 2, 4);
+        assert_eq!(a.config_hash, b.config_hash);
+        assert_ne!(a.config_hash, RunManifest::new("cfg2", 1, 1).config_hash);
+    }
+}

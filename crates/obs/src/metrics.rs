@@ -1,0 +1,423 @@
+//! Metric primitives and the global registry.
+//!
+//! All metrics live in one process-wide registry keyed by name. Hot code
+//! declares a `static` [`LazyCounter`] / [`LazyGauge`] / [`LazyHistogram`]
+//! so the registry lock is taken exactly once per call site; after that a
+//! record is a single atomic operation.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonically increasing `u64` event counter.
+///
+/// Updates are atomic `fetch_add`s: commutative and associative, so the
+/// total is bitwise identical for every thread count as long as the
+/// *number* of recorded events is scheduling-independent (the workspace
+/// records per logical event, never per worker).
+///
+/// ```
+/// let c = tinyadc_obs::counter("doc.counter");
+/// c.add(2);
+/// c.inc();
+/// assert_eq!(c.get(), 3);
+/// ```
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n` events.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one event.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-write-wins `f64` value.
+///
+/// Gauges carry convergence-style measurements (ADMM residuals, ρ). To
+/// stay inside the determinism contract they must only be set from
+/// serial code — epoch boundaries, report builders — never from inside a
+/// parallel region, where "last" would depend on scheduling.
+///
+/// ```
+/// let g = tinyadc_obs::gauge("doc.gauge");
+/// g.set(0.25);
+/// assert_eq!(g.get(), 0.25);
+/// ```
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Stores a value (finite values only; NaN/∞ would break the JSON
+    /// round-trip of snapshots).
+    pub fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value (`0.0` until first set).
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    fn reset(&self) {
+        self.set(0.0);
+    }
+}
+
+/// A histogram of integer observations over fixed bucket edges.
+///
+/// Bucket `i` counts observations `v` with `v <= edges[i]` (and greater
+/// than `edges[i-1]`); one overflow bucket catches everything above the
+/// last edge. Edges are fixed at registration, bucket counts are `u64`
+/// atomics, and the running `sum` is an integer — so the whole state is
+/// bitwise thread-count-invariant, like [`Counter`].
+///
+/// ```
+/// let h = tinyadc_obs::histogram("doc.histogram", &[1, 4]);
+/// h.observe(1);
+/// h.observe(3);
+/// h.observe(100);
+/// assert_eq!(h.counts(), vec![1, 1, 1]);
+/// assert_eq!(h.sum(), 104);
+/// assert_eq!(h.count(), 3);
+/// ```
+#[derive(Debug)]
+pub struct Histogram {
+    edges: Vec<u64>,
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    fn new(edges: &[u64]) -> Self {
+        let mut sorted: Vec<u64> = edges.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let buckets = (0..=sorted.len()).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            edges: sorted,
+            buckets,
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: u64) {
+        self.observe_n(value, 1);
+    }
+
+    /// Records `n` identical observations (one atomic add per call).
+    pub fn observe_n(&self, value: u64, n: u64) {
+        let idx = self
+            .edges
+            .iter()
+            .position(|&e| value <= e)
+            .unwrap_or(self.edges.len());
+        self.buckets[idx].fetch_add(n, Ordering::Relaxed);
+        self.sum.fetch_add(value * n, Ordering::Relaxed);
+    }
+
+    /// The bucket edges (sorted, deduplicated).
+    pub fn edges(&self) -> &[u64] {
+        &self.edges
+    }
+
+    /// Per-bucket counts; one more entry than [`Histogram::edges`] (the
+    /// final entry is the overflow bucket).
+    pub fn counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.counts().iter().sum()
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+#[derive(Default)]
+pub(crate) struct Registry {
+    pub(crate) counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    pub(crate) gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    pub(crate) histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+pub(crate) fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+/// Registers (or fetches) the counter named `name`.
+pub fn counter(name: &str) -> Arc<Counter> {
+    let mut map = registry().counters.lock().expect("counter registry");
+    Arc::clone(map.entry(name.to_owned()).or_default())
+}
+
+/// Registers (or fetches) the gauge named `name`.
+pub fn gauge(name: &str) -> Arc<Gauge> {
+    let mut map = registry().gauges.lock().expect("gauge registry");
+    Arc::clone(map.entry(name.to_owned()).or_default())
+}
+
+/// Registers (or fetches) the histogram named `name` with the given
+/// bucket edges. If the name already exists the **existing** histogram is
+/// returned and `edges` is ignored — edges are fixed at first
+/// registration so bucketisation can never drift within a process.
+pub fn histogram(name: &str, edges: &[u64]) -> Arc<Histogram> {
+    let mut map = registry().histograms.lock().expect("histogram registry");
+    Arc::clone(
+        map.entry(name.to_owned())
+            .or_insert_with(|| Arc::new(Histogram::new(edges))),
+    )
+}
+
+/// Zeroes every registered metric while keeping all registrations.
+pub(crate) fn reset_values() {
+    for c in registry().counters.lock().expect("counters").values() {
+        c.reset();
+    }
+    for g in registry().gauges.lock().expect("gauges").values() {
+        g.reset();
+    }
+    for h in registry().histograms.lock().expect("histograms").values() {
+        h.reset();
+    }
+}
+
+/// A `static`-friendly counter handle: resolves its registry entry on
+/// first use and then records with a single atomic add.
+///
+/// ```
+/// static EVENTS: tinyadc_obs::LazyCounter = tinyadc_obs::LazyCounter::new("doc.lazy.counter");
+/// EVENTS.inc();
+/// assert!(EVENTS.get() >= 1);
+/// ```
+#[derive(Debug)]
+pub struct LazyCounter {
+    name: &'static str,
+    cell: OnceLock<Arc<Counter>>,
+}
+
+impl LazyCounter {
+    /// Declares a counter handle for `name` (registered on first use).
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// The metric name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn handle(&self) -> &Counter {
+        self.cell.get_or_init(|| counter(self.name))
+    }
+
+    /// Adds `n` events.
+    pub fn add(&self, n: u64) {
+        self.handle().add(n);
+    }
+
+    /// Adds one event.
+    pub fn inc(&self) {
+        self.handle().inc();
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        self.handle().get()
+    }
+}
+
+/// A `static`-friendly gauge handle; see [`LazyCounter`].
+///
+/// ```
+/// static RESIDUAL: tinyadc_obs::LazyGauge = tinyadc_obs::LazyGauge::new("doc.lazy.gauge");
+/// RESIDUAL.set(1.5);
+/// assert_eq!(RESIDUAL.get(), 1.5);
+/// ```
+#[derive(Debug)]
+pub struct LazyGauge {
+    name: &'static str,
+    cell: OnceLock<Arc<Gauge>>,
+}
+
+impl LazyGauge {
+    /// Declares a gauge handle for `name` (registered on first use).
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// The metric name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn handle(&self) -> &Gauge {
+        self.cell.get_or_init(|| gauge(self.name))
+    }
+
+    /// Stores a value (serial contexts only; see [`Gauge::set`]).
+    pub fn set(&self, value: f64) {
+        self.handle().set(value);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        self.handle().get()
+    }
+}
+
+/// A `static`-friendly histogram handle with fixed bucket edges; see
+/// [`LazyCounter`].
+///
+/// ```
+/// static ROWS: tinyadc_obs::LazyHistogram =
+///     tinyadc_obs::LazyHistogram::new("doc.lazy.histogram", &[2, 8]);
+/// ROWS.observe(5);
+/// assert!(ROWS.count() >= 1);
+/// ```
+#[derive(Debug)]
+pub struct LazyHistogram {
+    name: &'static str,
+    edges: &'static [u64],
+    cell: OnceLock<Arc<Histogram>>,
+}
+
+impl LazyHistogram {
+    /// Declares a histogram handle for `name` with `edges` (registered on
+    /// first use).
+    pub const fn new(name: &'static str, edges: &'static [u64]) -> Self {
+        Self {
+            name,
+            edges,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// The metric name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn handle(&self) -> &Histogram {
+        self.cell.get_or_init(|| histogram(self.name, self.edges))
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: u64) {
+        self.handle().observe(value);
+    }
+
+    /// Records `n` identical observations.
+    pub fn observe_n(&self, value: u64, n: u64) {
+        self.handle().observe_n(value, n);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.handle().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = counter("test.metrics.counter");
+        let before = c.get();
+        c.add(10);
+        c.inc();
+        assert_eq!(c.get(), before + 11);
+        // Same name -> same cell.
+        assert_eq!(counter("test.metrics.counter").get(), c.get());
+    }
+
+    #[test]
+    fn gauge_last_write_wins() {
+        let g = gauge("test.metrics.gauge");
+        g.set(3.5);
+        g.set(-1.25);
+        assert_eq!(g.get(), -1.25);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let h = histogram("test.metrics.hist", &[4, 2, 2, 8]); // unsorted + dup
+        assert_eq!(h.edges(), &[2, 4, 8]);
+        h.observe(0);
+        h.observe(2);
+        h.observe(3);
+        h.observe(8);
+        h.observe_n(9, 2);
+        assert_eq!(h.counts(), vec![2, 1, 1, 2]);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 2 + 3 + 8 + 18);
+        // Re-registration with different edges keeps the original.
+        let again = histogram("test.metrics.hist", &[1000]);
+        assert_eq!(again.edges(), &[2, 4, 8]);
+    }
+
+    #[test]
+    fn lazy_handles_resolve_once() {
+        static C: LazyCounter = LazyCounter::new("test.metrics.lazy");
+        C.add(2);
+        assert_eq!(C.name(), "test.metrics.lazy");
+        assert_eq!(counter("test.metrics.lazy").get(), C.get());
+    }
+
+    #[test]
+    fn concurrent_adds_sum_exactly() {
+        let c = counter("test.metrics.concurrent");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+    }
+}

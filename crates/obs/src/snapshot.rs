@@ -1,0 +1,426 @@
+//! Point-in-time snapshots of the metric registry, with exact JSON and
+//! CSV round-trips.
+
+use crate::error::ObsError;
+use crate::json::{escape, JsonValue};
+use crate::metrics;
+
+/// Frozen state of one histogram.
+///
+/// ```
+/// use tinyadc_obs::HistogramSnapshot;
+/// let h = HistogramSnapshot {
+///     name: "rows".into(),
+///     edges: vec![2, 8],
+///     counts: vec![1, 0, 4],
+///     sum: 50,
+/// };
+/// assert_eq!(h.counts.iter().sum::<u64>(), 5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Bucket edges (sorted).
+    pub edges: Vec<u64>,
+    /// Per-bucket counts; `edges.len() + 1` entries, last is overflow.
+    pub counts: Vec<u64>,
+    /// Sum of all observed values.
+    pub sum: u64,
+}
+
+/// A frozen, name-sorted view of every registered metric.
+///
+/// Contains only the thread-count-invariant state — counters, gauges,
+/// histogram buckets — never span timings, so comparing two snapshots is
+/// the determinism check.
+///
+/// ```
+/// let c = tinyadc_obs::counter("snap.doc.events");
+/// c.add(7);
+/// let snap = tinyadc_obs::MetricsSnapshot::capture();
+/// assert_eq!(snap.counter("snap.doc.events"), Some(7));
+/// let back = tinyadc_obs::MetricsSnapshot::from_csv(&snap.to_csv()).unwrap();
+/// assert_eq!(back, snap);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, total)` pairs, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` pairs, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram states, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Freezes the current registry state.
+    pub fn capture() -> Self {
+        let reg = metrics::registry();
+        let counters = reg
+            .counters
+            .lock()
+            .expect("counters")
+            .iter()
+            .map(|(name, c)| (name.clone(), c.get()))
+            .collect();
+        let gauges = reg
+            .gauges
+            .lock()
+            .expect("gauges")
+            .iter()
+            .map(|(name, g)| (name.clone(), g.get()))
+            .collect();
+        let histograms = reg
+            .histograms
+            .lock()
+            .expect("histograms")
+            .iter()
+            .map(|(name, h)| HistogramSnapshot {
+                name: name.clone(),
+                edges: h.edges().to_vec(),
+                counts: h.counts(),
+                sum: h.sum(),
+            })
+            .collect();
+        Self {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+
+    /// Every metric name in the snapshot (counters, gauges, histograms),
+    /// sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .counters
+            .iter()
+            .map(|(n, _)| n.clone())
+            .chain(self.gauges.iter().map(|(n, _)| n.clone()))
+            .chain(self.histograms.iter().map(|h| h.name.clone()))
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Looks up a counter total by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Looks up a gauge value by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Looks up a histogram state by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Serialises to JSON. Counter values are emitted as integer
+    /// literals and gauges with Rust's shortest round-trip `f64`
+    /// formatting, so [`MetricsSnapshot::from_json`] reproduces the
+    /// snapshot bit-for-bit.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    {}: {v}", escape(name)));
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"gauges\": {");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    {}: {v}", escape(name)));
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"histograms\": {");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {}: {{\"edges\": {}, \"counts\": {}, \"sum\": {}}}",
+                escape(&h.name),
+                fmt_u64_array(&h.edges),
+                fmt_u64_array(&h.counts),
+                h.sum
+            ));
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// Parses the output of [`MetricsSnapshot::to_json`].
+    pub fn from_json(text: &str) -> crate::Result<Self> {
+        let doc = JsonValue::parse(text)?;
+        let counters = doc
+            .get("counters")
+            .and_then(JsonValue::entries)
+            .ok_or_else(|| ObsError::new("missing 'counters' object"))?
+            .iter()
+            .map(|(name, v)| {
+                v.as_u64()
+                    .map(|v| (name.clone(), v))
+                    .ok_or_else(|| ObsError::new(format!("counter '{name}' is not a u64")))
+            })
+            .collect::<crate::Result<Vec<_>>>()?;
+        let gauges = doc
+            .get("gauges")
+            .and_then(JsonValue::entries)
+            .ok_or_else(|| ObsError::new("missing 'gauges' object"))?
+            .iter()
+            .map(|(name, v)| {
+                v.as_f64()
+                    .map(|v| (name.clone(), v))
+                    .ok_or_else(|| ObsError::new(format!("gauge '{name}' is not a number")))
+            })
+            .collect::<crate::Result<Vec<_>>>()?;
+        let histograms = doc
+            .get("histograms")
+            .and_then(JsonValue::entries)
+            .ok_or_else(|| ObsError::new("missing 'histograms' object"))?
+            .iter()
+            .map(|(name, v)| {
+                let edges = u64_array(v.get("edges"), name, "edges")?;
+                let counts = u64_array(v.get("counts"), name, "counts")?;
+                let sum = v
+                    .get("sum")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or_else(|| ObsError::new(format!("histogram '{name}' missing sum")))?;
+                Ok(HistogramSnapshot {
+                    name: name.clone(),
+                    edges,
+                    counts,
+                    sum,
+                })
+            })
+            .collect::<crate::Result<Vec<_>>>()?;
+        Ok(Self {
+            counters,
+            gauges,
+            histograms,
+        })
+    }
+
+    /// Serialises to CSV with header `kind,name,value`. Histogram rows
+    /// encode `edges;counts;sum` with `|`-separated lists in the value
+    /// column.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("kind,name,value\n");
+        for (name, v) in &self.counters {
+            out.push_str(&format!("counter,{name},{v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!("gauge,{name},{v}\n"));
+        }
+        for h in &self.histograms {
+            out.push_str(&format!(
+                "histogram,{},{};{};{}\n",
+                h.name,
+                join_u64(&h.edges),
+                join_u64(&h.counts),
+                h.sum
+            ));
+        }
+        out
+    }
+
+    /// Parses the output of [`MetricsSnapshot::to_csv`].
+    pub fn from_csv(text: &str) -> crate::Result<Self> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or_else(|| ObsError::new("empty CSV"))?;
+        if header != "kind,name,value" {
+            return Err(ObsError::new(format!("unexpected CSV header '{header}'")));
+        }
+        let mut snap = MetricsSnapshot::default();
+        for (lineno, line) in lines.enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.splitn(3, ',');
+            let (kind, name, value) = match (parts.next(), parts.next(), parts.next()) {
+                (Some(k), Some(n), Some(v)) => (k, n, v),
+                _ => {
+                    return Err(ObsError::new(format!(
+                        "malformed CSV row {} : '{line}'",
+                        lineno + 2
+                    )))
+                }
+            };
+            match kind {
+                "counter" => snap.counters.push((
+                    name.to_owned(),
+                    value
+                        .parse()
+                        .map_err(|_| ObsError::new(format!("bad counter value '{value}'")))?,
+                )),
+                "gauge" => snap.gauges.push((
+                    name.to_owned(),
+                    value
+                        .parse()
+                        .map_err(|_| ObsError::new(format!("bad gauge value '{value}'")))?,
+                )),
+                "histogram" => {
+                    let mut segs = value.splitn(3, ';');
+                    let (edges, counts, sum) = match (segs.next(), segs.next(), segs.next()) {
+                        (Some(e), Some(c), Some(s)) => (e, c, s),
+                        _ => {
+                            return Err(ObsError::new(format!(
+                                "malformed histogram value '{value}'"
+                            )))
+                        }
+                    };
+                    snap.histograms.push(HistogramSnapshot {
+                        name: name.to_owned(),
+                        edges: split_u64(edges)?,
+                        counts: split_u64(counts)?,
+                        sum: sum
+                            .parse()
+                            .map_err(|_| ObsError::new(format!("bad histogram sum '{sum}'")))?,
+                    });
+                }
+                other => return Err(ObsError::new(format!("unknown metric kind '{other}'"))),
+            }
+        }
+        Ok(snap)
+    }
+}
+
+fn fmt_u64_array(values: &[u64]) -> String {
+    let body: Vec<String> = values.iter().map(|v| v.to_string()).collect();
+    format!("[{}]", body.join(", "))
+}
+
+fn join_u64(values: &[u64]) -> String {
+    values
+        .iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join("|")
+}
+
+fn split_u64(text: &str) -> crate::Result<Vec<u64>> {
+    if text.is_empty() {
+        return Ok(Vec::new());
+    }
+    text.split('|')
+        .map(|p| {
+            p.parse()
+                .map_err(|_| ObsError::new(format!("bad u64 list item '{p}'")))
+        })
+        .collect()
+}
+
+fn u64_array(value: Option<&JsonValue>, name: &str, field: &str) -> crate::Result<Vec<u64>> {
+    value
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| ObsError::new(format!("histogram '{name}' missing {field} array")))?
+        .iter()
+        .map(|v| {
+            v.as_u64()
+                .ok_or_else(|| ObsError::new(format!("histogram '{name}' has non-u64 {field}")))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: vec![
+                ("xbar.adc.conversions".into(), u64::MAX),
+                ("xbar.matvecs".into(), 12),
+            ],
+            gauges: vec![
+                ("prune.admm.primal_residual".into(), 0.001953125),
+                ("prune.admm.rho".into(), 1.5e-3),
+            ],
+            histograms: vec![
+                HistogramSnapshot {
+                    name: "xbar.packed.planes".into(),
+                    edges: vec![],
+                    counts: vec![3],
+                    sum: 9,
+                },
+                HistogramSnapshot {
+                    name: "xbar.rows.activated".into(),
+                    edges: vec![1, 2, 4, 8, 16, 32, 64, 128],
+                    counts: vec![0, 1, 2, 3, 0, 0, 0, 5, 7],
+                    sum: 123456789,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let snap = sample();
+        let back = MetricsSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn csv_round_trip_is_exact() {
+        let snap = sample();
+        let back = MetricsSnapshot::from_csv(&snap.to_csv()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let snap = MetricsSnapshot::default();
+        assert_eq!(MetricsSnapshot::from_json(&snap.to_json()).unwrap(), snap);
+        assert_eq!(MetricsSnapshot::from_csv(&snap.to_csv()).unwrap(), snap);
+    }
+
+    #[test]
+    fn gauge_shortest_repr_round_trips_awkward_floats() {
+        let snap = MetricsSnapshot {
+            gauges: vec![("g".into(), 0.1f64), ("h".into(), 1.0 / 3.0)],
+            ..Default::default()
+        };
+        let back = MetricsSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let snap = sample();
+        assert_eq!(snap.counter("xbar.matvecs"), Some(12));
+        assert_eq!(snap.gauge("prune.admm.rho"), Some(1.5e-3));
+        assert_eq!(
+            snap.histogram("xbar.rows.activated").unwrap().sum,
+            123456789
+        );
+        assert_eq!(snap.counter("missing"), None);
+        assert_eq!(snap.names().len(), 6);
+    }
+
+    #[test]
+    fn rejects_malformed_csv() {
+        assert!(MetricsSnapshot::from_csv("").is_err());
+        assert!(MetricsSnapshot::from_csv("bad,header\n").is_err());
+        assert!(MetricsSnapshot::from_csv("kind,name,value\ncounter,x\n").is_err());
+        assert!(MetricsSnapshot::from_csv("kind,name,value\nwidget,x,1\n").is_err());
+        assert!(MetricsSnapshot::from_csv("kind,name,value\nhistogram,x,1|2\n").is_err());
+    }
+}

@@ -1,0 +1,213 @@
+//! Hierarchical wall-time spans with deterministic logical sequence
+//! numbers, plus a chrome://tracing export.
+//!
+//! Wall-clock durations are measurement aids and explicitly outside the
+//! determinism contract; the logical `seq` / `depth` fields are
+//! deterministic for serial callers.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+fn anchor() -> Instant {
+    static ANCHOR: OnceLock<Instant> = OnceLock::new();
+    *ANCHOR.get_or_init(Instant::now)
+}
+
+static SEQ: AtomicU64 = AtomicU64::new(0);
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+fn records() -> &'static Mutex<Vec<SpanRecord>> {
+    static RECORDS: OnceLock<Mutex<Vec<SpanRecord>>> = OnceLock::new();
+    RECORDS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static DEPTH: Cell<usize> = const { Cell::new(0) };
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A completed span, as returned by [`spans`].
+///
+/// ```
+/// use tinyadc_obs::SpanRecord;
+/// let r = SpanRecord {
+///     name: "phase.pretrain".into(),
+///     seq: 0,
+///     depth: 0,
+///     tid: 1,
+///     start_ns: 10,
+///     duration_ns: 250,
+/// };
+/// assert_eq!(r.name, "phase.pretrain");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name.
+    pub name: String,
+    /// Deterministic logical sequence number (order of span *opening*).
+    pub seq: u64,
+    /// Nesting depth on the opening thread (0 = top level).
+    pub depth: usize,
+    /// Small per-thread id (1-based, assigned at first span on a thread).
+    pub tid: u64,
+    /// Wall-clock start, nanoseconds since the process anchor. Not
+    /// covered by the determinism contract.
+    pub start_ns: u64,
+    /// Wall-clock duration in nanoseconds. Not covered by the
+    /// determinism contract.
+    pub duration_ns: u64,
+}
+
+/// An open span; records itself on drop.
+///
+/// ```
+/// tinyadc_obs::reset();
+/// {
+///     let _outer = tinyadc_obs::span("outer");
+///     let _inner = tinyadc_obs::span("inner");
+/// }
+/// let done = tinyadc_obs::spans();
+/// assert_eq!(done[0].name, "outer");
+/// assert_eq!(done[1].depth, 1);
+/// ```
+#[derive(Debug)]
+pub struct Span {
+    name: &'static str,
+    seq: u64,
+    depth: usize,
+    start: Instant,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let start_ns = self.start.duration_since(anchor()).as_nanos() as u64;
+        let duration_ns = self.start.elapsed().as_nanos() as u64;
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        let record = SpanRecord {
+            name: self.name.to_owned(),
+            seq: self.seq,
+            depth: self.depth,
+            tid: TID.with(|t| *t),
+            start_ns,
+            duration_ns,
+        };
+        records().lock().expect("span records").push(record);
+    }
+}
+
+/// Opens a span; it closes (and is recorded) when the guard drops.
+pub fn span(name: &'static str) -> Span {
+    let depth = DEPTH.with(|d| {
+        let cur = d.get();
+        d.set(cur + 1);
+        cur
+    });
+    Span {
+        name,
+        seq: SEQ.fetch_add(1, Ordering::Relaxed),
+        depth,
+        start: Instant::now(),
+    }
+}
+
+/// All completed spans, sorted by logical sequence number.
+pub fn spans() -> Vec<SpanRecord> {
+    let mut out = records().lock().expect("span records").clone();
+    out.sort_by_key(|r| r.seq);
+    out
+}
+
+/// Discards all completed spans and restarts the sequence counter.
+pub(crate) fn reset_spans() {
+    records().lock().expect("span records").clear();
+    SEQ.store(0, Ordering::Relaxed);
+}
+
+/// Renders spans as a chrome://tracing "trace event" JSON array
+/// (complete `ph: "X"` events; load the file via `chrome://tracing` or
+/// Perfetto).
+///
+/// ```
+/// use tinyadc_obs::{chrome_trace, SpanRecord};
+/// let trace = chrome_trace(&[SpanRecord {
+///     name: "phase.audit".into(),
+///     seq: 0,
+///     depth: 0,
+///     tid: 1,
+///     start_ns: 1500,
+///     duration_ns: 2000,
+/// }]);
+/// assert!(trace.contains("\"ph\": \"X\""));
+/// assert!(trace.contains("\"ts\": 1.5"));
+/// ```
+pub fn chrome_trace(records: &[SpanRecord]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "  {{\"name\": {}, \"cat\": \"tinyadc\", \"ph\": \"X\", \"ts\": {}, \"dur\": {}, \
+             \"pid\": 1, \"tid\": {}, \"args\": {{\"seq\": {}, \"depth\": {}}}}}",
+            crate::json::escape(&r.name),
+            r.start_ns as f64 / 1000.0,
+            r.duration_ns as f64 / 1000.0,
+            r.tid,
+            r.seq,
+            r.depth
+        ));
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chrome_trace_is_valid_json() {
+        let trace = chrome_trace(&[
+            SpanRecord {
+                name: "a \"quoted\"".into(),
+                seq: 0,
+                depth: 0,
+                tid: 1,
+                start_ns: 0,
+                duration_ns: 1000,
+            },
+            SpanRecord {
+                name: "b".into(),
+                seq: 1,
+                depth: 1,
+                tid: 2,
+                start_ns: 500,
+                duration_ns: 250,
+            },
+        ]);
+        let doc = crate::json::JsonValue::parse(&trace).unwrap();
+        let events = doc.as_array().unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(
+            events[0].get("name").unwrap().as_str(),
+            Some("a \"quoted\"")
+        );
+        assert_eq!(
+            events[1]
+                .get("args")
+                .unwrap()
+                .get("depth")
+                .unwrap()
+                .as_u64(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn chrome_trace_of_nothing_is_empty_array() {
+        let doc = crate::json::JsonValue::parse(&chrome_trace(&[])).unwrap();
+        assert_eq!(doc.as_array().unwrap().len(), 0);
+    }
+}

@@ -350,6 +350,11 @@ impl TrainHook for AdmmPruner {
     fn after_epoch(&mut self, net: &mut Network, epoch: usize) -> tinyadc_nn::Result<()> {
         if (epoch + 1).is_multiple_of(self.config.update_every_epochs) {
             self.update_auxiliary(net)?;
+            crate::obs::ADMM_UPDATES.inc();
+            // Epoch-boundary code is serial, so gauge writes stay within
+            // the obs determinism contract.
+            crate::obs::ADMM_PRIMAL_RESIDUAL.set(f64::from(self.primal_residual(net)));
+            crate::obs::ADMM_RHO.set(f64::from(self.config.rho));
         }
         Ok(())
     }

@@ -109,6 +109,9 @@ impl CpConstraint {
         });
         // Phase 2 (serial): zero the losers. Lists touch disjoint indices,
         // so application order is immaterial.
+        crate::obs::CP_PROJECTIONS.inc();
+        crate::obs::CP_COLUMNS_CLAMPED
+            .add(zero_lists.iter().filter(|l| !l.is_empty()).count() as u64);
         let data = out.as_mut_slice();
         for &i in zero_lists.iter().flatten() {
             data[i] = 0.0;

@@ -41,6 +41,7 @@
 
 mod constraint;
 mod error;
+mod obs;
 mod shape;
 
 pub mod admm;

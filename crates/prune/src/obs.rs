@@ -1,0 +1,19 @@
+//! Crate-local observability handles (`tinyadc-obs` metrics).
+//!
+//! Counters are recorded per logical event (one per projection call, one
+//! per ADMM auxiliary update), so totals are thread-count-invariant.
+//! Gauges are only set from serial epoch-boundary code, per the
+//! `tinyadc-obs` convention. See `docs/observability.md`.
+
+use tinyadc_obs::{LazyCounter, LazyGauge};
+
+/// CP Euclidean projections executed ([`crate::CpConstraint::project`]).
+pub(crate) static CP_PROJECTIONS: LazyCounter = LazyCounter::new("prune.cp.projections");
+/// Block columns clamped (had entries zeroed) across all projections.
+pub(crate) static CP_COLUMNS_CLAMPED: LazyCounter = LazyCounter::new("prune.cp.columns_clamped");
+/// ADMM auxiliary (Z/U) updates executed.
+pub(crate) static ADMM_UPDATES: LazyCounter = LazyCounter::new("prune.admm.updates");
+/// Latest ADMM primal residual `max_i ‖W_i − Z_i‖_F / ‖W_i‖_F`.
+pub(crate) static ADMM_PRIMAL_RESIDUAL: LazyGauge = LazyGauge::new("prune.admm.primal_residual");
+/// Current ADMM penalty coefficient ρ.
+pub(crate) static ADMM_RHO: LazyGauge = LazyGauge::new("prune.admm.rho");

@@ -307,6 +307,8 @@ impl LayerFaultMap {
         for (map, tile) in self.tiles.iter().zip(layer.tiles_mut()) {
             report.merge(&map.apply_filtered(tile, &|_| true));
         }
+        crate::obs::FAULTS_INJECTED.add(report.total_faults() as u64);
+        crate::obs::FAULTS_SA0_HARMLESS.add(report.sa0_harmless as u64);
         report
     }
 }

@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 mod error;
+mod obs;
 mod packed;
 
 pub mod activity;

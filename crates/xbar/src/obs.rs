@@ -1,0 +1,42 @@
+//! Crate-local observability handles (`tinyadc-obs` metrics).
+//!
+//! Every counter here records *modeled hardware events* — the events the
+//! bit-serial datapath would perform on silicon (per
+//! [`crate::activity::tile_activity`]), not the software shortcuts the
+//! packed kernel takes. Zero-valued column sums that the popcount kernel
+//! skips still count as conversions: the ADC would have sampled them.
+//! All values are thread-count-invariant; see `docs/observability.md`.
+
+use tinyadc_obs::{LazyCounter, LazyHistogram};
+
+/// One per executed tile MVM (batch entry points count each input).
+pub(crate) static MATVECS: LazyCounter = LazyCounter::new("xbar.matvecs");
+/// Modeled ADC conversions: 2 polarities × slices × columns × cycles per MVM.
+pub(crate) static ADC_CONVERSIONS: LazyCounter = LazyCounter::new("xbar.adc.conversions");
+/// Conversions whose pre-ADC column sum exceeded the ADC full scale.
+pub(crate) static ADC_SATURATIONS: LazyCounter = LazyCounter::new("xbar.adc.saturations");
+/// Modeled DAC bit-drive events: rows × cycles per MVM.
+pub(crate) static DAC_EVENTS: LazyCounter = LazyCounter::new("xbar.dac.events");
+/// Modeled crossbar column read-outs (one per conversion).
+pub(crate) static COLUMN_READS: LazyCounter = LazyCounter::new("xbar.column.reads");
+/// Modeled shift-and-add operations (one per conversion).
+pub(crate) static SHIFT_ADDS: LazyCounter = LazyCounter::new("xbar.shift_adds");
+/// Bit-plane (re)pack operations: tile construction and cell mutation.
+pub(crate) static TILE_PACKS: LazyCounter = LazyCounter::new("xbar.tile.packs");
+/// Stuck-at faults forced into cells.
+pub(crate) static FAULTS_INJECTED: LazyCounter = LazyCounter::new("xbar.faults.injected");
+/// SA0 faults that landed on already-zero cells.
+pub(crate) static FAULTS_SA0_HARMLESS: LazyCounter = LazyCounter::new("xbar.faults.sa0_harmless");
+/// Columns rerouted to spare hardware during repair.
+pub(crate) static REPAIR_REMAPPED: LazyCounter = LazyCounter::new("xbar.repair.remapped_columns");
+/// Harmful-fault columns left unrepaired (spares exhausted).
+pub(crate) static REPAIR_UNREPAIRED: LazyCounter =
+    LazyCounter::new("xbar.repair.unrepaired_columns");
+
+/// Worst-case activated rows of the tile, observed once per MVM — the
+/// paper's Eq. 1 quantity that sizes the ADC.
+pub(crate) static ROWS_ACTIVATED: LazyHistogram =
+    LazyHistogram::new("xbar.rows.activated", &[1, 2, 4, 8, 16, 32, 64, 128]);
+/// Stored bit planes per (re)packed tile — shrinks with CP sparsity.
+pub(crate) static PACKED_PLANES: LazyHistogram =
+    LazyHistogram::new("xbar.packed.planes", &[2, 4, 8, 12, 16]);

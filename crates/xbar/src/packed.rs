@@ -123,6 +123,10 @@ impl PackedTile {
     /// accumulation, digitised, and shift-added — the same integer sums,
     /// in the same order, as the reference loop.
     ///
+    /// Returns the accumulated column output and the number of samples
+    /// whose pre-ADC sum exceeded the ADC full scale (saturations). Zero
+    /// sums never saturate, so the zero-skip shortcut cannot miss one.
+    ///
     /// `in_planes` must hold `cycles * dac` input bit planes of
     /// `words_per_col` words each, least-significant bit first.
     pub(crate) fn column_bit_serial(
@@ -133,10 +137,12 @@ impl PackedTile {
         cycles: u32,
         cell_bits: u32,
         adc: &Adc,
-    ) -> i64 {
+    ) -> (i64, u64) {
         let wpc = self.words_per_col;
         let col = j * wpc;
+        let full_scale = adc.full_scale();
         let mut acc = 0i64;
+        let mut saturations = 0u64;
         for cycle in 0..cycles {
             let shift_in = cycle * dac;
             for (s, slice) in self.slices.iter().enumerate() {
@@ -145,11 +151,12 @@ impl PackedTile {
                 if pos == 0 && neg == 0 {
                     continue; // sample(0) == 0: skipping cannot change acc
                 }
+                saturations += u64::from(pos > full_scale) + u64::from(neg > full_scale);
                 let shift = shift_in + s as u32 * cell_bits;
                 acc += (adc.sample(pos) as i64 - adc.sample(neg) as i64) << shift;
             }
         }
-        acc
+        (acc, saturations)
     }
 
     /// Ideal (no-ADC) integer MVM of one column: every

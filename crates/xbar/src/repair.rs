@@ -158,6 +158,12 @@ pub fn apply_with_spares(
         let report = tile_map.apply_filtered(tile, &|f| !remapped.contains(&f.column(cols)));
         outcome.faults.merge(&report);
     }
+    // This path bypasses `LayerFaultMap::apply`, so it records the faults
+    // that actually landed (remapped columns excluded) itself.
+    crate::obs::FAULTS_INJECTED.add(outcome.faults.total_faults() as u64);
+    crate::obs::FAULTS_SA0_HARMLESS.add(outcome.faults.sa0_harmless as u64);
+    crate::obs::REPAIR_REMAPPED.add(outcome.remapped_columns as u64);
+    crate::obs::REPAIR_UNREPAIRED.add(outcome.unrepaired_columns as u64);
     outcome
 }
 

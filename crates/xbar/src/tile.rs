@@ -6,8 +6,18 @@ use crate::cell::{CellConfig, DeviceModel};
 use crate::packed::{self, PackedTile};
 use crate::quant::QuantConfig;
 use crate::{Result, XbarError};
+use std::sync::atomic::{AtomicU64, Ordering};
 use tinyadc_prune::CrossbarShape;
 use tinyadc_tensor::rng::SeededRng;
+
+/// Worst-case active rows over all columns of a packed tile.
+fn compute_activated_rows(packed: &PackedTile, cols: usize) -> usize {
+    let mut scratch = vec![0u64; packed.words_per_col()];
+    (0..cols)
+        .map(|j| packed.column_active_rows(j, &mut scratch))
+        .max()
+        .unwrap_or(0)
+}
 
 /// Full crossbar configuration shared by tiles and layer mappings.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -74,7 +84,7 @@ impl XbarConfig {
 ///
 /// Weights are stored as cell levels: `pos` and `neg` polarities, each
 /// with `cells_per_weight` slices laid out `[slice][row * cols + col]`.
-/// A bit-plane-packed mirror of the levels ([`crate::packed`]) is built
+/// A bit-plane-packed mirror of the levels (the private `packed` module) is built
 /// at construction time and drives the popcount MVM kernels; it is
 /// rebuilt whenever the cells are mutated (fault injection).
 #[derive(Debug, Clone, PartialEq)]
@@ -84,6 +94,9 @@ pub struct Tile {
     pos: Vec<Vec<u64>>,
     neg: Vec<Vec<u64>>,
     packed: PackedTile,
+    /// Cached worst-case activated rows, recomputed on cell mutation, so
+    /// the per-MVM histogram observation is O(1).
+    activated_rows: usize,
     config: XbarConfig,
 }
 
@@ -129,12 +142,16 @@ impl Tile {
             }
         }
         let packed = PackedTile::pack(&pos, &neg, rows, cols, config.cell.bits_per_cell);
+        crate::obs::TILE_PACKS.inc();
+        crate::obs::PACKED_PLANES.observe(packed.stored_planes() as u64);
+        let activated_rows = compute_activated_rows(&packed, cols);
         Ok(Self {
             rows,
             cols,
             pos,
             neg,
             packed,
+            activated_rows,
             config,
         })
     }
@@ -172,14 +189,10 @@ impl Tile {
     /// Worst-case activated rows over all columns: the paper's quantity
     /// that sizes the ADC. A row is activated for a column when the stored
     /// weight code there is non-zero. Computed from the packed planes —
-    /// the OR of every stored plane's column mask, popcounted — without
-    /// reconstructing codes.
+    /// the OR of every stored plane's column mask, popcounted — at pack
+    /// time and cached (mutation recomputes it).
     pub fn activated_rows(&self) -> usize {
-        let mut scratch = vec![0u64; self.packed.words_per_col()];
-        (0..self.cols)
-            .map(|j| self.packed.column_active_rows(j, &mut scratch))
-            .max()
-            .unwrap_or(0)
+        self.activated_rows
     }
 
     /// Direct integer reference MVM: `y_j = Σ_r x_r · w_{r,j}`, computed
@@ -209,7 +222,7 @@ impl Tile {
     /// `dac_bits` per cycle, every polarity/slice column is digitised each
     /// cycle, and the digital results are recombined by shift-and-add.
     ///
-    /// Runs on the packed popcount kernel ([`crate::packed`]), which feeds
+    /// Runs on the packed popcount kernel (the private `packed` module), which feeds
     /// the ADC the same integer column sums as the reference loop
     /// ([`Tile::matvec_loop`]) and is therefore bitwise identical to it,
     /// ADC saturation included.
@@ -233,14 +246,20 @@ impl Tile {
         // output is bitwise identical for every thread count.
         let mut y = vec![0i64; self.cols];
         let grain = tinyadc_par::default_grain(self.cols);
+        let saturations = AtomicU64::new(0);
         tinyadc_par::for_each_chunk_mut(&mut y, grain, |chunk, y_cols| {
+            let mut sats = 0u64;
             for (jj, yv) in y_cols.iter_mut().enumerate() {
                 let j = chunk * grain + jj;
-                *yv = self
+                let (acc, s) = self
                     .packed
                     .column_bit_serial(j, &planes, dac, cycles, cell_bits, adc);
+                *yv = acc;
+                sats += s;
             }
+            saturations.fetch_add(sats, Ordering::Relaxed);
         });
+        self.record_mvm_events(1, saturations.into_inner());
         Ok(y)
     }
 
@@ -288,17 +307,23 @@ impl Tile {
         // Chunk over whole inputs: chunk boundaries align to `cols`, so
         // each worker owns complete output rows.
         let grain_inputs = tinyadc_par::default_grain(n_inputs);
+        let saturations = AtomicU64::new(0);
         tinyadc_par::for_each_chunk_mut(&mut y, grain_inputs * self.cols, |chunk, y_block| {
+            let mut sats = 0u64;
             for (bi, y_row) in y_block.chunks_mut(self.cols).enumerate() {
                 let i = chunk * grain_inputs + bi;
                 let in_planes = &planes[i * per_input..][..per_input];
                 for (j, yv) in y_row.iter_mut().enumerate() {
-                    *yv = self
+                    let (acc, s) = self
                         .packed
                         .column_bit_serial(j, in_planes, dac, cycles, cell_bits, adc);
+                    *yv = acc;
+                    sats += s;
                 }
             }
+            saturations.fetch_add(sats, Ordering::Relaxed);
         });
+        self.record_mvm_events(n_inputs as u64, saturations.into_inner());
         Ok(y)
     }
 
@@ -464,6 +489,26 @@ impl Tile {
             self.cols,
             self.config.cell.bits_per_cell,
         );
+        crate::obs::TILE_PACKS.inc();
+        crate::obs::PACKED_PLANES.observe(self.packed.stored_planes() as u64);
+        self.activated_rows = compute_activated_rows(&self.packed, self.cols);
+    }
+
+    /// Records the modeled hardware events of `n_mvms` executed MVMs plus
+    /// the observed ADC saturations (already summed over the batch). Event
+    /// counts follow [`crate::activity::tile_activity`] — they model what
+    /// the silicon datapath performs, including the zero-sum samples the
+    /// packed kernel software-skips — so the hw roll-up built from these
+    /// counters matches the analytic activity model exactly.
+    fn record_mvm_events(&self, n_mvms: u64, saturations: u64) {
+        let a = crate::activity::tile_activity(self);
+        crate::obs::MATVECS.add(n_mvms);
+        crate::obs::ADC_CONVERSIONS.add(a.adc_conversions * n_mvms);
+        crate::obs::DAC_EVENTS.add(a.dac_events * n_mvms);
+        crate::obs::COLUMN_READS.add(a.column_reads * n_mvms);
+        crate::obs::SHIFT_ADDS.add(a.shift_adds * n_mvms);
+        crate::obs::ADC_SATURATIONS.add(saturations);
+        crate::obs::ROWS_ACTIVATED.observe_n(self.activated_rows as u64, n_mvms);
     }
 
     fn check_input(&self, input: &[u64]) -> Result<()> {

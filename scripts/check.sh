@@ -10,8 +10,15 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+# --lib: the `tinyadc` core lib and the cli's `tinyadc` binary would
+# collide on target/doc/tinyadc/ if bins were documented too.
+echo "==> cargo doc (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace --lib >/dev/null
+
+# --workspace: the root manifest is both a package and the workspace
+# root, so a bare `cargo build` compiles only the root package.
 echo "==> cargo build --release"
-cargo build --offline --release
+cargo build --offline --release --workspace
 
 echo "==> cargo test"
 cargo test --offline -q
@@ -30,6 +37,12 @@ cargo test --offline -q --test parallel_determinism
 echo "==> resilience suite"
 cargo test --offline -q --test resilience
 
+# The observability layer's acceptance gates: bitwise-identical metric
+# values across thread counts, and the docs/observability.md catalogue
+# matching the registry exactly.
+echo "==> observability determinism suite"
+cargo test --offline -q --test obs_determinism
+
 # End-to-end fault-campaign smoke through the CLI (2 rates x 2 seeds):
 # the command itself fails unless the report parses back exactly and the
 # CP-pruned curve dominates the dense one.
@@ -40,5 +53,12 @@ cargo run --offline --release -p tinyadc-cli --bin tinyadc -- faults --quick 1 >
 # fails the gate offline; --quick keeps it to a few seconds.
 echo "==> perf bench smoke run (--quick)"
 cargo run --offline --release -p tinyadc-bench --bin perf -- --quick >/dev/null
+
+# Observability report smoke: manifest + metrics + roll-up emission and
+# the chrome://tracing span export through the CLI.
+echo "==> observability report smoke run"
+trace_tmp="$(mktemp)"
+cargo run --offline --release -p tinyadc-cli --bin tinyadc -- report --trace "$trace_tmp" >/dev/null
+rm -f "$trace_tmp"
 
 echo "OK: all checks passed"

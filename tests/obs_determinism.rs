@@ -1,0 +1,93 @@
+//! Tier-1 pin: observability metric values are bitwise identical across
+//! thread counts, and the documented metric catalogue matches reality.
+//!
+//! The `tinyadc-obs` contract is that metric **values** (counters, gauge
+//! readings, histogram buckets) depend only on the workload and seed,
+//! never on `TINYADC_THREADS` — counters merge by commutative integer
+//! addition, so scheduling cannot show through. Span wall-times are
+//! explicitly outside the contract and never appear in a snapshot.
+//!
+//! The metrics registry and `tinyadc_par::set_threads` are process-global,
+//! so the tests in this binary serialise on a mutex.
+
+use std::sync::Mutex;
+use tinyadc_cli::commands::example_report;
+
+/// Serialises tests that reset/read the global metrics registry.
+static GLOBAL: Mutex<()> = Mutex::new(());
+
+/// Thread counts exercised; 7 deliberately exceeds this machine's cores
+/// and never divides the chunk counts evenly.
+const THREADS: [usize; 4] = [1, 2, 4, 7];
+
+#[test]
+fn metric_values_are_thread_count_invariant() {
+    let _guard = GLOBAL.lock().unwrap();
+    tinyadc_par::set_threads(THREADS[0]);
+    let reference = example_report(2021).unwrap();
+    let ref_metrics = reference.metrics.to_json();
+    let ref_csv = reference.metrics.to_csv();
+    for &t in &THREADS[1..] {
+        tinyadc_par::set_threads(t);
+        let got = example_report(2021).unwrap();
+        assert_eq!(
+            got.metrics.to_json(),
+            ref_metrics,
+            "metric snapshot diverged at {t} threads"
+        );
+        assert_eq!(
+            got.metrics.to_csv(),
+            ref_csv,
+            "metric CSV diverged at {t} threads"
+        );
+        assert_eq!(
+            got.rollup_json, reference.rollup_json,
+            "energy/latency roll-up diverged at {t} threads"
+        );
+        // The manifest records what *does* legitimately differ.
+        assert_eq!(got.manifest.threads, t);
+        assert_eq!(got.manifest.seed, reference.manifest.seed);
+        assert_eq!(got.manifest.config_hash, reference.manifest.config_hash);
+    }
+    tinyadc_par::set_threads(0);
+}
+
+/// Extracts every backticked metric name from the catalogue table rows of
+/// `docs/observability.md` (lines shaped `| `name` | ... |`).
+fn documented_metric_names() -> Vec<String> {
+    let doc = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/docs/observability.md"
+    ))
+    .expect("docs/observability.md must exist");
+    let mut names: Vec<String> = doc
+        .lines()
+        .filter_map(|line| {
+            let rest = line.strip_prefix("| `")?;
+            let end = rest.find('`')?;
+            Some(rest[..end].to_owned())
+        })
+        .filter(|n| n.contains('.'))
+        .collect();
+    names.sort();
+    names.dedup();
+    names
+}
+
+#[test]
+fn documented_metric_names_match_registry() {
+    let _guard = GLOBAL.lock().unwrap();
+    tinyadc_par::set_threads(0);
+    let report = example_report(2021).unwrap();
+    let registered = report.metrics.names();
+    let documented = documented_metric_names();
+    assert!(
+        !registered.is_empty(),
+        "example pipeline registered no metrics"
+    );
+    assert_eq!(
+        documented, registered,
+        "docs/observability.md catalogue out of sync with the registry \
+         (left: documented, right: registered)"
+    );
+}
