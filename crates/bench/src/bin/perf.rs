@@ -17,8 +17,10 @@
 //!   the speedups are then meaningless ~1.0×.
 //! * **Datapath kernel comparisons** — single-threaded loop-vs-packed
 //!   `tile_matvec` on dense and CP-pruned paper-default 128×128 tiles,
-//!   and per-patch-vs-batched `datapath_conv2d`; these record the packed
-//!   popcount kernel's algorithmic speedup independent of threading.
+//!   per-patch-vs-batched `datapath_conv2d`, and compile-once-vs-per-call
+//!   `compiled_vs_percall` (a pre-compiled [`CompiledModel`] with a reused
+//!   workspace against re-mapping + `infer::conv2d` on every request);
+//!   these record algorithmic speedups independent of threading.
 //!
 //! Pure std: `std::time::Instant`, one warmup run per mode, then
 //! interleaved repeats (cancels slow machine-load drift) reporting the
@@ -34,6 +36,7 @@ use tinyadc_tensor::{im2col, Conv2dGeometry, Tensor};
 use tinyadc_xbar::adc::Adc;
 use tinyadc_xbar::infer::conv2d;
 use tinyadc_xbar::mapping::MappedLayer;
+use tinyadc_xbar::program::{CompiledModel, Workspace};
 use tinyadc_xbar::quant::quantize_input;
 use tinyadc_xbar::tile::{Tile, XbarConfig};
 
@@ -337,6 +340,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     .expect("mvm"),
             )
         },
+    ));
+
+    // 7. Compile-once/run-many: a pre-compiled conv program with a reused
+    // workspace vs re-mapping the layer (`MappedLayer::from_param`) and
+    // calling the per-call `infer::conv2d` wrapper on every request — the
+    // steady-state serving cost the execution engine exists to remove.
+    // Paper-default 128×128 crossbars, [128, 16, 3, 3] weight.
+    let cfg_full = XbarConfig::paper_default();
+    let ws_w = Tensor::randn(&[128, 16, 3, 3], 0.3, &mut rng);
+    let ws_x = Tensor::uniform(&[16, 8, 8], 0.0, 1.0, &mut rng);
+    let premapped = MappedLayer::from_param(&ws_w, ParamKind::ConvWeight, cfg_full)?;
+    let compiled = CompiledModel::from_conv(premapped, [16, 8, 8], 1, 1, None)?;
+    let mut workspace = Workspace::new();
+    comparisons.push(compare(
+        "compiled_vs_percall",
+        ("per_call_map", "compiled_reuse"),
+        reps,
+        || {
+            let m = MappedLayer::from_param(&ws_w, ParamKind::ConvWeight, cfg_full).expect("map");
+            let a = Adc::new(m.required_adc_bits()).expect("adc");
+            checksum(conv2d(&m, &ws_x, 1, 1, &a).expect("conv2d").as_slice())
+        },
+        || checksum(compiled.run(&ws_x, &mut workspace).expect("run")),
     ));
 
     // Hand-rolled JSON (std-only policy: no serde in the workspace).

@@ -11,7 +11,7 @@ use tinyadc::report::TextTable;
 use tinyadc::resilience::{
     CampaignConfig, CampaignReport, CampaignRow, CampaignVariant, Mitigation,
 };
-use tinyadc::{Pipeline, PipelineConfig, TrainedModel};
+use tinyadc::{Executor, Pipeline, PipelineConfig, TrainedModel};
 use tinyadc_hw::adc::SarAdcModel;
 use tinyadc_hw::energy::{ActivityCounts, EnergyModel};
 use tinyadc_hw::latency::LatencyModel;
@@ -25,6 +25,7 @@ use tinyadc_tensor::Tensor;
 use tinyadc_xbar::adc::Adc;
 use tinyadc_xbar::fault::{FaultModel, LayerFaultMap};
 use tinyadc_xbar::mapping::MappedLayer;
+use tinyadc_xbar::program::{BatchWorkspace, CompileOptions, CompiledModel};
 use tinyadc_xbar::repair;
 
 /// Top-level dispatch; returns the command's printable output.
@@ -39,6 +40,7 @@ pub fn run(args: &Args) -> Result<String> {
         "audit" => cmd_audit(args),
         "cost" => cmd_cost(args),
         "faults" => cmd_faults(args),
+        "infer" => cmd_infer(args),
         "adc" => cmd_adc(args),
         "report" => cmd_report(args),
         "help" => Ok(usage()),
@@ -72,6 +74,9 @@ pub fn usage() -> String {
      \x20       [--out CSV] [--json FILE]\n\
      \x20       [--recover 1]  degraded-mode demo: fault, then masked retrain\n\
      \x20       [--quick 1]    self-contained campaign smoke test\n\
+     infer   --tier .. --model .. [--in FILE] compile-once/run-many inference:\n\
+     \x20       [--executor engine|datapath|both]  weight-domain audit vs the\n\
+     \x20       [--quick 1]                        bit-serial crossbar datapath\n\
      adc     [--bits N]                       ADC cost table\n\
      report  [--seed N] [--metrics-csv FILE]  observability demo: run the\n\
      \x20       example pipeline, dump the run manifest + metric snapshot\n\
@@ -508,6 +513,17 @@ pub fn example_report(seed: u64) -> Result<ExampleReport> {
     let map = LayerFaultMap::sample(&mapped, &model, &mut rng);
     repair::apply_with_spares(&mut mapped, &map, 1);
 
+    // Compile the pruned network into a crossbar execution program and
+    // stream two test samples through it so the `program.*` metrics are
+    // populated (the compile/run counters and the workspace gauge).
+    let compiled = CompiledModel::compile(&net, xbar, &CompileOptions::default())
+        .map_err(|e| e.to_string())?;
+    let (images, _labels) = data.test_batch(&[0, 1]).map_err(|e| e.to_string())?;
+    let mut ws = BatchWorkspace::new();
+    compiled
+        .run_batch(&images, &mut ws)
+        .map_err(|e| e.to_string())?;
+
     let metrics = MetricsSnapshot::capture();
     let via_json =
         MetricsSnapshot::from_json(&metrics.to_json()).map_err(|e| format!("json: {e}"))?;
@@ -570,6 +586,91 @@ fn cmd_report(args: &Args) -> Result<String> {
         out.push_str(&format!("wrote metrics CSV to {path}\n"));
     }
     out.push_str("snapshot JSON/CSV round-trip: OK\n");
+    Ok(out)
+}
+
+/// Compile-once/run-many inference: compiles the network into a
+/// [`CompiledModel`], prints the program summary, and evaluates crossbar
+/// test accuracy under the selected [`Executor`]s.
+fn cmd_infer(args: &Args) -> Result<String> {
+    let executor = args.get("executor").unwrap_or("both");
+    let (run_engine, run_datapath) = match executor {
+        "engine" => (true, false),
+        "datapath" => (false, true),
+        "both" => (true, true),
+        other => {
+            return Err(format!(
+                "unknown executor `{other}` (use engine|datapath|both)"
+            ))
+        }
+    };
+    let (pipeline, data, mut rng, mut net, float_accuracy) = if args.get("quick").is_some() {
+        let seed: u64 = args.get_or("seed", 7)?;
+        let mut rng = SeededRng::new(seed);
+        let data = SyntheticImageDataset::generate(DatasetTier::Tier1Cifar10Like, 60, 30, &mut rng)
+            .map_err(|e| e.to_string())?;
+        let pipeline = Pipeline::new(PipelineConfig::quick_test());
+        let trained = pipeline
+            .pretrain(&data, &mut rng)
+            .map_err(|e| e.to_string())?;
+        let net = pipeline
+            .restore(&data, &trained, &mut rng)
+            .map_err(|e| e.to_string())?;
+        (pipeline, data, rng, net, trained.accuracy)
+    } else {
+        let (pipeline, data, mut rng) = pipeline_of(args)?;
+        let mut net = if let Some(path) = args.get("in") {
+            load_into(&pipeline, &data, path, &mut rng)?
+        } else {
+            let trained = pipeline
+                .pretrain(&data, &mut rng)
+                .map_err(|e| e.to_string())?;
+            pipeline
+                .restore(&data, &trained, &mut rng)
+                .map_err(|e| e.to_string())?
+        };
+        let accuracy = evaluate_top_k(&mut net, &data, 1, 64)
+            .map_err(|e| e.to_string())?
+            .value();
+        (pipeline, data, rng, net, accuracy)
+    };
+
+    let compiled = CompiledModel::compile(&net, pipeline.config().xbar, &CompileOptions::default())
+        .map_err(|e| e.to_string())?;
+    let mut out = format!(
+        "compiled `{}` for the crossbar datapath: {} steps, {} crossbar layers, \
+         {} blocks, max ADC {} bits\n",
+        compiled.name(),
+        compiled.step_count(),
+        compiled.crossbar_layers().len(),
+        compiled.total_blocks(),
+        compiled.max_adc_bits(),
+    );
+    let mut table = TextTable::new(&["Layer", "Blocks", "ADC bits"]);
+    for layer in compiled.crossbar_layers() {
+        table.row_owned(vec![
+            layer.name.clone(),
+            layer.blocks.to_string(),
+            layer.adc_bits.to_string(),
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push_str(&format!(
+        "float accuracy: {:.2} %\n",
+        float_accuracy * 100.0
+    ));
+    if run_engine {
+        let acc = pipeline
+            .crossbar_accuracy(&mut net, &data, Executor::WeightDomain, &mut rng)
+            .map_err(|e| e.to_string())?;
+        out.push_str(&format!("engine (weight-domain) accuracy: {acc:.4}\n"));
+    }
+    if run_datapath {
+        let acc = pipeline
+            .crossbar_accuracy(&mut net, &data, Executor::Datapath, &mut rng)
+            .map_err(|e| e.to_string())?;
+        out.push_str(&format!("datapath (bit-serial) accuracy: {acc:.4}\n"));
+    }
     Ok(out)
 }
 

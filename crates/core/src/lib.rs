@@ -50,7 +50,7 @@ pub mod sweep;
 pub use audit::{LayerAudit, NetworkAudit};
 pub use config::PipelineConfig;
 pub use error::TinyAdcError;
-pub use pipeline::{Pipeline, Scheme, TrainedModel};
+pub use pipeline::{Executor, Pipeline, Scheme, TrainedModel};
 pub use report::PipelineReport;
 pub use resilience::{
     CampaignConfig, CampaignReport, CampaignRow, CampaignVariant, FaultRecovery, Mitigation,

@@ -113,6 +113,26 @@ impl Scheme {
     }
 }
 
+/// Which execution substrate evaluates crossbar accuracy.
+///
+/// Both executors model the same quantised crossbar mapping; they agree
+/// to within quantisation error because the datapath's integer pipeline
+/// is exact (proven in the `tinyadc-xbar` tile/mapping tests). The
+/// weight-domain path is much faster and is the default audit; the
+/// datapath runs every sample through the bit-serial simulator —
+/// im2col, per-layer activation quantisation, packed-popcount MVM, ADC
+/// sampling, shift-add — via a compile-once/run-many
+/// [`tinyadc_xbar::program::CompiledModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Executor {
+    /// Map weights to crossbars, write the quantised values back into
+    /// the float network, and evaluate digitally.
+    WeightDomain,
+    /// Compile the network and stream every sample through the
+    /// bit-serial crossbar datapath.
+    Datapath,
+}
+
 /// The TinyADC pipeline driver.
 #[derive(Debug, Clone)]
 pub struct Pipeline {
@@ -547,6 +567,64 @@ impl Pipeline {
         )
     }
 
+    /// Test accuracy of `net` under the crossbar effects of the chosen
+    /// [`Executor`]. Every prunable layer is mapped (no skip list) so the
+    /// two executors evaluate the same model and their accuracies are
+    /// directly comparable; `net`'s weights are left untouched.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping, compilation, and evaluation errors.
+    pub fn crossbar_accuracy(
+        &self,
+        net: &mut Network,
+        data: &SyntheticImageDataset,
+        executor: Executor,
+        rng: &mut SeededRng,
+    ) -> Result<f64> {
+        let _span = tinyadc_obs::span("phase.crossbar_eval");
+        match executor {
+            Executor::WeightDomain => {
+                let snapshot = net.snapshot();
+                tinyadc_xbar::engine::apply_crossbar_effects(
+                    net,
+                    self.config.xbar,
+                    None,
+                    &[],
+                    rng,
+                )?;
+                let accuracy = Trainer::new(self.config.retrain.clone())
+                    .evaluate(net, data)?
+                    .value();
+                net.restore(&snapshot);
+                Ok(accuracy)
+            }
+            Executor::Datapath => {
+                let compiled = tinyadc_xbar::program::CompiledModel::compile(
+                    net,
+                    self.config.xbar,
+                    &tinyadc_xbar::program::CompileOptions::default(),
+                )?;
+                let mut ws = tinyadc_xbar::program::BatchWorkspace::new();
+                let mut logits = Vec::new();
+                let indices: Vec<usize> = (0..data.test_len()).collect();
+                let mut correct = 0usize;
+                // Batch in retrain-sized chunks so the per-sample
+                // workspaces stay bounded.
+                for chunk in indices.chunks(self.config.retrain.batch_size.max(1)) {
+                    let (images, labels) = data.test_batch(chunk)?;
+                    compiled.run_batch_into(&images, &mut ws, &mut logits)?;
+                    correct += logits
+                        .chunks(compiled.output_len())
+                        .zip(&labels)
+                        .filter(|(row, &label)| argmax(row) == label)
+                        .count();
+                }
+                Ok(correct as f64 / data.test_len() as f64)
+            }
+        }
+    }
+
     fn masked_retrain(
         &self,
         net: &mut Network,
@@ -624,6 +702,17 @@ impl Pipeline {
             audit,
         })
     }
+}
+
+/// Index of the largest element (first on ties — deterministic).
+fn argmax(row: &[f32]) -> usize {
+    let mut best = 0;
+    for (i, &v) in row.iter().enumerate() {
+        if v > row[best] {
+            best = i;
+        }
+    }
+    best
 }
 
 #[cfg(test)]

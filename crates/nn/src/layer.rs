@@ -74,6 +74,74 @@ impl Param {
     }
 }
 
+/// A borrowed structural description of a layer, used for ahead-of-time
+/// compilation.
+///
+/// The crossbar crate walks this tree to build its compile-once/run-many
+/// execution programs: every parameter is borrowed (never copied), and the
+/// variants describe *inference-time* semantics only — training-time
+/// behaviour such as dropout sampling collapses to [`LayerSpec::Identity`].
+#[derive(Debug)]
+pub enum LayerSpec<'a> {
+    /// 2-D convolution: weight `[f, c, kh, kw]`, optional bias `[f]`.
+    Conv2d {
+        /// Convolution weight parameter.
+        weight: &'a Param,
+        /// Optional per-filter bias parameter.
+        bias: Option<&'a Param>,
+        /// Spatial stride (same in both dimensions).
+        stride: usize,
+        /// Zero padding (same on all sides).
+        padding: usize,
+    },
+    /// Fully-connected layer: weight `[out, in]`, optional bias `[out]`.
+    Linear {
+        /// Linear weight parameter.
+        weight: &'a Param,
+        /// Optional bias parameter.
+        bias: Option<&'a Param>,
+    },
+    /// Batch normalisation in eval mode:
+    /// `y = gamma * (x - running_mean) / sqrt(running_var + eps) + beta`.
+    BatchNorm2d {
+        /// Scale (gamma) parameter.
+        gamma: &'a Param,
+        /// Shift (beta) parameter.
+        beta: &'a Param,
+        /// Running mean statistic.
+        running_mean: &'a Param,
+        /// Running variance statistic.
+        running_var: &'a Param,
+        /// Numerical-stability epsilon.
+        eps: f32,
+    },
+    /// Elementwise `max(x, 0)`.
+    Relu,
+    /// Square max pooling with stride equal to the window.
+    MaxPool2d {
+        /// Pooling window (and stride).
+        window: usize,
+    },
+    /// Global average pooling `[c, h, w] -> [c]`.
+    GlobalAvgPool,
+    /// Shape-only flattening to `[prod(dims)]`.
+    Flatten,
+    /// Identity at inference time (e.g. dropout in eval mode).
+    Identity,
+    /// Layers applied in order.
+    Chain(Vec<LayerSpec<'a>>),
+    /// Residual block: `relu(main(x) + shortcut(x))`, where a `None`
+    /// shortcut is the identity.
+    Residual {
+        /// The main branch.
+        main: Box<LayerSpec<'a>>,
+        /// Optional projection shortcut (1×1 conv + BN in ResNets).
+        shortcut: Option<Box<LayerSpec<'a>>>,
+    },
+    /// A layer that does not describe itself; compilation fails on it.
+    Opaque,
+}
+
 /// A differentiable network layer.
 ///
 /// Layers cache whatever they need during [`Layer::forward`] and consume it
@@ -113,6 +181,14 @@ pub trait Layer: Send {
         let mut n = 0;
         self.visit_params(&mut |p| n += p.value.len());
         n
+    }
+
+    /// Structural self-description for ahead-of-time compilation.
+    ///
+    /// The default is [`LayerSpec::Opaque`], which compilers must reject;
+    /// every layer in this crate overrides it.
+    fn spec(&self) -> LayerSpec<'_> {
+        LayerSpec::Opaque
     }
 }
 

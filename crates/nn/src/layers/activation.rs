@@ -1,4 +1,4 @@
-use crate::{Layer, NnError, Param, Result};
+use crate::{Layer, LayerSpec, NnError, Param, Result};
 use tinyadc_tensor::Tensor;
 
 /// Rectified linear unit, applied elementwise to any shape.
@@ -40,6 +40,10 @@ impl Layer for Relu {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn spec(&self) -> LayerSpec<'_> {
+        LayerSpec::Relu
     }
 }
 

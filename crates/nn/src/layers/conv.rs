@@ -1,4 +1,4 @@
-use crate::{Layer, NnError, Param, ParamKind, Result};
+use crate::{Layer, LayerSpec, NnError, Param, ParamKind, Result};
 use tinyadc_tensor::rng::SeededRng;
 use tinyadc_tensor::{col2im, im2col, Conv2dGeometry, Tensor};
 
@@ -214,6 +214,15 @@ impl Layer for Conv2d {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn spec(&self) -> LayerSpec<'_> {
+        LayerSpec::Conv2d {
+            weight: &self.weight,
+            bias: self.bias.as_ref(),
+            stride: self.stride,
+            padding: self.padding,
+        }
     }
 }
 

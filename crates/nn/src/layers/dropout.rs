@@ -1,4 +1,4 @@
-use crate::{Layer, NnError, Param, Result};
+use crate::{Layer, LayerSpec, NnError, Param, Result};
 use tinyadc_tensor::rng::SeededRng;
 use tinyadc_tensor::Tensor;
 
@@ -77,6 +77,11 @@ impl Layer for Dropout {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn spec(&self) -> LayerSpec<'_> {
+        // Inference-time dropout is the identity.
+        LayerSpec::Identity
     }
 }
 

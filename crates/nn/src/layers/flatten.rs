@@ -1,4 +1,4 @@
-use crate::{Layer, NnError, Param, Result};
+use crate::{Layer, LayerSpec, NnError, Param, Result};
 use tinyadc_tensor::Tensor;
 
 /// Flattens `[batch, ...]` to `[batch, prod(...)]`, remembering the original
@@ -50,6 +50,10 @@ impl Layer for Flatten {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn spec(&self) -> LayerSpec<'_> {
+        LayerSpec::Flatten
     }
 }
 

@@ -1,4 +1,4 @@
-use crate::{Layer, NnError, Param, ParamKind, Result};
+use crate::{Layer, LayerSpec, NnError, Param, ParamKind, Result};
 use tinyadc_tensor::rng::SeededRng;
 use tinyadc_tensor::Tensor;
 
@@ -113,6 +113,13 @@ impl Layer for Linear {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn spec(&self) -> LayerSpec<'_> {
+        LayerSpec::Linear {
+            weight: &self.weight,
+            bias: self.bias.as_ref(),
+        }
     }
 }
 

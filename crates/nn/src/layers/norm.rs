@@ -1,4 +1,4 @@
-use crate::{Layer, NnError, Param, ParamKind, Result};
+use crate::{Layer, LayerSpec, NnError, Param, ParamKind, Result};
 use tinyadc_tensor::Tensor;
 
 /// Batch normalisation over the channel axis of `[b, c, h, w]` input.
@@ -193,6 +193,16 @@ impl Layer for BatchNorm2d {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn spec(&self) -> LayerSpec<'_> {
+        LayerSpec::BatchNorm2d {
+            gamma: &self.gamma,
+            beta: &self.beta,
+            running_mean: &self.running_mean,
+            running_var: &self.running_var,
+            eps: self.eps,
+        }
     }
 }
 

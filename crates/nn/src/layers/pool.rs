@@ -1,4 +1,4 @@
-use crate::{Layer, NnError, Param, Result};
+use crate::{Layer, LayerSpec, NnError, Param, Result};
 use tinyadc_tensor::Tensor;
 
 /// Max pooling with square window and stride equal to the window size
@@ -100,6 +100,12 @@ impl Layer for MaxPool2d {
     fn name(&self) -> &str {
         &self.name
     }
+
+    fn spec(&self) -> LayerSpec<'_> {
+        LayerSpec::MaxPool2d {
+            window: self.window,
+        }
+    }
 }
 
 /// Global average pooling: `[b, c, h, w] -> [b, c]`.
@@ -172,6 +178,10 @@ impl Layer for GlobalAvgPool {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn spec(&self) -> LayerSpec<'_> {
+        LayerSpec::GlobalAvgPool
     }
 }
 

@@ -1,5 +1,5 @@
 use crate::layers::{BatchNorm2d, Conv2d, Relu, Sequential};
-use crate::{Layer, NnError, Param, Result};
+use crate::{Layer, LayerSpec, NnError, Param, Result};
 use tinyadc_tensor::rng::SeededRng;
 use tinyadc_tensor::Tensor;
 
@@ -121,6 +121,13 @@ impl Layer for BasicBlock {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn spec(&self) -> LayerSpec<'_> {
+        LayerSpec::Residual {
+            main: Box::new(self.main.spec()),
+            shortcut: self.shortcut.as_ref().map(|s| Box::new(s.spec())),
+        }
     }
 }
 
@@ -254,6 +261,13 @@ impl Layer for Bottleneck {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn spec(&self) -> LayerSpec<'_> {
+        LayerSpec::Residual {
+            main: Box::new(self.main.spec()),
+            shortcut: self.shortcut.as_ref().map(|s| Box::new(s.spec())),
+        }
     }
 }
 

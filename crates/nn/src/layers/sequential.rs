@@ -1,4 +1,4 @@
-use crate::{Layer, Param, Result};
+use crate::{Layer, LayerSpec, Param, Result};
 use tinyadc_tensor::Tensor;
 
 /// A chain of layers applied in order; the workhorse container for both
@@ -81,6 +81,10 @@ impl Layer for Sequential {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn spec(&self) -> LayerSpec<'_> {
+        LayerSpec::Chain(self.layers.iter().map(|l| l.spec()).collect())
     }
 }
 

@@ -51,7 +51,7 @@ pub mod serialize;
 pub mod train;
 
 pub use error::NnError;
-pub use layer::{Layer, Param, ParamKind};
+pub use layer::{Layer, LayerSpec, Param, ParamKind};
 pub use network::Network;
 
 /// Crate-wide result alias.

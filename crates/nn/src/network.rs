@@ -2,7 +2,7 @@
 //! parameter access.
 
 use crate::layers::Sequential;
-use crate::{Layer, Param, Result};
+use crate::{Layer, LayerSpec, Param, Result};
 use tinyadc_tensor::Tensor;
 
 /// A complete model: a [`Sequential`] stack plus model-level conveniences
@@ -77,6 +77,12 @@ impl Network {
     /// Visits every learnable parameter.
     pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         self.stack.visit_params(f);
+    }
+
+    /// Structural description of the whole layer stack, for ahead-of-time
+    /// compilation onto the crossbar substrate.
+    pub fn spec(&self) -> LayerSpec<'_> {
+        self.stack.spec()
     }
 
     /// Clears all gradients.

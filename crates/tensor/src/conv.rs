@@ -111,19 +111,60 @@ impl Conv2dGeometry {
 /// Returns [`TensorError::ShapeMismatch`] when `input` does not have shape
 /// `[geometry.in_channels, geometry.in_h, geometry.in_w]`.
 pub fn im2col(input: &Tensor, geometry: &Conv2dGeometry) -> Result<Tensor> {
-    let g = geometry;
-    if input.dims() != [g.in_channels, g.in_h, g.in_w] {
+    let mut out = Vec::new();
+    im2col_into(input, geometry, &mut out)?;
+    Tensor::from_vec(out, &[geometry.patch_len(), geometry.patch_count()])
+}
+
+/// Workspace-writing variant of [`im2col`]: unfolds into `out`, reusing its
+/// capacity. After the first call at a given geometry, subsequent calls
+/// perform no heap allocation. `out` is resized to
+/// `patch_len() * patch_count()` and fully rewritten (zero-padding positions
+/// included).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when `input` does not have shape
+/// `[geometry.in_channels, geometry.in_h, geometry.in_w]`.
+pub fn im2col_into(input: &Tensor, geometry: &Conv2dGeometry, out: &mut Vec<f32>) -> Result<()> {
+    if input.dims() != [geometry.in_channels, geometry.in_h, geometry.in_w] {
         return Err(TensorError::ShapeMismatch {
             left: input.dims().to_vec(),
+            right: vec![geometry.in_channels, geometry.in_h, geometry.in_w],
+        });
+    }
+    im2col_slice_into(input.as_slice(), geometry, out)
+}
+
+/// As [`im2col_into`], but unfolds a raw `[c * h * w]` slice (the layout
+/// activation buffers use between layers, where no `Tensor` wrapper
+/// exists). The compiled execution engine runs on these.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when `input` is not
+/// `in_channels * in_h * in_w` long.
+pub fn im2col_slice_into(
+    input: &[f32],
+    geometry: &Conv2dGeometry,
+    out: &mut Vec<f32>,
+) -> Result<()> {
+    let g = geometry;
+    if input.len() != g.in_channels * g.in_h * g.in_w {
+        return Err(TensorError::ShapeMismatch {
+            left: vec![input.len()],
             right: vec![g.in_channels, g.in_h, g.in_w],
         });
     }
-    let x = input.as_slice();
-    let mut out = vec![0.0f32; g.patch_len() * g.patch_count()];
+    let x = input;
+    // The inner loops skip padding positions, relying on the buffer being
+    // zeroed, so a reused buffer must be cleared before writing.
+    out.clear();
+    out.resize(g.patch_len() * g.patch_count(), 0.0);
     let cols = g.patch_count();
     // Each output row corresponds to one kernel position (c, kh, kw) and is
     // written independently, so rows are distributed across threads.
-    tinyadc_par::for_each_chunk_mut(&mut out, cols.max(1), |row, out_row| {
+    tinyadc_par::for_each_chunk_mut(out, cols.max(1), |row, out_row| {
         let kw = row % g.kernel_w;
         let kh = (row / g.kernel_w) % g.kernel_h;
         let c = row / (g.kernel_w * g.kernel_h);
@@ -142,7 +183,7 @@ pub fn im2col(input: &Tensor, geometry: &Conv2dGeometry) -> Result<Tensor> {
             }
         }
     });
-    Tensor::from_vec(out, &[g.patch_len(), g.patch_count()])
+    Ok(())
 }
 
 /// Folds an im2col-shaped gradient `[c*kh*kw, oh*ow]` back onto the input
@@ -298,6 +339,25 @@ mod tests {
         let lhs = im2col(&x, &g).unwrap().dot(&y).unwrap();
         let rhs = x.dot(&col2im(&y, &g).unwrap()).unwrap();
         assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn im2col_into_reuses_capacity_and_rezeroes_padding() {
+        let mut rng = SeededRng::new(5);
+        let g = Conv2dGeometry::new(2, 5, 5, 3, 3, 1, 1).unwrap();
+        let x = Tensor::randn(&[2, 5, 5], 1.0, &mut rng);
+        let reference = im2col(&x, &g).unwrap();
+
+        // Poison the buffer so stale values would leak into padding slots
+        // if the reused buffer were not re-zeroed.
+        let mut buf = vec![9.9f32; g.patch_len() * g.patch_count() + 7];
+        im2col_into(&x, &g, &mut buf).unwrap();
+        assert_eq!(buf.as_slice(), reference.as_slice());
+
+        let ptr = buf.as_ptr();
+        im2col_into(&x, &g, &mut buf).unwrap();
+        assert_eq!(ptr, buf.as_ptr(), "repeat call must not reallocate");
+        assert_eq!(buf.as_slice(), reference.as_slice());
     }
 
     #[test]

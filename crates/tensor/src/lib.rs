@@ -44,7 +44,7 @@ mod tensor;
 
 pub mod rng;
 
-pub use conv::{col2im, im2col, Conv2dGeometry};
+pub use conv::{col2im, im2col, im2col_into, im2col_slice_into, Conv2dGeometry};
 pub use error::TensorError;
 pub use shape::Shape;
 pub use tensor::Tensor;

@@ -13,24 +13,30 @@
 
 use crate::adc::Adc;
 use crate::mapping::MappedLayer;
-use crate::quant::quantize_input;
+use crate::program::{conv_forward, linear_forward, StepScratch};
 use crate::{Result, XbarError};
 use tinyadc_nn::ParamKind;
-use tinyadc_tensor::{im2col, Conv2dGeometry, Tensor};
+use tinyadc_tensor::{Conv2dGeometry, Tensor};
 
 /// Runs a convolution on the crossbar datapath.
 ///
-/// `input` is one sample `[c, h, w]` (non-negative — post-ReLU or
-/// normalised-to-positive pixels); the mapped layer must hold a conv
-/// weight `[f, c, kh, kw]`. Returns `[f, oh, ow]`.
+/// `input` is one sample `[c, h, w]`; the mapped layer must hold a conv
+/// weight `[f, c, kh, kw]`. Returns `[f, oh, ow]`. Non-negative
+/// (post-ReLU) inputs stream single-pass; signed inputs stream
+/// differentially (see [`crate::program`]).
 ///
 /// The whole im2col matrix shares one input quantisation scale, matching
-/// the per-layer activation quantisation of ISAAC-style designs.
+/// the per-layer activation quantisation of ISAAC-style designs. This is
+/// a thin per-call wrapper over the compiled execution engine's conv
+/// step; for repeated inference, compile a
+/// [`crate::program::CompiledModel`] and reuse its workspace instead.
 ///
 /// # Errors
 ///
 /// Returns [`XbarError::InvalidConfig`] when the mapped layer is not a
-/// conv or shapes disagree; propagates quantisation/MVM errors.
+/// conv or shapes disagree (including mapped-matrix dimensions that do
+/// not match the conv geometry — checked in release builds too);
+/// propagates quantisation/MVM errors.
 pub fn conv2d(
     mapped: &MappedLayer,
     input: &Tensor,
@@ -55,49 +61,55 @@ pub fn conv2d(
         )));
     }
     let g = Conv2dGeometry::new(c, input.dims()[1], input.dims()[2], kh, kw, stride, padding)?;
-    let cols = im2col(input, &g)?;
-    // One quantisation scale for the whole unfolded input.
-    let q = quantize_input(&cols, &mapped.config().quant)?;
     let (rows, out_cols) = mapped.matrix_dims();
-    debug_assert_eq!(rows, g.patch_len());
-    debug_assert_eq!(out_cols, f);
-
-    let scale = mapped.weight_scale() * q.scale;
-    // The unfolded input is already in the batched entry point's layout
-    // (matrix row r of patch p at `r * patch_count + p`), so the whole
-    // tile's worth of patches streams through one packing pass instead of
-    // one per patch.
-    let codes: Vec<u64> = q.codes.iter().map(|&c| c as u64).collect();
-    let y = mapped.matvec_codes_batch(&codes, g.patch_count(), adc)?;
-    let mut out = vec![0.0f32; f * g.patch_count()];
-    for (p, y_row) in y.chunks(f).enumerate() {
-        for (fi, &v) in y_row.iter().enumerate() {
-            out[fi * g.patch_count() + p] = v as f32 * scale;
-        }
+    if rows != g.patch_len() || out_cols != f {
+        return Err(XbarError::InvalidConfig(format!(
+            "mapped matrix is {rows}x{out_cols} but the conv geometry needs {}x{f} \
+             (was the layer mapped from a different weight shape?)",
+            g.patch_len()
+        )));
     }
+    let mut scratch = StepScratch::default();
+    let mut out = Vec::new();
+    conv_forward(
+        mapped,
+        &g,
+        adc,
+        None,
+        input.as_slice(),
+        &mut scratch,
+        &mut out,
+    )?;
     Ok(Tensor::from_vec(out, &[f, g.out_h, g.out_w])?)
 }
 
-/// Runs a fully-connected layer on the crossbar datapath: input `[in]`
-/// (non-negative), output `[out]`.
+/// Runs a fully-connected layer on the crossbar datapath: input `[in]`,
+/// output `[out]`. A thin per-call wrapper over the compiled execution
+/// engine's linear step (see [`conv2d`] on input signs and reuse).
 ///
 /// # Errors
 ///
-/// Returns [`XbarError::InvalidConfig`] for non-linear mapped layers;
-/// propagates quantisation/MVM errors.
+/// Returns [`XbarError::InvalidConfig`] for non-linear mapped layers or
+/// input lengths that do not match the mapped matrix; propagates
+/// quantisation/MVM errors.
 pub fn linear(mapped: &MappedLayer, input: &Tensor, adc: &Adc) -> Result<Tensor> {
     if mapped.kind() != ParamKind::LinearWeight {
         return Err(XbarError::InvalidConfig(
             "linear needs a mapped linear weight".into(),
         ));
     }
-    let q = quantize_input(input, &mapped.config().quant)?;
-    let codes: Vec<u64> = q.codes.iter().map(|&v| v as u64).collect();
-    let y = mapped.matvec_codes(&codes, adc)?;
-    let scale = mapped.weight_scale() * q.scale;
-    let data: Vec<f32> = y.iter().map(|&v| v as f32 * scale).collect();
-    let len = data.len();
-    Ok(Tensor::from_vec(data, &[len])?)
+    let (rows, _) = mapped.matrix_dims();
+    if input.len() != rows {
+        return Err(XbarError::InvalidConfig(format!(
+            "linear input must have {rows} elements, got {}",
+            input.len()
+        )));
+    }
+    let mut scratch = StepScratch::default();
+    let mut out = Vec::new();
+    linear_forward(mapped, adc, None, input.as_slice(), &mut scratch, &mut out)?;
+    let len = out.len();
+    Ok(Tensor::from_vec(out, &[len])?)
 }
 
 /// Digital-domain ReLU (runs in the tile's post-processing units).
@@ -135,6 +147,7 @@ mod tests {
     use crate::quant::QuantConfig;
     use crate::tile::XbarConfig;
     use tinyadc_prune::CrossbarShape;
+    use tinyadc_tensor::im2col;
     use tinyadc_tensor::rng::SeededRng;
 
     fn cfg() -> XbarConfig {

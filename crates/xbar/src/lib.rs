@@ -53,6 +53,7 @@ pub mod fault;
 pub mod infer;
 pub mod mapping;
 pub mod noise;
+pub mod program;
 pub mod quant;
 pub mod repair;
 pub mod tile;

@@ -13,6 +13,25 @@ use tinyadc_nn::ParamKind;
 use tinyadc_prune::layout;
 use tinyadc_tensor::Tensor;
 
+/// Reusable scratch for [`MappedLayer::matvec_codes_batch_into`]: packed
+/// input bit planes and per-tile partial outputs. Buffers grow to the
+/// largest batch seen and keep their capacity across calls.
+#[derive(Debug, Clone, Default)]
+pub struct BatchScratch {
+    /// Packed input bit planes for the tile currently executing.
+    pub(crate) planes: Vec<u64>,
+    /// Input-major partial outputs of the tile currently executing.
+    pub(crate) tile_y: Vec<i64>,
+}
+
+impl BatchScratch {
+    /// Bytes currently held across the scratch buffers.
+    pub fn bytes(&self) -> usize {
+        self.planes.len() * std::mem::size_of::<u64>()
+            + self.tile_y.len() * std::mem::size_of::<i64>()
+    }
+}
+
 /// A layer's weights mapped onto a grid of crossbar tiles.
 ///
 /// # Example
@@ -208,8 +227,34 @@ impl MappedLayer {
         n_inputs: usize,
         adc: &Adc,
     ) -> Result<Vec<i64>> {
+        let mut scratch = BatchScratch::default();
+        let mut out = Vec::new();
+        self.matvec_codes_batch_into(inputs, n_inputs, adc, &mut scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// Workspace-reusing variant of [`MappedLayer::matvec_codes_batch`]:
+    /// per-tile packed input planes and partial outputs live in `scratch`
+    /// and the accumulated input-major outputs in `out`; all buffers are
+    /// resized but keep their capacity, so repeat calls at a fixed batch
+    /// geometry perform no heap allocation. Results are bitwise identical
+    /// to [`MappedLayer::matvec_codes_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::InputLengthMismatch`] when `inputs` is not
+    /// `matrix_rows × n_inputs` long.
+    pub fn matvec_codes_batch_into(
+        &self,
+        inputs: &[u64],
+        n_inputs: usize,
+        adc: &Adc,
+        scratch: &mut BatchScratch,
+        out: &mut Vec<i64>,
+    ) -> Result<()> {
         if n_inputs == 0 {
-            return Ok(Vec::new());
+            out.clear();
+            return Ok(());
         }
         if inputs.len() != self.matrix_rows * n_inputs {
             return Err(XbarError::InputLengthMismatch {
@@ -219,23 +264,30 @@ impl MappedLayer {
         }
         let m = self.config.shape.rows();
         let n = self.config.shape.cols();
-        let mut out = vec![0i64; n_inputs * self.matrix_cols];
+        out.clear();
+        out.resize(n_inputs * self.matrix_cols, 0);
         // Tiles merge serially in tile order (digital accumulation is
         // integer-exact, so the order cannot change results); the batch
-        // parallelism lives inside `Tile::matvec_batch`.
+        // parallelism lives inside `Tile::matvec_batch_into`.
         for (t, tile) in self.tiles.iter().enumerate() {
             let r0 = (t / self.col_blocks) * m;
             let r1 = (r0 + m).min(self.matrix_rows);
             let c0 = (t % self.col_blocks) * n;
-            let y = tile.matvec_batch(&inputs[r0 * n_inputs..r1 * n_inputs], n_inputs, adc)?;
-            for (i, y_row) in y.chunks(tile.cols()).enumerate() {
+            tile.matvec_batch_into(
+                &inputs[r0 * n_inputs..r1 * n_inputs],
+                n_inputs,
+                adc,
+                &mut scratch.planes,
+                &mut scratch.tile_y,
+            )?;
+            for (i, y_row) in scratch.tile_y.chunks(tile.cols()).enumerate() {
                 let dst = &mut out[i * self.matrix_cols + c0..][..tile.cols()];
                 for (d, v) in dst.iter_mut().zip(y_row) {
                     *d += v;
                 }
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     fn run_matvec(

@@ -7,7 +7,7 @@
 //! skips still count as conversions: the ADC would have sampled them.
 //! All values are thread-count-invariant; see `docs/observability.md`.
 
-use tinyadc_obs::{LazyCounter, LazyHistogram};
+use tinyadc_obs::{LazyCounter, LazyGauge, LazyHistogram};
 
 /// One per executed tile MVM (batch entry points count each input).
 pub(crate) static MATVECS: LazyCounter = LazyCounter::new("xbar.matvecs");
@@ -32,6 +32,16 @@ pub(crate) static REPAIR_REMAPPED: LazyCounter = LazyCounter::new("xbar.repair.r
 /// Harmful-fault columns left unrepaired (spares exhausted).
 pub(crate) static REPAIR_UNREPAIRED: LazyCounter =
     LazyCounter::new("xbar.repair.unrepaired_columns");
+
+/// Programs built by `CompiledModel::compile` / `from_conv`.
+pub(crate) static PROGRAM_COMPILES: LazyCounter = LazyCounter::new("program.compiles");
+/// Samples executed through a compiled program (batch entry points count
+/// each sample).
+pub(crate) static PROGRAM_RUNS: LazyCounter = LazyCounter::new("program.runs");
+/// Bytes held by the workspace buffer(s) of the most recent program run —
+/// constant once steady state is reached (the zero-allocation contract).
+/// Set only from the serial entry points.
+pub(crate) static WORKSPACE_BYTES: LazyGauge = LazyGauge::new("program.workspace.bytes");
 
 /// Worst-case activated rows of the tile, observed once per MVM — the
 /// paper's Eq. 1 quantity that sizes the ADC.

@@ -261,21 +261,26 @@ pub(crate) fn pack_bit_planes(input: &[u64], n_planes: u32, words_per_col: usize
 /// Packing the whole batch in one pass is what the batched entry points
 /// amortise: each input's DAC bits are extracted once, instead of once
 /// per (cycle, slice) per tile as in the reference loop.
-pub(crate) fn pack_bit_planes_batch(
+/// Workspace-writing form: packs into `words`, reusing its capacity. The
+/// buffer is resized to `n_inputs * n_planes * words_per_col` and zeroed
+/// before scattering, so repeat calls at a fixed geometry perform no heap
+/// allocation.
+pub(crate) fn pack_bit_planes_batch_into(
     inputs: &[u64],
     n_inputs: usize,
     n_planes: u32,
     words_per_col: usize,
-) -> Vec<u64> {
+    words: &mut Vec<u64>,
+) {
     let rows = inputs.len().checked_div(n_inputs).unwrap_or(0);
-    let mut words = vec![0u64; n_inputs * n_planes as usize * words_per_col];
+    words.clear();
+    words.resize(n_inputs * n_planes as usize * words_per_col, 0);
     let per_input = n_planes as usize * words_per_col;
     for r in 0..rows {
         for (i, &x) in inputs[r * n_inputs..(r + 1) * n_inputs].iter().enumerate() {
-            scatter_bits(&mut words, x, r, n_planes, words_per_col, i * per_input);
+            scatter_bits(words, x, r, n_planes, words_per_col, i * per_input);
         }
     }
-    words
 }
 
 /// Sets bit `r` of plane `p` (at `base`) for every set bit `p` of `x`.
@@ -352,7 +357,8 @@ mod tests {
     fn batch_packing_matches_single_packing() {
         // 3 rows x 2 inputs, im2col layout (r, i) -> r * 2 + i.
         let inputs = [7u64, 1, 0, 4, 9, 2];
-        let batch = pack_bit_planes_batch(&inputs, 2, 4, 1);
+        let mut batch = Vec::new();
+        pack_bit_planes_batch_into(&inputs, 2, 4, 1, &mut batch);
         for i in 0..2 {
             let single: Vec<u64> = (0..3).map(|r| inputs[r * 2 + i]).collect();
             let planes = pack_bit_planes(&single, 4, 1);

@@ -137,6 +137,80 @@ pub fn quantize_input(input: &Tensor, config: &QuantConfig) -> Result<Quantized>
     })
 }
 
+/// Unsigned quantisation of a non-negative slice straight into a `u64`
+/// code buffer (the representation the packed crossbar kernel consumes),
+/// returning the dequantisation scale. `out` is resized to `input.len()`
+/// and fully overwritten; after the first call its capacity is reused, so
+/// steady-state calls perform no heap allocation. The codes and scale are
+/// bitwise identical to [`quantize_input`]'s.
+///
+/// # Errors
+///
+/// Returns [`XbarError::InvalidConfig`] if any entry is negative (mapped
+/// layers consume post-ReLU activations), or for invalid configs.
+pub fn quantize_input_codes_into(
+    input: &[f32],
+    config: &QuantConfig,
+    out: &mut Vec<u64>,
+) -> Result<f32> {
+    config.validate()?;
+    if input.iter().any(|&x| x < 0.0) {
+        return Err(XbarError::InvalidConfig(
+            "crossbar inputs must be non-negative (post-ReLU)".into(),
+        ));
+    }
+    let max = input.iter().fold(0.0f32, |a, &b| a.max(b));
+    let qmax = config.input_max();
+    let scale = if max == 0.0 { 1.0 } else { max / qmax as f32 };
+    out.clear();
+    out.extend(
+        input
+            .iter()
+            .map(|&x| ((x / scale).round() as i64).clamp(0, qmax as i64) as u64),
+    );
+    Ok(scale)
+}
+
+/// Signed quantisation of a slice into *differential* unsigned code
+/// buffers: `pos` holds the positive part, `neg` the negated negative
+/// part, both against one shared scale (`absmax / input_max`, 1.0 when
+/// all-zero) so that `x ≈ (pos − neg) * scale` elementwise. The crossbar
+/// streams each half as an ordinary unsigned MVM and subtracts the
+/// digitised results — the input-side analogue of the differential column
+/// pairs that carry weight signs. For non-negative inputs the `pos` codes
+/// and scale are bitwise identical to [`quantize_input`]'s and `neg` is
+/// all-zero.
+///
+/// Both buffers are resized to `input.len()` reusing their capacity, so
+/// steady-state calls perform no heap allocation.
+///
+/// # Errors
+///
+/// Propagates invalid [`QuantConfig`]s.
+pub fn quantize_input_signed_into(
+    input: &[f32],
+    config: &QuantConfig,
+    pos: &mut Vec<u64>,
+    neg: &mut Vec<u64>,
+) -> Result<f32> {
+    config.validate()?;
+    let absmax = input.iter().fold(0.0f32, |a, &b| a.max(b.abs()));
+    let qmax = config.input_max() as i64;
+    let scale = if absmax == 0.0 {
+        1.0
+    } else {
+        absmax / qmax as f32
+    };
+    pos.clear();
+    neg.clear();
+    for &x in input {
+        let c = ((x / scale).round() as i64).clamp(-qmax, qmax);
+        pos.push(c.max(0) as u64);
+        neg.push((-c).max(0) as u64);
+    }
+    Ok(scale)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -195,6 +269,47 @@ mod tests {
     fn negative_input_rejected() {
         let x = Tensor::from_vec(vec![-0.1, 0.5], &[2]).unwrap();
         assert!(quantize_input(&x, &QuantConfig::default()).is_err());
+        let mut buf = Vec::new();
+        assert!(
+            quantize_input_codes_into(&[-0.1, 0.5], &QuantConfig::default(), &mut buf).is_err()
+        );
+    }
+
+    #[test]
+    fn codes_into_matches_quantize_input_and_reuses_capacity() {
+        let mut rng = SeededRng::new(12);
+        let x = Tensor::uniform(&[64], 0.0, 3.0, &mut rng);
+        let cfg = QuantConfig::default();
+        let q = quantize_input(&x, &cfg).unwrap();
+        let mut buf = Vec::new();
+        let scale = quantize_input_codes_into(x.as_slice(), &cfg, &mut buf).unwrap();
+        assert_eq!(scale, q.scale);
+        let as_u64: Vec<u64> = q.codes.iter().map(|&c| c as u64).collect();
+        assert_eq!(buf, as_u64);
+        let ptr = buf.as_ptr();
+        quantize_input_codes_into(x.as_slice(), &cfg, &mut buf).unwrap();
+        assert_eq!(ptr, buf.as_ptr(), "repeat call must not reallocate");
+    }
+
+    #[test]
+    fn signed_differential_reconstructs_and_matches_unsigned() {
+        let cfg = QuantConfig::default();
+        let x = [-1.5f32, -0.25, 0.0, 0.75, 1.5];
+        let (mut pos, mut neg) = (Vec::new(), Vec::new());
+        let scale = quantize_input_signed_into(&x, &cfg, &mut pos, &mut neg).unwrap();
+        for (i, &v) in x.iter().enumerate() {
+            let back = (pos[i] as f32 - neg[i] as f32) * scale;
+            assert!((back - v).abs() <= scale * 0.5 + 1e-6, "{back} vs {v}");
+            assert!(pos[i] == 0 || neg[i] == 0, "differential halves overlap");
+        }
+        // Non-negative input: pos half bitwise matches quantize_input.
+        let y = Tensor::from_vec(vec![0.0, 0.5, 2.0], &[3]).unwrap();
+        let q = quantize_input(&y, &cfg).unwrap();
+        let s2 = quantize_input_signed_into(y.as_slice(), &cfg, &mut pos, &mut neg).unwrap();
+        assert_eq!(s2, q.scale);
+        let as_u64: Vec<u64> = q.codes.iter().map(|&c| c as u64).collect();
+        assert_eq!(pos, as_u64);
+        assert!(neg.iter().all(|&n| n == 0));
     }
 
     #[test]

@@ -281,8 +281,34 @@ impl Tile {
     /// `rows × n_inputs` long, [`XbarError::InvalidConfig`] for codes
     /// exceeding the input range.
     pub fn matvec_batch(&self, inputs: &[u64], n_inputs: usize, adc: &Adc) -> Result<Vec<i64>> {
+        let mut planes = Vec::new();
+        let mut y = Vec::new();
+        self.matvec_batch_into(inputs, n_inputs, adc, &mut planes, &mut y)?;
+        Ok(y)
+    }
+
+    /// Workspace-reusing variant of [`Tile::matvec_batch`]: packs the
+    /// input bit planes into `planes` and writes the input-major outputs
+    /// into `y`, resizing both but reusing their capacity, so repeat calls
+    /// at a fixed batch geometry perform no heap allocation. Results are
+    /// bitwise identical to [`Tile::matvec_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::InputLengthMismatch`] when `inputs` is not
+    /// `rows × n_inputs` long, [`XbarError::InvalidConfig`] for codes
+    /// exceeding the input range.
+    pub fn matvec_batch_into(
+        &self,
+        inputs: &[u64],
+        n_inputs: usize,
+        adc: &Adc,
+        planes: &mut Vec<u64>,
+        y: &mut Vec<i64>,
+    ) -> Result<()> {
         if n_inputs == 0 {
-            return Ok(Vec::new());
+            y.clear();
+            return Ok(());
         }
         if inputs.len() != self.rows * n_inputs {
             return Err(XbarError::InputLengthMismatch {
@@ -301,14 +327,15 @@ impl Tile {
         let cell_bits = self.config.cell.bits_per_cell;
         let wpc = self.packed.words_per_col();
         let n_planes = cycles * dac;
-        let planes = packed::pack_bit_planes_batch(inputs, n_inputs, n_planes, wpc);
+        packed::pack_bit_planes_batch_into(inputs, n_inputs, n_planes, wpc, planes);
         let per_input = n_planes as usize * wpc;
-        let mut y = vec![0i64; n_inputs * self.cols];
+        y.clear();
+        y.resize(n_inputs * self.cols, 0);
         // Chunk over whole inputs: chunk boundaries align to `cols`, so
         // each worker owns complete output rows.
         let grain_inputs = tinyadc_par::default_grain(n_inputs);
         let saturations = AtomicU64::new(0);
-        tinyadc_par::for_each_chunk_mut(&mut y, grain_inputs * self.cols, |chunk, y_block| {
+        tinyadc_par::for_each_chunk_mut(y, grain_inputs * self.cols, |chunk, y_block| {
             let mut sats = 0u64;
             for (bi, y_row) in y_block.chunks_mut(self.cols).enumerate() {
                 let i = chunk * grain_inputs + bi;
@@ -324,7 +351,7 @@ impl Tile {
             saturations.fetch_add(sats, Ordering::Relaxed);
         });
         self.record_mvm_events(n_inputs as u64, saturations.into_inner());
-        Ok(y)
+        Ok(())
     }
 
     /// The reference bit-serial MVM: the original column × cycle × slice

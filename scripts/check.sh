@@ -43,6 +43,17 @@ cargo test --offline -q --test resilience
 echo "==> observability determinism suite"
 cargo test --offline -q --test obs_determinism
 
+# The execution engine's acceptance gates: datapath-vs-engine agreement
+# on a trained model, the zero-steady-state-allocation workspace
+# contract, and bitwise thread-count invariance of run_batch.
+echo "==> compiled datapath equivalence suite"
+cargo test --offline -q --test compiled_datapath
+
+# End-to-end compile-once/run-many smoke through the CLI: compiles the
+# quick-test network, runs both executors, prints their accuracies.
+echo "==> compiled inference smoke run (--quick)"
+cargo run --offline --release -p tinyadc-cli --bin tinyadc -- infer --quick 1 >/dev/null
+
 # End-to-end fault-campaign smoke through the CLI (2 rates x 2 seeds):
 # the command itself fails unless the report parses back exactly and the
 # CP-pruned curve dominates the dense one.

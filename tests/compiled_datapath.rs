@@ -1,0 +1,261 @@
+//! The compile-once/run-many execution engine
+//! (`tinyadc_xbar::program::CompiledModel`) validated end to end:
+//!
+//! * the compiled bit-serial datapath agrees with the weight-domain
+//!   engine (`tinyadc_xbar::engine`) on a trained network to within
+//!   input-quantisation error;
+//! * a reused [`Workspace`] produces bitwise-identical outputs with a
+//!   stable memory footprint — same output pointer, same byte count —
+//!   across repeated runs (the zero-steady-state-allocation contract);
+//! * `run_batch` is bitwise invariant across 1/2/4/7 worker threads;
+//! * shape and kind errors surface as real [`XbarError::InvalidConfig`]
+//!   values in release builds, not `debug_assert!`s.
+
+use std::sync::Mutex;
+
+use tinyadc_nn::data::{DatasetTier, SyntheticImageDataset};
+use tinyadc_nn::layers::{Conv2d, GlobalAvgPool, Linear, Relu, Sequential};
+use tinyadc_nn::loss::softmax_cross_entropy;
+use tinyadc_nn::optim::Sgd;
+use tinyadc_nn::Network;
+use tinyadc_prune::CrossbarShape;
+use tinyadc_tensor::rng::SeededRng;
+use tinyadc_tensor::Tensor;
+use tinyadc_xbar::engine::apply_crossbar_effects;
+use tinyadc_xbar::program::{BatchWorkspace, CompileOptions, CompiledModel, Workspace};
+use tinyadc_xbar::quant::QuantConfig;
+use tinyadc_xbar::tile::XbarConfig;
+use tinyadc_xbar::XbarError;
+
+/// `set_threads` is process-global; tests that touch it serialise here.
+static THREADS: Mutex<()> = Mutex::new(());
+
+fn xbar_config() -> XbarConfig {
+    XbarConfig {
+        shape: CrossbarShape::new(32, 16).expect("valid"),
+        quant: QuantConfig {
+            weight_bits: 8,
+            input_bits: 8,
+        },
+        ..XbarConfig::paper_default()
+    }
+}
+
+/// A small conv→relu→gap→linear network trained on tier-1 data.
+fn train_small_cnn(rng: &mut SeededRng) -> (Network, SyntheticImageDataset) {
+    let data = SyntheticImageDataset::generate(DatasetTier::Tier1Cifar10Like, 160, 40, rng)
+        .expect("dataset");
+    let stack = Sequential::new("cnn")
+        .with(Conv2d::new("conv", 3, 12, 3, 1, 1, false, rng))
+        .with(Relu::new("relu"))
+        .with(GlobalAvgPool::new("gap"))
+        .with(Linear::new("head", 12, data.num_classes(), false, rng));
+    let mut net = Network::new("cnn", stack, data.input_dims(), data.num_classes());
+    let mut sgd = Sgd::new(0.1).with_momentum(0.9);
+    for _epoch in 0..4 {
+        let order = rng.permutation(data.train_len());
+        for chunk in order.chunks(20) {
+            let (x, labels) = data.train_batch(chunk).expect("batch");
+            let logits = net.forward(&x, true).expect("forward");
+            let (_, grad) = softmax_cross_entropy(&logits, &labels).expect("loss");
+            net.zero_grads();
+            net.backward(&grad).expect("backward");
+            sgd.step(&mut net).expect("step");
+        }
+    }
+    (net, data)
+}
+
+fn sample_of(data: &SyntheticImageDataset, batch: &Tensor, i: usize) -> Tensor {
+    let vol: usize = data.input_dims().iter().product();
+    Tensor::from_vec(
+        batch.as_slice()[i * vol..(i + 1) * vol].to_vec(),
+        &data.input_dims(),
+    )
+    .expect("sample")
+}
+
+#[test]
+fn compiled_datapath_agrees_with_weight_domain_engine() {
+    let mut rng = SeededRng::new(71);
+    let (mut net, data) = train_small_cnn(&mut rng);
+    let cfg = xbar_config();
+
+    // Datapath: the full compiled program, raw (signed) dataset inputs
+    // streamed differentially. Engine: weight-domain quantisation applied
+    // in place, then the float forward — the reference the paper's
+    // accuracy numbers are computed with.
+    let compiled = CompiledModel::compile(&net, cfg, &CompileOptions::default()).expect("compile");
+    assert_eq!(compiled.input_dims(), data.input_dims());
+    assert_eq!(compiled.output_len(), data.num_classes());
+    assert!(compiled.total_blocks() > 0);
+
+    let snapshot = net.snapshot();
+    apply_crossbar_effects(&mut net, cfg, None, &[], &mut rng).expect("effects");
+
+    let n = 12.min(data.test_len());
+    let (batch, _) = data.test_batch(&(0..n).collect::<Vec<_>>()).expect("batch");
+    let mut ws = Workspace::new();
+    let mut agree = 0usize;
+    for i in 0..n {
+        let sample = sample_of(&data, &batch, i);
+        let sim = compiled.run(&sample, &mut ws).expect("run").to_vec();
+        let float_in = sample.reshape(&[1, 3, 16, 16]).expect("batch of one");
+        let reference = net.forward(&float_in, false).expect("forward");
+        let reference = reference.as_slice();
+        assert_eq!(sim.len(), reference.len());
+        let scale = reference
+            .iter()
+            .fold(0.0f32, |m, v| m.max(v.abs()))
+            .max(0.5);
+        for (a, b) in sim.iter().zip(reference) {
+            assert!(
+                (a - b).abs() < 0.06 * scale,
+                "sample {i}: datapath {a} vs engine {b} (scale {scale})"
+            );
+        }
+        let sim_arg = argmax(&sim);
+        if sim_arg == argmax(reference) {
+            agree += 1;
+        }
+    }
+    assert!(
+        agree * 10 >= n * 9,
+        "datapath and engine classifications agree on {agree}/{n} samples"
+    );
+    net.restore(&snapshot);
+}
+
+fn argmax(row: &[f32]) -> usize {
+    row.iter()
+        .enumerate()
+        .fold((0, f32::NEG_INFINITY), |best, (i, &v)| {
+            if v > best.1 {
+                (i, v)
+            } else {
+                best
+            }
+        })
+        .0
+}
+
+#[test]
+fn reused_workspace_is_bitwise_stable_and_allocation_free() {
+    let mut rng = SeededRng::new(72);
+    let (net, data) = train_small_cnn(&mut rng);
+    let compiled =
+        CompiledModel::compile(&net, xbar_config(), &CompileOptions::default()).expect("compile");
+
+    let (batch, _) = data.test_batch(&[0]).expect("batch");
+    let sample = sample_of(&data, &batch, 0);
+    let mut ws = Workspace::new();
+
+    // First run grows every scratch buffer to steady state.
+    let first = compiled.run(&sample, &mut ws).expect("run");
+    let reference: Vec<f32> = first.to_vec();
+    let ptr0 = first.as_ptr();
+    let bytes0 = ws.bytes();
+    assert!(bytes0 > 0, "workspace reports its footprint");
+
+    // Steady state: the output slice keeps its address (no buffer was
+    // reallocated) and the workspace footprint does not grow — together
+    // with capacity-reusing `clear`/`resize` this pins the
+    // zero-per-request-allocation contract.
+    for round in 0..10 {
+        let out = compiled.run(&sample, &mut ws).expect("run");
+        assert_eq!(out.as_ptr(), ptr0, "round {round}: output buffer moved");
+        assert_eq!(
+            out,
+            reference.as_slice(),
+            "round {round}: output not bitwise stable"
+        );
+        assert_eq!(ws.bytes(), bytes0, "round {round}: workspace grew");
+    }
+}
+
+#[test]
+fn run_batch_is_bitwise_invariant_across_thread_counts() {
+    let _guard = THREADS.lock().unwrap_or_else(|p| p.into_inner());
+    let mut rng = SeededRng::new(73);
+    let (net, data) = train_small_cnn(&mut rng);
+    let compiled =
+        CompiledModel::compile(&net, xbar_config(), &CompileOptions::default()).expect("compile");
+
+    let n = 9.min(data.test_len());
+    let (batch, _) = data.test_batch(&(0..n).collect::<Vec<_>>()).expect("batch");
+
+    tinyadc_par::set_threads(1);
+    let mut ws = BatchWorkspace::new();
+    let reference = compiled.run_batch(&batch, &mut ws).expect("run_batch");
+    assert_eq!(reference.dims(), &[n, data.num_classes()]);
+
+    for threads in [2usize, 4, 7] {
+        tinyadc_par::set_threads(threads);
+        // A fresh workspace per count: reuse must not matter either.
+        let mut ws = BatchWorkspace::new();
+        let out = compiled.run_batch(&batch, &mut ws).expect("run_batch");
+        assert_eq!(out.dims(), reference.dims());
+        for (i, (a, b)) in out.as_slice().iter().zip(reference.as_slice()).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{threads} threads: logit {i} diverged"
+            );
+        }
+    }
+    tinyadc_par::set_threads(0);
+
+    // Batch rows equal per-sample runs: a batch is just a fan-out.
+    let mut ws1 = Workspace::new();
+    for i in 0..n {
+        let sample = sample_of(&data, &batch, i);
+        let single = compiled.run(&sample, &mut ws1).expect("run");
+        let row = &reference.as_slice()[i * data.num_classes()..(i + 1) * data.num_classes()];
+        assert_eq!(single, row, "sample {i} differs from its batch row");
+    }
+}
+
+#[test]
+fn shape_and_kind_errors_are_real_in_release_builds() {
+    let mut rng = SeededRng::new(74);
+    let (net, data) = train_small_cnn(&mut rng);
+    let cfg = xbar_config();
+    let compiled = CompiledModel::compile(&net, cfg, &CompileOptions::default()).expect("compile");
+
+    // Wrong input rank/volume at run time.
+    let mut ws = Workspace::new();
+    let bad = Tensor::zeros(&[3, 8, 8]);
+    assert!(matches!(
+        compiled.run(&bad, &mut ws),
+        Err(XbarError::InvalidConfig(_))
+    ));
+    let mut bws = BatchWorkspace::new();
+    assert!(compiled.run_batch(&bad, &mut bws).is_err());
+
+    // A linear head directly on an image shape must be rejected at
+    // compile time with a pointer at the missing Flatten/GAP.
+    let no_flatten =
+        Sequential::new("bad").with(Linear::new("head", 12, data.num_classes(), false, &mut rng));
+    let bad_net = Network::new("bad", no_flatten, data.input_dims(), data.num_classes());
+    let err = CompiledModel::compile(&bad_net, cfg, &CompileOptions::default())
+        .expect_err("linear on [c, h, w] must not compile");
+    assert!(matches!(err, XbarError::InvalidConfig(_)), "{err:?}");
+
+    // The per-call infer wrappers reject shape mismatches in release
+    // builds too (they share the compiled step implementations).
+    use tinyadc_nn::ParamKind;
+    use tinyadc_xbar::adc::Adc;
+    use tinyadc_xbar::infer;
+    use tinyadc_xbar::mapping::MappedLayer;
+    let w = Tensor::randn(&[4, 2, 3, 3], 0.4, &mut rng);
+    let mapped = MappedLayer::from_param(&w, ParamKind::ConvWeight, cfg).expect("map");
+    let adc = Adc::new(mapped.required_adc_bits()).expect("adc");
+    assert!(matches!(
+        infer::conv2d(&mapped, &Tensor::zeros(&[3, 6, 6]), 1, 1, &adc),
+        Err(XbarError::InvalidConfig(_))
+    ));
+    assert!(matches!(
+        infer::linear(&mapped, &Tensor::zeros(&[18]), &adc),
+        Err(XbarError::InvalidConfig(_))
+    ));
+}
