@@ -1,32 +1,39 @@
-//! Serial-vs-parallel and loop-vs-packed micro-benchmarks for the
-//! workspace hot kernels.
+//! Thread-scaling, pool-dispatch and loop-vs-packed micro-benchmarks for
+//! the workspace hot kernels.
 //!
 //! ```text
 //! cargo run --release -p tinyadc-bench --bin perf [-- --quick]
 //! ```
 //!
-//! Two families of measurements, both written to `BENCH_parallel.json`
+//! Three families of measurements, all written to `BENCH_parallel.json`
 //! in the current directory (the workspace root under `cargo run`):
 //!
-//! * **Serial vs parallel** — dense matmul, im2col convolution, CP
-//!   projection, and datapath conv inference, once with `tinyadc_par`
-//!   forced to one worker and once at the parallel count (the
-//!   `TINYADC_THREADS` env var, defaulting to available parallelism).
-//!   Both thread counts are recorded; a warning is printed when they are
-//!   equal (single-core machine without `TINYADC_THREADS` set), since
-//!   the speedups are then meaningless ~1.0×.
+//! * **Thread-scaling sweep** — dense matmul, im2col convolution, CP
+//!   projection, datapath conv inference, and compiled `run_batch`, each
+//!   timed at 1 / 2 / 4 / 8 pool workers. Every mode's checksum is
+//!   asserted bitwise equal to the serial run (the determinism contract
+//!   doubles as a correctness oracle), and per-mode speedups versus one
+//!   worker are recorded. `host_cores` goes into the JSON so consumers
+//!   (e.g. the `scripts/check.sh` perf gate) can tell real scaling from
+//!   an oversubscribed single-core container, where speedups honestly
+//!   sit near 1.0×.
+//! * **Pool dispatch latency** — the round-trip cost of one
+//!   `for_each_chunk_mut` fan-out over the persistent pool (post + wake +
+//!   drain + join) at each worker count, amortised over many dispatches.
+//!   At 1 worker this is the serial fast path and reports the no-dispatch
+//!   baseline.
 //! * **Datapath kernel comparisons** — single-threaded loop-vs-packed
-//!   `tile_matvec` on dense and CP-pruned paper-default 128×128 tiles,
-//!   per-patch-vs-batched `datapath_conv2d`, and compile-once-vs-per-call
-//!   `compiled_vs_percall` (a pre-compiled [`CompiledModel`] with a reused
-//!   workspace against re-mapping + `infer::conv2d` on every request);
-//!   these record algorithmic speedups independent of threading.
+//!   `tile_matvec` on dense and CP-pruned paper-default 128×128 tiles
+//!   (exercising the widened 4-plane popcount kernel), per-patch-vs-
+//!   batched `datapath_conv2d`, and compile-once-vs-per-call
+//!   `compiled_vs_percall`; these record algorithmic speedups
+//!   independent of threading.
 //!
 //! Pure std: `std::time::Instant`, one warmup run per mode, then
 //! interleaved repeats (cancels slow machine-load drift) reporting the
-//! best of N (robust to scheduling noise). Every kernel here is
-//! bitwise-deterministic, so the two modes also cross-check each other's
-//! outputs. `--quick` cuts the repeat count for CI smoke runs.
+//! best of N (robust to scheduling noise). `--quick` cuts the repeat
+//! count for CI smoke runs and writes `BENCH_parallel.quick.json` so the
+//! committed full-run numbers are never clobbered.
 
 use std::time::Instant;
 use tinyadc_nn::ParamKind;
@@ -36,9 +43,12 @@ use tinyadc_tensor::{im2col, Conv2dGeometry, Tensor};
 use tinyadc_xbar::adc::Adc;
 use tinyadc_xbar::infer::conv2d;
 use tinyadc_xbar::mapping::MappedLayer;
-use tinyadc_xbar::program::{CompiledModel, Workspace};
+use tinyadc_xbar::program::{BatchWorkspace, CompiledModel, Workspace};
 use tinyadc_xbar::quant::quantize_input;
 use tinyadc_xbar::tile::{Tile, XbarConfig};
+
+/// Worker counts every kernel is swept over.
+const SWEEP: [usize; 4] = [1, 2, 4, 8];
 
 /// One timed run of `f`; returns (seconds, checksum). The checksum keeps
 /// the work observable so it cannot be optimised away.
@@ -48,10 +58,18 @@ fn timed<F: FnMut() -> f64>(f: &mut F) -> (f64, f64) {
     (t0.elapsed().as_secs_f64(), c)
 }
 
-struct KernelResult {
+/// Best-of-N seconds for one kernel at every sweep worker count.
+struct SweepResult {
     name: &'static str,
-    serial_s: f64,
-    parallel_s: f64,
+    secs: [f64; SWEEP.len()],
+}
+
+impl SweepResult {
+    /// Speedup of `threads` workers over one worker.
+    fn speedup_at(&self, threads: usize) -> f64 {
+        let k = SWEEP.iter().position(|&t| t == threads).expect("in sweep");
+        speedup(self.secs[0], self.secs[k])
+    }
 }
 
 struct CompareResult {
@@ -70,62 +88,69 @@ fn speedup(slow: f64, fast: f64) -> f64 {
     }
 }
 
-/// Runs `f` at 1 worker and at the parallel count with interleaved
-/// repeats, checks the outputs agree bitwise, and keeps the best time
-/// per mode.
-fn bench<F: FnMut() -> f64>(
-    name: &'static str,
-    parallel: usize,
-    reps: usize,
-    mut f: F,
-) -> KernelResult {
-    // Warm caches/allocator in both modes.
+/// Runs `f` at every sweep worker count with interleaved repeats, checks
+/// all outputs agree bitwise with the 1-worker run, and keeps the best
+/// time per mode.
+fn bench_sweep<F: FnMut() -> f64>(name: &'static str, reps: usize, mut f: F) -> SweepResult {
     tinyadc_par::set_threads(1);
     let reference = f();
-    tinyadc_par::set_threads(parallel);
-    assert_eq!(
-        tinyadc_par::current_threads(),
-        parallel,
-        "worker count did not take effect"
-    );
-    let warm = f();
-    assert_eq!(
-        reference.to_bits(),
-        warm.to_bits(),
-        "{name}: parallel output diverged from serial"
-    );
-    let (mut serial_s, mut parallel_s) = (f64::INFINITY, f64::INFINITY);
+    // Warm caches/allocator/pool in every mode, verifying determinism.
+    for &t in &SWEEP {
+        tinyadc_par::set_threads(t);
+        assert_eq!(
+            tinyadc_par::current_threads(),
+            t,
+            "worker count did not take effect"
+        );
+        let c = f();
+        assert_eq!(
+            c.to_bits(),
+            reference.to_bits(),
+            "{name}: output diverged at {t} workers"
+        );
+    }
+    let mut secs = [f64::INFINITY; SWEEP.len()];
     for _ in 0..reps {
-        tinyadc_par::set_threads(1);
-        let (dt, c) = timed(&mut f);
-        assert_eq!(
-            c.to_bits(),
-            reference.to_bits(),
-            "{name}: serial run unstable"
-        );
-        serial_s = serial_s.min(dt);
-        tinyadc_par::set_threads(parallel);
-        let (dt, c) = timed(&mut f);
-        assert_eq!(
-            c.to_bits(),
-            reference.to_bits(),
-            "{name}: parallel run unstable"
-        );
-        parallel_s = parallel_s.min(dt);
+        for (k, &t) in SWEEP.iter().enumerate() {
+            tinyadc_par::set_threads(t);
+            let (dt, c) = timed(&mut f);
+            assert_eq!(
+                c.to_bits(),
+                reference.to_bits(),
+                "{name}: run unstable at {t} workers"
+            );
+            secs[k] = secs[k].min(dt);
+        }
     }
     tinyadc_par::set_threads(0);
-    let r = KernelResult {
-        name,
-        serial_s,
-        parallel_s,
-    };
-    eprintln!(
-        "  {name:<16} serial {:8.3} ms  parallel {:8.3} ms  speedup {:.2}x",
-        r.serial_s * 1e3,
-        r.parallel_s * 1e3,
-        speedup(r.serial_s, r.parallel_s)
-    );
+    let r = SweepResult { name, secs };
+    let cells: String = SWEEP
+        .iter()
+        .zip(&r.secs)
+        .map(|(t, s)| format!("  {t}t {:8.3} ms ({:.2}x)", s * 1e3, speedup(r.secs[0], *s)))
+        .collect();
+    eprintln!("  {name:<16}{cells}");
     r
+}
+
+/// Amortised cost of one pool fan-out (post + wake + drain + join) at
+/// `threads` workers: a minimal parallel region dispatched `iters`
+/// times. At 1 worker the serial fast path runs — the no-pool baseline.
+fn dispatch_latency_us(threads: usize, iters: usize) -> f64 {
+    tinyadc_par::set_threads(threads);
+    // Enough one-element chunks that `workers_for` engages all workers.
+    let mut v = vec![0u64; (threads * 2).max(4)];
+    for _ in 0..iters / 10 + 1 {
+        tinyadc_par::for_each_chunk_mut(&mut v, 1, |ci, c| c[0] = ci as u64);
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        tinyadc_par::for_each_chunk_mut(&mut v, 1, |ci, c| c[0] = ci as u64);
+    }
+    let dt = t0.elapsed().as_secs_f64() / iters as f64;
+    tinyadc_par::set_threads(0);
+    std::hint::black_box(&v);
+    dt * 1e6
 }
 
 /// Times two implementations of the same computation at **one** worker,
@@ -224,24 +249,20 @@ fn paper_tile(cp_rate: usize, rng: &mut SeededRng) -> Tile {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let quick = std::env::args().any(|a| a == "--quick");
-    let reps = if quick { 3 } else { 15 };
+    let reps = if quick { 2 } else { 9 };
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
 
-    // Resolve the parallel worker count once, before any override:
-    // TINYADC_THREADS if set, else available parallelism (what
-    // `current_threads` reports with no override active).
-    tinyadc_par::set_threads(0);
-    let threads_serial = 1usize;
-    let threads_parallel = tinyadc_par::current_threads();
     eprintln!(
-        "perf: comparing {threads_serial} worker vs {threads_parallel} worker(s), \
+        "perf: thread sweep over {SWEEP:?} workers on {host_cores} host core(s), \
          best of {reps} interleaved{}",
         if quick { " (quick)" } else { "" }
     );
-    if threads_parallel == threads_serial {
+    if host_cores < 4 {
         eprintln!(
-            "perf: WARNING serial and parallel worker counts are both {threads_serial}; \
-             parallel speedups below are meaningless — set TINYADC_THREADS>1 \
-             (available parallelism on this machine is 1)"
+            "perf: WARNING only {host_cores} host core(s) — sweep speedups are \
+             oversubscription numbers, not real scaling"
         );
     }
 
@@ -251,7 +272,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Dense matmul: [192, 384] x [384, 192].
     let a = Tensor::randn(&[192, 384], 1.0, &mut rng);
     let b = Tensor::randn(&[384, 192], 1.0, &mut rng);
-    results.push(bench("matmul", threads_parallel, reps, || {
+    results.push(bench_sweep("matmul", reps, || {
         checksum(a.matmul(&b).expect("matmul").as_slice())
     }));
 
@@ -260,7 +281,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let w = Tensor::randn(&[32, 16, 3, 3], 0.3, &mut rng);
     let g = Conv2dGeometry::new(16, 32, 32, 3, 3, 1, 1)?;
     let w2d = w.reshape(&[32, g.patch_len()])?;
-    results.push(bench("conv_im2col", threads_parallel, reps, || {
+    results.push(bench_sweep("conv_im2col", reps, || {
         let cols = im2col(&x, &g).expect("im2col");
         checksum(w2d.matmul(&cols).expect("matmul").as_slice())
     }));
@@ -269,7 +290,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let shape = CrossbarShape::new(16, 8)?;
     let cp = CpConstraint::new(shape, 4)?;
     let big = Tensor::randn(&[256, 512], 1.0, &mut rng);
-    results.push(bench("cp_projection", threads_parallel, reps, || {
+    results.push(bench_sweep("cp_projection", reps, || {
         checksum(
             cp.project_param(&big, ParamKind::LinearWeight)
                 .expect("projection")
@@ -286,16 +307,45 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let xc = Tensor::uniform(&[4, 12, 12], 0.0, 1.0, &mut rng);
     let mapped = MappedLayer::from_param(&wc, ParamKind::ConvWeight, cfg)?;
     let adc = Adc::new(mapped.required_adc_bits())?;
-    results.push(bench("tile_inference", threads_parallel, reps, || {
+    results.push(bench_sweep("tile_inference", reps, || {
         checksum(conv2d(&mapped, &xc, 1, 1, &adc).expect("conv2d").as_slice())
     }));
+
+    // 5. Compiled batch inference: whole samples fan out over the pool
+    // (the tentpole batch grain), paper-default 128×128 crossbars.
+    let cfg_full = XbarConfig::paper_default();
+    let ws_w = Tensor::randn(&[128, 16, 3, 3], 0.3, &mut rng);
+    let batch_n = 8;
+    let batch_x = Tensor::uniform(&[batch_n, 16, 8, 8], 0.0, 1.0, &mut rng);
+    let batch_mapped = MappedLayer::from_param(&ws_w, ParamKind::ConvWeight, cfg_full)?;
+    let compiled = CompiledModel::from_conv(batch_mapped, [16, 8, 8], 1, 1, None)?;
+    let mut batch_ws = BatchWorkspace::new();
+    eprintln!(
+        "perf: run_batch program costs {} modeled conversions per sample",
+        compiled.sample_conversions()
+    );
+    results.push(bench_sweep("run_batch", reps, || {
+        let y = compiled.run_batch(&batch_x, &mut batch_ws).expect("batch");
+        checksum(y.as_slice())
+    }));
+
+    // --- Pool dispatch latency ---
+    eprintln!("perf: pool dispatch latency (one fan-out, amortised)");
+    let dispatch_iters = if quick { 200 } else { 2000 };
+    let dispatch_us: Vec<(usize, f64)> = SWEEP
+        .iter()
+        .map(|&t| (t, dispatch_latency_us(t, dispatch_iters)))
+        .collect();
+    for (t, us) in &dispatch_us {
+        eprintln!("  dispatch          {t}t {us:10.3} us");
+    }
 
     // --- Datapath kernel comparisons (single-threaded, algorithmic) ---
     eprintln!("perf: datapath kernels, loop vs packed at 1 thread");
     let mut comparisons = Vec::new();
 
-    // 5. tile_matvec on the paper-default 128×128 config: the packed
-    // popcount kernel vs the reference quadruple loop, dense and
+    // 6. tile_matvec on the paper-default 128×128 config: the widened
+    // packed popcount kernel vs the reference quadruple loop, dense and
     // CP-pruned (rate 8: 16 active rows per column).
     let input: Vec<u64> = (0..128).map(|_| rng.next_u64() % 256).collect();
     for (name, cp_rate) in [("tile_matvec_dense", 1usize), ("tile_matvec_cp8", 8)] {
@@ -310,7 +360,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ));
     }
 
-    // 6. datapath_conv2d: batched MVM (one packing pass per tile) vs the
+    // 7. datapath_conv2d: batched MVM (one packing pass per tile) vs the
     // old per-patch streaming, at the codes level on the same layer.
     let gq = Conv2dGeometry::new(4, 12, 12, 3, 3, 1, 1)?;
     let cols_q = im2col(&xc, &gq)?;
@@ -342,16 +392,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
     ));
 
-    // 7. Compile-once/run-many: a pre-compiled conv program with a reused
+    // 8. Compile-once/run-many: a pre-compiled conv program with a reused
     // workspace vs re-mapping the layer (`MappedLayer::from_param`) and
     // calling the per-call `infer::conv2d` wrapper on every request — the
     // steady-state serving cost the execution engine exists to remove.
-    // Paper-default 128×128 crossbars, [128, 16, 3, 3] weight.
-    let cfg_full = XbarConfig::paper_default();
-    let ws_w = Tensor::randn(&[128, 16, 3, 3], 0.3, &mut rng);
     let ws_x = Tensor::uniform(&[16, 8, 8], 0.0, 1.0, &mut rng);
     let premapped = MappedLayer::from_param(&ws_w, ParamKind::ConvWeight, cfg_full)?;
-    let compiled = CompiledModel::from_conv(premapped, [16, 8, 8], 1, 1, None)?;
+    let compiled_one = CompiledModel::from_conv(premapped, [16, 8, 8], 1, 1, None)?;
     let mut workspace = Workspace::new();
     comparisons.push(compare(
         "compiled_vs_percall",
@@ -362,23 +409,41 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let a = Adc::new(m.required_adc_bits()).expect("adc");
             checksum(conv2d(&m, &ws_x, 1, 1, &a).expect("conv2d").as_slice())
         },
-        || checksum(compiled.run(&ws_x, &mut workspace).expect("run")),
+        || checksum(compiled_one.run(&ws_x, &mut workspace).expect("run")),
     ));
 
     // Hand-rolled JSON (std-only policy: no serde in the workspace).
     let mut json = String::from("{\n");
-    json.push_str(&format!("  \"threads_serial\": {threads_serial},\n"));
-    json.push_str(&format!("  \"threads_parallel\": {threads_parallel},\n"));
+    json.push_str(&format!("  \"host_cores\": {host_cores},\n"));
     json.push_str(&format!("  \"reps\": {reps},\n"));
+    json.push_str(&format!(
+        "  \"threads\": [{}],\n",
+        SWEEP.map(|t| t.to_string()).join(", ")
+    ));
     json.push_str("  \"kernels\": [\n");
     for (i, r) in results.iter().enumerate() {
+        let ms: String = SWEEP
+            .iter()
+            .zip(&r.secs)
+            .map(|(t, s)| format!("{{\"threads\": {t}, \"ms\": {:.3}}}", s * 1e3))
+            .collect::<Vec<_>>()
+            .join(", ");
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, \"speedup\": {:.3}}}{}\n",
+            "    {{\"name\": \"{}\", \"sweep\": [{ms}], \"speedup_2t\": {:.3}, \
+             \"speedup_4t\": {:.3}, \"speedup_8t\": {:.3}}}{}\n",
             r.name,
-            r.serial_s * 1e3,
-            r.parallel_s * 1e3,
-            speedup(r.serial_s, r.parallel_s),
+            r.speedup_at(2),
+            r.speedup_at(4),
+            r.speedup_at(8),
             if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"pool_dispatch_us\": [\n");
+    for (i, (t, us)) in dispatch_us.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"threads\": {t}, \"us\": {us:.3}}}{}\n",
+            if i + 1 < dispatch_us.len() { "," } else { "" }
         ));
     }
     json.push_str("  ],\n");

@@ -105,9 +105,12 @@ impl Layer for Conv2d {
         let w2d = self.weight.value.reshape(&[f, g.patch_len()])?;
 
         let per_sample = f * g.patch_count();
-        // Batch samples are independent; unfold and multiply them in
-        // parallel, then assemble in batch order (bitwise identical to the
-        // serial loop for any thread count).
+        // Batch samples are independent; unfold and multiply them over
+        // the worker pool, then assemble in batch order (bitwise identical
+        // to the serial loop for any thread count). This is the coarse
+        // batch grain: the per-sample matmuls inside detect they run on a
+        // pool worker and degrade to serial, so the pool is never
+        // oversubscribed by nested dispatches.
         let results = tinyadc_par::map(batch, |b| -> Result<(Tensor, Option<Tensor>)> {
             let sample = Tensor::from_vec(
                 input.as_slice()[b * c * h * w..(b + 1) * c * h * w].to_vec(),

@@ -24,6 +24,13 @@
 //! * Span **timings** are wall-clock and explicitly excluded from the
 //!   contract; they never appear in a [`MetricsSnapshot`]. The spans'
 //!   logical sequence numbers are deterministic for serial callers.
+//! * **Scheduling-visible** metrics ([`sched_counter`], [`sched_gauge`])
+//!   are the one sanctioned exception *inside* snapshots: their values —
+//!   pool dispatch counts, worker wakeups, queue depth — legitimately
+//!   depend on the thread count. They appear in snapshots and the name
+//!   catalogue like any other metric, and
+//!   [`MetricsSnapshot::without_sched`] strips them so the remainder can
+//!   still be compared bitwise across thread counts.
 //!
 //! ## Example
 //!
@@ -51,7 +58,8 @@ mod span;
 pub use error::ObsError;
 pub use manifest::{fnv1a_hash, RunManifest};
 pub use metrics::{
-    counter, gauge, histogram, Counter, Gauge, Histogram, LazyCounter, LazyGauge, LazyHistogram,
+    counter, gauge, histogram, sched_counter, sched_gauge, sched_names, Counter, Gauge, Histogram,
+    LazyCounter, LazyGauge, LazyHistogram,
 };
 pub use snapshot::{HistogramSnapshot, MetricsSnapshot};
 pub use span::{chrome_trace, span, spans, Span, SpanRecord};

@@ -5,7 +5,7 @@
 //! so the registry lock is taken exactly once per call site; after that a
 //! record is a single atomic operation.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -172,6 +172,8 @@ pub(crate) struct Registry {
     pub(crate) counters: Mutex<BTreeMap<String, Arc<Counter>>>,
     pub(crate) gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
     pub(crate) histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    /// Names of scheduling-visible metrics (see [`sched_counter`]).
+    pub(crate) sched: Mutex<BTreeSet<String>>,
 }
 
 pub(crate) fn registry() -> &'static Registry {
@@ -189,6 +191,49 @@ pub fn counter(name: &str) -> Arc<Counter> {
 pub fn gauge(name: &str) -> Arc<Gauge> {
     let mut map = registry().gauges.lock().expect("gauge registry");
     Arc::clone(map.entry(name.to_owned()).or_default())
+}
+
+/// Registers (or fetches) the **scheduling-visible** counter named
+/// `name`.
+///
+/// A sched metric is a regular registry entry — it shows up in
+/// [`crate::MetricsSnapshot::capture`], `names()`, and every
+/// serialisation — but its *value* is allowed to depend on the thread
+/// count and scheduling (pool dispatch counts, worker wakeups, …), so it
+/// sits **outside** the value-determinism contract, like span wall-times.
+/// [`crate::MetricsSnapshot::without_sched`] strips these entries so the
+/// rest of a snapshot can still be compared bitwise across thread counts.
+pub fn sched_counter(name: &str) -> Arc<Counter> {
+    mark_sched(name);
+    counter(name)
+}
+
+/// Registers (or fetches) the scheduling-visible gauge named `name`; see
+/// [`sched_counter`]. Unlike ordinary gauges, a sched gauge may be set
+/// from inside a parallel region — last-write-wins races are accepted
+/// because the value is outside the determinism contract anyway.
+pub fn sched_gauge(name: &str) -> Arc<Gauge> {
+    mark_sched(name);
+    gauge(name)
+}
+
+fn mark_sched(name: &str) {
+    registry()
+        .sched
+        .lock()
+        .expect("sched registry")
+        .insert(name.to_owned());
+}
+
+/// The names currently marked scheduling-visible, sorted.
+pub fn sched_names() -> Vec<String> {
+    registry()
+        .sched
+        .lock()
+        .expect("sched registry")
+        .iter()
+        .cloned()
+        .collect()
 }
 
 /// Registers (or fetches) the histogram named `name` with the given
@@ -227,6 +272,7 @@ pub(crate) fn reset_values() {
 #[derive(Debug)]
 pub struct LazyCounter {
     name: &'static str,
+    sched: bool,
     cell: OnceLock<Arc<Counter>>,
 }
 
@@ -235,6 +281,17 @@ impl LazyCounter {
     pub const fn new(name: &'static str) -> Self {
         Self {
             name,
+            sched: false,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// Declares a scheduling-visible counter handle for `name`; see
+    /// [`sched_counter`].
+    pub const fn new_sched(name: &'static str) -> Self {
+        Self {
+            name,
+            sched: true,
             cell: OnceLock::new(),
         }
     }
@@ -245,7 +302,13 @@ impl LazyCounter {
     }
 
     fn handle(&self) -> &Counter {
-        self.cell.get_or_init(|| counter(self.name))
+        self.cell.get_or_init(|| {
+            if self.sched {
+                sched_counter(self.name)
+            } else {
+                counter(self.name)
+            }
+        })
     }
 
     /// Adds `n` events.
@@ -274,6 +337,7 @@ impl LazyCounter {
 #[derive(Debug)]
 pub struct LazyGauge {
     name: &'static str,
+    sched: bool,
     cell: OnceLock<Arc<Gauge>>,
 }
 
@@ -282,6 +346,17 @@ impl LazyGauge {
     pub const fn new(name: &'static str) -> Self {
         Self {
             name,
+            sched: false,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// Declares a scheduling-visible gauge handle for `name`; see
+    /// [`sched_gauge`].
+    pub const fn new_sched(name: &'static str) -> Self {
+        Self {
+            name,
+            sched: true,
             cell: OnceLock::new(),
         }
     }
@@ -292,7 +367,13 @@ impl LazyGauge {
     }
 
     fn handle(&self) -> &Gauge {
-        self.cell.get_or_init(|| gauge(self.name))
+        self.cell.get_or_init(|| {
+            if self.sched {
+                sched_gauge(self.name)
+            } else {
+                gauge(self.name)
+            }
+        })
     }
 
     /// Stores a value (serial contexts only; see [`Gauge::set`]).
@@ -404,6 +485,21 @@ mod tests {
         C.add(2);
         assert_eq!(C.name(), "test.metrics.lazy");
         assert_eq!(counter("test.metrics.lazy").get(), C.get());
+    }
+
+    #[test]
+    fn sched_metrics_register_normally_but_are_marked() {
+        let c = sched_counter("test.metrics.sched.counter");
+        let g = sched_gauge("test.metrics.sched.gauge");
+        c.add(3);
+        g.set(2.0);
+        // Same cells as the plain accessors: one registry, one value.
+        assert_eq!(counter("test.metrics.sched.counter").get(), 3);
+        assert_eq!(gauge("test.metrics.sched.gauge").get(), 2.0);
+        let sched = sched_names();
+        assert!(sched.contains(&"test.metrics.sched.counter".to_owned()));
+        assert!(sched.contains(&"test.metrics.sched.gauge".to_owned()));
+        assert!(!sched.contains(&"test.metrics.counter".to_owned()));
     }
 
     #[test]

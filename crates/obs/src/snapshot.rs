@@ -104,6 +104,39 @@ impl MetricsSnapshot {
         names
     }
 
+    /// A copy of the snapshot with every **scheduling-visible** metric
+    /// removed (the names registered via [`crate::sched_counter`] /
+    /// [`crate::sched_gauge`] in this process — pool dispatch counts,
+    /// worker wakeups, queue depth).
+    ///
+    /// Sched values legitimately vary with the thread count, so the
+    /// determinism suite compares `without_sched()` serialisations; the
+    /// full snapshot still carries them for reports and debugging.
+    pub fn without_sched(&self) -> Self {
+        let sched = metrics::sched_names();
+        let keep = |name: &str| sched.binary_search_by(|s| s.as_str().cmp(name)).is_err();
+        Self {
+            counters: self
+                .counters
+                .iter()
+                .filter(|(n, _)| keep(n))
+                .cloned()
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .filter(|(n, _)| keep(n))
+                .cloned()
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .filter(|h| keep(&h.name))
+                .cloned()
+                .collect(),
+        }
+    }
+
     /// Looks up a counter total by name.
     pub fn counter(&self, name: &str) -> Option<u64> {
         self.counters
@@ -413,6 +446,21 @@ mod tests {
         );
         assert_eq!(snap.counter("missing"), None);
         assert_eq!(snap.names().len(), 6);
+    }
+
+    #[test]
+    fn without_sched_strips_marked_names_only() {
+        crate::sched_counter("snap.test.sched.dispatch").add(5);
+        crate::sched_gauge("snap.test.sched.depth").set(3.0);
+        crate::counter("snap.test.plain").add(1);
+        let snap = MetricsSnapshot::capture();
+        assert_eq!(snap.counter("snap.test.sched.dispatch"), Some(5));
+        let clean = snap.without_sched();
+        assert_eq!(clean.counter("snap.test.sched.dispatch"), None);
+        assert_eq!(clean.gauge("snap.test.sched.depth"), None);
+        assert_eq!(clean.counter("snap.test.plain"), Some(1));
+        // Full snapshot unchanged; names() still lists sched metrics.
+        assert!(snap.names().contains(&"snap.test.sched.depth".to_owned()));
     }
 
     #[test]

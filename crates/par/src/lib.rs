@@ -1,4 +1,4 @@
-//! Deterministic, dependency-free parallel execution for the workspace.
+//! Deterministic, std-only parallel execution for the workspace.
 //!
 //! Every hot kernel in the workspace (blocked matmul, im2col convolution,
 //! CP projection, bit-serial crossbar MVM, per-sample training passes)
@@ -16,10 +16,29 @@
 //!    chunk-index order, so floating-point association is a function of
 //!    the grain alone.
 //!
-//! Thread count resolves as: [`set_threads`] override → `TINYADC_THREADS`
-//! env var → [`std::thread::available_parallelism`]. At 1 thread every
-//! helper degrades to a plain serial loop with no spawning and no
+//! # The persistent pool
+//!
+//! Parallel regions execute on a lazily spawned, process-wide pool of
+//! parked worker threads (see the `pool` module) instead of spawning a
+//! fresh `std::thread::scope` per call, so dispatch costs a condvar wake
+//! rather than thread creation. Which thread runs which task is the one
+//! thing the pool may vary — never the task boundaries or the merge
+//! order, so the determinism contract is untouched. [`set_threads`]
+//! resizes the pool (and `set_threads(0)` fully quiesces it — no pool
+//! thread outlives the call, see [`pool_workers`]); at 1 thread every
+//! helper degrades to a plain serial loop with no dispatch and no
 //! synchronisation overhead.
+//!
+//! The pool exports scheduling-visible `par.pool.*` metrics
+//! (`tasks_dispatched`, `worker_wakeups`, `queue_depth`) through
+//! `tinyadc-obs`; their values are explicitly outside the bitwise
+//! determinism contract (see `tinyadc_obs::sched_counter`).
+//!
+//! # Thread-count resolution
+//!
+//! See [`current_threads`]: [`set_threads`] override (checked on every
+//! call) → `TINYADC_THREADS` env var (read **once** per process on first
+//! use) → [`std::thread::available_parallelism`] (also resolved once).
 //!
 //! # Example
 //!
@@ -34,12 +53,18 @@
 //! assert_eq!(squares[40], 1600);
 //! ```
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+mod metrics;
+mod pool;
+
+use std::any::Any;
 use std::cell::Cell;
 use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
 
 /// Programmatic override; 0 means "not set, use env/auto".
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
@@ -47,44 +72,84 @@ static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 thread_local! {
     /// Set inside worker threads so nested parallel calls (e.g. a
     /// per-patch map invoking per-column tile MVMs) degrade to serial
-    /// instead of oversubscribing the machine with recursive spawns.
+    /// instead of oversubscribing the machine with recursive dispatches.
     /// Harmless for results: every helper is thread-count-invariant.
     static IN_WORKER: Cell<bool> = const { Cell::new(false) };
 }
 
-/// Below this many work items the spawn cost dwarfs the win; run serial.
-/// Thresholding never changes results — only where they are computed.
-const MIN_ITEMS_PER_THREAD: usize = 2;
-
-/// Sets the global worker count. `0` clears the override, returning to
-/// `TINYADC_THREADS` / auto detection. Takes effect for subsequent calls.
-pub fn set_threads(n: usize) {
-    THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+/// Marks the current thread as a pool worker for its whole lifetime.
+pub(crate) fn enter_worker_context() {
+    IN_WORKER.with(|w| w.set(true));
 }
 
-/// The worker count parallel helpers will use right now:
-/// [`set_threads`] override, else `TINYADC_THREADS`, else
-/// [`std::thread::available_parallelism`], floored at 1.
+/// Whether the current thread is executing inside a parallel region.
+pub(crate) fn in_worker_context() -> bool {
+    IN_WORKER.with(Cell::get)
+}
+
+/// Below this many work items the dispatch cost dwarfs the win; run
+/// serial. Thresholding never changes results — only where they are
+/// computed.
+const MIN_ITEMS_PER_THREAD: usize = 2;
+
+/// Sets the global worker count and resizes the pool to match (`n`
+/// participants = the caller plus `n - 1` pool workers; surplus workers
+/// exit before this returns).
+///
+/// `0` clears the override — thread count falls back to
+/// `TINYADC_THREADS` / auto detection for subsequent calls — **and**
+/// quiesces the pool entirely: after `set_threads(0)` returns,
+/// [`pool_workers`] is `0` and no pool thread lingers. Workers respawn
+/// lazily on the next parallel dispatch.
+pub fn set_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+    pool::resize(n.saturating_sub(1));
+}
+
+/// The worker count parallel helpers will use right now.
+///
+/// Precedence: the [`set_threads`] override if one is live, else the
+/// `TINYADC_THREADS` env var, else
+/// [`std::thread::available_parallelism`], floored at 1. The env var and
+/// the auto detection are resolved **once** per process on first use and
+/// cached; mutating `TINYADC_THREADS` afterwards has no effect (use
+/// [`set_threads`], which always wins and is re-read on every call).
 pub fn current_threads() -> usize {
     let forced = THREAD_OVERRIDE.load(Ordering::Relaxed);
     if forced > 0 {
         return forced;
     }
-    if let Ok(v) = std::env::var("TINYADC_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
-        }
-    }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    default_threads()
 }
 
-/// How many workers to actually launch for `tasks` independent tasks.
+/// Cached `TINYADC_THREADS` → `available_parallelism` fallback.
+fn default_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        if let Ok(v) = std::env::var("TINYADC_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Live pool worker threads right now (parked or running); excludes the
+/// calling thread. `0` after [`set_threads`]`(0)` — the basis of the
+/// pool-shutdown leak check in `scripts/check.sh`.
+pub fn pool_workers() -> usize {
+    pool::workers()
+}
+
+/// How many workers to actually use for `tasks` independent tasks.
 fn workers_for(tasks: usize) -> usize {
-    if IN_WORKER.with(Cell::get) {
+    metrics::touch();
+    if in_worker_context() {
         return 1;
     }
     let t = current_threads()
@@ -93,9 +158,53 @@ fn workers_for(tasks: usize) -> usize {
     t.max(1)
 }
 
+/// Fans `tasks` out over the pool: the caller and up to `workers - 1`
+/// pool threads pop from a shared queue until it drains. Each task owns
+/// its output (disjoint `&mut` slices, index-addressed slots), so the
+/// pop order — the only scheduling freedom — cannot affect results.
+///
+/// The first panic from any task is captured, the queue is drained to
+/// fail fast, and the payload is rethrown on the caller once every
+/// worker has detached, mirroring `std::thread::scope` semantics.
+fn run_parallel<T, F>(tasks: Vec<T>, workers: usize, run: F)
+where
+    T: Send,
+    F: Fn(T) + Sync,
+{
+    debug_assert!(workers > 1);
+    metrics::TASKS_DISPATCHED.add(tasks.len() as u64);
+    metrics::QUEUE_DEPTH.set(tasks.len() as f64);
+    let queue = Mutex::new(tasks);
+    let panic_slot: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
+    let body = || {
+        loop {
+            let task = queue.lock().unwrap_or_else(|e| e.into_inner()).pop();
+            let Some(task) = task else { break };
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| run(task))) {
+                let mut slot = panic_slot.lock().unwrap_or_else(|e| e.into_inner());
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+                drop(slot);
+                // Fail fast: drop the remaining tasks so every
+                // participant stops at its next pop.
+                queue.lock().unwrap_or_else(|e| e.into_inner()).clear();
+            }
+        }
+    };
+    // The caller is a participant too; flag it so nested parallel calls
+    // inside its tasks degrade to serial like they do on pool workers.
+    enter_worker_context();
+    pool::run(workers - 1, &body);
+    IN_WORKER.with(|w| w.set(false));
+    if let Some(payload) = panic_slot.into_inner().unwrap_or_else(|e| e.into_inner()) {
+        resume_unwind(payload);
+    }
+}
+
 /// Splits `data` into consecutive chunks of `chunk_len` elements (the last
 /// may be shorter) and runs `f(chunk_index, chunk)` for every chunk,
-/// distributing chunks over the worker threads.
+/// distributing chunks over the pool.
 ///
 /// Each chunk is a disjoint `&mut` sub-slice, so the result is bitwise
 /// identical to running the chunks serially in order — for any thread
@@ -104,7 +213,7 @@ fn workers_for(tasks: usize) -> usize {
 /// # Panics
 ///
 /// Panics if `chunk_len == 0` (via `chunks_mut`) or if `f` panics on any
-/// worker.
+/// worker (the first panic payload is rethrown on the caller).
 pub fn for_each_chunk_mut<T, F>(data: &mut [T], chunk_len: usize, f: F)
 where
     T: Send,
@@ -118,28 +227,8 @@ where
         }
         return;
     }
-    // Contiguous runs of chunks per worker keep memory access streaming.
-    let chunks: Vec<(usize, &mut [T])> = data.chunks_mut(chunk_len).enumerate().collect();
-    let per_worker = chunks.len().div_ceil(workers);
-    let mut groups: Vec<Vec<(usize, &mut [T])>> = Vec::with_capacity(workers);
-    let mut rest = chunks;
-    while !rest.is_empty() {
-        let take = per_worker.min(rest.len());
-        let tail = rest.split_off(take);
-        groups.push(rest);
-        rest = tail;
-    }
-    std::thread::scope(|s| {
-        for group in groups {
-            let f = &f;
-            s.spawn(move || {
-                IN_WORKER.with(|w| w.set(true));
-                for (ci, chunk) in group {
-                    f(ci, chunk);
-                }
-            });
-        }
-    });
+    let tasks: Vec<(usize, &mut [T])> = data.chunks_mut(chunk_len).enumerate().collect();
+    run_parallel(tasks, workers, |(ci, chunk)| f(ci, chunk));
 }
 
 /// Runs `f(i)` for `i in 0..n` and collects the results in index order.
@@ -155,17 +244,15 @@ where
         return (0..n).map(f).collect();
     }
     let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    let per_worker = n.div_ceil(workers);
-    std::thread::scope(|s| {
-        for (w, slots) in out.chunks_mut(per_worker).enumerate() {
-            let base = w * per_worker;
-            let f = &f;
-            s.spawn(move || {
-                IN_WORKER.with(|w| w.set(true));
-                for (j, slot) in slots.iter_mut().enumerate() {
-                    *slot = Some(f(base + j));
-                }
-            });
+    // A few tasks per participant keeps the pool load-balanced when item
+    // costs are uneven; slots are index-addressed so the split is
+    // invisible in the results.
+    let task_len = n.div_ceil((workers * 4).min(n));
+    let tasks: Vec<(usize, &mut [Option<T>])> = out.chunks_mut(task_len).enumerate().collect();
+    run_parallel(tasks, workers, |(t, slots)| {
+        let base = t * task_len;
+        for (j, slot) in slots.iter_mut().enumerate() {
+            *slot = Some(f(base + j));
         }
     });
     out.into_iter()
@@ -210,19 +297,45 @@ where
 }
 
 /// A sensible chunk length for `n` items of roughly uniform cost: large
-/// enough to amortise spawning, derived only from `n` (never the thread
+/// enough to amortise dispatch, derived only from `n` (never the thread
 /// count) so boundaries are reproducible.
 pub fn default_grain(n: usize) -> usize {
     // At most 64 chunks; at least 1 item each.
     n.div_ceil(64).max(1)
 }
 
+/// Work-aware chunk length for `n` items costing `cost_per_item` scalar
+/// operations each (a *modeled, shape-derived* cost — e.g. the inner
+/// dimension of a matvec or the popcount words a bit-serial column
+/// touches — never a measured time).
+///
+/// Widens [`default_grain`] until one task carries enough work
+/// (≈ 64 k scalar ops) to dwarf a pool dispatch, so feather-light items
+/// batch up instead of thrashing the task queue, while heavy items keep
+/// `default_grain`'s fan-out. Depends only on `(n, cost_per_item)`, so
+/// chunk boundaries — and therefore results — are identical for every
+/// thread count.
+pub fn grain_for_cost(n: usize, cost_per_item: u64) -> usize {
+    /// Scalar ops that amortise one queue pop + wakeup comfortably.
+    const TARGET_OPS_PER_TASK: u64 = 1 << 16;
+    let per = usize::try_from(TARGET_OPS_PER_TASK / cost_per_item.max(1)).unwrap_or(usize::MAX);
+    per.max(default_grain(n)).clamp(1, n.max(1))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// The pool, the override, and `pool_workers` are process-global;
+    /// tests that assert on them must not interleave.
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        static GLOBAL: Mutex<()> = Mutex::new(());
+        GLOBAL.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     #[test]
     fn chunked_mut_covers_every_element_once() {
+        let _g = guard();
         let mut v = vec![0u32; 1003];
         for_each_chunk_mut(&mut v, 17, |ci, chunk| {
             for (j, x) in chunk.iter_mut().enumerate() {
@@ -236,6 +349,7 @@ mod tests {
 
     #[test]
     fn map_preserves_index_order() {
+        let _g = guard();
         let out = map(257, |i| i * i);
         for (i, &v) in out.iter().enumerate() {
             assert_eq!(v, i * i);
@@ -244,6 +358,7 @@ mod tests {
 
     #[test]
     fn map_reduce_is_thread_count_invariant() {
+        let _g = guard();
         let eval = || {
             map_reduce(
                 1000,
@@ -264,6 +379,7 @@ mod tests {
 
     #[test]
     fn sum_f64_handles_empty_and_matches_manual() {
+        let _g = guard();
         assert_eq!(sum_f64(0, 8, |_| 1.0), 0.0);
         let total = sum_f64(10, 3, |i| i as f64);
         assert_eq!(total, 45.0);
@@ -271,6 +387,7 @@ mod tests {
 
     #[test]
     fn set_threads_roundtrip() {
+        let _g = guard();
         set_threads(3);
         assert_eq!(current_threads(), 3);
         set_threads(0);
@@ -287,7 +404,21 @@ mod tests {
     }
 
     #[test]
+    fn cost_aware_grain_batches_light_items_only() {
+        // Heavy items: one per task (default_grain fan-out preserved).
+        assert_eq!(grain_for_cost(32, 1 << 20), 1);
+        // Feather-light items batch up to the ops target.
+        assert_eq!(grain_for_cost(1 << 20, 1), 1 << 16);
+        assert_eq!(grain_for_cost(100, 1), 100);
+        assert_eq!(grain_for_cost(100, 1 << 10), 64);
+        // Never zero, never beyond n.
+        assert_eq!(grain_for_cost(0, 0), 1);
+        assert!(grain_for_cost(7, 3) <= 7);
+    }
+
+    #[test]
     fn nested_calls_run_on_the_outer_worker_thread() {
+        let _g = guard();
         set_threads(4);
         let outer = map(8, |i| {
             let me = std::thread::current().id();
@@ -302,6 +433,7 @@ mod tests {
 
     #[test]
     fn parallel_results_match_serial_with_many_threads() {
+        let _g = guard();
         let run = |threads: usize| {
             set_threads(threads);
             let mut v = vec![0f32; 541];
@@ -317,5 +449,76 @@ mod tests {
         for t in [2, 4, 7, 16] {
             assert_eq!(base, run(t), "threads = {t}");
         }
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let _g = guard();
+        set_threads(4);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            let mut v = vec![0u32; 100];
+            for_each_chunk_mut(&mut v, 5, |ci, _chunk| {
+                if ci == 7 {
+                    panic!("boom at chunk 7");
+                }
+            });
+        }));
+        let payload = caught.expect_err("panic must propagate to the caller");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or("non-str payload");
+        assert!(msg.contains("boom"), "unexpected payload: {msg}");
+        // The pool must still be fully usable after a propagated panic.
+        let out = map(100, |i| i + 1);
+        assert_eq!(out[99], 100);
+        set_threads(0);
+    }
+
+    #[test]
+    fn set_threads_resizes_under_load() {
+        let _g = guard();
+        set_threads(4);
+        let resizer = std::thread::spawn(|| {
+            std::thread::sleep(std::time::Duration::from_millis(3));
+            set_threads(2);
+        });
+        let out = map(64, |i| {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            i * 2
+        });
+        resizer.join().expect("resizer thread");
+        assert_eq!(out, (0..64).map(|i| i * 2).collect::<Vec<_>>());
+        // set_threads(2) leaves at most one helper alive.
+        assert!(pool_workers() <= 1, "cap 1 exceeded: {}", pool_workers());
+        set_threads(0);
+    }
+
+    #[test]
+    fn shutdown_leaves_no_workers_and_pool_respawns() {
+        let _g = guard();
+        set_threads(4);
+        let _ = map(64, |i| i);
+        assert!(pool_workers() >= 1, "dispatch at 4 threads spawned no one");
+        set_threads(0);
+        assert_eq!(pool_workers(), 0, "lingering workers after set_threads(0)");
+        // Lazy respawn: the next dispatch works and re-grows on demand.
+        set_threads(3);
+        let out = map(64, |i| i + 7);
+        assert_eq!(out[10], 17);
+        assert!(pool_workers() >= 1);
+        set_threads(0);
+        assert_eq!(pool_workers(), 0);
+    }
+
+    #[test]
+    fn env_threads_are_cached_once() {
+        let _g = guard();
+        set_threads(0);
+        // Whatever the first resolution saw is pinned for the process:
+        // two reads agree even if the environment were to change between
+        // them.
+        assert_eq!(current_threads(), current_threads());
+        assert!(current_threads() >= 1);
     }
 }

@@ -1,0 +1,32 @@
+//! Pool observability: scheduling-visible `par.pool.*` metrics.
+//!
+//! These are registered through [`tinyadc_obs::sched_counter`] /
+//! [`tinyadc_obs::sched_gauge`], so they appear in every snapshot and in
+//! the documented catalogue but are **outside** the value-determinism
+//! contract — dispatch counts and wakeups legitimately depend on the
+//! thread count and scheduling. `MetricsSnapshot::without_sched()`
+//! strips them for bitwise cross-thread-count comparisons.
+
+use tinyadc_obs::{LazyCounter, LazyGauge};
+
+/// Tasks handed to the pool's shared queue by parallel dispatches
+/// (serial fast paths dispatch nothing and add nothing).
+pub(crate) static TASKS_DISPATCHED: LazyCounter =
+    LazyCounter::new_sched("par.pool.tasks_dispatched");
+
+/// Condvar wakeups observed by pool workers (including spurious ones
+/// and wakeups that only reveal a cap shrink).
+pub(crate) static WORKER_WAKEUPS: LazyCounter = LazyCounter::new_sched("par.pool.worker_wakeups");
+
+/// Task-queue depth at the most recent parallel dispatch
+/// (last-write-wins).
+pub(crate) static QUEUE_DEPTH: LazyGauge = LazyGauge::new_sched("par.pool.queue_depth");
+
+/// Registers all pool metrics (idempotent, a few atomic no-ops after the
+/// first call) so the documented catalogue matches the registry even in
+/// runs where every helper takes the serial fast path.
+pub(crate) fn touch() {
+    TASKS_DISPATCHED.add(0);
+    WORKER_WAKEUPS.add(0);
+    let _ = QUEUE_DEPTH.get();
+}

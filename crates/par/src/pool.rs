@@ -1,0 +1,206 @@
+//! The persistent worker pool behind every parallel helper.
+//!
+//! Workers are plain `std::thread`s parked on a condvar; a parallel
+//! region posts one type-erased *job* (a `Fn()` body that pulls tasks
+//! from a caller-owned queue), wakes the workers, runs the body itself,
+//! and then waits until every attached worker has detached before
+//! returning. Threads are spawned lazily on first dispatch and resized
+//! (or fully quiesced) by [`resize`].
+//!
+//! # Why one job at a time
+//!
+//! Nested parallel calls already degrade to serial (see `IN_WORKER` in
+//! the crate root), so the only way two jobs could contend is two
+//! independent *user* threads entering parallel regions concurrently.
+//! In that case the second caller simply runs its body inline — results
+//! are identical by the determinism contract, and the pool stays free
+//! of queueing/fairness machinery.
+//!
+//! # Soundness of the lifetime erasure
+//!
+//! The job body borrows the caller's stack (task queue, panic slot,
+//! output slices), but workers are `'static` threads, so [`run`] erases
+//! the body's lifetime. The attach/detach protocol makes this sound:
+//!
+//! * a worker obtains the body reference **only** under the pool mutex,
+//!   and only while `state.job` is `Some`, incrementing `attached`;
+//! * the caller clears `state.job` after finishing its own share, then
+//!   blocks until `attached == 0`;
+//!
+//! so no worker can observe the body (or anything it borrows) after
+//! [`run`] returns, and the borrow outlives every use.
+
+use std::sync::{Condvar, Mutex, MutexGuard, OnceLock};
+
+use crate::metrics::WORKER_WAKEUPS;
+
+/// A type-erased parallel region body with its dispatch generation.
+///
+/// `epoch` lets a worker that finishes early (empty queue) recognise
+/// that the still-posted job is the one it already ran, instead of
+/// spinning on it until the caller clears the slot.
+#[derive(Clone, Copy)]
+struct Job {
+    body: &'static (dyn Fn() + Sync),
+    epoch: u64,
+}
+
+#[derive(Default)]
+struct State {
+    /// The in-flight job, if any. Readable only under the pool mutex.
+    job: Option<Job>,
+    /// Dispatch generation counter; bumped once per posted job.
+    epoch: u64,
+    /// Workers currently executing the posted job's body.
+    attached: usize,
+    /// Live worker threads (parked or running).
+    workers: usize,
+    /// Worker-count ceiling; surplus workers exit on their next wakeup.
+    cap: usize,
+}
+
+struct Pool {
+    state: Mutex<State>,
+    /// Workers wait here for a job (or a cap shrink).
+    work_cv: Condvar,
+    /// The caller waits here for `attached == 0`; [`resize`] waits here
+    /// for surplus workers to exit.
+    done_cv: Condvar,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        state: Mutex::new(State::default()),
+        work_cv: Condvar::new(),
+        done_cv: Condvar::new(),
+    })
+}
+
+fn lock(pool: &Pool) -> MutexGuard<'_, State> {
+    // Worker bodies catch panics before they can poison the mutex, but
+    // recover defensively anyway: the state itself is always consistent.
+    pool.state.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Runs `body` on up to `helpers` pool workers concurrently with the
+/// caller (who participates and always runs `body` itself).
+///
+/// `body` must be safe to execute from several threads at once and must
+/// do its own task distribution (the crate helpers share a mutex-guarded
+/// task queue). If the pool is already executing another caller's job,
+/// `body` runs inline on the caller only — by the determinism contract
+/// the result is the same, only the wall-clock differs.
+pub(crate) fn run(helpers: usize, body: &(dyn Fn() + Sync)) {
+    let pool = pool();
+    {
+        let mut st = lock(pool);
+        if st.job.is_some() {
+            drop(st);
+            body();
+            return;
+        }
+        st.cap = st.cap.max(helpers);
+        while st.workers < helpers.min(st.cap) {
+            if spawn_worker().is_err() {
+                break;
+            }
+            st.workers += 1;
+        }
+        st.epoch += 1;
+        st.job = Some(Job {
+            body: erase(body),
+            epoch: st.epoch,
+        });
+        pool.work_cv.notify_all();
+    }
+    body();
+    let mut st = lock(pool);
+    st.job = None;
+    while st.attached > 0 {
+        st = pool.done_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+    }
+}
+
+/// Erases the body's borrow so it can sit in the `'static` job slot.
+///
+/// SAFETY: callers uphold the attach/detach protocol documented at the
+/// module level — the reference is cleared from `state.job` and every
+/// attached worker has detached before the true lifetime ends, so the
+/// `'static` is never actually relied upon past the borrow.
+#[allow(unsafe_code)]
+fn erase(body: &(dyn Fn() + Sync)) -> &'static (dyn Fn() + Sync) {
+    unsafe { std::mem::transmute::<&(dyn Fn() + Sync), &'static (dyn Fn() + Sync)>(body) }
+}
+
+fn spawn_worker() -> std::io::Result<()> {
+    std::thread::Builder::new()
+        .name("tinyadc-par-worker".into())
+        .spawn(worker_loop)
+        .map(drop)
+}
+
+fn worker_loop() {
+    // Everything a pool thread runs is worker context: nested parallel
+    // calls inside a task degrade to serial instead of re-entering the
+    // pool.
+    crate::enter_worker_context();
+    let pool = pool();
+    let mut last_epoch = 0u64;
+    loop {
+        let job = {
+            let mut st = lock(pool);
+            loop {
+                if st.workers > st.cap {
+                    st.workers -= 1;
+                    pool.done_cv.notify_all();
+                    return;
+                }
+                match st.job {
+                    Some(job) if job.epoch != last_epoch => {
+                        last_epoch = job.epoch;
+                        st.attached += 1;
+                        break job;
+                    }
+                    _ => {
+                        st = pool.work_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+                        WORKER_WAKEUPS.inc();
+                    }
+                }
+            }
+        };
+        (job.body)();
+        let mut st = lock(pool);
+        st.attached -= 1;
+        if st.attached == 0 {
+            pool.done_cv.notify_all();
+        }
+    }
+}
+
+/// Sets the worker-count ceiling and blocks until surplus workers have
+/// exited (so `cap == 0` guarantees no pool thread outlives the call).
+///
+/// Growth stays lazy — new workers appear on the next dispatch that
+/// wants them, not here. When invoked from inside a worker (a task
+/// calling `set_threads`) the shrink is asynchronous instead: blocking
+/// would deadlock on the calling worker's own exit.
+pub(crate) fn resize(cap: usize) {
+    let pool = pool();
+    let mut st = lock(pool);
+    st.cap = cap;
+    if st.workers > cap {
+        pool.work_cv.notify_all();
+        if crate::in_worker_context() {
+            return;
+        }
+        while st.workers > cap {
+            st = pool.done_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// Live pool worker threads right now (parked or running).
+pub(crate) fn workers() -> usize {
+    lock(pool()).workers
+}

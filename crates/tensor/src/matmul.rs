@@ -171,7 +171,9 @@ impl Tensor {
         let a = self.as_slice();
         let x = v.as_slice();
         let mut y = vec![0.0f32; m];
-        let grain = tinyadc_par::default_grain(m);
+        // One row costs `k` multiply-adds; short rows batch up so a pool
+        // task never degenerates to a single tiny dot product.
+        let grain = tinyadc_par::grain_for_cost(m, k as u64);
         tinyadc_par::for_each_chunk_mut(&mut y, grain, |chunk, y_rows| {
             for (r, yv) in y_rows.iter_mut().enumerate() {
                 let i = chunk * grain + r;

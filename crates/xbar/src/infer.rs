@@ -85,7 +85,10 @@ pub fn conv2d(
 
 /// Runs a fully-connected layer on the crossbar datapath: input `[in]`,
 /// output `[out]`. A thin per-call wrapper over the compiled execution
-/// engine's linear step (see [`conv2d`] on input signs and reuse).
+/// engine's linear step (see [`conv2d`] on input signs and reuse). Even
+/// this batch-of-one path fans work over the worker pool: the batched
+/// tile kernel chunks the flat (input × column) grid, so a single input
+/// still parallelises across output columns.
 ///
 /// # Errors
 ///

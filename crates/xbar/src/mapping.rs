@@ -215,7 +215,8 @@ impl MappedLayer {
     /// Bitwise identical to calling [`MappedLayer::matvec_codes`] once
     /// per input; each tile packs the whole batch's DAC bit planes once
     /// ([`Tile::matvec_batch`]) instead of re-streaming every input, and
-    /// parallelism runs over inputs inside each tile.
+    /// pool parallelism runs over the flat (input × column) grid of each
+    /// tile — so even a batch of one fans its output columns out.
     ///
     /// # Errors
     ///
@@ -266,9 +267,14 @@ impl MappedLayer {
         let n = self.config.shape.cols();
         out.clear();
         out.resize(n_inputs * self.matrix_cols, 0);
-        // Tiles merge serially in tile order (digital accumulation is
-        // integer-exact, so the order cannot change results); the batch
-        // parallelism lives inside `Tile::matvec_batch_into`.
+        // Tiles merge serially in tile order: row blocks accumulate into
+        // the *same* output columns, so fanning tiles out would race (and
+        // re-packing shared row planes per column block would duplicate
+        // work). The pool fan-out instead happens inside
+        // `Tile::matvec_batch_into`, whose tasks are chunks of the flat
+        // (input × column) grid — whole output columns each — and the
+        // digital merge here is integer-exact, so tile order cannot
+        // change results.
         for (t, tile) in self.tiles.iter().enumerate() {
             let r0 = (t / self.col_blocks) * m;
             let r1 = (r0 + m).min(self.matrix_rows);

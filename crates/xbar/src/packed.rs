@@ -29,6 +29,14 @@
 //! the ADC the *same* integer column sums as the reference loop and its
 //! output is bitwise identical, saturation included. All accumulation is
 //! integer, so results are also invariant to any chunking or thread count.
+//!
+//! The hot kernels are additionally **widened**: instead of one popcount
+//! chain per (cycle, slice), a single pass per stored plane walks four
+//! input planes at a time through a portable [`U64x4`] accumulator,
+//! loading each weight-plane word once per four DAC bits and keeping four
+//! independent `count_ones` dependency chains in flight. Commutativity of
+//! the integer cross-term sum makes the reordering exact (see
+//! [`PackedTile::column_bit_serial`]).
 
 use crate::adc::Adc;
 
@@ -120,8 +128,18 @@ impl PackedTile {
 
     /// Bit-serial MVM of one column through the ADC: per (cycle, slice)
     /// the positive and negative pre-ADC sums are formed by popcount
-    /// accumulation, digitised, and shift-added — the same integer sums,
-    /// in the same order, as the reference loop.
+    /// accumulation, digitised, and shift-added — the same integer sums
+    /// as the reference loop.
+    ///
+    /// The hot path runs slice-outer: one pass over each polarity's
+    /// stored planes fills *all* per-cycle sums at once, processing four
+    /// input planes per iteration through a [`U64x4`] accumulator so each
+    /// weight-plane word is loaded once per four DAC bits instead of once
+    /// per bit. Reordering is exact — every `(input bit × level bit)`
+    /// cross term is an integer added once, and integer addition is
+    /// commutative — and the ADC decision points (zero skip, saturation
+    /// test, `sample`) still see the identical per-(cycle, slice) sums,
+    /// so the output is bitwise identical to the reference loop.
     ///
     /// Returns the accumulated column output and the number of samples
     /// whose pre-ADC sum exceeded the ADC full scale (saturations). Zero
@@ -143,16 +161,57 @@ impl PackedTile {
         let full_scale = adc.full_scale();
         let mut acc = 0i64;
         let mut saturations = 0u64;
-        for cycle in 0..cycles {
-            let shift_in = cycle * dac;
-            for (s, slice) in self.slices.iter().enumerate() {
-                let pos = plane_sum(&slice.pos, col, wpc, in_planes, shift_in, dac);
-                let neg = plane_sum(&slice.neg, col, wpc, in_planes, shift_in, dac);
+        let n_in = cycles * dac;
+        if cycles as usize > MAX_CYCLES {
+            // Inputs deeper than 64 DAC cycles cannot come from `u64`
+            // codes; keep the narrow reference formulation as a fallback.
+            for cycle in 0..cycles {
+                let shift_in = cycle * dac;
+                for (s, slice) in self.slices.iter().enumerate() {
+                    let pos = plane_sum(&slice.pos, col, wpc, in_planes, shift_in, dac);
+                    let neg = plane_sum(&slice.neg, col, wpc, in_planes, shift_in, dac);
+                    if pos == 0 && neg == 0 {
+                        continue; // sample(0) == 0: skipping cannot change acc
+                    }
+                    saturations += u64::from(pos > full_scale) + u64::from(neg > full_scale);
+                    let shift = shift_in + s as u32 * cell_bits;
+                    acc += (adc.sample(pos) as i64 - adc.sample(neg) as i64) << shift;
+                }
+            }
+            return (acc, saturations);
+        }
+        let c = cycles as usize;
+        let mut pos_sums = [0u64; MAX_CYCLES];
+        let mut neg_sums = [0u64; MAX_CYCLES];
+        for (s, slice) in self.slices.iter().enumerate() {
+            pos_sums[..c].fill(0);
+            neg_sums[..c].fill(0);
+            accumulate_plane_sums(
+                &slice.pos,
+                col,
+                wpc,
+                in_planes,
+                n_in,
+                dac,
+                &mut pos_sums[..c],
+            );
+            accumulate_plane_sums(
+                &slice.neg,
+                col,
+                wpc,
+                in_planes,
+                n_in,
+                dac,
+                &mut neg_sums[..c],
+            );
+            for cycle in 0..cycles {
+                let pos = pos_sums[cycle as usize];
+                let neg = neg_sums[cycle as usize];
                 if pos == 0 && neg == 0 {
                     continue; // sample(0) == 0: skipping cannot change acc
                 }
                 saturations += u64::from(pos > full_scale) + u64::from(neg > full_scale);
-                let shift = shift_in + s as u32 * cell_bits;
+                let shift = cycle * dac + s as u32 * cell_bits;
                 acc += (adc.sample(pos) as i64 - adc.sample(neg) as i64) << shift;
             }
         }
@@ -174,20 +233,40 @@ impl PackedTile {
         let wpc = self.words_per_col;
         let col = j * wpc;
         let mut acc = 0i64;
+        if n_in_planes as usize > MAX_CYCLES {
+            // Same >64-planes fallback as `column_bit_serial`.
+            for (s, slice) in self.slices.iter().enumerate() {
+                let base = s as u32 * cell_bits;
+                for (planes, sign) in [(&slice.pos, 1i64), (&slice.neg, -1i64)] {
+                    for plane in planes {
+                        let words = &plane.words[col..col + wpc];
+                        for p in 0..n_in_planes {
+                            let ip = &in_planes[p as usize * wpc..][..wpc];
+                            let cnt: i64 = words
+                                .iter()
+                                .zip(ip)
+                                .map(|(a, b)| i64::from((a & b).count_ones()))
+                                .sum();
+                            acc += sign * (cnt << (base + plane.bit + p));
+                        }
+                    }
+                }
+            }
+            return acc;
+        }
+        // Widened path: with `dac = 1` every input plane is its own
+        // "cycle", so `sums[p]` collects `Σ_planes cnt << plane.bit` and
+        // the per-plane shift `base + p` distributes over the sum exactly
+        // (all integer arithmetic, no overflow at tile scale).
+        let n = n_in_planes as usize;
+        let mut sums = [0u64; MAX_CYCLES];
         for (s, slice) in self.slices.iter().enumerate() {
             let base = s as u32 * cell_bits;
             for (planes, sign) in [(&slice.pos, 1i64), (&slice.neg, -1i64)] {
-                for plane in planes {
-                    let words = &plane.words[col..col + wpc];
-                    for p in 0..n_in_planes {
-                        let ip = &in_planes[p as usize * wpc..][..wpc];
-                        let cnt: i64 = words
-                            .iter()
-                            .zip(ip)
-                            .map(|(a, b)| i64::from((a & b).count_ones()))
-                            .sum();
-                        acc += sign * (cnt << (base + plane.bit + p));
-                    }
+                sums[..n].fill(0);
+                accumulate_plane_sums(planes, col, wpc, in_planes, n_in_planes, 1, &mut sums[..n]);
+                for (p, &sum) in sums[..n].iter().enumerate() {
+                    acc += sign * ((sum as i64) << (base + p as u32));
                 }
             }
         }
@@ -214,8 +293,82 @@ impl PackedTile {
     }
 }
 
+/// Cap on the per-column stack arrays of the widened kernels: `u64`
+/// input codes have at most 64 bit planes, so at most 64 DAC cycles.
+const MAX_CYCLES: usize = 64;
+
+/// Portable 4-lane popcount accumulator: four independent `u64` sums the
+/// optimiser can keep in one vector register (or four scalars) — no
+/// `unsafe`, no arch intrinsics, identical arithmetic on every target.
+#[derive(Debug, Clone, Copy, Default)]
+struct U64x4([u64; 4]);
+
+impl U64x4 {
+    /// Adds `popcount(w & b[lane])` into each lane.
+    #[inline(always)]
+    fn add_popcounts(&mut self, w: u64, b: [u64; 4]) {
+        self.0[0] += u64::from((w & b[0]).count_ones());
+        self.0[1] += u64::from((w & b[1]).count_ones());
+        self.0[2] += u64::from((w & b[2]).count_ones());
+        self.0[3] += u64::from((w & b[3]).count_ones());
+    }
+}
+
+/// Widened pre-ADC accumulation of one polarity's planes for one column:
+/// one pass over the stored planes fills the per-cycle sums for **all**
+/// cycles, walking four input planes per iteration so each weight-plane
+/// word is loaded once per four input bits ([`U64x4`] keeps the four
+/// popcount chains independent). Input plane `p` contributes
+/// `popcount << (plane.bit + p % dac)` to `sums[p / dac]` — exactly the
+/// cross terms [`plane_sum`] produces cycle by cycle, in a different
+/// (integer-commutative, therefore bitwise-equal) order.
+#[inline]
+fn accumulate_plane_sums(
+    planes: &[BitPlane],
+    col: usize,
+    wpc: usize,
+    in_planes: &[u64],
+    n_in: u32,
+    dac: u32,
+    sums: &mut [u64],
+) {
+    for plane in planes {
+        let words = &plane.words[col..col + wpc];
+        let mut p = 0u32;
+        while p + 4 <= n_in {
+            let base = p as usize * wpc;
+            let ip0 = &in_planes[base..base + wpc];
+            let ip1 = &in_planes[base + wpc..base + 2 * wpc];
+            let ip2 = &in_planes[base + 2 * wpc..base + 3 * wpc];
+            let ip3 = &in_planes[base + 3 * wpc..base + 4 * wpc];
+            let mut acc = U64x4::default();
+            for (k, &w) in words.iter().enumerate() {
+                acc.add_popcounts(w, [ip0[k], ip1[k], ip2[k], ip3[k]]);
+            }
+            for (lane, cnt) in acc.0.into_iter().enumerate() {
+                let pl = p + lane as u32;
+                sums[(pl / dac) as usize] += cnt << (plane.bit + pl % dac);
+            }
+            p += 4;
+        }
+        // Scalar tail: fewer than 4 planes left (n_in % 4).
+        while p < n_in {
+            let ip = &in_planes[p as usize * wpc..][..wpc];
+            let cnt: u64 = words
+                .iter()
+                .zip(ip)
+                .map(|(a, b)| u64::from((a & b).count_ones()))
+                .sum();
+            sums[(p / dac) as usize] += cnt << (plane.bit + p % dac);
+            p += 1;
+        }
+    }
+}
+
 /// Pre-ADC sum contribution of one polarity's planes for one column and
 /// one DAC cycle: `Σ_planes Σ_d 2^(plane.bit + d) · popcount(...)`.
+/// Reference formulation, kept for the deep-input (>64 cycles) fallback
+/// and as the unwidened oracle in unit tests.
 #[inline]
 fn plane_sum(
     planes: &[BitPlane],
@@ -375,6 +528,58 @@ mod tests {
         assert_eq!(packed.column_active_rows(0, &mut scratch), 3);
         // col1: row 0 (neg), row 1 (pos) -> 2 active rows.
         assert_eq!(packed.column_active_rows(1, &mut scratch), 2);
+    }
+
+    #[test]
+    fn widened_accumulation_matches_per_cycle_plane_sum() {
+        // Pseudo-random 70×3 tile (2 words/col) with 3-bit cells: every
+        // widened lane, the scalar tail (n_in = 6 and 7), and multi-word
+        // columns are exercised against the narrow reference formulation.
+        let rows = 70;
+        let cols = 3;
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let pos: Vec<Vec<u64>> = (0..2)
+            .map(|_| (0..rows * cols).map(|_| next() % 8).collect())
+            .collect();
+        let neg: Vec<Vec<u64>> = (0..2)
+            .map(|_| (0..rows * cols).map(|_| next() % 8).collect())
+            .collect();
+        let packed = PackedTile::pack(&pos, &neg, rows, cols, 3);
+        let wpc = packed.words_per_col();
+        for &(dac, cycles) in &[(1u32, 7u32), (2, 3), (4, 2), (3, 2)] {
+            let n_in = dac * cycles;
+            let in_planes: Vec<u64> = (0..n_in as usize * wpc).map(|_| next()).collect();
+            for j in 0..cols {
+                let col = j * wpc;
+                for slice in &packed.slices {
+                    for planes in [&slice.pos, &slice.neg] {
+                        let mut widened = vec![0u64; cycles as usize];
+                        accumulate_plane_sums(
+                            planes,
+                            col,
+                            wpc,
+                            &in_planes,
+                            n_in,
+                            dac,
+                            &mut widened,
+                        );
+                        for cycle in 0..cycles {
+                            let narrow = plane_sum(planes, col, wpc, &in_planes, cycle * dac, dac);
+                            assert_eq!(
+                                widened[cycle as usize], narrow,
+                                "dac={dac} cycle={cycle} col={j}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

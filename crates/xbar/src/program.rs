@@ -228,6 +228,28 @@ pub struct CompiledModel {
     fault_report: FaultReport,
     remapped_columns: usize,
     unrepaired_columns: usize,
+    /// Modeled ADC conversions one sample performs (compile-time, ≥ 1).
+    sample_cost: u64,
+}
+
+/// Modeled ADC conversions one sample streams through `steps` — the same
+/// quantity the `xbar.adc.conversions` counter charges at run time, but
+/// computed from shapes alone (tiles × cycles × columns, scaled by the
+/// conv patch count). Digital steps are free next to the bit-serial
+/// datapath and contribute nothing. Clamped to ≥ 1 so it can divide.
+fn modeled_sample_conversions(steps: &[Step]) -> u64 {
+    steps
+        .iter()
+        .map(|s| match s {
+            Step::Conv { step, geometry } => {
+                crate::activity::layer_activity(&step.mapped).adc_conversions
+                    * geometry.patch_count() as u64
+            }
+            Step::Linear { step } => crate::activity::layer_activity(&step.mapped).adc_conversions,
+            _ => 0,
+        })
+        .sum::<u64>()
+        .max(1)
 }
 
 struct Compiler<'a> {
@@ -660,6 +682,7 @@ impl CompiledModel {
             ));
         }
         crate::obs::PROGRAM_COMPILES.inc();
+        let sample_cost = modeled_sample_conversions(&compiler.steps);
         Ok(Self {
             name: net.name().to_owned(),
             input_vol: input_dims.iter().product(),
@@ -673,6 +696,7 @@ impl CompiledModel {
             fault_report: compiler.fault_report,
             remapped_columns: compiler.remapped_columns,
             unrepaired_columns: compiler.unrepaired_columns,
+            sample_cost,
         })
     }
 
@@ -717,21 +741,23 @@ impl CompiledModel {
         };
         let output_len = f * geometry.patch_count();
         crate::obs::PROGRAM_COMPILES.inc();
+        let steps = vec![Step::Conv {
+            step: Box::new(CrossbarStep {
+                mapped,
+                adc,
+                bias: None,
+                in_slot: 0,
+                out_slot: 1,
+            }),
+            geometry,
+        }];
+        let sample_cost = modeled_sample_conversions(&steps);
         Ok(Self {
             name: "from_conv".into(),
             input_dims: input_dims.to_vec(),
             input_vol: c * h * w,
             output_len,
-            steps: vec![Step::Conv {
-                step: Box::new(CrossbarStep {
-                    mapped,
-                    adc,
-                    bias: None,
-                    in_slot: 0,
-                    out_slot: 1,
-                }),
-                geometry,
-            }],
+            steps,
             n_slots: 2,
             out_slot: 1,
             config,
@@ -739,6 +765,7 @@ impl CompiledModel {
             fault_report: FaultReport::default(),
             remapped_columns: 0,
             unrepaired_columns: 0,
+            sample_cost,
         })
     }
 
@@ -800,6 +827,27 @@ impl CompiledModel {
     /// Harmful-fault columns left unrepaired at compile time.
     pub fn unrepaired_columns(&self) -> usize {
         self.unrepaired_columns
+    }
+
+    /// Modeled ADC conversions one sample performs — the static cost the
+    /// batch scheduler autotunes its grain from, and the value the
+    /// `xbar.adc.conversions` counter grows by per sample at run time.
+    pub fn sample_conversions(&self) -> u64 {
+        self.sample_cost
+    }
+
+    /// Samples per pool task for [`Self::run_batch`]: enough samples that
+    /// one task carries ~2 M modeled conversions, so pool dispatch is
+    /// amortised for feather-light programs, while any sample at or above
+    /// the budget gets a task of its own (maximum fan-out for real CNNs).
+    /// Derived from the compile-time cost and `n` only — never from the
+    /// thread count — so chunk boundaries, and therefore results, are
+    /// identical on every pool size.
+    fn batch_grain(&self, n: usize) -> usize {
+        const CONVERSIONS_PER_TASK: u64 = 1 << 21;
+        let per_task =
+            usize::try_from(CONVERSIONS_PER_TASK / self.sample_cost).unwrap_or(usize::MAX);
+        per_task.clamp(1, n.max(1))
     }
 
     /// Runs one sample through the program, returning its flat output
@@ -869,11 +917,12 @@ impl CompiledModel {
         }
         let x = inputs.as_slice();
         let vol = self.input_vol;
-        // One workspace per sample; chunk boundaries depend only on `n`,
-        // and per-sample execution is exact integer arithmetic, so the
-        // gathered outputs are bitwise thread-count-invariant. Nested
-        // parallelism inside the tiles degrades to serial in workers.
-        let grain = tinyadc_par::default_grain(n);
+        // One workspace per sample; chunk boundaries depend only on `n`
+        // and the compile-time sample cost, and per-sample execution is
+        // exact integer arithmetic, so the gathered outputs are bitwise
+        // thread-count-invariant. Nested parallelism inside the tiles
+        // degrades to serial in workers.
+        let grain = self.batch_grain(n);
         tinyadc_par::for_each_chunk_mut(&mut ws.samples[..n], grain, |chunk, block| {
             for (k, sample) in block.iter_mut().enumerate() {
                 let i = chunk * grain + k;

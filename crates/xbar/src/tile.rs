@@ -272,8 +272,10 @@ impl Tile {
     ///
     /// Bitwise identical to calling [`Tile::matvec`] once per input; the
     /// input bit-plane packing is amortised across the whole batch and
-    /// the batch is chunked over inputs (disjoint output spans), so the
-    /// result is thread-count-invariant.
+    /// the batch is chunked over the flat (input × column) element grid
+    /// (disjoint output spans, boundaries derived from the element count
+    /// alone), so the result is thread-count-invariant and a single
+    /// input still fans its columns over the pool.
     ///
     /// # Errors
     ///
@@ -331,22 +333,30 @@ impl Tile {
         let per_input = n_planes as usize * wpc;
         y.clear();
         y.resize(n_inputs * self.cols, 0);
-        // Chunk over whole inputs: chunk boundaries align to `cols`, so
-        // each worker owns complete output rows.
-        let grain_inputs = tinyadc_par::default_grain(n_inputs);
+        // Chunk over the flat (input × column) element grid: every output
+        // element `f = i·cols + j` is one independent ADC channel read, so
+        // a single input's columns already spread over the pool (the
+        // compiled Linear step runs with `n_inputs == 1`) and chunk
+        // boundaries may fall mid-input without affecting values. The
+        // grain derives from the element count and the modeled per-column
+        // popcount cost (polarities × weight planes × input planes ×
+        // words) — shape quantities only, so boundaries stay reproducible
+        // — and saturations merge by commutative addition.
+        let cols = self.cols;
+        let col_cost = 2 * self.config.cells_per_weight() as u64 * u64::from(n_planes) * wpc as u64;
+        let grain = tinyadc_par::grain_for_cost(n_inputs * cols, col_cost);
         let saturations = AtomicU64::new(0);
-        tinyadc_par::for_each_chunk_mut(y, grain_inputs * self.cols, |chunk, y_block| {
+        tinyadc_par::for_each_chunk_mut(y, grain, |chunk, y_span| {
             let mut sats = 0u64;
-            for (bi, y_row) in y_block.chunks_mut(self.cols).enumerate() {
-                let i = chunk * grain_inputs + bi;
+            for (k, yv) in y_span.iter_mut().enumerate() {
+                let f = chunk * grain + k;
+                let (i, j) = (f / cols, f % cols);
                 let in_planes = &planes[i * per_input..][..per_input];
-                for (j, yv) in y_row.iter_mut().enumerate() {
-                    let (acc, s) = self
-                        .packed
-                        .column_bit_serial(j, in_planes, dac, cycles, cell_bits, adc);
-                    *yv = acc;
-                    sats += s;
-                }
+                let (acc, s) = self
+                    .packed
+                    .column_bit_serial(j, in_planes, dac, cycles, cell_bits, adc);
+                *yv = acc;
+                sats += s;
             }
             saturations.fetch_add(sats, Ordering::Relaxed);
         });

@@ -61,9 +61,37 @@ echo "==> fault campaign smoke run (--quick)"
 cargo run --offline --release -p tinyadc-cli --bin tinyadc -- faults --quick 1 >/dev/null
 
 # Smoke-run the perf harness so bench bit-rot (API drift, JSON emission)
-# fails the gate offline; --quick keeps it to a few seconds.
+# fails the gate offline; --quick keeps it to a few seconds. The run
+# also feeds the speedup regression gate below.
 echo "==> perf bench smoke run (--quick)"
 cargo run --offline --release -p tinyadc-bench --bin perf -- --quick >/dev/null
+
+# Speedup regression gate: the 4-worker run_batch speedup from the quick
+# run must not fall below a recorded floor. On a host with >= 4 cores
+# the floor is real scaling (2.0x); on smaller hosts the sweep measures
+# oversubscription, so the floor degrades to a sanity bound (0.7x) that
+# still catches pathological pool overhead (lock convoys, busy spins).
+echo "==> run_batch speedup regression gate"
+host_cores="$(nproc 2>/dev/null || echo 1)"
+if [ "$host_cores" -ge 4 ]; then floor="2.0"; else floor="0.7"; fi
+speedup_4t="$(sed -n 's/.*"name": "run_batch".*"speedup_4t": \([0-9.]*\).*/\1/p' \
+    BENCH_parallel.quick.json)"
+if [ -z "$speedup_4t" ]; then
+    echo "FAIL: run_batch speedup_4t missing from BENCH_parallel.quick.json" >&2
+    exit 1
+fi
+if ! awk -v s="$speedup_4t" -v f="$floor" 'BEGIN { exit !(s >= f) }'; then
+    echo "FAIL: run_batch 4-worker speedup $speedup_4t below floor $floor" \
+         "(host cores: $host_cores)" >&2
+    exit 1
+fi
+echo "    run_batch speedup_4t $speedup_4t >= floor $floor (host cores: $host_cores)"
+
+# Pool-shutdown leak check: after set_threads(0) no pool worker may
+# linger. The par unit test asserts pool_workers() == 0 post-quiesce;
+# run it by name so a leak fails loudly here.
+echo "==> pool shutdown leak check"
+cargo test --offline -q -p tinyadc-par shutdown_leaves_no_workers_and_pool_respawns
 
 # Observability report smoke: manifest + metrics + roll-up emission and
 # the chrome://tracing span export through the CLI.

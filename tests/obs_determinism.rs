@@ -5,7 +5,10 @@
 //! readings, histogram buckets) depend only on the workload and seed,
 //! never on `TINYADC_THREADS` — counters merge by commutative integer
 //! addition, so scheduling cannot show through. Span wall-times are
-//! explicitly outside the contract and never appear in a snapshot.
+//! explicitly outside the contract and never appear in a snapshot;
+//! scheduling-visible `par.pool.*` metrics (dispatch counts, wakeups,
+//! queue depth) are the one sanctioned in-snapshot exception and are
+//! stripped with `MetricsSnapshot::without_sched()` before comparing.
 //!
 //! The metrics registry and `tinyadc_par::set_threads` are process-global,
 //! so the tests in this binary serialise on a mutex.
@@ -25,18 +28,31 @@ fn metric_values_are_thread_count_invariant() {
     let _guard = GLOBAL.lock().unwrap();
     tinyadc_par::set_threads(THREADS[0]);
     let reference = example_report(2021).unwrap();
-    let ref_metrics = reference.metrics.to_json();
-    let ref_csv = reference.metrics.to_csv();
+    let ref_metrics = reference.metrics.without_sched().to_json();
+    let ref_csv = reference.metrics.without_sched().to_csv();
+    // The sched metrics must actually be present (and then excluded) —
+    // otherwise `without_sched` is filtering nothing and the exception
+    // list has drifted.
+    for sched in ["par.pool.tasks_dispatched", "par.pool.worker_wakeups"] {
+        assert!(
+            reference.metrics.counter(sched).is_some(),
+            "{sched} missing from the full snapshot"
+        );
+        assert!(
+            reference.metrics.without_sched().counter(sched).is_none(),
+            "{sched} not stripped by without_sched()"
+        );
+    }
     for &t in &THREADS[1..] {
         tinyadc_par::set_threads(t);
         let got = example_report(2021).unwrap();
         assert_eq!(
-            got.metrics.to_json(),
+            got.metrics.without_sched().to_json(),
             ref_metrics,
             "metric snapshot diverged at {t} threads"
         );
         assert_eq!(
-            got.metrics.to_csv(),
+            got.metrics.without_sched().to_csv(),
             ref_csv,
             "metric CSV diverged at {t} threads"
         );

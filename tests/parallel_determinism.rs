@@ -170,6 +170,45 @@ fn packed_mvm_kernels_are_thread_count_invariant() {
     });
 }
 
+#[test]
+fn compiled_run_batch_is_thread_count_invariant() {
+    // The batch engine fans whole samples over the pool with a grain
+    // derived from the compile-time modeled cost; the per-sample datapath
+    // then runs serially inside each worker. Outputs must be bitwise
+    // identical at every worker count, including counts that exceed the
+    // host cores and never divide the 5-sample batch evenly.
+    let mut rng = SeededRng::new(509);
+    let cfg = XbarConfig {
+        shape: CrossbarShape::new(32, 16).unwrap(),
+        ..XbarConfig::paper_default()
+    };
+    let w = Tensor::randn(&[6, 3, 3, 3], 0.4, &mut rng);
+    let x = Tensor::uniform(&[5, 3, 7, 7], 0.0, 1.0, &mut rng);
+    let mapped = MappedLayer::from_param(&w, ParamKind::ConvWeight, cfg).unwrap();
+    let compiled =
+        tinyadc_xbar::program::CompiledModel::from_conv(mapped, [3, 7, 7], 1, 1, None).unwrap();
+    assert!(compiled.sample_conversions() > 0);
+    assert_invariant("compiled run_batch", || {
+        let mut ws = tinyadc_xbar::program::BatchWorkspace::new();
+        compiled.run_batch(&x, &mut ws).unwrap()
+    });
+    // Batched output matches 5 single-sample runs exactly (the batch
+    // grain is a scheduling choice, never a numeric one).
+    tinyadc_par::set_threads(2);
+    let mut ws = tinyadc_xbar::program::BatchWorkspace::new();
+    let batched = compiled.run_batch(&x, &mut ws).unwrap();
+    let mut single_ws = tinyadc_xbar::program::Workspace::new();
+    let vol = 3 * 7 * 7;
+    for i in 0..5 {
+        let sample =
+            Tensor::from_vec(x.as_slice()[i * vol..(i + 1) * vol].to_vec(), &[3, 7, 7]).unwrap();
+        let y = compiled.run(&sample, &mut single_ws).unwrap();
+        let row = &batched.as_slice()[i * compiled.output_len()..][..compiled.output_len()];
+        assert_eq!(row, y, "sample {i} differs from its single-sample run");
+    }
+    tinyadc_par::set_threads(0);
+}
+
 /// Exact lossless resolution for every input of a tile.
 fn tile_required_bits(tile: &tinyadc_xbar::tile::Tile) -> u32 {
     let cfg = tile.config();
