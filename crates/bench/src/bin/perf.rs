@@ -27,7 +27,12 @@
 //!   (exercising the widened 4-plane popcount kernel), per-patch-vs-
 //!   batched `datapath_conv2d`, and compile-once-vs-per-call
 //!   `compiled_vs_percall`; these record algorithmic speedups
-//!   independent of threading.
+//!   independent of threading. The sparsity columns
+//!   (`datapath_conv2d_relu70`, `datapath_conv2d_dense`,
+//!   `run_batch_relu70`) force the packed kernel mode: occupancy-indexed
+//!   dispatch vs the dense kernel on a post-ReLU-realistic ~70 %-zero
+//!   activation map and on a fully dense control input — the
+//!   `scripts/check.sh` sparsity gates read these.
 //!
 //! Pure std: `std::time::Instant`, one warmup run per mode, then
 //! interleaved repeats (cancels slow machine-load drift) reporting the
@@ -46,6 +51,7 @@ use tinyadc_xbar::mapping::MappedLayer;
 use tinyadc_xbar::program::{BatchWorkspace, CompiledModel, Workspace};
 use tinyadc_xbar::quant::quantize_input;
 use tinyadc_xbar::tile::{Tile, XbarConfig};
+use tinyadc_xbar::{set_packed_kernel, PackedKernel};
 
 /// Worker counts every kernel is swept over.
 const SWEEP: [usize; 4] = [1, 2, 4, 8];
@@ -92,11 +98,14 @@ fn speedup(slow: f64, fast: f64) -> f64 {
 /// all outputs agree bitwise with the 1-worker run, and keeps the best
 /// time per mode.
 fn bench_sweep<F: FnMut() -> f64>(name: &'static str, reps: usize, mut f: F) -> SweepResult {
-    tinyadc_par::set_threads(1);
+    // `set_threads_exact`: the sweep deliberately oversubscribes small
+    // hosts, so it must bypass the host-core clamp that plain
+    // `set_threads` applies when `TINYADC_THREADS` is unset.
+    tinyadc_par::set_threads_exact(1);
     let reference = f();
     // Warm caches/allocator/pool in every mode, verifying determinism.
     for &t in &SWEEP {
-        tinyadc_par::set_threads(t);
+        tinyadc_par::set_threads_exact(t);
         assert_eq!(
             tinyadc_par::current_threads(),
             t,
@@ -112,7 +121,7 @@ fn bench_sweep<F: FnMut() -> f64>(name: &'static str, reps: usize, mut f: F) -> 
     let mut secs = [f64::INFINITY; SWEEP.len()];
     for _ in 0..reps {
         for (k, &t) in SWEEP.iter().enumerate() {
-            tinyadc_par::set_threads(t);
+            tinyadc_par::set_threads_exact(t);
             let (dt, c) = timed(&mut f);
             assert_eq!(
                 c.to_bits(),
@@ -137,7 +146,7 @@ fn bench_sweep<F: FnMut() -> f64>(name: &'static str, reps: usize, mut f: F) -> 
 /// `threads` workers: a minimal parallel region dispatched `iters`
 /// times. At 1 worker the serial fast path runs — the no-pool baseline.
 fn dispatch_latency_us(threads: usize, iters: usize) -> f64 {
-    tinyadc_par::set_threads(threads);
+    tinyadc_par::set_threads_exact(threads);
     // Enough one-element chunks that `workers_for` engages all workers.
     let mut v = vec![0u64; (threads * 2).max(4)];
     for _ in 0..iters / 10 + 1 {
@@ -166,7 +175,7 @@ where
     A: FnMut() -> f64,
     B: FnMut() -> f64,
 {
-    tinyadc_par::set_threads(1);
+    tinyadc_par::set_threads_exact(1);
     let reference = baseline();
     let check = optimized();
     assert_eq!(
@@ -245,6 +254,29 @@ fn paper_tile(cp_rate: usize, rng: &mut SeededRng) -> Tile {
         })
         .collect();
     Tile::new(&codes, n, n, cfg).expect("paper tile")
+}
+
+/// Post-ReLU-realistic activation map (~70–80 % zeros): ReLU silenced
+/// the top three quarters of every channel — zeros cluster spatially, as
+/// they do after real activations, so whole im2col patches go dark — and
+/// ~30 % scattered zeros thin the live band. The last two dims are
+/// treated as (h, w); leading dims are batch/channel planes.
+fn relu_sparse(dims: &[usize], rng: &mut SeededRng) -> Tensor {
+    let h = dims[dims.len() - 2];
+    let w = dims[dims.len() - 1];
+    let planes: usize = dims[..dims.len() - 2].iter().product();
+    let live_from = h - h / 4;
+    let mut v = vec![0.0f32; planes * h * w];
+    for p in 0..planes {
+        for r in live_from..h {
+            for c in 0..w {
+                if rng.next_u64() % 10 < 7 {
+                    v[(p * h + r) * w + c] = (1 + rng.next_u64() % 999) as f32 / 1000.0;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(v, dims).expect("sparse activation map")
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -392,7 +424,73 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
     ));
 
-    // 8. Compile-once/run-many: a pre-compiled conv program with a reused
+    // 8. Sparsity-aware kernel dispatch, same layer and geometry as #7:
+    // the occupancy-indexed path (kernel mode Auto — zero patches
+    // short-circuit, sparse patches walk the occupancy intersection)
+    // against the dense packed kernel forced on, first on a post-ReLU-
+    // realistic ~70 %-zero activation map, then on the fully dense input
+    // as the no-regression control. Outputs are asserted bitwise equal —
+    // only the software skip counters and wall-clock differ.
+    let x_sparse = relu_sparse(&[4, 12, 12], &mut rng);
+    let cols_sparse = im2col(&x_sparse, &gq)?;
+    let q_sparse = quantize_input(&cols_sparse, &mapped.config().quant)?;
+    let codes_sparse: Vec<u64> = q_sparse.codes.iter().map(|&c| c as u64).collect();
+    for (name, bench_codes) in [
+        ("datapath_conv2d_relu70", &codes_sparse),
+        ("datapath_conv2d_dense", &codes),
+    ] {
+        comparisons.push(compare(
+            name,
+            ("dense_kernel", "occupancy_kernel"),
+            reps,
+            || {
+                set_packed_kernel(PackedKernel::Dense);
+                checksum_i64(
+                    &mapped
+                        .matvec_codes_batch(bench_codes, patches, &adc)
+                        .expect("mvm"),
+                )
+            },
+            || {
+                set_packed_kernel(PackedKernel::Auto);
+                checksum_i64(
+                    &mapped
+                        .matvec_codes_batch(bench_codes, patches, &adc)
+                        .expect("mvm"),
+                )
+            },
+        ));
+        set_packed_kernel(PackedKernel::Auto);
+    }
+
+    // 9. The same dispatch through the whole compiled engine: `run_batch`
+    // on a post-ReLU-sparse batch (im2col + quantisation + MVM +
+    // dequantisation included), dense kernel forced vs Auto.
+    let batch_sparse = relu_sparse(&[batch_n, 16, 8, 8], &mut rng);
+    let mut ws_dense_mode = BatchWorkspace::new();
+    let mut ws_auto_mode = BatchWorkspace::new();
+    comparisons.push(compare(
+        "run_batch_relu70",
+        ("dense_kernel", "occupancy_kernel"),
+        reps,
+        || {
+            set_packed_kernel(PackedKernel::Dense);
+            let y = compiled
+                .run_batch(&batch_sparse, &mut ws_dense_mode)
+                .expect("batch");
+            checksum(y.as_slice())
+        },
+        || {
+            set_packed_kernel(PackedKernel::Auto);
+            let y = compiled
+                .run_batch(&batch_sparse, &mut ws_auto_mode)
+                .expect("batch");
+            checksum(y.as_slice())
+        },
+    ));
+    set_packed_kernel(PackedKernel::Auto);
+
+    // 10. Compile-once/run-many: a pre-compiled conv program with a reused
     // workspace vs re-mapping the layer (`MappedLayer::from_param`) and
     // calling the per-call `infer::conv2d` wrapper on every request — the
     // steady-state serving cost the execution engine exists to remove.

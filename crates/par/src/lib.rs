@@ -39,6 +39,14 @@
 //! See [`current_threads`]: [`set_threads`] override (checked on every
 //! call) → `TINYADC_THREADS` env var (read **once** per process on first
 //! use) → [`std::thread::available_parallelism`] (also resolved once).
+//! When `TINYADC_THREADS` is **unset**, [`set_threads`] clamps its
+//! argument to the detected host core count ([`host_cores`]) —
+//! oversubscribing a small host only adds scheduler thrash, never speed,
+//! and results are thread-count-invariant so the clamp is unobservable in
+//! outputs. An explicit `TINYADC_THREADS` is an operator opt-in and
+//! disables the clamp; [`set_threads_exact`] bypasses it
+//! programmatically (the determinism test suites use it to genuinely
+//! exercise more workers than cores).
 //!
 //! # Example
 //!
@@ -96,12 +104,33 @@ const MIN_ITEMS_PER_THREAD: usize = 2;
 /// participants = the caller plus `n - 1` pool workers; surplus workers
 /// exit before this returns).
 ///
+/// When `TINYADC_THREADS` is unset, `n` is clamped to [`host_cores`]:
+/// more workers than cores only adds scheduler thrash (the
+/// BENCH_parallel.json oversubscription regressions), and every helper is
+/// thread-count-invariant, so the clamp can never change results. An
+/// explicit `TINYADC_THREADS` is an operator opt-in that disables the
+/// clamp; use [`set_threads_exact`] to bypass it programmatically.
+///
 /// `0` clears the override — thread count falls back to
 /// `TINYADC_THREADS` / auto detection for subsequent calls — **and**
 /// quiesces the pool entirely: after `set_threads(0)` returns,
 /// [`pool_workers`] is `0` and no pool thread lingers. Workers respawn
 /// lazily on the next parallel dispatch.
 pub fn set_threads(n: usize) {
+    let n = if n > 0 && env_threads().is_none() {
+        n.min(host_cores())
+    } else {
+        n
+    };
+    set_threads_exact(n);
+}
+
+/// As [`set_threads`] but without the host-core clamp: the worker count
+/// is taken verbatim even when it oversubscribes the host. Intended for
+/// the determinism test suites, which deliberately run more workers than
+/// cores to stress scheduling freedom; production code should prefer
+/// [`set_threads`].
+pub fn set_threads_exact(n: usize) {
     THREAD_OVERRIDE.store(n, Ordering::Relaxed);
     pool::resize(n.saturating_sub(1));
 }
@@ -124,15 +153,29 @@ pub fn current_threads() -> usize {
 
 /// Cached `TINYADC_THREADS` → `available_parallelism` fallback.
 fn default_threads() -> usize {
-    static DEFAULT: OnceLock<usize> = OnceLock::new();
-    *DEFAULT.get_or_init(|| {
-        if let Ok(v) = std::env::var("TINYADC_THREADS") {
-            if let Ok(n) = v.trim().parse::<usize>() {
-                if n > 0 {
-                    return n;
-                }
-            }
-        }
+    env_threads().unwrap_or_else(host_cores)
+}
+
+/// The `TINYADC_THREADS` env var as resolved **once** per process on
+/// first use (`None` when unset, empty, or not a positive integer).
+/// An explicit value is an operator opt-in: it wins over auto detection
+/// and disables the [`set_threads`] host-core clamp.
+pub fn env_threads() -> Option<usize> {
+    static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("TINYADC_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+    })
+}
+
+/// Host logical core count as detected **once** per process
+/// ([`std::thread::available_parallelism`], floored at 1) — the
+/// [`set_threads`] clamp ceiling when `TINYADC_THREADS` is unset.
+pub fn host_cores() -> usize {
+    static CORES: OnceLock<usize> = OnceLock::new();
+    *CORES.get_or_init(|| {
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
@@ -368,10 +411,10 @@ mod tests {
             )
             .unwrap()
         };
-        set_threads(1);
+        set_threads_exact(1);
         let serial = eval();
         for t in [2, 3, 4, 7] {
-            set_threads(t);
+            set_threads_exact(t);
             assert_eq!(serial.to_bits(), eval().to_bits(), "threads = {t}");
         }
         set_threads(0);
@@ -388,10 +431,32 @@ mod tests {
     #[test]
     fn set_threads_roundtrip() {
         let _g = guard();
-        set_threads(3);
+        set_threads_exact(3);
         assert_eq!(current_threads(), 3);
         set_threads(0);
         assert!(current_threads() >= 1);
+    }
+
+    #[test]
+    fn set_threads_clamps_to_host_cores_unless_env_overrides() {
+        let _g = guard();
+        let cores = host_cores();
+        assert!(cores >= 1);
+        set_threads(cores + 5);
+        if env_threads().is_none() {
+            // No operator opt-in: oversubscription is clamped away.
+            assert_eq!(current_threads(), cores);
+        } else {
+            // Explicit TINYADC_THREADS disables the clamp entirely.
+            assert_eq!(current_threads(), cores + 5);
+        }
+        // Requests at or under the core count pass through verbatim.
+        set_threads(1);
+        assert_eq!(current_threads(), 1);
+        // The exact variant always bypasses the clamp.
+        set_threads_exact(cores + 5);
+        assert_eq!(current_threads(), cores + 5);
+        set_threads(0);
     }
 
     #[test]
@@ -419,7 +484,7 @@ mod tests {
     #[test]
     fn nested_calls_run_on_the_outer_worker_thread() {
         let _g = guard();
-        set_threads(4);
+        set_threads_exact(4);
         let outer = map(8, |i| {
             let me = std::thread::current().id();
             let inner_ids = map(8, |_| std::thread::current().id());
@@ -435,7 +500,7 @@ mod tests {
     fn parallel_results_match_serial_with_many_threads() {
         let _g = guard();
         let run = |threads: usize| {
-            set_threads(threads);
+            set_threads_exact(threads);
             let mut v = vec![0f32; 541];
             for_each_chunk_mut(&mut v, 13, |ci, chunk| {
                 for (j, x) in chunk.iter_mut().enumerate() {
@@ -454,7 +519,7 @@ mod tests {
     #[test]
     fn worker_panic_propagates_and_pool_survives() {
         let _g = guard();
-        set_threads(4);
+        set_threads_exact(4);
         let caught = catch_unwind(AssertUnwindSafe(|| {
             let mut v = vec![0u32; 100];
             for_each_chunk_mut(&mut v, 5, |ci, _chunk| {
@@ -478,10 +543,10 @@ mod tests {
     #[test]
     fn set_threads_resizes_under_load() {
         let _g = guard();
-        set_threads(4);
+        set_threads_exact(4);
         let resizer = std::thread::spawn(|| {
             std::thread::sleep(std::time::Duration::from_millis(3));
-            set_threads(2);
+            set_threads_exact(2);
         });
         let out = map(64, |i| {
             std::thread::sleep(std::time::Duration::from_millis(1));
@@ -489,7 +554,7 @@ mod tests {
         });
         resizer.join().expect("resizer thread");
         assert_eq!(out, (0..64).map(|i| i * 2).collect::<Vec<_>>());
-        // set_threads(2) leaves at most one helper alive.
+        // set_threads_exact(2) leaves at most one helper alive.
         assert!(pool_workers() <= 1, "cap 1 exceeded: {}", pool_workers());
         set_threads(0);
     }
@@ -497,13 +562,13 @@ mod tests {
     #[test]
     fn shutdown_leaves_no_workers_and_pool_respawns() {
         let _g = guard();
-        set_threads(4);
+        set_threads_exact(4);
         let _ = map(64, |i| i);
         assert!(pool_workers() >= 1, "dispatch at 4 threads spawned no one");
         set_threads(0);
         assert_eq!(pool_workers(), 0, "lingering workers after set_threads(0)");
         // Lazy respawn: the next dispatch works and re-grows on demand.
-        set_threads(3);
+        set_threads_exact(3);
         let out = map(64, |i| i + 7);
         assert_eq!(out[10], 17);
         assert!(pool_workers() >= 1);

@@ -10,6 +10,13 @@
 //!
 //! Activation functions and pooling run in the digital domain, as they do
 //! in ISAAC-style accelerators (sigmoid/maxpool units per tile).
+//!
+//! Because these wrappers share the compiled engine's step
+//! implementations, they inherit the sparsity-aware packed datapath: the
+//! im2col batch is packed (with its occupancy index) once per mapped row
+//! block, and mostly-zero post-ReLU patches dispatch to the
+//! occupancy-indexed popcount kernel — bitwise identical to the dense
+//! kernel, including ADC saturation and all modeled hardware counters.
 
 use crate::adc::Adc;
 use crate::mapping::MappedLayer;

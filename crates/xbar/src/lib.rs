@@ -18,7 +18,11 @@
 //!   checkable with `==`. The hot path runs on a bit-plane-packed
 //!   popcount kernel (cell levels and DAC bits packed into `u64` row
 //!   bitmasks) that is bitwise identical to the reference loop —
-//!   [`tile::Tile::matvec_loop`] — including ADC saturation.
+//!   [`tile::Tile::matvec_loop`] — including ADC saturation. Packed
+//!   batches carry a word-granular occupancy index ([`PackedInputs`]),
+//!   so mostly-zero post-ReLU activations dispatch to an
+//!   occupancy-indexed kernel ([`PackedKernel`]) that skips all-zero
+//!   planes and words while remaining bitwise identical.
 //! * **The ADC resolution rule (Eq. 1)** — and its exact counterpart
 //!   derived from the worst-case column sum ([`adc`]).
 //! * **Stuck-at faults and device variation** — SA0/SA1 cell faults and
@@ -59,6 +63,7 @@ pub mod repair;
 pub mod tile;
 
 pub use error::XbarError;
+pub use packed::{packed_kernel, set_packed_kernel, PackedInputs, PackedKernel};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, XbarError>;

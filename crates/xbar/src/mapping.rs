@@ -6,6 +6,7 @@
 //! exactly as the paper specifies.
 
 use crate::adc::{required_adc_bits_exact, required_adc_bits_paper, Adc};
+use crate::packed::PackedInputs;
 use crate::quant::{quantize_input, quantize_weights, Quantized};
 use crate::tile::{Tile, XbarConfig};
 use crate::{Result, XbarError};
@@ -13,13 +14,16 @@ use tinyadc_nn::ParamKind;
 use tinyadc_prune::layout;
 use tinyadc_tensor::Tensor;
 
-/// Reusable scratch for [`MappedLayer::matvec_codes_batch_into`]: packed
-/// input bit planes and per-tile partial outputs. Buffers grow to the
-/// largest batch seen and keep their capacity across calls.
+/// Reusable scratch for [`MappedLayer::matvec_codes_batch_into`]: the
+/// shared packed input planes (with occupancy index) of the row block
+/// currently executing, plus per-tile partial outputs. Buffers grow to
+/// the largest batch seen and keep their capacity across calls.
 #[derive(Debug, Clone, Default)]
 pub struct BatchScratch {
-    /// Packed input bit planes for the tile currently executing.
-    pub(crate) planes: Vec<u64>,
+    /// Packed input bit planes + occupancy index of the row block
+    /// currently executing — packed **once per row block** and shared by
+    /// every column block's tile (they all read the same input rows).
+    pub(crate) packed: PackedInputs,
     /// Input-major partial outputs of the tile currently executing.
     pub(crate) tile_y: Vec<i64>,
 }
@@ -27,8 +31,7 @@ pub struct BatchScratch {
 impl BatchScratch {
     /// Bytes currently held across the scratch buffers.
     pub fn bytes(&self) -> usize {
-        self.planes.len() * std::mem::size_of::<u64>()
-            + self.tile_y.len() * std::mem::size_of::<i64>()
+        self.packed.bytes() + self.tile_y.len() * std::mem::size_of::<i64>()
     }
 }
 
@@ -213,10 +216,11 @@ impl MappedLayer {
     /// accumulated digitally across row blocks.
     ///
     /// Bitwise identical to calling [`MappedLayer::matvec_codes`] once
-    /// per input; each tile packs the whole batch's DAC bit planes once
-    /// ([`Tile::matvec_batch`]) instead of re-streaming every input, and
-    /// pool parallelism runs over the flat (input × column) grid of each
-    /// tile — so even a batch of one fans its output columns out.
+    /// per input; the batch's DAC bit planes are packed **once per row
+    /// block** and shared by every column block's tile
+    /// ([`Tile::matvec_batch_prepacked_into`]) instead of once per tile,
+    /// and pool parallelism runs over the flat (input × column) grid of
+    /// each tile — so even a batch of one fans its output columns out.
     ///
     /// # Errors
     ///
@@ -235,16 +239,18 @@ impl MappedLayer {
     }
 
     /// Workspace-reusing variant of [`MappedLayer::matvec_codes_batch`]:
-    /// per-tile packed input planes and partial outputs live in `scratch`
-    /// and the accumulated input-major outputs in `out`; all buffers are
-    /// resized but keep their capacity, so repeat calls at a fixed batch
-    /// geometry perform no heap allocation. Results are bitwise identical
-    /// to [`MappedLayer::matvec_codes_batch`].
+    /// the shared packed input planes of each row block and the per-tile
+    /// partial outputs live in `scratch` and the accumulated input-major
+    /// outputs in `out`; all buffers are resized but keep their capacity,
+    /// so repeat calls at a fixed batch geometry perform no heap
+    /// allocation. Results are bitwise identical to
+    /// [`MappedLayer::matvec_codes_batch`].
     ///
     /// # Errors
     ///
     /// Returns [`XbarError::InputLengthMismatch`] when `inputs` is not
-    /// `matrix_rows × n_inputs` long.
+    /// `matrix_rows × n_inputs` long, [`XbarError::InvalidConfig`] for
+    /// codes exceeding the input range.
     pub fn matvec_codes_batch_into(
         &self,
         inputs: &[u64],
@@ -263,33 +269,45 @@ impl MappedLayer {
                 actual: inputs.len(),
             });
         }
+        let max = self.config.quant.input_max();
+        if inputs.iter().any(|&x| x > max) {
+            return Err(XbarError::InvalidConfig(format!(
+                "input code exceeds {max}"
+            )));
+        }
         let m = self.config.shape.rows();
         let n = self.config.shape.cols();
+        let n_planes = self.config.cycles() * self.config.dac_bits;
         out.clear();
         out.resize(n_inputs * self.matrix_cols, 0);
-        // Tiles merge serially in tile order: row blocks accumulate into
-        // the *same* output columns, so fanning tiles out would race (and
-        // re-packing shared row planes per column block would duplicate
-        // work). The pool fan-out instead happens inside
-        // `Tile::matvec_batch_into`, whose tasks are chunks of the flat
-        // (input × column) grid — whole output columns each — and the
-        // digital merge here is integer-exact, so tile order cannot
-        // change results.
-        for (t, tile) in self.tiles.iter().enumerate() {
-            let r0 = (t / self.col_blocks) * m;
+        // Row-block-outer order: every tile of a row block consumes the
+        // same input rows, so the batch's DAC bit planes (and their
+        // occupancy index) are packed once per row block and shared
+        // read-only across the block's column tiles. Tiles merge serially
+        // in tile order: row blocks accumulate into the *same* output
+        // columns, so fanning tiles out would race. The pool fan-out
+        // instead happens inside `Tile::matvec_batch_prepacked_into`,
+        // whose tasks are chunks of the flat (input × column) grid —
+        // whole output columns each — and the digital merge here is
+        // integer-exact, so tile order cannot change results.
+        for rb in 0..self.row_blocks {
+            let r0 = rb * m;
             let r1 = (r0 + m).min(self.matrix_rows);
-            let c0 = (t % self.col_blocks) * n;
-            tile.matvec_batch_into(
+            scratch.packed.pack(
                 &inputs[r0 * n_inputs..r1 * n_inputs],
                 n_inputs,
-                adc,
-                &mut scratch.planes,
-                &mut scratch.tile_y,
-            )?;
-            for (i, y_row) in scratch.tile_y.chunks(tile.cols()).enumerate() {
-                let dst = &mut out[i * self.matrix_cols + c0..][..tile.cols()];
-                for (d, v) in dst.iter_mut().zip(y_row) {
-                    *d += v;
+                n_planes,
+                (r1 - r0).div_ceil(64),
+            );
+            for cb in 0..self.col_blocks {
+                let tile = &self.tiles[rb * self.col_blocks + cb];
+                let c0 = cb * n;
+                tile.matvec_batch_prepacked_into(&scratch.packed, adc, &mut scratch.tile_y)?;
+                for (i, y_row) in scratch.tile_y.chunks(tile.cols()).enumerate() {
+                    let dst = &mut out[i * self.matrix_cols + c0..][..tile.cols()];
+                    for (d, v) in dst.iter_mut().zip(y_row) {
+                        *d += v;
+                    }
                 }
             }
         }

@@ -1,11 +1,16 @@
 //! Crate-local observability handles (`tinyadc-obs` metrics).
 //!
-//! Every counter here records *modeled hardware events* — the events the
+//! Most counters here record *modeled hardware events* — the events the
 //! bit-serial datapath would perform on silicon (per
 //! [`crate::activity::tile_activity`]), not the software shortcuts the
 //! packed kernel takes. Zero-valued column sums that the popcount kernel
 //! skips still count as conversions: the ADC would have sampled them.
-//! All values are thread-count-invariant; see `docs/observability.md`.
+//! The `xbar.packed.*` sparsity metrics are the exception: they are
+//! *software observability* for the occupancy-indexed kernels (work
+//! skipped, input occupancy) and deliberately do not feed the hw energy
+//! roll-up. All values — hardware-modeled and software alike — are
+//! thread-count-invariant because every skip decision derives from
+//! packed data, never from scheduling; see `docs/observability.md`.
 
 use tinyadc_obs::{LazyCounter, LazyGauge, LazyHistogram};
 
@@ -50,3 +55,19 @@ pub(crate) static ROWS_ACTIVATED: LazyHistogram =
 /// Stored bit planes per (re)packed tile — shrinks with CP sparsity.
 pub(crate) static PACKED_PLANES: LazyHistogram =
     LazyHistogram::new("xbar.packed.planes", &[2, 4, 8, 12, 16]);
+
+/// All-zero input DAC planes the sparsity-aware packed kernels skipped
+/// (software observability, not a modeled hardware event — the silicon
+/// DAC would still stream those zero bits). Counted once per column
+/// evaluation that consumed the input.
+pub(crate) static PACKED_INPUT_PLANES_SKIPPED: LazyCounter =
+    LazyCounter::new("xbar.packed.input_planes_skipped");
+/// `u64` plane words the packed kernels skipped via the occupancy index
+/// (empty level columns plus words outside the input∩level intersection).
+/// Software observability, not a modeled hardware event.
+pub(crate) static PACKED_WORDS_SKIPPED: LazyCounter = LazyCounter::new("xbar.packed.words_skipped");
+/// Percent of plane words non-zero per packed batch input — the pack-time
+/// occupancy the kernel dispatch is decided from (post-ReLU activations
+/// cluster near the low buckets).
+pub(crate) static PACKED_OCCUPANCY: LazyHistogram =
+    LazyHistogram::new("xbar.packed.occupancy", &[5, 10, 25, 50, 75, 90, 100]);

@@ -37,8 +37,84 @@
 //! independent `count_ones` dependency chains in flight. Commutativity of
 //! the integer cross-term sum makes the reordering exact (see
 //! [`PackedTile::column_bit_serial`]).
+//!
+//! # Occupancy index
+//!
+//! Post-ReLU activations are dominated by zeros, and CP pruning zeroes
+//! whole column spans of the level planes, so most `AND` + `popcount`
+//! operands are zero. Both sides of the kernel therefore carry a
+//! word-granular **occupancy index** built at pack time:
+//!
+//! * every stored level plane records, per column, a `u64` bitmap of its
+//!   non-zero words ([`BitPlane::occ`]);
+//! * every packed batch input records, per DAC plane, the same bitmap
+//!   plus per-input summary counts ([`PackedInputs`]).
+//!
+//! A zero word contributes zero popcount, so the occupancy-indexed kernel
+//! ([`PackedTile::column_bit_serial_indexed`]) may iterate only the words
+//! in the *intersection* of the two bitmaps — skipping all-zero input
+//! planes, all-zero level-plane columns, and every word missing from the
+//! intersection — and still feed the ADC the identical per-(cycle, slice)
+//! sums. The decision which kernel to run is made per input at pack time
+//! from data alone ([`PackedKernel::Auto`]), so outputs and every metric
+//! stay bitwise thread-count-invariant.
 
 use crate::adc::Adc;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Which packed MVM kernel the batched entry points run. The choice never
+/// affects results — every kernel feeds the ADC identical integer sums —
+/// only how much work is skipped (and thus the `xbar.packed.*_skipped`
+/// software counters and wall-clock time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PackedKernel {
+    /// Per-input dispatch decided at pack time from the input's word
+    /// occupancy: all-zero inputs short-circuit, sparse inputs run the
+    /// occupancy-indexed kernel, dense inputs the widened dense kernel.
+    /// The default.
+    #[default]
+    Auto,
+    /// Force the widened dense kernel for every input (the pre-occupancy
+    /// behaviour; benchmarking baseline).
+    Dense,
+    /// Force the occupancy-indexed kernel for every non-empty input.
+    Occupancy,
+}
+
+/// Process-global kernel selection (`0 = Auto, 1 = Dense, 2 = Occupancy`).
+static KERNEL_MODE: AtomicU8 = AtomicU8::new(0);
+
+/// Selects the packed kernel for all subsequent batched MVMs. Intended
+/// for benchmarks and equivalence tests; production code leaves the
+/// default [`PackedKernel::Auto`] in place. Never changes results.
+pub fn set_packed_kernel(mode: PackedKernel) {
+    let v = match mode {
+        PackedKernel::Auto => 0,
+        PackedKernel::Dense => 1,
+        PackedKernel::Occupancy => 2,
+    };
+    KERNEL_MODE.store(v, Ordering::Relaxed);
+}
+
+/// The packed kernel batched MVMs currently run.
+pub fn packed_kernel() -> PackedKernel {
+    match KERNEL_MODE.load(Ordering::Relaxed) {
+        1 => PackedKernel::Dense,
+        2 => PackedKernel::Occupancy,
+        _ => PackedKernel::Auto,
+    }
+}
+
+/// Work the sparsity-aware kernels skipped, accumulated per chunk and
+/// merged by commutative addition — thread-count-invariant because every
+/// skip decision derives from packed data, never from scheduling.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct SkipStats {
+    /// All-zero input DAC planes skipped (counted once per column task).
+    pub(crate) input_planes: u64,
+    /// `u64` plane words skipped by occupancy intersection.
+    pub(crate) words: u64,
+}
 
 /// One non-zero bit plane of a polarity/slice: the set of cells whose
 /// level has bit [`BitPlane::bit`] set, as column-major row bitmasks.
@@ -49,6 +125,11 @@ pub(crate) struct BitPlane {
     /// `cols × words_per_col` words; column `j` owns
     /// `words[j*words_per_col .. (j+1)*words_per_col]`.
     words: Vec<u64>,
+    /// Per-column occupancy bitmap: bit `k` of `occ[j]` is set iff word
+    /// `k` of column `j` is non-zero (words past 63 saturate into bit 63,
+    /// so `occ[j] == 0` ⇔ the column is all-zero at any `words_per_col`,
+    /// and the bitmap is word-exact whenever `words_per_col ≤ 64`).
+    occ: Vec<u64>,
 }
 
 /// The bit planes of one slice, split by differential polarity. Planes
@@ -70,9 +151,26 @@ pub(crate) struct PackedTile {
     slices: Vec<SlicePlanes>,
 }
 
+/// Per-column occupancy bitmap of a freshly packed plane (bit `k` ⇔ word
+/// `k` non-zero, saturating at bit 63).
+fn column_occupancy(words: &[u64], cols: usize, wpc: usize) -> Vec<u64> {
+    (0..cols)
+        .map(|c| {
+            let mut o = 0u64;
+            for (k, &w) in words[c * wpc..(c + 1) * wpc].iter().enumerate() {
+                if w != 0 {
+                    o |= 1u64 << k.min(63);
+                }
+            }
+            o
+        })
+        .collect()
+}
+
 impl PackedTile {
     /// Packs the tile's cell levels (`[slice][row * cols + col]`, one
-    /// `Vec` per polarity) into per-bit column-major planes.
+    /// `Vec` per polarity) into per-bit column-major planes, each with its
+    /// per-column occupancy bitmap.
     pub(crate) fn pack(
         pos: &[Vec<u64>],
         neg: &[Vec<u64>],
@@ -95,7 +193,10 @@ impl PackedTile {
                             }
                         }
                     }
-                    any.then_some(BitPlane { bit, words })
+                    any.then(|| {
+                        let occ = column_occupancy(&words, cols, words_per_col);
+                        BitPlane { bit, words, occ }
+                    })
                 })
                 .collect()
         };
@@ -135,11 +236,14 @@ impl PackedTile {
     /// stored planes fills *all* per-cycle sums at once, processing four
     /// input planes per iteration through a [`U64x4`] accumulator so each
     /// weight-plane word is loaded once per four DAC bits instead of once
-    /// per bit. Reordering is exact — every `(input bit × level bit)`
-    /// cross term is an integer added once, and integer addition is
-    /// commutative — and the ADC decision points (zero skip, saturation
-    /// test, `sample`) still see the identical per-(cycle, slice) sums,
-    /// so the output is bitwise identical to the reference loop.
+    /// per bit. Level planes whose column-`j` occupancy is empty are
+    /// skipped wholesale (their popcounts are all zero; `skipped_words`
+    /// counts the loads avoided). Reordering is exact — every
+    /// `(input bit × level bit)` cross term is an integer added once, and
+    /// integer addition is commutative — and the ADC decision points
+    /// (zero skip, saturation test, `sample`) still see the identical
+    /// per-(cycle, slice) sums, so the output is bitwise identical to the
+    /// reference loop.
     ///
     /// Returns the accumulated column output and the number of samples
     /// whose pre-ADC sum exceeded the ADC full scale (saturations). Zero
@@ -147,6 +251,7 @@ impl PackedTile {
     ///
     /// `in_planes` must hold `cycles * dac` input bit planes of
     /// `words_per_col` words each, least-significant bit first.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn column_bit_serial(
         &self,
         j: usize,
@@ -155,6 +260,7 @@ impl PackedTile {
         cycles: u32,
         cell_bits: u32,
         adc: &Adc,
+        skipped_words: &mut u64,
     ) -> (i64, u64) {
         let wpc = self.words_per_col;
         let col = j * wpc;
@@ -188,21 +294,116 @@ impl PackedTile {
             neg_sums[..c].fill(0);
             accumulate_plane_sums(
                 &slice.pos,
+                j,
                 col,
                 wpc,
                 in_planes,
                 n_in,
                 dac,
                 &mut pos_sums[..c],
+                skipped_words,
             );
             accumulate_plane_sums(
                 &slice.neg,
+                j,
                 col,
                 wpc,
                 in_planes,
                 n_in,
                 dac,
                 &mut neg_sums[..c],
+                skipped_words,
+            );
+            for cycle in 0..cycles {
+                let pos = pos_sums[cycle as usize];
+                let neg = neg_sums[cycle as usize];
+                if pos == 0 && neg == 0 {
+                    continue; // sample(0) == 0: skipping cannot change acc
+                }
+                saturations += u64::from(pos > full_scale) + u64::from(neg > full_scale);
+                let shift = cycle * dac + s as u32 * cell_bits;
+                acc += (adc.sample(pos) as i64 - adc.sample(neg) as i64) << shift;
+            }
+        }
+        (acc, saturations)
+    }
+
+    /// Occupancy-indexed bit-serial MVM of one column: identical ADC
+    /// decision sequence to [`PackedTile::column_bit_serial`], but the
+    /// popcount accumulation iterates only words in the intersection of
+    /// the input-plane and level-plane occupancy bitmaps — all-zero input
+    /// planes, all-zero level columns, and words outside the intersection
+    /// are skipped without a load. Every skipped operand has popcount
+    /// zero, so the per-(cycle, slice) sums — and therefore the output
+    /// and the saturation count — are bitwise identical to the dense
+    /// kernel's.
+    ///
+    /// `in_planes` / `in_occ` come from a [`PackedInputs`] pack of the
+    /// same geometry; `n_nonzero_in` is its count of non-empty input
+    /// planes (used only for skip accounting). Falls back to the dense
+    /// kernel when the occupancy bitmaps are not word-exact
+    /// (`words_per_col > 64`) or the input is deeper than [`MAX_CYCLES`].
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn column_bit_serial_indexed(
+        &self,
+        j: usize,
+        in_planes: &[u64],
+        in_occ: &[u64],
+        n_nonzero_in: u32,
+        dac: u32,
+        cycles: u32,
+        cell_bits: u32,
+        adc: &Adc,
+        skips: &mut SkipStats,
+    ) -> (i64, u64) {
+        let wpc = self.words_per_col;
+        if cycles as usize > MAX_CYCLES || wpc > 64 {
+            return self.column_bit_serial(
+                j,
+                in_planes,
+                dac,
+                cycles,
+                cell_bits,
+                adc,
+                &mut skips.words,
+            );
+        }
+        let col = j * wpc;
+        let full_scale = adc.full_scale();
+        let mut acc = 0i64;
+        let mut saturations = 0u64;
+        let n_in = cycles * dac;
+        let c = cycles as usize;
+        let mut pos_sums = [0u64; MAX_CYCLES];
+        let mut neg_sums = [0u64; MAX_CYCLES];
+        for (s, slice) in self.slices.iter().enumerate() {
+            pos_sums[..c].fill(0);
+            neg_sums[..c].fill(0);
+            accumulate_plane_sums_indexed(
+                &slice.pos,
+                j,
+                col,
+                wpc,
+                in_planes,
+                in_occ,
+                n_in,
+                dac,
+                n_nonzero_in,
+                &mut pos_sums[..c],
+                skips,
+            );
+            accumulate_plane_sums_indexed(
+                &slice.neg,
+                j,
+                col,
+                wpc,
+                in_planes,
+                in_occ,
+                n_in,
+                dac,
+                n_nonzero_in,
+                &mut neg_sums[..c],
+                skips,
             );
             for cycle in 0..cycles {
                 let pos = pos_sums[cycle as usize];
@@ -260,11 +461,22 @@ impl PackedTile {
         // (all integer arithmetic, no overflow at tile scale).
         let n = n_in_planes as usize;
         let mut sums = [0u64; MAX_CYCLES];
+        let mut skipped = 0u64;
         for (s, slice) in self.slices.iter().enumerate() {
             let base = s as u32 * cell_bits;
             for (planes, sign) in [(&slice.pos, 1i64), (&slice.neg, -1i64)] {
                 sums[..n].fill(0);
-                accumulate_plane_sums(planes, col, wpc, in_planes, n_in_planes, 1, &mut sums[..n]);
+                accumulate_plane_sums(
+                    planes,
+                    j,
+                    col,
+                    wpc,
+                    in_planes,
+                    n_in_planes,
+                    1,
+                    &mut sums[..n],
+                    &mut skipped,
+                );
                 for (p, &sum) in sums[..n].iter().enumerate() {
                     acc += sign * ((sum as i64) << (base + p as u32));
                 }
@@ -318,21 +530,31 @@ impl U64x4 {
 /// one pass over the stored planes fills the per-cycle sums for **all**
 /// cycles, walking four input planes per iteration so each weight-plane
 /// word is loaded once per four input bits ([`U64x4`] keeps the four
-/// popcount chains independent). Input plane `p` contributes
-/// `popcount << (plane.bit + p % dac)` to `sums[p / dac]` — exactly the
-/// cross terms [`plane_sum`] produces cycle by cycle, in a different
-/// (integer-commutative, therefore bitwise-equal) order.
+/// popcount chains independent). Level planes whose column-`j` occupancy
+/// bitmap is empty contribute zero to every sum and are skipped up front
+/// (`skipped_words` counts the loads avoided — the CP-pruning payoff).
+/// Input plane `p` contributes `popcount << (plane.bit + p % dac)` to
+/// `sums[p / dac]` — exactly the cross terms [`plane_sum`] produces cycle
+/// by cycle, in a different (integer-commutative, therefore
+/// bitwise-equal) order.
 #[inline]
+#[allow(clippy::too_many_arguments)]
 fn accumulate_plane_sums(
     planes: &[BitPlane],
+    j: usize,
     col: usize,
     wpc: usize,
     in_planes: &[u64],
     n_in: u32,
     dac: u32,
     sums: &mut [u64],
+    skipped_words: &mut u64,
 ) {
     for plane in planes {
+        if plane.occ[j] == 0 {
+            *skipped_words += u64::from(n_in) * wpc as u64;
+            continue;
+        }
         let words = &plane.words[col..col + wpc];
         let mut p = 0u32;
         while p + 4 <= n_in {
@@ -361,6 +583,58 @@ fn accumulate_plane_sums(
                 .sum();
             sums[(p / dac) as usize] += cnt << (plane.bit + p % dac);
             p += 1;
+        }
+    }
+}
+
+/// Occupancy-indexed counterpart of [`accumulate_plane_sums`]: for every
+/// (stored level plane, non-empty input plane) pair, only words in the
+/// intersection of the two occupancy bitmaps are loaded and popcounted.
+/// Empty input planes cost one bitmap load; an empty intersection costs
+/// no word loads at all. Every omitted word has `popcount(a & b) == 0`,
+/// so the sums are bitwise identical to the dense accumulation. Requires
+/// word-exact bitmaps (`wpc ≤ 64`; the caller guarantees it).
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn accumulate_plane_sums_indexed(
+    planes: &[BitPlane],
+    j: usize,
+    col: usize,
+    wpc: usize,
+    in_planes: &[u64],
+    in_occ: &[u64],
+    n_in: u32,
+    dac: u32,
+    n_nonzero_in: u32,
+    sums: &mut [u64],
+    skips: &mut SkipStats,
+) {
+    for plane in planes {
+        let lv = plane.occ[j];
+        if lv == 0 {
+            skips.words += u64::from(n_nonzero_in) * wpc as u64;
+            continue;
+        }
+        let words = &plane.words[col..col + wpc];
+        for p in 0..n_in as usize {
+            let io = in_occ[p];
+            if io == 0 {
+                continue; // counted once per column task as a skipped plane
+            }
+            let inter = lv & io;
+            skips.words += wpc as u64 - u64::from(inter.count_ones());
+            if inter == 0 {
+                continue;
+            }
+            let ip = &in_planes[p * wpc..(p + 1) * wpc];
+            let mut cnt = 0u64;
+            let mut m = inter;
+            while m != 0 {
+                let k = m.trailing_zeros() as usize;
+                cnt += u64::from((words[k] & ip[k]).count_ones());
+                m &= m - 1;
+            }
+            sums[p / dac as usize] += cnt << (plane.bit + p as u32 % dac);
         }
     }
 }
@@ -451,6 +725,176 @@ fn scatter_bits(words: &mut [u64], x: u64, r: usize, n_planes: u32, wpc: usize, 
     }
 }
 
+/// Which kernel a given input runs under the active [`PackedKernel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum KernelPath {
+    /// All-zero input: the output column is zero, nothing executes.
+    Zero,
+    /// Widened dense kernel.
+    Dense,
+    /// Occupancy-indexed kernel.
+    Indexed,
+}
+
+/// Occupancy class of one packed input, decided at pack time from its
+/// non-zero word count (data only — never scheduling — so the dispatch,
+/// and with it every output and metric, is thread-count-invariant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum InputClass {
+    /// Every DAC plane is empty.
+    Empty,
+    /// Under half the plane words are non-zero: intersection skipping
+    /// beats the widened dense walk.
+    Sparse,
+    /// At least half the words are non-zero (or the bitmaps are not
+    /// word-exact): the dense kernel's 4-wide chains win.
+    Dense,
+}
+
+/// A batch of input vectors packed into DAC bit planes together with
+/// their word-granular occupancy index — the shared, read-only input
+/// representation every tile of a row block consumes. Built by
+/// [`PackedInputs::pack`] (held in layer/program workspaces and reused
+/// across calls: buffers grow once, then repeat packs at a fixed geometry
+/// allocate nothing) and consumed by
+/// `Tile::matvec_batch_prepacked_into`, which packs once per row block
+/// instead of once per tile.
+#[derive(Debug, Clone, Default)]
+pub struct PackedInputs {
+    /// Input-major planes: plane `p` of input `i` at
+    /// `words[(i * n_planes + p) * wpc ..][..wpc]`.
+    words: Vec<u64>,
+    /// Per (input, plane) occupancy bitmap (bit `k` ⇔ word `k` non-zero,
+    /// saturating at bit 63): `occ[i * n_planes + p]`.
+    occ: Vec<u64>,
+    /// Per input: number of all-zero DAC planes.
+    zero_planes: Vec<u32>,
+    /// Per input: kernel dispatch class.
+    class: Vec<InputClass>,
+    rows: usize,
+    n_inputs: usize,
+    n_planes: u32,
+    words_per_col: usize,
+}
+
+impl PackedInputs {
+    /// Packs `n_inputs` im2col-layout input vectors — element
+    /// `(row r, input i)` at `inputs[r * n_inputs + i]` — into bit planes
+    /// and builds the occupancy index: per-plane non-zero-word bitmaps,
+    /// per-input zero-plane counts, and the pack-time kernel class.
+    /// Observes each input's word occupancy on the
+    /// `xbar.packed.occupancy` histogram. All buffers are resized in
+    /// place, reusing capacity.
+    pub fn pack(&mut self, inputs: &[u64], n_inputs: usize, n_planes: u32, words_per_col: usize) {
+        let rows = inputs.len().checked_div(n_inputs).unwrap_or(0);
+        self.rows = rows;
+        self.n_inputs = n_inputs;
+        self.n_planes = n_planes;
+        self.words_per_col = words_per_col;
+        pack_bit_planes_batch_into(inputs, n_inputs, n_planes, words_per_col, &mut self.words);
+        let np = n_planes as usize;
+        let wpc = words_per_col;
+        self.occ.clear();
+        self.occ.resize(n_inputs * np, 0);
+        self.zero_planes.clear();
+        self.class.clear();
+        let total_words = (np * wpc) as u64;
+        for i in 0..n_inputs {
+            let mut nz_words = 0u64;
+            let mut zero_planes = 0u32;
+            for p in 0..np {
+                let mut o = 0u64;
+                let plane = &self.words[(i * np + p) * wpc..][..wpc];
+                for (k, &w) in plane.iter().enumerate() {
+                    if w != 0 {
+                        o |= 1u64 << k.min(63);
+                        nz_words += 1;
+                    }
+                }
+                self.occ[i * np + p] = o;
+                zero_planes += u32::from(o == 0);
+            }
+            self.zero_planes.push(zero_planes);
+            let class = if nz_words == 0 {
+                InputClass::Empty
+            } else if wpc > 64 || nz_words * 2 >= total_words {
+                InputClass::Dense
+            } else {
+                InputClass::Sparse
+            };
+            self.class.push(class);
+            if let Some(pct) = (nz_words * 100).checked_div(total_words) {
+                crate::obs::PACKED_OCCUPANCY.observe(pct);
+            }
+        }
+    }
+
+    /// Rows per input vector of the packed batch.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of packed input vectors.
+    pub fn n_inputs(&self) -> usize {
+        self.n_inputs
+    }
+
+    /// DAC bit planes per input (`cycles × dac_bits` at pack time).
+    pub fn plane_count(&self) -> u32 {
+        self.n_planes
+    }
+
+    /// Words per plane bitmask (`⌈rows/64⌉` at pack time).
+    pub fn words_per_col(&self) -> usize {
+        self.words_per_col
+    }
+
+    /// Bytes currently held across the pack buffers.
+    pub fn bytes(&self) -> usize {
+        (self.words.len() + self.occ.len()) * 8
+            + self.zero_planes.len() * 4
+            + self.class.len() * std::mem::size_of::<InputClass>()
+    }
+
+    /// The bit planes of input `i` (`n_planes × words_per_col` words).
+    pub(crate) fn input_planes(&self, i: usize) -> &[u64] {
+        let per = self.n_planes as usize * self.words_per_col;
+        &self.words[i * per..][..per]
+    }
+
+    /// The per-plane occupancy bitmaps of input `i` (`n_planes` words).
+    pub(crate) fn input_occ(&self, i: usize) -> &[u64] {
+        let np = self.n_planes as usize;
+        &self.occ[i * np..][..np]
+    }
+
+    /// All-zero DAC planes of input `i`.
+    pub(crate) fn zero_plane_count(&self, i: usize) -> u32 {
+        self.zero_planes[i]
+    }
+
+    /// Kernel an input runs under `mode`. Resolves [`PackedKernel::Auto`]
+    /// from the pack-time class; forced modes still short-circuit empty
+    /// inputs (except [`PackedKernel::Dense`], the exact pre-occupancy
+    /// baseline) and fall back to dense when the bitmaps are not
+    /// word-exact.
+    pub(crate) fn path(&self, mode: PackedKernel, i: usize) -> KernelPath {
+        match (mode, self.class[i]) {
+            (PackedKernel::Dense, _) => KernelPath::Dense,
+            (_, InputClass::Empty) => KernelPath::Zero,
+            (PackedKernel::Occupancy, _) => {
+                if self.words_per_col > 64 {
+                    KernelPath::Dense
+                } else {
+                    KernelPath::Indexed
+                }
+            }
+            (PackedKernel::Auto, InputClass::Sparse) => KernelPath::Indexed,
+            (PackedKernel::Auto, InputClass::Dense) => KernelPath::Dense,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -496,6 +940,34 @@ mod tests {
     }
 
     #[test]
+    fn level_occupancy_marks_nonzero_columns() {
+        let (pos, neg) = demo_levels();
+        let packed = PackedTile::pack(&pos, &neg, 3, 2, 2);
+        // pos slice0 bit0: col0 word non-zero, col1 word zero.
+        let bit0 = &packed.slices[0].pos[0];
+        assert_eq!(bit0.occ, vec![1, 0]);
+        // pos slice0 bit1: both columns non-zero.
+        assert_eq!(packed.slices[0].pos[1].occ, vec![1, 1]);
+        // A zero occupancy column must contribute nothing and be skipped.
+        let mut sums = vec![0u64; 4];
+        let mut skipped = 0u64;
+        let in_planes = vec![u64::MAX; 4];
+        accumulate_plane_sums(
+            &packed.slices[0].pos[..1],
+            1,
+            1,
+            1,
+            &in_planes,
+            4,
+            1,
+            &mut sums,
+            &mut skipped,
+        );
+        assert!(sums.iter().all(|&s| s == 0));
+        assert_eq!(skipped, 4);
+    }
+
+    #[test]
     fn input_packing_matches_bit_extraction() {
         let input = [5u64, 0, 255, 130, 1];
         let planes = pack_bit_planes(&input, 8, 1);
@@ -517,6 +989,32 @@ mod tests {
             let planes = pack_bit_planes(&single, 4, 1);
             assert_eq!(&batch[i * 4..(i + 1) * 4], &planes[..], "input {i}");
         }
+    }
+
+    #[test]
+    fn packed_inputs_index_and_classify() {
+        // 3 inputs over 2 rows: all-zero, one small code, all-maximal.
+        let inputs = [0u64, 1, 15, 0, 0, 15]; // (r, i) at r * 3 + i
+        let mut p = PackedInputs::default();
+        p.pack(&inputs, 3, 4, 1);
+        assert_eq!((p.rows(), p.n_inputs(), p.plane_count()), (2, 3, 4));
+        // Input 0 is empty: every plane bitmap zero, 4 zero planes.
+        assert_eq!(p.input_occ(0), &[0, 0, 0, 0]);
+        assert_eq!(p.zero_plane_count(0), 4);
+        assert_eq!(p.path(PackedKernel::Auto, 0), KernelPath::Zero);
+        // ...but the Dense baseline never short-circuits.
+        assert_eq!(p.path(PackedKernel::Dense, 0), KernelPath::Dense);
+        // Input 1 has code 1 in row 0 only: plane 0 occupied, 1 of 4
+        // words non-zero -> sparse -> indexed under Auto.
+        assert_eq!(p.input_occ(1), &[1, 0, 0, 0]);
+        assert_eq!(p.zero_plane_count(1), 3);
+        assert_eq!(p.path(PackedKernel::Auto, 1), KernelPath::Indexed);
+        // Input 2 has code 15 in both rows: every plane occupied -> dense
+        // under Auto, indexed when forced.
+        assert_eq!(p.input_occ(2), &[1, 1, 1, 1]);
+        assert_eq!(p.zero_plane_count(2), 0);
+        assert_eq!(p.path(PackedKernel::Auto, 2), KernelPath::Dense);
+        assert_eq!(p.path(PackedKernel::Occupancy, 2), KernelPath::Indexed);
     }
 
     #[test]
@@ -560,14 +1058,17 @@ mod tests {
                 for slice in &packed.slices {
                     for planes in [&slice.pos, &slice.neg] {
                         let mut widened = vec![0u64; cycles as usize];
+                        let mut skipped = 0u64;
                         accumulate_plane_sums(
                             planes,
+                            j,
                             col,
                             wpc,
                             &in_planes,
                             n_in,
                             dac,
                             &mut widened,
+                            &mut skipped,
                         );
                         for cycle in 0..cycles {
                             let narrow = plane_sum(planes, col, wpc, &in_planes, cycle * dac, dac);
@@ -583,6 +1084,97 @@ mod tests {
     }
 
     #[test]
+    fn indexed_accumulation_matches_dense_on_sparse_inputs() {
+        // 70×3 tile again, but with sparse inputs (single word / single
+        // plane occupied) so the intersection loop, the empty-plane skip,
+        // and the empty-column skip all fire.
+        let rows = 70;
+        let cols = 3;
+        let mut state = 0x0123_4567_89ab_cdefu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let pos: Vec<Vec<u64>> = (0..2)
+            .map(|_| {
+                (0..rows * cols)
+                    .map(|i| if i % 5 == 0 { next() % 8 } else { 0 })
+                    .collect()
+            })
+            .collect();
+        let neg = vec![vec![0u64; rows * cols]; 2];
+        let packed = PackedTile::pack(&pos, &neg, rows, cols, 3);
+        let wpc = packed.words_per_col();
+        for &(dac, cycles) in &[(1u32, 6u32), (2, 3), (3, 2)] {
+            let n_in = dac * cycles;
+            // Sparse planes: zero out most words, leave plane 0 dense.
+            let in_planes: Vec<u64> = (0..n_in as usize * wpc)
+                .map(|k| if k < wpc || k % 3 == 0 { next() } else { 0 })
+                .collect();
+            let in_occ: Vec<u64> = (0..n_in as usize)
+                .map(|p| {
+                    let mut o = 0u64;
+                    for k in 0..wpc {
+                        if in_planes[p * wpc + k] != 0 {
+                            o |= 1 << k;
+                        }
+                    }
+                    o
+                })
+                .collect();
+            let n_nonzero = in_occ.iter().filter(|&&o| o != 0).count() as u32;
+            for j in 0..cols {
+                let col = j * wpc;
+                for slice in &packed.slices {
+                    for planes in [&slice.pos, &slice.neg] {
+                        let mut dense = vec![0u64; cycles as usize];
+                        let mut indexed = vec![0u64; cycles as usize];
+                        let (mut skipped, mut skips) = (0u64, SkipStats::default());
+                        accumulate_plane_sums(
+                            planes,
+                            j,
+                            col,
+                            wpc,
+                            &in_planes,
+                            n_in,
+                            dac,
+                            &mut dense,
+                            &mut skipped,
+                        );
+                        accumulate_plane_sums_indexed(
+                            planes,
+                            j,
+                            col,
+                            wpc,
+                            &in_planes,
+                            &in_occ,
+                            n_in,
+                            dac,
+                            n_nonzero,
+                            &mut indexed,
+                            &mut skips,
+                        );
+                        assert_eq!(dense, indexed, "dac={dac} col={j}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_mode_round_trips() {
+        assert_eq!(packed_kernel(), PackedKernel::Auto);
+        set_packed_kernel(PackedKernel::Dense);
+        assert_eq!(packed_kernel(), PackedKernel::Dense);
+        set_packed_kernel(PackedKernel::Occupancy);
+        assert_eq!(packed_kernel(), PackedKernel::Occupancy);
+        set_packed_kernel(PackedKernel::Auto);
+        assert_eq!(packed_kernel(), PackedKernel::Auto);
+    }
+
+    #[test]
     fn rows_past_64_use_the_second_word() {
         let rows = 70;
         let pos = vec![(0..rows).map(|r| u64::from(r >= 66)).collect::<Vec<_>>()];
@@ -594,5 +1186,6 @@ mod tests {
         let plane = &packed.slices[0].pos[0];
         assert_eq!(plane.words[0], 0);
         assert_eq!(plane.words[1], 0b1111 << 2); // rows 66..=69
+        assert_eq!(plane.occ[0], 0b10); // word 1 occupied only
     }
 }

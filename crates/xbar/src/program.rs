@@ -89,7 +89,10 @@ pub(crate) struct StepScratch {
     codes: Vec<u64>,
     /// Negated-negative-half input codes (differential streaming).
     neg_codes: Vec<u64>,
-    /// Packed DAC planes + per-tile partial sums.
+    /// Shared packed DAC planes + occupancy index (packed once per row
+    /// block and reused by every column tile; the signed differential
+    /// path packs the pos and neg halves through the same buffers) +
+    /// per-tile partial sums.
     batch: BatchScratch,
     /// Integer MVM outputs, input-major.
     y: Vec<i64>,

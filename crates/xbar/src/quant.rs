@@ -163,11 +163,17 @@ pub fn quantize_input_codes_into(
     let qmax = config.input_max();
     let scale = if max == 0.0 { 1.0 } else { max / qmax as f32 };
     out.clear();
-    out.extend(
-        input
-            .iter()
-            .map(|&x| ((x / scale).round() as i64).clamp(0, qmax as i64) as u64),
-    );
+    // Post-ReLU activation slices are dominated by exact zeros, which
+    // quantise to code 0 at any scale ((0/s).round() == 0); branching
+    // past the divide/round keeps the hot quantisation pass proportional
+    // to the non-zero population. Bitwise identical to the unbranched map.
+    out.extend(input.iter().map(|&x| {
+        if x == 0.0 {
+            0
+        } else {
+            ((x / scale).round() as i64).clamp(0, qmax as i64) as u64
+        }
+    }));
     Ok(scale)
 }
 
@@ -204,6 +210,13 @@ pub fn quantize_input_signed_into(
     pos.clear();
     neg.clear();
     for &x in input {
+        // Exact zeros (and -0.0) quantise to 0 in both halves at any
+        // scale; skip the divide/round for them (bitwise identical).
+        if x == 0.0 {
+            pos.push(0);
+            neg.push(0);
+            continue;
+        }
         let c = ((x / scale).round() as i64).clamp(-qmax, qmax);
         pos.push(c.max(0) as u64);
         neg.push((-c).max(0) as u64);

@@ -3,7 +3,7 @@
 
 use crate::adc::Adc;
 use crate::cell::{CellConfig, DeviceModel};
-use crate::packed::{self, PackedTile};
+use crate::packed::{self, KernelPath, PackedInputs, PackedTile};
 use crate::quant::QuantConfig;
 use crate::{Result, XbarError};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -247,19 +247,29 @@ impl Tile {
         let mut y = vec![0i64; self.cols];
         let grain = tinyadc_par::default_grain(self.cols);
         let saturations = AtomicU64::new(0);
+        let words_skipped = AtomicU64::new(0);
         tinyadc_par::for_each_chunk_mut(&mut y, grain, |chunk, y_cols| {
             let mut sats = 0u64;
+            let mut skipped = 0u64;
             for (jj, yv) in y_cols.iter_mut().enumerate() {
                 let j = chunk * grain + jj;
-                let (acc, s) = self
-                    .packed
-                    .column_bit_serial(j, &planes, dac, cycles, cell_bits, adc);
+                let (acc, s) = self.packed.column_bit_serial(
+                    j,
+                    &planes,
+                    dac,
+                    cycles,
+                    cell_bits,
+                    adc,
+                    &mut skipped,
+                );
                 *yv = acc;
                 sats += s;
             }
             saturations.fetch_add(sats, Ordering::Relaxed);
+            words_skipped.fetch_add(skipped, Ordering::Relaxed);
         });
         self.record_mvm_events(1, saturations.into_inner());
+        crate::obs::PACKED_WORDS_SKIPPED.add(words_skipped.into_inner());
         Ok(y)
     }
 
@@ -283,17 +293,22 @@ impl Tile {
     /// `rows × n_inputs` long, [`XbarError::InvalidConfig`] for codes
     /// exceeding the input range.
     pub fn matvec_batch(&self, inputs: &[u64], n_inputs: usize, adc: &Adc) -> Result<Vec<i64>> {
-        let mut planes = Vec::new();
+        let mut packed_inputs = PackedInputs::default();
         let mut y = Vec::new();
-        self.matvec_batch_into(inputs, n_inputs, adc, &mut planes, &mut y)?;
+        self.matvec_batch_into(inputs, n_inputs, adc, &mut packed_inputs, &mut y)?;
         Ok(y)
     }
 
     /// Workspace-reusing variant of [`Tile::matvec_batch`]: packs the
-    /// input bit planes into `planes` and writes the input-major outputs
-    /// into `y`, resizing both but reusing their capacity, so repeat calls
-    /// at a fixed batch geometry perform no heap allocation. Results are
-    /// bitwise identical to [`Tile::matvec_batch`].
+    /// input bit planes (and their occupancy index) into `packed_inputs`
+    /// and writes the input-major outputs into `y`, resizing both but
+    /// reusing their capacity, so repeat calls at a fixed batch geometry
+    /// perform no heap allocation. Results are bitwise identical to
+    /// [`Tile::matvec_batch`].
+    ///
+    /// Callers mapping several tiles over the same input rows should pack
+    /// once with [`PackedInputs::pack`] and run
+    /// [`Tile::matvec_batch_prepacked_into`] per tile instead.
     ///
     /// # Errors
     ///
@@ -305,7 +320,7 @@ impl Tile {
         inputs: &[u64],
         n_inputs: usize,
         adc: &Adc,
-        planes: &mut Vec<u64>,
+        packed_inputs: &mut PackedInputs,
         y: &mut Vec<i64>,
     ) -> Result<()> {
         if n_inputs == 0 {
@@ -324,13 +339,65 @@ impl Tile {
                 "input code exceeds {max}"
             )));
         }
+        let n_planes = self.config.cycles() * self.config.dac_bits;
+        packed_inputs.pack(inputs, n_inputs, n_planes, self.packed.words_per_col());
+        self.matvec_batch_prepacked_into(packed_inputs, adc, y)
+    }
+
+    /// Bit-serial MVM over an already-packed input batch — the shared-pack
+    /// entry point: callers that map several tiles over the same input
+    /// rows (a mapped layer's row block) pack once and run every tile of
+    /// the block against the same read-only [`PackedInputs`].
+    ///
+    /// Per input, the kernel is chosen at pack time from the occupancy
+    /// index (see [`PackedKernel`](crate::PackedKernel)): all-zero inputs
+    /// short-circuit to zero outputs, sparse inputs run the
+    /// occupancy-indexed kernel, dense inputs the widened dense kernel.
+    /// Every path feeds the ADC identical integer column sums, so the
+    /// output, the saturation count, and all modeled hardware counters
+    /// (charged per executed MVM regardless of software skips) are
+    /// bitwise identical across kernels and thread
+    /// counts; only the `xbar.packed.*_skipped` software counters and
+    /// wall-clock time vary with the kernel choice — and those skip
+    /// totals are data-derived, so they too are thread-count-invariant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::InvalidConfig`] when `packed_inputs` was
+    /// packed for a different geometry than this tile expects (row count,
+    /// words per column, or DAC plane count mismatch) — the guard that
+    /// catches stale shared packs after a shape or DAC change.
+    pub fn matvec_batch_prepacked_into(
+        &self,
+        packed_inputs: &PackedInputs,
+        adc: &Adc,
+        y: &mut Vec<i64>,
+    ) -> Result<()> {
+        let n_inputs = packed_inputs.n_inputs();
+        if n_inputs == 0 {
+            y.clear();
+            return Ok(());
+        }
         let dac = self.config.dac_bits;
         let cycles = self.config.cycles();
         let cell_bits = self.config.cell.bits_per_cell;
         let wpc = self.packed.words_per_col();
         let n_planes = cycles * dac;
-        packed::pack_bit_planes_batch_into(inputs, n_inputs, n_planes, wpc, planes);
-        let per_input = n_planes as usize * wpc;
+        if packed_inputs.rows() != self.rows
+            || packed_inputs.words_per_col() != wpc
+            || packed_inputs.plane_count() != n_planes
+        {
+            return Err(XbarError::InvalidConfig(format!(
+                "packed inputs ({} rows, {} planes, {} words/col) do not match tile \
+                 ({} rows, {} planes, {} words/col): stale shared pack",
+                packed_inputs.rows(),
+                packed_inputs.plane_count(),
+                packed_inputs.words_per_col(),
+                self.rows,
+                n_planes,
+                wpc,
+            )));
+        }
         y.clear();
         y.resize(n_inputs * self.cols, 0);
         // Chunk over the flat (input × column) element grid: every output
@@ -341,26 +408,67 @@ impl Tile {
         // grain derives from the element count and the modeled per-column
         // popcount cost (polarities × weight planes × input planes ×
         // words) — shape quantities only, so boundaries stay reproducible
-        // — and saturations merge by commutative addition.
+        // — and saturations/skip totals merge by commutative addition.
         let cols = self.cols;
         let col_cost = 2 * self.config.cells_per_weight() as u64 * u64::from(n_planes) * wpc as u64;
         let grain = tinyadc_par::grain_for_cost(n_inputs * cols, col_cost);
+        let mode = packed::packed_kernel();
         let saturations = AtomicU64::new(0);
+        let planes_skipped = AtomicU64::new(0);
+        let words_skipped = AtomicU64::new(0);
         tinyadc_par::for_each_chunk_mut(y, grain, |chunk, y_span| {
             let mut sats = 0u64;
+            let mut skips = packed::SkipStats::default();
             for (k, yv) in y_span.iter_mut().enumerate() {
                 let f = chunk * grain + k;
                 let (i, j) = (f / cols, f % cols);
-                let in_planes = &planes[i * per_input..][..per_input];
-                let (acc, s) = self
-                    .packed
-                    .column_bit_serial(j, in_planes, dac, cycles, cell_bits, adc);
-                *yv = acc;
-                sats += s;
+                match packed_inputs.path(mode, i) {
+                    KernelPath::Zero => {
+                        // All input planes empty: every pre-ADC sum is 0
+                        // and sample(0) == 0, so the output element is 0
+                        // and no saturation can occur.
+                        *yv = 0;
+                        skips.input_planes += u64::from(n_planes);
+                    }
+                    KernelPath::Dense => {
+                        let (acc, s) = self.packed.column_bit_serial(
+                            j,
+                            packed_inputs.input_planes(i),
+                            dac,
+                            cycles,
+                            cell_bits,
+                            adc,
+                            &mut skips.words,
+                        );
+                        *yv = acc;
+                        sats += s;
+                    }
+                    KernelPath::Indexed => {
+                        let zero_planes = packed_inputs.zero_plane_count(i);
+                        let (acc, s) = self.packed.column_bit_serial_indexed(
+                            j,
+                            packed_inputs.input_planes(i),
+                            packed_inputs.input_occ(i),
+                            n_planes - zero_planes,
+                            dac,
+                            cycles,
+                            cell_bits,
+                            adc,
+                            &mut skips,
+                        );
+                        *yv = acc;
+                        sats += s;
+                        skips.input_planes += u64::from(zero_planes);
+                    }
+                }
             }
             saturations.fetch_add(sats, Ordering::Relaxed);
+            planes_skipped.fetch_add(skips.input_planes, Ordering::Relaxed);
+            words_skipped.fetch_add(skips.words, Ordering::Relaxed);
         });
         self.record_mvm_events(n_inputs as u64, saturations.into_inner());
+        crate::obs::PACKED_INPUT_PLANES_SKIPPED.add(planes_skipped.into_inner());
+        crate::obs::PACKED_WORDS_SKIPPED.add(words_skipped.into_inner());
         Ok(())
     }
 

@@ -87,6 +87,31 @@ if ! awk -v s="$speedup_4t" -v f="$floor" 'BEGIN { exit !(s >= f) }'; then
 fi
 echo "    run_batch speedup_4t $speedup_4t >= floor $floor (host cores: $host_cores)"
 
+# Sparsity-dispatch gates (single-threaded, algorithmic — valid on any
+# host): the occupancy-indexed kernel must beat the forced-dense kernel
+# by >= 1.5x on the ~70%-zero post-ReLU conv microbench and > 1.3x on
+# the sparse run_batch, while costing <= 5% on the fully dense control
+# (the dispatch itself must be ~free when there is nothing to skip).
+echo "==> sparsity kernel-dispatch gates"
+datapath_speedup() {
+    sed -n 's/.*"name": "'"$1"'".*"speedup": \([0-9.]*\).*/\1/p' \
+        BENCH_parallel.quick.json
+}
+for gate in "datapath_conv2d_relu70 1.5" "datapath_conv2d_dense 0.95" \
+            "run_batch_relu70 1.3"; do
+    name="${gate% *}"; floor="${gate#* }"
+    s="$(datapath_speedup "$name")"
+    if [ -z "$s" ]; then
+        echo "FAIL: $name speedup missing from BENCH_parallel.quick.json" >&2
+        exit 1
+    fi
+    if ! awk -v s="$s" -v f="$floor" 'BEGIN { exit !(s >= f) }'; then
+        echo "FAIL: $name occupancy-vs-dense speedup $s below floor $floor" >&2
+        exit 1
+    fi
+    echo "    $name speedup $s >= floor $floor"
+done
+
 # Pool-shutdown leak check: after set_threads(0) no pool worker may
 # linger. The par unit test asserts pool_workers() == 0 post-quiesce;
 # run it by name so a leak fails loudly here.

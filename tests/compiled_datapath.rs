@@ -184,13 +184,13 @@ fn run_batch_is_bitwise_invariant_across_thread_counts() {
     let n = 9.min(data.test_len());
     let (batch, _) = data.test_batch(&(0..n).collect::<Vec<_>>()).expect("batch");
 
-    tinyadc_par::set_threads(1);
+    tinyadc_par::set_threads_exact(1);
     let mut ws = BatchWorkspace::new();
     let reference = compiled.run_batch(&batch, &mut ws).expect("run_batch");
     assert_eq!(reference.dims(), &[n, data.num_classes()]);
 
     for threads in [2usize, 4, 7] {
-        tinyadc_par::set_threads(threads);
+        tinyadc_par::set_threads_exact(threads);
         // A fresh workspace per count: reuse must not matter either.
         let mut ws = BatchWorkspace::new();
         let out = compiled.run_batch(&batch, &mut ws).expect("run_batch");
@@ -212,6 +212,63 @@ fn run_batch_is_bitwise_invariant_across_thread_counts() {
         let single = compiled.run(&sample, &mut ws1).expect("run");
         let row = &reference.as_slice()[i * data.num_classes()..(i + 1) * data.num_classes()];
         assert_eq!(single, row, "sample {i} differs from its batch row");
+    }
+}
+
+/// The shared packed-input planes held in a [`BatchWorkspace`] are keyed
+/// by geometry, not identity: reusing one workspace across run_batch
+/// calls whose batch shape, DAC width, or input quantisation scale all
+/// differ must repack rather than serve a stale pack. Every reused-
+/// workspace output is pinned bitwise against a fresh-workspace run of
+/// the same request.
+#[test]
+fn reused_batch_workspace_survives_shape_dac_and_scale_changes() {
+    let mut rng = SeededRng::new(75);
+    let (net, data) = train_small_cnn(&mut rng);
+    let cfg_dac2 = xbar_config();
+    let cfg_dac1 = XbarConfig {
+        dac_bits: 1,
+        ..xbar_config()
+    };
+    let compiled_a =
+        CompiledModel::compile(&net, cfg_dac2, &CompileOptions::default()).expect("compile");
+    let compiled_b =
+        CompiledModel::compile(&net, cfg_dac1, &CompileOptions::default()).expect("compile");
+
+    let (batch6, _) = data.test_batch(&(0..6).collect::<Vec<_>>()).expect("batch");
+    let (batch3, _) = data.test_batch(&(6..9).collect::<Vec<_>>()).expect("batch");
+    // Same samples, different dynamic range: the per-layer input
+    // quantisation scale changes, so the packed codes must too.
+    let batch6_scaled = batch6.map(|v| v * 3.0);
+
+    let mut shared = BatchWorkspace::new();
+    let requests: [(&CompiledModel, &Tensor, &str); 5] = [
+        (&compiled_a, &batch6, "batch of 6, dac 2"),
+        (&compiled_a, &batch3, "batch of 3 (shape shrank)"),
+        (&compiled_b, &batch3, "dac 1 (plane count changed)"),
+        (
+            &compiled_a,
+            &batch6_scaled,
+            "rescaled inputs (quant scale changed)",
+        ),
+        (&compiled_a, &batch6, "back to the first request"),
+    ];
+    for (model, batch, what) in requests {
+        let reused = model
+            .run_batch(batch, &mut shared)
+            .expect(what)
+            .as_slice()
+            .to_vec();
+        let mut fresh_ws = BatchWorkspace::new();
+        let fresh = model.run_batch(batch, &mut fresh_ws).expect(what);
+        assert_eq!(reused.len(), fresh.as_slice().len(), "{what}: length");
+        for (i, (a, b)) in reused.iter().zip(fresh.as_slice()).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{what}: logit {i} diverged after workspace reuse"
+            );
+        }
     }
 }
 

@@ -26,7 +26,7 @@ const THREADS: [usize; 4] = [1, 2, 4, 7];
 #[test]
 fn metric_values_are_thread_count_invariant() {
     let _guard = GLOBAL.lock().unwrap();
-    tinyadc_par::set_threads(THREADS[0]);
+    tinyadc_par::set_threads_exact(THREADS[0]);
     let reference = example_report(2021).unwrap();
     let ref_metrics = reference.metrics.without_sched().to_json();
     let ref_csv = reference.metrics.without_sched().to_csv();
@@ -44,7 +44,7 @@ fn metric_values_are_thread_count_invariant() {
         );
     }
     for &t in &THREADS[1..] {
-        tinyadc_par::set_threads(t);
+        tinyadc_par::set_threads_exact(t);
         let got = example_report(2021).unwrap();
         assert_eq!(
             got.metrics.without_sched().to_json(),

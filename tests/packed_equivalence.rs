@@ -20,6 +20,7 @@ use tinyadc_xbar::cell::CellConfig;
 use tinyadc_xbar::mapping::MappedLayer;
 use tinyadc_xbar::quant::QuantConfig;
 use tinyadc_xbar::tile::{Tile, XbarConfig};
+use tinyadc_xbar::{set_packed_kernel, PackedInputs, PackedKernel, XbarError};
 
 /// Every (rows, cols) of the equivalence matrix: square, ragged, and the
 /// degenerate 1×1 block.
@@ -196,6 +197,153 @@ fn mapped_layer_batch_equals_per_input_over_ragged_tiles() {
     let adc = Adc::new(8).unwrap();
     assert!(mapped.matvec_codes_batch(&[], 0, &adc).unwrap().is_empty());
     assert!(mapped.matvec_codes_batch(&[1, 2, 3], 2, &adc).is_err());
+}
+
+/// Adversarial sparsity regimes for the occupancy-indexed kernel, per
+/// input: all-zero (the `Zero` short-circuit), a single nonzero element
+/// (one live word in the occupancy intersection), and post-ReLU-like
+/// ~70 %-zero codes (the regime the `Auto` dispatch classifies as
+/// sparse). Each is pinned bitwise against the reference loop under
+/// every forced kernel mode and at oversubscribed thread counts, with
+/// both a lossless and a deliberately saturating ADC.
+///
+/// Kernel mode and thread count are process-global, but every mode and
+/// every thread count is bitwise equivalent by construction, so flipping
+/// them mid-run cannot perturb the sibling tests in this binary.
+#[test]
+fn adversarial_sparsity_matches_reference_under_all_kernels_and_threads() {
+    let shapes: [(usize, usize); 3] = [(7, 3), (64, 24), (96, 96)];
+    let threads: [usize; 4] = [1, 2, 4, 7];
+    let modes = [
+        PackedKernel::Auto,
+        PackedKernel::Dense,
+        PackedKernel::Occupancy,
+    ];
+    let mut saturated_cases = 0usize;
+    for &(rows, cols) in &shapes {
+        for &dac in &DAC_BITS {
+            let mut rng = SeededRng::new(rows as u64 * 100 + dac as u64);
+            let cfg = config(rows, cols, dac, 2);
+            let codes = random_codes(rows, cols, &mut rng);
+            let tile = Tile::new(&codes, rows, cols, cfg).unwrap();
+            let big = Adc::new(required_adc_bits_exact(dac, 2, rows)).unwrap();
+            let small = Adc::new(2).unwrap();
+
+            // The three adversarial inputs, batched together so the
+            // per-input dispatch must mix Zero/Indexed/Dense paths
+            // inside one kernel launch.
+            let zero = vec![0u64; rows];
+            let mut single = vec![0u64; rows];
+            single[rows - 1] = 255;
+            let relu70: Vec<u64> = (0..rows)
+                .map(|_| {
+                    if rng.next_u64() % 10 < 7 {
+                        0
+                    } else {
+                        1 + rng.next_u64() % 255
+                    }
+                })
+                .collect();
+            let inputs = vec![zero, single, relu70];
+            let batch = to_batch(&inputs, rows);
+
+            // References from the un-packed loop kernel, computed once
+            // before any mode/thread forcing.
+            let ref_big: Vec<Vec<i64>> = inputs
+                .iter()
+                .map(|x| tile.matvec_loop(x, &big).unwrap())
+                .collect();
+            let ref_small: Vec<Vec<i64>> = inputs
+                .iter()
+                .map(|x| tile.matvec_loop(x, &small).unwrap())
+                .collect();
+            let ideal = tile.matvec_ideal(&inputs[2]).unwrap();
+            if ref_small[2] != ideal {
+                saturated_cases += 1;
+            }
+
+            for mode in modes {
+                set_packed_kernel(mode);
+                for &t in &threads {
+                    tinyadc_par::set_threads_exact(t);
+                    let ctx = format!("{rows}x{cols} dac={dac} mode={mode:?} threads={t}");
+                    for (adc, reference) in [(&big, &ref_big), (&small, &ref_small)] {
+                        let y = tile.matvec_batch(&batch, inputs.len(), adc).unwrap();
+                        for (i, r) in reference.iter().enumerate() {
+                            assert_eq!(
+                                &y[i * cols..(i + 1) * cols],
+                                &r[..],
+                                "{ctx}: input {i} (adc {} bits)",
+                                adc.bits()
+                            );
+                        }
+                    }
+                }
+            }
+            set_packed_kernel(PackedKernel::Auto);
+            tinyadc_par::set_threads(0);
+        }
+    }
+    assert!(
+        saturated_cases > 0,
+        "the undersized ADC never saturated — saturation equivalence unexercised"
+    );
+}
+
+/// The always-on geometry guard on the shared-pack entry point: a
+/// [`PackedInputs`] packed for one tile geometry must be rejected — not
+/// silently misread — when fed to a tile whose row count or DAC plane
+/// count differs (the stale-workspace hazard after a batch-shape or
+/// DAC-bits change between runs).
+#[test]
+fn stale_shared_packs_are_rejected_by_geometry_guard() {
+    let mut rng = SeededRng::new(0xbeef);
+    let adc = Adc::new(8).unwrap();
+    let mut packed = PackedInputs::default();
+    let mut y = Vec::new();
+
+    // Pack against a 65-row tile (words_per_col = 2)...
+    let tall_cfg = config(65, 8, 2, 2);
+    let tall = Tile::new(&random_codes(65, 8, &mut rng), 65, 8, tall_cfg).unwrap();
+    let inputs: Vec<u64> = (0..65).map(|r| r as u64 * 3 % 256).collect();
+    tall.matvec_batch_into(&inputs, 1, &adc, &mut packed, &mut y)
+        .unwrap();
+
+    // ...then feed that pack to a 32-row tile: row/word mismatch.
+    let short_cfg = config(32, 8, 2, 2);
+    let short = Tile::new(&random_codes(32, 8, &mut rng), 32, 8, short_cfg).unwrap();
+    let err = short
+        .matvec_batch_prepacked_into(&packed, &adc, &mut y)
+        .unwrap_err();
+    assert!(matches!(err, XbarError::InvalidConfig(_)), "{err}");
+    assert!(
+        err.to_string().contains("stale shared pack"),
+        "unexpected error text: {err}"
+    );
+
+    // Same rows but different input bit width: plane-count mismatch.
+    let narrow_cfg = XbarConfig {
+        quant: QuantConfig {
+            weight_bits: 8,
+            input_bits: 4,
+        },
+        ..config(65, 8, 2, 2)
+    };
+    let narrow = Tile::new(&random_codes(65, 8, &mut rng), 65, 8, narrow_cfg).unwrap();
+    let err = narrow
+        .matvec_batch_prepacked_into(&packed, &adc, &mut y)
+        .unwrap_err();
+    assert!(
+        err.to_string().contains("stale shared pack"),
+        "unexpected error text: {err}"
+    );
+
+    // Repacking for the right geometry clears the staleness.
+    let short_inputs: Vec<u64> = (0..32).map(|r| r as u64 * 5 % 256).collect();
+    short
+        .matvec_batch_into(&short_inputs, 1, &adc, &mut packed, &mut y)
+        .unwrap();
+    assert_eq!(y, short.matvec(&short_inputs, &adc).unwrap());
 }
 
 #[test]

@@ -33,10 +33,10 @@ where
     T: PartialEq + std::fmt::Debug,
     F: FnMut() -> T,
 {
-    tinyadc_par::set_threads(THREADS[0]);
+    tinyadc_par::set_threads_exact(THREADS[0]);
     let reference = f();
     for &t in &THREADS[1..] {
-        tinyadc_par::set_threads(t);
+        tinyadc_par::set_threads_exact(t);
         let got = f();
         assert_eq!(reference, got, "{what}: diverged at {t} threads");
     }
@@ -74,7 +74,7 @@ fn conv_lowering_is_thread_count_invariant() {
     let g = Conv2dGeometry::new(3, 13, 11, 3, 3, 2, 1).unwrap();
     let x = Tensor::randn(&[3, 13, 11], 1.0, &mut rng);
     let cols = {
-        tinyadc_par::set_threads(1);
+        tinyadc_par::set_threads_exact(1);
         im2col(&x, &g).unwrap()
     };
     assert_invariant("im2col", || im2col(&x, &g).unwrap());
@@ -194,7 +194,7 @@ fn compiled_run_batch_is_thread_count_invariant() {
     });
     // Batched output matches 5 single-sample runs exactly (the batch
     // grain is a scheduling choice, never a numeric one).
-    tinyadc_par::set_threads(2);
+    tinyadc_par::set_threads_exact(2);
     let mut ws = tinyadc_xbar::program::BatchWorkspace::new();
     let batched = compiled.run_batch(&x, &mut ws).unwrap();
     let mut single_ws = tinyadc_xbar::program::Workspace::new();

@@ -90,13 +90,13 @@ fn fault_campaign_is_bitwise_thread_count_invariant() {
         ],
         eval_batch: 32,
     };
-    tinyadc_par::set_threads(THREADS[0]);
+    tinyadc_par::set_threads_exact(THREADS[0]);
     let reference = fx
         .pipeline
         .run_fault_campaign(&fx.data, &fx.variants[1..], &config)
         .unwrap();
     for &t in &THREADS[1..] {
-        tinyadc_par::set_threads(t);
+        tinyadc_par::set_threads_exact(t);
         let got = fx
             .pipeline
             .run_fault_campaign(&fx.data, &fx.variants[1..], &config)
