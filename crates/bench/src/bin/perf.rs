@@ -32,7 +32,10 @@
 //!   `run_batch_relu70`) force the packed kernel mode: occupancy-indexed
 //!   dispatch vs the dense kernel on a post-ReLU-realistic ~70 %-zero
 //!   activation map and on a fully dense control input — the
-//!   `scripts/check.sh` sparsity gates read these.
+//!   `scripts/check.sh` sparsity gates read these. `run_batch_nonideal`
+//!   times the same compiled program clean vs with a non-ideal device
+//!   policy attached (IR drop + read noise): the steady-state overhead
+//!   of degraded-mode serving.
 //!
 //! Pure std: `std::time::Instant`, one warmup run per mode, then
 //! interleaved repeats (cancels slow machine-load drift) reporting the
@@ -48,6 +51,7 @@ use tinyadc_tensor::{im2col, Conv2dGeometry, Tensor};
 use tinyadc_xbar::adc::Adc;
 use tinyadc_xbar::infer::conv2d;
 use tinyadc_xbar::mapping::MappedLayer;
+use tinyadc_xbar::noise::{IrDropModel, NonIdealPolicy, ReadNoise};
 use tinyadc_xbar::program::{BatchWorkspace, CompiledModel, Workspace};
 use tinyadc_xbar::quant::quantize_input;
 use tinyadc_xbar::tile::{Tile, XbarConfig};
@@ -509,6 +513,68 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
         || checksum(compiled_one.run(&ws_x, &mut workspace).expect("run")),
     ));
+
+    // 11. Degraded-mode serving overhead: the same program compiled clean
+    // vs with a `NonIdealPolicy` attached — IR drop plus read noise
+    // through the noise-aware packed fast path. The outputs legitimately
+    // differ, so this block times by hand instead of `compare`; each side
+    // must still be self-deterministic across repeats.
+    let mapped_noisy = MappedLayer::from_param(&ws_w, ParamKind::ConvWeight, cfg_full)?;
+    let mut compiled_noisy = CompiledModel::from_conv(mapped_noisy, [16, 8, 8], 1, 1, None)?;
+    compiled_noisy.set_non_ideal(Some(NonIdealPolicy {
+        ir: Some(IrDropModel::with_wire_resistance(2.0)?),
+        noise: Some(ReadNoise::new(0.1)?),
+        seed: 7_2021,
+    }))?;
+    tinyadc_par::set_threads_exact(1);
+    let mut ws_clean = BatchWorkspace::new();
+    let mut ws_noisy = BatchWorkspace::new();
+    let mut clean_run = || {
+        let y = compiled.run_batch(&batch_x, &mut ws_clean).expect("batch");
+        checksum(y.as_slice())
+    };
+    let mut noisy_run = || {
+        let y = compiled_noisy
+            .run_batch(&batch_x, &mut ws_noisy)
+            .expect("batch");
+        checksum(y.as_slice())
+    };
+    let (clean_ref, noisy_ref) = (clean_run(), noisy_run());
+    let (mut clean_s, mut noisy_s) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..reps {
+        let (dt, c) = timed(&mut clean_run);
+        assert_eq!(
+            c.to_bits(),
+            clean_ref.to_bits(),
+            "run_batch_nonideal: clean unstable"
+        );
+        clean_s = clean_s.min(dt);
+        let (dt, c) = timed(&mut noisy_run);
+        assert_eq!(
+            c.to_bits(),
+            noisy_ref.to_bits(),
+            "run_batch_nonideal: nonideal unstable"
+        );
+        noisy_s = noisy_s.min(dt);
+    }
+    tinyadc_par::set_threads(0);
+    let r = CompareResult {
+        name: "run_batch_nonideal",
+        baseline: "clean",
+        optimized: "nonideal",
+        baseline_s: clean_s,
+        optimized_s: noisy_s,
+    };
+    eprintln!(
+        "  {:<16} {} {:8.3} ms  {} {:8.3} ms  speedup {:.2}x (1 thread)",
+        r.name,
+        r.baseline,
+        r.baseline_s * 1e3,
+        r.optimized,
+        r.optimized_s * 1e3,
+        speedup(r.baseline_s, r.optimized_s)
+    );
+    comparisons.push(r);
 
     // Hand-rolled JSON (std-only policy: no serde in the workspace).
     let mut json = String::from("{\n");

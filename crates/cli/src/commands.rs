@@ -7,11 +7,15 @@
 use crate::{Args, Result};
 use std::path::Path;
 use tinyadc::config::ModelKind;
+use tinyadc::monitor::{
+    CanaryProbes, DegradedCampaignConfig, DegradedReport, DriftThresholds, EscalationPolicy,
+    HealthMonitor, HealthState, ServeStrategy,
+};
 use tinyadc::report::TextTable;
 use tinyadc::resilience::{
     CampaignConfig, CampaignReport, CampaignRow, CampaignVariant, Mitigation,
 };
-use tinyadc::{Executor, Pipeline, PipelineConfig, TrainedModel};
+use tinyadc::{Executor, Pipeline, PipelineConfig, TinyAdcError, TrainedModel};
 use tinyadc_hw::adc::SarAdcModel;
 use tinyadc_hw::energy::{ActivityCounts, EnergyModel};
 use tinyadc_hw::latency::LatencyModel;
@@ -25,6 +29,7 @@ use tinyadc_tensor::Tensor;
 use tinyadc_xbar::adc::Adc;
 use tinyadc_xbar::fault::{FaultModel, LayerFaultMap};
 use tinyadc_xbar::mapping::MappedLayer;
+use tinyadc_xbar::noise::{IrDropModel, NonIdealPolicy, ReadNoise};
 use tinyadc_xbar::program::{BatchWorkspace, CompileOptions, CompiledModel};
 use tinyadc_xbar::repair;
 
@@ -40,6 +45,7 @@ pub fn run(args: &Args) -> Result<String> {
         "audit" => cmd_audit(args),
         "cost" => cmd_cost(args),
         "faults" => cmd_faults(args),
+        "serve-degraded" => cmd_serve_degraded(args),
         "infer" => cmd_infer(args),
         "adc" => cmd_adc(args),
         "report" => cmd_report(args),
@@ -74,6 +80,14 @@ pub fn usage() -> String {
      \x20       [--out CSV] [--json FILE]\n\
      \x20       [--recover 1]  degraded-mode demo: fault, then masked retrain\n\
      \x20       [--quick 1]    self-contained campaign smoke test\n\
+     serve-degraded                           degraded-mode serving campaign:\n\
+     \x20       sweep wire resistance x read noise x fault rate x strategy on\n\
+     \x20       the compiled datapath, with canary health checks and automatic\n\
+     \x20       repair escalation (spares -> masked recompile)\n\
+     \x20       [--wire-res R1,R2] [--sigmas S1,S2] [--rates F1,F2]\n\
+     \x20       [--strategies ideal,spares,recompile] [--probes N] [--seed N]\n\
+     \x20       [--out CSV] [--json FILE]\n\
+     \x20       [--quick 1]    tiny grid + CP-dominates-dense gate\n\
      infer   --tier .. --model .. [--in FILE] compile-once/run-many inference:\n\
      \x20       [--executor engine|datapath|both]  weight-domain audit vs the\n\
      \x20       [--quick 1]                        bit-serial crossbar datapath\n\
@@ -436,6 +450,148 @@ fn cmd_faults(args: &Args) -> Result<String> {
     Ok(out)
 }
 
+fn parse_f64_list(args: &Args, key: &str, default: &[f64]) -> Result<Vec<f64>> {
+    match args.get(key) {
+        Some(spec) => spec
+            .split(',')
+            .map(|t| {
+                t.trim()
+                    .parse::<f64>()
+                    .map_err(|_| format!("option --{key}: cannot parse `{t}`"))
+            })
+            .collect(),
+        None => Ok(default.to_vec()),
+    }
+}
+
+/// Renders a degraded campaign, one row per grid cell.
+fn render_degraded(report: &DegradedReport) -> String {
+    let mut table = TextTable::new(&[
+        "Variant", "Strategy", "WireR", "Sigma", "Rate", "Acc %", "Drop", "Agree", "Health",
+        "Repair", "Retries",
+    ]);
+    for r in &report.rows {
+        table.row_owned(vec![
+            r.variant.clone(),
+            r.strategy.clone(),
+            format!("{}", r.wire_resistance_ohm),
+            format!("{}", r.noise_sigma),
+            format!("{}", r.fault_rate),
+            format!("{:.2}", r.accuracy * 100.0),
+            format!("{:.2}", r.accuracy_drop * 100.0),
+            format!("{:.2}", r.canary_agreement),
+            r.health.clone(),
+            r.repair.clone(),
+            r.retries.to_string(),
+        ]);
+    }
+    table.render()
+}
+
+/// Degraded-mode serving campaign: trains a tiny dense model and a CP 4×
+/// pruned sibling, then sweeps wire resistance × read-noise sigma ×
+/// stuck-at rate × serving strategy over the compiled datapath — every
+/// cell compiles a faulty non-ideal device instance, health-checks it
+/// against seeded canary probes, escalates the repair ladder per the
+/// strategy, and measures served test accuracy. `--quick` shrinks the
+/// grid and gates that CP-pruned accuracy dominates dense at the highest
+/// swept stress point (the paper's graceful-degradation claim carried
+/// onto the serving path).
+fn cmd_serve_degraded(args: &Args) -> Result<String> {
+    let quick = args.get("quick").is_some();
+    let seed: u64 = args.get_or("seed", 7)?;
+    // Larger than the other `--quick` smokes: the campaign compares
+    // *served accuracy*, so the baseline must sit well above chance for
+    // degradation (and its mitigation) to be visible at all.
+    let train: usize = args.get_or("train", 240)?;
+    let test: usize = args.get_or("test", 60)?;
+    let mut rng = SeededRng::new(seed);
+    let data =
+        SyntheticImageDataset::generate(DatasetTier::Tier1Cifar10Like, train, test, &mut rng)
+            .map_err(|e| e.to_string())?;
+    let mut cfg = PipelineConfig::quick_test();
+    cfg.pretrain.epochs = args.get_or("epochs", 6)?;
+    cfg.admm_train.epochs = args.get_or("admm-epochs", 2)?;
+    cfg.retrain.epochs = args.get_or("retrain-epochs", 2)?;
+    let pipeline = Pipeline::new(cfg);
+    let trained = pipeline
+        .pretrain(&data, &mut rng)
+        .map_err(|e| e.to_string())?;
+    let (cp_report, mut cp_net) = pipeline
+        .run_cp_with_network(&data, &trained, 4, &mut rng)
+        .map_err(|e| e.to_string())?;
+    let mut dense_net = pipeline
+        .restore(&data, &trained, &mut rng)
+        .map_err(|e| e.to_string())?;
+    let cp_l = CpConstraint::from_rate(pipeline.config().xbar.shape, 4)
+        .map_err(|e| e.to_string())?
+        .max_nonzeros_per_column();
+    let variants = vec![
+        CampaignVariant::from_network("dense", &mut dense_net, None, trained.accuracy),
+        CampaignVariant::from_network("cp4x", &mut cp_net, Some(cp_l), cp_report.final_accuracy),
+    ];
+
+    // Stuck-at rates are an order of magnitude below the weight-damage
+    // campaign's: unrepaired faults at the tiny quick-test scale wipe
+    // served accuracy to chance well before 5%, leaving nothing to
+    // compare. ~1% is where degradation is severe but still graded.
+    let (wire_d, sigma_d, rate_d): (&[f64], &[f64], &[f64]) = if quick {
+        (&[0.0, 2.0], &[0.05], &[0.01])
+    } else {
+        (&[0.0, 1.0, 2.0], &[0.0, 0.05, 0.1], &[0.0, 0.005, 0.01])
+    };
+    let strategies = args
+        .get("strategies")
+        .unwrap_or(if quick {
+            "ideal,spares"
+        } else {
+            "ideal,spares,recompile"
+        })
+        .split(',')
+        .map(|t| ServeStrategy::parse(t).map_err(|e| e.to_string()))
+        .collect::<Result<Vec<_>>>()?;
+    let config = DegradedCampaignConfig {
+        wire_resistances_ohm: parse_f64_list(args, "wire-res", wire_d)?,
+        noise_sigmas: parse_f64_list(args, "sigmas", sigma_d)?,
+        fault_rates: parse_f64_list(args, "rates", rate_d)?,
+        strategies,
+        thresholds: DriftThresholds::default(),
+        escalation: EscalationPolicy::default(),
+        canary_probes: args.get_or("probes", 8)?,
+        eval_batch: 32,
+        seed,
+    };
+    let report = pipeline
+        .run_degraded_campaign(&data, &variants, &config)
+        .map_err(|e| e.to_string())?;
+    let csv = report.to_csv();
+    let parsed = DegradedReport::from_csv(&csv).map_err(|e| e.to_string())?;
+    if parsed != report {
+        return Err("degraded campaign CSV round-trip mismatch".into());
+    }
+    let dominates = report.cp_dominates("cp4x", "dense");
+    let mut out = render_degraded(&report);
+    out.push_str("report parse round-trip: OK\n");
+    out.push_str(&format!(
+        "CP dominates dense (served accuracy at peak stress): {}\n",
+        if dominates { "yes" } else { "no" }
+    ));
+    if let Some(path) = args.get("out") {
+        std::fs::write(path, &csv).map_err(|e| e.to_string())?;
+        out.push_str(&format!("wrote degraded campaign CSV to {path}\n"));
+    }
+    if let Some(path) = args.get("json") {
+        std::fs::write(path, report.to_json()).map_err(|e| e.to_string())?;
+        out.push_str(&format!("wrote degraded campaign JSON to {path}\n"));
+    }
+    if quick && !dominates {
+        return Err(format!(
+            "{out}\nFAIL: dense out-served CP-pruned at the highest swept stress point"
+        ));
+    }
+    Ok(out)
+}
+
 /// Everything `tinyadc report` produces, in machine-readable form.
 ///
 /// Split out from the rendering so tests (notably the workspace's
@@ -523,6 +679,63 @@ pub fn example_report(seed: u64) -> Result<ExampleReport> {
     compiled
         .run_batch(&images, &mut ws)
         .map_err(|e| e.to_string())?;
+
+    // Degraded-mode serving instrumentation: a second instance of the
+    // same program under heavy IR drop + read noise, health-checked
+    // against canary probes and pushed up the repair escalation ladder.
+    // All serial — the `serve.health.*` gauges are last-write-wins.
+    let nonideal = CompileOptions {
+        adc_bits: None,
+        faults: None,
+        non_ideal: Some(NonIdealPolicy {
+            ir: Some(IrDropModel::with_wire_resistance(2.0).map_err(|e| e.to_string())?),
+            noise: Some(ReadNoise::new(0.5).map_err(|e| e.to_string())?),
+            seed,
+        }),
+    };
+    let noisy = CompiledModel::compile(&net, xbar, &nonideal).map_err(|e| e.to_string())?;
+    let probes = CanaryProbes::sample(&data, 8, seed, &compiled).map_err(|e| e.to_string())?;
+    let mut monitor =
+        HealthMonitor::new(probes, DriftThresholds::default()).map_err(|e| e.to_string())?;
+    let check = monitor.check(&noisy, &mut ws).map_err(|e| e.to_string())?;
+    check.publish();
+    let policy = EscalationPolicy::default();
+    let mut esc_rng = SeededRng::new(seed ^ 0x5EC0);
+    pipeline
+        .escalate_repair(
+            &mut net,
+            &data,
+            HealthState::Degraded,
+            &model,
+            seed,
+            &nonideal,
+            &policy,
+            &mut esc_rng,
+        )
+        .map_err(|e| e.to_string())?;
+    // An impossible ADC width exhausts the bounded retry loop, so the
+    // retry counter and the typed exhaustion error are both exercised.
+    let impossible = CompileOptions {
+        adc_bits: Some(0),
+        ..nonideal
+    };
+    match pipeline.escalate_repair(
+        &mut net,
+        &data,
+        HealthState::Degraded,
+        &model,
+        seed,
+        &impossible,
+        &policy,
+        &mut esc_rng,
+    ) {
+        Err(TinyAdcError::RepairExhausted { .. }) => {}
+        other => {
+            return Err(format!(
+                "expected repair exhaustion from a zero-width ADC, got {other:?}"
+            ))
+        }
+    }
 
     let metrics = MetricsSnapshot::capture();
     let via_json =

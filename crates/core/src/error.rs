@@ -16,6 +16,14 @@ pub enum TinyAdcError {
     Hw(tinyadc_hw::HwError),
     /// Framework-level configuration problem.
     InvalidConfig(String),
+    /// Automatic repair escalation gave up: every recompile attempt in
+    /// the bounded retry loop failed.
+    RepairExhausted {
+        /// Compile attempts made (the first try plus every retry).
+        attempts: usize,
+        /// Rendered error from the final attempt.
+        last: String,
+    },
 }
 
 impl fmt::Display for TinyAdcError {
@@ -27,6 +35,10 @@ impl fmt::Display for TinyAdcError {
             Self::Xbar(e) => write!(f, "{e}"),
             Self::Hw(e) => write!(f, "{e}"),
             Self::InvalidConfig(msg) => write!(f, "invalid pipeline configuration: {msg}"),
+            Self::RepairExhausted { attempts, last } => write!(
+                f,
+                "repair escalation exhausted after {attempts} recompile attempts: {last}"
+            ),
         }
     }
 }
@@ -39,7 +51,7 @@ impl std::error::Error for TinyAdcError {
             Self::Prune(e) => Some(e),
             Self::Xbar(e) => Some(e),
             Self::Hw(e) => Some(e),
-            Self::InvalidConfig(_) => None,
+            Self::InvalidConfig(_) | Self::RepairExhausted { .. } => None,
         }
     }
 }

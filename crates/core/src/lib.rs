@@ -42,6 +42,7 @@ mod error;
 
 pub mod audit;
 pub mod config;
+pub mod monitor;
 pub mod pipeline;
 pub mod report;
 pub mod resilience;
@@ -50,6 +51,11 @@ pub mod sweep;
 pub use audit::{LayerAudit, NetworkAudit};
 pub use config::PipelineConfig;
 pub use error::TinyAdcError;
+pub use monitor::{
+    CanaryProbes, DegradedCampaignConfig, DegradedReport, DegradedRow, DriftDetector,
+    DriftThresholds, EscalationPolicy, HealthCheck, HealthMonitor, HealthState, RepairAction,
+    RepairOutcome, RetryEvent, ServeStrategy,
+};
 pub use pipeline::{Executor, Pipeline, Scheme, TrainedModel};
 pub use report::PipelineReport;
 pub use resilience::{

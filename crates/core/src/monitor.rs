@@ -1,0 +1,1238 @@
+//! Online serving-path health monitoring and automatic repair
+//! escalation for degraded compiled instances (paper §IV-E carried into
+//! the serving path).
+//!
+//! A compiled instance running on a real device drifts: stuck-at faults
+//! accumulate, wire resistance rises with temperature, read noise grows.
+//! This module closes the loop around [`CompiledModel`]:
+//!
+//! 1. **Canary probes** — a seeded subset of the test set whose clean
+//!    compiled predictions are recorded once ([`CanaryProbes`]). Replayed
+//!    periodically, the agreement with the clean predictions is a label-
+//!    free drift signal.
+//! 2. **Drift detection with hysteresis** — [`DriftDetector`] maps the
+//!    drift to a `clean`/`degraded`/`critical` [`HealthState`]; entering
+//!    a state uses the raw threshold, leaving it must clear a wider exit
+//!    threshold so a value oscillating around the boundary holds state.
+//! 3. **Escalation up the repair ladder** — [`Pipeline::escalate_repair`]
+//!    maps the state to a [`RepairAction`]: spare-column remap (recompile
+//!    with a spared [`FaultPolicy`]) for `degraded`, fault-masked
+//!    recovery retraining ([`Pipeline::recover_from_faults`]) plus
+//!    recompile for `critical`. Recompiles run inside a bounded
+//!    retry loop with a deterministic *virtual* exponential backoff
+//!    schedule (no wall-clock dependence), failing with the typed
+//!    [`TinyAdcError::RepairExhausted`] when the budget runs out.
+//! 4. **A degradation campaign** — [`Pipeline::run_degraded_campaign`]
+//!    sweeps wire resistance × read-noise sigma × fault rate × serving
+//!    strategy over model variants on the compiled datapath, fanning the
+//!    grid over [`tinyadc_par::map`]. Every stochastic choice derives
+//!    from the campaign seed and the cell index, so the report — health
+//!    states, repair actions and retry/backoff traces included — is
+//!    bitwise identical at any thread count.
+//!
+//! Health is exported through `serve.health.*` metrics; gauges are
+//! last-write-wins, so [`HealthCheck::publish`] and the campaign summary
+//! write them only from serial code (see `docs/observability.md`).
+
+use crate::pipeline::Pipeline;
+use crate::resilience::CampaignVariant;
+use crate::{Result, TinyAdcError};
+use tinyadc_nn::data::SyntheticImageDataset;
+use tinyadc_nn::Network;
+use tinyadc_obs::{LazyCounter, LazyGauge};
+use tinyadc_tensor::rng::SeededRng;
+use tinyadc_tensor::Tensor;
+use tinyadc_xbar::fault::FaultModel;
+use tinyadc_xbar::noise::{derive_stream_seed, IrDropModel, NonIdealPolicy, ReadNoise};
+use tinyadc_xbar::program::{BatchWorkspace, CompileOptions, CompiledModel, FaultPolicy};
+
+/// Worst health state published so far: 0 clean, 1 degraded, 2 critical.
+static HEALTH_STATE: LazyGauge = LazyGauge::new("serve.health.state");
+/// Canary agreement of the last published health check, in `[0, 1]`.
+static HEALTH_AGREEMENT: LazyGauge = LazyGauge::new("serve.health.canary_agreement");
+/// Drift (1 − agreement) of the last published health check.
+static HEALTH_DRIFT: LazyGauge = LazyGauge::new("serve.health.drift");
+/// Canary replays performed.
+static HEALTH_CHECKS: LazyCounter = LazyCounter::new("serve.health.checks");
+/// Repair escalations triggered (one per non-`None` action).
+static HEALTH_ESCALATIONS: LazyCounter = LazyCounter::new("serve.health.escalations");
+/// Recompile retry attempts consumed inside escalation backoff loops.
+static HEALTH_RETRIES: LazyCounter = LazyCounter::new("serve.health.retries");
+
+/// Serving-instance health, in escalation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HealthState {
+    /// Canary agreement within tolerance of the clean instance.
+    Clean,
+    /// Noticeable drift: spare-column remap is warranted.
+    Degraded,
+    /// Severe drift: full recovery retraining is warranted.
+    Critical,
+}
+
+impl HealthState {
+    /// Stable label used in reports and CSV.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Clean => "clean",
+            Self::Degraded => "degraded",
+            Self::Critical => "critical",
+        }
+    }
+
+    /// Numeric severity (0/1/2) for the `serve.health.state` gauge.
+    pub fn level(&self) -> u8 {
+        match self {
+            Self::Clean => 0,
+            Self::Degraded => 1,
+            Self::Critical => 2,
+        }
+    }
+}
+
+/// Drift thresholds for the detector. Entering `degraded`/`critical`
+/// uses the raw threshold; falling back out requires the drift to clear
+/// `threshold − hysteresis`, so a drift oscillating inside the band
+/// keeps the current state (no repair flapping).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftThresholds {
+    /// Drift at or above which the instance is `degraded`.
+    pub degraded_drift: f64,
+    /// Drift at or above which the instance is `critical`.
+    pub critical_drift: f64,
+    /// Width of the exit band below each entry threshold.
+    pub hysteresis: f64,
+}
+
+impl Default for DriftThresholds {
+    fn default() -> Self {
+        Self {
+            degraded_drift: 0.15,
+            critical_drift: 0.5,
+            hysteresis: 0.05,
+        }
+    }
+}
+
+impl DriftThresholds {
+    /// Checks ordering and finiteness of the thresholds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TinyAdcError::InvalidConfig`] unless
+    /// `0 < degraded < critical` and `0 ≤ hysteresis < degraded`, all
+    /// finite.
+    pub fn validate(&self) -> Result<()> {
+        let ok = self.degraded_drift.is_finite()
+            && self.critical_drift.is_finite()
+            && self.hysteresis.is_finite()
+            && self.degraded_drift > 0.0
+            && self.critical_drift > self.degraded_drift
+            && self.hysteresis >= 0.0
+            && self.hysteresis < self.degraded_drift;
+        if !ok {
+            return Err(TinyAdcError::InvalidConfig(format!(
+                "drift thresholds need 0 < degraded < critical and \
+                 0 <= hysteresis < degraded, got degraded={} critical={} hysteresis={}",
+                self.degraded_drift, self.critical_drift, self.hysteresis
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Stateful drift classifier with hysteresis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftDetector {
+    thresholds: DriftThresholds,
+    state: HealthState,
+}
+
+impl DriftDetector {
+    /// A detector starting in [`HealthState::Clean`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DriftThresholds::validate`].
+    pub fn new(thresholds: DriftThresholds) -> Result<Self> {
+        thresholds.validate()?;
+        Ok(Self {
+            thresholds,
+            state: HealthState::Clean,
+        })
+    }
+
+    /// The current state.
+    pub fn state(&self) -> HealthState {
+        self.state
+    }
+
+    fn classify(drift: f64, degraded: f64, critical: f64) -> HealthState {
+        if drift >= critical {
+            HealthState::Critical
+        } else if drift >= degraded {
+            HealthState::Degraded
+        } else {
+            HealthState::Clean
+        }
+    }
+
+    /// Folds one drift observation into the state machine and returns
+    /// the new state. Raising uses the entry thresholds; lowering must
+    /// clear the exit thresholds (`entry − hysteresis`), so observations
+    /// inside the band hold the current state.
+    pub fn observe(&mut self, drift: f64) -> HealthState {
+        let t = self.thresholds;
+        let raised = Self::classify(drift, t.degraded_drift, t.critical_drift);
+        let lowered = Self::classify(
+            drift,
+            t.degraded_drift - t.hysteresis,
+            t.critical_drift - t.hysteresis,
+        );
+        if raised > self.state {
+            self.state = raised;
+        } else if lowered < self.state {
+            self.state = lowered;
+        }
+        self.state
+    }
+}
+
+/// A seeded canary-probe set: test samples plus the clean compiled
+/// instance's predictions on them. Replaying the probes through a
+/// possibly-degraded instance and comparing predictions gives a
+/// label-free drift signal (agreement with the clean instance, not
+/// accuracy against ground truth — the serving path has no labels).
+#[derive(Debug, Clone)]
+pub struct CanaryProbes {
+    images: Tensor,
+    reference: Vec<usize>,
+}
+
+impl CanaryProbes {
+    /// Draws `n` distinct probe indices from `data`'s test split (seeded
+    /// partial Fisher–Yates) and records `reference`'s predictions on
+    /// them as the clean baseline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TinyAdcError::InvalidConfig`] for `n == 0`; propagates
+    /// batch and execution errors.
+    pub fn sample(
+        data: &SyntheticImageDataset,
+        n: usize,
+        seed: u64,
+        reference: &CompiledModel,
+    ) -> Result<Self> {
+        if n == 0 {
+            return Err(TinyAdcError::InvalidConfig(
+                "canary probe set must not be empty".into(),
+            ));
+        }
+        let len = data.test_len();
+        let n = n.min(len);
+        let mut pool: Vec<usize> = (0..len).collect();
+        let mut rng = SeededRng::new(derive_stream_seed(seed, 0xCA9A3, 0));
+        for i in 0..n {
+            let j = i + (rng.next_u64() as usize) % (len - i);
+            pool.swap(i, j);
+        }
+        let indices = &pool[..n];
+        let (images, _labels) = data.test_batch(indices)?;
+        let mut ws = BatchWorkspace::new();
+        let mut logits = Vec::new();
+        reference.run_batch_into(&images, &mut ws, &mut logits)?;
+        let reference = logits.chunks(reference.output_len()).map(argmax).collect();
+        Ok(Self { images, reference })
+    }
+
+    /// Number of probes.
+    pub fn len(&self) -> usize {
+        self.reference.len()
+    }
+
+    /// Whether the probe set is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.reference.is_empty()
+    }
+
+    /// Fraction of probes on which `compiled` agrees with the clean
+    /// reference predictions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution errors.
+    pub fn agreement(&self, compiled: &CompiledModel, ws: &mut BatchWorkspace) -> Result<f64> {
+        let mut logits = Vec::new();
+        compiled.run_batch_into(&self.images, ws, &mut logits)?;
+        let matching = logits
+            .chunks(compiled.output_len())
+            .zip(&self.reference)
+            .filter(|(row, &want)| argmax(row) == want)
+            .count();
+        Ok(matching as f64 / self.reference.len() as f64)
+    }
+}
+
+/// One health-check result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthCheck {
+    /// Canary agreement with the clean reference, in `[0, 1]`.
+    pub agreement: f64,
+    /// `1 − agreement`.
+    pub drift: f64,
+    /// Detector state after folding this observation in.
+    pub state: HealthState,
+}
+
+impl HealthCheck {
+    /// Publishes the check to the `serve.health.*` gauges under a
+    /// `serve.health.check` span. Gauges are last-write-wins: call this
+    /// only from serial code, never inside parallel workers.
+    pub fn publish(&self) {
+        let _span = tinyadc_obs::span("serve.health.check");
+        HEALTH_STATE.set(f64::from(self.state.level()));
+        HEALTH_AGREEMENT.set(self.agreement);
+        HEALTH_DRIFT.set(self.drift);
+    }
+}
+
+/// The online monitor: canary probes plus the hysteresis detector.
+#[derive(Debug, Clone)]
+pub struct HealthMonitor {
+    probes: CanaryProbes,
+    detector: DriftDetector,
+}
+
+impl HealthMonitor {
+    /// A monitor starting in [`HealthState::Clean`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DriftThresholds::validate`].
+    pub fn new(probes: CanaryProbes, thresholds: DriftThresholds) -> Result<Self> {
+        Ok(Self {
+            probes,
+            detector: DriftDetector::new(thresholds)?,
+        })
+    }
+
+    /// The detector's current state.
+    pub fn state(&self) -> HealthState {
+        self.detector.state()
+    }
+
+    /// Replays the canary probes through `compiled` and folds the drift
+    /// into the detector. Increments `serve.health.checks`; gauges are
+    /// left to [`HealthCheck::publish`] (safe to call in workers).
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution errors.
+    pub fn check(
+        &mut self,
+        compiled: &CompiledModel,
+        ws: &mut BatchWorkspace,
+    ) -> Result<HealthCheck> {
+        let agreement = self.probes.agreement(compiled, ws)?;
+        let drift = 1.0 - agreement;
+        let state = self.detector.observe(drift);
+        HEALTH_CHECKS.inc();
+        Ok(HealthCheck {
+            agreement,
+            drift,
+            state,
+        })
+    }
+}
+
+/// Budget and schedule for the escalation ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EscalationPolicy {
+    /// Spare columns per tile for the remap rung.
+    pub spares_per_tile: usize,
+    /// Recompile retries after the first attempt (so `max_retries + 1`
+    /// attempts total).
+    pub max_retries: usize,
+    /// First backoff, in virtual ticks; doubles per retry. Virtual so
+    /// schedules are deterministic — no wall clock anywhere.
+    pub backoff_base_ticks: u64,
+}
+
+impl Default for EscalationPolicy {
+    fn default() -> Self {
+        Self {
+            spares_per_tile: 2,
+            max_retries: 3,
+            backoff_base_ticks: 16,
+        }
+    }
+}
+
+impl EscalationPolicy {
+    /// Checks the schedule parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TinyAdcError::InvalidConfig`] for a zero backoff base.
+    pub fn validate(&self) -> Result<()> {
+        if self.backoff_base_ticks == 0 {
+            return Err(TinyAdcError::InvalidConfig(
+                "backoff base must be at least one tick".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The virtual backoff after failed attempt `attempt` (0-based):
+    /// `base << attempt`, saturating.
+    pub fn backoff_ticks(&self, attempt: usize) -> u64 {
+        let shift = u32::try_from(attempt).unwrap_or(u32::MAX);
+        if shift > self.backoff_base_ticks.leading_zeros() {
+            u64::MAX
+        } else {
+            self.backoff_base_ticks << shift
+        }
+    }
+}
+
+/// The repair-ladder rung an escalation took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepairAction {
+    /// Instance left as-is.
+    None,
+    /// Recompiled with spare-column remapping baked in.
+    SpareRemap,
+    /// Fault-masked recovery retraining, then recompiled.
+    Recompile,
+}
+
+impl RepairAction {
+    /// Stable label used in reports and CSV.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::None => "none",
+            Self::SpareRemap => "spares",
+            Self::Recompile => "recompile",
+        }
+    }
+}
+
+/// One failed recompile attempt inside the retry loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryEvent {
+    /// 0-based attempt index.
+    pub attempt: usize,
+    /// Virtual ticks waited after this failure.
+    pub backoff_ticks: u64,
+}
+
+/// Outcome of [`Pipeline::escalate_repair`].
+#[derive(Debug)]
+pub struct RepairOutcome {
+    /// The rung taken.
+    pub action: RepairAction,
+    /// Replacement instance, when `action` is not [`RepairAction::None`].
+    pub compiled: Option<CompiledModel>,
+    /// Failed attempts, in order (empty when the first compile succeeded).
+    pub retries: Vec<RetryEvent>,
+    /// Total virtual ticks spent backing off.
+    pub waited_ticks: u64,
+}
+
+impl Pipeline {
+    /// Escalates the repair ladder for a degraded serving instance, one
+    /// rung per [`HealthState`]:
+    ///
+    /// * `Clean` — nothing to do.
+    /// * `Degraded` — recompile with `fault_model` baked in at
+    ///   `fault_seed` and the policy's spare-column budget
+    ///   ([`RepairAction::SpareRemap`]): the same device, repaired.
+    /// * `Critical` — fault-masked recovery retraining
+    ///   ([`Pipeline::recover_from_faults`], which re-estimates the
+    ///   device's fault map from `rng` and leaves `net` holding the
+    ///   weights the faulty device actually stores), then recompile
+    ///   *without* a fault policy — the damage is already in the values
+    ///   ([`RepairAction::Recompile`]).
+    ///
+    /// Both rungs keep `options`' ADC resolution and non-ideal policy, so
+    /// the repaired instance still runs under the same device physics.
+    /// Every recompile runs in a bounded retry loop with the policy's
+    /// deterministic virtual backoff schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TinyAdcError::RepairExhausted`] when every attempt of
+    /// the retry loop failed; propagates recovery-training errors.
+    #[allow(clippy::too_many_arguments)]
+    pub fn escalate_repair(
+        &self,
+        net: &mut Network,
+        data: &SyntheticImageDataset,
+        state: HealthState,
+        fault_model: &FaultModel,
+        fault_seed: u64,
+        options: &CompileOptions,
+        policy: &EscalationPolicy,
+        rng: &mut SeededRng,
+    ) -> Result<RepairOutcome> {
+        policy.validate()?;
+        match state {
+            HealthState::Clean => Ok(RepairOutcome {
+                action: RepairAction::None,
+                compiled: None,
+                retries: Vec::new(),
+                waited_ticks: 0,
+            }),
+            HealthState::Degraded => {
+                HEALTH_ESCALATIONS.inc();
+                let opts = CompileOptions {
+                    adc_bits: options.adc_bits,
+                    faults: Some(FaultPolicy {
+                        model: *fault_model,
+                        spares_per_tile: policy.spares_per_tile,
+                        seed: fault_seed,
+                    }),
+                    non_ideal: options.non_ideal,
+                };
+                let (compiled, retries, waited_ticks) =
+                    self.compile_with_retry(net, &opts, policy)?;
+                Ok(RepairOutcome {
+                    action: RepairAction::SpareRemap,
+                    compiled: Some(compiled),
+                    retries,
+                    waited_ticks,
+                })
+            }
+            HealthState::Critical => {
+                HEALTH_ESCALATIONS.inc();
+                self.recover_from_faults(net, data, fault_model, rng)?;
+                let opts = CompileOptions {
+                    adc_bits: options.adc_bits,
+                    faults: None,
+                    non_ideal: options.non_ideal,
+                };
+                let (compiled, retries, waited_ticks) =
+                    self.compile_with_retry(net, &opts, policy)?;
+                Ok(RepairOutcome {
+                    action: RepairAction::Recompile,
+                    compiled: Some(compiled),
+                    retries,
+                    waited_ticks,
+                })
+            }
+        }
+    }
+
+    fn compile_with_retry(
+        &self,
+        net: &Network,
+        options: &CompileOptions,
+        policy: &EscalationPolicy,
+    ) -> Result<(CompiledModel, Vec<RetryEvent>, u64)> {
+        let mut retries = Vec::new();
+        let mut waited = 0u64;
+        let mut last = String::new();
+        for attempt in 0..=policy.max_retries {
+            match CompiledModel::compile(net, self.config().xbar, options) {
+                Ok(compiled) => return Ok((compiled, retries, waited)),
+                Err(e) => {
+                    last = e.to_string();
+                    let backoff = policy.backoff_ticks(attempt);
+                    waited = waited.saturating_add(backoff);
+                    retries.push(RetryEvent {
+                        attempt,
+                        backoff_ticks: backoff,
+                    });
+                    HEALTH_RETRIES.inc();
+                }
+            }
+        }
+        Err(TinyAdcError::RepairExhausted {
+            attempts: policy.max_retries + 1,
+            last,
+        })
+    }
+}
+
+/// How a campaign cell serves its degraded instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeStrategy {
+    /// Trust the instance as compiled — no monitoring-triggered repair
+    /// (the paper's §IV-E setting, carried onto the serving path).
+    Ideal,
+    /// Repair a non-clean instance with spare-column remapping only
+    /// (the ladder capped at [`RepairAction::SpareRemap`]).
+    Spares,
+    /// Full ladder: the detector state picks the rung, up to recovery
+    /// retraining plus recompile.
+    Recompile,
+}
+
+impl ServeStrategy {
+    /// Stable label used in reports and CSV.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Ideal => "ideal",
+            Self::Spares => "spares",
+            Self::Recompile => "recompile",
+        }
+    }
+
+    /// Parses a strategy name (`ideal`, `spares`, `recompile`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TinyAdcError::InvalidConfig`] for unknown names.
+    pub fn parse(name: &str) -> Result<Self> {
+        match name.trim() {
+            "ideal" => Ok(Self::Ideal),
+            "spares" => Ok(Self::Spares),
+            "recompile" => Ok(Self::Recompile),
+            other => Err(TinyAdcError::InvalidConfig(format!(
+                "unknown serve strategy `{other}` (expected ideal|spares|recompile)"
+            ))),
+        }
+    }
+}
+
+/// Degraded-mode campaign grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradedCampaignConfig {
+    /// Wire resistances to sweep, ohms per segment.
+    pub wire_resistances_ohm: Vec<f64>,
+    /// Read-noise sigmas to sweep, in ADC level units.
+    pub noise_sigmas: Vec<f64>,
+    /// Overall stuck-at fault rates to sweep.
+    pub fault_rates: Vec<f64>,
+    /// Serving strategies to compare.
+    pub strategies: Vec<ServeStrategy>,
+    /// Drift thresholds for every cell's monitor.
+    pub thresholds: DriftThresholds,
+    /// Escalation budget for every cell.
+    pub escalation: EscalationPolicy,
+    /// Canary probes per cell.
+    pub canary_probes: usize,
+    /// Evaluation batch size.
+    pub eval_batch: usize,
+    /// Campaign seed rooting every cell's device and noise streams.
+    pub seed: u64,
+}
+
+impl DegradedCampaignConfig {
+    /// Validates the grid and sub-configurations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TinyAdcError::InvalidConfig`] for an empty axis, rates
+    /// outside `[0, 1]`, a zero probe count or batch size, or invalid
+    /// thresholds/escalation parameters.
+    pub fn validate(&self) -> Result<()> {
+        if self.wire_resistances_ohm.is_empty()
+            || self.noise_sigmas.is_empty()
+            || self.fault_rates.is_empty()
+            || self.strategies.is_empty()
+        {
+            return Err(TinyAdcError::InvalidConfig(
+                "degraded campaign needs at least one resistance, sigma, rate and strategy".into(),
+            ));
+        }
+        if self.fault_rates.iter().any(|r| !(0.0..=1.0).contains(r)) {
+            return Err(TinyAdcError::InvalidConfig(
+                "fault rates must lie in [0, 1]".into(),
+            ));
+        }
+        if self.canary_probes == 0 || self.eval_batch == 0 {
+            return Err(TinyAdcError::InvalidConfig(
+                "canary_probes and eval_batch must be positive".into(),
+            ));
+        }
+        self.thresholds.validate()?;
+        self.escalation.validate()?;
+        // Device models validate per cell too, but failing fast here
+        // turns a bad sweep axis into one error instead of `grid` errors.
+        for &r in &self.wire_resistances_ohm {
+            IrDropModel::with_wire_resistance(r)?;
+        }
+        for &s in &self.noise_sigmas {
+            ReadNoise::new(s)?;
+        }
+        Ok(())
+    }
+}
+
+/// One degraded campaign cell:
+/// a (variant, strategy, resistance, sigma, rate) point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradedRow {
+    /// Variant name.
+    pub variant: String,
+    /// Serving strategy label.
+    pub strategy: String,
+    /// Wire resistance, ohms per segment.
+    pub wire_resistance_ohm: f64,
+    /// Read-noise sigma, ADC levels.
+    pub noise_sigma: f64,
+    /// Overall stuck-at rate.
+    pub fault_rate: f64,
+    /// Test accuracy of the served (possibly repaired) instance.
+    pub accuracy: f64,
+    /// Clean accuracy minus served accuracy.
+    pub accuracy_drop: f64,
+    /// Canary agreement of the final health check.
+    pub canary_agreement: f64,
+    /// Final health state label.
+    pub health: String,
+    /// Repair action label.
+    pub repair: String,
+    /// Failed recompile attempts.
+    pub retries: usize,
+    /// Virtual ticks spent backing off.
+    pub backoff_ticks: u64,
+}
+
+/// A full degraded campaign result, in grid order
+/// (variant → strategy → resistance → sigma → rate).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DegradedReport {
+    /// The sampled cells.
+    pub rows: Vec<DegradedRow>,
+}
+
+const DEGRADED_CSV_HEADER: &str = "variant,strategy,wire_resistance_ohm,noise_sigma,\
+fault_rate,accuracy,accuracy_drop,canary_agreement,health,repair,retries,backoff_ticks";
+
+impl DegradedReport {
+    /// Renders the report as CSV; `f64` fields print their shortest
+    /// round-trip representation, so [`DegradedReport::from_csv`]
+    /// restores the report exactly.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(DEGRADED_CSV_HEADER);
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                r.variant,
+                r.strategy,
+                r.wire_resistance_ohm,
+                r.noise_sigma,
+                r.fault_rate,
+                r.accuracy,
+                r.accuracy_drop,
+                r.canary_agreement,
+                r.health,
+                r.repair,
+                r.retries,
+                r.backoff_ticks
+            ));
+        }
+        out
+    }
+
+    /// Parses a report back from [`DegradedReport::to_csv`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TinyAdcError::InvalidConfig`] for a malformed header,
+    /// field count, or field value.
+    pub fn from_csv(s: &str) -> Result<Self> {
+        let bad = |msg: String| TinyAdcError::InvalidConfig(format!("degraded csv: {msg}"));
+        let mut lines = s.lines().filter(|l| !l.trim().is_empty());
+        let header = lines.next().ok_or_else(|| bad("empty input".into()))?;
+        if header.trim() != DEGRADED_CSV_HEADER {
+            return Err(bad(format!("unexpected header `{header}`")));
+        }
+        let mut rows = Vec::new();
+        for (i, line) in lines.enumerate() {
+            let fields: Vec<&str> = line.split(',').collect();
+            if fields.len() != 12 {
+                return Err(bad(format!(
+                    "row {i}: expected 12 fields, got {}",
+                    fields.len()
+                )));
+            }
+            let pf = |j: usize| -> Result<f64> {
+                fields[j]
+                    .parse()
+                    .map_err(|_| bad(format!("row {i}, field {j}")))
+            };
+            rows.push(DegradedRow {
+                variant: fields[0].to_owned(),
+                strategy: fields[1].to_owned(),
+                wire_resistance_ohm: pf(2)?,
+                noise_sigma: pf(3)?,
+                fault_rate: pf(4)?,
+                accuracy: pf(5)?,
+                accuracy_drop: pf(6)?,
+                canary_agreement: pf(7)?,
+                health: fields[8].to_owned(),
+                repair: fields[9].to_owned(),
+                retries: fields[10]
+                    .parse()
+                    .map_err(|_| bad(format!("row {i}, field 10")))?,
+                backoff_ticks: fields[11]
+                    .parse()
+                    .map_err(|_| bad(format!("row {i}, field 11")))?,
+            });
+        }
+        Ok(Self { rows })
+    }
+
+    /// Renders the report as a JSON array of row objects.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            out.push_str(&format!(
+                "  {{\"variant\": \"{}\", \"strategy\": \"{}\", \
+                 \"wire_resistance_ohm\": {}, \"noise_sigma\": {}, \"fault_rate\": {}, \
+                 \"accuracy\": {}, \"accuracy_drop\": {}, \"canary_agreement\": {}, \
+                 \"health\": \"{}\", \"repair\": \"{}\", \"retries\": {}, \
+                 \"backoff_ticks\": {}}}{}\n",
+                r.variant,
+                r.strategy,
+                r.wire_resistance_ohm,
+                r.noise_sigma,
+                r.fault_rate,
+                r.accuracy,
+                r.accuracy_drop,
+                r.canary_agreement,
+                r.health,
+                r.repair,
+                r.retries,
+                r.backoff_ticks,
+                if i + 1 == self.rows.len() { "" } else { "," }
+            ));
+        }
+        out.push(']');
+        out
+    }
+
+    /// Mean served accuracy of `variant` under the unrepaired (`ideal`)
+    /// strategy at the given stress point; `None` without samples.
+    pub fn mean_accuracy_at(
+        &self,
+        variant: &str,
+        wire_resistance_ohm: f64,
+        noise_sigma: f64,
+        fault_rate: f64,
+    ) -> Option<f64> {
+        let vals: Vec<f64> = self
+            .rows
+            .iter()
+            .filter(|r| {
+                r.variant == variant
+                    && r.strategy == "ideal"
+                    && r.wire_resistance_ohm == wire_resistance_ohm
+                    && r.noise_sigma == noise_sigma
+                    && r.fault_rate == fault_rate
+            })
+            .map(|r| r.accuracy)
+            .collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    }
+
+    /// The graceful-degradation claim on the serving path: at the
+    /// highest swept stress point (maximum wire resistance, noise sigma
+    /// and fault rate over the report), the CP variant's mean unrepaired
+    /// accuracy is at least the dense variant's. Returns `false` when
+    /// either variant lacks `ideal` samples at that point.
+    pub fn cp_dominates(&self, cp_variant: &str, dense_variant: &str) -> bool {
+        let max_of = |f: &dyn Fn(&DegradedRow) -> f64| {
+            self.rows.iter().map(f).fold(f64::NEG_INFINITY, f64::max)
+        };
+        let (w, s, r) = (
+            max_of(&|row| row.wire_resistance_ohm),
+            max_of(&|row| row.noise_sigma),
+            max_of(&|row| row.fault_rate),
+        );
+        match (
+            self.mean_accuracy_at(cp_variant, w, s, r),
+            self.mean_accuracy_at(dense_variant, w, s, r),
+        ) {
+            (Some(cp), Some(dense)) => cp + 1e-12 >= dense,
+            _ => false,
+        }
+    }
+}
+
+impl Pipeline {
+    /// Runs a deterministic degraded-mode serving campaign over the
+    /// compiled datapath: for every (variant, strategy, resistance,
+    /// sigma, rate) grid cell, compile the variant onto a faulty device
+    /// under the cell's non-ideal policy, health-check it against seeded
+    /// canary probes, escalate the repair ladder per the strategy, and
+    /// measure served test accuracy.
+    ///
+    /// Cells fan out over [`tinyadc_par::map`]; every stochastic step
+    /// derives from the campaign seed and the cell index, so the report —
+    /// including health states, repair actions and retry/backoff traces —
+    /// is bitwise identical at every thread count. After the parallel
+    /// sweep, a serial summary publishes the worst health state and
+    /// minimum canary agreement to the `serve.health.*` gauges.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration, compilation, recovery-training and
+    /// evaluation errors from any cell.
+    pub fn run_degraded_campaign(
+        &self,
+        data: &SyntheticImageDataset,
+        variants: &[CampaignVariant],
+        config: &DegradedCampaignConfig,
+    ) -> Result<DegradedReport> {
+        let _span = tinyadc_obs::span("serve.campaign");
+        config.validate()?;
+        if variants.is_empty() {
+            return Err(TinyAdcError::InvalidConfig(
+                "degraded campaign needs at least one variant".into(),
+            ));
+        }
+        let (n_s, n_w, n_n, n_r) = (
+            config.strategies.len(),
+            config.wire_resistances_ohm.len(),
+            config.noise_sigmas.len(),
+            config.fault_rates.len(),
+        );
+        let grid = variants.len() * n_s * n_w * n_n * n_r;
+        let results = tinyadc_par::map(grid, |i| {
+            let vi = i / (n_s * n_w * n_n * n_r);
+            let rem = i % (n_s * n_w * n_n * n_r);
+            let si = rem / (n_w * n_n * n_r);
+            let rem = rem % (n_w * n_n * n_r);
+            let wi = rem / (n_n * n_r);
+            let rem = rem % (n_n * n_r);
+            let ni = rem / n_r;
+            let ri = rem % n_r;
+            // The device draw depends only on the stress point, so every
+            // variant and strategy faces the *same* fault/noise instance
+            // at a given (resistance, sigma, rate) — a fair comparison.
+            let stress = ((wi * n_n) + ni) * n_r + ri;
+            serve_cell(
+                self,
+                data,
+                &variants[vi],
+                config.strategies[si],
+                config.wire_resistances_ohm[wi],
+                config.noise_sigmas[ni],
+                config.fault_rates[ri],
+                config,
+                stress as u64,
+            )
+        });
+        let rows = results.into_iter().collect::<Result<Vec<_>>>()?;
+        // Serial gauge summary (last-write-wins doctrine).
+        let worst = rows.iter().map(|r| r.health.as_str()).fold(0u8, |acc, h| {
+            acc.max(match h {
+                "critical" => 2,
+                "degraded" => 1,
+                _ => 0,
+            })
+        });
+        let min_agreement = rows
+            .iter()
+            .map(|r| r.canary_agreement)
+            .fold(f64::INFINITY, f64::min);
+        HEALTH_STATE.set(f64::from(worst));
+        HEALTH_AGREEMENT.set(min_agreement);
+        HEALTH_DRIFT.set(1.0 - min_agreement);
+        Ok(DegradedReport { rows })
+    }
+}
+
+/// One campaign cell: compile the degraded device instance (its draw
+/// rooted at the stress-point index, shared across variants and
+/// strategies), monitor, escalate per the strategy, evaluate.
+#[allow(clippy::too_many_arguments)]
+fn serve_cell(
+    pipeline: &Pipeline,
+    data: &SyntheticImageDataset,
+    variant: &CampaignVariant,
+    strategy: ServeStrategy,
+    wire_resistance_ohm: f64,
+    noise_sigma: f64,
+    fault_rate: f64,
+    config: &DegradedCampaignConfig,
+    stress: u64,
+) -> Result<DegradedRow> {
+    let xbar = pipeline.config().xbar;
+    let mut net = variant.rebuild_network(pipeline, data)?;
+
+    // Clean reference instance defines the canary expectations; probe
+    // indices depend only on the campaign seed, so every cell watches
+    // the same samples.
+    let reference = CompiledModel::compile(&net, xbar, &CompileOptions::default())?;
+    let probes = CanaryProbes::sample(data, config.canary_probes, config.seed, &reference)?;
+
+    // The cell's device instance: stuck-at faults baked at compile time
+    // plus the non-ideal read path, both rooted at a per-cell seed.
+    let device_seed = derive_stream_seed(config.seed, stress, 0xD1CE);
+    let fault_model = FaultModel::from_overall_rate(fault_rate)?;
+    let options = CompileOptions {
+        adc_bits: None,
+        faults: Some(FaultPolicy {
+            model: fault_model,
+            spares_per_tile: 0,
+            seed: device_seed,
+        }),
+        non_ideal: Some(NonIdealPolicy {
+            ir: Some(IrDropModel::with_wire_resistance(wire_resistance_ohm)?),
+            noise: Some(ReadNoise::new(noise_sigma)?),
+            seed: device_seed,
+        }),
+    };
+    let degraded = CompiledModel::compile(&net, xbar, &options)?;
+
+    let mut monitor = HealthMonitor::new(probes, config.thresholds)?;
+    let mut ws = BatchWorkspace::new();
+    let mut check = monitor.check(&degraded, &mut ws)?;
+
+    let mut served = degraded;
+    let mut action = RepairAction::None;
+    let mut retries = 0usize;
+    let mut backoff_ticks = 0u64;
+    if strategy != ServeStrategy::Ideal && check.state != HealthState::Clean {
+        // The spares strategy caps the ladder at the remap rung; the
+        // full ladder lets the detector state pick.
+        let rung = match strategy {
+            ServeStrategy::Spares => HealthState::Degraded,
+            _ => check.state,
+        };
+        let mut rng = SeededRng::new(derive_stream_seed(device_seed, 0x5EC0, 0));
+        let outcome = pipeline.escalate_repair(
+            &mut net,
+            data,
+            rung,
+            &fault_model,
+            device_seed,
+            &options,
+            &config.escalation,
+            &mut rng,
+        )?;
+        action = outcome.action;
+        retries = outcome.retries.len();
+        backoff_ticks = outcome.waited_ticks;
+        if let Some(repaired) = outcome.compiled {
+            served = repaired;
+        }
+        check = monitor.check(&served, &mut ws)?;
+    }
+
+    // Served accuracy over the full test split, in bounded batches.
+    let indices: Vec<usize> = (0..data.test_len()).collect();
+    let mut logits = Vec::new();
+    let mut correct = 0usize;
+    for chunk in indices.chunks(config.eval_batch) {
+        let (images, labels) = data.test_batch(chunk)?;
+        served.run_batch_into(&images, &mut ws, &mut logits)?;
+        correct += logits
+            .chunks(served.output_len())
+            .zip(&labels)
+            .filter(|(row, &label)| argmax(row) == label)
+            .count();
+    }
+    let accuracy = correct as f64 / data.test_len() as f64;
+    Ok(DegradedRow {
+        variant: variant.name.clone(),
+        strategy: strategy.label().to_owned(),
+        wire_resistance_ohm,
+        noise_sigma,
+        fault_rate,
+        accuracy,
+        accuracy_drop: variant.clean_accuracy - accuracy,
+        canary_agreement: check.agreement,
+        health: check.state.label().to_owned(),
+        repair: action.label().to_owned(),
+        retries,
+        backoff_ticks,
+    })
+}
+
+/// Index of the largest element (first on ties — deterministic).
+fn argmax(row: &[f32]) -> usize {
+    let mut best = 0;
+    for (i, &v) in row.iter().enumerate() {
+        if v > row[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detector_hysteresis_holds_state_inside_the_band() {
+        let mut d = DriftDetector::new(DriftThresholds {
+            degraded_drift: 0.2,
+            critical_drift: 0.6,
+            hysteresis: 0.1,
+        })
+        .unwrap();
+        assert_eq!(d.observe(0.0), HealthState::Clean);
+        assert_eq!(d.observe(0.19), HealthState::Clean);
+        assert_eq!(d.observe(0.20), HealthState::Degraded);
+        // Inside the exit band [0.1, 0.2): state holds.
+        assert_eq!(d.observe(0.15), HealthState::Degraded);
+        assert_eq!(d.observe(0.09), HealthState::Clean);
+        // Straight to critical and back down one rung at a time.
+        assert_eq!(d.observe(0.7), HealthState::Critical);
+        assert_eq!(d.observe(0.55), HealthState::Critical);
+        assert_eq!(d.observe(0.3), HealthState::Degraded);
+        assert_eq!(d.observe(0.0), HealthState::Clean);
+    }
+
+    #[test]
+    fn thresholds_validate_ordering() {
+        assert!(DriftThresholds::default().validate().is_ok());
+        let bad = DriftThresholds {
+            degraded_drift: 0.5,
+            critical_drift: 0.2,
+            hysteresis: 0.05,
+        };
+        assert!(bad.validate().is_err());
+        let bad = DriftThresholds {
+            degraded_drift: 0.2,
+            critical_drift: 0.5,
+            hysteresis: 0.3,
+        };
+        assert!(bad.validate().is_err());
+        let bad = DriftThresholds {
+            degraded_drift: f64::NAN,
+            critical_drift: 0.5,
+            hysteresis: 0.0,
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn backoff_schedule_doubles_and_saturates() {
+        let p = EscalationPolicy {
+            spares_per_tile: 1,
+            max_retries: 3,
+            backoff_base_ticks: 16,
+        };
+        assert_eq!(p.backoff_ticks(0), 16);
+        assert_eq!(p.backoff_ticks(1), 32);
+        assert_eq!(p.backoff_ticks(2), 64);
+        assert_eq!(p.backoff_ticks(63), u64::MAX);
+        assert_eq!(p.backoff_ticks(usize::MAX), u64::MAX);
+        assert!(EscalationPolicy {
+            backoff_base_ticks: 0,
+            ..p
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn serve_strategy_labels_parse_back() {
+        for s in [
+            ServeStrategy::Ideal,
+            ServeStrategy::Spares,
+            ServeStrategy::Recompile,
+        ] {
+            assert_eq!(ServeStrategy::parse(s.label()).unwrap(), s);
+        }
+        assert!(ServeStrategy::parse("bogus").is_err());
+    }
+
+    fn row(variant: &str, strategy: &str, stress: (f64, f64, f64), accuracy: f64) -> DegradedRow {
+        DegradedRow {
+            variant: variant.into(),
+            strategy: strategy.into(),
+            wire_resistance_ohm: stress.0,
+            noise_sigma: stress.1,
+            fault_rate: stress.2,
+            accuracy,
+            accuracy_drop: 0.5 - accuracy,
+            canary_agreement: accuracy,
+            health: "degraded".into(),
+            repair: "none".into(),
+            retries: 1,
+            backoff_ticks: 16,
+        }
+    }
+
+    #[test]
+    fn degraded_csv_round_trips_exactly() {
+        let report = DegradedReport {
+            rows: vec![
+                row("dense", "ideal", (2.0, 0.25, 0.05), 0.123456789012345),
+                row("cp4x", "recompile", (1.0 / 3.0, 1e-300, 0.15), 0.5),
+            ],
+        };
+        let back = DegradedReport::from_csv(&report.to_csv()).unwrap();
+        assert_eq!(back, report);
+        assert!(DegradedReport::from_csv("").is_err());
+        assert!(DegradedReport::from_csv("wrong,header\n").is_err());
+        let truncated = format!("{DEGRADED_CSV_HEADER}\na,b,0.1\n");
+        assert!(DegradedReport::from_csv(&truncated).is_err());
+    }
+
+    #[test]
+    fn degraded_json_lists_every_row() {
+        let report = DegradedReport {
+            rows: vec![row("dense", "ideal", (2.0, 0.25, 0.05), 0.4)],
+        };
+        let json = report.to_json();
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"noise_sigma\": 0.25"));
+        assert!(json.contains("\"repair\": \"none\""));
+    }
+
+    #[test]
+    fn dominance_compares_unrepaired_accuracy_at_peak_stress() {
+        let peak = (2.0, 0.5, 0.15);
+        let mild = (1.0, 0.25, 0.05);
+        let report = DegradedReport {
+            rows: vec![
+                row("dense", "ideal", mild, 0.9),
+                row("dense", "ideal", peak, 0.3),
+                row("cp", "ideal", mild, 0.8),
+                row("cp", "ideal", peak, 0.45),
+                // Repaired rows must not enter the comparison.
+                row("dense", "recompile", peak, 0.99),
+            ],
+        };
+        assert!(report.cp_dominates("cp", "dense"));
+        assert!(!report.cp_dominates("dense", "cp"));
+        assert!(!report.cp_dominates("cp", "missing"));
+    }
+
+    #[test]
+    fn campaign_config_validation() {
+        let ok = DegradedCampaignConfig {
+            wire_resistances_ohm: vec![0.0, 2.0],
+            noise_sigmas: vec![0.0, 0.5],
+            fault_rates: vec![0.05],
+            strategies: vec![ServeStrategy::Ideal],
+            thresholds: DriftThresholds::default(),
+            escalation: EscalationPolicy::default(),
+            canary_probes: 8,
+            eval_batch: 32,
+            seed: 7,
+        };
+        assert!(ok.validate().is_ok());
+        let mut bad = ok.clone();
+        bad.noise_sigmas.clear();
+        assert!(bad.validate().is_err());
+        let mut bad = ok.clone();
+        bad.fault_rates = vec![1.5];
+        assert!(bad.validate().is_err());
+        let mut bad = ok.clone();
+        bad.canary_probes = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = ok.clone();
+        bad.wire_resistances_ohm = vec![f64::INFINITY];
+        assert!(bad.validate().is_err());
+        let mut bad = ok;
+        bad.noise_sigmas = vec![-1.0];
+        assert!(bad.validate().is_err());
+    }
+}

@@ -154,6 +154,24 @@ impl CampaignVariant {
             clean_accuracy,
         }
     }
+
+    /// Reinstantiates the variant's network ([`Network`] is not `Clone`):
+    /// fixed-seed construction, then snapshot restore — initialisation
+    /// randomness is overwritten, so the result is deterministic.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-construction errors.
+    pub fn rebuild_network(
+        &self,
+        pipeline: &Pipeline,
+        data: &SyntheticImageDataset,
+    ) -> Result<Network> {
+        let mut build_rng = SeededRng::new(0x7E5E);
+        let mut net = pipeline.build_model(data, &mut build_rng)?;
+        net.restore(&self.snapshot);
+        Ok(net)
+    }
 }
 
 /// One campaign sample: a (variant, strategy, rate, seed) cell.
@@ -577,12 +595,8 @@ fn run_sample(
 ) -> Result<CampaignRow> {
     let xbar = pipeline_config.xbar;
     let model = FaultModel::from_overall_rate(rate)?;
-    // Rebuild the variant (Network is not Clone): fixed-seed construction,
-    // then restore the snapshot — initialisation randomness is overwritten.
-    let mut build_rng = SeededRng::new(0x7E5E);
     let pipeline = Pipeline::new(pipeline_config.clone());
-    let mut net = pipeline.build_model(data, &mut build_rng)?;
-    net.restore(&variant.snapshot);
+    let mut net = variant.rebuild_network(&pipeline, data)?;
     // The device stream depends only on the campaign seed: all variants
     // and strategies see the same fault pattern.
     let mut rng = SeededRng::new(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xFA_017);

@@ -86,6 +86,7 @@ pub fn conv2d(
         input.as_slice(),
         &mut scratch,
         &mut out,
+        None,
     )?;
     Ok(Tensor::from_vec(out, &[f, g.out_h, g.out_w])?)
 }
@@ -117,7 +118,15 @@ pub fn linear(mapped: &MappedLayer, input: &Tensor, adc: &Adc) -> Result<Tensor>
     }
     let mut scratch = StepScratch::default();
     let mut out = Vec::new();
-    linear_forward(mapped, adc, None, input.as_slice(), &mut scratch, &mut out)?;
+    linear_forward(
+        mapped,
+        adc,
+        None,
+        input.as_slice(),
+        &mut scratch,
+        &mut out,
+        None,
+    )?;
     let len = out.len();
     Ok(Tensor::from_vec(out, &[len])?)
 }

@@ -314,6 +314,79 @@ impl MappedLayer {
         Ok(())
     }
 
+    /// Non-ideal variant of [`MappedLayer::matvec_codes_batch_into`]:
+    /// identical row-block-outer shared-pack structure, but every tile
+    /// runs the noise-aware kernel under a per-tile split of the given
+    /// noise context (`ctx.with_salt(tile_index)`), so two tiles never
+    /// share a noise stream and the digital merge stays integer-exact.
+    /// Each tile's IR attenuation uses its own geometry (ragged edge
+    /// blocks are shorter wires). With an identity context the result is
+    /// bitwise identical to the clean entry point.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`MappedLayer::matvec_codes_batch_into`].
+    pub(crate) fn matvec_codes_batch_nonideal_into(
+        &self,
+        inputs: &[u64],
+        n_inputs: usize,
+        adc: &Adc,
+        ctx: &crate::noise::NoiseCtx,
+        scratch: &mut BatchScratch,
+        out: &mut Vec<i64>,
+    ) -> Result<()> {
+        if n_inputs == 0 {
+            out.clear();
+            return Ok(());
+        }
+        if inputs.len() != self.matrix_rows * n_inputs {
+            return Err(XbarError::InputLengthMismatch {
+                expected: self.matrix_rows * n_inputs,
+                actual: inputs.len(),
+            });
+        }
+        let max = self.config.quant.input_max();
+        if inputs.iter().any(|&x| x > max) {
+            return Err(XbarError::InvalidConfig(format!(
+                "input code exceeds {max}"
+            )));
+        }
+        let m = self.config.shape.rows();
+        let n = self.config.shape.cols();
+        let n_planes = self.config.cycles() * self.config.dac_bits;
+        out.clear();
+        out.resize(n_inputs * self.matrix_cols, 0);
+        for rb in 0..self.row_blocks {
+            let r0 = rb * m;
+            let r1 = (r0 + m).min(self.matrix_rows);
+            scratch.packed.pack(
+                &inputs[r0 * n_inputs..r1 * n_inputs],
+                n_inputs,
+                n_planes,
+                (r1 - r0).div_ceil(64),
+            );
+            for cb in 0..self.col_blocks {
+                let t = rb * self.col_blocks + cb;
+                let tile = &self.tiles[t];
+                let c0 = cb * n;
+                let tile_ctx = ctx.with_salt(t as u64);
+                tile.matvec_batch_prepacked_nonideal_into(
+                    &scratch.packed,
+                    adc,
+                    &tile_ctx,
+                    &mut scratch.tile_y,
+                )?;
+                for (i, y_row) in scratch.tile_y.chunks(tile.cols()).enumerate() {
+                    let dst = &mut out[i * self.matrix_cols + c0..][..tile.cols()];
+                    for (d, v) in dst.iter_mut().zip(y_row) {
+                        *d += v;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     fn run_matvec(
         &self,
         input: &[u64],

@@ -36,17 +36,41 @@ impl IrDropModel {
     ///
     /// # Errors
     ///
-    /// Returns [`XbarError::InvalidConfig`] for negative resistance.
+    /// Returns [`XbarError::InvalidConfig`] for negative or non-finite
+    /// resistance.
     pub fn with_wire_resistance(wire_resistance_ohm: f64) -> Result<Self> {
-        if wire_resistance_ohm < 0.0 {
-            return Err(XbarError::InvalidConfig(
-                "wire resistance must be non-negative".into(),
-            ));
+        if !wire_resistance_ohm.is_finite() || wire_resistance_ohm < 0.0 {
+            return Err(XbarError::InvalidConfig(format!(
+                "wire resistance must be finite and non-negative, got {wire_resistance_ohm}"
+            )));
         }
         Ok(Self {
             wire_resistance_ohm,
             load_conductance_s: 1.0 / 100e3,
         })
+    }
+
+    /// Re-checks the model fields (both are `pub`, so a literal can hold
+    /// garbage the constructor would have rejected).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::InvalidConfig`] for negative or non-finite
+    /// resistance or load conductance.
+    pub fn validate(&self) -> Result<()> {
+        if !self.wire_resistance_ohm.is_finite() || self.wire_resistance_ohm < 0.0 {
+            return Err(XbarError::InvalidConfig(format!(
+                "wire resistance must be finite and non-negative, got {}",
+                self.wire_resistance_ohm
+            )));
+        }
+        if !self.load_conductance_s.is_finite() || self.load_conductance_s < 0.0 {
+            return Err(XbarError::InvalidConfig(format!(
+                "load conductance must be finite and non-negative, got {}",
+                self.load_conductance_s
+            )));
+        }
+        Ok(())
     }
 
     /// Attenuation factor in `(0, 1]` for the cell at `(row, col)` of a
@@ -58,6 +82,19 @@ impl IrDropModel {
         let segments = (row + (cols - 1 - col)) as f64;
         1.0 / (1.0 + segments * self.wire_resistance_ohm * self.load_conductance_s)
     }
+
+    /// Column-mean attenuation for column `col` of a `rows × cols` array:
+    /// the first-order factor at the *average* wordline distance
+    /// `(rows - 1) / 2` plus the column's bitline distance. The compiled
+    /// datapath's noise-aware fast path scales each packed pre-ADC column
+    /// sum by this single factor instead of attenuating per cell (the
+    /// row-resolved model stays in [`matvec_with_ir_drop`]). Exactly `1.0`
+    /// at zero wire resistance, so the ideal policy stays bitwise clean.
+    pub fn column_mean_attenuation(&self, col: usize, rows: usize, cols: usize) -> f64 {
+        debug_assert!(col < cols && rows > 0);
+        let segments = (rows as f64 - 1.0) / 2.0 + (cols - 1 - col) as f64;
+        1.0 / (1.0 + segments * self.wire_resistance_ohm * self.load_conductance_s)
+    }
 }
 
 /// Additive Gaussian read noise on each digitised column reading, in
@@ -66,6 +103,142 @@ impl IrDropModel {
 pub struct ReadNoise {
     /// Standard deviation of the additive noise, in level units.
     pub sigma_levels: f64,
+}
+
+impl ReadNoise {
+    /// A validated noise model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::InvalidConfig`] for negative or non-finite
+    /// sigma.
+    pub fn new(sigma_levels: f64) -> Result<Self> {
+        let noise = Self { sigma_levels };
+        noise.validate()?;
+        Ok(noise)
+    }
+
+    /// Re-checks the sigma (the field is `pub`, so a literal can hold
+    /// garbage the constructor would have rejected).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::InvalidConfig`] for negative or non-finite
+    /// sigma.
+    pub fn validate(&self) -> Result<()> {
+        if !self.sigma_levels.is_finite() || self.sigma_levels < 0.0 {
+            return Err(XbarError::InvalidConfig(format!(
+                "read-noise sigma must be finite and non-negative, got {}",
+                self.sigma_levels
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Per-instance device non-ideality policy for the compiled execution
+/// engine: optional IR drop and read noise applied to the packed pre-ADC
+/// column sums, plus the instance seed that roots the deterministic
+/// noise stream.
+///
+/// Composes with the stuck-at [`crate::program::FaultPolicy`]: faults
+/// change which cells are programmed at compile time, the non-ideal
+/// policy perturbs every read at run time. Noise is drawn from a stream
+/// seed derived per (step, sample) via [`derive_stream_seed`], then
+/// split per tile and per output element inside the kernels, so results
+/// are bitwise identical at any thread count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NonIdealPolicy {
+    /// Optional IR-drop model (column-mean attenuation on the fast path).
+    pub ir: Option<IrDropModel>,
+    /// Optional additive Gaussian read noise.
+    pub noise: Option<ReadNoise>,
+    /// Instance seed rooting the per-(step, sample) noise streams.
+    pub seed: u64,
+}
+
+impl NonIdealPolicy {
+    /// An identity policy (no IR drop, no noise) with the given seed.
+    pub fn ideal(seed: u64) -> Self {
+        Self {
+            ir: None,
+            noise: None,
+            seed,
+        }
+    }
+
+    /// Checks both component models.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::InvalidConfig`] when either component holds a
+    /// negative or non-finite value.
+    pub fn validate(&self) -> Result<()> {
+        if let Some(ir) = &self.ir {
+            ir.validate()?;
+        }
+        if let Some(noise) = &self.noise {
+            noise.validate()?;
+        }
+        Ok(())
+    }
+}
+
+/// One splitmix64-style avalanche round folding `v` into hash state `h`.
+/// Used to split the instance seed into per-(step, sample, tile, element)
+/// noise streams without consuming RNG state in any particular order.
+pub(crate) fn mix(h: u64, v: u64) -> u64 {
+    let mut z = h
+        .wrapping_add(v.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The seed of the noise stream for `(step, sample)` under an instance
+/// seed: two chained avalanche rounds, so nearby indices land in
+/// unrelated streams (no collisions across the step × sample grid — see
+/// the unit tests).
+pub fn derive_stream_seed(instance_seed: u64, step: u64, sample: u64) -> u64 {
+    mix(mix(instance_seed, step), sample)
+}
+
+/// Resolved per-MVM noise context handed down to the packed kernels:
+/// the IR model (if any), the noise sigma (0 ⇒ draw nothing), and the
+/// stream seed for this (step, sample) pair.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct NoiseCtx {
+    pub(crate) ir: Option<IrDropModel>,
+    pub(crate) sigma: f64,
+    pub(crate) stream: u64,
+}
+
+impl NoiseCtx {
+    /// The context for `step`/`sample` under `policy`.
+    pub(crate) fn from_policy(policy: &NonIdealPolicy, step: u64, sample: u64) -> Self {
+        Self {
+            ir: policy.ir,
+            sigma: policy.noise.map_or(0.0, |n| n.sigma_levels),
+            stream: derive_stream_seed(policy.seed, step, sample),
+        }
+    }
+
+    /// A sub-context whose stream is split off by `salt` (used for the
+    /// negative half of differential signed inputs and per-tile splits).
+    pub(crate) fn with_salt(self, salt: u64) -> Self {
+        Self {
+            stream: mix(self.stream, salt),
+            ..self
+        }
+    }
+
+    /// The fast-path attenuation for column `col` of a `rows × cols`
+    /// tile (1.0 without an IR model).
+    pub(crate) fn column_attenuation(&self, col: usize, rows: usize, cols: usize) -> f64 {
+        self.ir
+            .map_or(1.0, |m| m.column_mean_attenuation(col, rows, cols))
+    }
 }
 
 /// Bit-serial MVM through `tile` including IR drop and optional read
@@ -289,5 +462,99 @@ mod tests {
     #[test]
     fn negative_resistance_rejected() {
         assert!(IrDropModel::with_wire_resistance(-1.0).is_err());
+    }
+
+    #[test]
+    fn non_finite_resistance_rejected() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = IrDropModel::with_wire_resistance(bad).unwrap_err();
+            assert!(matches!(err, XbarError::InvalidConfig(_)), "{bad}");
+        }
+        // validate() catches garbage written directly into the pub fields.
+        let mut ir = IrDropModel::with_wire_resistance(1.0).unwrap();
+        ir.load_conductance_s = f64::NAN;
+        assert!(ir.validate().is_err());
+        ir.load_conductance_s = -1e-6;
+        assert!(ir.validate().is_err());
+    }
+
+    #[test]
+    fn read_noise_sigma_validated() {
+        assert!(ReadNoise::new(0.0).is_ok());
+        assert!(ReadNoise::new(2.5).is_ok());
+        for bad in [-0.5, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = ReadNoise::new(bad).unwrap_err();
+            assert!(matches!(err, XbarError::InvalidConfig(_)), "{bad}");
+        }
+        let garbage = ReadNoise {
+            sigma_levels: f64::NAN,
+        };
+        assert!(garbage.validate().is_err());
+    }
+
+    #[test]
+    fn non_ideal_policy_validates_components() {
+        let ok = NonIdealPolicy {
+            ir: Some(IrDropModel::with_wire_resistance(5.0).unwrap()),
+            noise: Some(ReadNoise::new(0.5).unwrap()),
+            seed: 7,
+        };
+        assert!(ok.validate().is_ok());
+        assert!(NonIdealPolicy::ideal(0).validate().is_ok());
+
+        let bad_ir = NonIdealPolicy {
+            ir: Some(IrDropModel {
+                wire_resistance_ohm: f64::INFINITY,
+                load_conductance_s: 1e-5,
+            }),
+            ..ok
+        };
+        assert!(bad_ir.validate().is_err());
+        let bad_noise = NonIdealPolicy {
+            noise: Some(ReadNoise { sigma_levels: -1.0 }),
+            ..ok
+        };
+        assert!(bad_noise.validate().is_err());
+    }
+
+    #[test]
+    fn column_mean_attenuation_properties() {
+        let ir = IrDropModel::with_wire_resistance(1000.0).unwrap();
+        // Exactly 1.0 everywhere at zero resistance (the bitwise-clean
+        // guarantee of the ideal policy).
+        let ideal = IrDropModel::with_wire_resistance(0.0).unwrap();
+        for j in 0..16 {
+            assert_eq!(ideal.column_mean_attenuation(j, 16, 16), 1.0);
+        }
+        // Strictly increasing toward the ADC column, bounded by the
+        // nearest/farthest row-resolved factors.
+        for j in 0..16 {
+            let a = ir.column_mean_attenuation(j, 16, 16);
+            assert!(a > 0.0 && a <= 1.0);
+            if j > 0 {
+                assert!(a > ir.column_mean_attenuation(j - 1, 16, 16));
+            }
+            assert!(a <= ir.attenuation(0, j, 16, 16));
+            assert!(a >= ir.attenuation(15, j, 16, 16));
+        }
+    }
+
+    #[test]
+    fn stream_seeds_have_no_collisions_across_steps_and_samples() {
+        // The derived per-(step, sample) streams must be pairwise distinct
+        // over a serving-sized grid, and distinct across instance seeds.
+        let mut seen = std::collections::HashSet::new();
+        for instance in [0u64, 1, 0xDEAD_BEEF] {
+            for step in 0..32u64 {
+                for sample in 0..256u64 {
+                    assert!(
+                        seen.insert(derive_stream_seed(instance, step, sample)),
+                        "collision at instance {instance}, step {step}, sample {sample}"
+                    );
+                }
+            }
+        }
+        // Index roles are not interchangeable.
+        assert_ne!(derive_stream_seed(7, 1, 2), derive_stream_seed(7, 2, 1));
     }
 }

@@ -38,6 +38,13 @@ pub(crate) static REPAIR_REMAPPED: LazyCounter = LazyCounter::new("xbar.repair.r
 pub(crate) static REPAIR_UNREPAIRED: LazyCounter =
     LazyCounter::new("xbar.repair.unrepaired_columns");
 
+/// Tile MVMs executed through the non-ideal (IR-drop / read-noise) packed
+/// kernel — the subset of `xbar.matvecs` that ran degraded.
+pub(crate) static NOISE_MVMS: LazyCounter = LazyCounter::new("xbar.noise.mvms");
+/// Gaussian read-noise samples drawn inside non-ideal MVMs (zero when the
+/// policy has no noise term). Data-derived, so thread-count-invariant.
+pub(crate) static NOISE_DRAWS: LazyCounter = LazyCounter::new("xbar.noise.draws");
+
 /// Programs built by `CompiledModel::compile` / `from_conv`.
 pub(crate) static PROGRAM_COMPILES: LazyCounter = LazyCounter::new("program.compiles");
 /// Samples executed through a compiled program (batch entry points count

@@ -61,6 +61,7 @@
 
 use crate::adc::Adc;
 use std::sync::atomic::{AtomicU8, Ordering};
+use tinyadc_tensor::rng::SeededRng;
 
 /// Which packed MVM kernel the batched entry points run. The choice never
 /// affects results — every kernel feeds the ADC identical integer sums —
@@ -326,6 +327,111 @@ impl PackedTile {
             }
         }
         (acc, saturations)
+    }
+
+    /// Non-ideal bit-serial MVM of one column: the noise-aware fast path
+    /// of the compiled engine's [`crate::noise::NonIdealPolicy`]. The
+    /// integer per-(cycle, slice) pre-ADC sums are accumulated exactly as
+    /// in [`PackedTile::column_bit_serial`] (widened popcount kernel),
+    /// then each differential sample is perturbed *before* the ADC:
+    /// scaled by the column-mean IR attenuation `att` and offset by
+    /// `sigma · N(0, 1)` drawn from the caller's per-element RNG, and
+    /// digitised with [`Adc::sample_analog`]. Draw order is fixed —
+    /// slice-outer, cycle-inner, positive polarity before negative, no
+    /// zero-skip — so a given RNG seed always yields the same output
+    /// regardless of chunking or thread count.
+    ///
+    /// With `att == 1.0` and `sigma == 0.0` the perturbed sample is the
+    /// exact integer sum (`sample_analog` rounds integers losslessly), so
+    /// the output and the saturation count are bitwise identical to the
+    /// clean kernel's.
+    ///
+    /// Saturations count perturbed pre-ADC values above the full scale,
+    /// mirroring the clean kernel's definition on the analog lattice.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn column_bit_serial_nonideal(
+        &self,
+        j: usize,
+        in_planes: &[u64],
+        dac: u32,
+        cycles: u32,
+        cell_bits: u32,
+        adc: &Adc,
+        att: f64,
+        sigma: f64,
+        rng: &mut SeededRng,
+        skipped_words: &mut u64,
+    ) -> (i64, u64, u64) {
+        let wpc = self.words_per_col;
+        let col = j * wpc;
+        let full_scale = adc.full_scale() as f64;
+        let mut acc = 0i64;
+        let mut saturations = 0u64;
+        let mut draws = 0u64;
+        let n_in = cycles * dac;
+        let mut perturb = |sum: u64, rng: &mut SeededRng| -> f64 {
+            let mut v = sum as f64 * att;
+            if sigma > 0.0 {
+                v += sigma * f64::from(rng.sample_standard_normal());
+                draws += 1;
+            }
+            v
+        };
+        if cycles as usize > MAX_CYCLES {
+            // Deep-input fallback, mirroring the clean kernel's.
+            for cycle in 0..cycles {
+                let shift_in = cycle * dac;
+                for (s, slice) in self.slices.iter().enumerate() {
+                    let pos = plane_sum(&slice.pos, col, wpc, in_planes, shift_in, dac);
+                    let neg = plane_sum(&slice.neg, col, wpc, in_planes, shift_in, dac);
+                    let pos_v = perturb(pos, rng);
+                    let neg_v = perturb(neg, rng);
+                    saturations += u64::from(pos_v > full_scale) + u64::from(neg_v > full_scale);
+                    let shift = shift_in + s as u32 * cell_bits;
+                    acc += (adc.sample_analog(pos_v) as i64 - adc.sample_analog(neg_v) as i64)
+                        << shift;
+                }
+            }
+            return (acc, saturations, draws);
+        }
+        let c = cycles as usize;
+        let mut pos_sums = [0u64; MAX_CYCLES];
+        let mut neg_sums = [0u64; MAX_CYCLES];
+        for (s, slice) in self.slices.iter().enumerate() {
+            pos_sums[..c].fill(0);
+            neg_sums[..c].fill(0);
+            accumulate_plane_sums(
+                &slice.pos,
+                j,
+                col,
+                wpc,
+                in_planes,
+                n_in,
+                dac,
+                &mut pos_sums[..c],
+                skipped_words,
+            );
+            accumulate_plane_sums(
+                &slice.neg,
+                j,
+                col,
+                wpc,
+                in_planes,
+                n_in,
+                dac,
+                &mut neg_sums[..c],
+                skipped_words,
+            );
+            for cycle in 0..cycles {
+                // No zero-skip: the ADC samples noise on zero sums too.
+                let pos_v = perturb(pos_sums[cycle as usize], rng);
+                let neg_v = perturb(neg_sums[cycle as usize], rng);
+                saturations += u64::from(pos_v > full_scale) + u64::from(neg_v > full_scale);
+                let shift = cycle * dac + s as u32 * cell_bits;
+                acc += (adc.sample_analog(pos_v) as i64 - adc.sample_analog(neg_v) as i64) << shift;
+            }
+        }
+        (acc, saturations, draws)
     }
 
     /// Occupancy-indexed bit-serial MVM of one column: identical ADC
@@ -898,6 +1004,7 @@ impl PackedInputs {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::noise::mix;
 
     /// Levels `[slice][row * cols + col]` for a 3×2 block, 2-bit cells.
     fn demo_levels() -> (Vec<Vec<u64>>, Vec<Vec<u64>>) {
@@ -1161,6 +1268,88 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn nonideal_kernel_with_identity_policy_is_bitwise_clean() {
+        // att = 1.0, sigma = 0 must reproduce the clean kernel exactly —
+        // output and saturation count — including on saturating ADCs.
+        let rows = 70;
+        let cols = 3;
+        let mut state = 0x5DEE_CE66_D155_77AAu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let pos: Vec<Vec<u64>> = (0..2)
+            .map(|_| (0..rows * cols).map(|_| next() % 8).collect())
+            .collect();
+        let neg: Vec<Vec<u64>> = (0..2)
+            .map(|_| (0..rows * cols).map(|_| next() % 8).collect())
+            .collect();
+        let packed = PackedTile::pack(&pos, &neg, rows, cols, 3);
+        let wpc = packed.words_per_col();
+        for adc_bits in [3u32, 12] {
+            let adc = Adc::new(adc_bits).unwrap();
+            for &(dac, cycles) in &[(1u32, 7u32), (2, 3), (4, 2)] {
+                let n_in = dac * cycles;
+                let in_planes: Vec<u64> = (0..n_in as usize * wpc).map(|_| next()).collect();
+                for j in 0..cols {
+                    let mut skipped = 0u64;
+                    let clean =
+                        packed.column_bit_serial(j, &in_planes, dac, cycles, 3, &adc, &mut skipped);
+                    let mut rng = SeededRng::new(mix(0xCAFE, j as u64));
+                    let mut skipped2 = 0u64;
+                    let (acc, sats, draws) = packed.column_bit_serial_nonideal(
+                        j,
+                        &in_planes,
+                        dac,
+                        cycles,
+                        3,
+                        &adc,
+                        1.0,
+                        0.0,
+                        &mut rng,
+                        &mut skipped2,
+                    );
+                    assert_eq!((acc, sats), clean, "adc={adc_bits} dac={dac} col={j}");
+                    assert_eq!(draws, 0, "sigma = 0 must not touch the RNG");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nonideal_kernel_noise_is_seed_deterministic() {
+        let (pos, neg) = demo_levels();
+        let packed = PackedTile::pack(&pos, &neg, 3, 2, 2);
+        let adc = Adc::new(6).unwrap();
+        let in_planes: Vec<u64> = vec![0b111, 0b101, 0b011, 0b001];
+        let run = |seed: u64| {
+            let mut rng = SeededRng::new(seed);
+            let mut skipped = 0u64;
+            packed.column_bit_serial_nonideal(
+                0,
+                &in_planes,
+                2,
+                2,
+                2,
+                &adc,
+                0.9,
+                2.0,
+                &mut rng,
+                &mut skipped,
+            )
+        };
+        let (a1, s1, d1) = run(7);
+        let (a2, s2, d2) = run(7);
+        assert_eq!((a1, s1, d1), (a2, s2, d2));
+        assert!(d1 > 0);
+        // A different stream seed perturbs differently (overwhelmingly).
+        let outputs: Vec<i64> = (0..8).map(|k| run(1000 + k).0).collect();
+        assert!(outputs.iter().any(|&o| o != a1));
     }
 
     #[test]

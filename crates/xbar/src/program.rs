@@ -35,6 +35,7 @@
 use crate::adc::Adc;
 use crate::fault::{FaultModel, FaultReport, LayerFaultMap};
 use crate::mapping::{BatchScratch, MappedLayer};
+use crate::noise::{NoiseCtx, NonIdealPolicy};
 use crate::quant::{quantize_input_codes_into, quantize_input_signed_into};
 use crate::repair;
 use crate::tile::XbarConfig;
@@ -65,6 +66,11 @@ pub struct CompileOptions {
     pub adc_bits: Option<u32>,
     /// Optional stuck-at faults (and repair) baked into the tiles.
     pub faults: Option<FaultPolicy>,
+    /// Optional device non-idealities (IR drop / read noise) the instance
+    /// runs under; composes with `faults` (faults change what is
+    /// programmed, the non-ideal policy perturbs every read) and can be
+    /// changed later per instance via [`CompiledModel::set_non_ideal`].
+    pub non_ideal: Option<NonIdealPolicy>,
 }
 
 /// One crossbar layer of a compiled program, for reporting.
@@ -233,6 +239,8 @@ pub struct CompiledModel {
     unrepaired_columns: usize,
     /// Modeled ADC conversions one sample performs (compile-time, ≥ 1).
     sample_cost: u64,
+    /// Per-instance device non-idealities (None ⇒ ideal reads).
+    non_ideal: Option<NonIdealPolicy>,
 }
 
 /// Modeled ADC conversions one sample streams through `steps` — the same
@@ -549,27 +557,77 @@ fn two_slots(acts: &mut [Vec<f32>], src: usize, dst: usize) -> (&[f32], &mut Vec
     }
 }
 
+/// Stream salt splitting the negated-negative half of a differential
+/// signed MVM off the positive half's noise stream (the two halves are
+/// separate physical read passes, so they must not share noise).
+const NEG_HALF_SALT: u64 = 0x4E4547;
+
 /// Quantises `real` (a `rows x n_inputs` im2col-layout matrix), streams
 /// it through the mapped tiles, and leaves integer outputs in `s.y`
 /// (input-major); returns the total dequantisation scale. Non-negative
 /// inputs take the single-pass path (bitwise identical to the per-call
 /// [`crate::infer`] entry points); signed inputs run differentially.
+///
+/// With a noise context the tiles run the non-ideal kernel; the signed
+/// path splits the context so the two differential halves draw from
+/// distinct streams.
 pub(crate) fn mvm_into(
     mapped: &MappedLayer,
     adc: &Adc,
     n_inputs: usize,
     real: &[f32],
     s: &mut StepScratch,
+    ctx: Option<NoiseCtx>,
 ) -> Result<f32> {
     let quant = mapped.config().quant;
     if real.iter().all(|&x| x >= 0.0) {
         let in_scale = quantize_input_codes_into(real, &quant, &mut s.codes)?;
-        mapped.matvec_codes_batch_into(&s.codes, n_inputs, adc, &mut s.batch, &mut s.y)?;
+        match ctx {
+            None => {
+                mapped.matvec_codes_batch_into(&s.codes, n_inputs, adc, &mut s.batch, &mut s.y)?;
+            }
+            Some(c) => mapped.matvec_codes_batch_nonideal_into(
+                &s.codes,
+                n_inputs,
+                adc,
+                &c,
+                &mut s.batch,
+                &mut s.y,
+            )?,
+        }
         Ok(mapped.weight_scale() * in_scale)
     } else {
         let in_scale = quantize_input_signed_into(real, &quant, &mut s.codes, &mut s.neg_codes)?;
-        mapped.matvec_codes_batch_into(&s.codes, n_inputs, adc, &mut s.batch, &mut s.y)?;
-        mapped.matvec_codes_batch_into(&s.neg_codes, n_inputs, adc, &mut s.batch, &mut s.y_neg)?;
+        match ctx {
+            None => {
+                mapped.matvec_codes_batch_into(&s.codes, n_inputs, adc, &mut s.batch, &mut s.y)?;
+                mapped.matvec_codes_batch_into(
+                    &s.neg_codes,
+                    n_inputs,
+                    adc,
+                    &mut s.batch,
+                    &mut s.y_neg,
+                )?;
+            }
+            Some(c) => {
+                mapped.matvec_codes_batch_nonideal_into(
+                    &s.codes,
+                    n_inputs,
+                    adc,
+                    &c,
+                    &mut s.batch,
+                    &mut s.y,
+                )?;
+                mapped.matvec_codes_batch_nonideal_into(
+                    &s.neg_codes,
+                    n_inputs,
+                    adc,
+                    &c.with_salt(NEG_HALF_SALT),
+                    &mut s.batch,
+                    &mut s.y_neg,
+                )?;
+            }
+        }
         for (p, n) in s.y.iter_mut().zip(&s.y_neg) {
             *p -= n;
         }
@@ -580,6 +638,7 @@ pub(crate) fn mvm_into(
 /// Datapath convolution into `out` (`[f, oh*ow]` channel-major), reusing
 /// every buffer in `s`. Shared by [`Step::Conv`] and the thin
 /// [`crate::infer::conv2d`] wrapper.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn conv_forward(
     mapped: &MappedLayer,
     geometry: &Conv2dGeometry,
@@ -588,10 +647,11 @@ pub(crate) fn conv_forward(
     input: &[f32],
     s: &mut StepScratch,
     out: &mut Vec<f32>,
+    ctx: Option<NoiseCtx>,
 ) -> Result<()> {
     im2col_slice_into(input, geometry, &mut s.cols)?;
     let patches = geometry.patch_count();
-    let scale = mvm_with_cols(mapped, adc, patches, s)?;
+    let scale = mvm_with_cols(mapped, adc, patches, s, ctx)?;
     let f = mapped.matrix_dims().1;
     out.clear();
     out.resize(f * patches, 0.0);
@@ -617,9 +677,10 @@ fn mvm_with_cols(
     adc: &Adc,
     n_inputs: usize,
     s: &mut StepScratch,
+    ctx: Option<NoiseCtx>,
 ) -> Result<f32> {
     let cols = std::mem::take(&mut s.cols);
-    let result = mvm_into(mapped, adc, n_inputs, &cols, s);
+    let result = mvm_into(mapped, adc, n_inputs, &cols, s, ctx);
     s.cols = cols;
     result
 }
@@ -634,9 +695,10 @@ pub(crate) fn linear_forward(
     input: &[f32],
     s: &mut StepScratch,
     out: &mut Vec<f32>,
+    ctx: Option<NoiseCtx>,
 ) -> Result<()> {
     // A single vector is a batch of one: same memory layout either way.
-    let scale = mvm_into(mapped, adc, 1, input, s)?;
+    let scale = mvm_into(mapped, adc, 1, input, s, ctx)?;
     out.clear();
     out.extend(s.y.iter().map(|&v| v as f32 * scale));
     if let Some(b) = bias {
@@ -661,6 +723,9 @@ impl CompiledModel {
     pub fn compile(net: &Network, config: XbarConfig, options: &CompileOptions) -> Result<Self> {
         let _span = tinyadc_obs::span("program.compile");
         config.validate()?;
+        if let Some(policy) = &options.non_ideal {
+            policy.validate()?;
+        }
         let input_dims = net.input_dims().to_vec();
         let mut compiler = Compiler {
             config,
@@ -700,6 +765,7 @@ impl CompiledModel {
             remapped_columns: compiler.remapped_columns,
             unrepaired_columns: compiler.unrepaired_columns,
             sample_cost,
+            non_ideal: options.non_ideal,
         })
     }
 
@@ -769,6 +835,7 @@ impl CompiledModel {
             remapped_columns: 0,
             unrepaired_columns: 0,
             sample_cost,
+            non_ideal: None,
         })
     }
 
@@ -832,6 +899,28 @@ impl CompiledModel {
         self.unrepaired_columns
     }
 
+    /// The device non-ideality policy this instance runs under.
+    pub fn non_ideal(&self) -> Option<&NonIdealPolicy> {
+        self.non_ideal.as_ref()
+    }
+
+    /// Installs (or clears, with `None`) the per-instance non-ideality
+    /// policy without recompiling: the programmed tiles are untouched,
+    /// only run-time reads change. The health monitor uses this to probe
+    /// one instance under different stress levels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::InvalidConfig`] when the policy holds a
+    /// negative or non-finite value; the previous policy stays installed.
+    pub fn set_non_ideal(&mut self, policy: Option<NonIdealPolicy>) -> Result<()> {
+        if let Some(p) = &policy {
+            p.validate()?;
+        }
+        self.non_ideal = policy;
+        Ok(())
+    }
+
     /// Modeled ADC conversions one sample performs — the static cost the
     /// batch scheduler autotunes its grain from, and the value the
     /// `xbar.adc.conversions` counter grows by per sample at run time.
@@ -869,7 +958,7 @@ impl CompiledModel {
                 input.dims()
             )));
         }
-        self.exec(input.as_slice(), ws)?;
+        self.exec(input.as_slice(), ws, 0)?;
         crate::obs::WORKSPACE_BYTES.set(ws.bytes() as f64);
         Ok(&ws.acts[self.out_slot])
     }
@@ -929,7 +1018,9 @@ impl CompiledModel {
         tinyadc_par::for_each_chunk_mut(&mut ws.samples[..n], grain, |chunk, block| {
             for (k, sample) in block.iter_mut().enumerate() {
                 let i = chunk * grain + k;
-                sample.error = self.exec(&x[i * vol..(i + 1) * vol], sample).err();
+                sample.error = self
+                    .exec(&x[i * vol..(i + 1) * vol], sample, i as u64)
+                    .err();
             }
         });
         out.clear();
@@ -944,8 +1035,11 @@ impl CompiledModel {
     }
 
     /// Executes the step program for one sample (no spans/gauges — safe
-    /// inside parallel workers).
-    fn exec(&self, input: &[f32], ws: &mut Workspace) -> Result<()> {
+    /// inside parallel workers). `sample` is the batch-global sample
+    /// index; together with the step index it selects the non-ideal
+    /// noise stream, so results do not depend on which worker ran the
+    /// sample.
+    fn exec(&self, input: &[f32], ws: &mut Workspace, sample: u64) -> Result<()> {
         crate::obs::PROGRAM_RUNS.inc();
         if ws.acts.len() < self.n_slots {
             ws.acts.resize(self.n_slots, Vec::new());
@@ -953,13 +1047,20 @@ impl CompiledModel {
         let slot0 = &mut ws.acts[0];
         slot0.clear();
         slot0.extend_from_slice(input);
-        for step in &self.steps {
-            Self::exec_step(step, ws)?;
+        for (idx, step) in self.steps.iter().enumerate() {
+            let ctx = match step {
+                Step::Conv { .. } | Step::Linear { .. } => self
+                    .non_ideal
+                    .as_ref()
+                    .map(|p| NoiseCtx::from_policy(p, idx as u64, sample)),
+                _ => None,
+            };
+            Self::exec_step(step, ws, ctx)?;
         }
         Ok(())
     }
 
-    fn exec_step(step: &Step, ws: &mut Workspace) -> Result<()> {
+    fn exec_step(step: &Step, ws: &mut Workspace, ctx: Option<NoiseCtx>) -> Result<()> {
         let Workspace {
             step: scratch,
             acts,
@@ -981,6 +1082,7 @@ impl CompiledModel {
                     src,
                     scratch,
                     dst,
+                    ctx,
                 )?;
             }
             Step::Linear { step } => {
@@ -992,6 +1094,7 @@ impl CompiledModel {
                     src,
                     scratch,
                     dst,
+                    ctx,
                 )?;
             }
             Step::Relu { slot } => {

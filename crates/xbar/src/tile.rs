@@ -472,6 +472,105 @@ impl Tile {
         Ok(())
     }
 
+    /// Non-ideal variant of [`Tile::matvec_batch_prepacked_into`]: every
+    /// output element runs the noise-aware packed kernel
+    /// ([`crate::packed::PackedTile::column_bit_serial_nonideal`]), which
+    /// scales each pre-ADC column sum by the column-mean IR attenuation
+    /// and adds Gaussian read noise before the ADC samples it.
+    ///
+    /// Determinism: the noise RNG is derived *per output element* from the
+    /// context's stream seed (`mix(stream, i·cols + j)`), never consumed
+    /// across elements, so chunk boundaries — and therefore thread counts
+    /// — cannot change any value. There is no zero-input short-circuit:
+    /// the ADC samples noise on all-zero columns too, exactly as the
+    /// silicon would.
+    ///
+    /// With an identity context (no IR model, sigma 0) the output is
+    /// bitwise identical to the clean entry point.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same stale-shared-pack [`XbarError::InvalidConfig`] as
+    /// the clean entry point.
+    pub(crate) fn matvec_batch_prepacked_nonideal_into(
+        &self,
+        packed_inputs: &PackedInputs,
+        adc: &Adc,
+        ctx: &crate::noise::NoiseCtx,
+        y: &mut Vec<i64>,
+    ) -> Result<()> {
+        let n_inputs = packed_inputs.n_inputs();
+        if n_inputs == 0 {
+            y.clear();
+            return Ok(());
+        }
+        let dac = self.config.dac_bits;
+        let cycles = self.config.cycles();
+        let cell_bits = self.config.cell.bits_per_cell;
+        let wpc = self.packed.words_per_col();
+        let n_planes = cycles * dac;
+        if packed_inputs.rows() != self.rows
+            || packed_inputs.words_per_col() != wpc
+            || packed_inputs.plane_count() != n_planes
+        {
+            return Err(XbarError::InvalidConfig(format!(
+                "packed inputs ({} rows, {} planes, {} words/col) do not match tile \
+                 ({} rows, {} planes, {} words/col): stale shared pack",
+                packed_inputs.rows(),
+                packed_inputs.plane_count(),
+                packed_inputs.words_per_col(),
+                self.rows,
+                n_planes,
+                wpc,
+            )));
+        }
+        y.clear();
+        y.resize(n_inputs * self.cols, 0);
+        // Same flat (input × column) grid and shape-derived grain as the
+        // clean path; saturation/draw totals merge by commutative addition.
+        let cols = self.cols;
+        let rows = self.rows;
+        let col_cost = 2 * self.config.cells_per_weight() as u64 * u64::from(n_planes) * wpc as u64;
+        let grain = tinyadc_par::grain_for_cost(n_inputs * cols, col_cost);
+        let saturations = AtomicU64::new(0);
+        let noise_draws = AtomicU64::new(0);
+        let words_skipped = AtomicU64::new(0);
+        tinyadc_par::for_each_chunk_mut(y, grain, |chunk, y_span| {
+            let mut sats = 0u64;
+            let mut draws = 0u64;
+            let mut skipped = 0u64;
+            for (k, yv) in y_span.iter_mut().enumerate() {
+                let f = chunk * grain + k;
+                let (i, j) = (f / cols, f % cols);
+                let att = ctx.column_attenuation(j, rows, cols);
+                let mut rng = SeededRng::new(crate::noise::mix(ctx.stream, f as u64));
+                let (acc, s, d) = self.packed.column_bit_serial_nonideal(
+                    j,
+                    packed_inputs.input_planes(i),
+                    dac,
+                    cycles,
+                    cell_bits,
+                    adc,
+                    att,
+                    ctx.sigma,
+                    &mut rng,
+                    &mut skipped,
+                );
+                *yv = acc;
+                sats += s;
+                draws += d;
+            }
+            saturations.fetch_add(sats, Ordering::Relaxed);
+            noise_draws.fetch_add(draws, Ordering::Relaxed);
+            words_skipped.fetch_add(skipped, Ordering::Relaxed);
+        });
+        self.record_mvm_events(n_inputs as u64, saturations.into_inner());
+        crate::obs::NOISE_MVMS.add(n_inputs as u64);
+        crate::obs::NOISE_DRAWS.add(noise_draws.into_inner());
+        crate::obs::PACKED_WORDS_SKIPPED.add(words_skipped.into_inner());
+        Ok(())
+    }
+
     /// The reference bit-serial MVM: the original column × cycle × slice
     /// × row loop over the stored cell levels. Kept as the equivalence
     /// oracle for the packed kernel (and for benchmarking it); production

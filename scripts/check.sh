@@ -43,6 +43,13 @@ cargo test --offline -q --test resilience
 echo "==> observability determinism suite"
 cargo test --offline -q --test obs_determinism
 
+# The degraded-mode serving gates: thread-count-invariant non-ideal
+# campaigns, zero-stress bitwise cleanliness on the compiled path, the
+# IR-drop reference against the clean tile across kernel modes, and the
+# deterministic escalation/retry ladder.
+echo "==> degraded-mode serving suite"
+cargo test --offline -q --test degraded_mode
+
 # The execution engine's acceptance gates: datapath-vs-engine agreement
 # on a trained model, the zero-steady-state-allocation workspace
 # contract, and bitwise thread-count invariance of run_batch.
@@ -59,6 +66,13 @@ cargo run --offline --release -p tinyadc-cli --bin tinyadc -- infer --quick 1 >/
 # CP-pruned curve dominates the dense one.
 echo "==> fault campaign smoke run (--quick)"
 cargo run --offline --release -p tinyadc-cli --bin tinyadc -- faults --quick 1 >/dev/null
+
+# End-to-end degraded-serving smoke through the CLI: trains dense and
+# CP-pruned models, sweeps wire resistance x read noise x fault rate
+# with health monitoring and spare-column repair, and fails unless the
+# CP curve dominates the dense one under matched device stress.
+echo "==> degraded serving campaign smoke run (--quick)"
+cargo run --offline --release -p tinyadc-cli --bin tinyadc -- serve-degraded --quick 1 >/dev/null
 
 # Smoke-run the perf harness so bench bit-rot (API drift, JSON emission)
 # fails the gate offline; --quick keeps it to a few seconds. The run

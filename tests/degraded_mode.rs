@@ -1,0 +1,317 @@
+//! Degraded-mode serving pins: the non-ideal compiled path, the health
+//! monitor's escalation ladder, and the degradation campaign must all be
+//! deterministic — bitwise identical at every worker-thread count — and
+//! the zero-stress non-ideal policy must be bitwise the clean path.
+//!
+//! The worker pool and the packed-kernel mode are process-global, so the
+//! tests that reconfigure them serialise on a mutex.
+
+use std::collections::HashSet;
+use std::sync::Mutex;
+use tinyadc::monitor::{
+    DegradedCampaignConfig, DegradedReport, DriftThresholds, EscalationPolicy, HealthState,
+    RepairAction, ServeStrategy,
+};
+use tinyadc::resilience::CampaignVariant;
+use tinyadc::{Pipeline, PipelineConfig, TinyAdcError};
+use tinyadc_nn::data::{DatasetTier, SyntheticImageDataset};
+use tinyadc_nn::Network;
+use tinyadc_prune::CrossbarShape;
+use tinyadc_tensor::rng::SeededRng;
+use tinyadc_xbar::adc::{required_adc_bits_paper, Adc};
+use tinyadc_xbar::fault::FaultModel;
+use tinyadc_xbar::noise::{
+    derive_stream_seed, matvec_with_ir_drop, IrDropModel, NonIdealPolicy, ReadNoise,
+};
+use tinyadc_xbar::program::{BatchWorkspace, CompileOptions, CompiledModel, FaultPolicy};
+use tinyadc_xbar::quant::QuantConfig;
+use tinyadc_xbar::tile::{Tile, XbarConfig};
+use tinyadc_xbar::{set_packed_kernel, PackedKernel};
+
+/// Serialises tests that reconfigure process-global state (worker-thread
+/// count, packed-kernel mode).
+static GLOBAL: Mutex<()> = Mutex::new(());
+
+/// Thread counts exercised; 7 exceeds this machine's cores and never
+/// divides the work sizes evenly.
+const THREADS: [usize; 4] = [1, 2, 4, 7];
+
+fn quick_setup(train: usize, test: usize, seed: u64) -> (Pipeline, SyntheticImageDataset, Network) {
+    let mut rng = SeededRng::new(seed);
+    let data =
+        SyntheticImageDataset::generate(DatasetTier::Tier1Cifar10Like, train, test, &mut rng)
+            .unwrap();
+    let pipeline = Pipeline::new(PipelineConfig::quick_test());
+    let net = pipeline.build_model(&data, &mut rng).unwrap();
+    (pipeline, data, net)
+}
+
+#[test]
+fn degraded_campaign_rows_are_thread_count_invariant() {
+    let _guard = GLOBAL.lock().unwrap();
+    let (pipeline, data, mut net) = quick_setup(48, 24, 11);
+    let variants = vec![CampaignVariant::from_network("m", &mut net, None, 0.0)];
+    let config = DegradedCampaignConfig {
+        wire_resistances_ohm: vec![0.5],
+        noise_sigmas: vec![0.1],
+        fault_rates: vec![0.01],
+        // The full ladder: `recompile` exercises the health check, the
+        // escalation decision, recovery retraining and the retry loop —
+        // all of which must themselves be thread-count-invariant.
+        strategies: vec![ServeStrategy::Ideal, ServeStrategy::Recompile],
+        thresholds: DriftThresholds::default(),
+        escalation: EscalationPolicy::default(),
+        canary_probes: 4,
+        eval_batch: 16,
+        seed: 11,
+    };
+    tinyadc_par::set_threads_exact(THREADS[0]);
+    let reference = pipeline
+        .run_degraded_campaign(&data, &variants, &config)
+        .unwrap();
+    let ref_csv = reference.to_csv();
+    assert_eq!(DegradedReport::from_csv(&ref_csv).unwrap(), reference);
+    for &t in &THREADS[1..] {
+        tinyadc_par::set_threads_exact(t);
+        let got = pipeline
+            .run_degraded_campaign(&data, &variants, &config)
+            .unwrap();
+        assert_eq!(got.to_csv(), ref_csv, "campaign diverged at {t} threads");
+    }
+}
+
+#[test]
+fn zero_stress_policy_is_bitwise_clean_on_the_compiled_path() {
+    let (pipeline, data, net) = quick_setup(32, 16, 5);
+    let xbar = pipeline.config().xbar;
+    let (images, _labels) = data.test_batch(&[0, 1, 2, 3]).unwrap();
+    let mut ws = BatchWorkspace::new();
+
+    let clean = CompiledModel::compile(&net, xbar, &CompileOptions::default()).unwrap();
+    let mut want = Vec::new();
+    clean.run_batch_into(&images, &mut ws, &mut want).unwrap();
+
+    // An attached-but-empty policy and an explicit zero-resistance /
+    // zero-sigma policy must both take the non-ideal path and still
+    // reproduce the clean integers bit for bit.
+    for non_ideal in [
+        NonIdealPolicy::ideal(5),
+        NonIdealPolicy {
+            ir: Some(IrDropModel::with_wire_resistance(0.0).unwrap()),
+            noise: Some(ReadNoise::new(0.0).unwrap()),
+            seed: 5,
+        },
+    ] {
+        let options = CompileOptions {
+            adc_bits: None,
+            faults: None,
+            non_ideal: Some(non_ideal),
+        };
+        let degraded = CompiledModel::compile(&net, xbar, &options).unwrap();
+        let mut got = Vec::new();
+        degraded.run_batch_into(&images, &mut ws, &mut got).unwrap();
+        assert_eq!(
+            got, want,
+            "zero-stress policy {non_ideal:?} perturbed logits"
+        );
+    }
+}
+
+#[test]
+fn ir_drop_reference_matches_clean_tile_across_kernel_modes() {
+    let _guard = GLOBAL.lock().unwrap();
+    let cfg = XbarConfig {
+        shape: CrossbarShape::new(16, 16).unwrap(),
+        quant: QuantConfig {
+            weight_bits: 5,
+            input_bits: 4,
+        },
+        ..XbarConfig::paper_default()
+    };
+    let codes: Vec<i64> = (0..16 * 4).map(|i| ((i * 7) % 31) as i64 - 15).collect();
+    let tile = Tile::new(&codes, 16, 4, cfg).unwrap();
+    let roomy = Adc::new(required_adc_bits_paper(1, 2, 16)).unwrap();
+    let starved = Adc::new(2).unwrap();
+    let ir = IrDropModel::with_wire_resistance(0.0).unwrap();
+    let input: Vec<u64> = (0..16).map(|i| (i * 3 % 16) as u64).collect();
+    for mode in [
+        PackedKernel::Auto,
+        PackedKernel::Dense,
+        PackedKernel::Occupancy,
+    ] {
+        set_packed_kernel(mode);
+        for adc in [&roomy, &starved] {
+            let mut rng = SeededRng::new(9);
+            assert_eq!(
+                matvec_with_ir_drop(&tile, &input, adc, &ir, None, &mut rng).unwrap(),
+                tile.matvec(&input, adc).unwrap(),
+                "zero-resistance reference diverged under {mode:?} / {} bits",
+                adc.bits()
+            );
+        }
+    }
+    set_packed_kernel(PackedKernel::Auto);
+}
+
+#[test]
+fn normal_sampling_is_deterministic_per_derived_stream() {
+    let _guard = GLOBAL.lock().unwrap();
+    // The exact pattern the non-ideal datapath relies on: every grid
+    // element owns an RNG derived from (stream, element), so the sampled
+    // noise depends only on indices, never on scheduling.
+    let draw = |i: usize| {
+        let mut rng = SeededRng::new(derive_stream_seed(9, 0, i as u64));
+        rng.sample_standard_normal()
+    };
+    tinyadc_par::set_threads_exact(THREADS[0]);
+    let reference = tinyadc_par::map(256, draw);
+    for &t in &THREADS[1..] {
+        tinyadc_par::set_threads_exact(t);
+        assert_eq!(
+            tinyadc_par::map(256, draw),
+            reference,
+            "normal draws diverged at {t} threads"
+        );
+    }
+    // Same seed, same sequence — including the Box–Muller spare.
+    let mut a = SeededRng::new(0xD06);
+    let mut b = SeededRng::new(0xD06);
+    for _ in 0..16 {
+        assert_eq!(a.sample_standard_normal(), b.sample_standard_normal());
+    }
+}
+
+#[test]
+fn derived_stream_seeds_do_not_collide_across_steps_and_samples() {
+    let mut seen = HashSet::new();
+    for step in 0..64u64 {
+        for sample in 0..64u64 {
+            assert!(
+                seen.insert(derive_stream_seed(0xFEED, step, sample)),
+                "stream collision at step {step}, sample {sample}"
+            );
+        }
+    }
+    // A different instance seed lands on disjoint streams for the same
+    // (step, sample) grid.
+    for step in 0..64u64 {
+        for sample in 0..64u64 {
+            assert!(
+                seen.insert(derive_stream_seed(0xBEEF, step, sample)),
+                "cross-instance stream collision at step {step}, sample {sample}"
+            );
+        }
+    }
+}
+
+#[test]
+fn escalation_walks_the_ladder_with_a_deterministic_retry_trace() {
+    let (pipeline, data, mut net) = quick_setup(32, 16, 13);
+    let fault_model = FaultModel::from_overall_rate(0.01).unwrap();
+    let options = CompileOptions {
+        adc_bits: None,
+        faults: Some(FaultPolicy {
+            model: fault_model,
+            spares_per_tile: 0,
+            seed: 77,
+        }),
+        non_ideal: Some(NonIdealPolicy {
+            ir: Some(IrDropModel::with_wire_resistance(0.5).unwrap()),
+            noise: Some(ReadNoise::new(0.1).unwrap()),
+            seed: 77,
+        }),
+    };
+    let policy = EscalationPolicy::default();
+    let mut rng = SeededRng::new(21);
+
+    // Clean: nothing happens.
+    let outcome = pipeline
+        .escalate_repair(
+            &mut net,
+            &data,
+            HealthState::Clean,
+            &fault_model,
+            77,
+            &options,
+            &policy,
+            &mut rng,
+        )
+        .unwrap();
+    assert_eq!(outcome.action, RepairAction::None);
+    assert!(outcome.compiled.is_none() && outcome.retries.is_empty());
+
+    // Degraded: spare-column remap succeeds first try (no backoff).
+    let outcome = pipeline
+        .escalate_repair(
+            &mut net,
+            &data,
+            HealthState::Degraded,
+            &fault_model,
+            77,
+            &options,
+            &policy,
+            &mut rng,
+        )
+        .unwrap();
+    assert_eq!(outcome.action, RepairAction::SpareRemap);
+    assert!(outcome.compiled.is_some());
+    assert_eq!((outcome.retries.len(), outcome.waited_ticks), (0, 0));
+
+    // Critical: recovery retraining plus recompile yields a servable
+    // instance that still carries the non-ideal policy.
+    let outcome = pipeline
+        .escalate_repair(
+            &mut net,
+            &data,
+            HealthState::Critical,
+            &fault_model,
+            77,
+            &options,
+            &policy,
+            &mut rng,
+        )
+        .unwrap();
+    assert_eq!(outcome.action, RepairAction::Recompile);
+    let served = outcome.compiled.unwrap();
+    assert!(served.non_ideal().is_some());
+    let (images, _labels) = data.test_batch(&[0, 1]).unwrap();
+    let mut ws = BatchWorkspace::new();
+    let mut logits = Vec::new();
+    served
+        .run_batch_into(&images, &mut ws, &mut logits)
+        .unwrap();
+    assert_eq!(logits.len(), 2 * served.output_len());
+
+    // An impossible ADC width exhausts the bounded retry loop with the
+    // typed error carrying the exact attempt count.
+    let impossible = CompileOptions {
+        adc_bits: Some(0),
+        ..options
+    };
+    let bounded = EscalationPolicy {
+        max_retries: 2,
+        ..policy
+    };
+    match pipeline.escalate_repair(
+        &mut net,
+        &data,
+        HealthState::Degraded,
+        &fault_model,
+        77,
+        &impossible,
+        &bounded,
+        &mut rng,
+    ) {
+        Err(TinyAdcError::RepairExhausted { attempts, last }) => {
+            assert_eq!(attempts, 3);
+            assert!(!last.is_empty());
+        }
+        other => panic!("expected RepairExhausted, got {other:?}"),
+    }
+
+    // The virtual backoff schedule itself is pure arithmetic: 16, 32, 64.
+    assert_eq!(
+        (0..3).map(|a| bounded.backoff_ticks(a)).collect::<Vec<_>>(),
+        vec![16, 32, 64]
+    );
+}
