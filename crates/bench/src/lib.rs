@@ -12,6 +12,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod serving;
+
 use std::collections::HashMap;
 use tinyadc::config::ModelKind;
 use tinyadc::{Pipeline, PipelineConfig, TrainedModel};

@@ -1,0 +1,516 @@
+//! Closed-loop serving benchmark: throughput-vs-p99 curves for dense vs
+//! CP-pruned compiled models.
+//!
+//! The generator replays three request traces (bursty / diurnal /
+//! adversarial) against [`tinyadc::Server`] in virtual time. Each run is
+//! **closed-loop**: a fixed set of clients each keeps one request
+//! outstanding, issuing the next one only after its response drains
+//! (plus a trace-shaped think time), so offered load rises with the
+//! client count and the sweep traces out a throughput-vs-tail-latency
+//! curve. Everything — arrival jitter, think times, payload choice — is
+//! derived from [`crate::SEED`]-forked deterministic streams and integer
+//! ticks, so the emitted `BENCH_serving.json` is byte-identical on every
+//! worker-thread count.
+//!
+//! The two models are compiled from the *same* pretrained network: the
+//! dense restore and its CP-pruned (rate 4) sibling. Both perform the
+//! same modeled ADC conversions per request; CP needs fewer ADC *bits*
+//! per conversion, so its SAR service time — and therefore its tail
+//! latency at matched load — is strictly smaller. The report's
+//! `cp_dominates` verdict checks exactly that: for every dense curve
+//! point there is a CP point with no worse p99 and no less throughput.
+
+use tinyadc::serve::{RejectReason, ServeConfig, Server, ServiceModel};
+use tinyadc::{Pipeline, PipelineConfig, TinyAdcError};
+use tinyadc_nn::data::{DatasetTier, SyntheticImageDataset};
+use tinyadc_tensor::rng::SeededRng;
+use tinyadc_xbar::program::{CompileOptions, CompiledModel};
+
+use crate::Profile;
+
+/// Request-arrival shape a client population replays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// Tight bursts (near-zero think) separated by long idle gaps —
+    /// stresses the size trigger and queue headroom.
+    Bursty,
+    /// Think time swept by a deterministic triangle wave — the
+    /// day/night load cycle, stressing both flush triggers in turn.
+    Diurnal,
+    /// Near-zero think with periodic resynchronising stalls — keeps the
+    /// queue pinned at its depth bound and forces deadline flushes and
+    /// rejections at high client counts.
+    Adversarial,
+}
+
+impl TraceKind {
+    /// All trace kinds, in report order.
+    pub const ALL: [TraceKind; 3] = [Self::Bursty, Self::Diurnal, Self::Adversarial];
+
+    /// Stable lowercase name used in reports and CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Bursty => "bursty",
+            Self::Diurnal => "diurnal",
+            Self::Adversarial => "adversarial",
+        }
+    }
+
+    /// Parses a trace name as written by [`Self::name`].
+    pub fn parse(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|k| k.name() == s)
+    }
+
+    /// Think time (ticks) before a client's `k`-th request, plus a small
+    /// seeded jitter. A pure function of the trace, the request index
+    /// and the client's private stream — never of wall time or threads.
+    fn think(self, k: usize, rng: &mut SeededRng) -> u64 {
+        let jitter = rng.sample_index(4) as u64;
+        match self {
+            Self::Bursty => {
+                if k % 8 < 7 {
+                    jitter
+                } else {
+                    600 + jitter
+                }
+            }
+            Self::Diurnal => {
+                let phase = k % 40;
+                let tri = if phase < 20 { phase } else { 40 - phase } as u64;
+                5 + tri * 10 + jitter
+            }
+            Self::Adversarial => {
+                if k % 16 == 15 {
+                    400 + jitter
+                } else {
+                    jitter / 2
+                }
+            }
+        }
+    }
+}
+
+/// One point on a throughput-vs-p99 curve (one client level).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CurvePoint {
+    /// Concurrent closed-loop clients.
+    pub clients: usize,
+    /// Offers made (admissions plus rejections).
+    pub offered: u64,
+    /// Requests rejected at admission (each retried after a backoff).
+    pub rejected: u64,
+    /// Requests completed (every client finishes its quota).
+    pub completed: u64,
+    /// Tick of the final completion.
+    pub makespan: u64,
+    /// Completed requests per kilotick.
+    pub throughput_rpk: f64,
+    /// Median request latency in ticks.
+    pub p50: u64,
+    /// 95th-percentile request latency in ticks.
+    pub p95: u64,
+    /// 99th-percentile request latency in ticks.
+    pub p99: u64,
+}
+
+/// Dense and CP curves for one trace, plus the per-trace verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceCurves {
+    /// Which trace was replayed.
+    pub trace: TraceKind,
+    /// Curve for the dense-compiled model.
+    pub dense: Vec<CurvePoint>,
+    /// Curve for the CP-pruned model.
+    pub cp: Vec<CurvePoint>,
+}
+
+impl TraceCurves {
+    /// Whether the CP curve dominates the dense one at iso-p99: for every
+    /// dense point some CP point has `p99 <=` and `throughput >=` it.
+    pub fn cp_dominates(&self) -> bool {
+        self.dense.iter().all(|d| {
+            self.cp
+                .iter()
+                .any(|c| c.p99 <= d.p99 && c.throughput_rpk >= d.throughput_rpk)
+        })
+    }
+}
+
+/// Compile-time summary of one serving model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelSummary {
+    /// Modeled ADC conversions per request.
+    pub sample_conversions: u64,
+    /// Modeled SAR cycles per request (conversions × per-layer bits).
+    pub sample_sar_cycles: u64,
+    /// Per-layer ADC resolutions the program samples at.
+    pub adc_bits: Vec<u32>,
+}
+
+impl ModelSummary {
+    fn of(model: &CompiledModel) -> Self {
+        Self {
+            sample_conversions: model.sample_conversions(),
+            sample_sar_cycles: model.sample_sar_cycles(),
+            adc_bits: model.crossbar_layers().iter().map(|l| l.adc_bits).collect(),
+        }
+    }
+}
+
+/// Everything one `tinyadc bench serve` run measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingBenchReport {
+    /// Seed the models and traces were derived from.
+    pub seed: u64,
+    /// `quick` or `full`.
+    pub profile: &'static str,
+    /// Server configuration shared by every run.
+    pub serve: ServeConfig,
+    /// Requests each client issues per run.
+    pub requests_per_client: usize,
+    /// Compile-time summary of the dense model.
+    pub dense_model: ModelSummary,
+    /// Compile-time summary of the CP-pruned model.
+    pub cp_model: ModelSummary,
+    /// One curve pair per trace.
+    pub traces: Vec<TraceCurves>,
+}
+
+impl ServingBenchReport {
+    /// Whether CP dominates dense at iso-p99 on every trace.
+    pub fn cp_dominates(&self) -> bool {
+        self.traces.iter().all(TraceCurves::cp_dominates)
+    }
+
+    /// Renders the report as deterministic JSON (`BENCH_serving.json`).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"schema\": \"tinyadc-serving-bench-v1\",\n");
+        s.push_str(&format!("  \"seed\": {},\n", self.seed));
+        s.push_str(&format!("  \"profile\": \"{}\",\n", self.profile));
+        s.push_str(&format!(
+            "  \"serve\": {{ \"queue_depth\": {}, \"max_batch\": {}, \"flush_deadline\": {}, \
+             \"ring_slots\": {}, \"overhead_ticks\": {}, \"cycles_per_tick\": {} }},\n",
+            self.serve.queue_depth,
+            self.serve.max_batch,
+            self.serve.flush_deadline,
+            self.serve.ring_slots,
+            self.serve.service.overhead_ticks,
+            self.serve.service.cycles_per_tick
+        ));
+        s.push_str(&format!(
+            "  \"requests_per_client\": {},\n",
+            self.requests_per_client
+        ));
+        s.push_str("  \"models\": {\n");
+        for (i, (name, m)) in [("dense", &self.dense_model), ("cp4x", &self.cp_model)]
+            .into_iter()
+            .enumerate()
+        {
+            s.push_str(&format!(
+                "    \"{name}\": {{ \"sample_conversions\": {}, \"sample_sar_cycles\": {}, \
+                 \"adc_bits\": [{}] }}{}\n",
+                m.sample_conversions,
+                m.sample_sar_cycles,
+                m.adc_bits
+                    .iter()
+                    .map(|b| b.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                if i == 0 { "," } else { "" }
+            ));
+        }
+        s.push_str("  },\n");
+        s.push_str("  \"traces\": [\n");
+        for (ti, t) in self.traces.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{ \"trace\": \"{}\", \"cp_dominates\": {},\n",
+                t.trace.name(),
+                t.cp_dominates()
+            ));
+            for (name, curve, last) in [("dense", &t.dense, false), ("cp4x", &t.cp, true)] {
+                s.push_str(&format!("      \"{name}\": [\n"));
+                for (pi, p) in curve.iter().enumerate() {
+                    s.push_str(&format!(
+                        "        {{ \"clients\": {}, \"offered\": {}, \"rejected\": {}, \
+                         \"completed\": {}, \"makespan\": {}, \"throughput_rpk\": {:.4}, \
+                         \"p50\": {}, \"p95\": {}, \"p99\": {} }}{}\n",
+                        p.clients,
+                        p.offered,
+                        p.rejected,
+                        p.completed,
+                        p.makespan,
+                        p.throughput_rpk,
+                        p.p50,
+                        p.p95,
+                        p.p99,
+                        if pi + 1 == curve.len() { "" } else { "," }
+                    ));
+                }
+                s.push_str(&format!("      ]{}\n", if last { "" } else { "," }));
+            }
+            s.push_str(&format!(
+                "    }}{}\n",
+                if ti + 1 == self.traces.len() { "" } else { "," }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str(&format!("  \"cp_dominates\": {}\n", self.cp_dominates()));
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// The trained model pair plus the request payload pool.
+#[derive(Debug)]
+pub struct ServingModels {
+    /// Dense-compiled model.
+    pub dense: CompiledModel,
+    /// CP-pruned (rate 4) compiled model.
+    pub cp: CompiledModel,
+    /// Flat test images, `n_inputs × vol` floats, requests draw from.
+    pub inputs: Vec<f32>,
+    /// Floats per request payload.
+    pub vol: usize,
+    /// Payloads available in the pool.
+    pub n_inputs: usize,
+}
+
+/// Trains the quick-test network once and compiles the dense restore and
+/// its CP-pruned (rate 4) sibling — the same recipe the degraded-serving
+/// campaign uses, so the serving curves describe the models the rest of
+/// the repo measures.
+///
+/// # Errors
+///
+/// Propagates pipeline and compile failures.
+pub fn prepare_models(profile: Profile, seed: u64) -> Result<ServingModels, TinyAdcError> {
+    let (train, test, epochs) = match profile {
+        Profile::Quick => (240, 60, (6, 2, 2)),
+        Profile::Full => (400, 100, (8, 3, 3)),
+    };
+    let mut rng = SeededRng::new(seed);
+    let data =
+        SyntheticImageDataset::generate(DatasetTier::Tier1Cifar10Like, train, test, &mut rng)?;
+    let mut cfg = PipelineConfig::quick_test();
+    (
+        cfg.pretrain.epochs,
+        cfg.admm_train.epochs,
+        cfg.retrain.epochs,
+    ) = epochs;
+    let pipeline = Pipeline::new(cfg);
+    let trained = pipeline.pretrain(&data, &mut rng)?;
+    let (_cp_report, cp_net) = pipeline.run_cp_with_network(&data, &trained, 4, &mut rng)?;
+    let dense_net = pipeline.restore(&data, &trained, &mut rng)?;
+    let xbar = pipeline.config().xbar;
+    let dense = CompiledModel::compile(&dense_net, xbar, &CompileOptions::default())?;
+    let cp = CompiledModel::compile(&cp_net, xbar, &CompileOptions::default())?;
+    let indices: Vec<usize> = (0..data.test_len()).collect();
+    let (images, _labels) = data.test_batch(&indices)?;
+    let vol: usize = dense.input_dims().iter().product();
+    Ok(ServingModels {
+        dense,
+        cp,
+        inputs: images.as_slice().to_vec(),
+        vol,
+        n_inputs: indices.len(),
+    })
+}
+
+/// Shared server configuration for a model pair: service time is priced
+/// so one dense request costs ~16 ticks of SAR work, which keeps the
+/// trace think times (tens to hundreds of ticks) meaningful for both
+/// models without retuning per profile.
+pub fn serve_config_for(dense: &CompiledModel) -> ServeConfig {
+    ServeConfig {
+        queue_depth: 8,
+        max_batch: 8,
+        flush_deadline: 20,
+        ring_slots: 2,
+        service: ServiceModel {
+            overhead_ticks: 2,
+            cycles_per_tick: (dense.sample_sar_cycles() / 16).max(1),
+        },
+    }
+}
+
+/// Client levels swept per profile.
+pub fn client_levels(profile: Profile) -> Vec<usize> {
+    match profile {
+        Profile::Quick => vec![1, 4, 8],
+        Profile::Full => vec![1, 2, 4, 8, 16, 32],
+    }
+}
+
+/// Requests each client issues per run.
+pub fn requests_per_client(profile: Profile) -> usize {
+    match profile {
+        Profile::Quick => 12,
+        Profile::Full => 40,
+    }
+}
+
+struct Client {
+    /// Tick of the client's next offer (`None` while a request is in
+    /// flight or the quota is spent).
+    next: Option<u64>,
+    issued: usize,
+    rng: SeededRng,
+}
+
+/// Replays one closed-loop trace against `model` and measures the run.
+///
+/// # Errors
+///
+/// Propagates compiled-model execution errors surfaced by the server.
+pub fn run_trace(
+    model: &CompiledModel,
+    cfg: ServeConfig,
+    kind: TraceKind,
+    clients: usize,
+    requests_per_client: usize,
+    seed: u64,
+    pool: &ServingModels,
+) -> Result<CurvePoint, TinyAdcError> {
+    let mut server = Server::new(model, cfg)?;
+    let mut base = SeededRng::new(seed);
+    let mut cs: Vec<Client> = (0..clients)
+        .map(|c| {
+            let mut rng = base.fork(c as u64);
+            let start = (c as u64 * 7) % 23 + rng.sample_index(5) as u64;
+            Client {
+                next: Some(start),
+                issued: 0,
+                rng,
+            }
+        })
+        .collect();
+    // id → issuing client, in admission order (ids are dense from 0).
+    let mut owners: Vec<usize> = Vec::with_capacity(clients * requests_per_client);
+    let mut latencies: Vec<u64> = Vec::with_capacity(clients * requests_per_client);
+    let mut offered = 0u64;
+    let mut makespan = 0u64;
+    loop {
+        let t_arrival = cs.iter().filter_map(|c| c.next).min();
+        let t_server = server.next_event_tick();
+        let t = match (t_arrival, t_server) {
+            (None, None) => break,
+            (Some(a), Some(s)) => a.min(s),
+            (a, s) => a.or(s).expect("one side present"),
+        };
+        server.advance_to(t)?;
+        server.drain(|r| {
+            latencies.push(r.latency());
+            makespan = makespan.max(r.completed);
+            let c = &mut cs[owners[r.id as usize]];
+            if c.issued < requests_per_client {
+                let think = kind.think(c.issued, &mut c.rng);
+                c.next = Some(r.completed.max(t) + think);
+            }
+        });
+        for (ci, c) in cs.iter_mut().enumerate() {
+            let Some(due) = c.next else { continue };
+            if due > server.now() {
+                continue;
+            }
+            let k = c.issued;
+            let sample = (ci * 13 + k * 5) % pool.n_inputs;
+            let payload = &pool.inputs[sample * pool.vol..(sample + 1) * pool.vol];
+            offered += 1;
+            match server.offer(payload) {
+                Ok(_id) => {
+                    owners.push(ci);
+                    c.issued = k + 1;
+                    c.next = None;
+                }
+                Err(rej) => {
+                    debug_assert!(matches!(
+                        rej.reason,
+                        RejectReason::QueueFull { .. } | RejectReason::Saturated { .. }
+                    ));
+                    // Deterministic retry backoff keeps the loop live
+                    // without hammering the same tick.
+                    c.next = Some(server.now() + 3 + (ci as u64 % 5));
+                }
+            }
+        }
+    }
+    latencies.sort_unstable();
+    let pct = |q: f64| -> u64 {
+        if latencies.is_empty() {
+            return 0;
+        }
+        let rank = ((q * latencies.len() as f64).ceil() as usize).clamp(1, latencies.len());
+        latencies[rank - 1]
+    };
+    let completed = latencies.len() as u64;
+    let throughput_rpk = if makespan == 0 {
+        0.0
+    } else {
+        completed as f64 * 1000.0 / makespan as f64
+    };
+    Ok(CurvePoint {
+        clients,
+        offered,
+        rejected: server.rejected(),
+        completed,
+        makespan,
+        throughput_rpk,
+        p50: pct(0.50),
+        p95: pct(0.95),
+        p99: pct(0.99),
+    })
+}
+
+/// Runs the full serving benchmark: both models × every trace × every
+/// client level, returning the report `BENCH_serving.json` is rendered
+/// from.
+///
+/// # Errors
+///
+/// Propagates model preparation and replay failures.
+pub fn run_serving_bench(profile: Profile, seed: u64) -> Result<ServingBenchReport, TinyAdcError> {
+    let pool = prepare_models(profile, seed)?;
+    let cfg = serve_config_for(&pool.dense);
+    let levels = client_levels(profile);
+    let reqs = requests_per_client(profile);
+    let mut traces = Vec::with_capacity(TraceKind::ALL.len());
+    for kind in TraceKind::ALL {
+        let mut curves = TraceCurves {
+            trace: kind,
+            dense: Vec::with_capacity(levels.len()),
+            cp: Vec::with_capacity(levels.len()),
+        };
+        for &clients in &levels {
+            // Identical trace seed per (kind, level) for both models:
+            // the arrival process is the controlled variable.
+            let trace_seed = seed ^ ((clients as u64) << 8) ^ kind.name().len() as u64;
+            curves.dense.push(run_trace(
+                &pool.dense,
+                cfg,
+                kind,
+                clients,
+                reqs,
+                trace_seed,
+                &pool,
+            )?);
+            curves.cp.push(run_trace(
+                &pool.cp, cfg, kind, clients, reqs, trace_seed, &pool,
+            )?);
+        }
+        traces.push(curves);
+    }
+    Ok(ServingBenchReport {
+        seed,
+        profile: match profile {
+            Profile::Quick => "quick",
+            Profile::Full => "full",
+        },
+        serve: cfg,
+        requests_per_client: reqs,
+        dense_model: ModelSummary::of(&pool.dense),
+        cp_model: ModelSummary::of(&pool.cp),
+        traces,
+    })
+}

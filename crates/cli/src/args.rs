@@ -1,13 +1,18 @@
-//! A small `--key value` argument parser (no external dependencies).
+//! A small `command [sub] --key value` argument parser (no external
+//! dependencies).
 
 use std::collections::HashMap;
 use std::fmt;
 
-/// Parsed command line: a subcommand plus `--key value` options.
+/// Parsed command line: a subcommand, an optional second positional
+/// (`tinyadc bench serve`), plus `--key value` options.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Args {
     /// The subcommand (first positional token).
     pub command: String,
+    /// The optional second positional token (`serve` in `bench serve`).
+    /// Commands that take no sub-subcommand reject it at dispatch.
+    pub sub: Option<String>,
     options: HashMap<String, String>,
 }
 
@@ -40,7 +45,7 @@ impl Args {
     /// # Errors
     ///
     /// Returns a [`ParseArgsError`] for a missing subcommand, a flag
-    /// without a value, or a stray positional token.
+    /// without a value, or a third positional token.
     pub fn parse<I: IntoIterator<Item = String>>(
         tokens: I,
     ) -> std::result::Result<Self, ParseArgsError> {
@@ -49,9 +54,14 @@ impl Args {
         if command.starts_with("--") {
             return Err(ParseArgsError::MissingCommand);
         }
+        let mut sub = None;
         let mut options = HashMap::new();
         while let Some(token) = iter.next() {
             let Some(key) = token.strip_prefix("--") else {
+                if sub.is_none() && options.is_empty() {
+                    sub = Some(token);
+                    continue;
+                }
                 return Err(ParseArgsError::UnexpectedToken(token));
             };
             let value = iter
@@ -59,7 +69,27 @@ impl Args {
                 .ok_or_else(|| ParseArgsError::MissingValue(key.to_owned()))?;
             options.insert(key.to_owned(), value);
         }
-        Ok(Self { command, options })
+        Ok(Self {
+            command,
+            sub,
+            options,
+        })
+    }
+
+    /// Fails when the command was given a sub-subcommand it does not
+    /// take (`tinyadc train oops`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the stray token.
+    pub fn no_sub(&self) -> crate::Result<()> {
+        match &self.sub {
+            None => Ok(()),
+            Some(s) => Err(format!(
+                "`{}` takes no subcommand (got `{s}`)",
+                self.command
+            )),
+        }
     }
 
     /// The raw value of an option, if present.
@@ -140,9 +170,25 @@ mod tests {
     }
 
     #[test]
+    fn sub_positional_parsed_and_gated() {
+        let a = Args::parse(toks("bench serve --quick 1")).unwrap();
+        assert_eq!(a.command, "bench");
+        assert_eq!(a.sub.as_deref(), Some("serve"));
+        assert_eq!(a.get("quick"), Some("1"));
+        assert!(a.no_sub().is_err());
+        let plain = Args::parse(toks("train --tier cifar10")).unwrap();
+        assert_eq!(plain.sub, None);
+        assert!(plain.no_sub().is_ok());
+    }
+
+    #[test]
     fn stray_positional_rejected() {
         assert_eq!(
-            Args::parse(toks("train oops")).unwrap_err(),
+            Args::parse(toks("bench serve oops")).unwrap_err(),
+            ParseArgsError::UnexpectedToken("oops".into())
+        );
+        assert_eq!(
+            Args::parse(toks("train --tier cifar10 oops")).unwrap_err(),
             ParseArgsError::UnexpectedToken("oops".into())
         );
     }

@@ -39,13 +39,23 @@ use tinyadc_xbar::repair;
 ///
 /// Returns a user-facing message for unknown commands or failed options.
 pub fn run(args: &Args) -> Result<String> {
+    // Only `bench` takes a sub-subcommand; everything else rejects one.
+    if args.command != "bench" {
+        args.no_sub()?;
+    }
     let mut out = match args.command.as_str() {
         "train" => cmd_train(args),
         "prune" => cmd_prune(args),
         "audit" => cmd_audit(args),
         "cost" => cmd_cost(args),
         "faults" => cmd_faults(args),
+        "serve" => cmd_serve(args),
         "serve-degraded" => cmd_serve_degraded(args),
+        "bench" => match args.sub.as_deref() {
+            Some("serve") => cmd_bench_serve(args),
+            Some(other) => Err(format!("unknown bench target `{other}` (use serve)")),
+            None => Err("usage: tinyadc bench serve [--quick 1] [--seed N] [--out FILE]".into()),
+        },
         "infer" => cmd_infer(args),
         "adc" => cmd_adc(args),
         "report" => cmd_report(args),
@@ -80,6 +90,15 @@ pub fn usage() -> String {
      \x20       [--out CSV] [--json FILE]\n\
      \x20       [--recover 1]  degraded-mode demo: fault, then masked retrain\n\
      \x20       [--quick 1]    self-contained campaign smoke test\n\
+     serve                                    deterministic serving replay:\n\
+     \x20       closed-loop clients against the compiled dense and CP-pruned\n\
+     \x20       models on one virtual-time trace; prints latency percentiles\n\
+     \x20       [--kind bursty|diurnal|adversarial] [--clients N]\n\
+     \x20       [--requests N] [--seed N] [--quick 1]\n\
+     bench serve                              full serving benchmark: sweep\n\
+     \x20       client levels x traces for dense vs CP, emit throughput-vs-p99\n\
+     \x20       curves to BENCH_serving.json; fails unless CP dominates dense\n\
+     \x20       at iso-p99  [--quick 1] [--seed N] [--out FILE]\n\
      serve-degraded                           degraded-mode serving campaign:\n\
      \x20       sweep wire resistance x read noise x fault rate x strategy on\n\
      \x20       the compiled datapath, with canary health checks and automatic\n\
@@ -497,6 +516,96 @@ fn render_degraded(report: &DegradedReport) -> String {
 /// grid and gates that CP-pruned accuracy dominates dense at the highest
 /// swept stress point (the paper's graceful-degradation claim carried
 /// onto the serving path).
+/// Renders one serving curve point as a human-readable line.
+fn render_point(name: &str, p: &tinyadc_bench::serving::CurvePoint) -> String {
+    format!(
+        "{name:>6}: {} completed / {} rejected in {} ticks | {:.3} req/ktick | \
+         p50 {} p95 {} p99 {}\n",
+        p.completed, p.rejected, p.makespan, p.throughput_rpk, p.p50, p.p95, p.p99
+    )
+}
+
+fn cmd_serve(args: &Args) -> Result<String> {
+    use tinyadc_bench::serving;
+    let quick = args.get("quick").is_some();
+    let seed: u64 = args.get_or("seed", 2021)?;
+    let kind_s = args.get("kind").unwrap_or("bursty");
+    let kind = serving::TraceKind::parse(kind_s)
+        .ok_or_else(|| format!("unknown trace kind `{kind_s}` (use bursty|diurnal|adversarial)"))?;
+    let clients: usize = args.get_or("clients", 4)?;
+    let requests: usize = args.get_or("requests", if quick { 8 } else { 16 })?;
+    let pool =
+        serving::prepare_models(tinyadc_bench::Profile::Quick, seed).map_err(|e| e.to_string())?;
+    let cfg = serving::serve_config_for(&pool.dense);
+    let dense = serving::run_trace(&pool.dense, cfg, kind, clients, requests, seed, &pool)
+        .map_err(|e| e.to_string())?;
+    let cp = serving::run_trace(&pool.cp, cfg, kind, clients, requests, seed, &pool)
+        .map_err(|e| e.to_string())?;
+    let mut out = format!(
+        "serving replay: trace {} | {clients} clients x {requests} requests | seed {seed}\n\
+         server: queue {} | batch {} | deadline {} ticks | {} lanes | \
+         {} SAR cycles/tick\n\
+         models: dense {} SAR cycles/request, cp4x {} ({}% of dense)\n",
+        kind.name(),
+        cfg.queue_depth,
+        cfg.max_batch,
+        cfg.flush_deadline,
+        cfg.ring_slots,
+        cfg.service.cycles_per_tick,
+        pool.dense.sample_sar_cycles(),
+        pool.cp.sample_sar_cycles(),
+        pool.cp.sample_sar_cycles() * 100 / pool.dense.sample_sar_cycles().max(1),
+    );
+    out.push_str(&render_point("dense", &dense));
+    out.push_str(&render_point("cp4x", &cp));
+    Ok(out)
+}
+
+fn cmd_bench_serve(args: &Args) -> Result<String> {
+    use tinyadc_bench::serving;
+    let quick = args.get("quick").is_some();
+    let seed: u64 = args.get_or("seed", tinyadc_bench::SEED)?;
+    let profile = if quick {
+        tinyadc_bench::Profile::Quick
+    } else {
+        tinyadc_bench::Profile::Full
+    };
+    let report = serving::run_serving_bench(profile, seed).map_err(|e| e.to_string())?;
+    let default_path = if quick {
+        "BENCH_serving.quick.json"
+    } else {
+        "BENCH_serving.json"
+    };
+    let path = args.get("out").unwrap_or(default_path);
+    std::fs::write(path, report.to_json()).map_err(|e| e.to_string())?;
+    let mut out = format!(
+        "serving bench ({}, seed {seed}): dense {} vs cp4x {} SAR cycles/request\n",
+        report.profile, report.dense_model.sample_sar_cycles, report.cp_model.sample_sar_cycles
+    );
+    for t in &report.traces {
+        let peak = |c: &[serving::CurvePoint]| {
+            c.iter()
+                .map(|p| (p.throughput_rpk, p.p99))
+                .fold((0.0f64, 0u64), |a, b| if b.0 > a.0 { b } else { a })
+        };
+        let (dt, dp99) = peak(&t.dense);
+        let (ct, cp99) = peak(&t.cp);
+        out.push_str(&format!(
+            "{:>12}: dense peak {dt:.3} req/ktick (p99 {dp99}) | cp4x peak {ct:.3} \
+             (p99 {cp99}) | cp dominates at iso-p99: {}\n",
+            t.trace.name(),
+            if t.cp_dominates() { "yes" } else { "no" }
+        ));
+    }
+    out.push_str(&format!("wrote {path}\n"));
+    if !report.cp_dominates() {
+        return Err(format!(
+            "{out}\nFAIL: dense out-served CP-pruned at iso-p99 on some trace"
+        ));
+    }
+    Ok(out)
+}
+
 fn cmd_serve_degraded(args: &Args) -> Result<String> {
     let quick = args.get("quick").is_some();
     let seed: u64 = args.get_or("seed", 7)?;

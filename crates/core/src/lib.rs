@@ -46,6 +46,7 @@ pub mod monitor;
 pub mod pipeline;
 pub mod report;
 pub mod resilience;
+pub mod serve;
 pub mod sweep;
 
 pub use audit::{LayerAudit, NetworkAudit};
@@ -61,6 +62,7 @@ pub use report::PipelineReport;
 pub use resilience::{
     CampaignConfig, CampaignReport, CampaignRow, CampaignVariant, FaultRecovery, Mitigation,
 };
+pub use serve::{RejectReason, Rejected, Response, ServeConfig, Server, ServiceModel, Tick};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, TinyAdcError>;

@@ -1,0 +1,677 @@
+//! Deterministic serving front-end for a compiled model.
+//!
+//! [`Server`] turns [`CompiledModel::run_packed_into`] into a service: an
+//! admission queue with bounded depth and typed [`Rejected`]
+//! backpressure, dynamic batch assembly with size- and deadline-triggered
+//! flushes, and a reusable workspace ring so steady-state serving is
+//! zero-alloc. The whole front-end runs on **virtual time** — an integer
+//! [`Tick`] clock advanced explicitly by the caller — so a replayed
+//! trace is a discrete-event simulation with one deterministic outcome:
+//! the same offers at the same ticks produce bitwise-identical responses,
+//! latencies, and metrics on every worker-thread count (real parallelism
+//! lives inside the batch fan-out, which is itself thread-invariant).
+//!
+//! The request pipeline:
+//!
+//! 1. **Admission** — [`Server::offer`] validates the payload shape,
+//!    copies it into a preallocated slot, and enqueues it; a full queue
+//!    or an undrained response backlog yields a typed rejection instead
+//!    of unbounded growth.
+//! 2. **Flush** — when virtual time advances, a waiting batch is
+//!    dispatched to a free lane once it reaches `max_batch` (size
+//!    trigger) or its oldest request ages past `flush_deadline`
+//!    (deadline trigger).
+//! 3. **Service** — the lane runs the batch through the compiled model
+//!    and holds the results until its modeled service time elapses:
+//!    `overhead_ticks + ceil(batch × sample_sar_cycles /
+//!    cycles_per_tick)`. Pricing service in SAR cycles (conversions ×
+//!    ADC bits) is what makes CP pruning visible at the request level —
+//!    a CP-compiled model resolves fewer bits per conversion and so
+//!    clears lanes faster than its dense sibling.
+//! 4. **Response** — completed outputs wait in arrival order until
+//!    [`Server::drain`] hands them back and recycles their slots.
+//!
+//! Everything observable is exported through `serve.requests.*`,
+//! `serve.batch.*`, and `serve.queue.*` metrics (catalogued in
+//! `docs/serving.md` and pinned by `tests/serving.rs`). All metric
+//! writes happen on the caller's thread, so they inherit the simulation's
+//! determinism.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use tinyadc_obs::{LazyCounter, LazyGauge, LazyHistogram};
+use tinyadc_xbar::program::{BatchWorkspace, CompiledModel};
+
+use crate::Result;
+
+/// Virtual-time instant. Ticks are abstract — a trace decides whether a
+/// tick is a microsecond or a SAR cycle — and only ever advance.
+pub type Tick = u64;
+
+/// Requests offered for admission (accepted or not).
+static OFFERED: LazyCounter = LazyCounter::new("serve.requests.offered");
+/// Requests admitted to the queue.
+static ADMITTED: LazyCounter = LazyCounter::new("serve.requests.admitted");
+/// Requests rejected at admission (see [`RejectReason`]).
+static REJECTED: LazyCounter = LazyCounter::new("serve.requests.rejected");
+/// Requests completed (response ready to drain).
+static COMPLETED: LazyCounter = LazyCounter::new("serve.requests.completed");
+/// Request latency in ticks, admission → completion.
+static LATENCY: LazyHistogram = LazyHistogram::new(
+    "serve.requests.latency",
+    &[
+        1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384, 65536,
+    ],
+);
+/// Queue depth observed after each admission.
+static QUEUE_DEPTH: LazyHistogram = LazyHistogram::new(
+    "serve.queue.depth",
+    &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024],
+);
+/// Batch occupancy (requests per flush).
+static OCCUPANCY: LazyHistogram =
+    LazyHistogram::new("serve.batch.occupancy", &[1, 2, 4, 8, 16, 32, 64, 128]);
+/// Size-triggered flushes (queue reached `max_batch`).
+static FLUSH_SIZE: LazyCounter = LazyCounter::new("serve.batch.flush_size");
+/// Deadline-triggered flushes (oldest request aged past the deadline).
+static FLUSH_DEADLINE: LazyCounter = LazyCounter::new("serve.batch.flush_deadline");
+/// Bytes held by the server's slots, lanes, and queues.
+static SERVE_BYTES: LazyGauge = LazyGauge::new("serve.batch.workspace_bytes");
+
+/// Why [`Server::offer`] turned a request away.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RejectReason {
+    /// The admission queue is at its configured depth.
+    QueueFull {
+        /// Queue depth at the time of the offer.
+        depth: usize,
+    },
+    /// The payload length does not match the model's input volume.
+    ShapeMismatch {
+        /// Floats the compiled model expects per request.
+        expected: usize,
+        /// Floats the offer carried.
+        got: usize,
+    },
+    /// Every request slot is occupied: responses have piled up without
+    /// being drained, so admission would need a fresh allocation.
+    Saturated {
+        /// Completed responses waiting in the drain queue.
+        undrained: usize,
+    },
+}
+
+/// Typed backpressure: the admission verdict callers match on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rejected {
+    /// What the server ran out of (or what the caller got wrong).
+    pub reason: RejectReason,
+}
+
+impl fmt::Display for Rejected {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.reason {
+            RejectReason::QueueFull { depth } => {
+                write!(
+                    f,
+                    "request rejected: admission queue full ({depth} waiting)"
+                )
+            }
+            RejectReason::ShapeMismatch { expected, got } => write!(
+                f,
+                "request rejected: payload has {got} floats, model needs {expected}"
+            ),
+            RejectReason::Saturated { undrained } => write!(
+                f,
+                "request rejected: all slots held by {undrained} undrained responses"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Rejected {}
+
+/// Virtual service-time model for one lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceModel {
+    /// Fixed per-flush cost in ticks (scheduling, DAC setup, drivers).
+    pub overhead_ticks: u64,
+    /// Modeled SAR cycles the analog array retires per tick; batch
+    /// service time is `overhead + ceil(batch × sample_sar_cycles /
+    /// cycles_per_tick)`.
+    pub cycles_per_tick: u64,
+}
+
+impl Default for ServiceModel {
+    fn default() -> Self {
+        Self {
+            overhead_ticks: 2,
+            cycles_per_tick: 200_000,
+        }
+    }
+}
+
+/// Serving front-end configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Admission queue depth; offers beyond it get
+    /// [`RejectReason::QueueFull`].
+    pub queue_depth: usize,
+    /// Requests per flush at most; reaching it triggers a size flush.
+    pub max_batch: usize,
+    /// Ticks the oldest queued request may wait before a deadline flush.
+    pub flush_deadline: Tick,
+    /// Lanes in the workspace ring — batches in service concurrently.
+    pub ring_slots: usize,
+    /// Virtual service-time model.
+    pub service: ServiceModel,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            queue_depth: 64,
+            max_batch: 8,
+            flush_deadline: 20,
+            ring_slots: 2,
+            service: ServiceModel::default(),
+        }
+    }
+}
+
+impl ServeConfig {
+    fn validate(&self) -> Result<()> {
+        for (name, v) in [
+            ("queue_depth", self.queue_depth),
+            ("max_batch", self.max_batch),
+            ("ring_slots", self.ring_slots),
+        ] {
+            if v == 0 {
+                return Err(crate::TinyAdcError::InvalidConfig(format!(
+                    "serve config: {name} must be >= 1"
+                )));
+            }
+        }
+        if self.service.cycles_per_tick == 0 {
+            return Err(crate::TinyAdcError::InvalidConfig(
+                "serve config: cycles_per_tick must be >= 1".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A completed request handed back by [`Server::drain`]. The output
+/// borrows the server's slot and is recycled when the closure returns.
+#[derive(Debug)]
+pub struct Response<'a> {
+    /// Admission-order request id (dense from 0).
+    pub id: u64,
+    /// Tick the request was admitted.
+    pub arrived: Tick,
+    /// Tick the batch holding it finished service.
+    pub completed: Tick,
+    /// Flat model output (`output_len` floats).
+    pub output: &'a [f32],
+}
+
+impl Response<'_> {
+    /// Admission-to-completion latency in ticks.
+    pub fn latency(&self) -> Tick {
+        self.completed - self.arrived
+    }
+}
+
+/// One preallocated request slot: payload in, result out.
+#[derive(Debug, Default)]
+struct Slot {
+    input: Vec<f32>,
+    output: Vec<f32>,
+}
+
+/// A queued request.
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    id: u64,
+    slot: usize,
+    arrived: Tick,
+}
+
+/// A completed request waiting to be drained.
+#[derive(Debug, Clone, Copy)]
+struct Ready {
+    id: u64,
+    slot: usize,
+    arrived: Tick,
+    completed: Tick,
+}
+
+/// One ring lane: a batch in flight plus its reusable buffers.
+#[derive(Debug, Default)]
+struct Lane {
+    ws: BatchWorkspace,
+    pack: Vec<f32>,
+    out: Vec<f32>,
+    members: Vec<Pending>,
+    busy_until: Option<Tick>,
+}
+
+/// Deterministic discrete-event server over one compiled model. See the
+/// module docs for the pipeline; drive it with [`Server::offer`] /
+/// [`Server::advance_to`] / [`Server::drain`], or [`Server::finish`] to
+/// run the backlog dry.
+#[derive(Debug)]
+pub struct Server<'m> {
+    model: &'m CompiledModel,
+    cfg: ServeConfig,
+    now: Tick,
+    next_id: u64,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    queue: VecDeque<Pending>,
+    ready: VecDeque<Ready>,
+    lanes: Vec<Lane>,
+    rejected: u64,
+}
+
+impl<'m> Server<'m> {
+    /// Builds a server over `model`, preallocating every slot and lane
+    /// buffer so admission and response handling never allocate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::TinyAdcError::InvalidConfig`] for a zero queue
+    /// depth, batch size, ring size, or cycles-per-tick.
+    pub fn new(model: &'m CompiledModel, cfg: ServeConfig) -> Result<Self> {
+        cfg.validate()?;
+        let vol: usize = model.input_dims().iter().product();
+        let n_slots = cfg.queue_depth + cfg.ring_slots * cfg.max_batch;
+        let slots = (0..n_slots)
+            .map(|_| Slot {
+                input: Vec::with_capacity(vol),
+                output: Vec::with_capacity(model.output_len()),
+            })
+            .collect();
+        let free: Vec<usize> = (0..n_slots).rev().collect();
+        let lanes = (0..cfg.ring_slots)
+            .map(|_| Lane {
+                pack: Vec::with_capacity(cfg.max_batch * vol),
+                out: Vec::with_capacity(cfg.max_batch * model.output_len()),
+                members: Vec::with_capacity(cfg.max_batch),
+                ..Lane::default()
+            })
+            .collect();
+        Ok(Self {
+            model,
+            cfg,
+            now: 0,
+            next_id: 0,
+            slots,
+            free,
+            queue: VecDeque::with_capacity(cfg.queue_depth),
+            ready: VecDeque::with_capacity(n_slots),
+            lanes,
+            rejected: 0,
+        })
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Tick {
+        self.now
+    }
+
+    /// Requests waiting for a flush.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Completed responses waiting to be drained.
+    pub fn ready_len(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// Requests rejected since construction.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// The configuration the server was built with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// Offers a request at the current tick. On admission the payload is
+    /// copied into a preallocated slot and the request id (dense from 0,
+    /// in admission order) is returned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Rejected`] — wrong payload shape, full queue, or every
+    /// slot held by undrained responses. Rejection is the backpressure
+    /// signal: nothing is queued and no allocation happens.
+    pub fn offer(&mut self, payload: &[f32]) -> std::result::Result<u64, Rejected> {
+        OFFERED.inc();
+        let expected: usize = self.model.input_dims().iter().product();
+        if payload.len() != expected {
+            return Err(self.reject(RejectReason::ShapeMismatch {
+                expected,
+                got: payload.len(),
+            }));
+        }
+        if self.queue.len() >= self.cfg.queue_depth {
+            return Err(self.reject(RejectReason::QueueFull {
+                depth: self.queue.len(),
+            }));
+        }
+        let Some(slot) = self.free.pop() else {
+            return Err(self.reject(RejectReason::Saturated {
+                undrained: self.ready.len(),
+            }));
+        };
+        let s = &mut self.slots[slot];
+        s.input.clear();
+        s.input.extend_from_slice(payload);
+        let id = self.next_id;
+        self.next_id += 1;
+        self.queue.push_back(Pending {
+            id,
+            slot,
+            arrived: self.now,
+        });
+        ADMITTED.inc();
+        QUEUE_DEPTH.observe(self.queue.len() as u64);
+        Ok(id)
+    }
+
+    fn reject(&mut self, reason: RejectReason) -> Rejected {
+        REJECTED.inc();
+        self.rejected += 1;
+        Rejected { reason }
+    }
+
+    /// Advances virtual time to `t` (a no-op tick count is fine),
+    /// processing every flush and completion due on the way in event
+    /// order. Ticks never move backwards; `t` in the past is clamped to
+    /// "now".
+    ///
+    /// # Errors
+    ///
+    /// Propagates compiled-model execution errors from a flushed batch.
+    pub fn advance_to(&mut self, t: Tick) -> Result<()> {
+        self.dispatch_due()?;
+        while let Some(next) = self.next_event().filter(|&e| e <= t) {
+            self.now = next;
+            self.complete_due();
+            self.dispatch_due()?;
+        }
+        self.now = self.now.max(t);
+        SERVE_BYTES.set(self.steady_state_bytes() as f64);
+        Ok(())
+    }
+
+    /// Runs the clock forward until the queue and every lane are empty,
+    /// returning the tick the last batch completed. Deadline flushes fire
+    /// as virtual time passes them, so a partial batch never strands.
+    ///
+    /// # Errors
+    ///
+    /// As [`Server::advance_to`].
+    pub fn finish(&mut self) -> Result<Tick> {
+        self.dispatch_due()?;
+        while let Some(next) = self.next_event() {
+            self.now = next;
+            self.complete_due();
+            self.dispatch_due()?;
+        }
+        SERVE_BYTES.set(self.steady_state_bytes() as f64);
+        Ok(self.now)
+    }
+
+    /// Hands every completed response to `f` in completion order (ties
+    /// broken by admission order) and recycles their slots. The output
+    /// slice borrows the slot, so it is valid only inside the call.
+    pub fn drain(&mut self, mut f: impl FnMut(Response<'_>)) {
+        while let Some(r) = self.ready.pop_front() {
+            f(Response {
+                id: r.id,
+                arrived: r.arrived,
+                completed: r.completed,
+                output: &self.slots[r.slot].output,
+            });
+            self.free.push(r.slot);
+        }
+    }
+
+    /// The next tick at which anything can happen inside the server —
+    /// the earliest lane completion, or the oldest queued request's
+    /// flush deadline when a lane is free to take it. `None` means the
+    /// server is fully idle (no queued work, no busy lane). Closed-loop
+    /// drivers merge this with their own next-arrival time so virtual
+    /// time only ever jumps to the globally earliest event.
+    pub fn next_event_tick(&self) -> Option<Tick> {
+        self.next_event()
+    }
+
+    /// The next tick at which anything can happen: the earliest lane
+    /// completion, or the oldest queued request's flush deadline when a
+    /// lane is free to take it.
+    fn next_event(&self) -> Option<Tick> {
+        let completion = self.lanes.iter().filter_map(|l| l.busy_until).min();
+        let deadline = if self.lanes.iter().any(|l| l.busy_until.is_none()) {
+            self.queue
+                .front()
+                .map(|p| p.arrived.saturating_add(self.cfg.flush_deadline))
+        } else {
+            None
+        };
+        match (completion, deadline) {
+            (Some(c), Some(d)) => Some(c.min(d)),
+            (c, d) => c.or(d),
+        }
+    }
+
+    /// Flushes as many batches as the current tick allows: while a lane
+    /// is free and the queue is size-ready (≥ `max_batch`) or
+    /// deadline-ready (oldest request aged out), the front `max_batch`
+    /// requests run as one pack. Lanes fill in index order and requests
+    /// leave in FIFO order, so the schedule is deterministic.
+    fn dispatch_due(&mut self) -> Result<()> {
+        loop {
+            let Some(head) = self.queue.front() else {
+                return Ok(());
+            };
+            let size_ready = self.queue.len() >= self.cfg.max_batch;
+            let deadline_ready = self.now >= head.arrived.saturating_add(self.cfg.flush_deadline);
+            if !size_ready && !deadline_ready {
+                return Ok(());
+            }
+            let Some(lane_idx) = self.lanes.iter().position(|l| l.busy_until.is_none()) else {
+                return Ok(());
+            };
+            if size_ready {
+                FLUSH_SIZE.inc();
+            } else {
+                FLUSH_DEADLINE.inc();
+            }
+            let take = self.queue.len().min(self.cfg.max_batch);
+            let lane = &mut self.lanes[lane_idx];
+            lane.pack.clear();
+            lane.members.clear();
+            for _ in 0..take {
+                let p = self.queue.pop_front().expect("counted above");
+                lane.pack.extend_from_slice(&self.slots[p.slot].input);
+                lane.members.push(p);
+            }
+            OCCUPANCY.observe(take as u64);
+            self.model
+                .run_packed_into(&lane.pack, &mut lane.ws, &mut lane.out)?;
+            let cycles = take as u64 * self.model.sample_sar_cycles();
+            let service =
+                self.cfg.service.overhead_ticks + cycles.div_ceil(self.cfg.service.cycles_per_tick);
+            lane.busy_until = Some(self.now + service.max(1));
+        }
+    }
+
+    /// Retires every lane whose service time has elapsed (in lane index
+    /// order), copying each member's output into its slot and queueing
+    /// the response for [`Server::drain`].
+    fn complete_due(&mut self) {
+        let out_len = self.model.output_len();
+        for lane in &mut self.lanes {
+            let Some(t) = lane.busy_until else { continue };
+            if t > self.now {
+                continue;
+            }
+            for (k, p) in lane.members.iter().enumerate() {
+                let slot = &mut self.slots[p.slot];
+                slot.output.clear();
+                slot.output
+                    .extend_from_slice(&lane.out[k * out_len..(k + 1) * out_len]);
+                LATENCY.observe(t - p.arrived);
+                COMPLETED.inc();
+                self.ready.push_back(Ready {
+                    id: p.id,
+                    slot: p.slot,
+                    arrived: p.arrived,
+                    completed: t,
+                });
+            }
+            lane.members.clear();
+            lane.busy_until = None;
+        }
+    }
+
+    /// Bytes held by every preallocated buffer the server owns — slots,
+    /// lane packs and workspaces, and the bookkeeping queues. After
+    /// warm-up this value is a fixed point: serving more traffic must not
+    /// grow it (pinned by `tests/serving.rs`).
+    pub fn steady_state_bytes(&self) -> usize {
+        let f32s: usize = self
+            .slots
+            .iter()
+            .map(|s| s.input.capacity() + s.output.capacity())
+            .sum::<usize>()
+            + self
+                .lanes
+                .iter()
+                .map(|l| l.pack.capacity() + l.out.capacity())
+                .sum::<usize>();
+        let ws: usize = self.lanes.iter().map(|l| l.ws.bytes()).sum();
+        f32s * std::mem::size_of::<f32>()
+            + ws
+            + self.queue.capacity() * std::mem::size_of::<Pending>()
+            + self.ready.capacity() * std::mem::size_of::<Ready>()
+            + self.free.capacity() * std::mem::size_of::<usize>()
+            + self
+                .lanes
+                .iter()
+                .map(|l| l.members.capacity())
+                .sum::<usize>()
+                * std::mem::size_of::<Pending>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinyadc_nn::ParamKind;
+    use tinyadc_tensor::rng::SeededRng;
+    use tinyadc_tensor::Tensor;
+    use tinyadc_xbar::mapping::MappedLayer;
+    use tinyadc_xbar::tile::XbarConfig;
+
+    fn tiny_model() -> CompiledModel {
+        let mut rng = SeededRng::new(11);
+        let w = Tensor::randn(&[2, 1, 3, 3], 0.4, &mut rng);
+        let mapped =
+            MappedLayer::from_param(&w, ParamKind::ConvWeight, XbarConfig::paper_default())
+                .unwrap();
+        CompiledModel::from_conv(mapped, [1, 6, 6], 1, 0, None).unwrap()
+    }
+
+    #[test]
+    fn size_flush_and_drain_round_trip() {
+        let model = tiny_model();
+        let cfg = ServeConfig {
+            max_batch: 2,
+            flush_deadline: 100,
+            ..ServeConfig::default()
+        };
+        let mut srv = Server::new(&model, cfg).unwrap();
+        let x = vec![0.5f32; 36];
+        let a = srv.offer(&x).unwrap();
+        let b = srv.offer(&x).unwrap();
+        srv.advance_to(0).unwrap();
+        let end = srv.finish().unwrap();
+        assert!(end >= 1);
+        let mut seen = Vec::new();
+        srv.drain(|r| {
+            assert_eq!(r.output.len(), model.output_len());
+            assert_eq!(r.completed, end);
+            seen.push(r.id);
+        });
+        assert_eq!(seen, vec![a, b]);
+        assert_eq!(srv.ready_len(), 0);
+    }
+
+    #[test]
+    fn deadline_flush_fires_for_partial_batch() {
+        let model = tiny_model();
+        let cfg = ServeConfig {
+            max_batch: 8,
+            flush_deadline: 5,
+            ..ServeConfig::default()
+        };
+        let mut srv = Server::new(&model, cfg).unwrap();
+        let x = vec![0.25f32; 36];
+        srv.offer(&x).unwrap();
+        srv.advance_to(4).unwrap();
+        assert_eq!(srv.queue_len(), 1, "deadline not yet reached");
+        srv.advance_to(5).unwrap();
+        assert_eq!(srv.queue_len(), 0, "deadline flush at exactly t=5");
+        srv.finish().unwrap();
+        let mut n = 0;
+        srv.drain(|r| {
+            assert!(r.latency() >= 5);
+            n += 1;
+        });
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn shape_and_depth_rejections_are_typed() {
+        let model = tiny_model();
+        let cfg = ServeConfig {
+            queue_depth: 1,
+            max_batch: 8,
+            flush_deadline: 1_000,
+            ..ServeConfig::default()
+        };
+        let mut srv = Server::new(&model, cfg).unwrap();
+        let bad = srv.offer(&[1.0; 3]).unwrap_err();
+        assert_eq!(
+            bad.reason,
+            RejectReason::ShapeMismatch {
+                expected: 36,
+                got: 3
+            }
+        );
+        let x = vec![1.0f32; 36];
+        srv.offer(&x).unwrap();
+        let full = srv.offer(&x).unwrap_err();
+        assert_eq!(full.reason, RejectReason::QueueFull { depth: 1 });
+        assert_eq!(srv.rejected(), 2);
+    }
+
+    #[test]
+    fn zero_ring_slots_rejected() {
+        let model = tiny_model();
+        let cfg = ServeConfig {
+            ring_slots: 0,
+            ..ServeConfig::default()
+        };
+        assert!(Server::new(&model, cfg).is_err());
+    }
+}

@@ -239,6 +239,8 @@ pub struct CompiledModel {
     unrepaired_columns: usize,
     /// Modeled ADC conversions one sample performs (compile-time, ≥ 1).
     sample_cost: u64,
+    /// Modeled SAR ADC cycles one sample performs (conversions × bits, ≥ 1).
+    sample_sar_cycles: u64,
     /// Per-instance device non-idealities (None ⇒ ideal reads).
     non_ideal: Option<NonIdealPolicy>,
 }
@@ -257,6 +259,31 @@ fn modeled_sample_conversions(steps: &[Step]) -> u64 {
                     * geometry.patch_count() as u64
             }
             Step::Linear { step } => crate::activity::layer_activity(&step.mapped).adc_conversions,
+            _ => 0,
+        })
+        .sum::<u64>()
+        .max(1)
+}
+
+/// Modeled SAR ADC cycles one sample streams through `steps`: each
+/// conversion costs one internal cycle per resolved bit (`tinyadc-hw`'s
+/// latency model), so a CP-pruned program with smaller per-layer ADCs is
+/// proportionally faster than its dense sibling *per conversion* — the
+/// request-level latency lever the serving front-end prices batches
+/// with. Clamped to ≥ 1 so it can divide.
+fn modeled_sample_sar_cycles(steps: &[Step]) -> u64 {
+    steps
+        .iter()
+        .map(|s| match s {
+            Step::Conv { step, geometry } => {
+                crate::activity::layer_activity(&step.mapped).adc_conversions
+                    * geometry.patch_count() as u64
+                    * u64::from(step.adc.bits())
+            }
+            Step::Linear { step } => {
+                crate::activity::layer_activity(&step.mapped).adc_conversions
+                    * u64::from(step.adc.bits())
+            }
             _ => 0,
         })
         .sum::<u64>()
@@ -751,6 +778,7 @@ impl CompiledModel {
         }
         crate::obs::PROGRAM_COMPILES.inc();
         let sample_cost = modeled_sample_conversions(&compiler.steps);
+        let sample_sar_cycles = modeled_sample_sar_cycles(&compiler.steps);
         Ok(Self {
             name: net.name().to_owned(),
             input_vol: input_dims.iter().product(),
@@ -765,6 +793,7 @@ impl CompiledModel {
             remapped_columns: compiler.remapped_columns,
             unrepaired_columns: compiler.unrepaired_columns,
             sample_cost,
+            sample_sar_cycles,
             non_ideal: options.non_ideal,
         })
     }
@@ -821,6 +850,7 @@ impl CompiledModel {
             geometry,
         }];
         let sample_cost = modeled_sample_conversions(&steps);
+        let sample_sar_cycles = modeled_sample_sar_cycles(&steps);
         Ok(Self {
             name: "from_conv".into(),
             input_dims: input_dims.to_vec(),
@@ -835,6 +865,7 @@ impl CompiledModel {
             remapped_columns: 0,
             unrepaired_columns: 0,
             sample_cost,
+            sample_sar_cycles,
             non_ideal: None,
         })
     }
@@ -928,6 +959,16 @@ impl CompiledModel {
         self.sample_cost
     }
 
+    /// Modeled SAR ADC cycles one sample performs (conversions × per-step
+    /// ADC bits). This is the quantity the serving layer prices virtual
+    /// service time from: CP pruning leaves the conversion count alone
+    /// (the ADC still samples every column) but shrinks the resolved bits
+    /// per conversion, so a CP-compiled program serves the same request in
+    /// proportionally fewer cycles.
+    pub fn sample_sar_cycles(&self) -> u64 {
+        self.sample_sar_cycles
+    }
+
     /// Samples per pool task for [`Self::run_batch`]: enough samples that
     /// one task carries ~2 M modeled conversions, so pool dispatch is
     /// amortised for feather-light programs, while any sample at or above
@@ -992,7 +1033,6 @@ impl CompiledModel {
         ws: &mut BatchWorkspace,
         out: &mut Vec<f32>,
     ) -> Result<()> {
-        let _span = tinyadc_obs::span("program.run");
         let dims = inputs.dims();
         if dims.len() != self.input_dims.len() + 1 || dims[1..] != self.input_dims[..] {
             return Err(XbarError::InvalidConfig(format!(
@@ -1003,12 +1043,41 @@ impl CompiledModel {
                     .collect::<String>()
             )));
         }
-        let n = dims[0];
+        self.run_packed_into(inputs.as_slice(), ws, out)
+    }
+
+    /// As [`Self::run_batch_into`], but taking the batch as a flat shared
+    /// input pack (`n × input_vol` floats, sample-major) instead of a
+    /// [`Tensor`] — the serving front-end's batch-assembly entry point.
+    /// A flush copies queued request payloads into one reusable pack and
+    /// runs them here as a single fan-out, so steady-state serving never
+    /// constructs a tensor (no allocation). `n` is inferred from the pack
+    /// length; results are bitwise identical to [`Self::run_batch_into`]
+    /// on the same samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::InvalidConfig`] when the pack length is not a
+    /// multiple of the per-sample input volume; otherwise as
+    /// [`Self::run_batch`].
+    pub fn run_packed_into(
+        &self,
+        pack: &[f32],
+        ws: &mut BatchWorkspace,
+        out: &mut Vec<f32>,
+    ) -> Result<()> {
+        let _span = tinyadc_obs::span("program.run");
+        let vol = self.input_vol;
+        if vol == 0 || !pack.len().is_multiple_of(vol) {
+            return Err(XbarError::InvalidConfig(format!(
+                "input pack of {} floats is not a multiple of the sample volume {vol}",
+                pack.len()
+            )));
+        }
+        let n = pack.len() / vol;
         if ws.samples.len() < n {
             ws.samples.resize_with(n, Workspace::default);
         }
-        let x = inputs.as_slice();
-        let vol = self.input_vol;
         // One workspace per sample; chunk boundaries depend only on `n`
         // and the compile-time sample cost, and per-sample execution is
         // exact integer arithmetic, so the gathered outputs are bitwise
@@ -1019,8 +1088,61 @@ impl CompiledModel {
             for (k, sample) in block.iter_mut().enumerate() {
                 let i = chunk * grain + k;
                 sample.error = self
-                    .exec(&x[i * vol..(i + 1) * vol], sample, i as u64)
+                    .exec(&pack[i * vol..(i + 1) * vol], sample, i as u64)
                     .err();
+            }
+        });
+        out.clear();
+        for sample in &mut ws.samples[..n] {
+            if let Some(e) = sample.error.take() {
+                return Err(e);
+            }
+            out.extend_from_slice(&sample.acts[self.out_slot]);
+        }
+        crate::obs::WORKSPACE_BYTES.set(ws.bytes() as f64);
+        Ok(())
+    }
+
+    /// As [`Self::run_batch_into`], but assembling the batch from
+    /// independently-owned per-request input slices instead of one packed
+    /// tensor — the serving front-end's batch-assembly entry point, which
+    /// lets queued requests run as one fan-out without first copying them
+    /// into a contiguous staging tensor. Outputs land in request order;
+    /// results are bitwise identical to packing the same slices into a
+    /// tensor and calling [`Self::run_batch_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::InvalidConfig`] when any slice's length is
+    /// not the per-sample input volume; otherwise as [`Self::run_batch`].
+    pub fn run_gather_into(
+        &self,
+        inputs: &[&[f32]],
+        ws: &mut BatchWorkspace,
+        out: &mut Vec<f32>,
+    ) -> Result<()> {
+        let _span = tinyadc_obs::span("program.run");
+        let vol = self.input_vol;
+        for (i, x) in inputs.iter().enumerate() {
+            if x.len() != vol {
+                return Err(XbarError::InvalidConfig(format!(
+                    "gather input {i} has {} elements, program needs {vol}",
+                    x.len()
+                )));
+            }
+        }
+        let n = inputs.len();
+        if ws.samples.len() < n {
+            ws.samples.resize_with(n, Workspace::default);
+        }
+        // Same determinism argument as run_batch_into: the grain depends
+        // only on `n` and compile-time cost, and each sample's noise
+        // stream is keyed by its batch-global index, not its worker.
+        let grain = self.batch_grain(n);
+        tinyadc_par::for_each_chunk_mut(&mut ws.samples[..n], grain, |chunk, block| {
+            for (k, sample) in block.iter_mut().enumerate() {
+                let i = chunk * grain + k;
+                sample.error = self.exec(inputs[i], sample, i as u64).err();
             }
         });
         out.clear();

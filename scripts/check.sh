@@ -50,6 +50,13 @@ cargo test --offline -q --test obs_determinism
 echo "==> degraded-mode serving suite"
 cargo test --offline -q --test degraded_mode
 
+# The serving front-end's acceptance gates: bitwise thread-count
+# invariance of full replayed traces, exact flush-trigger timing, typed
+# backpressure, the zero-alloc workspace-ring fixed point, and the
+# docs/serving.md metric catalogue matching the live registry.
+echo "==> serving front-end suite"
+cargo test --offline -q --test serving
+
 # The execution engine's acceptance gates: datapath-vs-engine agreement
 # on a trained model, the zero-steady-state-allocation workspace
 # contract, and bitwise thread-count invariance of run_batch.
@@ -73,6 +80,13 @@ cargo run --offline --release -p tinyadc-cli --bin tinyadc -- faults --quick 1 >
 # CP curve dominates the dense one under matched device stress.
 echo "==> degraded serving campaign smoke run (--quick)"
 cargo run --offline --release -p tinyadc-cli --bin tinyadc -- serve-degraded --quick 1 >/dev/null
+
+# End-to-end serving-bench smoke through the CLI: replays all three
+# traces against dense and CP-pruned compilations in virtual time; the
+# command itself fails unless the CP curve dominates the dense one at
+# iso-p99 on every trace.
+echo "==> serving bench smoke run (--quick)"
+cargo run --offline --release -p tinyadc-cli --bin tinyadc -- bench serve --quick 1 >/dev/null
 
 # Smoke-run the perf harness so bench bit-rot (API drift, JSON emission)
 # fails the gate offline; --quick keeps it to a few seconds. The run

@@ -1,0 +1,355 @@
+//! Tier-1 pins for the deterministic serving front-end.
+//!
+//! Four contracts from `docs/serving.md`, plus the doc-drift gate:
+//!
+//! 1. A full replayed trace — latencies, curve points, and response
+//!    payload bits — is bitwise invariant under the worker-thread count.
+//! 2. Size- and deadline-triggered flushes fire at exactly the ticks the
+//!    virtual-time model predicts, in deterministic order.
+//! 3. Backpressure under a burst is a typed rejection, not an error or
+//!    an allocation.
+//! 4. The workspace ring reaches a steady state: serving more traffic
+//!    after warm-up neither grows the server's footprint nor hands out
+//!    output slices outside the preallocated slot pool (the same
+//!    pointer-stability style as `compiled_datapath.rs`).
+//! 5. The `serve.*` metric catalogue in `docs/serving.md` matches the
+//!    live registry (the same pin `obs_determinism` keeps on
+//!    `docs/observability.md`).
+//!
+//! `tinyadc_par::set_threads` and the metrics registry are
+//! process-global, so these tests serialise on a mutex.
+
+use std::collections::BTreeSet;
+use std::sync::Mutex;
+
+use tinyadc::serve::{RejectReason, ServeConfig, Server, ServiceModel};
+use tinyadc_bench::serving::{self, ServingModels, TraceKind};
+use tinyadc_tensor::rng::SeededRng;
+use tinyadc_tensor::Tensor;
+use tinyadc_xbar::mapping::MappedLayer;
+use tinyadc_xbar::program::CompiledModel;
+use tinyadc_xbar::tile::XbarConfig;
+
+/// Serialises tests that touch the global thread pool or registry.
+static GLOBAL: Mutex<()> = Mutex::new(());
+
+/// Thread counts exercised; 7 exceeds this machine's cores and never
+/// divides the batch chunk counts evenly.
+const THREADS: [usize; 4] = [1, 2, 4, 7];
+
+/// A dense/CP-like compiled pair over the same mapped conv, plus a
+/// payload pool. The "CP" model samples 3 fewer ADC bits — the
+/// peripheral effect CP pruning buys — so its SAR service time is
+/// strictly smaller while its conversion count is identical, without
+/// paying for a training run in a tier-1 test.
+fn test_pool() -> ServingModels {
+    let mut rng = SeededRng::new(4242);
+    let cfg = XbarConfig::paper_default();
+    let w = Tensor::randn(&[128, 16, 3, 3], 0.3, &mut rng);
+    let map = |w: &Tensor| MappedLayer::from_param(w, tinyadc_nn::ParamKind::ConvWeight, cfg);
+    let dense_bits = map(&w).unwrap().required_adc_bits();
+    let cp_bits = dense_bits.saturating_sub(3).max(2);
+    let dense = CompiledModel::from_conv(map(&w).unwrap(), [16, 8, 8], 1, 1, None).unwrap();
+    let cp = CompiledModel::from_conv(map(&w).unwrap(), [16, 8, 8], 1, 1, Some(cp_bits)).unwrap();
+    assert_eq!(dense.sample_conversions(), cp.sample_conversions());
+    assert!(cp.sample_sar_cycles() < dense.sample_sar_cycles());
+    let n_inputs = 12;
+    let vol = 16 * 8 * 8;
+    let inputs = Tensor::uniform(&[n_inputs, vol], 0.0, 1.0, &mut rng);
+    ServingModels {
+        dense,
+        cp,
+        inputs: inputs.as_slice().to_vec(),
+        vol,
+        n_inputs,
+    }
+}
+
+#[test]
+fn replayed_trace_is_thread_count_invariant() {
+    let _guard = GLOBAL.lock().unwrap();
+    let pool = test_pool();
+    let cfg = serving::serve_config_for(&pool.dense);
+
+    // (a) Curve points (latency percentiles, throughput, rejections) for
+    // every trace kind, against both models.
+    let sweep = || {
+        let mut points = Vec::new();
+        for kind in TraceKind::ALL {
+            for model in [&pool.dense, &pool.cp] {
+                points.push(serving::run_trace(model, cfg, kind, 6, 10, 99, &pool).unwrap());
+            }
+        }
+        points
+    };
+    // (b) Raw response payload bits from a scripted burst replay.
+    let replay_bits = || {
+        let mut srv = Server::new(&pool.dense, cfg).unwrap();
+        let mut bits: Vec<(u64, u64, Vec<u32>)> = Vec::new();
+        for round in 0u64..4 {
+            for i in 0..5usize {
+                let s = (i + round as usize) % pool.n_inputs;
+                srv.offer(&pool.inputs[s * pool.vol..(s + 1) * pool.vol])
+                    .unwrap();
+            }
+            srv.finish().unwrap();
+            srv.drain(|r| {
+                bits.push((
+                    r.id,
+                    r.completed,
+                    r.output.iter().map(|v| v.to_bits()).collect(),
+                ));
+            });
+        }
+        bits
+    };
+
+    tinyadc_par::set_threads_exact(THREADS[0]);
+    let ref_points = sweep();
+    let ref_bits = replay_bits();
+    assert!(!ref_bits.is_empty());
+    for &t in &THREADS[1..] {
+        tinyadc_par::set_threads_exact(t);
+        assert_eq!(sweep(), ref_points, "curve points diverged at {t} threads");
+        assert_eq!(
+            replay_bits(),
+            ref_bits,
+            "response payload bits diverged at {t} threads"
+        );
+    }
+    tinyadc_par::set_threads(0);
+}
+
+#[test]
+fn flush_triggers_fire_at_predicted_ticks() {
+    let _guard = GLOBAL.lock().unwrap();
+    tinyadc_par::set_threads(0);
+    let pool = test_pool();
+    let model = &pool.dense;
+    let cfg = ServeConfig {
+        queue_depth: 16,
+        max_batch: 4,
+        flush_deadline: 10,
+        ring_slots: 2,
+        service: ServiceModel {
+            overhead_ticks: 2,
+            cycles_per_tick: (model.sample_sar_cycles() / 16).max(1),
+        },
+    };
+    // The exact service-time model the docs promise.
+    let service = |batch: u64| {
+        (cfg.service.overhead_ticks
+            + (batch * model.sample_sar_cycles()).div_ceil(cfg.service.cycles_per_tick))
+        .max(1)
+    };
+    let mut srv = Server::new(model, cfg).unwrap();
+    let payload = &pool.inputs[..pool.vol];
+
+    // Three requests at t=0: below max_batch, so only the deadline can
+    // flush them — at exactly t = 0 + flush_deadline.
+    for _ in 0..3 {
+        srv.offer(payload).unwrap();
+    }
+    srv.advance_to(9).unwrap();
+    assert_eq!(srv.queue_len(), 3, "no flush before the deadline");
+    srv.advance_to(10).unwrap();
+    assert_eq!(srv.queue_len(), 0, "deadline flush at exactly t=10");
+    let expect_deadline_done = 10 + service(3);
+
+    // Four requests at t=11: size trigger, flushed on the next advance
+    // with zero queueing delay (second lane is free).
+    srv.advance_to(11).unwrap();
+    for _ in 0..4 {
+        srv.offer(payload).unwrap();
+    }
+    srv.advance_to(11).unwrap();
+    assert_eq!(srv.queue_len(), 0, "size flush as soon as time advances");
+    let expect_size_done = 11 + service(4);
+
+    srv.finish().unwrap();
+    let mut done: Vec<(u64, u64)> = Vec::new();
+    srv.drain(|r| done.push((r.id, r.completed)));
+    assert_eq!(
+        done,
+        vec![
+            (0, expect_deadline_done),
+            (1, expect_deadline_done),
+            (2, expect_deadline_done),
+            (3, expect_size_done),
+            (4, expect_size_done),
+            (5, expect_size_done),
+            (6, expect_size_done),
+        ],
+        "completion order/ticks diverged from the virtual-time model"
+    );
+}
+
+#[test]
+fn burst_backpressure_is_typed_rejection() {
+    let _guard = GLOBAL.lock().unwrap();
+    tinyadc_par::set_threads(0);
+    let pool = test_pool();
+    let cfg = ServeConfig {
+        queue_depth: 4,
+        max_batch: 8,
+        flush_deadline: 50,
+        ring_slots: 1,
+        ..serving::serve_config_for(&pool.dense)
+    };
+    let mut srv = Server::new(&pool.dense, cfg).unwrap();
+    let payload = &pool.inputs[..pool.vol];
+    let mut admitted = 0;
+    let mut rejected = 0;
+    for _ in 0..10 {
+        match srv.offer(payload) {
+            Ok(_) => admitted += 1,
+            Err(rej) => {
+                assert_eq!(rej.reason, RejectReason::QueueFull { depth: 4 });
+                rejected += 1;
+            }
+        }
+    }
+    assert_eq!((admitted, rejected), (4, 6));
+    assert_eq!(srv.rejected(), 6);
+    // The admitted burst still completes exactly.
+    srv.finish().unwrap();
+    let mut done = 0;
+    srv.drain(|_| done += 1);
+    assert_eq!(done, 4);
+    // Wrong-shape offers are their own typed reason, not a panic.
+    let bad = srv.offer(&pool.inputs[..3]).unwrap_err();
+    assert_eq!(
+        bad.reason,
+        RejectReason::ShapeMismatch {
+            expected: pool.vol,
+            got: 3
+        }
+    );
+}
+
+#[test]
+fn workspace_ring_is_zero_alloc_in_steady_state() {
+    let _guard = GLOBAL.lock().unwrap();
+    tinyadc_par::set_threads(0);
+    let pool = test_pool();
+    let cfg = ServeConfig {
+        // Deep enough that a whole round (max_batch + 3 offers) queues
+        // before the first advance dispatches it.
+        queue_depth: 16,
+        ..serving::serve_config_for(&pool.dense)
+    };
+    let mut srv = Server::new(&pool.dense, cfg).unwrap();
+
+    let round = |srv: &mut Server<'_>, ptrs: &mut BTreeSet<usize>| {
+        for i in 0..(cfg.max_batch + 3) {
+            let s = i % pool.n_inputs;
+            srv.offer(&pool.inputs[s * pool.vol..(s + 1) * pool.vol])
+                .unwrap();
+        }
+        srv.finish().unwrap();
+        srv.drain(|r| {
+            ptrs.insert(r.output.as_ptr() as usize);
+        });
+    };
+
+    // Warm-up: lanes size their per-sample workspaces, slots fill.
+    let mut warm_ptrs = BTreeSet::new();
+    for _ in 0..3 {
+        round(&mut srv, &mut warm_ptrs);
+    }
+    let bytes0 = srv.steady_state_bytes();
+    assert!(bytes0 > 0);
+
+    // Steady state: ten more rounds must not grow the footprint and must
+    // only ever hand out outputs from the already-seen slot pool.
+    let mut ptrs = warm_ptrs.clone();
+    for _ in 0..10 {
+        round(&mut srv, &mut ptrs);
+        assert_eq!(
+            srv.steady_state_bytes(),
+            bytes0,
+            "server footprint grew after warm-up"
+        );
+    }
+    assert_eq!(
+        ptrs, warm_ptrs,
+        "a response borrowed memory outside the warmed slot pool"
+    );
+    let n_slots = cfg.queue_depth + cfg.ring_slots * cfg.max_batch;
+    assert!(
+        ptrs.len() <= n_slots,
+        "{} distinct output buffers exceed the {n_slots}-slot pool",
+        ptrs.len()
+    );
+}
+
+/// Extracts every backticked `serve.*` metric name from the catalogue
+/// table rows of `docs/serving.md` (lines shaped `| `name` | ... |`).
+fn documented_serve_metrics() -> Vec<String> {
+    let doc = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/docs/serving.md"))
+        .expect("docs/serving.md must exist");
+    let mut names: Vec<String> = doc
+        .lines()
+        .filter_map(|line| {
+            let rest = line.strip_prefix("| `")?;
+            let end = rest.find('`')?;
+            Some(rest[..end].to_owned())
+        })
+        .filter(|n| n.contains('.'))
+        .collect();
+    names.sort();
+    names.dedup();
+    names
+}
+
+#[test]
+fn serving_doc_catalogue_matches_registry() {
+    let _guard = GLOBAL.lock().unwrap();
+    tinyadc_par::set_threads(0);
+    let pool = test_pool();
+    // A workload that fires every serve.* metric family: a size flush, a
+    // deadline flush, a rejection, completions, and a drain.
+    let cfg = ServeConfig {
+        queue_depth: 2,
+        max_batch: 2,
+        flush_deadline: 5,
+        ring_slots: 1,
+        ..serving::serve_config_for(&pool.dense)
+    };
+    let mut srv = Server::new(&pool.dense, cfg).unwrap();
+    let payload = &pool.inputs[..pool.vol];
+    srv.offer(payload).unwrap();
+    srv.offer(payload).unwrap();
+    srv.offer(payload).unwrap_err(); // queue full
+    srv.advance_to(0).unwrap(); // size flush
+    srv.finish().unwrap();
+    srv.offer(payload).unwrap();
+    srv.finish().unwrap(); // deadline flush
+    srv.drain(|_| {});
+
+    let registered: Vec<String> = tinyadc_obs::MetricsSnapshot::capture()
+        .names()
+        .into_iter()
+        .filter(|n| {
+            n.starts_with("serve.requests.")
+                || n.starts_with("serve.queue.")
+                || n.starts_with("serve.batch.")
+        })
+        .collect();
+    // `serve.health.*` is the degraded-mode family, catalogued in
+    // docs/observability.md and pinned by obs_determinism — the serving
+    // front-end families live in docs/serving.md only.
+    let documented: Vec<String> = documented_serve_metrics()
+        .into_iter()
+        .filter(|n| !n.starts_with("serve.health."))
+        .collect();
+    assert!(
+        !registered.is_empty(),
+        "serving workload registered no serve.* front-end metrics"
+    );
+    assert_eq!(
+        documented, registered,
+        "docs/serving.md catalogue out of sync with the registry \
+         (left: documented, right: registered)"
+    );
+}
