@@ -1,0 +1,401 @@
+//! Multi-tenant registry serving benchmark with a mid-trace hot-swap.
+//!
+//! The generator replays the closed-loop traces of [`crate::serving`]
+//! against a [`RegistryServer`] holding **two** resident tenants — the
+//! dense-compiled model under `net@dense` and its CP-pruned sibling
+//! under `net@cp4` — behind one shared admission queue. Clients are
+//! split across the tenants, so the sweep measures cross-tenant queueing
+//! interference under the deterministic round-robin drain.
+//!
+//! Halfway through every run (once half the total request quota has
+//! completed) the dense tenant is **hot-swapped**: a variant restored
+//! from an exact program snapshot ([`tinyadc_xbar::snapshot`]) of the CP
+//! model is promoted under `net@dense` while traffic keeps flowing. The
+//! report records the promotion tick and checks, per run, that every
+//! admitted request completed — the zero-drop guarantee of
+//! [`RegistryServer::promote`].
+//!
+//! Everything — arrivals, think times, payload choice, the swap trigger —
+//! derives from seeded integer streams and virtual time, so the emitted
+//! `BENCH_registry.json` is byte-identical on every worker-thread count.
+
+use tinyadc::registry::{ModelRegistry, RegistryServer};
+use tinyadc::serve::ServeConfig;
+use tinyadc::TinyAdcError;
+use tinyadc_tensor::rng::SeededRng;
+use tinyadc_xbar::program::CompiledModel;
+use tinyadc_xbar::snapshot;
+
+use crate::serving::{
+    client_levels, prepare_models, requests_per_client, serve_config_for, ModelSummary,
+    ServingModels, TraceKind,
+};
+use crate::Profile;
+
+/// Tag of the tenant that gets hot-swapped mid-trace.
+pub const SWAP_TAG: &str = "net@dense";
+/// Tag of the CP-pruned tenant.
+pub const CP_TAG: &str = "net@cp4";
+
+/// Duplicates a compiled model through its exact binary snapshot. The
+/// copy is bitwise-equivalent by the codec's round-trip guarantee, which
+/// is precisely what a serving restart would load from disk.
+///
+/// # Errors
+///
+/// Propagates snapshot encode/decode failures.
+pub fn snapshot_clone(model: &CompiledModel) -> Result<CompiledModel, TinyAdcError> {
+    let mut buf = Vec::new();
+    snapshot::write_model(&mut buf, model)?;
+    Ok(snapshot::read_model(buf.as_slice())?)
+}
+
+/// Per-tenant outcome of one multi-tenant run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantPoint {
+    /// The tenant's tag.
+    pub tag: String,
+    /// Requests this tenant completed.
+    pub completed: u64,
+    /// Median latency in ticks.
+    pub p50: u64,
+    /// 95th-percentile latency in ticks.
+    pub p95: u64,
+    /// 99th-percentile latency in ticks.
+    pub p99: u64,
+}
+
+/// One multi-tenant run (one client level on one trace).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegistryRunPoint {
+    /// Concurrent closed-loop clients (split across tenants).
+    pub clients: usize,
+    /// Offers made, admissions plus rejections.
+    pub offered: u64,
+    /// Requests admitted to the shared queue.
+    pub admitted: u64,
+    /// Requests rejected at admission (each retried after a backoff).
+    pub rejected: u64,
+    /// Requests completed across all tenants.
+    pub completed: u64,
+    /// `admitted − completed` after the run drains — zero or the swap
+    /// dropped traffic.
+    pub dropped: u64,
+    /// Tick the mid-trace promotion landed.
+    pub swap_tick: u64,
+    /// Tick of the final completion.
+    pub makespan: u64,
+    /// Completed requests per kilotick.
+    pub throughput_rpk: f64,
+    /// Per-tenant breakdown, in registry (shard) order.
+    pub tenants: Vec<TenantPoint>,
+}
+
+/// All client levels of one trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegistryTraceCurve {
+    /// Which trace was replayed.
+    pub trace: TraceKind,
+    /// One point per client level.
+    pub points: Vec<RegistryRunPoint>,
+}
+
+/// Everything one `tinyadc bench registry` run measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegistryBenchReport {
+    /// Seed the models and traces were derived from.
+    pub seed: u64,
+    /// `quick` or `full`.
+    pub profile: &'static str,
+    /// Server configuration shared by every run.
+    pub serve: ServeConfig,
+    /// Requests each client issues per run.
+    pub requests_per_client: usize,
+    /// Resident tenants: tag plus compile-time model summary.
+    pub tenants: Vec<(String, ModelSummary)>,
+    /// One curve per trace.
+    pub traces: Vec<RegistryTraceCurve>,
+}
+
+impl RegistryBenchReport {
+    /// Whether every run completed every admitted request — the
+    /// zero-drop hot-swap gate.
+    pub fn zero_dropped(&self) -> bool {
+        self.traces
+            .iter()
+            .flat_map(|t| t.points.iter())
+            .all(|p| p.dropped == 0)
+    }
+
+    /// Renders the report as deterministic JSON (`BENCH_registry.json`).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"schema\": \"tinyadc-registry-bench-v1\",\n");
+        s.push_str(&format!("  \"seed\": {},\n", self.seed));
+        s.push_str(&format!("  \"profile\": \"{}\",\n", self.profile));
+        s.push_str(&format!(
+            "  \"serve\": {{ \"queue_depth\": {}, \"max_batch\": {}, \"flush_deadline\": {}, \
+             \"ring_slots\": {}, \"overhead_ticks\": {}, \"cycles_per_tick\": {} }},\n",
+            self.serve.queue_depth,
+            self.serve.max_batch,
+            self.serve.flush_deadline,
+            self.serve.ring_slots,
+            self.serve.service.overhead_ticks,
+            self.serve.service.cycles_per_tick
+        ));
+        s.push_str(&format!(
+            "  \"requests_per_client\": {},\n",
+            self.requests_per_client
+        ));
+        s.push_str("  \"tenants\": {\n");
+        for (i, (tag, m)) in self.tenants.iter().enumerate() {
+            s.push_str(&format!(
+                "    \"{tag}\": {{ \"sample_conversions\": {}, \"sample_sar_cycles\": {}, \
+                 \"adc_bits\": [{}] }}{}\n",
+                m.sample_conversions,
+                m.sample_sar_cycles,
+                m.adc_bits
+                    .iter()
+                    .map(|b| b.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                if i + 1 == self.tenants.len() { "" } else { "," }
+            ));
+        }
+        s.push_str("  },\n");
+        s.push_str("  \"traces\": [\n");
+        for (ti, t) in self.traces.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{ \"trace\": \"{}\", \"points\": [\n",
+                t.trace.name()
+            ));
+            for (pi, p) in t.points.iter().enumerate() {
+                s.push_str(&format!(
+                    "      {{ \"clients\": {}, \"offered\": {}, \"admitted\": {}, \
+                     \"rejected\": {}, \"completed\": {}, \"dropped\": {}, \
+                     \"swap_tick\": {}, \"makespan\": {}, \"throughput_rpk\": {:.4}, \
+                     \"tenants\": [",
+                    p.clients,
+                    p.offered,
+                    p.admitted,
+                    p.rejected,
+                    p.completed,
+                    p.dropped,
+                    p.swap_tick,
+                    p.makespan,
+                    p.throughput_rpk,
+                ));
+                for (ki, tp) in p.tenants.iter().enumerate() {
+                    s.push_str(&format!(
+                        "{{ \"tag\": \"{}\", \"completed\": {}, \"p50\": {}, \"p95\": {}, \
+                         \"p99\": {} }}{}",
+                        tp.tag,
+                        tp.completed,
+                        tp.p50,
+                        tp.p95,
+                        tp.p99,
+                        if ki + 1 == p.tenants.len() { "" } else { ", " }
+                    ));
+                }
+                s.push_str(&format!(
+                    "] }}{}\n",
+                    if pi + 1 == t.points.len() { "" } else { "," }
+                ));
+            }
+            s.push_str(&format!(
+                "    ] }}{}\n",
+                if ti + 1 == self.traces.len() { "" } else { "," }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str(&format!("  \"zero_dropped\": {}\n", self.zero_dropped()));
+        s.push_str("}\n");
+        s
+    }
+}
+
+struct Client {
+    tag: &'static str,
+    next: Option<u64>,
+    issued: usize,
+    rng: SeededRng,
+}
+
+/// Replays one closed-loop multi-tenant trace against a fresh registry
+/// server, hot-swapping [`SWAP_TAG`] to `promotion` once half the total
+/// request quota has completed.
+///
+/// # Errors
+///
+/// Propagates compiled-model execution and promotion errors.
+pub fn run_registry_trace(
+    pool: &ServingModels,
+    cfg: ServeConfig,
+    kind: TraceKind,
+    clients: usize,
+    requests_per_client: usize,
+    seed: u64,
+) -> Result<RegistryRunPoint, TinyAdcError> {
+    let mut registry = ModelRegistry::new();
+    registry.insert(SWAP_TAG, snapshot_clone(&pool.dense)?)?;
+    registry.insert(CP_TAG, snapshot_clone(&pool.cp)?)?;
+    let mut server = RegistryServer::new(registry, cfg)?;
+    // The replacement program is restored from the CP model's exact
+    // snapshot — what a repair escalation would load instead of
+    // recompiling from scratch.
+    let mut promotion = Some(snapshot_clone(&pool.cp)?);
+    let swap_threshold = (clients * requests_per_client) as u64 / 2;
+
+    let mut base = SeededRng::new(seed);
+    let mut cs: Vec<Client> = (0..clients)
+        .map(|c| {
+            let mut rng = base.fork(c as u64);
+            let start = (c as u64 * 7) % 23 + rng.sample_index(5) as u64;
+            Client {
+                tag: if c % 2 == 0 { SWAP_TAG } else { CP_TAG },
+                next: Some(start),
+                issued: 0,
+                rng,
+            }
+        })
+        .collect();
+    let mut owners: Vec<usize> = Vec::with_capacity(clients * requests_per_client);
+    let mut by_tag: Vec<(String, Vec<u64>)> = vec![
+        (SWAP_TAG.to_owned(), Vec::new()),
+        (CP_TAG.to_owned(), Vec::new()),
+    ];
+    let mut offered = 0u64;
+    let mut admitted = 0u64;
+    let mut completed = 0u64;
+    let mut makespan = 0u64;
+    let mut swap_tick = 0u64;
+    loop {
+        let t_arrival = cs.iter().filter_map(|c| c.next).min();
+        let t_server = server.next_event_tick();
+        let t = match (t_arrival, t_server) {
+            (None, None) => break,
+            (Some(a), Some(s)) => a.min(s),
+            (a, s) => a.or(s).expect("one side present"),
+        };
+        server.advance_to(t)?;
+        server.drain(|r| {
+            completed += 1;
+            makespan = makespan.max(r.completed);
+            let bucket = if r.tag == SWAP_TAG { 0 } else { 1 };
+            by_tag[bucket].1.push(r.latency());
+            let c = &mut cs[owners[r.id as usize]];
+            if c.issued < requests_per_client {
+                let think = kind.think(c.issued, &mut c.rng);
+                c.next = Some(r.completed.max(t) + think);
+            }
+        });
+        if promotion.is_some() && completed >= swap_threshold {
+            let replacement = promotion.take().expect("checked above");
+            swap_tick = server.promote(SWAP_TAG, replacement)?;
+        }
+        for (ci, c) in cs.iter_mut().enumerate() {
+            let Some(due) = c.next else { continue };
+            if due > server.now() {
+                continue;
+            }
+            let k = c.issued;
+            let sample = (ci * 13 + k * 5) % pool.n_inputs;
+            let payload = &pool.inputs[sample * pool.vol..(sample + 1) * pool.vol];
+            offered += 1;
+            match server.offer(c.tag, payload) {
+                Ok(_id) => {
+                    owners.push(ci);
+                    admitted += 1;
+                    c.issued = k + 1;
+                    c.next = None;
+                }
+                Err(_rej) => {
+                    c.next = Some(server.now() + 3 + (ci as u64 % 5));
+                }
+            }
+        }
+    }
+    let pct = |lat: &[u64], q: f64| -> u64 {
+        if lat.is_empty() {
+            return 0;
+        }
+        let rank = ((q * lat.len() as f64).ceil() as usize).clamp(1, lat.len());
+        lat[rank - 1]
+    };
+    let tenants = by_tag
+        .into_iter()
+        .map(|(tag, mut lat)| {
+            lat.sort_unstable();
+            TenantPoint {
+                tag,
+                completed: lat.len() as u64,
+                p50: pct(&lat, 0.50),
+                p95: pct(&lat, 0.95),
+                p99: pct(&lat, 0.99),
+            }
+        })
+        .collect();
+    let throughput_rpk = if makespan == 0 {
+        0.0
+    } else {
+        completed as f64 * 1000.0 / makespan as f64
+    };
+    Ok(RegistryRunPoint {
+        clients,
+        offered,
+        admitted,
+        rejected: server.rejected(),
+        completed,
+        dropped: admitted - completed,
+        swap_tick,
+        makespan,
+        throughput_rpk,
+        tenants,
+    })
+}
+
+/// Runs the full registry benchmark: every trace × every client level,
+/// each run multi-tenant with a mid-trace hot-swap, returning the report
+/// `BENCH_registry.json` is rendered from.
+///
+/// # Errors
+///
+/// Propagates model preparation and replay failures.
+pub fn run_registry_bench(
+    profile: Profile,
+    seed: u64,
+) -> Result<RegistryBenchReport, TinyAdcError> {
+    let pool = prepare_models(profile, seed)?;
+    let cfg = serve_config_for(&pool.dense);
+    let levels = client_levels(profile);
+    let reqs = requests_per_client(profile);
+    let mut traces = Vec::with_capacity(TraceKind::ALL.len());
+    for kind in TraceKind::ALL {
+        let mut curve = RegistryTraceCurve {
+            trace: kind,
+            points: Vec::with_capacity(levels.len()),
+        };
+        for &clients in &levels {
+            let trace_seed = seed ^ ((clients as u64) << 8) ^ kind.name().len() as u64;
+            curve.points.push(run_registry_trace(
+                &pool, cfg, kind, clients, reqs, trace_seed,
+            )?);
+        }
+        traces.push(curve);
+    }
+    Ok(RegistryBenchReport {
+        seed,
+        profile: match profile {
+            Profile::Quick => "quick",
+            Profile::Full => "full",
+        },
+        serve: cfg,
+        requests_per_client: reqs,
+        tenants: vec![
+            (SWAP_TAG.to_owned(), ModelSummary::of(&pool.dense)),
+            (CP_TAG.to_owned(), ModelSummary::of(&pool.cp)),
+        ],
+        traces,
+    })
+}

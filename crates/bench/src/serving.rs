@@ -64,7 +64,7 @@ impl TraceKind {
     /// Think time (ticks) before a client's `k`-th request, plus a small
     /// seeded jitter. A pure function of the trace, the request index
     /// and the client's private stream — never of wall time or threads.
-    fn think(self, k: usize, rng: &mut SeededRng) -> u64 {
+    pub(crate) fn think(self, k: usize, rng: &mut SeededRng) -> u64 {
         let jitter = rng.sample_index(4) as u64;
         match self {
             Self::Bursty => {
@@ -148,7 +148,7 @@ pub struct ModelSummary {
 }
 
 impl ModelSummary {
-    fn of(model: &CompiledModel) -> Self {
+    pub(crate) fn of(model: &CompiledModel) -> Self {
         Self {
             sample_conversions: model.sample_conversions(),
             sample_sar_cycles: model.sample_sar_cycles(),

@@ -121,6 +121,15 @@ impl Args {
         }
     }
 
+    /// Whether the shared `--quick 1` smoke-test flag was given. Every
+    /// command that offers a reduced self-contained profile keys off
+    /// this one helper, so the flag's spelling cannot drift per-command.
+    /// Presence is what counts — `--quick 0` still selects quick mode,
+    /// matching the historical behaviour of every call site.
+    pub fn quick(&self) -> bool {
+        self.get("quick").is_some()
+    }
+
     /// Number of parsed options.
     pub fn len(&self) -> usize {
         self.options.len()
@@ -191,6 +200,13 @@ mod tests {
             Args::parse(toks("train --tier cifar10 oops")).unwrap_err(),
             ParseArgsError::UnexpectedToken("oops".into())
         );
+    }
+
+    #[test]
+    fn quick_flag_is_presence_keyed() {
+        assert!(Args::parse(toks("faults --quick 1")).unwrap().quick());
+        assert!(Args::parse(toks("faults --quick 0")).unwrap().quick());
+        assert!(!Args::parse(toks("faults --rate 0.1")).unwrap().quick());
     }
 
     #[test]

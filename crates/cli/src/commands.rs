@@ -15,7 +15,10 @@ use tinyadc::report::TextTable;
 use tinyadc::resilience::{
     CampaignConfig, CampaignReport, CampaignRow, CampaignVariant, Mitigation,
 };
-use tinyadc::{Executor, Pipeline, PipelineConfig, TinyAdcError, TrainedModel};
+use tinyadc::{
+    Executor, ModelRegistry, Pipeline, PipelineConfig, RegistryServer, ServeConfig, ServiceModel,
+    TinyAdcError, TrainedModel,
+};
 use tinyadc_hw::adc::SarAdcModel;
 use tinyadc_hw::energy::{ActivityCounts, EnergyModel};
 use tinyadc_hw::latency::LatencyModel;
@@ -32,6 +35,7 @@ use tinyadc_xbar::mapping::MappedLayer;
 use tinyadc_xbar::noise::{IrDropModel, NonIdealPolicy, ReadNoise};
 use tinyadc_xbar::program::{BatchWorkspace, CompileOptions, CompiledModel};
 use tinyadc_xbar::repair;
+use tinyadc_xbar::snapshot;
 
 /// Top-level dispatch; returns the command's printable output.
 ///
@@ -39,8 +43,9 @@ use tinyadc_xbar::repair;
 ///
 /// Returns a user-facing message for unknown commands or failed options.
 pub fn run(args: &Args) -> Result<String> {
-    // Only `bench` takes a sub-subcommand; everything else rejects one.
-    if args.command != "bench" {
+    // Only `bench` and `model` take a sub-subcommand; everything else
+    // rejects one.
+    if args.command != "bench" && args.command != "model" {
         args.no_sub()?;
     }
     let mut out = match args.command.as_str() {
@@ -53,8 +58,19 @@ pub fn run(args: &Args) -> Result<String> {
         "serve-degraded" => cmd_serve_degraded(args),
         "bench" => match args.sub.as_deref() {
             Some("serve") => cmd_bench_serve(args),
-            Some(other) => Err(format!("unknown bench target `{other}` (use serve)")),
-            None => Err("usage: tinyadc bench serve [--quick 1] [--seed N] [--out FILE]".into()),
+            Some("registry") => cmd_bench_registry(args),
+            Some(other) => Err(format!(
+                "unknown bench target `{other}` (use serve|registry)"
+            )),
+            None => Err(
+                "usage: tinyadc bench serve|registry [--quick 1] [--seed N] [--out FILE]".into(),
+            ),
+        },
+        "model" => match args.sub.as_deref() {
+            Some("save") => cmd_model_save(args),
+            Some("load") => cmd_model_load(args),
+            Some(other) => Err(format!("unknown model action `{other}` (use save|load)")),
+            None => Err("usage: tinyadc model save|load (see `tinyadc help`)".into()),
         },
         "infer" => cmd_infer(args),
         "adc" => cmd_adc(args),
@@ -95,10 +111,24 @@ pub fn usage() -> String {
      \x20       models on one virtual-time trace; prints latency percentiles\n\
      \x20       [--kind bursty|diurnal|adversarial] [--clients N]\n\
      \x20       [--requests N] [--seed N] [--quick 1]\n\
+     \x20       [--registry 1] multi-tenant replay instead: both models\n\
+     \x20       resident behind one shared queue, with a mid-trace zero-drop\n\
+     \x20       hot-swap of the dense tenant to a snapshot-restored CP program\n\
+     model save                               compile a model and persist the\n\
+     \x20       exact execution program as a versioned binary snapshot; the\n\
+     \x20       snapshot is reloaded and verified byte- and bit-identical\n\
+     \x20       --out FILE [--quick 1 | --tier .. --model .. [--in FILE]]\n\
+     model load --in FILE                     restore a program snapshot and\n\
+     \x20       print its shape, modeled ADC cost and a seeded output digest\n\
      bench serve                              full serving benchmark: sweep\n\
      \x20       client levels x traces for dense vs CP, emit throughput-vs-p99\n\
      \x20       curves to BENCH_serving.json; fails unless CP dominates dense\n\
      \x20       at iso-p99  [--quick 1] [--seed N] [--out FILE]\n\
+     bench registry                           multi-tenant registry benchmark:\n\
+     \x20       sweep client levels x traces with dense + CP tenants resident,\n\
+     \x20       hot-swapping the dense tenant mid-trace; emits\n\
+     \x20       BENCH_registry.json; fails unless every admitted request\n\
+     \x20       completed  [--quick 1] [--seed N] [--out FILE]\n\
      serve-degraded                           degraded-mode serving campaign:\n\
      \x20       sweep wire resistance x read noise x fault rate x strategy on\n\
      \x20       the compiled datapath, with canary health checks and automatic\n\
@@ -403,7 +433,7 @@ fn cmd_faults_quick(args: &Args) -> Result<String> {
 }
 
 fn cmd_faults(args: &Args) -> Result<String> {
-    if args.get("quick").is_some() {
+    if args.quick() {
         return cmd_faults_quick(args);
     }
     let (pipeline, data, mut rng) = pipeline_of(args)?;
@@ -527,7 +557,7 @@ fn render_point(name: &str, p: &tinyadc_bench::serving::CurvePoint) -> String {
 
 fn cmd_serve(args: &Args) -> Result<String> {
     use tinyadc_bench::serving;
-    let quick = args.get("quick").is_some();
+    let quick = args.quick();
     let seed: u64 = args.get_or("seed", 2021)?;
     let kind_s = args.get("kind").unwrap_or("bursty");
     let kind = serving::TraceKind::parse(kind_s)
@@ -537,6 +567,9 @@ fn cmd_serve(args: &Args) -> Result<String> {
     let pool =
         serving::prepare_models(tinyadc_bench::Profile::Quick, seed).map_err(|e| e.to_string())?;
     let cfg = serving::serve_config_for(&pool.dense);
+    if args.get("registry").is_some() {
+        return serve_registry_replay(&pool, cfg, kind, clients, requests, seed);
+    }
     let dense = serving::run_trace(&pool.dense, cfg, kind, clients, requests, seed, &pool)
         .map_err(|e| e.to_string())?;
     let cp = serving::run_trace(&pool.cp, cfg, kind, clients, requests, seed, &pool)
@@ -563,7 +596,7 @@ fn cmd_serve(args: &Args) -> Result<String> {
 
 fn cmd_bench_serve(args: &Args) -> Result<String> {
     use tinyadc_bench::serving;
-    let quick = args.get("quick").is_some();
+    let quick = args.quick();
     let seed: u64 = args.get_or("seed", tinyadc_bench::SEED)?;
     let profile = if quick {
         tinyadc_bench::Profile::Quick
@@ -606,8 +639,217 @@ fn cmd_bench_serve(args: &Args) -> Result<String> {
     Ok(out)
 }
 
+/// The `serve --registry` path: both compiled models resident as tenants
+/// behind one shared admission queue, replayed under the same closed-loop
+/// trace, with a mid-trace zero-drop hot-swap of the dense tenant.
+fn serve_registry_replay(
+    pool: &tinyadc_bench::serving::ServingModels,
+    cfg: tinyadc::ServeConfig,
+    kind: tinyadc_bench::serving::TraceKind,
+    clients: usize,
+    requests: usize,
+    seed: u64,
+) -> Result<String> {
+    use tinyadc_bench::registry as regbench;
+    let p = regbench::run_registry_trace(pool, cfg, kind, clients, requests, seed)
+        .map_err(|e| e.to_string())?;
+    let mut out = format!(
+        "registry replay: trace {} | {clients} clients x {requests} requests | seed {seed}\n\
+         tenants: {} (dense, hot-swapped mid-trace to a snapshot-restored CP program) \
+         and {} (CP)\n\
+         {} offered | {} admitted | {} rejected (retried) | {} completed | {} dropped\n\
+         hot-swap at tick {} of {} | {:.3} req/ktick\n",
+        kind.name(),
+        regbench::SWAP_TAG,
+        regbench::CP_TAG,
+        p.offered,
+        p.admitted,
+        p.rejected,
+        p.completed,
+        p.dropped,
+        p.swap_tick,
+        p.makespan,
+        p.throughput_rpk,
+    );
+    for t in &p.tenants {
+        out.push_str(&format!(
+            "{:>12}: {} completed | p50 {} p95 {} p99 {}\n",
+            t.tag, t.completed, t.p50, t.p95, t.p99
+        ));
+    }
+    if p.dropped != 0 {
+        return Err(format!(
+            "{out}\nFAIL: the hot-swap dropped admitted requests"
+        ));
+    }
+    out.push_str("zero-drop hot-swap: verified\n");
+    Ok(out)
+}
+
+fn cmd_bench_registry(args: &Args) -> Result<String> {
+    use tinyadc_bench::registry as regbench;
+    let quick = args.quick();
+    let seed: u64 = args.get_or("seed", tinyadc_bench::SEED)?;
+    let profile = if quick {
+        tinyadc_bench::Profile::Quick
+    } else {
+        tinyadc_bench::Profile::Full
+    };
+    let report = regbench::run_registry_bench(profile, seed).map_err(|e| e.to_string())?;
+    let default_path = if quick {
+        "BENCH_registry.quick.json"
+    } else {
+        "BENCH_registry.json"
+    };
+    let path = args.get("out").unwrap_or(default_path);
+    std::fs::write(path, report.to_json()).map_err(|e| e.to_string())?;
+    let mut out = format!(
+        "registry bench ({}, seed {seed}): tenants {}\n",
+        report.profile,
+        report
+            .tenants
+            .iter()
+            .map(|(tag, m)| format!("{tag} ({} SAR cycles/request)", m.sample_sar_cycles))
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    for t in &report.traces {
+        let peak = t
+            .points
+            .iter()
+            .map(|p| p.throughput_rpk)
+            .fold(0.0f64, f64::max);
+        let dropped: u64 = t.points.iter().map(|p| p.dropped).sum();
+        out.push_str(&format!(
+            "{:>12}: peak {peak:.3} req/ktick | {} runs, {} dropped across hot-swaps\n",
+            t.trace.name(),
+            t.points.len(),
+            dropped,
+        ));
+    }
+    out.push_str(&format!("wrote {path}\n"));
+    if !report.zero_dropped() {
+        return Err(format!(
+            "{out}\nFAIL: a hot-swap dropped admitted requests on some trace"
+        ));
+    }
+    Ok(out)
+}
+
+/// Builds a compiled program for `model save`: either the self-contained
+/// quick profile (seeded synthetic pretrain) or the full
+/// `--tier/--model/[--in]` path shared with `infer`.
+fn model_to_save(args: &Args) -> Result<CompiledModel> {
+    if args.quick() {
+        let seed: u64 = args.get_or("seed", 7)?;
+        let mut rng = SeededRng::new(seed);
+        let data = SyntheticImageDataset::generate(DatasetTier::Tier1Cifar10Like, 60, 30, &mut rng)
+            .map_err(|e| e.to_string())?;
+        let pipeline = Pipeline::new(PipelineConfig::quick_test());
+        let trained = pipeline
+            .pretrain(&data, &mut rng)
+            .map_err(|e| e.to_string())?;
+        let net = pipeline
+            .restore(&data, &trained, &mut rng)
+            .map_err(|e| e.to_string())?;
+        CompiledModel::compile(&net, pipeline.config().xbar, &CompileOptions::default())
+            .map_err(|e| e.to_string())
+    } else {
+        let (pipeline, data, mut rng) = pipeline_of(args)?;
+        let net = if let Some(path) = args.get("in") {
+            load_into(&pipeline, &data, path, &mut rng)?
+        } else {
+            let trained = pipeline
+                .pretrain(&data, &mut rng)
+                .map_err(|e| e.to_string())?;
+            pipeline
+                .restore(&data, &trained, &mut rng)
+                .map_err(|e| e.to_string())?
+        };
+        CompiledModel::compile(&net, pipeline.config().xbar, &CompileOptions::default())
+            .map_err(|e| e.to_string())
+    }
+}
+
+/// One line of shape/cost facts about a compiled program.
+fn describe_program(m: &CompiledModel) -> String {
+    format!(
+        "program `{}`: {} steps, {} crossbar layers, input {:?}, output {} floats, \
+         {} conversions x {} SAR cycles per sample\n",
+        m.name(),
+        m.step_count(),
+        m.crossbar_layers().len(),
+        m.input_dims(),
+        m.output_len(),
+        m.sample_conversions(),
+        m.sample_sar_cycles(),
+    )
+}
+
+/// A seeded deterministic digest of a program's outputs: one batch of
+/// uniform inputs through the bit-serial datapath, output bits folded
+/// with an FNV-1a accumulator. Identical programs print identical
+/// digests on any machine and any thread count.
+fn output_digest(m: &CompiledModel, seed: u64) -> Result<u64> {
+    let vol: usize = m.input_dims().iter().product();
+    let mut rng = SeededRng::new(seed);
+    let pack = Tensor::uniform(&[4, vol.max(1)], 0.0, 1.0, &mut rng);
+    let mut ws = BatchWorkspace::default();
+    let mut out = Vec::new();
+    m.run_packed_into(pack.as_slice(), &mut ws, &mut out)
+        .map_err(|e| e.to_string())?;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in &out {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    Ok(h)
+}
+
+fn cmd_model_save(args: &Args) -> Result<String> {
+    let out_path = args.required("out")?.to_owned();
+    let model = model_to_save(args)?;
+    snapshot::save_model(&model, Path::new(&out_path)).map_err(|e| e.to_string())?;
+    // Reload and verify the persistence contract on the spot: the
+    // snapshot re-encodes to the same bytes and computes the same bits.
+    let reloaded = snapshot::load_model(Path::new(&out_path)).map_err(|e| e.to_string())?;
+    let mut original = Vec::new();
+    snapshot::write_model(&mut original, &model).map_err(|e| e.to_string())?;
+    let mut round = Vec::new();
+    snapshot::write_model(&mut round, &reloaded).map_err(|e| e.to_string())?;
+    if original != round {
+        return Err("snapshot round trip changed the encoded bytes".into());
+    }
+    let seed: u64 = args.get_or("seed", 7)?;
+    let digest = output_digest(&model, seed)?;
+    if output_digest(&reloaded, seed)? != digest {
+        return Err("reloaded program computed different output bits".into());
+    }
+    let mut out = describe_program(&model);
+    out.push_str(&format!(
+        "wrote {out_path} ({} bytes), reloaded and verified byte- and bit-identical\n\
+         output digest (seed {seed}): {digest:016x}\n",
+        original.len(),
+    ));
+    Ok(out)
+}
+
+fn cmd_model_load(args: &Args) -> Result<String> {
+    let in_path = args.required("in")?;
+    let model = snapshot::load_model(Path::new(in_path)).map_err(|e| e.to_string())?;
+    let seed: u64 = args.get_or("seed", 7)?;
+    let mut out = describe_program(&model);
+    out.push_str(&format!(
+        "output digest (seed {seed}): {:016x}\n",
+        output_digest(&model, seed)?
+    ));
+    Ok(out)
+}
+
 fn cmd_serve_degraded(args: &Args) -> Result<String> {
-    let quick = args.get("quick").is_some();
+    let quick = args.quick();
     let seed: u64 = args.get_or("seed", 7)?;
     // Larger than the other `--quick` smokes: the campaign compares
     // *served accuracy*, so the baseline must sit well above chance for
@@ -846,6 +1088,60 @@ pub fn example_report(seed: u64) -> Result<ExampleReport> {
         }
     }
 
+    // Registry front-end instrumentation: both compiled instances become
+    // resident tenants behind one shared admission queue, driven through
+    // an unknown-tag rejection, a size flush, a deadline flush and a
+    // zero-drop hot-swap so every `registry.*` / `serve.shard.*` metric
+    // fires. Virtual time only — values depend on `seed`, not threads.
+    let vol: usize = compiled.input_dims().iter().product();
+    let samples = images.as_slice();
+    let mut registry = ModelRegistry::new();
+    registry
+        .insert("net@clean", compiled)
+        .map_err(|e| e.to_string())?;
+    registry
+        .insert("net@noisy", noisy)
+        .map_err(|e| e.to_string())?;
+    let serve_cfg = ServeConfig {
+        queue_depth: 8,
+        max_batch: 2,
+        flush_deadline: 4,
+        ring_slots: 1,
+        service: ServiceModel::default(),
+    };
+    let mut server = RegistryServer::new(registry, serve_cfg).map_err(|e| e.to_string())?;
+    if server.offer("net@ghost", &samples[..vol]).is_ok() {
+        return Err("an unknown tag was admitted by the registry".into());
+    }
+    server
+        .offer("net@clean", &samples[..vol])
+        .map_err(|e| e.to_string())?;
+    server
+        .offer("net@clean", &samples[vol..2 * vol])
+        .map_err(|e| e.to_string())?;
+    // Two queued requests reach `max_batch`: a size flush.
+    server.advance_to(1).map_err(|e| e.to_string())?;
+    server
+        .offer("net@noisy", &samples[..vol])
+        .map_err(|e| e.to_string())?;
+    // One queued request ages out at 1 + flush_deadline: a deadline flush.
+    server.advance_to(5).map_err(|e| e.to_string())?;
+    // Hot-swap the noisy tenant to a freshly compiled clean program while
+    // its batch is still in flight — it must finish on the old program.
+    let swap = CompiledModel::compile(&net, xbar, &CompileOptions::default())
+        .map_err(|e| e.to_string())?;
+    server
+        .promote("net@noisy", swap)
+        .map_err(|e| e.to_string())?;
+    server.finish().map_err(|e| e.to_string())?;
+    let mut served = 0u64;
+    server.drain(|_| served += 1);
+    if served != 3 {
+        return Err(format!(
+            "registry replay served {served} of 3 admitted requests"
+        ));
+    }
+
     let metrics = MetricsSnapshot::capture();
     let via_json =
         MetricsSnapshot::from_json(&metrics.to_json()).map_err(|e| format!("json: {e}"))?;
@@ -926,7 +1222,7 @@ fn cmd_infer(args: &Args) -> Result<String> {
             ))
         }
     };
-    let (pipeline, data, mut rng, mut net, float_accuracy) = if args.get("quick").is_some() {
+    let (pipeline, data, mut rng, mut net, float_accuracy) = if args.quick() {
         let seed: u64 = args.get_or("seed", 7)?;
         let mut rng = SeededRng::new(seed);
         let data = SyntheticImageDataset::generate(DatasetTier::Tier1Cifar10Like, 60, 30, &mut rng)
@@ -1065,6 +1361,45 @@ mod tests {
         assert!(tier_of(&args("x --tier mnist")).is_err());
         assert!(model_of(&args("x --model vgg16")).is_ok());
         assert!(model_of(&args("x --model alexnet")).is_err());
+    }
+
+    #[test]
+    fn model_subcommand_grammar() {
+        // `model` takes save|load, nothing else; `save` demands --out
+        // and `load` demands --in before any training work starts.
+        assert!(run(&args("model")).unwrap_err().contains("save|load"));
+        assert!(run(&args("model prune"))
+            .unwrap_err()
+            .contains("unknown model action"));
+        assert!(run(&args("model save --quick 1"))
+            .unwrap_err()
+            .contains("--out"));
+        assert!(run(&args("model load")).unwrap_err().contains("--in"));
+        assert!(run(&args("bench frobnicate"))
+            .unwrap_err()
+            .contains("serve|registry"));
+    }
+
+    #[test]
+    fn model_save_then_load_round_trips_and_digests_agree() {
+        let dir = std::env::temp_dir().join("tinyadc_cli_model_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("quick.tadp");
+        let saved = run(&args(&format!(
+            "model save --quick 1 --out {}",
+            path.display()
+        )))
+        .unwrap();
+        assert!(saved.contains("verified byte- and bit-identical"));
+        let digest_line = |s: &str| {
+            s.lines()
+                .find(|l| l.starts_with("output digest"))
+                .expect("digest line")
+                .to_owned()
+        };
+        let loaded = run(&args(&format!("model load --in {}", path.display()))).unwrap();
+        assert!(loaded.contains("program `"));
+        assert_eq!(digest_line(&saved), digest_line(&loaded));
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub mod audit;
 pub mod config;
 pub mod monitor;
 pub mod pipeline;
+pub mod registry;
 pub mod report;
 pub mod resilience;
 pub mod serve;
@@ -58,6 +59,7 @@ pub use monitor::{
     RepairOutcome, RetryEvent, ServeStrategy,
 };
 pub use pipeline::{Executor, Pipeline, Scheme, TrainedModel};
+pub use registry::{ModelRegistry, RegistryServer, TaggedResponse};
 pub use report::PipelineReport;
 pub use resilience::{
     CampaignConfig, CampaignReport, CampaignRow, CampaignVariant, FaultRecovery, Mitigation,

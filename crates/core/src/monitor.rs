@@ -21,7 +21,11 @@
 //!    recompile for `critical`. Recompiles run inside a bounded
 //!    retry loop with a deterministic *virtual* exponential backoff
 //!    schedule (no wall-clock dependence), failing with the typed
-//!    [`TinyAdcError::RepairExhausted`] when the budget runs out.
+//!    [`TinyAdcError::RepairExhausted`] when the budget runs out. A
+//!    successful rung can be taken **online**: handing the outcome to
+//!    [`RepairOutcome::promote_into`] hot-swaps the repaired instance
+//!    into a live [`RegistryServer`] with zero dropped requests instead
+//!    of restarting the serving path.
 //! 4. **A degradation campaign** — [`Pipeline::run_degraded_campaign`]
 //!    sweeps wire resistance × read-noise sigma × fault rate × serving
 //!    strategy over model variants on the compiled datapath, fanning the
@@ -35,7 +39,9 @@
 //! write them only from serial code (see `docs/observability.md`).
 
 use crate::pipeline::Pipeline;
+use crate::registry::RegistryServer;
 use crate::resilience::CampaignVariant;
+use crate::serve::Tick;
 use crate::{Result, TinyAdcError};
 use tinyadc_nn::data::SyntheticImageDataset;
 use tinyadc_nn::Network;
@@ -438,6 +444,26 @@ pub struct RepairOutcome {
     pub retries: Vec<RetryEvent>,
     /// Total virtual ticks spent backing off.
     pub waited_ticks: u64,
+}
+
+impl RepairOutcome {
+    /// Hot-swaps the repaired instance (if the ladder produced one) into
+    /// a live [`RegistryServer`] under `tag`, returning the promotion
+    /// tick. This is the online form of the repair: in-flight batches
+    /// finish on the degraded program, every queued request flushes to
+    /// the repaired one, and nothing is dropped. `Ok(None)` means the
+    /// rung was [`RepairAction::None`] and the server is untouched.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RegistryServer::promote`] errors (unknown tag, shape
+    /// drift between the degraded and repaired programs).
+    pub fn promote_into(&mut self, server: &mut RegistryServer, tag: &str) -> Result<Option<Tick>> {
+        match self.compiled.take() {
+            Some(repaired) => server.promote(tag, repaired).map(Some),
+            None => Ok(None),
+        }
+    }
 }
 
 impl Pipeline {
@@ -1203,6 +1229,49 @@ mod tests {
         assert!(report.cp_dominates("cp", "dense"));
         assert!(!report.cp_dominates("dense", "cp"));
         assert!(!report.cp_dominates("cp", "missing"));
+    }
+
+    #[test]
+    fn repair_outcome_promotes_into_a_live_registry() {
+        use crate::registry::ModelRegistry;
+        use crate::serve::ServeConfig;
+        use tinyadc_nn::ParamKind;
+        use tinyadc_xbar::mapping::MappedLayer;
+        use tinyadc_xbar::tile::XbarConfig;
+
+        let build = |adc_bits: Option<u32>| {
+            let mut rng = SeededRng::new(31);
+            let w = Tensor::randn(&[2, 1, 3, 3], 0.4, &mut rng);
+            let mapped =
+                MappedLayer::from_param(&w, ParamKind::ConvWeight, XbarConfig::paper_default())
+                    .unwrap();
+            CompiledModel::from_conv(mapped, [1, 6, 6], 1, 0, adc_bits).unwrap()
+        };
+        let mut reg = ModelRegistry::new();
+        reg.insert("net@live", build(None)).unwrap();
+        let mut srv = RegistryServer::new(reg, ServeConfig::default()).unwrap();
+        srv.offer("net@live", &[0.5; 36]).unwrap();
+        let mut outcome = RepairOutcome {
+            action: RepairAction::SpareRemap,
+            compiled: Some(build(Some(4))),
+            retries: Vec::new(),
+            waited_ticks: 0,
+        };
+        let tick = outcome.promote_into(&mut srv, "net@live").unwrap();
+        assert_eq!(tick, Some(0));
+        assert!(outcome.compiled.is_none(), "instance moved into the server");
+        srv.finish().unwrap();
+        let mut n = 0;
+        srv.drain(|_| n += 1);
+        assert_eq!(n, 1, "queued request survived the online swap");
+
+        let mut idle = RepairOutcome {
+            action: RepairAction::None,
+            compiled: None,
+            retries: Vec::new(),
+            waited_ticks: 0,
+        };
+        assert_eq!(idle.promote_into(&mut srv, "net@live").unwrap(), None);
     }
 
     #[test]

@@ -1,0 +1,801 @@
+//! Compiled-model registry: multi-tenant routing and zero-drop hot-swap.
+//!
+//! [`ModelRegistry`] keeps many resident [`CompiledModel`]s keyed by tag
+//! (`net@cp4/adc5` style), and [`RegistryServer`] serves them all behind
+//! **one** bounded admission queue: offers are routed by tag, rejected
+//! with the typed [`RejectReason::UnknownTag`] when no resident model
+//! carries the tag, and dispatched to per-shard lane rings by a
+//! deterministic round-robin cursor so every tenant drains fairly under
+//! virtual time. The batch fan-out of every shard shares the same
+//! tinyadc-par pool, so cross-tenant interference is modeled (queueing)
+//! without being nondeterministic (execution).
+//!
+//! **Hot-swap.** [`RegistryServer::promote`] atomically replaces a
+//! resident model under live traffic. Batches are executed at flush
+//! time — their outputs are computed and parked in the lane before the
+//! modeled service interval elapses — so every in-flight batch finishes
+//! on the program it was dispatched to, every queued offer flushes to
+//! the newly promoted program, and no request is ever dropped. The
+//! promotion tick is returned and counted (`registry.promotions`), which
+//! turns the repair-escalation recompile of the health monitor into an
+//! online swap instead of a stop-the-world restart.
+//!
+//! Everything observable is exported through `registry.*` and
+//! `serve.shard.*` metrics (catalogued in `docs/observability.md`);
+//! metric writes happen on the caller's thread, so replayed traces are
+//! bitwise reproducible on any worker-thread count.
+
+use std::collections::VecDeque;
+
+use tinyadc_obs::{LazyCounter, LazyGauge, LazyHistogram};
+use tinyadc_xbar::program::CompiledModel;
+
+use crate::serve::{Lane, Pending, Ready, RejectReason, Rejected, ServeConfig, Slot, Tick};
+use crate::{Result, TinyAdcError};
+
+/// Compiled models resident in the registry.
+static MODELS_RESIDENT: LazyGauge = LazyGauge::new("registry.models_resident");
+/// Hot-swap promotions performed under live traffic.
+static PROMOTIONS: LazyCounter = LazyCounter::new("registry.promotions");
+/// Requests offered to the registry front-end (accepted or not).
+static OFFERED: LazyCounter = LazyCounter::new("serve.shard.offered");
+/// Requests admitted to the shared queue.
+static ADMITTED: LazyCounter = LazyCounter::new("serve.shard.admitted");
+/// Requests rejected at admission (unknown tag included).
+static REJECTED: LazyCounter = LazyCounter::new("serve.shard.rejected");
+/// Requests completed across all shards.
+static COMPLETED: LazyCounter = LazyCounter::new("serve.shard.completed");
+/// Size-triggered shard flushes.
+static FLUSH_SIZE: LazyCounter = LazyCounter::new("serve.shard.flush_size");
+/// Deadline-triggered shard flushes.
+static FLUSH_DEADLINE: LazyCounter = LazyCounter::new("serve.shard.flush_deadline");
+/// Batch occupancy per shard flush.
+static OCCUPANCY: LazyHistogram =
+    LazyHistogram::new("serve.shard.occupancy", &[1, 2, 4, 8, 16, 32, 64, 128]);
+/// Request latency in ticks, admission to completion.
+static LATENCY: LazyHistogram = LazyHistogram::new(
+    "serve.shard.latency",
+    &[
+        1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384, 65536,
+    ],
+);
+/// Shared-queue depth observed after each admission.
+static QUEUE_DEPTH: LazyHistogram = LazyHistogram::new(
+    "serve.shard.queue_depth",
+    &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024],
+);
+/// Bytes held by every shard's slots, lanes, and the shared queues.
+static SHARD_BYTES: LazyGauge = LazyGauge::new("serve.shard.workspace_bytes");
+
+/// Insertion-ordered collection of compiled models keyed by tag.
+///
+/// Tags are free-form; the convention used by the CLI and benches is
+/// `name@variant` (for example `net@cp4/adc5`). Insertion order is the
+/// shard order of a [`RegistryServer`] built from the registry, so it is
+/// part of the deterministic schedule.
+#[derive(Debug, Default)]
+pub struct ModelRegistry {
+    entries: Vec<(String, CompiledModel)>,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a model under `tag`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TinyAdcError::InvalidConfig`] for an empty tag or a tag
+    /// that is already resident.
+    pub fn insert(&mut self, tag: impl Into<String>, model: CompiledModel) -> Result<()> {
+        let tag = tag.into();
+        if tag.is_empty() {
+            return Err(TinyAdcError::InvalidConfig(
+                "registry: tag must be non-empty".into(),
+            ));
+        }
+        if self.entries.iter().any(|(t, _)| *t == tag) {
+            return Err(TinyAdcError::InvalidConfig(format!(
+                "registry: tag {tag:?} is already resident"
+            )));
+        }
+        self.entries.push((tag, model));
+        Ok(())
+    }
+
+    /// The model resident under `tag`, if any.
+    pub fn get(&self, tag: &str) -> Option<&CompiledModel> {
+        self.entries.iter().find(|(t, _)| t == tag).map(|(_, m)| m)
+    }
+
+    /// Resident tags in insertion (shard) order.
+    pub fn tags(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(t, _)| t.as_str())
+    }
+
+    /// Number of resident models.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry holds no models.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// A completed request handed back by [`RegistryServer::drain`]. The
+/// output and tag borrow the server and are valid only inside the call.
+#[derive(Debug)]
+pub struct TaggedResponse<'a> {
+    /// Admission-order request id (dense from 0 across all shards).
+    pub id: u64,
+    /// Tag of the shard that served the request.
+    pub tag: &'a str,
+    /// Tick the request was admitted.
+    pub arrived: Tick,
+    /// Tick the batch holding it finished service.
+    pub completed: Tick,
+    /// Flat model output (`output_len` floats of the serving shard).
+    pub output: &'a [f32],
+}
+
+impl TaggedResponse<'_> {
+    /// Admission-to-completion latency in ticks.
+    pub fn latency(&self) -> Tick {
+        self.completed - self.arrived
+    }
+}
+
+/// Per-tenant serving state: a slot pool and a lane ring dedicated to
+/// one resident model. Shards share the admission queue and the worker
+/// pool but never each other's buffers.
+#[derive(Debug)]
+struct Shard {
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    lanes: Vec<Lane>,
+    input_vol: usize,
+    output_len: usize,
+}
+
+/// Deterministic multi-tenant discrete-event server over a
+/// [`ModelRegistry`]. See the module docs for the pipeline; drive it
+/// with [`RegistryServer::offer`] / [`RegistryServer::advance_to`] /
+/// [`RegistryServer::drain`], swap programs with
+/// [`RegistryServer::promote`].
+#[derive(Debug)]
+pub struct RegistryServer {
+    registry: ModelRegistry,
+    cfg: ServeConfig,
+    now: Tick,
+    next_id: u64,
+    /// One shared bounded admission queue; entries carry their shard.
+    queue: VecDeque<(usize, Pending)>,
+    ready: VecDeque<(usize, Ready)>,
+    shards: Vec<Shard>,
+    /// Round-robin dispatch cursor — the shard inspected first on the
+    /// next flush opportunity. Persisting it across events is what makes
+    /// draining fair when several shards are flush-ready at one tick.
+    cursor: usize,
+    rejected: u64,
+    promotions: u64,
+}
+
+impl RegistryServer {
+    /// Builds a server over every model in `registry`, preallocating a
+    /// slot pool and lane ring per shard so steady-state serving never
+    /// allocates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TinyAdcError::InvalidConfig`] for an empty registry or
+    /// an invalid [`ServeConfig`] (zero queue depth, batch size, ring
+    /// size, or cycles-per-tick).
+    pub fn new(registry: ModelRegistry, cfg: ServeConfig) -> Result<Self> {
+        cfg.validate()?;
+        if registry.is_empty() {
+            return Err(TinyAdcError::InvalidConfig(
+                "registry server: registry must hold at least one model".into(),
+            ));
+        }
+        let shards = registry
+            .entries
+            .iter()
+            .map(|(_, model)| {
+                let vol: usize = model.input_dims().iter().product();
+                // The shared queue can momentarily concentrate entirely
+                // on one shard, so each pool is sized for that worst
+                // case — admission then never allocates.
+                let n_slots = cfg.queue_depth + cfg.ring_slots * cfg.max_batch;
+                Shard {
+                    slots: (0..n_slots)
+                        .map(|_| Slot {
+                            input: Vec::with_capacity(vol),
+                            output: Vec::with_capacity(model.output_len()),
+                        })
+                        .collect(),
+                    free: (0..n_slots).rev().collect(),
+                    lanes: (0..cfg.ring_slots)
+                        .map(|_| Lane {
+                            pack: Vec::with_capacity(cfg.max_batch * vol),
+                            out: Vec::with_capacity(cfg.max_batch * model.output_len()),
+                            members: Vec::with_capacity(cfg.max_batch),
+                            ..Lane::default()
+                        })
+                        .collect(),
+                    input_vol: vol,
+                    output_len: model.output_len(),
+                }
+            })
+            .collect();
+        MODELS_RESIDENT.set(registry.len() as f64);
+        Ok(Self {
+            registry,
+            cfg,
+            now: 0,
+            next_id: 0,
+            queue: VecDeque::with_capacity(cfg.queue_depth),
+            ready: VecDeque::new(),
+            shards,
+            cursor: 0,
+            rejected: 0,
+            promotions: 0,
+        })
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Tick {
+        self.now
+    }
+
+    /// Requests waiting in the shared admission queue, all shards.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Requests waiting that are routed to `tag` (`None` for an unknown
+    /// tag).
+    pub fn shard_queue_len(&self, tag: &str) -> Option<usize> {
+        let s = self.shard_index(tag)?;
+        Some(self.queue.iter().filter(|(i, _)| *i == s).count())
+    }
+
+    /// Completed responses waiting to be drained.
+    pub fn ready_len(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// Requests rejected since construction.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Hot-swap promotions performed since construction.
+    pub fn promotions(&self) -> u64 {
+        self.promotions
+    }
+
+    /// The registry behind the server (current programs included).
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.registry
+    }
+
+    /// The configuration the server was built with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    fn shard_index(&self, tag: &str) -> Option<usize> {
+        self.registry.entries.iter().position(|(t, _)| t == tag)
+    }
+
+    /// Offers a request for `tag` at the current tick. On admission the
+    /// payload is copied into one of the shard's preallocated slots and
+    /// the request id (dense from 0, in admission order across all
+    /// shards) is returned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Rejected`] — unknown tag, wrong payload shape for that
+    /// shard's model, shared queue full, or every shard slot held by
+    /// undrained responses.
+    pub fn offer(&mut self, tag: &str, payload: &[f32]) -> std::result::Result<u64, Rejected> {
+        OFFERED.inc();
+        let Some(s) = self.shard_index(tag) else {
+            return Err(self.reject(RejectReason::UnknownTag {
+                tag: tag.to_string(),
+            }));
+        };
+        if payload.len() != self.shards[s].input_vol {
+            let expected = self.shards[s].input_vol;
+            return Err(self.reject(RejectReason::ShapeMismatch {
+                expected,
+                got: payload.len(),
+            }));
+        }
+        if self.queue.len() >= self.cfg.queue_depth {
+            return Err(self.reject(RejectReason::QueueFull {
+                depth: self.queue.len(),
+            }));
+        }
+        let Some(slot) = self.shards[s].free.pop() else {
+            let undrained = self.ready.iter().filter(|(i, _)| *i == s).count();
+            return Err(self.reject(RejectReason::Saturated { undrained }));
+        };
+        let sl = &mut self.shards[s].slots[slot];
+        sl.input.clear();
+        sl.input.extend_from_slice(payload);
+        let id = self.next_id;
+        self.next_id += 1;
+        self.queue.push_back((
+            s,
+            Pending {
+                id,
+                slot,
+                arrived: self.now,
+            },
+        ));
+        ADMITTED.inc();
+        QUEUE_DEPTH.observe(self.queue.len() as u64);
+        Ok(id)
+    }
+
+    fn reject(&mut self, reason: RejectReason) -> Rejected {
+        REJECTED.inc();
+        self.rejected += 1;
+        Rejected { reason }
+    }
+
+    /// Atomically promotes `model` as the new program for `tag` at the
+    /// current tick, returning the promotion tick. In-flight batches
+    /// finish on the program they were dispatched to; every request
+    /// still queued — and every later offer — is served by `model`. No
+    /// request is dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TinyAdcError::InvalidConfig`] for an unknown tag or a
+    /// replacement whose input dims / output length differ from the
+    /// resident program (the shard's preallocated buffers are sized for
+    /// the resident shape).
+    pub fn promote(&mut self, tag: &str, model: CompiledModel) -> Result<Tick> {
+        let Some(s) = self.shard_index(tag) else {
+            return Err(TinyAdcError::InvalidConfig(format!(
+                "registry promote: no resident model tagged {tag:?}"
+            )));
+        };
+        let resident = &self.registry.entries[s].1;
+        if model.input_dims() != resident.input_dims()
+            || model.output_len() != resident.output_len()
+        {
+            return Err(TinyAdcError::InvalidConfig(format!(
+                "registry promote: replacement for {tag:?} has shape {:?}->{} but the resident program is {:?}->{}",
+                model.input_dims(),
+                model.output_len(),
+                resident.input_dims(),
+                resident.output_len(),
+            )));
+        }
+        self.registry.entries[s].1 = model;
+        self.promotions += 1;
+        PROMOTIONS.inc();
+        MODELS_RESIDENT.set(self.registry.len() as f64);
+        Ok(self.now)
+    }
+
+    /// Advances virtual time to `t`, processing every flush and
+    /// completion due on the way in event order. Ticks never move
+    /// backwards; `t` in the past is clamped to "now".
+    ///
+    /// # Errors
+    ///
+    /// Propagates compiled-model execution errors from a flushed batch.
+    pub fn advance_to(&mut self, t: Tick) -> Result<()> {
+        self.dispatch_due()?;
+        while let Some(next) = self.next_event().filter(|&e| e <= t) {
+            self.now = next;
+            self.complete_due();
+            self.dispatch_due()?;
+        }
+        self.now = self.now.max(t);
+        SHARD_BYTES.set(self.steady_state_bytes() as f64);
+        Ok(())
+    }
+
+    /// Runs the clock forward until the shared queue and every lane of
+    /// every shard are empty, returning the tick the last batch
+    /// completed.
+    ///
+    /// # Errors
+    ///
+    /// As [`RegistryServer::advance_to`].
+    pub fn finish(&mut self) -> Result<Tick> {
+        self.dispatch_due()?;
+        while let Some(next) = self.next_event() {
+            self.now = next;
+            self.complete_due();
+            self.dispatch_due()?;
+        }
+        SHARD_BYTES.set(self.steady_state_bytes() as f64);
+        Ok(self.now)
+    }
+
+    /// Hands every completed response to `f` in completion order (ties
+    /// broken by admission order) and recycles their slots. The output
+    /// and tag borrow the server, so they are valid only inside the
+    /// call.
+    pub fn drain(&mut self, mut f: impl FnMut(TaggedResponse<'_>)) {
+        while let Some((s, r)) = self.ready.pop_front() {
+            f(TaggedResponse {
+                id: r.id,
+                tag: &self.registry.entries[s].0,
+                arrived: r.arrived,
+                completed: r.completed,
+                output: &self.shards[s].slots[r.slot].output,
+            });
+            self.shards[s].free.push(r.slot);
+        }
+    }
+
+    /// The next tick at which anything can happen inside the server —
+    /// the earliest lane completion on any shard, or the earliest flush
+    /// deadline among shards that have a free lane to take the batch.
+    /// `None` means the server is fully idle.
+    pub fn next_event_tick(&self) -> Option<Tick> {
+        self.next_event()
+    }
+
+    fn next_event(&self) -> Option<Tick> {
+        let completion = self
+            .shards
+            .iter()
+            .flat_map(|sh| sh.lanes.iter())
+            .filter_map(|l| l.busy_until)
+            .min();
+        // The oldest queued request per shard is its first entry in the
+        // shared FIFO; its deadline counts only if that shard can flush.
+        let mut deadline: Option<Tick> = None;
+        let mut seen = vec![false; self.shards.len()];
+        for &(s, ref p) in &self.queue {
+            if seen[s] {
+                continue;
+            }
+            seen[s] = true;
+            if self.shards[s].lanes.iter().any(|l| l.busy_until.is_none()) {
+                let d = p.arrived.saturating_add(self.cfg.flush_deadline);
+                deadline = Some(deadline.map_or(d, |cur| cur.min(d)));
+            }
+        }
+        match (completion, deadline) {
+            (Some(c), Some(d)) => Some(c.min(d)),
+            (c, d) => c.or(d),
+        }
+    }
+
+    /// Flushes as many batches as the current tick allows, visiting
+    /// shards round-robin from the persistent cursor and flushing at
+    /// most one batch per visit, until a full lap finds nothing to do.
+    /// One-flush-per-visit is the fairness rule: when several shards are
+    /// flush-ready at the same tick, none can monopolise the pool.
+    fn dispatch_due(&mut self) -> Result<()> {
+        let n = self.shards.len();
+        let mut idle_streak = 0;
+        while idle_streak < n {
+            let s = self.cursor;
+            self.cursor = (self.cursor + 1) % n;
+            if self.try_flush_shard(s)? {
+                idle_streak = 0;
+            } else {
+                idle_streak += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Flushes one batch for shard `s` if it is flush-ready (size or
+    /// deadline) and has a free lane. The batch takes up to `max_batch`
+    /// of the shard's requests from the shared FIFO in admission order.
+    fn try_flush_shard(&mut self, s: usize) -> Result<bool> {
+        let mut pending = 0usize;
+        let mut oldest: Option<Tick> = None;
+        for &(i, ref p) in &self.queue {
+            if i == s {
+                pending += 1;
+                if oldest.is_none() {
+                    oldest = Some(p.arrived);
+                }
+            }
+        }
+        let Some(oldest) = oldest else {
+            return Ok(false);
+        };
+        let size_ready = pending >= self.cfg.max_batch;
+        let deadline_ready = self.now >= oldest.saturating_add(self.cfg.flush_deadline);
+        if !size_ready && !deadline_ready {
+            return Ok(false);
+        }
+        let Some(lane_idx) = self.shards[s]
+            .lanes
+            .iter()
+            .position(|l| l.busy_until.is_none())
+        else {
+            return Ok(false);
+        };
+        if size_ready {
+            FLUSH_SIZE.inc();
+        } else {
+            FLUSH_DEADLINE.inc();
+        }
+        let take = pending.min(self.cfg.max_batch);
+        let shard = &mut self.shards[s];
+        let lane = &mut shard.lanes[lane_idx];
+        lane.pack.clear();
+        lane.members.clear();
+        let mut i = 0;
+        while i < self.queue.len() && lane.members.len() < take {
+            if self.queue[i].0 == s {
+                let (_, p) = self.queue.remove(i).expect("index checked above");
+                lane.pack.extend_from_slice(&shard.slots[p.slot].input);
+                lane.members.push(p);
+            } else {
+                i += 1;
+            }
+        }
+        OCCUPANCY.observe(take as u64);
+        let model = &self.registry.entries[s].1;
+        model.run_packed_into(&lane.pack, &mut lane.ws, &mut lane.out)?;
+        let cycles = take as u64 * model.sample_sar_cycles();
+        let service =
+            self.cfg.service.overhead_ticks + cycles.div_ceil(self.cfg.service.cycles_per_tick);
+        lane.busy_until = Some(self.now + service.max(1));
+        Ok(true)
+    }
+
+    /// Retires every lane (on every shard) whose service time has
+    /// elapsed, copying member outputs into their slots and queueing the
+    /// responses in admission-id order for this tick.
+    fn complete_due(&mut self) {
+        let mut retired: Vec<(usize, Ready)> = Vec::new();
+        for (s, shard) in self.shards.iter_mut().enumerate() {
+            let out_len = shard.output_len;
+            for lane in &mut shard.lanes {
+                let Some(t) = lane.busy_until else { continue };
+                if t > self.now {
+                    continue;
+                }
+                for (k, p) in lane.members.iter().enumerate() {
+                    let slot = &mut shard.slots[p.slot];
+                    slot.output.clear();
+                    slot.output
+                        .extend_from_slice(&lane.out[k * out_len..(k + 1) * out_len]);
+                    LATENCY.observe(t - p.arrived);
+                    COMPLETED.inc();
+                    retired.push((
+                        s,
+                        Ready {
+                            id: p.id,
+                            slot: p.slot,
+                            arrived: p.arrived,
+                            completed: t,
+                        },
+                    ));
+                }
+                lane.members.clear();
+                lane.busy_until = None;
+            }
+        }
+        // Same-tick completions are ordered by admission id so the drain
+        // order is independent of shard layout.
+        retired.sort_by_key(|(_, r)| r.id);
+        self.ready.extend(retired);
+    }
+
+    /// Bytes held by every preallocated buffer across all shards plus
+    /// the shared queues. A fixed point after warm-up: serving more
+    /// traffic must not grow it.
+    pub fn steady_state_bytes(&self) -> usize {
+        let f32s: usize = self
+            .shards
+            .iter()
+            .map(|sh| {
+                sh.slots
+                    .iter()
+                    .map(|s| s.input.capacity() + s.output.capacity())
+                    .sum::<usize>()
+                    + sh.lanes
+                        .iter()
+                        .map(|l| l.pack.capacity() + l.out.capacity())
+                        .sum::<usize>()
+            })
+            .sum();
+        let ws: usize = self
+            .shards
+            .iter()
+            .flat_map(|sh| sh.lanes.iter())
+            .map(|l| l.ws.bytes())
+            .sum();
+        let members: usize = self
+            .shards
+            .iter()
+            .flat_map(|sh| sh.lanes.iter())
+            .map(|l| l.members.capacity())
+            .sum();
+        let free: usize = self.shards.iter().map(|sh| sh.free.capacity()).sum();
+        f32s * std::mem::size_of::<f32>()
+            + ws
+            + self.queue.capacity() * std::mem::size_of::<(usize, Pending)>()
+            + self.ready.capacity() * std::mem::size_of::<(usize, Ready)>()
+            + free * std::mem::size_of::<usize>()
+            + members * std::mem::size_of::<Pending>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinyadc_nn::ParamKind;
+    use tinyadc_tensor::rng::SeededRng;
+    use tinyadc_tensor::Tensor;
+    use tinyadc_xbar::mapping::MappedLayer;
+    use tinyadc_xbar::tile::XbarConfig;
+
+    fn tiny_model(seed: u64, adc_bits: Option<u32>) -> CompiledModel {
+        let mut rng = SeededRng::new(seed);
+        let w = Tensor::randn(&[2, 1, 3, 3], 0.4, &mut rng);
+        let mapped =
+            MappedLayer::from_param(&w, ParamKind::ConvWeight, XbarConfig::paper_default())
+                .unwrap();
+        CompiledModel::from_conv(mapped, [1, 6, 6], 1, 0, adc_bits).unwrap()
+    }
+
+    fn two_tenant_server() -> RegistryServer {
+        let mut reg = ModelRegistry::new();
+        reg.insert("a@dense", tiny_model(11, None)).unwrap();
+        reg.insert("b@dense", tiny_model(12, None)).unwrap();
+        RegistryServer::new(
+            reg,
+            ServeConfig {
+                max_batch: 2,
+                flush_deadline: 4,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn duplicate_and_empty_tags_rejected() {
+        let mut reg = ModelRegistry::new();
+        reg.insert("m", tiny_model(1, None)).unwrap();
+        assert!(reg.insert("m", tiny_model(2, None)).is_err());
+        assert!(reg.insert("", tiny_model(3, None)).is_err());
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn unknown_tag_is_a_typed_rejection() {
+        let mut srv = two_tenant_server();
+        let err = srv.offer("ghost", &[0.0; 36]).unwrap_err();
+        assert_eq!(
+            err.reason,
+            RejectReason::UnknownTag {
+                tag: "ghost".into()
+            }
+        );
+        assert_eq!(srv.rejected(), 1);
+    }
+
+    #[test]
+    fn routes_by_tag_and_drains_in_admission_order() {
+        let mut srv = two_tenant_server();
+        let x = vec![0.5f32; 36];
+        let a0 = srv.offer("a@dense", &x).unwrap();
+        let b0 = srv.offer("b@dense", &x).unwrap();
+        let a1 = srv.offer("a@dense", &x).unwrap();
+        let b1 = srv.offer("b@dense", &x).unwrap();
+        assert_eq!(srv.shard_queue_len("a@dense"), Some(2));
+        srv.finish().unwrap();
+        let mut seen = Vec::new();
+        srv.drain(|r| {
+            assert_eq!(r.output.len(), 32);
+            seen.push((r.id, r.tag.to_string()));
+        });
+        assert_eq!(seen.len(), 4);
+        let ids: Vec<u64> = seen.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, vec![a0, b0, a1, b1]);
+        assert_eq!(seen[0].1, "a@dense");
+        assert_eq!(seen[1].1, "b@dense");
+    }
+
+    #[test]
+    fn promote_swaps_program_without_dropping_queued_requests() {
+        let mut srv = two_tenant_server();
+        let x = vec![1.0f32; 36];
+        // Queue one request, swap the program before any flush, then
+        // let the deadline fire: the queued offer must be served by the
+        // *new* program.
+        srv.offer("a@dense", &x).unwrap();
+        let swapped = tiny_model(11, Some(4));
+        let mut ws = tinyadc_xbar::program::BatchWorkspace::default();
+        let mut want = Vec::new();
+        swapped.run_packed_into(&x, &mut ws, &mut want).unwrap();
+        let tick = srv.promote("a@dense", swapped).unwrap();
+        assert_eq!(tick, 0);
+        assert_eq!(srv.promotions(), 1);
+        srv.finish().unwrap();
+        let mut outputs = Vec::new();
+        srv.drain(|r| outputs.push(r.output.to_vec()));
+        assert_eq!(outputs.len(), 1, "zero requests dropped across the swap");
+        assert_eq!(outputs[0], want, "queued offer flushed to the new program");
+    }
+
+    #[test]
+    fn promote_rejects_unknown_tag_and_shape_drift() {
+        let mut srv = two_tenant_server();
+        assert!(srv.promote("ghost", tiny_model(11, None)).is_err());
+        let mut rng = SeededRng::new(5);
+        let w = Tensor::randn(&[2, 1, 3, 3], 0.4, &mut rng);
+        let mapped =
+            MappedLayer::from_param(&w, ParamKind::ConvWeight, XbarConfig::paper_default())
+                .unwrap();
+        let wrong_shape = CompiledModel::from_conv(mapped, [1, 8, 8], 1, 0, None).unwrap();
+        assert!(srv.promote("a@dense", wrong_shape).is_err());
+    }
+
+    #[test]
+    fn round_robin_cursor_shares_lanes_fairly() {
+        // One lane ring per shard, both shards deadline-ready at the
+        // same tick: the cursor must let each shard flush once per lap.
+        let mut reg = ModelRegistry::new();
+        reg.insert("a", tiny_model(21, None)).unwrap();
+        reg.insert("b", tiny_model(22, None)).unwrap();
+        let mut srv = RegistryServer::new(
+            reg,
+            ServeConfig {
+                max_batch: 8,
+                flush_deadline: 2,
+                ring_slots: 1,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let x = vec![0.25f32; 36];
+        srv.offer("a", &x).unwrap();
+        srv.offer("b", &x).unwrap();
+        srv.finish().unwrap();
+        let mut tags = Vec::new();
+        srv.drain(|r| tags.push(r.tag.to_string()));
+        tags.sort();
+        assert_eq!(tags, vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn steady_state_bytes_is_a_fixed_point() {
+        let mut srv = two_tenant_server();
+        let x = vec![0.125f32; 36];
+        for _ in 0..3 {
+            srv.offer("a@dense", &x).unwrap();
+            srv.offer("b@dense", &x).unwrap();
+        }
+        srv.finish().unwrap();
+        srv.drain(|_| {});
+        let warm = srv.steady_state_bytes();
+        for round in 0..4 {
+            for _ in 0..3 {
+                srv.offer("a@dense", &x).unwrap();
+                srv.offer("b@dense", &x).unwrap();
+            }
+            srv.finish().unwrap();
+            srv.drain(|_| {});
+            assert_eq!(
+                srv.steady_state_bytes(),
+                warm,
+                "round {round} grew the steady state"
+            );
+        }
+    }
+}

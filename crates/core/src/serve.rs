@@ -101,6 +101,13 @@ pub enum RejectReason {
         /// Completed responses waiting in the drain queue.
         undrained: usize,
     },
+    /// The offer named a tag no resident model carries. Only the
+    /// registry front-end (`tinyadc::registry`) routes by tag; a
+    /// single-model [`Server`] never produces it.
+    UnknownTag {
+        /// The tag the offer was addressed to.
+        tag: String,
+    },
 }
 
 /// Typed backpressure: the admission verdict callers match on.
@@ -127,6 +134,9 @@ impl fmt::Display for Rejected {
                 f,
                 "request rejected: all slots held by {undrained} undrained responses"
             ),
+            RejectReason::UnknownTag { tag } => {
+                write!(f, "request rejected: no resident model tagged {tag:?}")
+            }
         }
     }
 }
@@ -182,7 +192,7 @@ impl Default for ServeConfig {
 }
 
 impl ServeConfig {
-    fn validate(&self) -> Result<()> {
+    pub(crate) fn validate(&self) -> Result<()> {
         for (name, v) in [
             ("queue_depth", self.queue_depth),
             ("max_batch", self.max_batch),
@@ -224,38 +234,39 @@ impl Response<'_> {
     }
 }
 
-/// One preallocated request slot: payload in, result out.
+/// One preallocated request slot: payload in, result out. Crate-visible
+/// so the registry front-end reuses the same zero-alloc machinery.
 #[derive(Debug, Default)]
-struct Slot {
-    input: Vec<f32>,
-    output: Vec<f32>,
+pub(crate) struct Slot {
+    pub(crate) input: Vec<f32>,
+    pub(crate) output: Vec<f32>,
 }
 
 /// A queued request.
 #[derive(Debug, Clone, Copy)]
-struct Pending {
-    id: u64,
-    slot: usize,
-    arrived: Tick,
+pub(crate) struct Pending {
+    pub(crate) id: u64,
+    pub(crate) slot: usize,
+    pub(crate) arrived: Tick,
 }
 
 /// A completed request waiting to be drained.
 #[derive(Debug, Clone, Copy)]
-struct Ready {
-    id: u64,
-    slot: usize,
-    arrived: Tick,
-    completed: Tick,
+pub(crate) struct Ready {
+    pub(crate) id: u64,
+    pub(crate) slot: usize,
+    pub(crate) arrived: Tick,
+    pub(crate) completed: Tick,
 }
 
 /// One ring lane: a batch in flight plus its reusable buffers.
 #[derive(Debug, Default)]
-struct Lane {
-    ws: BatchWorkspace,
-    pack: Vec<f32>,
-    out: Vec<f32>,
-    members: Vec<Pending>,
-    busy_until: Option<Tick>,
+pub(crate) struct Lane {
+    pub(crate) ws: BatchWorkspace,
+    pub(crate) pack: Vec<f32>,
+    pub(crate) out: Vec<f32>,
+    pub(crate) members: Vec<Pending>,
+    pub(crate) busy_until: Option<Tick>,
 }
 
 /// Deterministic discrete-event server over one compiled model. See the

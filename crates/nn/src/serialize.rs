@@ -13,8 +13,16 @@ use crate::{Network, NnError, Result};
 use std::io::{Read, Write};
 use tinyadc_tensor::Tensor;
 
+pub mod wire;
+use wire::{read_count, read_f32, read_string, read_u32, read_u64};
+
 const MAGIC: &[u8; 4] = b"TADC";
 const VERSION: u32 = 1;
+
+/// Upper bound on the number of parameter entries a snapshot may claim.
+/// Checked *before* any allocation sized from the header, so a corrupt
+/// or adversarial count cannot drive a huge `Vec::with_capacity`.
+const MAX_ENTRIES: usize = 1 << 16;
 
 /// Writes a parameter snapshot to any [`Write`] sink (pass `&mut file` if
 /// you need the writer back).
@@ -52,38 +60,26 @@ pub fn write_snapshot<W: Write>(mut sink: W, snapshot: &[(String, Tensor)]) -> R
 /// Returns [`NnError::InvalidConfig`] for I/O failures, bad magic, an
 /// unsupported version, or malformed entries.
 pub fn read_snapshot<R: Read>(mut source: R) -> Result<Vec<(String, Tensor)>> {
-    let io = |e: std::io::Error| NnError::InvalidConfig(format!("snapshot read failed: {e}"));
+    let err = |e: wire::WireError| NnError::from(e);
     let mut magic = [0u8; 4];
-    source.read_exact(&mut magic).map_err(io)?;
+    wire::read_bytes(&mut source, &mut magic, "snapshot magic").map_err(err)?;
     if &magic != MAGIC {
         return Err(NnError::InvalidConfig("not a TADC snapshot".into()));
     }
-    let version = read_u32(&mut source)?;
+    let version = read_u32(&mut source, "snapshot version").map_err(err)?;
     if version != VERSION {
         return Err(NnError::InvalidConfig(format!(
             "unsupported snapshot version {version}"
         )));
     }
-    let count = read_u32(&mut source)? as usize;
+    let count = read_count(&mut source, "snapshot entry count", MAX_ENTRIES).map_err(err)?;
     let mut out = Vec::with_capacity(count);
     for _ in 0..count {
-        let name_len = read_u32(&mut source)? as usize;
-        if name_len > 4096 {
-            return Err(NnError::InvalidConfig("implausible name length".into()));
-        }
-        let mut name_bytes = vec![0u8; name_len];
-        source.read_exact(&mut name_bytes).map_err(io)?;
-        let name = String::from_utf8(name_bytes)
-            .map_err(|_| NnError::InvalidConfig("snapshot name is not UTF-8".into()))?;
-        let rank = read_u32(&mut source)? as usize;
-        if rank > 8 {
-            return Err(NnError::InvalidConfig("implausible tensor rank".into()));
-        }
+        let name = read_string(&mut source, "snapshot entry name", 4096).map_err(err)?;
+        let rank = read_count(&mut source, "tensor rank", 8).map_err(err)?;
         let mut dims = Vec::with_capacity(rank);
         for _ in 0..rank {
-            let mut b = [0u8; 8];
-            source.read_exact(&mut b).map_err(io)?;
-            dims.push(u64::from_le_bytes(b) as usize);
+            dims.push(read_u64(&mut source, "tensor dim").map_err(err)? as usize);
         }
         let volume: usize = dims.iter().product();
         if volume > 1 << 28 {
@@ -91,21 +87,17 @@ pub fn read_snapshot<R: Read>(mut source: R) -> Result<Vec<(String, Tensor)>> {
         }
         let mut data = Vec::with_capacity(volume);
         for _ in 0..volume {
-            let mut b = [0u8; 4];
-            source.read_exact(&mut b).map_err(io)?;
-            data.push(f32::from_le_bytes(b));
+            data.push(read_f32(&mut source, "tensor payload").map_err(err)?);
         }
         out.push((name, Tensor::from_vec(data, &dims)?));
     }
     Ok(out)
 }
 
-fn read_u32<R: Read>(source: &mut R) -> Result<u32> {
-    let mut b = [0u8; 4];
-    source
-        .read_exact(&mut b)
-        .map_err(|e| NnError::InvalidConfig(format!("snapshot read failed: {e}")))?;
-    Ok(u32::from_le_bytes(b))
+impl From<wire::WireError> for NnError {
+    fn from(e: wire::WireError) -> Self {
+        NnError::InvalidConfig(format!("snapshot read failed: {e}"))
+    }
 }
 
 /// Saves a network's current parameters to a file.
@@ -203,5 +195,34 @@ mod tests {
         let mut buf = Vec::new();
         write_snapshot(&mut buf, &[]).unwrap();
         assert!(read_snapshot(buf.as_slice()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn truncation_error_is_typed_and_descriptive() {
+        let mut rng = SeededRng::new(4);
+        let mut net = tiny_net(&mut rng);
+        let mut buf = Vec::new();
+        write_snapshot(&mut buf, &net.snapshot()).unwrap();
+        buf.truncate(buf.len() - 3);
+        let msg = match read_snapshot(buf.as_slice()) {
+            Err(NnError::InvalidConfig(m)) => m,
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        };
+        assert!(msg.contains("truncated"), "untyped truncation error: {msg}");
+    }
+
+    #[test]
+    fn corrupt_entry_count_rejected_before_allocation() {
+        // A header claiming u32::MAX entries must fail on the bound
+        // check, not attempt a multi-gigabyte Vec::with_capacity.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        let msg = match read_snapshot(buf.as_slice()) {
+            Err(NnError::InvalidConfig(m)) => m,
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        };
+        assert!(msg.contains("exceeds bound"), "unbounded count: {msg}");
     }
 }

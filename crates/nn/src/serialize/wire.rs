@@ -1,0 +1,220 @@
+//! Shared little-endian wire-format primitives for the `TADC`-family
+//! binary snapshots.
+//!
+//! Both the parameter-snapshot reader in this module's parent and the
+//! compiled-model snapshot reader in `tinyadc-xbar` parse untrusted
+//! bytes; these helpers centralise the two hardening rules every such
+//! reader must follow:
+//!
+//! 1. **Bound before allocating** — [`read_count`] checks a
+//!    header-supplied count against an explicit maximum *before* the
+//!    caller sizes any `Vec`, so a corrupt count cannot drive a huge
+//!    allocation.
+//! 2. **Typed truncation** — a short read surfaces as
+//!    [`WireError::Truncated`] naming the field being read, never as a
+//!    panic or a bare I/O error string.
+//!
+//! Each consuming crate maps [`WireError`] into its own error type (see
+//! `impl From<WireError> for NnError` in the parent module).
+
+use std::io::Read;
+
+/// Result alias for wire-format reads.
+pub type WireResult<T> = std::result::Result<T, WireError>;
+
+/// Typed failure while decoding a snapshot stream.
+#[derive(Debug)]
+pub enum WireError {
+    /// The stream ended before the named field was fully read.
+    Truncated {
+        /// Which field was being read when the stream ran out.
+        what: &'static str,
+    },
+    /// A non-EOF I/O failure while reading the named field.
+    Io {
+        /// Which field was being read when the failure occurred.
+        what: &'static str,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// A header-supplied count exceeded the reader's declared bound.
+    CountTooLarge {
+        /// Which count field was implausible.
+        what: &'static str,
+        /// The value the stream claimed.
+        got: u64,
+        /// The maximum the reader accepts.
+        max: u64,
+    },
+    /// A length-prefixed string field was not valid UTF-8.
+    NotUtf8 {
+        /// Which string field failed to decode.
+        what: &'static str,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated { what } => {
+                write!(f, "truncated stream while reading {what}")
+            }
+            WireError::Io { what, source } => write!(f, "i/o error reading {what}: {source}"),
+            WireError::CountTooLarge { what, got, max } => {
+                write!(f, "implausible {what}: {got} exceeds bound {max}")
+            }
+            WireError::NotUtf8 { what } => write!(f, "{what} is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Fills `buf` exactly, classifying a short read as [`WireError::Truncated`].
+pub fn read_bytes<R: Read>(src: &mut R, buf: &mut [u8], what: &'static str) -> WireResult<()> {
+    src.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            WireError::Truncated { what }
+        } else {
+            WireError::Io { what, source: e }
+        }
+    })
+}
+
+/// Reads one little-endian `u8`.
+pub fn read_u8<R: Read>(src: &mut R, what: &'static str) -> WireResult<u8> {
+    let mut b = [0u8; 1];
+    read_bytes(src, &mut b, what)?;
+    Ok(b[0])
+}
+
+/// Reads one little-endian `u32`.
+pub fn read_u32<R: Read>(src: &mut R, what: &'static str) -> WireResult<u32> {
+    let mut b = [0u8; 4];
+    read_bytes(src, &mut b, what)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+/// Reads one little-endian `u64`.
+pub fn read_u64<R: Read>(src: &mut R, what: &'static str) -> WireResult<u64> {
+    let mut b = [0u8; 8];
+    read_bytes(src, &mut b, what)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Reads one little-endian `i64`.
+pub fn read_i64<R: Read>(src: &mut R, what: &'static str) -> WireResult<i64> {
+    let mut b = [0u8; 8];
+    read_bytes(src, &mut b, what)?;
+    Ok(i64::from_le_bytes(b))
+}
+
+/// Reads one little-endian `f32` (bit pattern preserved exactly).
+pub fn read_f32<R: Read>(src: &mut R, what: &'static str) -> WireResult<f32> {
+    let mut b = [0u8; 4];
+    read_bytes(src, &mut b, what)?;
+    Ok(f32::from_le_bytes(b))
+}
+
+/// Reads one little-endian `f64` (bit pattern preserved exactly).
+pub fn read_f64<R: Read>(src: &mut R, what: &'static str) -> WireResult<f64> {
+    let mut b = [0u8; 8];
+    read_bytes(src, &mut b, what)?;
+    Ok(f64::from_le_bytes(b))
+}
+
+/// Reads a `u32` count and bounds it **before** the caller allocates.
+///
+/// # Errors
+///
+/// [`WireError::CountTooLarge`] when the stream claims more than `max`.
+pub fn read_count<R: Read>(src: &mut R, what: &'static str, max: usize) -> WireResult<usize> {
+    let got = read_u32(src, what)?;
+    if got as usize > max {
+        return Err(WireError::CountTooLarge {
+            what,
+            got: u64::from(got),
+            max: max as u64,
+        });
+    }
+    Ok(got as usize)
+}
+
+/// Reads a `u32`-length-prefixed UTF-8 string, bounding the length first.
+pub fn read_string<R: Read>(src: &mut R, what: &'static str, max_len: usize) -> WireResult<String> {
+    let len = read_count(src, what, max_len)?;
+    let mut bytes = vec![0u8; len];
+    read_bytes(src, &mut bytes, what)?;
+    String::from_utf8(bytes).map_err(|_| WireError::NotUtf8 { what })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncation_is_typed_and_names_the_field() {
+        let err = read_u64(&mut [0u8; 3].as_slice(), "tensor dim").unwrap_err();
+        assert!(matches!(err, WireError::Truncated { what: "tensor dim" }));
+        assert_eq!(err.to_string(), "truncated stream while reading tensor dim");
+    }
+
+    #[test]
+    fn oversized_count_rejected_before_allocation() {
+        let huge = u32::MAX.to_le_bytes();
+        let err = read_count(&mut huge.as_slice(), "entry count", 1 << 16).unwrap_err();
+        match err {
+            WireError::CountTooLarge { got, max, .. } => {
+                assert_eq!(got, u64::from(u32::MAX));
+                assert_eq!(max, 1 << 16);
+            }
+            other => panic!("expected CountTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn string_reads_bound_length_and_utf8() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&3u32.to_le_bytes());
+        buf.extend_from_slice(b"abc");
+        assert_eq!(read_string(&mut buf.as_slice(), "name", 16).unwrap(), "abc");
+
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&2u32.to_le_bytes());
+        bad.extend_from_slice(&[0xff, 0xfe]);
+        assert!(matches!(
+            read_string(&mut bad.as_slice(), "name", 16).unwrap_err(),
+            WireError::NotUtf8 { .. }
+        ));
+    }
+
+    #[test]
+    fn scalar_bit_patterns_round_trip() {
+        let v = -0.0f32;
+        assert_eq!(
+            read_f32(&mut v.to_le_bytes().as_slice(), "x")
+                .unwrap()
+                .to_bits(),
+            v.to_bits()
+        );
+        let n = f64::NAN;
+        assert_eq!(
+            read_f64(&mut n.to_le_bytes().as_slice(), "x")
+                .unwrap()
+                .to_bits(),
+            n.to_bits()
+        );
+        assert_eq!(
+            read_i64(&mut (-7i64).to_le_bytes().as_slice(), "x").unwrap(),
+            -7
+        );
+        assert_eq!(read_u8(&mut [5u8].as_slice(), "x").unwrap(), 5);
+    }
+}

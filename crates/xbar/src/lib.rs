@@ -60,6 +60,7 @@ pub mod noise;
 pub mod program;
 pub mod quant;
 pub mod repair;
+pub mod snapshot;
 pub mod tile;
 
 pub use error::XbarError;

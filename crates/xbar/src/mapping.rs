@@ -114,6 +114,55 @@ impl MappedLayer {
         })
     }
 
+    /// Reassembles a mapped layer from snapshot-decoded parts: already
+    /// rebuilt tiles plus the block-grid and matrix geometry. Used by the
+    /// snapshot codec ([`crate::snapshot`]); [`Tile::new`] packing is a
+    /// pure function of codes + config, so a layer rebuilt from persisted
+    /// codes runs bitwise identical to the one that was saved.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::InvalidConfig`] when the tile count disagrees
+    /// with the block grid or the grid cannot cover the matrix extents.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        tiles: Vec<Tile>,
+        row_blocks: usize,
+        col_blocks: usize,
+        matrix_rows: usize,
+        matrix_cols: usize,
+        weight_scale: f32,
+        kind: ParamKind,
+        param_dims: Vec<usize>,
+        config: XbarConfig,
+    ) -> Result<Self> {
+        config.validate()?;
+        if tiles.len() != row_blocks * col_blocks {
+            return Err(XbarError::InvalidConfig(format!(
+                "snapshot layer holds {} tiles for a {row_blocks}x{col_blocks} grid",
+                tiles.len()
+            )));
+        }
+        let (m, n) = (config.shape.rows(), config.shape.cols());
+        if matrix_rows.div_ceil(m) != row_blocks || matrix_cols.div_ceil(n) != col_blocks {
+            return Err(XbarError::InvalidConfig(format!(
+                "snapshot block grid {row_blocks}x{col_blocks} cannot tile a \
+                 {matrix_rows}x{matrix_cols} matrix on {m}x{n} crossbars"
+            )));
+        }
+        Ok(Self {
+            tiles,
+            row_blocks,
+            col_blocks,
+            matrix_rows,
+            matrix_cols,
+            weight_scale,
+            kind,
+            param_dims,
+            config,
+        })
+    }
+
     /// The mapping configuration.
     pub fn config(&self) -> &XbarConfig {
         &self.config

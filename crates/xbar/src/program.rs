@@ -160,21 +160,22 @@ impl BatchWorkspace {
 }
 
 /// A crossbar conv/linear step: the mapped tiles, the peripheral ADC, and
-/// the digital bias.
+/// the digital bias. Crate-visible so the snapshot codec
+/// ([`crate::snapshot`]) can persist and rebuild programs field by field.
 #[derive(Debug)]
-struct CrossbarStep {
-    mapped: MappedLayer,
-    adc: Adc,
-    bias: Option<Vec<f32>>,
-    in_slot: usize,
-    out_slot: usize,
+pub(crate) struct CrossbarStep {
+    pub(crate) mapped: MappedLayer,
+    pub(crate) adc: Adc,
+    pub(crate) bias: Option<Vec<f32>>,
+    pub(crate) in_slot: usize,
+    pub(crate) out_slot: usize,
 }
 
 /// One instruction of a compiled program. Crossbar steps run on the
 /// bit-serial datapath; the rest run in the digital domain, as they do in
-/// ISAAC-style accelerators.
+/// ISAAC-style accelerators. Crate-visible for the snapshot codec.
 #[derive(Debug)]
-enum Step {
+pub(crate) enum Step {
     /// `to = from` (protects a residual input from in-place ops).
     Copy {
         from: usize,
@@ -250,7 +251,7 @@ pub struct CompiledModel {
 /// computed from shapes alone (tiles × cycles × columns, scaled by the
 /// conv patch count). Digital steps are free next to the bit-serial
 /// datapath and contribute nothing. Clamped to ≥ 1 so it can divide.
-fn modeled_sample_conversions(steps: &[Step]) -> u64 {
+pub(crate) fn modeled_sample_conversions(steps: &[Step]) -> u64 {
     steps
         .iter()
         .map(|s| match s {
@@ -271,7 +272,7 @@ fn modeled_sample_conversions(steps: &[Step]) -> u64 {
 /// proportionally faster than its dense sibling *per conversion* — the
 /// request-level latency lever the serving front-end prices batches
 /// with. Clamped to ≥ 1 so it can divide.
-fn modeled_sample_sar_cycles(steps: &[Step]) -> u64 {
+pub(crate) fn modeled_sample_sar_cycles(steps: &[Step]) -> u64 {
     steps
         .iter()
         .map(|s| match s {
@@ -868,6 +869,98 @@ impl CompiledModel {
             sample_sar_cycles,
             non_ideal: None,
         })
+    }
+
+    /// Reassembles a model from snapshot-decoded parts. The modeled
+    /// sample costs are recomputed from the steps (they are pure
+    /// functions of the mapped shapes and ADC programme), so a loaded
+    /// model prices batches identically to the instance that was saved.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::InvalidConfig`] when the parts are internally
+    /// inconsistent (a step references a slot outside `n_slots`, or the
+    /// program has no crossbar steps).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        name: String,
+        input_dims: Vec<usize>,
+        output_len: usize,
+        steps: Vec<Step>,
+        n_slots: usize,
+        out_slot: usize,
+        config: XbarConfig,
+        crossbar: Vec<CrossbarSummary>,
+        fault_report: FaultReport,
+        remapped_columns: usize,
+        unrepaired_columns: usize,
+        non_ideal: Option<NonIdealPolicy>,
+    ) -> Result<Self> {
+        config.validate()?;
+        if let Some(p) = &non_ideal {
+            p.validate()?;
+        }
+        if crossbar.is_empty() {
+            return Err(XbarError::InvalidConfig(
+                "snapshot program has no crossbar layers".into(),
+            ));
+        }
+        let slot_ok = |s: usize| s < n_slots;
+        for step in &steps {
+            let ok = match step {
+                Step::Copy { from, to } => slot_ok(*from) && slot_ok(*to),
+                Step::Conv { step, .. } | Step::Linear { step } => {
+                    slot_ok(step.in_slot) && slot_ok(step.out_slot)
+                }
+                Step::Relu { slot } | Step::BatchNorm { slot, .. } => slot_ok(*slot),
+                Step::MaxPool {
+                    in_slot, out_slot, ..
+                }
+                | Step::GlobalAvgPool {
+                    in_slot, out_slot, ..
+                } => slot_ok(*in_slot) && slot_ok(*out_slot),
+                Step::AddRelu { a, b } => slot_ok(*a) && slot_ok(*b),
+            };
+            if !ok {
+                return Err(XbarError::InvalidConfig(format!(
+                    "snapshot step references a slot outside 0..{n_slots}"
+                )));
+            }
+        }
+        if !slot_ok(out_slot) {
+            return Err(XbarError::InvalidConfig(format!(
+                "snapshot output slot {out_slot} outside 0..{n_slots}"
+            )));
+        }
+        let sample_cost = modeled_sample_conversions(&steps);
+        let sample_sar_cycles = modeled_sample_sar_cycles(&steps);
+        Ok(Self {
+            name,
+            input_vol: input_dims.iter().product(),
+            input_dims,
+            output_len,
+            steps,
+            n_slots,
+            out_slot,
+            config,
+            crossbar,
+            fault_report,
+            remapped_columns,
+            unrepaired_columns,
+            sample_cost,
+            sample_sar_cycles,
+            non_ideal,
+        })
+    }
+
+    /// The step program, for the snapshot codec.
+    pub(crate) fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// The output slot index, for the snapshot codec.
+    pub(crate) fn out_slot(&self) -> usize {
+        self.out_slot
     }
 
     /// Per-sample input shape.

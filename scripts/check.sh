@@ -57,6 +57,12 @@ cargo test --offline -q --test degraded_mode
 echo "==> serving front-end suite"
 cargo test --offline -q --test serving
 
+# The compiled-model registry's acceptance gates: bitwise-exact snapshot
+# round trips across thread counts, zero-drop multi-tenant hot-swap
+# replays, and tag-routing correctness through the shared queue.
+echo "==> compiled-model registry suite"
+cargo test --offline -q --test registry
+
 # The execution engine's acceptance gates: datapath-vs-engine agreement
 # on a trained model, the zero-steady-state-allocation workspace
 # contract, and bitwise thread-count invariance of run_batch.
@@ -87,6 +93,33 @@ cargo run --offline --release -p tinyadc-cli --bin tinyadc -- serve-degraded --q
 # iso-p99 on every trace.
 echo "==> serving bench smoke run (--quick)"
 cargo run --offline --release -p tinyadc-cli --bin tinyadc -- bench serve --quick 1 >/dev/null
+
+# Snapshot persistence smoke through the CLI: `model save` compiles the
+# quick network, persists the program, reloads it and fails unless the
+# round trip is byte- and bit-identical; `model load` restores it cold.
+echo "==> model snapshot save/load smoke run (--quick)"
+snap_tmp="$(mktemp -u).tadp"
+cargo run --offline --release -p tinyadc-cli --bin tinyadc -- \
+    model save --quick 1 --out "$snap_tmp" >/dev/null
+cargo run --offline --release -p tinyadc-cli --bin tinyadc -- \
+    model load --in "$snap_tmp" >/dev/null
+rm -f "$snap_tmp"
+
+# End-to-end registry-bench smoke through the CLI, twice: the command
+# fails unless every hot-swapped replay completed all admitted requests,
+# and two back-to-back runs must emit byte-identical JSON (the
+# determinism contract the committed BENCH_registry.json relies on).
+echo "==> registry bench smoke run (--quick, twice, byte-identical)"
+reg_a="$(mktemp)"; reg_b="$(mktemp)"
+cargo run --offline --release -p tinyadc-cli --bin tinyadc -- \
+    bench registry --quick 1 --out "$reg_a" >/dev/null
+cargo run --offline --release -p tinyadc-cli --bin tinyadc -- \
+    bench registry --quick 1 --out "$reg_b" >/dev/null
+if ! cmp -s "$reg_a" "$reg_b"; then
+    echo "FAIL: two quick registry bench runs emitted different bytes" >&2
+    exit 1
+fi
+rm -f "$reg_a" "$reg_b"
 
 # Smoke-run the perf harness so bench bit-rot (API drift, JSON emission)
 # fails the gate offline; --quick keeps it to a few seconds. The run

@@ -1,0 +1,235 @@
+//! Tier-1 pins for the compiled-model registry (`docs/serving.md` §
+//! registry walkthrough):
+//!
+//! 1. A model restored from its binary snapshot is **bitwise identical**
+//!    to the original: same program shape, same modeled ADC counters,
+//!    and bit-for-bit equal outputs — on every worker-thread count, and
+//!    through both the in-memory codec and the on-disk path API.
+//! 2. A replayed multi-tenant trace with a mid-trace hot-swap completes
+//!    **every admitted request** (zero drops) and is bitwise invariant
+//!    under the worker-thread count.
+//! 3. Responses route by tag: two resident tenants each see exactly
+//!    their own program's outputs, interleaved through one shared
+//!    admission queue.
+//!
+//! `tinyadc_par::set_threads` and the metrics registry are
+//! process-global, so these tests serialise on a mutex.
+
+use std::sync::Mutex;
+
+use tinyadc::registry::{ModelRegistry, RegistryServer};
+use tinyadc::serve::{RejectReason, ServeConfig};
+use tinyadc_bench::registry::{self as regbench, snapshot_clone};
+use tinyadc_bench::serving::{self, ServingModels, TraceKind};
+use tinyadc_tensor::rng::SeededRng;
+use tinyadc_tensor::Tensor;
+use tinyadc_xbar::mapping::MappedLayer;
+use tinyadc_xbar::program::{BatchWorkspace, CompiledModel};
+use tinyadc_xbar::snapshot;
+use tinyadc_xbar::tile::XbarConfig;
+
+/// Serialises tests that touch the global thread pool or registry.
+static GLOBAL: Mutex<()> = Mutex::new(());
+
+/// Thread counts exercised; 7 exceeds this machine's cores and never
+/// divides the batch chunk counts evenly.
+const THREADS: [usize; 4] = [1, 2, 4, 7];
+
+/// Same dense/CP compiled pair as `tests/serving.rs`: one mapped conv,
+/// the "CP" variant sampling 3 fewer ADC bits.
+fn test_pool() -> ServingModels {
+    let mut rng = SeededRng::new(4242);
+    let cfg = XbarConfig::paper_default();
+    let w = Tensor::randn(&[128, 16, 3, 3], 0.3, &mut rng);
+    let map = |w: &Tensor| MappedLayer::from_param(w, tinyadc_nn::ParamKind::ConvWeight, cfg);
+    let dense_bits = map(&w).unwrap().required_adc_bits();
+    let cp_bits = dense_bits.saturating_sub(3).max(2);
+    let dense = CompiledModel::from_conv(map(&w).unwrap(), [16, 8, 8], 1, 1, None).unwrap();
+    let cp = CompiledModel::from_conv(map(&w).unwrap(), [16, 8, 8], 1, 1, Some(cp_bits)).unwrap();
+    let n_inputs = 12;
+    let vol = 16 * 8 * 8;
+    let inputs = Tensor::uniform(&[n_inputs, vol], 0.0, 1.0, &mut rng);
+    ServingModels {
+        dense,
+        cp,
+        inputs: inputs.as_slice().to_vec(),
+        vol,
+        n_inputs,
+    }
+}
+
+/// Runs a model over the whole payload pool as one pack, returning the
+/// raw output bits.
+fn infer_bits(model: &CompiledModel, pool: &ServingModels) -> Vec<u32> {
+    let mut ws = BatchWorkspace::default();
+    let mut out = Vec::new();
+    model
+        .run_packed_into(&pool.inputs, &mut ws, &mut out)
+        .unwrap();
+    out.iter().map(|v| v.to_bits()).collect()
+}
+
+#[test]
+fn snapshot_round_trip_is_bitwise_exact_on_every_thread_count() {
+    let _guard = GLOBAL.lock().unwrap();
+    let pool = test_pool();
+
+    // In-memory codec round trip, plus the on-disk path API on top of it.
+    let restored = snapshot_clone(&pool.cp).expect("snapshot round trip");
+    let dir = std::env::temp_dir().join("tinyadc_registry_test");
+    std::fs::create_dir_all(&dir).expect("tempdir");
+    let path = dir.join("cp.tadp");
+    snapshot::save_model(&pool.cp, &path).expect("save");
+    let reloaded = snapshot::load_model(&path).expect("load");
+
+    // The snapshot is itself deterministic: re-encoding the restored
+    // model reproduces the original byte stream exactly.
+    let mut original_bytes = Vec::new();
+    snapshot::write_model(&mut original_bytes, &pool.cp).unwrap();
+    let mut restored_bytes = Vec::new();
+    snapshot::write_model(&mut restored_bytes, &restored).unwrap();
+    assert_eq!(original_bytes, restored_bytes, "snapshot encoding drifted");
+
+    for m in [&restored, &reloaded] {
+        assert_eq!(m.input_dims(), pool.cp.input_dims());
+        assert_eq!(m.output_len(), pool.cp.output_len());
+        assert_eq!(m.sample_conversions(), pool.cp.sample_conversions());
+        assert_eq!(m.sample_sar_cycles(), pool.cp.sample_sar_cycles());
+    }
+
+    // Bit-for-bit equal inference on every worker-thread count.
+    for &t in &THREADS {
+        tinyadc_par::set_threads_exact(t);
+        let want = infer_bits(&pool.cp, &pool);
+        assert_eq!(
+            infer_bits(&restored, &pool),
+            want,
+            "restored model outputs diverged at {t} threads"
+        );
+        assert_eq!(
+            infer_bits(&reloaded, &pool),
+            want,
+            "reloaded model outputs diverged at {t} threads"
+        );
+    }
+    tinyadc_par::set_threads(0);
+}
+
+#[test]
+fn multi_tenant_hot_swap_replay_is_zero_drop_and_thread_invariant() {
+    let _guard = GLOBAL.lock().unwrap();
+    let pool = test_pool();
+    let cfg = serving::serve_config_for(&pool.dense);
+
+    let sweep = || {
+        let mut points = Vec::new();
+        for kind in TraceKind::ALL {
+            points.push(regbench::run_registry_trace(&pool, cfg, kind, 6, 10, 99).unwrap());
+        }
+        points
+    };
+
+    tinyadc_par::set_threads_exact(THREADS[0]);
+    let ref_points = sweep();
+    for p in &ref_points {
+        assert_eq!(p.dropped, 0, "hot-swap dropped admitted requests");
+        assert_eq!(p.admitted, p.completed);
+        assert_eq!(p.offered, p.admitted + p.rejected);
+        assert!(p.swap_tick > 0, "mid-trace promotion never happened");
+        assert!(p.swap_tick <= p.makespan);
+        assert_eq!(p.tenants.len(), 2);
+        for t in &p.tenants {
+            assert!(t.completed > 0, "tenant {} starved", t.tag);
+        }
+    }
+    for &t in &THREADS[1..] {
+        tinyadc_par::set_threads_exact(t);
+        assert_eq!(
+            sweep(),
+            ref_points,
+            "registry replay diverged at {t} threads"
+        );
+    }
+    tinyadc_par::set_threads(0);
+}
+
+#[test]
+fn responses_route_by_tag_through_one_shared_queue() {
+    let _guard = GLOBAL.lock().unwrap();
+    tinyadc_par::set_threads(0);
+    let pool = test_pool();
+    let mut registry = ModelRegistry::new();
+    registry
+        .insert("net@dense", snapshot_clone(&pool.dense).unwrap())
+        .unwrap();
+    registry
+        .insert("net@cp", snapshot_clone(&pool.cp).unwrap())
+        .unwrap();
+    let cfg = ServeConfig {
+        max_batch: 2,
+        flush_deadline: 4,
+        ..serving::serve_config_for(&pool.dense)
+    };
+    let mut server = RegistryServer::new(registry, cfg).unwrap();
+
+    // What each tenant's program computes for the first two payloads.
+    let pack = &pool.inputs[..2 * pool.vol];
+    let mut ws = BatchWorkspace::default();
+    let mut want_dense = Vec::new();
+    pool.dense
+        .run_packed_into(pack, &mut ws, &mut want_dense)
+        .unwrap();
+    let mut want_cp = Vec::new();
+    pool.cp
+        .run_packed_into(pack, &mut ws, &mut want_cp)
+        .unwrap();
+
+    // Interleave the tenants through the shared queue.
+    for k in 0..2 {
+        let payload = &pool.inputs[k * pool.vol..(k + 1) * pool.vol];
+        server.offer("net@dense", payload).unwrap();
+        server.offer("net@cp", payload).unwrap();
+    }
+    let ghost = server
+        .offer("net@ghost", &pool.inputs[..pool.vol])
+        .unwrap_err();
+    assert_eq!(
+        ghost.reason,
+        RejectReason::UnknownTag {
+            tag: "net@ghost".to_owned()
+        }
+    );
+    server.finish().unwrap();
+    let mut got: Vec<(String, u64, Vec<u32>)> = Vec::new();
+    server.drain(|r| {
+        got.push((
+            r.tag.to_owned(),
+            r.id,
+            r.output.iter().map(|v| v.to_bits()).collect(),
+        ));
+    });
+    assert_eq!(got.len(), 4);
+    // Responses surface in (completion tick, admission id) order: both
+    // shards size-flush at t=0, and the CP tenant's smaller SAR service
+    // time finishes its batch first.
+    let ids: Vec<u64> = got.iter().map(|(_, id, _)| *id).collect();
+    assert_eq!(ids, vec![1, 3, 0, 2]);
+    // Each response carries exactly its own tenant's program output for
+    // its payload.
+    for (tag, id, bits) in &got {
+        let k = (id / 2) as usize;
+        let (want, want_tag) = if id % 2 == 0 {
+            (&want_dense, "net@dense")
+        } else {
+            (&want_cp, "net@cp")
+        };
+        assert_eq!(tag, want_tag);
+        let sample = &want[k * pool.cp.output_len()..(k + 1) * pool.cp.output_len()];
+        let want_bits: Vec<u32> = sample.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(
+            *bits, want_bits,
+            "response {id} carried the wrong program's output"
+        );
+    }
+    assert!(want_dense.iter().zip(&want_cp).any(|(a, b)| a != b));
+}

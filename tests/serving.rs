@@ -283,6 +283,56 @@ fn workspace_ring_is_zero_alloc_in_steady_state() {
     );
 }
 
+#[test]
+fn next_event_tick_edge_cases() {
+    let _guard = GLOBAL.lock().unwrap();
+    tinyadc_par::set_threads(0);
+    let pool = test_pool();
+    let cfg = ServeConfig {
+        queue_depth: 8,
+        max_batch: 2,
+        flush_deadline: 5,
+        ring_slots: 1,
+        ..serving::serve_config_for(&pool.dense)
+    };
+    let service = |batch: u64| {
+        (cfg.service.overhead_ticks
+            + (batch * pool.dense.sample_sar_cycles()).div_ceil(cfg.service.cycles_per_tick))
+        .max(1)
+    };
+    let mut srv = Server::new(&pool.dense, cfg).unwrap();
+    // Idle server: empty queue, no batch in flight — nothing can happen.
+    assert_eq!(srv.next_event_tick(), None);
+
+    let payload = &pool.inputs[..pool.vol];
+    // One queued request below max_batch: the only event is its deadline.
+    srv.offer(payload).unwrap();
+    assert_eq!(srv.next_event_tick(), Some(cfg.flush_deadline));
+
+    // Advancing to exactly the deadline tick flushes it, so the next
+    // event becomes the lane completion — never the spent deadline.
+    srv.advance_to(cfg.flush_deadline).unwrap();
+    assert_eq!(srv.queue_len(), 0);
+    let done = cfg.flush_deadline + service(1);
+    assert_eq!(srv.next_event_tick(), Some(done));
+
+    // With the single lane busy, a freshly queued request's (earlier)
+    // deadline is masked: it cannot flush until the lane frees, so the
+    // completion stays the next event.
+    srv.offer(payload).unwrap();
+    assert!(srv.now() + cfg.flush_deadline < done);
+    assert_eq!(srv.next_event_tick(), Some(done));
+
+    // After finish() everything has completed into the ready queue; the
+    // idle server reports no further events, drained or not.
+    srv.finish().unwrap();
+    assert_eq!(srv.next_event_tick(), None);
+    let mut n = 0;
+    srv.drain(|_| n += 1);
+    assert_eq!(n, 2);
+    assert_eq!(srv.next_event_tick(), None);
+}
+
 /// Extracts every backticked `serve.*` metric name from the catalogue
 /// table rows of `docs/serving.md` (lines shaped `| `name` | ... |`).
 fn documented_serve_metrics() -> Vec<String> {
